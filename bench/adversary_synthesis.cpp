@@ -1,0 +1,114 @@
+// Extended evaluation E17: the impossibility proofs, made executable.
+//
+// For each impossibility the paper proves, the harness synthesizes an
+// explicit weakly fair adversary schedule from the checker's violating SCC,
+// replays it, and verifies the three defining properties (closed cycle,
+// full pair coverage, violation witnessed):
+//   * Section 2 example  — the black/white token spinner;
+//   * Proposition 1      — leaderless symmetric naming (Prop 13's protocol
+//                          as the victim);
+//   * Theorem 11         — P-state symmetric naming with initialized leader
+//                          (Protocol 3 as the victim, N = P);
+//   * topology variant   — the asymmetric protocol on a star graph.
+//
+//   ./adversary_synthesis [--verbose]
+#include <cstdio>
+
+#include "analysis/adversary_synth.h"
+#include "analysis/initial_sets.h"
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/color_example.h"
+#include "naming/global_leader_naming.h"
+#include "naming/symmetric_global_naming.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace ppn;
+
+std::string renderSchedule(const AdversarySchedule& s, std::size_t maxShown) {
+  auto renderSeq = [&](const std::vector<Interaction>& seq) {
+    std::string out;
+    const std::size_t limit = std::min(maxShown, seq.size());
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (i != 0) out += " ";
+      out += "(" + std::to_string(seq[i].initiator) + "," +
+             std::to_string(seq[i].responder) + ")";
+    }
+    if (limit < seq.size()) {
+      out += " ... +" + std::to_string(seq.size() - limit);
+    }
+    return out;
+  };
+  return "  start:  " + s.start.toString() + "\n  prefix: " +
+         renderSeq(s.prefix) + "\n  cycle:  " + renderSeq(s.cycle) + "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("adversary_synthesis", "executable impossibility proofs");
+  const auto* verbose = cli.addFlag("verbose", "print full schedules");
+  if (!cli.parse(argc, argv)) return 1;
+  const std::size_t shown = *verbose ? 10000 : 12;
+
+  Table table({"impossibility", "victim protocol", "prefix", "cycle",
+               "replay check"});
+  bool ok = true;
+
+  auto runCase = [&](const std::string& what, const Protocol& proto,
+                     const Problem& problem,
+                     const std::vector<Configuration>& initials,
+                     const InteractionGraph* topology) {
+    const auto schedule =
+        synthesizeWeakAdversary(proto, problem, initials, 4'000'000, topology);
+    if (!schedule.has_value()) {
+      table.row().cell(what).cell(proto.name()).cell("-").cell("-").cell(
+          "NO SCHEDULE (unexpected)");
+      ok = false;
+      return;
+    }
+    const ReplayReport report =
+        replayAdversary(proto, problem, *schedule, topology);
+    table.row()
+        .cell(what)
+        .cell(proto.name())
+        .cell(schedule->prefix.size())
+        .cell(schedule->cycle.size())
+        .cell(report.valid() ? "PASS" : "FAIL");
+    ok = ok && report.valid();
+    std::printf("%s:\n%s\n", what.c_str(),
+                renderSchedule(*schedule, shown).c_str());
+  };
+
+  {
+    const ColorExample proto;
+    runCase("Section 2 black/white example", proto,
+            predicateProblem("all-black", allBlack),
+            {Configuration{{1, 0, 0}, std::nullopt}}, nullptr);
+  }
+  {
+    const SymmetricGlobalNaming proto(3);
+    runCase("Prop 1 (no leader, symmetric, weak)", proto,
+            namingProblem(proto), allUniformInitials(proto, 3), nullptr);
+  }
+  {
+    const GlobalLeaderNaming proto(3);
+    runCase("Theorem 11 (init leader, P states, weak, N=P)", proto,
+            namingProblem(proto), allConcreteConfigurations(proto, 3),
+            nullptr);
+  }
+  {
+    const AsymmetricNaming proto(4);
+    static const InteractionGraph star = InteractionGraph::star(4, 0);
+    runCase("star topology (leaf homonyms never meet)", proto,
+            namingProblem(proto), allConcreteConfigurations(proto, 4), &star);
+  }
+
+  std::printf("E17: synthesized weakly fair adversaries\n\n");
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nall schedules replay correctly: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 2;
+}

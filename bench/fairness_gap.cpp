@@ -1,0 +1,133 @@
+// Extended evaluation E10: the weak/global fairness gap, quantified.
+//
+// Part 1 — the Section 2 black/white example: under the random (globally
+// fair) scheduler the 3-agent system reaches all-black quickly; under the
+// paper's adversarial weakly fair schedule it provably never does (we run a
+// long prefix and report the black-token count staying at 1).
+//
+// Part 2 — the naming gap: Protocol 3 (P states, initialized leader) at
+// N = P converges under the random scheduler, while the exact checker counts
+// the weakly fair violating SCCs that an adversary can trap it in
+// (Theorem 11). Protocol 2 (P+1 states) shows zero violating SCCs.
+//
+//   ./fairness_gap [--runs 32] [--csv]
+#include <cstdio>
+
+#include "analysis/initial_sets.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "naming/color_example.h"
+#include "naming/global_leader_naming.h"
+#include "naming/selfstab_weak_naming.h"
+#include "sched/adversary.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+#include "stats/summary.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  ppn::Cli cli("fairness_gap", "weak vs global fairness, quantified");
+  const auto* runs = cli.addUint("runs", "random-scheduler runs", 32);
+  const auto* seed = cli.addUint("seed", "rng seed", 314);
+  const auto* csv = cli.addFlag("csv", "emit CSV");
+  if (!cli.parse(argc, argv)) return 1;
+
+  bool ok = true;
+
+  std::printf("E10 part 1: black/white example (paper Section 2), 3 agents\n\n");
+  {
+    const ppn::ColorExample colors;
+    // Random scheduler: time to all-black.
+    ppn::Rng rng(*seed);
+    std::vector<double> times;
+    for (std::uint64_t r = 0; r < *runs; ++r) {
+      ppn::Engine engine(colors, ppn::Configuration{{1, 0, 0}, std::nullopt});
+      ppn::RandomScheduler sched(3, rng.next());
+      std::uint64_t t = 0;
+      while (!ppn::allBlack(engine.config()) && t < 1'000'000) {
+        engine.step(sched.next());
+        ++t;
+      }
+      times.push_back(static_cast<double>(t));
+    }
+    const ppn::Summary s = ppn::summarize(times);
+    std::printf("random scheduler: all-black after %s interactions\n",
+                s.toString(0).c_str());
+
+    // Adversarial weakly fair schedule: never terminates.
+    ppn::Engine engine(colors, ppn::Configuration{{1, 0, 0}, std::nullopt});
+    ppn::CallbackScheduler adversary("token-spinner", [](std::uint64_t t) {
+      switch (t % 3) {
+        case 0: return ppn::Interaction{0, 1};
+        case 1: return ppn::Interaction{1, 2};
+        default: return ppn::Interaction{2, 0};
+      }
+    });
+    constexpr std::uint64_t kPrefix = 3'000'000;
+    bool everAllBlack = false;
+    for (std::uint64_t t = 0; t < kPrefix; ++t) {
+      engine.step(adversary.next());
+      everAllBlack |= ppn::allBlack(engine.config());
+    }
+    std::printf("adversarial weakly fair schedule: all-black within %llu "
+                "interactions? %s (each pair met %llu times)\n\n",
+                static_cast<unsigned long long>(kPrefix),
+                everAllBlack ? "yes (BUG)" : "no — token jumps forever",
+                static_cast<unsigned long long>(kPrefix / 3));
+    ok = ok && !everAllBlack;
+  }
+
+  std::printf("E10 part 2: the naming gap at N = P (Theorem 11 boundary)\n\n");
+  {
+    ppn::Table table({"protocol", "states", "P", "random sched named",
+                      "weakly fair violating SCCs", "checker verdict"});
+    for (const ppn::StateId p : {2u, 3u}) {
+      // Protocol 3: P states — converges under global, trapped under weak.
+      {
+        const ppn::GlobalLeaderNaming proto(p);
+        ppn::Rng rng(*seed + p);
+        std::uint32_t named = 0;
+        for (std::uint64_t r = 0; r < *runs; ++r) {
+          ppn::Rng runRng = rng.split();
+          ppn::Engine engine(proto,
+                             ppn::arbitraryConfiguration(proto, p, runRng));
+          ppn::RandomScheduler sched(p + 1, runRng.next());
+          const ppn::RunOutcome out = ppn::runUntilSilent(
+              engine, sched, ppn::RunLimits{10'000'000, 64});
+          named += out.namingSolved ? 1 : 0;
+        }
+        const ppn::WeakVerdict v = ppn::checkWeakFairness(
+            proto, ppn::namingProblem(proto),
+            ppn::allConcreteConfigurations(proto, p));
+        table.row()
+            .cell("global-leader (Protocol 3)")
+            .cell("P")
+            .cell(std::uint64_t{p})
+            .cell(std::to_string(named) + "/" + std::to_string(*runs))
+            .cell(v.violatingSccs)
+            .cell(v.solves ? "solves" : "FAILS under weak fairness");
+        ok = ok && named == *runs && !v.solves;
+      }
+      // Protocol 2: P+1 states — immune to weakly fair adversaries.
+      {
+        const ppn::SelfStabWeakNaming proto(p);
+        const ppn::WeakVerdict v = ppn::checkWeakFairness(
+            proto, ppn::namingProblem(proto),
+            ppn::allConcreteConfigurations(proto, p));
+        table.row()
+            .cell("selfstab-weak (Protocol 2)")
+            .cell("P+1")
+            .cell(std::uint64_t{p})
+            .cell("-")
+            .cell(v.violatingSccs)
+            .cell(v.solves ? "solves under weak fairness" : "FAILS");
+        ok = ok && v.solves;
+      }
+    }
+    std::fputs((*csv ? table.renderCsv() : table.render()).c_str(), stdout);
+  }
+
+  std::printf("\noverall: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 2;
+}

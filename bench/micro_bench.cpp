@@ -1,0 +1,113 @@
+// E12: engineering microbenchmarks (google-benchmark).
+//
+// Measures the simulation substrate itself: raw interaction throughput per
+// protocol, scheduler overhead, silence-detection cost, and model-checker
+// throughput — the numbers that bound how large an experiment the harness
+// can run.
+#include <benchmark/benchmark.h>
+
+#include "analysis/global_checker.h"
+#include "analysis/initial_sets.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "naming/registry.h"
+#include "sched/deterministic_schedulers.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+
+namespace {
+
+using namespace ppn;
+
+void BM_SchedulerNext(benchmark::State& state, SchedulerKind kind) {
+  auto sched = makeScheduler(kind, 64, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched->next());
+  }
+}
+BENCHMARK_CAPTURE(BM_SchedulerNext, random, SchedulerKind::kRandom);
+BENCHMARK_CAPTURE(BM_SchedulerNext, skewed, SchedulerKind::kSkewed);
+BENCHMARK_CAPTURE(BM_SchedulerNext, round_robin, SchedulerKind::kRoundRobin);
+BENCHMARK_CAPTURE(BM_SchedulerNext, tournament, SchedulerKind::kTournament);
+
+void BM_StepThroughput(benchmark::State& state, const char* key) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto proto = makeProtocol(key, static_cast<StateId>(n));
+  Rng rng(7);
+  Engine engine(*proto, key == std::string("leader-uniform")
+                            ? uniformConfiguration(*proto, n)
+                            : arbitraryConfiguration(*proto, n, rng));
+  RandomScheduler sched(engine.numParticipants(), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(sched.next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_StepThroughput, asymmetric, "asymmetric")->Arg(16)->Arg(256);
+BENCHMARK_CAPTURE(BM_StepThroughput, selfstab_weak, "selfstab-weak")->Arg(12);
+BENCHMARK_CAPTURE(BM_StepThroughput, global_leader, "global-leader")->Arg(12);
+BENCHMARK_CAPTURE(BM_StepThroughput, leader_uniform, "leader-uniform")->Arg(256);
+
+void BM_SilenceCheck(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto proto = makeProtocol("asymmetric", static_cast<StateId>(n));
+  Configuration c;
+  for (std::uint32_t i = 0; i < n; ++i) c.mobile.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isSilent(*proto, c));
+  }
+}
+BENCHMARK(BM_SilenceCheck)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_FullConvergence(benchmark::State& state, const char* key) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto proto = makeProtocol(key, static_cast<StateId>(n));
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Configuration start = key == std::string("leader-uniform")
+                              ? uniformConfiguration(*proto, n)
+                              : arbitraryConfiguration(*proto, n, rng);
+    Engine engine(*proto, std::move(start));
+    RandomScheduler sched(engine.numParticipants(), rng.next());
+    state.ResumeTiming();
+    const RunOutcome out =
+        runUntilSilent(engine, sched, RunLimits{100'000'000, 256});
+    benchmark::DoNotOptimize(out.convergenceInteractions);
+  }
+}
+BENCHMARK_CAPTURE(BM_FullConvergence, asymmetric, "asymmetric")
+    ->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_FullConvergence, leader_uniform, "leader-uniform")
+    ->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_FullConvergence, selfstab_weak, "selfstab-weak")
+    ->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_WeakChecker(benchmark::State& state) {
+  const auto p = static_cast<StateId>(state.range(0));
+  const auto proto = makeProtocol("global-leader", p);
+  const auto initials = allConcreteConfigurations(*proto, p);
+  for (auto _ : state) {
+    const WeakVerdict v =
+        checkWeakFairness(*proto, namingProblem(*proto), initials);
+    benchmark::DoNotOptimize(v.solves);
+  }
+  state.counters["configs"] = static_cast<double>(
+      checkWeakFairness(*proto, namingProblem(*proto), initials).numConfigs);
+}
+BENCHMARK(BM_WeakChecker)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalChecker(benchmark::State& state) {
+  const auto p = static_cast<StateId>(state.range(0));
+  const auto proto = makeProtocol("symmetric-global", p);
+  const auto initials = allCanonicalConfigurations(*proto, p);
+  for (auto _ : state) {
+    const GlobalVerdict v =
+        checkGlobalFairness(*proto, namingProblem(*proto), initials);
+    benchmark::DoNotOptimize(v.solves);
+  }
+}
+BENCHMARK(BM_GlobalChecker)->Arg(3)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Theorem 11 demonstration: under weak fairness, P-state symmetric naming
+// with an initialized leader fails on non-initialized agents.
+//
+// Two independent pieces of evidence against the natural P-state candidate
+// (Protocol 3):
+//  1. the proof's "hidden agent" schedule, replayed live: isolate one agent
+//     while the rest converge as if N' = P-1; the hidden agent is a homonym
+//     of a named agent, and releasing it forces renaming — repeatable
+//     forever, so convergence never sticks;
+//  2. the exact weak-fairness checker's violating-SCC witness.
+//
+// The P+1-state Protocol 2 passes both (the paper's tightness).
+//
+//   ./theorem11_adversary [--p 3]
+#include <cstdio>
+
+#include "analysis/initial_sets.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "naming/global_leader_naming.h"
+#include "naming/selfstab_weak_naming.h"
+#include "sched/adversary.h"
+#include "sched/deterministic_schedulers.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  ppn::Cli cli("theorem11_adversary",
+               "weakly fair adversaries vs P-state leader naming");
+  const auto* pFlag = cli.addUint("p", "bound P (2..4)", 3);
+  if (!cli.parse(argc, argv)) return 1;
+  const auto p = static_cast<ppn::StateId>(*pFlag);
+  if (p < 2 || p > 4) {
+    std::fprintf(stderr, "need 2 <= p <= 4\n");
+    return 1;
+  }
+
+  bool ok = true;
+  std::printf("== Theorem 11 at P = %u ==\n\n", p);
+
+  // ---- Piece 1: the hidden-agent schedule against Protocol 3.
+  {
+    const ppn::GlobalLeaderNaming proto(p);
+    // All agents start as homonyms of the would-be last name; agent 0 is
+    // hidden while the others (population P-1 from the leader's viewpoint)
+    // are named 1..P-1 by the Protocol 1 machinery.
+    ppn::Configuration start;
+    start.mobile.assign(p, 1);
+    start.leader = *proto.initialLeaderState();
+    ppn::Engine engine(proto, std::move(start));
+
+    auto inner = std::make_unique<ppn::RoundRobinScheduler>(p + 1);
+    constexpr std::uint64_t kIsolation = 100000;
+    ppn::IsolationScheduler sched(std::move(inner), /*isolated=*/0, kIsolation);
+    for (std::uint64_t t = 0; t < kIsolation; ++t) engine.step(sched.next());
+
+    const ppn::Configuration& hiddenPhase = engine.config();
+    std::printf("hidden-agent phase (agent 0 isolated, %llu interactions):\n"
+                "  %s\n",
+                static_cast<unsigned long long>(kIsolation),
+                hiddenPhase
+                    .toString(proto.describeLeaderState(*hiddenPhase.leader))
+                    .c_str());
+    // The visible P-1 agents are distinctly named; agent 0 duplicates one of
+    // them (or holds a stale name) — the leader cannot know.
+    std::vector<ppn::StateId> visible(hiddenPhase.mobile.begin() + 1,
+                                      hiddenPhase.mobile.end());
+    std::sort(visible.begin(), visible.end());
+    const bool visibleDistinct =
+        std::adjacent_find(visible.begin(), visible.end()) == visible.end();
+    const bool wholeNamed = engine.namingSolved();
+    std::printf("  visible sub-population distinct: %s;  whole population "
+                "named: %s\n",
+                visibleDistinct ? "yes" : "no", wholeNamed ? "yes" : "no");
+    ok = ok && visibleDistinct && !wholeNamed;
+
+    // Release the hidden agent: the adversary now lets everyone interact;
+    // renaming must happen again (names were NOT stable).
+    const std::uint64_t changesBefore = engine.nonNullInteractions();
+    for (int t = 0; t < 100000; ++t) engine.step(sched.next());
+    const bool renamedAfterRelease = engine.nonNullInteractions() > changesBefore;
+    std::printf("  after release: further renaming happened: %s\n\n",
+                renamedAfterRelease ? "yes — convergence was illusory" : "no");
+    ok = ok && renamedAfterRelease;
+  }
+
+  // ---- Piece 2: exact checker verdicts for P and P+1 states.
+  {
+    const ppn::GlobalLeaderNaming pStates(p);
+    const ppn::WeakVerdict v1 = ppn::checkWeakFairness(
+        pStates, ppn::namingProblem(pStates),
+        ppn::allConcreteConfigurations(pStates, p));
+    std::printf("exact checker, P-state Protocol 3, N=P: %s (%zu violating "
+                "SCCs)\n",
+                v1.solves ? "solves (UNEXPECTED)" : "FAILS under weak fairness",
+                v1.violatingSccs);
+    ok = ok && v1.explored && !v1.solves;
+
+    const ppn::SelfStabWeakNaming pPlus1(p);
+    const ppn::WeakVerdict v2 = ppn::checkWeakFairness(
+        pPlus1, ppn::namingProblem(pPlus1),
+        ppn::allConcreteConfigurations(pPlus1, p), 8'000'000);
+    std::printf("exact checker, (P+1)-state Protocol 2, N=P: %s\n",
+                v2.solves ? "solves — one extra state closes the gap"
+                          : "FAILS (UNEXPECTED)");
+    ok = ok && v2.explored && v2.solves;
+  }
+
+  std::printf("\noverall: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 2;
+}

@@ -1,0 +1,87 @@
+// Scenario from the paper's motivation: a mobile sensor network with a base
+// station (BST). Cheap sensors boot with garbage memory and suffer transient
+// faults; the BST must keep them uniquely named so higher layers (counting,
+// leader election, data collection) can run on top.
+//
+// Uses Protocol 2 (Prop 16): self-stabilizing symmetric naming under weak
+// fairness with P+1 states — even the BST may start corrupted. The demo
+// converges, then injects bursts of memory corruption and shows recovery.
+//
+//   ./sensor_network --n 8 --p 8 --faults 5 --seed 7
+#include <cstdio>
+
+#include "core/engine.h"
+#include "naming/selfstab_weak_naming.h"
+#include "sched/random_scheduler.h"
+#include "sim/fault_injector.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+
+namespace {
+
+void printPopulation(const ppn::SelfStabWeakNaming& protocol,
+                     const ppn::Configuration& c, const char* tag) {
+  std::printf("%-12s %s\n", tag,
+              c.toString(protocol.describeLeaderState(*c.leader)).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ppn::Cli cli("sensor_network",
+               "self-stabilizing naming with a base station (Protocol 2)");
+  const auto* n = cli.addUint("n", "number of sensors N", 8);
+  const auto* p = cli.addUint("p", "known upper bound P on N", 8);
+  const auto* faults = cli.addUint("faults", "number of fault bursts", 5);
+  const auto* burst = cli.addUint("burst", "sensors corrupted per burst", 3);
+  const auto* seed = cli.addUint("seed", "rng seed", 7);
+  if (!cli.parse(argc, argv)) return 1;
+  if (*n == 0 || *n > *p || *p > 12) {
+    std::fprintf(stderr, "need 1 <= N <= P <= 12 (leader-state enumeration)\n");
+    return 1;
+  }
+
+  const ppn::SelfStabWeakNaming protocol(static_cast<ppn::StateId>(*p));
+  ppn::Rng rng(*seed);
+
+  // Sensors AND base station boot with arbitrary memory contents.
+  ppn::Engine engine(
+      protocol, ppn::arbitraryConfiguration(
+                    protocol, static_cast<std::uint32_t>(*n), rng));
+  ppn::RandomScheduler scheduler(engine.numParticipants(), rng.next());
+  printPopulation(protocol, engine.config(), "boot:");
+
+  const ppn::RunLimits limits{20'000'000, 64};
+  const ppn::RunOutcome first = ppn::runUntilSilent(engine, scheduler, limits);
+  if (!first.namingSolved) {
+    std::fprintf(stderr, "initial convergence failed (budget too small?)\n");
+    return 2;
+  }
+  printPopulation(protocol, engine.config(), "named:");
+  std::printf("             converged after %llu interactions\n\n",
+              static_cast<unsigned long long>(first.convergenceInteractions));
+
+  const ppn::FaultPlan plan{
+      .corruptAgents = static_cast<std::uint32_t>(*burst),
+      .corruptLeader = true,
+  };
+  for (std::uint64_t f = 0; f < *faults; ++f) {
+    ppn::injectFault(engine, plan, rng);
+    printPopulation(protocol, engine.config(), "corrupted:");
+    const std::uint64_t before = engine.totalInteractions();
+    const ppn::RunOutcome rec = ppn::runUntilSilent(engine, scheduler, limits);
+    if (!rec.namingSolved) {
+      std::fprintf(stderr, "recovery %llu failed\n",
+                   static_cast<unsigned long long>(f));
+      return 2;
+    }
+    printPopulation(protocol, engine.config(), "recovered:");
+    std::printf("             self-stabilized in %llu interactions\n\n",
+                static_cast<unsigned long long>(engine.lastChangeAt() > before
+                                                    ? engine.lastChangeAt() - before
+                                                    : 0));
+  }
+  std::printf("all %llu fault bursts repaired; names stable.\n",
+              static_cast<unsigned long long>(*faults));
+  return 0;
+}

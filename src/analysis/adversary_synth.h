@@ -1,0 +1,56 @@
+// Adversary synthesis: turn a weak-fairness violation verdict into a
+// concrete, replayable schedule — the constructive content of the paper's
+// impossibility proofs (Prop 1, Theorem 11), extracted automatically.
+//
+// Given a protocol that fails the weak-fairness check, the synthesizer
+// produces (start, prefix, cycle):
+//   * `start`  — an initial configuration from the quantified set,
+//   * `prefix` — interactions driving the system into a violating fair SCC,
+//   * `cycle`  — a finite interaction loop that (a) returns to its starting
+//     configuration, (b) schedules EVERY required pair at least once, and
+//     (c) witnesses the violation (an unnamed configuration, or a mobile
+//     state change, somewhere along the loop).
+// Repeating `cycle` forever yields an infinite weakly fair execution on
+// which the problem is never solved. replayAdversary() re-executes it on a
+// fresh engine and double-checks all three properties.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/explore.h"
+#include "analysis/problem.h"
+
+namespace ppn {
+
+struct AdversarySchedule {
+  Configuration start;
+  std::vector<Interaction> prefix;
+  std::vector<Interaction> cycle;
+  /// Participant count (for reporting).
+  std::uint32_t numParticipants = 0;
+};
+
+/// Synthesizes a weakly fair violating schedule, or nullopt when the
+/// protocol actually solves the problem (or exploration was truncated).
+std::optional<AdversarySchedule> synthesizeWeakAdversary(
+    const Protocol& proto, const Problem& problem,
+    const std::vector<Configuration>& initials, std::size_t maxNodes = 4'000'000,
+    const InteractionGraph* topology = nullptr);
+
+struct ReplayReport {
+  bool cycleClosed = false;      ///< cycle returns to its entry configuration
+  bool allPairsScheduled = false;///< every required pair occurs in the cycle
+  bool violationWitnessed = false;///< problem violated along the cycle
+  bool valid() const {
+    return cycleClosed && allPairsScheduled && violationWitnessed;
+  }
+};
+
+/// Replays the schedule on a fresh engine and verifies the three defining
+/// properties above. `topology` must match the one used at synthesis.
+ReplayReport replayAdversary(const Protocol& proto, const Problem& problem,
+                             const AdversarySchedule& schedule,
+                             const InteractionGraph* topology = nullptr);
+
+}  // namespace ppn

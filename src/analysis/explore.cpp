@@ -1,0 +1,191 @@
+#include "analysis/explore.h"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/engine.h"
+
+namespace ppn {
+
+namespace {
+
+/// Whether any agent's projected name differs between the two mobile
+/// vectors (same length by construction).
+bool namesDiffer(const Protocol& proto, const std::vector<StateId>& before,
+                 const std::vector<StateId>& after) {
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (proto.nameOf(before[i]) != proto.nameOf(after[i])) return true;
+  }
+  return false;
+}
+
+class Interner {
+ public:
+  explicit Interner(ConfigGraph& g) : graph_(g) {}
+
+  /// Returns (id, isNew).
+  std::pair<std::uint32_t, bool> intern(const Configuration& c) {
+    const auto [it, inserted] =
+        ids_.emplace(c, static_cast<std::uint32_t>(graph_.configs.size()));
+    if (inserted) {
+      graph_.configs.push_back(c);
+      graph_.adj.emplace_back();
+    }
+    return {it->second, inserted};
+  }
+
+ private:
+  ConfigGraph& graph_;
+  std::unordered_map<Configuration, std::uint32_t, ConfigurationHash> ids_;
+};
+
+}  // namespace
+
+ConfigGraph exploreConcrete(const Protocol& proto,
+                            const std::vector<Configuration>& initials,
+                            std::size_t maxNodes,
+                            const InteractionGraph* topology) {
+  if (initials.empty()) {
+    throw std::invalid_argument("exploreConcrete: no initial configurations");
+  }
+  ConfigGraph g;
+  const std::uint32_t n = initials.front().numMobile();
+  const std::uint32_t m = n + (proto.hasLeader() ? 1u : 0u);
+  g.numParticipants = m;
+  if (topology != nullptr && topology->numParticipants() != m) {
+    throw std::invalid_argument(
+        "exploreConcrete: topology participant count mismatch");
+  }
+
+  Interner interner(g);
+  std::deque<std::uint32_t> frontier;
+  for (const auto& c : initials) {
+    if (c.numMobile() != n) {
+      throw std::invalid_argument("exploreConcrete: mixed population sizes");
+    }
+    const auto [id, isNew] = interner.intern(c);
+    if (isNew) frontier.push_back(id);
+  }
+
+  while (!frontier.empty()) {
+    if (g.size() > maxNodes) {
+      g.truncated = true;
+      break;
+    }
+    const std::uint32_t id = frontier.front();
+    frontier.pop_front();
+    // Copy: interning may reallocate configs while we expand.
+    const Configuration current = g.configs[id];
+
+    auto addEdge = [&](const Configuration& next, PairLabel label,
+                       std::uint32_t initiator, std::uint32_t responder,
+                       bool changedMobile) {
+      const bool changed = !(next == current);
+      const bool changedName =
+          changedMobile && namesDiffer(proto, current.mobile, next.mobile);
+      const auto [to, isNew] = interner.intern(next);
+      if (isNew) frontier.push_back(to);
+      g.adj[id].push_back(Edge{to, label, static_cast<std::uint16_t>(initiator),
+                               static_cast<std::uint16_t>(responder), changed,
+                               changedMobile, changedName});
+    };
+
+    for (std::uint32_t i = 0; i < m; ++i) {
+      for (std::uint32_t j = i + 1; j < m; ++j) {
+        if (topology != nullptr && !topology->hasEdge(i, j)) continue;
+        const PairLabel label = pairLabel(i, j, m);
+        // Orientation 1: i initiates.
+        Configuration next = current;
+        applyInteraction(proto, next, Interaction{i, j});
+        const bool mobileChanged1 = next.mobile != current.mobile;
+        addEdge(next, label, i, j, mobileChanged1);
+        // Orientation 2: j initiates (distinct only for asymmetric
+        // mobile-mobile rules; leader interactions are orientation-free).
+        const bool involvesLeader = proto.hasLeader() && j == m - 1;
+        if (!involvesLeader) {
+          Configuration next2 = current;
+          applyInteraction(proto, next2, Interaction{j, i});
+          if (!(next2 == next)) {
+            addEdge(next2, label, j, i, next2.mobile != current.mobile);
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+ConfigGraph exploreCanonical(const Protocol& proto,
+                             const std::vector<Configuration>& initials,
+                             std::size_t maxNodes) {
+  if (initials.empty()) {
+    throw std::invalid_argument("exploreCanonical: no initial configurations");
+  }
+  ConfigGraph g;
+  const std::uint32_t n = initials.front().numMobile();
+  g.numParticipants = n + (proto.hasLeader() ? 1u : 0u);
+
+  Interner interner(g);
+  std::deque<std::uint32_t> frontier;
+  for (const auto& c : initials) {
+    if (c.numMobile() != n) {
+      throw std::invalid_argument("exploreCanonical: mixed population sizes");
+    }
+    const auto [id, isNew] = interner.intern(c.canonicalized());
+    if (isNew) frontier.push_back(id);
+  }
+
+  while (!frontier.empty()) {
+    if (g.size() > maxNodes) {
+      g.truncated = true;
+      break;
+    }
+    const std::uint32_t id = frontier.front();
+    frontier.pop_front();
+    const Configuration current = g.configs[id];
+
+    auto addEdge = [&](Configuration next, bool changedMobile) {
+      const bool changedName =
+          changedMobile && namesDiffer(proto, current.mobile, next.mobile);
+      next = next.canonicalized();
+      const bool changed = changedMobile || !(next == current) ||
+                           next.leader != current.leader;
+      if (!changed) return;  // canonical graphs omit null edges
+      const auto [to, isNew] = interner.intern(next);
+      if (isNew) frontier.push_back(to);
+      g.adj[id].push_back(Edge{to, 0xffff, 0, 0, true, changedMobile,
+                               changedName});
+    };
+
+    // Mobile-mobile interactions: pick representative agent indices for each
+    // present state pair. The canonical form is sorted, so equal states are
+    // adjacent; scanning index pairs over *distinct positions* covers every
+    // state pair including homonym pairs, with duplicates deduplicated by
+    // interning. N is tiny in checker workloads, so the O(N^2) scan is fine.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = i + 1; j < n; ++j) {
+        // Skip repeats of the same (state_i, state_j) combination.
+        if (i > 0 && current.mobile[i - 1] == current.mobile[i]) continue;
+        if (j > i + 1 && current.mobile[j - 1] == current.mobile[j]) continue;
+        Configuration next = current;
+        applyInteraction(proto, next, Interaction{i, j});
+        addEdge(next, next.mobile != current.mobile);
+        Configuration next2 = current;
+        applyInteraction(proto, next2, Interaction{j, i});
+        addEdge(next2, next2.mobile != current.mobile);
+      }
+    }
+    if (proto.hasLeader()) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (i > 0 && current.mobile[i - 1] == current.mobile[i]) continue;
+        Configuration next = current;
+        applyInteraction(proto, next, Interaction{n, i});
+        addEdge(next, next.mobile != current.mobile);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ppn

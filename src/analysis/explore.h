@@ -1,0 +1,90 @@
+// Exhaustive exploration of the configuration graph of a protocol instance.
+//
+// Two granularities:
+//  * exploreConcrete — nodes are concrete configurations (one state per
+//    agent). Needed whenever agent identity matters: weak fairness is a
+//    property of *agent pairs* (paper, Section 2), so its checker must see
+//    which pair each edge corresponds to.
+//  * exploreCanonical — nodes are canonical (sorted-multiset) configurations,
+//    the paper's "equivalent configurations" (Section 3.1). Transitions
+//    commute with agent permutations and all analysed predicates are
+//    permutation-invariant, so this quotient is sound for global fairness and
+//    exponentially smaller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/interaction_graph.h"
+#include "core/protocol.h"
+
+namespace ppn {
+
+/// Identifier of the unordered participant pair {i, j}, i < j, in the
+/// triangular enumeration used by pairLabel(). The leader (participant N)
+/// takes part like any other participant.
+using PairLabel = std::uint16_t;
+
+/// Number of unordered pairs among `numParticipants`.
+constexpr std::uint32_t numPairs(std::uint32_t numParticipants) {
+  return numParticipants * (numParticipants - 1) / 2;
+}
+
+/// Triangular index of {i, j} with i < j among numParticipants participants.
+constexpr PairLabel pairLabel(std::uint32_t i, std::uint32_t j,
+                              std::uint32_t numParticipants) {
+  return static_cast<PairLabel>(i * numParticipants - i * (i + 1) / 2 +
+                                (j - i - 1));
+}
+
+struct Edge {
+  std::uint32_t to = 0;
+  /// Pair label for concrete graphs; 0xffff (unlabeled) in canonical graphs.
+  PairLabel label = 0xffff;
+  /// The oriented interaction that produced this edge (valid in concrete
+  /// graphs) — lets the adversary synthesizer emit replayable schedules.
+  std::uint16_t initiator = 0;
+  std::uint16_t responder = 0;
+  /// Whether the transition changed anything at all (non-null).
+  bool changed = false;
+  /// Whether any *mobile* agent's state changed (leader-only housekeeping
+  /// does not count).
+  bool changedMobile = false;
+  /// Whether any agent's projected NAME (Protocol::nameOf) changed — what
+  /// naming quiescence is judged on. Equals changedMobile for identity
+  /// projections.
+  bool changedName = false;
+
+  Interaction interaction() const { return Interaction{initiator, responder}; }
+};
+
+struct ConfigGraph {
+  std::vector<Configuration> configs;
+  std::vector<std::vector<Edge>> adj;
+  std::uint32_t numParticipants = 0;
+  /// True when exploration hit maxNodes before closing the frontier; any
+  /// verdict computed from a truncated graph is unreliable and the checkers
+  /// refuse to produce one.
+  bool truncated = false;
+
+  std::size_t size() const { return configs.size(); }
+};
+
+/// Explores all configurations reachable from `initials`. Every applicable
+/// interaction contributes an edge, *including null transitions* (self-loop
+/// edges with changed = false) — weak-fairness coverage analysis needs them.
+/// When `topology` is non-null, only its edges may interact (restricted
+/// interaction graph); it must span the same participant count.
+ConfigGraph exploreConcrete(const Protocol& proto,
+                            const std::vector<Configuration>& initials,
+                            std::size_t maxNodes = 4'000'000,
+                            const InteractionGraph* topology = nullptr);
+
+/// Explores the canonical quotient graph. Edges are unlabeled and null
+/// transitions are omitted (global-fairness analysis does not need them).
+ConfigGraph exploreCanonical(const Protocol& proto,
+                             const std::vector<Configuration>& initials,
+                             std::size_t maxNodes = 4'000'000);
+
+}  // namespace ppn

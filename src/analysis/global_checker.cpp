@@ -1,0 +1,96 @@
+#include "analysis/global_checker.h"
+
+#include "analysis/scc.h"
+#include "core/engine.h"
+
+namespace ppn {
+
+GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
+                                  const std::vector<Configuration>& initials,
+                                  std::size_t maxNodes) {
+  GlobalVerdict verdict;
+  const ConfigGraph graph = exploreCanonical(proto, initials, maxNodes);
+  verdict.numConfigs = graph.size();
+  if (graph.truncated) {
+    verdict.reason = "state space exceeded " + std::to_string(maxNodes) +
+                     " configurations; no verdict";
+    return verdict;
+  }
+  verdict.explored = true;
+
+  const SccDecomposition scc = decomposeScc(graph);
+  verdict.solves = true;
+  for (std::uint32_t s = 0; s < scc.numSccs; ++s) {
+    if (!scc.bottom[s]) continue;
+    ++verdict.numBottomSccs;
+    for (const std::uint32_t node : scc.members[s]) {
+      const Configuration& c = graph.configs[node];
+      if (!problem.holds(c)) {
+        verdict.solves = false;
+        verdict.witness = c;
+        verdict.reason = "bottom SCC contains a configuration violating '" +
+                         problem.name + "'";
+        return verdict;
+      }
+      if (problem.requireMobileQuiescence && !isNameQuiescent(proto, c)) {
+        verdict.solves = false;
+        verdict.witness = c;
+        verdict.reason =
+            "bottom SCC keeps changing mobile states (names never freeze)";
+        return verdict;
+      }
+    }
+  }
+  verdict.reason = "all " + std::to_string(verdict.numBottomSccs) +
+                   " bottom SCC(s) satisfy '" + problem.name + "'";
+  return verdict;
+}
+
+GlobalVerdict checkGlobalFairnessConcrete(
+    const Protocol& proto, const Problem& problem,
+    const std::vector<Configuration>& initials, std::size_t maxNodes,
+    const InteractionGraph* topology) {
+  GlobalVerdict verdict;
+  const ConfigGraph graph =
+      exploreConcrete(proto, initials, maxNodes, topology);
+  verdict.numConfigs = graph.size();
+  if (graph.truncated) {
+    verdict.reason = "state space exceeded " + std::to_string(maxNodes) +
+                     " configurations; no verdict";
+    return verdict;
+  }
+  verdict.explored = true;
+
+  const SccDecomposition scc = decomposeScc(graph);
+  verdict.solves = true;
+  for (std::uint32_t s = 0; s < scc.numSccs; ++s) {
+    if (!scc.bottom[s]) continue;
+    ++verdict.numBottomSccs;
+    for (const std::uint32_t node : scc.members[s]) {
+      const Configuration& c = graph.configs[node];
+      if (!problem.holds(c)) {
+        verdict.solves = false;
+        verdict.witness = c;
+        verdict.reason = "bottom SCC contains a configuration violating '" +
+                         problem.name + "'";
+        return verdict;
+      }
+      if (problem.requireMobileQuiescence) {
+        for (const Edge& e : graph.adj[node]) {
+          if (e.changedName) {
+            verdict.solves = false;
+            verdict.witness = c;
+            verdict.reason =
+                "bottom SCC keeps changing mobile states (names never freeze)";
+            return verdict;
+          }
+        }
+      }
+    }
+  }
+  verdict.reason = "all " + std::to_string(verdict.numBottomSccs) +
+                   " bottom SCC(s) satisfy '" + problem.name + "'";
+  return verdict;
+}
+
+}  // namespace ppn

@@ -1,0 +1,54 @@
+// Exact verification of convergence under GLOBAL fairness.
+//
+// Soundness argument (matching the paper's use of global fairness,
+// Section 2): in a finite system, the set of configurations a globally fair
+// execution visits infinitely often is closed under -> and mutually
+// reachable, i.e. exactly a *bottom SCC* of the reachable configuration
+// graph; conversely every reachable bottom SCC is the infinite-visit set of
+// some globally fair execution. Hence:
+//
+//   the protocol solves the problem from the given initial set under global
+//   fairness  <=>  every reachable bottom SCC consists of configurations
+//   where the problem predicate holds and (for problems requiring it) no
+//   applicable transition changes a mobile state.
+//
+// The check runs on the canonical (multiset) quotient, sound because
+// transitions commute with agent permutations and problem predicates are
+// permutation-invariant.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/explore.h"
+#include "analysis/problem.h"
+
+namespace ppn {
+
+struct GlobalVerdict {
+  /// False when exploration was truncated; `solves` is then meaningless.
+  bool explored = false;
+  bool solves = false;
+  std::size_t numConfigs = 0;
+  std::size_t numBottomSccs = 0;
+  /// A configuration inside a bad bottom SCC, when !solves.
+  std::optional<Configuration> witness;
+  std::string reason;
+};
+
+GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
+                                  const std::vector<Configuration>& initials,
+                                  std::size_t maxNodes = 4'000'000);
+
+/// Global-fairness check over the CONCRETE configuration graph, optionally
+/// restricted to an interaction topology. Needed because the canonical
+/// quotient is only sound for the complete-interaction model: on a star or
+/// ring, agents are distinguishable by their position in the graph. Silence
+/// and quiescence are judged from the explored edges (only interactions the
+/// topology allows count).
+GlobalVerdict checkGlobalFairnessConcrete(
+    const Protocol& proto, const Problem& problem,
+    const std::vector<Configuration>& initials, std::size_t maxNodes = 4'000'000,
+    const InteractionGraph* topology = nullptr);
+
+}  // namespace ppn

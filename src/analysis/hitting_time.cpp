@@ -1,0 +1,228 @@
+#include "analysis/hitting_time.h"
+
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace ppn {
+
+namespace {
+
+struct Transition {
+  std::uint32_t to;
+  double probability;
+};
+
+}  // namespace
+
+HittingTime expectedConvergenceTime(const Protocol& proto,
+                                    const Configuration& start,
+                                    std::size_t maxStates) {
+  HittingTime result;
+  const std::uint32_t n = start.numMobile();
+  const std::uint32_t m = n + (proto.hasLeader() ? 1u : 0u);
+  if (m < 2) {
+    // No interactions possible: silent by definition of the model.
+    result.computed = true;
+    result.numStates = 1;
+    result.reason = "population too small to interact";
+    return result;
+  }
+  const double totalPairs = static_cast<double>(m) * (m - 1);
+
+  std::vector<Configuration> configs;
+  std::vector<std::vector<Transition>> chain;  // excluding self-loop mass
+  std::vector<double> stayProbability;
+  std::vector<bool> silent;
+  std::unordered_map<Configuration, std::uint32_t, ConfigurationHash> ids;
+
+  auto intern = [&](const Configuration& c) -> std::uint32_t {
+    const auto [it, isNew] =
+        ids.emplace(c, static_cast<std::uint32_t>(configs.size()));
+    if (isNew) {
+      configs.push_back(c);
+      chain.emplace_back();
+      stayProbability.push_back(0.0);
+      silent.push_back(isSilent(proto, c));
+    }
+    return it->second;
+  };
+
+  std::deque<std::uint32_t> frontier{intern(start.canonicalized())};
+  while (!frontier.empty()) {
+    const std::uint32_t id = frontier.front();
+    frontier.pop_front();
+    if (configs.size() > maxStates) {
+      result.reason = "state space exceeded " + std::to_string(maxStates);
+      return result;
+    }
+    if (silent[id]) continue;  // absorbing: no outgoing probability needed
+    const Configuration current = configs[id];
+    const auto hist = current.histogram(proto.numMobileStates());
+
+    // Accumulate outcome probabilities over all ordered agent pairs.
+    std::unordered_map<Configuration, double, ConfigurationHash> outcomes;
+    auto addOutcome = [&](Configuration next, double weight) {
+      outcomes[next.canonicalized()] += weight / totalPairs;
+    };
+
+    for (StateId s = 0; s < hist.size(); ++s) {
+      if (hist[s] == 0) continue;
+      // Homonym ordered pairs: c(s) * (c(s)-1).
+      if (hist[s] >= 2) {
+        const MobilePair r = proto.mobileDelta(s, s);
+        Configuration next = current;
+        // Apply to two representative s-agents.
+        std::uint32_t found = 0;
+        for (auto& state : next.mobile) {
+          if (state == s && found < 2) {
+            state = (found == 0) ? r.initiator : r.responder;
+            ++found;
+          }
+        }
+        addOutcome(std::move(next),
+                   static_cast<double>(hist[s]) * (hist[s] - 1));
+      }
+      for (StateId t = 0; t < hist.size(); ++t) {
+        if (t == s || hist[t] == 0) continue;
+        // Ordered pair (s initiates, t responds): c(s) * c(t).
+        const MobilePair r = proto.mobileDelta(s, t);
+        Configuration next = current;
+        bool doneS = false, doneT = false;
+        for (auto& state : next.mobile) {
+          if (!doneS && state == s) {
+            state = r.initiator;
+            doneS = true;
+          } else if (!doneT && state == t) {
+            state = r.responder;
+            doneT = true;
+          }
+        }
+        addOutcome(std::move(next),
+                   static_cast<double>(hist[s]) * hist[t]);
+      }
+      if (proto.hasLeader()) {
+        // Leader-agent ordered pairs (both orientations): 2 * c(s).
+        const LeaderResult r = proto.leaderDelta(*current.leader, s);
+        Configuration next = current;
+        for (auto& state : next.mobile) {
+          if (state == s) {
+            state = r.mobile;
+            break;
+          }
+        }
+        next.leader = r.leader;
+        addOutcome(std::move(next), 2.0 * hist[s]);
+      }
+    }
+
+    const Configuration canonicalCurrent = current;  // already canonical
+    for (auto& [next, p] : outcomes) {
+      if (next == canonicalCurrent) {
+        stayProbability[id] += p;
+        continue;
+      }
+      const std::size_t before = configs.size();
+      const std::uint32_t to = intern(next);
+      if (configs.size() > before) frontier.push_back(to);
+      chain[id].push_back(Transition{to, p});
+    }
+  }
+
+  result.numStates = configs.size();
+
+  // Reverse reachability of the silent set.
+  std::vector<std::vector<std::uint32_t>> reverse(configs.size());
+  for (std::uint32_t v = 0; v < configs.size(); ++v) {
+    for (const Transition& t : chain[v]) reverse[t.to].push_back(v);
+  }
+  std::vector<bool> canReachSilence(configs.size(), false);
+  std::deque<std::uint32_t> queue;
+  for (std::uint32_t v = 0; v < configs.size(); ++v) {
+    if (silent[v]) {
+      canReachSilence[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.front();
+    queue.pop_front();
+    for (const std::uint32_t u : reverse[v]) {
+      if (!canReachSilence[u]) {
+        canReachSilence[u] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  for (std::uint32_t v = 0; v < configs.size(); ++v) {
+    if (!canReachSilence[v]) {
+      result.diverges = true;
+      result.reason =
+          "a reachable configuration cannot reach silence; expected time "
+          "is infinite";
+      result.computed = true;
+      return result;
+    }
+  }
+
+  // Transient states and their dense system (I - Q)x = 1.
+  std::vector<std::uint32_t> transient;
+  std::vector<std::uint32_t> indexOf(configs.size(),
+                                     static_cast<std::uint32_t>(-1));
+  for (std::uint32_t v = 0; v < configs.size(); ++v) {
+    if (!silent[v]) {
+      indexOf[v] = static_cast<std::uint32_t>(transient.size());
+      transient.push_back(v);
+    }
+  }
+  const std::size_t k = transient.size();
+  if (k == 0) {
+    result.computed = true;
+    result.reason = "start is already silent";
+    return result;
+  }
+
+  std::vector<std::vector<double>> a(k, std::vector<double>(k + 1, 0.0));
+  for (std::size_t row = 0; row < k; ++row) {
+    const std::uint32_t v = transient[row];
+    a[row][row] = 1.0 - stayProbability[v];
+    for (const Transition& t : chain[v]) {
+      if (!silent[t.to]) {
+        a[row][indexOf[t.to]] -= t.probability;
+      }
+    }
+    a[row][k] = 1.0;
+  }
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < k; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-14) {
+      result.reason = "singular system (numerical)";
+      return result;
+    }
+    std::swap(a[col], a[pivot]);
+    const double inv = 1.0 / a[col][col];
+    for (std::size_t c = col; c <= k; ++c) a[col][c] *= inv;
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r == col || a[r][col] == 0.0) continue;
+      const double factor = a[r][col];
+      for (std::size_t c = col; c <= k; ++c) a[r][c] -= factor * a[col][c];
+    }
+  }
+
+  const std::uint32_t startId = ids.at(start.canonicalized());
+  result.computed = true;
+  result.expectedInteractions =
+      silent[startId] ? 0.0 : a[indexOf[startId]][k];
+  result.reason = "solved " + std::to_string(k) + "-state linear system";
+  return result;
+}
+
+}  // namespace ppn

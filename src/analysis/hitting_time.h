@@ -1,0 +1,45 @@
+// Exact expected convergence time under the uniform random scheduler.
+//
+// The uniform random scheduler induces a discrete-time Markov chain on the
+// canonical configuration space: from a configuration with state counts
+// c(s), an ordered agent pair realizes the rule (s, t) with probability
+// proportional to c(s)c(t) (c(s)(c(s)-1) for homonym pairs, 2c(s) for
+// leader pairs). The expected number of interactions to reach a *silent*
+// configuration solves the linear system (I - Q)x = 1 over the transient
+// states — computed here by dense Gaussian elimination, giving exact
+// (up to floating point) values that validate the simulator's measured
+// means and quantify convergence cost without sampling noise.
+//
+// If some reachable configuration cannot reach the silent set, the expected
+// time from any state that can reach it is infinite with positive
+// probability — reported as diverges = true.
+#pragma once
+
+#include <string>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace ppn {
+
+struct HittingTime {
+  /// False when the state space exceeded maxStates (no result).
+  bool computed = false;
+  /// True when a reachable configuration cannot reach silence (the expected
+  /// time is infinite / convergence has probability < 1... under the
+  /// uniform scheduler a.s. convergence fails).
+  bool diverges = false;
+  /// Expected interactions from `start` to the first silent configuration.
+  double expectedInteractions = 0.0;
+  std::size_t numStates = 0;
+  std::string reason;
+};
+
+/// Exact expected convergence (to silence) from `start` under the uniform
+/// random scheduler. Dense solve (O(states^3)): keep the reachable canonical
+/// space small; the default cap ~2048 states solves in about a second.
+HittingTime expectedConvergenceTime(const Protocol& proto,
+                                    const Configuration& start,
+                                    std::size_t maxStates = 2048);
+
+}  // namespace ppn

@@ -1,0 +1,99 @@
+#include "analysis/initial_sets.h"
+
+#include <stdexcept>
+
+#include "core/engine.h"
+
+namespace ppn {
+
+namespace {
+
+std::vector<LeaderStateId> leaderInitials(const Protocol& proto) {
+  if (!proto.hasLeader()) return {};
+  if (const auto init = proto.initialLeaderState(); init.has_value()) {
+    return {*init};
+  }
+  const auto all = proto.allLeaderStates();
+  if (all.empty()) {
+    throw std::logic_error(
+        "protocol '" + proto.name() +
+        "' has a non-initialized leader whose states cannot be enumerated");
+  }
+  return all;
+}
+
+/// Crosses mobile vectors with the applicable leader states.
+std::vector<Configuration> crossWithLeader(
+    const Protocol& proto, std::vector<std::vector<StateId>> mobiles) {
+  std::vector<Configuration> out;
+  if (!proto.hasLeader()) {
+    out.reserve(mobiles.size());
+    for (auto& m : mobiles) out.push_back(Configuration{std::move(m), {}});
+    return out;
+  }
+  const auto leaders = leaderInitials(proto);
+  out.reserve(mobiles.size() * leaders.size());
+  for (const auto& m : mobiles) {
+    for (const LeaderStateId l : leaders) {
+      out.push_back(Configuration{m, l});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Configuration> declaredUniformInitials(const Protocol& proto,
+                                                   std::uint32_t numMobile) {
+  return {uniformConfiguration(proto, numMobile)};
+}
+
+std::vector<Configuration> allUniformInitials(const Protocol& proto,
+                                              std::uint32_t numMobile) {
+  std::vector<std::vector<StateId>> mobiles;
+  for (StateId s = 0; s < proto.numMobileStates(); ++s) {
+    mobiles.emplace_back(numMobile, s);
+  }
+  return crossWithLeader(proto, std::move(mobiles));
+}
+
+std::vector<Configuration> allConcreteConfigurations(const Protocol& proto,
+                                                     std::uint32_t numMobile) {
+  const StateId q = proto.numMobileStates();
+  std::vector<std::vector<StateId>> mobiles;
+  std::vector<StateId> current(numMobile, 0);
+  for (;;) {
+    mobiles.push_back(current);
+    // Odometer increment.
+    std::uint32_t pos = 0;
+    while (pos < numMobile) {
+      if (++current[pos] < q) break;
+      current[pos] = 0;
+      ++pos;
+    }
+    if (pos == numMobile) break;
+  }
+  return crossWithLeader(proto, std::move(mobiles));
+}
+
+std::vector<Configuration> allCanonicalConfigurations(const Protocol& proto,
+                                                      std::uint32_t numMobile) {
+  const StateId q = proto.numMobileStates();
+  std::vector<std::vector<StateId>> mobiles;
+  // Enumerate non-decreasing vectors of length numMobile over 0..q-1.
+  std::vector<StateId> current(numMobile, 0);
+  for (;;) {
+    mobiles.push_back(current);
+    // Find rightmost position that can be incremented.
+    std::int64_t pos = static_cast<std::int64_t>(numMobile) - 1;
+    while (pos >= 0 && current[static_cast<std::size_t>(pos)] == q - 1) --pos;
+    if (pos < 0) break;
+    const StateId v = ++current[static_cast<std::size_t>(pos)];
+    for (auto i = static_cast<std::size_t>(pos) + 1; i < numMobile; ++i) {
+      current[i] = v;  // keep non-decreasing
+    }
+  }
+  return crossWithLeader(proto, std::move(mobiles));
+}
+
+}  // namespace ppn

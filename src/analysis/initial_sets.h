@@ -1,0 +1,36 @@
+// Builders for the initial-configuration sets over which the checkers
+// quantify, matching the paper's initialization assumptions.
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace ppn {
+
+/// The protocol's declared uniform initialization (Prop 14 style): exactly
+/// one configuration. Throws if the protocol declares none.
+std::vector<Configuration> declaredUniformInitials(const Protocol& proto,
+                                                   std::uint32_t numMobile);
+
+/// Every uniform mobile initialization: one configuration per mobile state s
+/// (all agents in s), crossed with the leader's initial state(s). Used when
+/// asking "could ANY uniform initialization make this protocol work?"
+/// (impossibility searches, Props 1-2).
+std::vector<Configuration> allUniformInitials(const Protocol& proto,
+                                              std::uint32_t numMobile);
+
+/// Arbitrary initialization (self-stabilization): every concrete
+/// configuration — |Q|^N crossed with the leader states. Leader states are
+/// initialLeaderState() when the leader is initialized, otherwise
+/// allLeaderStates() (throws if not enumerable).
+std::vector<Configuration> allConcreteConfigurations(const Protocol& proto,
+                                                     std::uint32_t numMobile);
+
+/// Arbitrary initialization, canonical quotient: every multiset of N states
+/// crossed with the leader states. C(|Q|+N-1, N) per leader state.
+std::vector<Configuration> allCanonicalConfigurations(const Protocol& proto,
+                                                      std::uint32_t numMobile);
+
+}  // namespace ppn

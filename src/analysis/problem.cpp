@@ -1,0 +1,36 @@
+#include "analysis/problem.h"
+
+#include "core/engine.h"
+
+namespace ppn {
+
+Problem namingProblem(const Protocol& proto) {
+  Problem p;
+  p.name = "naming";
+  p.holds = [&proto](const Configuration& c) { return isNamed(proto, c); };
+  p.requireMobileQuiescence = true;
+  return p;
+}
+
+Problem countingProblem(const Protocol& proto, std::uint32_t populationSize) {
+  Problem p;
+  p.name = "counting(N=" + std::to_string(populationSize) + ")";
+  p.holds = [&proto, populationSize](const Configuration& c) {
+    if (!c.leader.has_value()) return false;
+    const auto answer = proto.countingAnswer(*c.leader);
+    return answer.has_value() && *answer == populationSize;
+  };
+  p.requireMobileQuiescence = false;
+  return p;
+}
+
+Problem predicateProblem(std::string name,
+                         std::function<bool(const Configuration&)> holds) {
+  Problem p;
+  p.name = std::move(name);
+  p.holds = std::move(holds);
+  p.requireMobileQuiescence = false;
+  return p;
+}
+
+}  // namespace ppn

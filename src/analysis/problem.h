@@ -1,0 +1,46 @@
+// Problem specifications the fairness checkers verify against.
+//
+// A (static) problem in the paper is a predicate D on configurations that
+// every execution must reach and then satisfy forever (Section 2). For
+// naming, the predicate alone is not enough: the *per-agent* names must also
+// eventually never change, which `requireMobileQuiescence` captures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace ppn {
+
+struct Problem {
+  std::string name;
+
+  /// Must hold in every configuration from some point on. MUST be
+  /// permutation-invariant over mobile agents (the global checker runs on
+  /// the canonical quotient graph).
+  std::function<bool(const Configuration&)> holds;
+
+  /// When true, mobile states must additionally be frozen from some point on
+  /// (naming: "a name that eventually does not change"). Leader-only changes
+  /// are always tolerated.
+  bool requireMobileQuiescence = false;
+};
+
+/// The naming problem for `proto`: distinct, valid, eventually-frozen names.
+/// The protocol reference must outlive the Problem.
+Problem namingProblem(const Protocol& proto);
+
+/// The counting problem (paper Theorem 15): the leader's answer must
+/// stabilize to the true population size. Mobile states may keep whatever
+/// behaviour they like.
+Problem countingProblem(const Protocol& proto, std::uint32_t populationSize);
+
+/// Stabilization to an arbitrary configuration predicate (e.g. the Section 2
+/// color example's "all agents black").
+Problem predicateProblem(std::string name,
+                         std::function<bool(const Configuration&)> holds);
+
+}  // namespace ppn

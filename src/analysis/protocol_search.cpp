@@ -1,0 +1,147 @@
+#include "analysis/protocol_search.h"
+
+#include <stdexcept>
+
+#include "analysis/global_checker.h"
+#include "analysis/initial_sets.h"
+#include "analysis/weak_checker.h"
+
+namespace ppn {
+
+TabularProtocol::TabularProtocol(StateId q, std::vector<MobilePair> table,
+                                 bool symmetric)
+    : q_(q), table_(std::move(table)), symmetric_(symmetric) {
+  if (table_.size() != static_cast<std::size_t>(q) * q) {
+    throw std::invalid_argument("TabularProtocol: table size mismatch");
+  }
+}
+
+std::string TabularProtocol::name() const {
+  return std::string(symmetric_ ? "tabular-symmetric(" : "tabular(") +
+         std::to_string(q_) + " states)";
+}
+
+namespace {
+
+std::uint64_t ipow(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 0; i < exp; ++i) {
+    if (r > UINT64_MAX / base) {
+      throw std::overflow_error("protocol space too large to enumerate");
+    }
+    r *= base;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t symmetricProtocolCount(StateId q) {
+  // Q choices for each diagonal rule (s,s)->(d,d); Q^2 choices for each
+  // unordered off-diagonal pair's rule (the mirrored rule is implied).
+  const std::uint64_t offDiagPairs = static_cast<std::uint64_t>(q) * (q - 1) / 2;
+  return ipow(q, q) * ipow(static_cast<std::uint64_t>(q) * q, offDiagPairs);
+}
+
+TabularProtocol decodeSymmetricProtocol(StateId q, std::uint64_t index) {
+  std::vector<MobilePair> table(static_cast<std::size_t>(q) * q);
+  // Diagonal: digit base q per state.
+  for (StateId s = 0; s < q; ++s) {
+    const auto d = static_cast<StateId>(index % q);
+    index /= q;
+    table[s * q + s] = MobilePair{d, d};
+  }
+  // Off-diagonal: digit base q^2 per unordered pair (a < b).
+  const std::uint64_t base = static_cast<std::uint64_t>(q) * q;
+  for (StateId a = 0; a < q; ++a) {
+    for (StateId b = a + 1; b < q; ++b) {
+      const std::uint64_t digit = index % base;
+      index /= base;
+      const auto pa = static_cast<StateId>(digit / q);
+      const auto pb = static_cast<StateId>(digit % q);
+      table[a * q + b] = MobilePair{pa, pb};
+      table[b * q + a] = MobilePair{pb, pa};  // symmetry
+    }
+  }
+  return TabularProtocol(q, std::move(table), /*symmetric=*/true);
+}
+
+std::uint64_t allProtocolCount(StateId q) {
+  const std::uint64_t cells = static_cast<std::uint64_t>(q) * q;
+  return ipow(cells, cells);
+}
+
+TabularProtocol decodeAnyProtocol(StateId q, std::uint64_t index) {
+  const std::uint64_t base = static_cast<std::uint64_t>(q) * q;
+  std::vector<MobilePair> table(static_cast<std::size_t>(q) * q);
+  for (auto& cell : table) {
+    const std::uint64_t digit = index % base;
+    index /= base;
+    cell = MobilePair{static_cast<StateId>(digit / q),
+                      static_cast<StateId>(digit % q)};
+  }
+  return TabularProtocol(q, std::move(table), /*symmetric=*/false);
+}
+
+SearchOutcome searchProblem(
+    StateId q, std::uint32_t n, Fairness fairness, bool symmetricSpace,
+    bool selfStabilizing,
+    const std::function<Problem(const Protocol&)>& problemFor) {
+  const std::uint64_t total =
+      symmetricSpace ? symmetricProtocolCount(q) : allProtocolCount(q);
+  SearchOutcome outcome;
+  for (std::uint64_t idx = 0; idx < total; ++idx) {
+    const TabularProtocol proto = symmetricSpace
+                                      ? decodeSymmetricProtocol(q, idx)
+                                      : decodeAnyProtocol(q, idx);
+    ++outcome.examined;
+    const Problem problem = problemFor(proto);
+
+    auto solvesFrom = [&](const std::vector<Configuration>& initials) {
+      if (fairness == Fairness::kGlobal) {
+        const GlobalVerdict v = checkGlobalFairness(proto, problem, initials);
+        return v.explored && v.solves;
+      }
+      const WeakVerdict v = checkWeakFairness(proto, problem, initials);
+      return v.explored && v.solves;
+    };
+
+    bool solves = false;
+    if (selfStabilizing) {
+      solves = solvesFrom(fairness == Fairness::kGlobal
+                              ? allCanonicalConfigurations(proto, n)
+                              : allConcreteConfigurations(proto, n));
+    } else {
+      // The designer may pick any single uniform initialization.
+      for (StateId s = 0; s < q && !solves; ++s) {
+        Configuration c;
+        c.mobile.assign(n, s);
+        solves = solvesFrom({c});
+      }
+    }
+    if (solves) {
+      ++outcome.solvers;
+      if (outcome.solverIndices.size() < 8) {
+        outcome.solverIndices.push_back(idx);
+      }
+    }
+  }
+  return outcome;
+}
+
+SearchOutcome searchUniformNaming(StateId q, std::uint32_t n, Fairness fairness,
+                                  bool symmetricSpace) {
+  return searchProblem(q, n, fairness, symmetricSpace,
+                       /*selfStabilizing=*/false,
+                       [](const Protocol& p) { return namingProblem(p); });
+}
+
+SearchOutcome searchSelfStabilizingNaming(StateId q, std::uint32_t n,
+                                          Fairness fairness,
+                                          bool symmetricSpace) {
+  return searchProblem(q, n, fairness, symmetricSpace,
+                       /*selfStabilizing=*/true,
+                       [](const Protocol& p) { return namingProblem(p); });
+}
+
+}  // namespace ppn

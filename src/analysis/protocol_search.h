@@ -1,0 +1,94 @@
+// Exhaustive search over the space of all deterministic leaderless protocols
+// with a given number of states — brute-force confirmation of the paper's
+// lower bounds at small P:
+//
+//  * Proposition 2: no SYMMETRIC P-state protocol names a population of
+//    N = P agents (under weak or global fairness, any uniform
+//    initialization) — the search reports zero solvers over the full
+//    symmetric space.
+//  * Proposition 12 (positive control): the ASYMMETRIC space at P = 2 does
+//    contain solvers (e.g. (s,s) -> (s, s+1 mod P)), so the search machinery
+//    itself demonstrably can find solutions where they exist.
+//
+// The space of symmetric protocols with Q states has Q^Q * Q^(Q(Q-1))
+// members (Q=2: 16, Q=3: 19683); the full deterministic space has
+// (Q^2)^(Q^2) members (Q=2: 256). Larger Q is out of reach by design — the
+// bounds are uniform in P, the search is a non-vacuous sanity check.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/problem.h"
+#include "core/protocol.h"
+
+namespace ppn {
+
+/// A protocol given by explicit transition tables.
+class TabularProtocol final : public Protocol {
+ public:
+  /// `table[a * q + b]` is delta(a, b). `symmetric` must match the table
+  /// (verified in debug by verifySymmetric()).
+  TabularProtocol(StateId q, std::vector<MobilePair> table, bool symmetric);
+
+  std::string name() const override;
+  StateId numMobileStates() const override { return q_; }
+  bool isSymmetric() const override { return symmetric_; }
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override {
+    return table_[initiator * q_ + responder];
+  }
+
+ private:
+  StateId q_;
+  std::vector<MobilePair> table_;
+  bool symmetric_;
+};
+
+/// Number of symmetric deterministic protocols with q states.
+std::uint64_t symmetricProtocolCount(StateId q);
+
+/// Decodes the index-th symmetric protocol (0 <= index < count).
+TabularProtocol decodeSymmetricProtocol(StateId q, std::uint64_t index);
+
+/// Number of all deterministic protocols with q states: (q^2)^(q^2).
+std::uint64_t allProtocolCount(StateId q);
+
+/// Decodes the index-th protocol of the full deterministic space.
+TabularProtocol decodeAnyProtocol(StateId q, std::uint64_t index);
+
+enum class Fairness { kWeak, kGlobal };
+
+struct SearchOutcome {
+  std::uint64_t examined = 0;
+  std::uint64_t solvers = 0;
+  /// Indices of the first few solving protocols (<= 8), for inspection.
+  std::vector<std::uint64_t> solverIndices;
+};
+
+/// Generic search: counts the protocols in the chosen space that solve an
+/// arbitrary configuration-level problem. `problemFor` builds the problem
+/// statement for each candidate (most problems ignore the protocol and
+/// capture only the predicate; naming needs the protocol's name semantics).
+/// With `selfStabilizing` the protocol must solve from EVERY configuration;
+/// otherwise from SOME uniform initialization of the designer's choice.
+SearchOutcome searchProblem(
+    StateId q, std::uint32_t n, Fairness fairness, bool symmetricSpace,
+    bool selfStabilizing,
+    const std::function<Problem(const Protocol&)>& problemFor);
+
+/// For every protocol in the chosen space, asks: does there EXIST a uniform
+/// initialization (all agents in the same state, the designer's choice) from
+/// which the protocol solves naming for a population of `n` agents under
+/// `fairness`? Counts the protocols for which the answer is yes.
+SearchOutcome searchUniformNaming(StateId q, std::uint32_t n, Fairness fairness,
+                                  bool symmetricSpace);
+
+/// Like searchUniformNaming but quantifying over ARBITRARY initialization
+/// (self-stabilizing naming): the protocol must solve from every
+/// configuration.
+SearchOutcome searchSelfStabilizingNaming(StateId q, std::uint32_t n,
+                                          Fairness fairness,
+                                          bool symmetricSpace);
+
+}  // namespace ppn

@@ -1,0 +1,83 @@
+#include "analysis/scc.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ppn {
+
+SccDecomposition decomposeScc(const ConfigGraph& graph) {
+  const auto n = static_cast<std::uint32_t>(graph.size());
+  constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+
+  SccDecomposition out;
+  out.sccOf.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> onStack(n, false);
+  std::vector<std::uint32_t> stack;
+  stack.reserve(n);
+
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t edgeIdx;
+  };
+  std::vector<Frame> callStack;
+  std::uint32_t nextIndex = 0;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    callStack.push_back({root, 0});
+    index[root] = lowlink[root] = nextIndex++;
+    stack.push_back(root);
+    onStack[root] = true;
+
+    while (!callStack.empty()) {
+      Frame& frame = callStack.back();
+      const std::uint32_t v = frame.node;
+      if (frame.edgeIdx < graph.adj[v].size()) {
+        const std::uint32_t w = graph.adj[v][frame.edgeIdx].to;
+        ++frame.edgeIdx;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = nextIndex++;
+          stack.push_back(w);
+          onStack[w] = true;
+          callStack.push_back({w, 0});
+        } else if (onStack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        callStack.pop_back();
+        if (!callStack.empty()) {
+          const std::uint32_t parent = callStack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          const std::uint32_t sccId = out.numSccs++;
+          for (;;) {
+            const std::uint32_t w = stack.back();
+            stack.pop_back();
+            onStack[w] = false;
+            out.sccOf[w] = sccId;
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+
+  out.members.assign(out.numSccs, {});
+  for (std::uint32_t v = 0; v < n; ++v) out.members[out.sccOf[v]].push_back(v);
+
+  out.bottom.assign(out.numSccs, true);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const Edge& e : graph.adj[v]) {
+      if (e.changed && out.sccOf[e.to] != out.sccOf[v]) {
+        out.bottom[out.sccOf[v]] = false;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ppn

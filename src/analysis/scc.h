@@ -1,0 +1,29 @@
+// Strongly connected components (iterative Tarjan) over a ConfigGraph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/explore.h"
+
+namespace ppn {
+
+struct SccDecomposition {
+  /// For each node, the id of its SCC (0-based, in reverse topological
+  /// order: Tarjan emits sinks first).
+  std::vector<std::uint32_t> sccOf;
+  std::uint32_t numSccs = 0;
+
+  /// Members of each SCC (built on demand by decomposeScc).
+  std::vector<std::vector<std::uint32_t>> members;
+
+  /// bottomScc[s] is true when SCC s has no *changed* edge leaving it.
+  /// Null self-loops never leave an SCC, so only non-null edges matter.
+  std::vector<bool> bottom;
+};
+
+/// Runs Tarjan's algorithm (iterative, no recursion) and computes members and
+/// bottom flags.
+SccDecomposition decomposeScc(const ConfigGraph& graph);
+
+}  // namespace ppn

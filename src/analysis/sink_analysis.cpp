@@ -1,0 +1,47 @@
+#include "analysis/sink_analysis.h"
+
+#include <algorithm>
+
+namespace ppn {
+
+SinkAnalysis analyzeSinks(const Protocol& proto) {
+  SinkAnalysis out;
+  const StateId q = proto.numMobileStates();
+
+  for (StateId m = 0; m < q; ++m) {
+    const MobilePair r = proto.mobileDelta(m, m);
+    if (r.initiator == m && r.responder == m) {
+      out.selfFixedStates.push_back(m);
+    }
+  }
+
+  out.chainTarget.assign(q, kInvalidState);
+  for (StateId s = 0; s < q; ++s) {
+    // Follow the same pair of agents interacting repeatedly from (s, s).
+    // The pair space is finite, so the walk enters a cycle within q^2 steps;
+    // the chain "reaches m" when it hits the fixed pair (m, m).
+    StateId a = s;
+    StateId b = s;
+    const std::size_t bound = static_cast<std::size_t>(q) * q + 1;
+    for (std::size_t step = 0; step < bound; ++step) {
+      const MobilePair r = proto.mobileDelta(a, b);
+      if (r.initiator == a && r.responder == b) {
+        if (a == b) out.chainTarget[s] = a;  // settled on a fixed (m, m)
+        break;
+      }
+      a = r.initiator;
+      b = r.responder;
+    }
+  }
+
+  if (out.selfFixedStates.size() == 1) {
+    const StateId m = out.selfFixedStates.front();
+    const bool allReach = std::all_of(
+        out.chainTarget.begin(), out.chainTarget.end(),
+        [m](StateId t) { return t == m; });
+    if (allReach) out.sink = m;
+  }
+  return out;
+}
+
+}  // namespace ppn

@@ -1,0 +1,40 @@
+// Sink-state analysis (paper, Section 3.1, Proposition 6 and Lemma 5).
+//
+// For a symmetric protocol, following the diagonal chain
+// (s,s) -> (s1,s1) -> (s2,s2) -> ... from any state must eventually cycle;
+// Proposition 6 shows that for any P-state symmetric naming protocol the
+// cycle is a single self-fixed state m — the *sink* — satisfying:
+//   (1) (m,m) -> (m,m),
+//   (2) every state's diagonal chain reaches m,
+//   (3) m never appears at convergence when N < P.
+// This module computes (1) and (2) syntactically for ANY protocol, so tests
+// can confirm the paper's structure on the implemented protocols (Protocols
+// 1-3 have sink 0; the asymmetric protocol has no diagonal fixed point at
+// all, which is exactly how it evades the symmetric lower bounds).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace ppn {
+
+struct SinkAnalysis {
+  /// States m with delta(m,m) = (m,m).
+  std::vector<StateId> selfFixedStates;
+  /// For each state s, where its diagonal chain (s,s) -> (s',s') -> ...
+  /// first enters a cycle; the chain's eventual cycle entry point.
+  std::vector<StateId> chainTarget;
+  /// The unique sink in the paper's sense, when it exists: the single
+  /// self-fixed state that every diagonal chain reaches.
+  std::optional<StateId> sink;
+};
+
+/// Runs the diagonal-chain analysis. For asymmetric protocols the diagonal
+/// rule (s,s) -> (p,q) may split; the chain then follows the *initiator*
+/// component p (the analysis is still well-defined, but Prop 6's uniqueness
+/// claim only applies to symmetric protocols).
+SinkAnalysis analyzeSinks(const Protocol& proto);
+
+}  // namespace ppn

@@ -1,0 +1,85 @@
+#include "analysis/weak_checker.h"
+
+#include "analysis/scc.h"
+
+namespace ppn {
+
+WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
+                              const std::vector<Configuration>& initials,
+                              std::size_t maxNodes,
+                              const InteractionGraph* topology) {
+  WeakVerdict verdict;
+  const ConfigGraph graph =
+      exploreConcrete(proto, initials, maxNodes, topology);
+  verdict.numConfigs = graph.size();
+  if (graph.truncated) {
+    verdict.reason = "state space exceeded " + std::to_string(maxNodes) +
+                     " configurations; no verdict";
+    return verdict;
+  }
+  verdict.explored = true;
+
+  const SccDecomposition scc = decomposeScc(graph);
+  verdict.numSccs = scc.numSccs;
+  const std::uint32_t pairs = numPairs(graph.numParticipants);
+  // Required labels: all pairs in the complete model, or the topology edges.
+  const std::uint32_t required =
+      topology == nullptr ? pairs
+                          : static_cast<std::uint32_t>(topology->numEdges());
+
+  std::vector<std::uint8_t> labelSeen(pairs);
+  for (std::uint32_t s = 0; s < scc.numSccs; ++s) {
+    // Coverage: which pair labels appear on S-internal edges, and whether
+    // any internal edge changes mobile state.
+    std::fill(labelSeen.begin(), labelSeen.end(), 0);
+    std::uint32_t covered = 0;
+    bool internalMobileChange = false;
+    for (const std::uint32_t node : scc.members[s]) {
+      for (const Edge& e : graph.adj[node]) {
+        if (scc.sccOf[e.to] != s) continue;
+        if (e.label < pairs && !labelSeen[e.label]) {
+          labelSeen[e.label] = 1;
+          ++covered;
+        }
+        if (e.changedName) internalMobileChange = true;
+      }
+    }
+    if (covered != required) continue;  // not fair: some pair can't recur
+
+    bool predicateFails = false;
+    const Configuration* failWitness = nullptr;
+    for (const std::uint32_t node : scc.members[s]) {
+      if (!problem.holds(graph.configs[node])) {
+        predicateFails = true;
+        failWitness = &graph.configs[node];
+        break;
+      }
+    }
+    const bool violating =
+        predicateFails ||
+        (problem.requireMobileQuiescence && internalMobileChange);
+    if (violating) {
+      ++verdict.violatingSccs;
+      if (!verdict.witness.has_value()) {
+        verdict.witness =
+            failWitness ? *failWitness : graph.configs[scc.members[s].front()];
+        verdict.witnessSccSize = scc.members[s].size();
+        verdict.reason =
+            predicateFails
+                ? "weakly fair SCC of " + std::to_string(scc.members[s].size()) +
+                      " configuration(s) violates '" + problem.name + "'"
+                : "weakly fair SCC of " + std::to_string(scc.members[s].size()) +
+                      " configuration(s) changes mobile states forever";
+      }
+    }
+  }
+
+  verdict.solves = (verdict.violatingSccs == 0);
+  if (verdict.solves) {
+    verdict.reason = "no violating weakly fair SCC among " +
+                     std::to_string(verdict.numSccs) + " SCC(s)";
+  }
+  return verdict;
+}
+
+}  // namespace ppn

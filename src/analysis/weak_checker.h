@@ -1,0 +1,52 @@
+// Exact verification of convergence under WEAK fairness, and synthesis of
+// adversarial weakly fair counter-schedules.
+//
+// Weak fairness (paper, Section 2) demands every *pair of agents* interact
+// infinitely often, so the analysis runs on the concrete configuration graph
+// whose edges carry the interacting pair.
+//
+// Characterization. A weakly fair execution that never converges exists iff
+// some reachable SCC S of the concrete graph is a *violating fair SCC*:
+//   (coverage)  every participant pair labels at least one S-internal edge
+//               (null self-loops count: scheduling a pair whose transition is
+//               null is a legal interaction), and
+//   (violation) S contains a configuration where the problem predicate fails,
+//               or (for quiescence problems) an S-internal edge that changes
+//               a mobile agent's state.
+// Given such S one builds the execution: reach S, then cycle forever through
+// all members, splicing in one internal edge per pair label per lap — weakly
+// fair, and the problem is violated infinitely often. Conversely the
+// infinite-visit set of any weakly fair non-converging execution induces
+// such an SCC. Hence `solves == (no violating fair SCC is reachable)`.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/explore.h"
+#include "analysis/problem.h"
+
+namespace ppn {
+
+struct WeakVerdict {
+  bool explored = false;
+  bool solves = false;
+  std::size_t numConfigs = 0;
+  std::size_t numSccs = 0;
+  std::size_t violatingSccs = 0;
+  /// A configuration inside the first violating fair SCC found.
+  std::optional<Configuration> witness;
+  /// Size of that SCC (the adversary cycles through these configurations).
+  std::size_t witnessSccSize = 0;
+  std::string reason;
+};
+
+/// `topology` restricts interactions to a graph (weak fairness then demands
+/// every EDGE of the topology interact infinitely often); nullptr means the
+/// paper's complete-interaction model.
+WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
+                              const std::vector<Configuration>& initials,
+                              std::size_t maxNodes = 4'000'000,
+                              const InteractionGraph* topology = nullptr);
+
+}  // namespace ppn

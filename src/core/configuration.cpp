@@ -1,0 +1,61 @@
+#include "core/configuration.h"
+
+#include <algorithm>
+
+namespace ppn {
+
+Configuration Configuration::canonicalized() const {
+  Configuration c = *this;
+  std::sort(c.mobile.begin(), c.mobile.end());
+  return c;
+}
+
+std::uint32_t Configuration::multiplicity(StateId s) const {
+  std::uint32_t n = 0;
+  for (const StateId m : mobile) n += (m == s) ? 1u : 0u;
+  return n;
+}
+
+bool Configuration::allDistinct() const {
+  std::vector<StateId> sorted = mobile;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+std::vector<std::uint32_t> Configuration::histogram(StateId numStates) const {
+  std::vector<std::uint32_t> h(numStates, 0);
+  for (const StateId m : mobile) {
+    if (m < numStates) ++h[m];
+  }
+  return h;
+}
+
+std::string Configuration::toString(const std::string& leaderDesc) const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < mobile.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(mobile[i]);
+  }
+  if (leader.has_value()) {
+    out += " | ";
+    out += leaderDesc.empty() ? ("L" + std::to_string(*leader)) : leaderDesc;
+  }
+  out += "]";
+  return out;
+}
+
+std::size_t Configuration::hashValue() const {
+  // FNV-1a over the mobile states then the leader state.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const StateId m : mobile) mix(m);
+  mix(leader.has_value() ? (*leader + 1) : 0);
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace ppn

@@ -1,0 +1,58 @@
+// A configuration is the vector of states of all agents (paper, Section 2).
+//
+// Two forms are used:
+//  * the concrete form here — one state per mobile agent (by agent index)
+//    plus the optional leader state. Required wherever *agent identity*
+//    matters: simulation, weak fairness (a property of agent pairs), the
+//    hidden-agent adversaries of the impossibility proofs;
+//  * a canonical (sorted) form — produced by `canonicalized()` — in which
+//    permutation-equivalent configurations coincide (the paper's "equivalent
+//    configurations", Section 3.1). Sufficient for global-fairness analysis
+//    and exponentially smaller.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ppn {
+
+struct Configuration {
+  std::vector<StateId> mobile;
+  std::optional<LeaderStateId> leader;
+
+  friend bool operator==(const Configuration&, const Configuration&) = default;
+
+  std::uint32_t numMobile() const {
+    return static_cast<std::uint32_t>(mobile.size());
+  }
+
+  /// Canonical representative of the permutation-equivalence class: mobile
+  /// states sorted ascending, leader untouched.
+  Configuration canonicalized() const;
+
+  /// Multiplicity of state `s` among mobile agents.
+  std::uint32_t multiplicity(StateId s) const;
+
+  /// True when all mobile agents hold pairwise distinct states.
+  bool allDistinct() const;
+
+  /// Histogram of mobile states; index = state, value = multiplicity.
+  std::vector<std::uint32_t> histogram(StateId numStates) const;
+
+  /// "[2, 0, 1 | L(n=1,k=3)]"-style rendering. `leaderDesc` is the protocol's
+  /// describeLeaderState output, or empty when there is no leader.
+  std::string toString(const std::string& leaderDesc = "") const;
+
+  /// FNV-1a style hash suitable for unordered containers.
+  std::size_t hashValue() const;
+};
+
+struct ConfigurationHash {
+  std::size_t operator()(const Configuration& c) const { return c.hashValue(); }
+};
+
+}  // namespace ppn

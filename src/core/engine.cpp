@@ -1,0 +1,247 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppn {
+
+namespace {
+
+/// Collects the distinct mobile states present in `config` together with
+/// multiplicities, as (state, count) pairs. O(N log N)-free: uses a histogram
+/// when Q is small, which it always is here.
+std::vector<std::pair<StateId, std::uint32_t>> presentStates(
+    const Protocol& proto, const Configuration& config) {
+  std::vector<std::uint32_t> hist = config.histogram(proto.numMobileStates());
+  std::vector<std::pair<StateId, std::uint32_t>> present;
+  for (StateId s = 0; s < hist.size(); ++s) {
+    if (hist[s] > 0) present.emplace_back(s, hist[s]);
+  }
+  return present;
+}
+
+}  // namespace
+
+bool applyInteraction(const Protocol& proto, Configuration& config,
+                      Interaction interaction) {
+  const std::uint32_t n = config.numMobile();
+  const std::uint32_t leaderIdx = n;
+  if (interaction.initiator == interaction.responder) {
+    throw std::logic_error("interaction requires two distinct participants");
+  }
+
+  const bool initiatorIsLeader = interaction.initiator == leaderIdx;
+  const bool responderIsLeader = interaction.responder == leaderIdx;
+  if ((initiatorIsLeader || responderIsLeader) && !config.leader.has_value()) {
+    throw std::logic_error("leader interaction scheduled without a leader");
+  }
+
+  if (initiatorIsLeader || responderIsLeader) {
+    // The leader-mobile rule is orientation-free: the leader is
+    // distinguishable, so which side "initiated" carries no information.
+    const AgentId agent =
+        initiatorIsLeader ? interaction.responder : interaction.initiator;
+    const StateId before = config.mobile.at(agent);
+    const LeaderStateId leaderBefore = *config.leader;
+    const LeaderResult r = proto.leaderDelta(leaderBefore, before);
+    config.mobile[agent] = r.mobile;
+    config.leader = r.leader;
+    return r.mobile != before || r.leader != leaderBefore;
+  }
+
+  const StateId a = config.mobile.at(interaction.initiator);
+  const StateId b = config.mobile.at(interaction.responder);
+  const MobilePair r = proto.mobileDelta(a, b);
+  config.mobile[interaction.initiator] = r.initiator;
+  config.mobile[interaction.responder] = r.responder;
+  return r.initiator != a || r.responder != b;
+}
+
+bool isSilent(const Protocol& proto, const Configuration& config) {
+  const auto present = presentStates(proto, config);
+  for (std::size_t i = 0; i < present.size(); ++i) {
+    const auto [s, count] = present[i];
+    if (count >= 2) {
+      const MobilePair r = proto.mobileDelta(s, s);
+      if (r.initiator != s || r.responder != s) return false;
+    }
+    for (std::size_t j = i + 1; j < present.size(); ++j) {
+      const StateId t = present[j].first;
+      const MobilePair fwd = proto.mobileDelta(s, t);
+      if (fwd.initiator != s || fwd.responder != t) return false;
+      const MobilePair bwd = proto.mobileDelta(t, s);
+      if (bwd.initiator != t || bwd.responder != s) return false;
+    }
+  }
+  if (config.leader.has_value()) {
+    for (const auto& [s, count] : present) {
+      (void)count;
+      const LeaderResult r = proto.leaderDelta(*config.leader, s);
+      if (r.mobile != s || r.leader != *config.leader) return false;
+    }
+  }
+  return true;
+}
+
+bool isMobileSilent(const Protocol& proto, const Configuration& config) {
+  const auto present = presentStates(proto, config);
+  for (std::size_t i = 0; i < present.size(); ++i) {
+    const auto [s, count] = present[i];
+    if (count >= 2) {
+      const MobilePair r = proto.mobileDelta(s, s);
+      if (r.initiator != s || r.responder != s) return false;
+    }
+    for (std::size_t j = i + 1; j < present.size(); ++j) {
+      const StateId t = present[j].first;
+      const MobilePair fwd = proto.mobileDelta(s, t);
+      if (fwd.initiator != s || fwd.responder != t) return false;
+      const MobilePair bwd = proto.mobileDelta(t, s);
+      if (bwd.initiator != t || bwd.responder != s) return false;
+    }
+  }
+  if (config.leader.has_value()) {
+    for (const auto& [s, count] : present) {
+      (void)count;
+      const LeaderResult r = proto.leaderDelta(*config.leader, s);
+      if (r.mobile != s) return false;  // leader-only changes tolerated
+    }
+  }
+  return true;
+}
+
+bool isNameQuiescent(const Protocol& proto, const Configuration& config) {
+  const auto present = presentStates(proto, config);
+  auto nameKept = [&proto](StateId before, StateId after) {
+    return proto.nameOf(before) == proto.nameOf(after);
+  };
+  for (std::size_t i = 0; i < present.size(); ++i) {
+    const auto [s, count] = present[i];
+    if (count >= 2) {
+      const MobilePair r = proto.mobileDelta(s, s);
+      if (!nameKept(s, r.initiator) || !nameKept(s, r.responder)) return false;
+    }
+    for (std::size_t j = i + 1; j < present.size(); ++j) {
+      const StateId t = present[j].first;
+      const MobilePair fwd = proto.mobileDelta(s, t);
+      if (!nameKept(s, fwd.initiator) || !nameKept(t, fwd.responder)) {
+        return false;
+      }
+      const MobilePair bwd = proto.mobileDelta(t, s);
+      if (!nameKept(t, bwd.initiator) || !nameKept(s, bwd.responder)) {
+        return false;
+      }
+    }
+  }
+  if (config.leader.has_value()) {
+    for (const auto& [s, count] : present) {
+      (void)count;
+      const LeaderResult r = proto.leaderDelta(*config.leader, s);
+      if (!nameKept(s, r.mobile)) return false;
+    }
+  }
+  return true;
+}
+
+bool isNamed(const Protocol& proto, const Configuration& config) {
+  std::vector<StateId> names;
+  names.reserve(config.mobile.size());
+  for (const StateId s : config.mobile) {
+    if (!proto.isValidName(s)) return false;
+    names.push_back(proto.nameOf(s));
+  }
+  std::sort(names.begin(), names.end());
+  return std::adjacent_find(names.begin(), names.end()) == names.end();
+}
+
+bool isNamingSolved(const Protocol& proto, const Configuration& config) {
+  return isNamed(proto, config) && isNameQuiescent(proto, config);
+}
+
+Configuration uniformConfiguration(const Protocol& proto,
+                                   std::uint32_t numMobile) {
+  const auto init = proto.uniformMobileInit();
+  if (!init.has_value()) {
+    throw std::logic_error("protocol '" + proto.name() +
+                           "' defines no uniform mobile initialization");
+  }
+  Configuration c;
+  c.mobile.assign(numMobile, *init);
+  if (proto.hasLeader()) {
+    const auto leaderInit = proto.initialLeaderState();
+    if (!leaderInit.has_value()) {
+      throw std::logic_error("protocol '" + proto.name() +
+                             "' has a non-initialized leader; uniform "
+                             "configuration is underdetermined");
+    }
+    c.leader = *leaderInit;
+  }
+  return c;
+}
+
+Configuration arbitraryConfiguration(const Protocol& proto,
+                                     std::uint32_t numMobile, Rng& rng) {
+  Configuration c;
+  c.mobile.resize(numMobile);
+  for (auto& s : c.mobile) {
+    s = static_cast<StateId>(rng.below(proto.numMobileStates()));
+  }
+  if (proto.hasLeader()) {
+    if (const auto leaderInit = proto.initialLeaderState();
+        leaderInit.has_value()) {
+      c.leader = *leaderInit;
+    } else {
+      const auto all = proto.allLeaderStates();
+      if (all.empty()) {
+        throw std::logic_error("protocol '" + proto.name() +
+                               "' cannot enumerate leader states for "
+                               "arbitrary initialization");
+      }
+      c.leader = all[rng.below(all.size())];
+    }
+  }
+  return c;
+}
+
+Engine::Engine(const Protocol& proto, Configuration start)
+    : proto_(&proto), config_(std::move(start)) {
+  if (proto_->hasLeader() != config_.leader.has_value()) {
+    throw std::logic_error(
+        "configuration leader presence does not match protocol '" +
+        proto_->name() + "'");
+  }
+}
+
+bool Engine::step(Interaction interaction) {
+  const bool changed = applyInteraction(*proto_, config_, interaction);
+  ++interactions_;
+  if (changed) {
+    ++nonNull_;
+    lastChangeAt_ = interactions_;
+  }
+  return changed;
+}
+
+void Engine::corruptMobile(AgentId agent, StateId state) {
+  config_.mobile.at(agent) = state;
+  lastChangeAt_ = interactions_;
+}
+
+void Engine::corruptLeader(LeaderStateId state) {
+  if (!config_.leader.has_value()) {
+    throw std::logic_error("corruptLeader on a leaderless configuration");
+  }
+  config_.leader = state;
+  lastChangeAt_ = interactions_;
+}
+
+void Engine::resetTo(Configuration start) {
+  if (proto_->hasLeader() != start.leader.has_value()) {
+    throw std::logic_error("resetTo: leader presence mismatch");
+  }
+  config_ = std::move(start);
+  interactions_ = 0;
+  nonNull_ = 0;
+  lastChangeAt_ = 0;
+}
+
+}  // namespace ppn

@@ -1,0 +1,104 @@
+// Execution engine: applies scheduled interactions to a configuration and
+// tracks convergence metrics.
+//
+// Participant indexing convention (shared with the schedulers): mobile agents
+// are participants 0 .. N-1; when the protocol has a leader it is participant
+// N. An *execution* in the paper's sense is the sequence of configurations
+// produced by repeatedly calling step().
+#pragma once
+
+#include <cstdint>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+#include "util/rng.h"
+
+namespace ppn {
+
+/// Applies one interaction to `config` in place. Returns true when the
+/// transition was non-null (the configuration changed, including leader-only
+/// changes). Participant indices follow the convention above.
+bool applyInteraction(const Protocol& proto, Configuration& config,
+                      Interaction interaction);
+
+/// True when no applicable transition changes anything: every pair of present
+/// mobile states (and the leader against every present state) maps to itself.
+/// Silent configurations are terminal (paper: "terminal configuration").
+bool isSilent(const Protocol& proto, const Configuration& config);
+
+/// Like isSilent but tolerates transitions that only change the *leader*
+/// state. This is the convergence notion for the naming problem itself: the
+/// mobile agents' names must eventually never change; the leader is allowed
+/// internal housekeeping.
+bool isMobileSilent(const Protocol& proto, const Configuration& config);
+
+/// Like isMobileSilent but judged on PROJECTED names (Protocol::nameOf):
+/// transitions may shuffle auxiliary per-agent state as long as no agent's
+/// name changes. Identical to isMobileSilent for identity projections.
+bool isNameQuiescent(const Protocol& proto, const Configuration& config);
+
+/// True when all mobile agents hold pairwise distinct names (nameOf
+/// projections) and every held state is a valid final name.
+bool isNamed(const Protocol& proto, const Configuration& config);
+
+/// The naming problem is solved in `config` when names are distinct, valid
+/// and can never change again: isNamed && isNameQuiescent.
+bool isNamingSolved(const Protocol& proto, const Configuration& config);
+
+/// Builds the configuration for uniformly initialized mobile agents (and the
+/// initialized leader when the protocol defines one). Throws std::logic_error
+/// if the protocol defines no uniform mobile initialization.
+Configuration uniformConfiguration(const Protocol& proto, std::uint32_t numMobile);
+
+/// Builds an adversarially/arbitrarily initialized configuration: every
+/// mobile state uniform-random; leader = initialLeaderState() when the
+/// protocol requires an initialized leader, otherwise a random enumerable
+/// leader state (throws std::logic_error if none are enumerable).
+Configuration arbitraryConfiguration(const Protocol& proto,
+                                     std::uint32_t numMobile, Rng& rng);
+
+class Engine {
+ public:
+  /// The protocol must outlive the engine.
+  Engine(const Protocol& proto, Configuration start);
+
+  std::uint32_t numMobile() const { return config_.numMobile(); }
+
+  /// Mobile agents plus the leader when present.
+  std::uint32_t numParticipants() const {
+    return numMobile() + (proto_->hasLeader() ? 1u : 0u);
+  }
+
+  /// Applies one interaction; returns true when it was non-null.
+  bool step(Interaction interaction);
+
+  const Configuration& config() const { return config_; }
+  const Protocol& protocol() const { return *proto_; }
+
+  bool silent() const { return isSilent(*proto_, config_); }
+  bool namingSolved() const { return isNamingSolved(*proto_, config_); }
+
+  std::uint64_t totalInteractions() const { return interactions_; }
+  std::uint64_t nonNullInteractions() const { return nonNull_; }
+
+  /// Interaction count at the moment of the most recent configuration change
+  /// (0 if it never changed). Once the engine is silent this is the exact
+  /// convergence time, independent of how often silence was polled.
+  std::uint64_t lastChangeAt() const { return lastChangeAt_; }
+
+  /// Transient-fault injection: overwrite one agent's state / leader state.
+  void corruptMobile(AgentId agent, StateId state);
+  void corruptLeader(LeaderStateId state);
+
+  /// Replace the whole configuration (e.g. to reuse an engine across runs).
+  void resetTo(Configuration start);
+
+ private:
+  const Protocol* proto_;
+  Configuration config_;
+  std::uint64_t interactions_ = 0;
+  std::uint64_t nonNull_ = 0;
+  std::uint64_t lastChangeAt_ = 0;
+};
+
+}  // namespace ppn

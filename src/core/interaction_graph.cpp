@@ -1,0 +1,108 @@
+#include "core/interaction_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppn {
+
+InteractionGraph::InteractionGraph(
+    std::uint32_t numParticipants,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges)
+    : numParticipants_(numParticipants) {
+  if (numParticipants < 2) {
+    throw std::invalid_argument("InteractionGraph: need >= 2 participants");
+  }
+  for (auto& [a, b] : edges) {
+    if (a == b) throw std::invalid_argument("InteractionGraph: self-loop");
+    if (a >= numParticipants || b >= numParticipants) {
+      throw std::invalid_argument("InteractionGraph: endpoint out of range");
+    }
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges_ = std::move(edges);
+  adjacency_.assign(numParticipants_, {});
+  for (const auto& [a, b] : edges_) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+}
+
+InteractionGraph InteractionGraph::complete(std::uint32_t m) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = i + 1; j < m; ++j) edges.emplace_back(i, j);
+  }
+  return InteractionGraph(m, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::ring(std::uint32_t m) {
+  if (m < 3) throw std::invalid_argument("ring needs >= 3 participants");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < m; ++i) edges.emplace_back(i, (i + 1) % m);
+  return InteractionGraph(m, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::line(std::uint32_t m) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i + 1 < m; ++i) edges.emplace_back(i, i + 1);
+  return InteractionGraph(m, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::star(std::uint32_t m, std::uint32_t center) {
+  if (center >= m) throw std::invalid_argument("star center out of range");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    if (i != center) edges.emplace_back(center, i);
+  }
+  return InteractionGraph(m, std::move(edges));
+}
+
+InteractionGraph InteractionGraph::randomConnected(std::uint32_t m,
+                                                   double edgeProbability,
+                                                   Rng& rng) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      for (std::uint32_t j = i + 1; j < m; ++j) {
+        if (rng.chance(edgeProbability)) edges.emplace_back(i, j);
+      }
+    }
+    InteractionGraph g(m, std::move(edges));
+    if (g.isConnected()) return g;
+  }
+  throw std::runtime_error(
+      "randomConnected: could not sample a connected graph (p too small?)");
+}
+
+bool InteractionGraph::hasEdge(std::uint32_t a, std::uint32_t b) const {
+  if (a > b) std::swap(a, b);
+  return std::binary_search(edges_.begin(), edges_.end(), std::pair{a, b});
+}
+
+bool InteractionGraph::isConnected() const {
+  std::vector<bool> seen(numParticipants_, false);
+  std::vector<std::uint32_t> stack{0};
+  seen[0] = true;
+  std::uint32_t visited = 1;
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    for (const std::uint32_t w : adjacency_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == numParticipants_;
+}
+
+std::string InteractionGraph::describe() const {
+  return "graph(" + std::to_string(numParticipants_) + " participants, " +
+         std::to_string(edges_.size()) + " edges)";
+}
+
+}  // namespace ppn

@@ -1,0 +1,70 @@
+// Interaction topologies.
+//
+// The paper works in the classical complete-interaction model ("communicate
+// in pairs", any pair may meet). Restricted interaction graphs are a
+// standard extension of population protocols, and several of the library's
+// experiments use them to show WHERE the completeness assumption bites:
+// e.g. the leaderless protocols need homonyms to meet directly, so they
+// fail on stars and rings, while Prop 14's protocol only needs
+// leader-to-agent edges and is happy on a star centered at the base station.
+//
+// Participants use the engine's indexing: mobile agents 0..N-1, leader N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace ppn {
+
+class InteractionGraph {
+ public:
+  /// Builds from an explicit edge list (unordered pairs, deduplicated;
+  /// self-loops rejected).
+  InteractionGraph(std::uint32_t numParticipants,
+                   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges);
+
+  /// Every pair may interact — the paper's model.
+  static InteractionGraph complete(std::uint32_t numParticipants);
+
+  /// Cycle 0-1-..-(m-1)-0.
+  static InteractionGraph ring(std::uint32_t numParticipants);
+
+  /// Path 0-1-..-(m-1).
+  static InteractionGraph line(std::uint32_t numParticipants);
+
+  /// All edges incident to `center` only (base-station topology when center
+  /// is the leader index).
+  static InteractionGraph star(std::uint32_t numParticipants,
+                               std::uint32_t center);
+
+  /// Erdős–Rényi G(m, p), resampled until connected (throws after 1000
+  /// failed attempts; p too small).
+  static InteractionGraph randomConnected(std::uint32_t numParticipants,
+                                          double edgeProbability, Rng& rng);
+
+  std::uint32_t numParticipants() const { return numParticipants_; }
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges() const {
+    return edges_;
+  }
+  std::size_t numEdges() const { return edges_.size(); }
+
+  bool hasEdge(std::uint32_t a, std::uint32_t b) const;
+  bool isConnected() const;
+  bool isComplete() const {
+    return edges_.size() ==
+           static_cast<std::size_t>(numParticipants_) * (numParticipants_ - 1) / 2;
+  }
+
+  std::string describe() const;
+
+ private:
+  std::uint32_t numParticipants_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;  // a < b, sorted
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+}  // namespace ppn

@@ -1,0 +1,78 @@
+#include "core/protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppn {
+
+LeaderResult Protocol::leaderDelta(LeaderStateId leader, StateId mobile) const {
+  (void)leader;
+  (void)mobile;
+  std::fprintf(stderr,
+               "ppn: leaderDelta called on protocol '%s' which has no leader\n",
+               name().c_str());
+  std::abort();
+}
+
+std::string Protocol::describeLeaderState(LeaderStateId leader) const {
+  return "L" + std::to_string(leader);
+}
+
+std::optional<std::string> verifySymmetric(const Protocol& p) {
+  const StateId q = p.numMobileStates();
+  for (StateId a = 0; a < q; ++a) {
+    for (StateId b = 0; b < q; ++b) {
+      const MobilePair fwd = p.mobileDelta(a, b);
+      const MobilePair bwd = p.mobileDelta(b, a);
+      const bool symmetricHere =
+          fwd.initiator == bwd.responder && fwd.responder == bwd.initiator;
+      if (p.isSymmetric() && !symmetricHere) {
+        return "protocol declared symmetric but delta(" + std::to_string(a) +
+               "," + std::to_string(b) + ") = (" + std::to_string(fwd.initiator) +
+               "," + std::to_string(fwd.responder) + ") while delta(" +
+               std::to_string(b) + "," + std::to_string(a) + ") = (" +
+               std::to_string(bwd.initiator) + "," +
+               std::to_string(bwd.responder) + ")";
+      }
+    }
+  }
+  if (p.isSymmetric()) {
+    // Symmetric protocols must in particular map equal states to equal states.
+    for (StateId a = 0; a < q; ++a) {
+      const MobilePair r = p.mobileDelta(a, a);
+      if (r.initiator != r.responder) {
+        return "protocol declared symmetric but delta(" + std::to_string(a) +
+               "," + std::to_string(a) + ") yields distinct states";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> verifyClosed(const Protocol& p) {
+  const StateId q = p.numMobileStates();
+  for (StateId a = 0; a < q; ++a) {
+    for (StateId b = 0; b < q; ++b) {
+      const MobilePair r = p.mobileDelta(a, b);
+      if (r.initiator >= q || r.responder >= q) {
+        return "delta(" + std::to_string(a) + "," + std::to_string(b) +
+               ") leaves the state space";
+      }
+    }
+  }
+  if (p.hasLeader()) {
+    // Spot-check leader transitions over enumerable leader states.
+    for (const LeaderStateId l : p.allLeaderStates()) {
+      for (StateId a = 0; a < q; ++a) {
+        const LeaderResult r = p.leaderDelta(l, a);
+        if (r.mobile >= q) {
+          return "leaderDelta(" + p.describeLeaderState(l) + "," +
+                 std::to_string(a) + ") leaves the mobile state space";
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ppn

@@ -1,0 +1,100 @@
+// The population-protocol abstraction (Section 2 of the paper).
+//
+// A protocol is a *deterministic* pairwise transition system over a finite
+// mobile-state set, optionally with a distinguishable leader. Transitions are
+// total: for every ordered pair of states there is exactly one outcome (the
+// identity outcome is a "null transition").
+//
+// Symmetry (paper, Section 2): a protocol is symmetric when
+// (p,q) -> (p',q') implies (q,p) -> (q',p'); in particular two agents meeting
+// in the same state must leave the interaction in the same state. The
+// concrete classes declare their symmetry, and `verifySymmetric` checks the
+// declaration exhaustively.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ppn {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Human-readable protocol name for tables and logs.
+  virtual std::string name() const = 0;
+
+  /// |Q|: size of the mobile-agent state space. States are 0 .. |Q|-1.
+  virtual StateId numMobileStates() const = 0;
+
+  /// Whether the population contains the distinguishable leader agent.
+  virtual bool hasLeader() const { return false; }
+
+  /// Whether the protocol's mobile-mobile rules are symmetric. Checked by
+  /// verifySymmetric() in tests.
+  virtual bool isSymmetric() const = 0;
+
+  /// Mobile-mobile transition rule delta(p, q) = (p', q'). Must be total and
+  /// deterministic. `initiator`/`responder` order matters iff asymmetric.
+  virtual MobilePair mobileDelta(StateId initiator, StateId responder) const = 0;
+
+  /// Leader-mobile transition rule. Only called when hasLeader(). The default
+  /// implementation aborts (protocols without leader never receive it).
+  virtual LeaderResult leaderDelta(LeaderStateId leader, StateId mobile) const;
+
+  /// The uniform initial state of mobile agents, if the protocol requires
+  /// initialization. nullopt means the protocol tolerates arbitrary
+  /// initialization (self-stabilizing on the mobile side).
+  virtual std::optional<StateId> uniformMobileInit() const { return std::nullopt; }
+
+  /// The initial leader state, if the protocol requires an initialized
+  /// leader. nullopt means the leader may start in any state from
+  /// allLeaderStates() (non-initialized leader).
+  virtual std::optional<LeaderStateId> initialLeaderState() const {
+    return std::nullopt;
+  }
+
+  /// Enumerates every legal leader state (used by the model checker to
+  /// explore arbitrary leader initialization). Returns an empty vector when
+  /// the space is impractically large to enumerate; in that case analyses
+  /// requiring arbitrary leader initialization are skipped.
+  virtual std::vector<LeaderStateId> allLeaderStates() const { return {}; }
+
+  /// Debug rendering of an encoded leader state.
+  virtual std::string describeLeaderState(LeaderStateId leader) const;
+
+  /// Naming semantics: whether mobile state `s` is an acceptable *final* name
+  /// (some protocols reserve states, e.g. the homonym sink 0 of Protocols 1-2
+  /// or the extra state P of the (P+1)-state protocols).
+  virtual bool isValidName(StateId s) const {
+    (void)s;
+    return true;
+  }
+
+  /// Projects a mobile state onto the agent's *name*. Defaults to identity:
+  /// the state IS the name, as everywhere in the paper. Wrappers carrying
+  /// auxiliary bits (e.g. the symmetrizing transformer of the paper's
+  /// footnote 5, reference [17]) override this so that distinctness and
+  /// quiescence are judged on names, not on scratch state.
+  virtual StateId nameOf(StateId s) const { return s; }
+
+  /// For counting protocols: the population-size answer encoded in a leader
+  /// state (paper Theorem 15). nullopt for protocols that do not count.
+  virtual std::optional<std::uint64_t> countingAnswer(LeaderStateId leader) const {
+    (void)leader;
+    return std::nullopt;
+  }
+};
+
+/// Exhaustively verifies the symmetry declaration of `p` over all ordered
+/// state pairs; returns a violating pair description or nullopt if consistent.
+std::optional<std::string> verifySymmetric(const Protocol& p);
+
+/// Checks totality sanity: every transition stays within 0 .. |Q|-1.
+/// Returns a description of the first violation or nullopt.
+std::optional<std::string> verifyClosed(const Protocol& p);
+
+}  // namespace ppn

@@ -1,0 +1,57 @@
+// Fundamental identifier types of the population-protocol model.
+//
+// Terminology follows the paper (Burman, Beauquier, Sohier: "Space-Optimal
+// Naming in Population Protocols"): a *population* is N mobile agents plus an
+// optional distinguishable *leader* (called BST when it plays the base
+// station role of Protocols 1-3). Mobile agents all share one finite state
+// set Q = {0, .., |Q|-1}; the leader's state space is protocol-defined and
+// may be much larger (the model allows the leader to be "as powerful as
+// needed").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ppn {
+
+/// State of a mobile agent. Dense: valid states are 0 .. numMobileStates()-1.
+using StateId = std::uint32_t;
+
+/// Index of a mobile agent within the population: 0 .. N-1.
+using AgentId = std::uint32_t;
+
+/// Encoded state of the leader. The encoding is protocol-specific and may be
+/// sparse (the analysis layer hashes ids, it never assumes density).
+using LeaderStateId = std::uint64_t;
+
+/// Result of a mobile-mobile transition rule (p, q) -> (p', q').
+struct MobilePair {
+  StateId initiator;
+  StateId responder;
+
+  friend bool operator==(const MobilePair&, const MobilePair&) = default;
+};
+
+/// Result of a leader-mobile transition rule.
+struct LeaderResult {
+  LeaderStateId leader;
+  StateId mobile;
+
+  friend bool operator==(const LeaderResult&, const LeaderResult&) = default;
+};
+
+/// An interaction between two participants of the population, identified by
+/// participant index: mobile agents are 0 .. N-1 and, when the protocol has a
+/// leader, the leader is participant N. The pair is ordered: `initiator` is
+/// the paper's interaction initiator, which matters for asymmetric rules.
+struct Interaction {
+  std::uint32_t initiator;
+  std::uint32_t responder;
+
+  friend bool operator==(const Interaction&, const Interaction&) = default;
+};
+
+/// Sentinel used by a few diagnostics APIs.
+inline constexpr StateId kInvalidState = std::numeric_limits<StateId>::max();
+
+}  // namespace ppn

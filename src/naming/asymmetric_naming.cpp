@@ -1,0 +1,43 @@
+#include "naming/asymmetric_naming.h"
+
+#include <stdexcept>
+
+namespace ppn {
+
+AsymmetricNaming::AsymmetricNaming(StateId p) : p_(p) {
+  if (p == 0) throw std::invalid_argument("AsymmetricNaming: P must be >= 1");
+}
+
+std::string AsymmetricNaming::name() const {
+  return "asymmetric-naming(P=" + std::to_string(p_) + ")";
+}
+
+MobilePair AsymmetricNaming::mobileDelta(StateId initiator,
+                                         StateId responder) const {
+  if (initiator == responder) {
+    return MobilePair{initiator, static_cast<StateId>((responder + 1) % p_)};
+  }
+  return MobilePair{initiator, responder};
+}
+
+std::pair<std::uint32_t, std::uint64_t> holePotential(const Configuration& c,
+                                                      StateId p) {
+  std::vector<std::uint32_t> hist = c.histogram(p);
+  std::uint32_t holes = 0;
+  for (StateId s = 0; s < p; ++s) holes += (hist[s] == 0) ? 1u : 0u;
+
+  std::uint64_t distance = 0;
+  if (holes > 0) {
+    for (const StateId s : c.mobile) {
+      for (StateId j = 1; j < p; ++j) {
+        if (hist[(s + j) % p] == 0) {
+          distance += j;
+          break;
+        }
+      }
+    }
+  }
+  return {holes, distance};
+}
+
+}  // namespace ppn

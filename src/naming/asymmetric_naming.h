@@ -1,0 +1,45 @@
+// Proposition 12: asymmetric self-stabilizing naming with the optimal P
+// states per agent, no leader, correct under both weak and global fairness.
+//
+// The protocol has a single non-null rule type:
+//     (s, s) -> (s, s + 1 mod P)
+// i.e. when two homonyms meet, the responder advances to the next name
+// cyclically. The paper's correctness proof introduces the *hole distance*
+// potential function; `holePotential` below exposes it so tests can check the
+// paper's key invariant: the potential strictly decreases (lexicographically)
+// on every non-null transition.
+#pragma once
+
+#include <utility>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace ppn {
+
+class AsymmetricNaming final : public Protocol {
+ public:
+  /// P = known upper bound on the population size; P >= 1.
+  explicit AsymmetricNaming(StateId p);
+
+  std::string name() const override;
+  StateId numMobileStates() const override { return p_; }
+  bool isSymmetric() const override { return false; }
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override;
+
+  StateId p() const { return p_; }
+
+ private:
+  StateId p_;
+};
+
+/// The paper's potential: (number of holes, hole distance of the
+/// configuration). A *hole* is a name no agent holds; the hole distance of an
+/// agent in state i is the least j >= 0 with i + j mod P a hole (0 if there
+/// is no hole). Strictly decreasing in lexicographic order on every non-null
+/// transition, and bounded, so executions are silent after finitely many
+/// non-null steps.
+std::pair<std::uint32_t, std::uint64_t> holePotential(const Configuration& c,
+                                                      StateId p);
+
+}  // namespace ppn

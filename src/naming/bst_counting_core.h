@@ -1,0 +1,66 @@
+// The shared BST body of Protocols 1-3 (lines 1-9 of Protocol 1 in the
+// paper): the leader successively guesses the population size n, naming
+// 0-state agents along the U* sequence via the pointer k, and bumping the
+// guess whenever the pointer overruns l_n = 2^n - 1 or it meets a name larger
+// than the current guess.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/types.h"
+#include "naming/bst_state.h"
+#include "naming/ustar.h"
+
+namespace ppn {
+
+struct CountingCoreParams {
+  /// The body is active while n < nLimit (Protocols 1 and 3 use nLimit = P,
+  /// Protocol 2 uses nLimit = P+1, i.e. the paper's "n <= P").
+  std::uint32_t nLimit = 0;
+  /// Saturation bound for k (the declared range: 2^(P-1) for Protocols 1/3,
+  /// 2^P for Protocol 2 — clamped to the 48-bit field for very large P, which
+  /// simulations can never reach anyway).
+  std::uint64_t kMax = 0;
+  /// Largest assignable name: P-1 for Protocols 1/3, P for Protocol 2. Only
+  /// the single boundary index k = kMax can exceed it; see NOTE below.
+  StateId nameCap = 0;
+};
+
+/// Computes the k saturation bound min(2^exponent, 48-bit field max).
+inline std::uint64_t kBoundForExponent(std::uint32_t exponent) {
+  if (exponent >= 48) return kBstKMask;
+  return std::uint64_t{1} << exponent;
+}
+
+/// Applies the counting body to (bst, name) in place. Returns true when the
+/// guard of line 2 held (the interaction was consumed by the counting body).
+//
+// NOTE on the boundary index: the paper's U* has length 2^n_max - 1 but the
+// pseudo-code can, exactly once, step k to 2^n_max (when the final guess
+// increment happens). The ruler value there would be n_max + 1, one past the
+// name domain; we cap it at `nameCap`. This only matters (a) at the final
+// N = P step of the counting protocol, where names are no longer claimed
+// distinct, and (b) transiently before Protocol 2's self-stabilizing reset —
+// in both cases any in-domain value is correct, and capping keeps the
+// transition function total over the declared state space.
+inline bool countingBody(BstState& bst, StateId& name,
+                         const CountingCoreParams& params) {
+  if (bst.n >= params.nLimit || (name != 0 && name <= bst.n)) {
+    return false;
+  }
+  const std::uint64_t ln =
+      (bst.n >= 63) ? ~std::uint64_t{0} : ((std::uint64_t{1} << bst.n) - 1);
+  if (name == 0) {
+    bst.k = std::min(bst.k + 1, params.kMax);
+  } else {  // name > n: the population must be larger than n
+    bst.k = std::min(ln + 1, params.kMax);
+  }
+  if (bst.k > ln) {
+    bst.n += 1;
+  }
+  name = std::min(rulerValue(bst.k), params.nameCap);
+  return true;
+}
+
+}  // namespace ppn

@@ -1,0 +1,39 @@
+// Shared encoding of the BST (leader / base station) state of Protocols 1-3.
+//
+// The BST holds the counting guess n, the U* pointer k, and (Protocol 3 only)
+// the renaming pointer name_ptr. They are packed into one LeaderStateId:
+//   bits 56..63  n          (n <= P+1 <= 255)
+//   bits 48..55  name_ptr   (name_ptr <= P <= 255)
+//   bits  0..47  k          (k <= 2^P for the checker-sized P; simulations
+//                            converge long before k could approach 2^48)
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace ppn {
+
+struct BstState {
+  std::uint32_t n = 0;
+  std::uint64_t k = 0;
+  std::uint32_t namePtr = 0;
+};
+
+inline constexpr std::uint64_t kBstKMask = (std::uint64_t{1} << 48) - 1;
+
+inline constexpr LeaderStateId packBst(const BstState& s) {
+  return (static_cast<std::uint64_t>(s.n & 0xffu) << 56) |
+         (static_cast<std::uint64_t>(s.namePtr & 0xffu) << 48) |
+         (s.k & kBstKMask);
+}
+
+inline constexpr BstState unpackBst(LeaderStateId id) {
+  BstState s;
+  s.n = static_cast<std::uint32_t>((id >> 56) & 0xffu);
+  s.namePtr = static_cast<std::uint32_t>((id >> 48) & 0xffu);
+  s.k = id & kBstKMask;
+  return s;
+}
+
+}  // namespace ppn

@@ -1,0 +1,12 @@
+#include "naming/color_example.h"
+
+namespace ppn {
+
+bool allBlack(const Configuration& c) {
+  for (const StateId s : c.mobile) {
+    if (s != ColorExample::kBlack) return false;
+  }
+  return true;
+}
+
+}  // namespace ppn

@@ -1,0 +1,40 @@
+// The illustrative two-color protocol of the paper's Section 2, used to
+// separate weak from global fairness.
+//
+// Agents are white (0) or black (1). When two whites meet they both turn
+// black; when a black and a white meet they exchange colors. Starting from
+// one black and two whites, there is a weakly fair infinite execution in
+// which the single black token "jumps" between agents forever, yet every
+// globally fair execution ends with all three agents black. The fairness
+// benches, tests and the fairness_explorer example all exercise it.
+#pragma once
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace ppn {
+
+class ColorExample final : public Protocol {
+ public:
+  static constexpr StateId kWhite = 0;
+  static constexpr StateId kBlack = 1;
+
+  std::string name() const override { return "color-example"; }
+  StateId numMobileStates() const override { return 2; }
+  bool isSymmetric() const override { return true; }
+
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override {
+    if (initiator == kWhite && responder == kWhite) {
+      return MobilePair{kBlack, kBlack};
+    }
+    if (initiator != responder) {
+      return MobilePair{responder, initiator};  // exchange colors
+    }
+    return MobilePair{initiator, responder};  // black-black: null
+  }
+};
+
+/// The example's target predicate: every agent black.
+bool allBlack(const Configuration& c);
+
+}  // namespace ppn

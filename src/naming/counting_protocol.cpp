@@ -1,0 +1,55 @@
+#include "naming/counting_protocol.h"
+
+#include <stdexcept>
+
+#include "naming/bst_counting_core.h"
+
+namespace ppn {
+
+CountingProtocol::CountingProtocol(StateId p) : p_(p) {
+  if (p < 2) throw std::invalid_argument("CountingProtocol: P must be >= 2");
+}
+
+std::string CountingProtocol::name() const {
+  return "counting-protocol1(P=" + std::to_string(p_) + ")";
+}
+
+MobilePair CountingProtocol::mobileDelta(StateId initiator,
+                                         StateId responder) const {
+  if (initiator == responder) {
+    return MobilePair{0, 0};  // homonyms drop to the sink
+  }
+  return MobilePair{initiator, responder};
+}
+
+LeaderResult CountingProtocol::leaderDelta(LeaderStateId leader,
+                                           StateId mobile) const {
+  BstState bst = unpackBst(leader);
+  StateId name = mobile;
+  const CountingCoreParams params{
+      .nLimit = p_,
+      .kMax = kBoundForExponent(p_ - 1),
+      .nameCap = static_cast<StateId>(p_ - 1),
+  };
+  countingBody(bst, name, params);
+  return LeaderResult{packBst(bst), name};
+}
+
+std::vector<LeaderStateId> CountingProtocol::allLeaderStates() const {
+  if (p_ > 12) return {};  // enumeration would be impractically large
+  std::vector<LeaderStateId> all;
+  const std::uint64_t kMax = kBoundForExponent(p_ - 1);
+  for (std::uint32_t n = 0; n <= p_; ++n) {
+    for (std::uint64_t k = 0; k <= kMax; ++k) {
+      all.push_back(packBst(BstState{.n = n, .k = k, .namePtr = 0}));
+    }
+  }
+  return all;
+}
+
+std::string CountingProtocol::describeLeaderState(LeaderStateId leader) const {
+  const BstState s = unpackBst(leader);
+  return "BST(n=" + std::to_string(s.n) + ",k=" + std::to_string(s.k) + ")";
+}
+
+}  // namespace ppn

@@ -1,0 +1,53 @@
+// Protocol 1 — the space-optimal counting protocol of [11] (Beauquier,
+// Burman, Clavière, Sohier, DISC 2015), restated as the paper's Theorem 15:
+// with an initialized leader (BST) and arbitrarily initialized mobile agents,
+// it counts any N <= P under weak fairness using P states per mobile agent,
+// and as a by-product assigns distinct names in {1..N} whenever N < P.
+//
+// Mobile states are 0..P-1; 0 is the homonym sink (two agents meeting with
+// equal names both drop to 0, signalling BST that homonyms still exist). BST
+// keeps the guess n and the U* pointer k.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.h"
+#include "naming/bst_state.h"
+
+namespace ppn {
+
+class CountingProtocol final : public Protocol {
+ public:
+  /// P >= 2 (the paper's U* = U_{P-1} needs P-1 >= 1).
+  explicit CountingProtocol(StateId p);
+
+  std::string name() const override;
+  StateId numMobileStates() const override { return p_; }
+  bool hasLeader() const override { return true; }
+  bool isSymmetric() const override { return true; }
+
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override;
+  LeaderResult leaderDelta(LeaderStateId leader, StateId mobile) const override;
+
+  /// BST is initialized (n = k = 0); mobile agents are not.
+  std::optional<LeaderStateId> initialLeaderState() const override {
+    return packBst(BstState{});
+  }
+  std::vector<LeaderStateId> allLeaderStates() const override;
+  std::string describeLeaderState(LeaderStateId leader) const override;
+
+  /// 0 is the homonym sink, never a final name.
+  bool isValidName(StateId s) const override { return s != 0; }
+
+  /// Theorem 15: the converged value of n is the population size N.
+  std::optional<std::uint64_t> countingAnswer(LeaderStateId leader) const override {
+    return unpackBst(leader).n;
+  }
+
+  StateId p() const { return p_; }
+
+ private:
+  StateId p_;
+};
+
+}  // namespace ppn

@@ -1,0 +1,69 @@
+#include "naming/global_leader_naming.h"
+
+#include <stdexcept>
+
+#include "naming/bst_counting_core.h"
+
+namespace ppn {
+
+GlobalLeaderNaming::GlobalLeaderNaming(StateId p) : p_(p) {
+  if (p < 2) throw std::invalid_argument("GlobalLeaderNaming: P must be >= 2");
+}
+
+std::string GlobalLeaderNaming::name() const {
+  return "global-leader-naming-protocol3(P=" + std::to_string(p_) + ")";
+}
+
+MobilePair GlobalLeaderNaming::mobileDelta(StateId initiator,
+                                           StateId responder) const {
+  if (initiator == responder) {
+    return MobilePair{0, 0};
+  }
+  return MobilePair{initiator, responder};
+}
+
+LeaderResult GlobalLeaderNaming::leaderDelta(LeaderStateId leader,
+                                             StateId mobile) const {
+  BstState bst = unpackBst(leader);
+  StateId name = mobile;
+  const CountingCoreParams params{
+      .nLimit = p_,
+      .kMax = kBoundForExponent(p_ - 1),
+      .nameCap = static_cast<StateId>(p_ - 1),
+  };
+  countingBody(bst, name, params);
+  // Protocol 3 lines 11-16: renaming walk, active once the guess reached P.
+  // Mirrors the pseudo-code's sequential layout (both blocks may run in the
+  // single interaction where n first reaches P).
+  if (bst.n == p_ && bst.namePtr < p_) {
+    if (name == bst.namePtr) {
+      bst.namePtr += 1;
+    } else {
+      name = bst.namePtr;
+      bst.namePtr = 0;
+    }
+  }
+  return LeaderResult{packBst(bst), name};
+}
+
+std::vector<LeaderStateId> GlobalLeaderNaming::allLeaderStates() const {
+  if (p_ > 10) return {};
+  std::vector<LeaderStateId> all;
+  const std::uint64_t kMax = kBoundForExponent(p_ - 1);
+  for (std::uint32_t n = 0; n <= p_; ++n) {
+    for (std::uint64_t k = 0; k <= kMax; ++k) {
+      for (std::uint32_t ptr = 0; ptr <= p_; ++ptr) {
+        all.push_back(packBst(BstState{.n = n, .k = k, .namePtr = ptr}));
+      }
+    }
+  }
+  return all;
+}
+
+std::string GlobalLeaderNaming::describeLeaderState(LeaderStateId leader) const {
+  const BstState s = unpackBst(leader);
+  return "BST(n=" + std::to_string(s.n) + ",k=" + std::to_string(s.k) +
+         ",ptr=" + std::to_string(s.namePtr) + ")";
+}
+
+}  // namespace ppn

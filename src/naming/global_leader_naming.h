@@ -1,0 +1,57 @@
+// Protocol 3 / Proposition 17: symmetric naming with the optimal P states
+// per mobile agent, an initialized leader and NON-initialized mobile agents,
+// under global fairness. (Under weak fairness this is impossible with P
+// states — Theorem 11 — and indeed the weak-fairness checker finds violating
+// schedules for this protocol at N = P.)
+//
+// Construction: Protocol 1, plus a renaming pointer name_ptr used once the
+// guess has reached n = P. BST then walks the names upward: meeting an agent
+// whose name equals name_ptr increments the pointer; meeting any other agent
+// renames it to name_ptr and resets the pointer. Under global fairness the
+// walk eventually completes (name_ptr = P) with the agents named 0..P-1.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.h"
+#include "naming/bst_state.h"
+
+namespace ppn {
+
+class GlobalLeaderNaming final : public Protocol {
+ public:
+  explicit GlobalLeaderNaming(StateId p);
+
+  std::string name() const override;
+  StateId numMobileStates() const override { return p_; }
+  bool hasLeader() const override { return true; }
+  bool isSymmetric() const override { return true; }
+
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override;
+  LeaderResult leaderDelta(LeaderStateId leader, StateId mobile) const override;
+
+  /// BST initialized: n = k = name_ptr = 0. Mobile agents arbitrary.
+  std::optional<LeaderStateId> initialLeaderState() const override {
+    return packBst(BstState{});
+  }
+  std::vector<LeaderStateId> allLeaderStates() const override;
+  std::string describeLeaderState(LeaderStateId leader) const override;
+
+  /// For N < P the protocol behaves exactly like Protocol 1 (names 1..N, no
+  /// agent keeps 0); for N = P the final names are 0..P-1, so 0 is legal.
+  bool isValidName(StateId s) const override {
+    (void)s;
+    return true;
+  }
+
+  std::optional<std::uint64_t> countingAnswer(LeaderStateId leader) const override {
+    return unpackBst(leader).n;
+  }
+
+  StateId p() const { return p_; }
+
+ private:
+  StateId p_;
+};
+
+}  // namespace ppn

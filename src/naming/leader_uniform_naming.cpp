@@ -1,0 +1,40 @@
+#include "naming/leader_uniform_naming.h"
+
+#include <stdexcept>
+
+namespace ppn {
+
+LeaderUniformNaming::LeaderUniformNaming(StateId p) : p_(p) {
+  if (p == 0) throw std::invalid_argument("LeaderUniformNaming: P must be >= 1");
+}
+
+std::string LeaderUniformNaming::name() const {
+  return "leader-uniform-naming(P=" + std::to_string(p_) + ")";
+}
+
+MobilePair LeaderUniformNaming::mobileDelta(StateId initiator,
+                                            StateId responder) const {
+  return MobilePair{initiator, responder};  // all mobile-mobile rules null
+}
+
+LeaderResult LeaderUniformNaming::leaderDelta(LeaderStateId leader,
+                                              StateId mobile) const {
+  const StateId unnamed = static_cast<StateId>(p_ - 1);
+  const auto c = static_cast<StateId>(leader);
+  if (mobile == unnamed && c < unnamed) {
+    return LeaderResult{static_cast<LeaderStateId>(c + 1), c};
+  }
+  return LeaderResult{leader, mobile};
+}
+
+std::vector<LeaderStateId> LeaderUniformNaming::allLeaderStates() const {
+  std::vector<LeaderStateId> all;
+  for (StateId c = 0; c < p_; ++c) all.push_back(c);
+  return all;
+}
+
+std::string LeaderUniformNaming::describeLeaderState(LeaderStateId leader) const {
+  return "c=" + std::to_string(leader);
+}
+
+}  // namespace ppn

@@ -1,0 +1,45 @@
+// Proposition 14: with an initialized leader AND uniformly initialized
+// mobile agents, symmetric naming needs only the trivially optimal P states,
+// under weak (hence also global) fairness.
+//
+// Construction (paper proof, 0-based states here): mobile agents start in the
+// reserved state P-1; the leader holds a counter c initialized to 0. When the
+// leader meets an agent still in state P-1 and c < P-1, it names the agent c
+// and increments c. The P-th agent (if the population is full) keeps P-1 as
+// its name. Mobile-mobile interactions are all null, so the protocol is
+// trivially symmetric.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace ppn {
+
+class LeaderUniformNaming final : public Protocol {
+ public:
+  explicit LeaderUniformNaming(StateId p);
+
+  std::string name() const override;
+  StateId numMobileStates() const override { return p_; }
+  bool hasLeader() const override { return true; }
+  bool isSymmetric() const override { return true; }
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override;
+  LeaderResult leaderDelta(LeaderStateId leader, StateId mobile) const override;
+
+  std::optional<StateId> uniformMobileInit() const override {
+    return static_cast<StateId>(p_ - 1);
+  }
+  std::optional<LeaderStateId> initialLeaderState() const override {
+    return LeaderStateId{0};
+  }
+  std::vector<LeaderStateId> allLeaderStates() const override;
+  std::string describeLeaderState(LeaderStateId leader) const override;
+
+  StateId p() const { return p_; }
+
+ private:
+  StateId p_;
+};
+
+}  // namespace ppn

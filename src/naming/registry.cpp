@@ -1,0 +1,51 @@
+#include "naming/registry.h"
+
+#include <stdexcept>
+
+#include "naming/asymmetric_naming.h"
+#include "naming/counting_protocol.h"
+#include "naming/global_leader_naming.h"
+#include "naming/leader_uniform_naming.h"
+#include "naming/selfstab_weak_naming.h"
+#include "naming/symmetric_global_naming.h"
+
+namespace ppn {
+
+std::vector<std::string> protocolKeys() {
+  return {"asymmetric",    "symmetric-global", "leader-uniform",
+          "counting",      "selfstab-weak",    "global-leader"};
+}
+
+std::unique_ptr<Protocol> makeProtocol(const std::string& key, StateId p) {
+  if (key == "asymmetric") return std::make_unique<AsymmetricNaming>(p);
+  if (key == "symmetric-global") return std::make_unique<SymmetricGlobalNaming>(p);
+  if (key == "leader-uniform") return std::make_unique<LeaderUniformNaming>(p);
+  if (key == "counting") return std::make_unique<CountingProtocol>(p);
+  if (key == "selfstab-weak") return std::make_unique<SelfStabWeakNaming>(p);
+  if (key == "global-leader") return std::make_unique<GlobalLeaderNaming>(p);
+  throw std::invalid_argument("unknown protocol key '" + key + "'");
+}
+
+std::string protocolAssumptions(const std::string& key) {
+  if (key == "asymmetric") {
+    return "asymmetric rules, no leader, arbitrary init, weak/global fairness, P states";
+  }
+  if (key == "symmetric-global") {
+    return "symmetric rules, no leader, arbitrary init, global fairness, P+1 states";
+  }
+  if (key == "leader-uniform") {
+    return "symmetric rules, initialized leader+agents, weak fairness, P states";
+  }
+  if (key == "counting") {
+    return "counting (Thm 15): symmetric, initialized leader, weak fairness, P states";
+  }
+  if (key == "selfstab-weak") {
+    return "symmetric rules, non-initialized leader, arbitrary init, weak fairness, P+1 states";
+  }
+  if (key == "global-leader") {
+    return "symmetric rules, initialized leader, arbitrary agents, global fairness, P states";
+  }
+  throw std::invalid_argument("unknown protocol key '" + key + "'");
+}
+
+}  // namespace ppn

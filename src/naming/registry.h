@@ -1,0 +1,29 @@
+// Name-keyed factory over all protocols in this library, so benches, tests
+// and examples can be driven by a --protocol flag.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+
+namespace ppn {
+
+/// Keys accepted by makeProtocol.
+std::vector<std::string> protocolKeys();
+
+/// Creates the protocol `key` with bound P. Throws std::invalid_argument for
+/// unknown keys or invalid P. Keys:
+///   asymmetric        — Prop 12, P states, no leader, self-stabilizing
+///   symmetric-global  — Prop 13, P+1 states, no leader, self-stabilizing
+///   leader-uniform    — Prop 14, P states, initialized leader + agents
+///   counting          — Protocol 1 of [11] (Theorem 15)
+///   selfstab-weak     — Protocol 2 / Prop 16, P+1 states, self-stabilizing
+///   global-leader     — Protocol 3 / Prop 17, P states, initialized leader
+std::unique_ptr<Protocol> makeProtocol(const std::string& key, StateId p);
+
+/// One-line summary of a protocol's model assumptions (for tables).
+std::string protocolAssumptions(const std::string& key);
+
+}  // namespace ppn

@@ -1,0 +1,64 @@
+#include "naming/selfstab_weak_naming.h"
+
+#include <stdexcept>
+
+#include "naming/bst_counting_core.h"
+
+namespace ppn {
+
+SelfStabWeakNaming::SelfStabWeakNaming(StateId p, bool withReset)
+    : p_(p), withReset_(withReset) {
+  if (p < 1) throw std::invalid_argument("SelfStabWeakNaming: P must be >= 1");
+}
+
+std::string SelfStabWeakNaming::name() const {
+  return std::string("selfstab-weak-naming-protocol2(P=") + std::to_string(p_) +
+         (withReset_ ? ")" : ", no-reset)");
+}
+
+MobilePair SelfStabWeakNaming::mobileDelta(StateId initiator,
+                                           StateId responder) const {
+  if (initiator == responder) {
+    return MobilePair{0, 0};
+  }
+  return MobilePair{initiator, responder};
+}
+
+LeaderResult SelfStabWeakNaming::leaderDelta(LeaderStateId leader,
+                                             StateId mobile) const {
+  BstState bst = unpackBst(leader);
+  StateId name = mobile;
+  const CountingCoreParams params{
+      .nLimit = p_ + 1,  // paper: body active while n <= P
+      .kMax = kBoundForExponent(p_),
+      .nameCap = p_,
+  };
+  if (!countingBody(bst, name, params)) {
+    if (withReset_ && bst.n > p_ && name == 0) {
+      // Reset rule (Protocol 2 lines 11-12): the naming attempt failed
+      // because of a corrupted start; restart it.
+      bst.n = 0;
+      bst.k = 0;
+    }
+  }
+  return LeaderResult{packBst(bst), name};
+}
+
+std::vector<LeaderStateId> SelfStabWeakNaming::allLeaderStates() const {
+  if (p_ > 12) return {};
+  std::vector<LeaderStateId> all;
+  const std::uint64_t kMax = kBoundForExponent(p_);
+  for (std::uint32_t n = 0; n <= p_ + 1; ++n) {
+    for (std::uint64_t k = 0; k <= kMax; ++k) {
+      all.push_back(packBst(BstState{.n = n, .k = k, .namePtr = 0}));
+    }
+  }
+  return all;
+}
+
+std::string SelfStabWeakNaming::describeLeaderState(LeaderStateId leader) const {
+  const BstState s = unpackBst(leader);
+  return "BST(n=" + std::to_string(s.n) + ",k=" + std::to_string(s.k) + ")";
+}
+
+}  // namespace ppn

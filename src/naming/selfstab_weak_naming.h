@@ -1,0 +1,51 @@
+// Protocol 2 / Proposition 16: self-stabilizing symmetric naming under weak
+// fairness with P + 1 states per mobile agent and a unique NON-initialized
+// leader. Optimal: Theorem 11 shows P states do not suffice even with an
+// initialized leader.
+//
+// Construction: Protocol 1 with (a) the mobile state space widened to 0..P so
+// that U* = U_P can name up to P agents (names 1..P), and (b) a reset rule —
+// when the guess n has overrun P and BST still meets a 0-agent (homonyms
+// persist), it concludes the naming attempt failed (e.g. it started from a
+// corrupted state) and restarts with n = k = 0.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.h"
+#include "naming/bst_state.h"
+
+namespace ppn {
+
+class SelfStabWeakNaming final : public Protocol {
+ public:
+  /// `withReset = false` drops the reset rule (lines 11-12) — the ablation
+  /// used by bench/ablation_reset to show the reset is what buys
+  /// self-stabilization: without it, a corrupted BST with n > P wedges the
+  /// protocol forever.
+  explicit SelfStabWeakNaming(StateId p, bool withReset = true);
+
+  std::string name() const override;
+  StateId numMobileStates() const override { return p_ + 1; }
+  bool hasLeader() const override { return true; }
+  bool isSymmetric() const override { return true; }
+
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override;
+  LeaderResult leaderDelta(LeaderStateId leader, StateId mobile) const override;
+
+  /// Self-stabilizing: neither the mobile agents nor the leader are
+  /// initialized, so no initial states are declared.
+  std::vector<LeaderStateId> allLeaderStates() const override;
+  std::string describeLeaderState(LeaderStateId leader) const override;
+
+  bool isValidName(StateId s) const override { return s != 0; }
+
+  StateId p() const { return p_; }
+  bool withReset() const { return withReset_; }
+
+ private:
+  StateId p_;
+  bool withReset_;
+};
+
+}  // namespace ppn

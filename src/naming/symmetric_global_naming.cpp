@@ -1,0 +1,37 @@
+#include "naming/symmetric_global_naming.h"
+
+#include <stdexcept>
+
+namespace ppn {
+
+SymmetricGlobalNaming::SymmetricGlobalNaming(StateId p) : p_(p) {
+  if (p < 2) {
+    throw std::invalid_argument("SymmetricGlobalNaming: P must be >= 2");
+  }
+}
+
+std::string SymmetricGlobalNaming::name() const {
+  return "symmetric-global-naming(P=" + std::to_string(p_) + ")";
+}
+
+MobilePair SymmetricGlobalNaming::mobileDelta(StateId initiator,
+                                              StateId responder) const {
+  const StateId blank = p_;
+  if (initiator == blank && responder == blank) {
+    return MobilePair{1, 1};  // rule 3
+  }
+  if (initiator == responder) {
+    return MobilePair{blank, blank};  // rule 2 (s != P homonyms)
+  }
+  if (responder == blank) {
+    // rule 1: (s, P) -> (s, s+1 mod P)
+    return MobilePair{initiator, static_cast<StateId>((initiator + 1) % p_)};
+  }
+  if (initiator == blank) {
+    // symmetric counterpart of rule 1: (P, s) -> (s+1 mod P, s)
+    return MobilePair{static_cast<StateId>((responder + 1) % p_), responder};
+  }
+  return MobilePair{initiator, responder};
+}
+
+}  // namespace ppn

@@ -1,0 +1,39 @@
+// Proposition 13: the first leaderless symmetric space-optimal
+// self-stabilizing naming protocol, correct under global fairness for
+// 2 < N <= P, using P + 1 states per agent (optimal by Proposition 2: P
+// states are impossible for symmetric rules without a leader).
+//
+// States are 0..P, where state P is the extra "blank" state. Transition
+// rules (paper numbering):
+//   1. s != P : (s, P) -> (s, s+1 mod P)   — a blank agent adopts the
+//                                            successor of a named neighbour
+//   2. s != P : (s, s) -> (P, P)           — homonyms blank out
+//   3.          (P, P) -> (1, 1)           — two blanks re-seed name 1
+// Everything else is null.
+#pragma once
+
+#include "core/protocol.h"
+
+namespace ppn {
+
+class SymmetricGlobalNaming final : public Protocol {
+ public:
+  /// P >= 2 (with P = 1 rule 3's target name 1 would not exist).
+  explicit SymmetricGlobalNaming(StateId p);
+
+  std::string name() const override;
+  StateId numMobileStates() const override { return p_ + 1; }
+  bool isSymmetric() const override { return true; }
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override;
+
+  /// State P is the blank marker, never a legal final name.
+  bool isValidName(StateId s) const override { return s != p_; }
+
+  StateId p() const { return p_; }
+  StateId blankState() const { return p_; }
+
+ private:
+  StateId p_;
+};
+
+}  // namespace ppn

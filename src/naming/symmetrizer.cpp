@@ -1,0 +1,44 @@
+#include "naming/symmetrizer.h"
+
+#include <stdexcept>
+
+namespace ppn {
+
+SymmetrizedProtocol::SymmetrizedProtocol(const Protocol& inner)
+    : inner_(&inner), innerQ_(inner.numMobileStates()) {
+  if (inner.hasLeader()) {
+    throw std::invalid_argument(
+        "SymmetrizedProtocol: leader interactions are already asymmetric; "
+        "only leaderless protocols are transformed");
+  }
+}
+
+std::string SymmetrizedProtocol::name() const {
+  return "symmetrized(" + inner_->name() + ")";
+}
+
+MobilePair SymmetrizedProtocol::mobileDelta(StateId initiator,
+                                            StateId responder) const {
+  const StateId p = innerState(initiator);
+  const StateId q = innerState(responder);
+  const bool ba = coin(initiator);
+  const bool bb = coin(responder);
+
+  if (ba != bb) {
+    // The 0-bit agent plays the inner initiator; both coins flip.
+    const MobilePair r = ba ? inner_->mobileDelta(q, p)   // responder leads
+                            : inner_->mobileDelta(p, q);  // initiator leads
+    const StateId newP = ba ? r.responder : r.initiator;
+    const StateId newQ = ba ? r.initiator : r.responder;
+    return MobilePair{encode(newP, !ba), encode(newQ, !bb)};
+  }
+  if (p != q) {
+    // Tie-break: the smaller inner state flips its coin. Symmetric because
+    // the choice depends only on state values, never on position.
+    if (p < q) return MobilePair{encode(p, !ba), responder};
+    return MobilePair{initiator, encode(q, !bb)};
+  }
+  return MobilePair{initiator, responder};  // fully identical: stuck pair
+}
+
+}  // namespace ppn

@@ -1,0 +1,59 @@
+// The asymmetric-to-symmetric transformer of the paper's footnote 5
+// (Bournez, Chalopin, Cohen, Koegler, Rabie [17]), reconstructed: every
+// agent carries one extra *coin bit* next to its inner state, doubling the
+// state count. The bit decides who plays the asymmetric initiator role, so
+// the resulting rule set is symmetric:
+//
+//   bits differ              -> the 0-bit agent initiates the inner rule;
+//                               both agents then flip their bits (so roles
+//                               alternate between repeat encounters);
+//   bits equal, states differ-> the lower inner state flips its bit (a
+//                               deterministic tie-break step: the pair
+//                               becomes role-assigned);
+//   bits equal, states equal -> null. Two fully identical agents can never
+//                               be separated by symmetric rules — this is
+//                               exactly why the transformer "requires global
+//                               fairness and doubles the number of states
+//                               per agent", and why it is "frequently
+//                               inadequate for obtaining a space efficient
+//                               symmetric solution" (footnote 5): 2P states
+//                               versus the optimal P+1.
+//
+// Names are the inner states (nameOf projection): coin flips are auxiliary
+// and do not count as renamings.
+#pragma once
+
+#include "core/protocol.h"
+
+namespace ppn {
+
+class SymmetrizedProtocol final : public Protocol {
+ public:
+  /// Wraps `inner` (non-owning, must outlive the wrapper, must be
+  /// leaderless). State encoding: inner * 2 + bit.
+  explicit SymmetrizedProtocol(const Protocol& inner);
+
+  std::string name() const override;
+  StateId numMobileStates() const override { return 2 * innerQ_; }
+  bool isSymmetric() const override { return true; }
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override;
+
+  bool isValidName(StateId s) const override {
+    return inner_->isValidName(innerState(s));
+  }
+  StateId nameOf(StateId s) const override {
+    return inner_->nameOf(innerState(s));
+  }
+
+  StateId innerState(StateId s) const { return s / 2; }
+  bool coin(StateId s) const { return (s & 1u) != 0; }
+  StateId encode(StateId innerS, bool bit) const {
+    return innerS * 2 + (bit ? 1u : 0u);
+  }
+
+ private:
+  const Protocol* inner_;
+  StateId innerQ_;
+};
+
+}  // namespace ppn

@@ -1,0 +1,33 @@
+#include "naming/ustar.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ppn {
+
+std::vector<std::uint32_t> buildUStar(std::uint32_t n) {
+  if (n == 0) return {};
+  if (n > 30) {
+    throw std::invalid_argument("buildUStar: 2^n - 1 would not fit in memory");
+  }
+  // Iterative doubling mirrors the recursion U_n = U_{n-1}, n, U_{n-1}.
+  std::vector<std::uint32_t> u{1};
+  for (std::uint32_t level = 2; level <= n; ++level) {
+    std::vector<std::uint32_t> next;
+    next.reserve(u.size() * 2 + 1);
+    next.insert(next.end(), u.begin(), u.end());
+    next.push_back(level);
+    next.insert(next.end(), u.begin(), u.end());
+    u = std::move(next);
+  }
+  return u;
+}
+
+std::uint32_t rulerValue(std::uint64_t k) {
+  if (k == 0) {
+    throw std::invalid_argument("rulerValue: k is 1-based");
+  }
+  return static_cast<std::uint32_t>(std::countr_zero(k)) + 1;
+}
+
+}  // namespace ppn

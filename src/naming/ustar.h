@@ -1,0 +1,29 @@
+// The U* naming sequence of Protocols 1-3 (from Beauquier, Burman, Clavière,
+// Sohier, "Space-optimal counting in population protocols", DISC 2015 — the
+// paper's reference [11]).
+//
+// Recursive definition: U_1 = (1), U_n = U_{n-1}, n, U_{n-1}. |U_n| = 2^n - 1
+// and the k-th element (1-based) is the classical *ruler function*
+// ctz(k) + 1, where ctz is the number of trailing zero bits of k. Both forms
+// are provided; tests cross-check them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ppn {
+
+/// Materializes U_n as a vector of length 2^n - 1 with values in 1..n.
+/// Intended for tests and small n; protocols use rulerValue().
+std::vector<std::uint32_t> buildUStar(std::uint32_t n);
+
+/// The k-th element of the infinite ruler sequence, k >= 1: ctz(k) + 1.
+/// For 1 <= k <= 2^n - 1 this equals U_n[k-1].
+std::uint32_t rulerValue(std::uint64_t k);
+
+/// l_n = 2^n - 1 = |U_n| (the paper's shortcut).
+constexpr std::uint64_t ustarLength(std::uint32_t n) {
+  return (std::uint64_t{1} << n) - 1;
+}
+
+}  // namespace ppn

@@ -1,0 +1,75 @@
+// Adversarial schedulers reproducing the executions constructed inside the
+// paper's impossibility proofs.
+//
+//  * IsolationScheduler — the "hidden agent" of Theorem 11 / Lemma 5: one
+//    designated agent is kept out of all interactions for a configurable
+//    number of steps while the rest of the population runs (and typically
+//    converges as if the population were smaller); afterwards the agent is
+//    released. Releasing eventually keeps the schedule weakly fair.
+//  * CallbackScheduler — a fully general configuration-aware adversary: a
+//    strategy function inspects the current configuration and picks the next
+//    pair. Used for the Section 2 black/white example (keeping the black
+//    token jumping forever) and for hand-crafted proof replays.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/configuration.h"
+#include "sched/scheduler.h"
+
+namespace ppn {
+
+class IsolationScheduler final : public Scheduler {
+ public:
+  /// Wraps `inner` (owned); interactions involving `isolated` are filtered
+  /// out (re-drawn) for the first `isolationSteps` emitted interactions.
+  IsolationScheduler(std::unique_ptr<Scheduler> inner, std::uint32_t isolated,
+                     std::uint64_t isolationSteps)
+      : inner_(std::move(inner)),
+        isolated_(isolated),
+        remaining_(isolationSteps) {}
+
+  Interaction next() override {
+    if (remaining_ == 0) return inner_->next();
+    --remaining_;
+    for (;;) {
+      const Interaction it = inner_->next();
+      if (it.initiator != isolated_ && it.responder != isolated_) return it;
+    }
+  }
+
+  std::string name() const override {
+    return "isolate(" + inner_->name() + ")";
+  }
+
+  void reset() override { inner_->reset(); }
+
+  bool stillIsolating() const { return remaining_ > 0; }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  std::uint32_t isolated_;
+  std::uint64_t remaining_;
+};
+
+class CallbackScheduler final : public Scheduler {
+ public:
+  /// `strategy(t)` returns the t-th interaction (t starts at 0). The strategy
+  /// typically captures a pointer to the engine to inspect the live
+  /// configuration.
+  CallbackScheduler(std::string schedulerName,
+                    std::function<Interaction(std::uint64_t)> strategy)
+      : name_(std::move(schedulerName)), strategy_(std::move(strategy)) {}
+
+  Interaction next() override { return strategy_(t_++); }
+  std::string name() const override { return name_; }
+  void reset() override { t_ = 0; }
+
+ private:
+  std::string name_;
+  std::function<Interaction(std::uint64_t)> strategy_;
+  std::uint64_t t_ = 0;
+};
+
+}  // namespace ppn

@@ -1,0 +1,53 @@
+#include "sched/deterministic_schedulers.h"
+
+#include <algorithm>
+
+namespace ppn {
+
+TournamentScheduler::TournamentScheduler(std::uint32_t numParticipants) {
+  if (numParticipants < 2) {
+    throw std::invalid_argument("need at least 2 participants");
+  }
+  odd_ = (numParticipants % 2) != 0;
+  const std::uint32_t k = odd_ ? numParticipants + 1 : numParticipants;
+  slots_.resize(k);
+  for (std::uint32_t i = 0; i < k; ++i) slots_[i] = i;  // k-1 is the bye slot
+  buildRoundMatches();
+}
+
+void TournamentScheduler::buildRoundMatches() {
+  roundMatches_.clear();
+  const std::size_t k = slots_.size();
+  const std::uint32_t bye =
+      odd_ ? static_cast<std::uint32_t>(k - 1) : kInvalidState;
+  for (std::size_t i = 0; i < k / 2; ++i) {
+    const std::uint32_t a = slots_[i];
+    const std::uint32_t b = slots_[k - 1 - i];
+    if (a == bye || b == bye) continue;  // sit-out in odd populations
+    roundMatches_.push_back(Interaction{a, b});
+  }
+  matchIndex_ = 0;
+}
+
+void TournamentScheduler::rotate() {
+  // Standard circle method: slot 0 is fixed, the rest rotate by one.
+  if (slots_.size() > 2) {
+    std::rotate(slots_.begin() + 1, slots_.end() - 1, slots_.end());
+  }
+}
+
+Interaction TournamentScheduler::next() {
+  if (matchIndex_ >= roundMatches_.size()) {
+    rotate();
+    buildRoundMatches();
+  }
+  return roundMatches_[matchIndex_++];
+}
+
+void TournamentScheduler::reset() {
+  const std::size_t k = slots_.size();
+  for (std::uint32_t i = 0; i < k; ++i) slots_[i] = i;
+  buildRoundMatches();
+}
+
+}  // namespace ppn

@@ -1,0 +1,86 @@
+// Deterministic weakly fair schedulers.
+//
+// RoundRobinScheduler cycles through every ordered pair in lexicographic
+// order; TournamentScheduler plays rounds of perfect matchings produced by
+// the classical circle method, mirroring the phase structure used in the
+// proof of Proposition 1 ("the agents are matched in pairs and interact
+// accordingly"). Both guarantee every pair of participants interacts
+// infinitely often — weak fairness — with no randomness at all.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace ppn {
+
+/// All ordered pairs (i, j), i != j, in a fixed cyclic order. The cycle
+/// length is M(M-1) for M participants.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(std::uint32_t numParticipants)
+      : n_(numParticipants) {
+    if (n_ < 2) throw std::invalid_argument("need at least 2 participants");
+  }
+
+  Interaction next() override {
+    const Interaction out{i_, j_};
+    advance();
+    return out;
+  }
+
+  std::string name() const override { return "round-robin"; }
+
+  void reset() override {
+    i_ = 0;
+    j_ = 1;
+  }
+
+ private:
+  void advance() {
+    ++j_;
+    if (j_ == i_) ++j_;
+    if (j_ >= n_) {
+      j_ = 0;
+      ++i_;
+      if (i_ >= n_) i_ = 0;
+      if (j_ == i_) j_ = 1;
+    }
+  }
+
+  std::uint32_t n_;
+  std::uint32_t i_ = 0;
+  std::uint32_t j_ = 1;
+};
+
+/// Circle-method round-robin tournament: participants are matched in rounds
+/// of (near-)perfect matchings; each round's matches are emitted one by one.
+/// For an even number of participants every agent is matched every round —
+/// exactly the phase structure of Proposition 1's adversarial execution. For
+/// an odd number, one participant sits out each round. Every pair meets once
+/// per M-1 (even M) or M (odd M) rounds, so the schedule is weakly fair.
+class TournamentScheduler final : public Scheduler {
+ public:
+  explicit TournamentScheduler(std::uint32_t numParticipants);
+
+  Interaction next() override;
+  std::string name() const override { return "tournament"; }
+  void reset() override;
+
+  /// Number of matches per round (for tests/benches).
+  std::uint32_t matchesPerRound() const {
+    return static_cast<std::uint32_t>(slots_.size() / 2);
+  }
+
+ private:
+  void buildRoundMatches();
+  void rotate();
+
+  std::vector<std::uint32_t> slots_;  // circle arrangement; slot 0 is fixed
+  std::vector<Interaction> roundMatches_;
+  std::size_t matchIndex_ = 0;
+  bool odd_ = false;
+};
+
+}  // namespace ppn

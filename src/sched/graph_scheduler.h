@@ -1,0 +1,78 @@
+// Schedulers constrained to an interaction graph: only adjacent participants
+// may meet. GraphRandomScheduler picks a uniform random edge each step
+// (globally fair w.p. 1 *within the topology*); GraphRoundRobinScheduler
+// cycles the edge list deterministically (weakly fair within the topology:
+// every EDGE occurs infinitely often).
+#pragma once
+
+#include <stdexcept>
+
+#include "core/interaction_graph.h"
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace ppn {
+
+class GraphRandomScheduler final : public Scheduler {
+ public:
+  GraphRandomScheduler(InteractionGraph graph, std::uint64_t seed)
+      : graph_(std::move(graph)), rng_(seed) {
+    if (graph_.numEdges() == 0) {
+      throw std::invalid_argument("GraphRandomScheduler: no edges");
+    }
+  }
+
+  Interaction next() override {
+    const auto& [a, b] = graph_.edges()[rng_.below(graph_.numEdges())];
+    // Uniform random orientation (matters only for asymmetric rules).
+    return rng_.chance(0.5) ? Interaction{a, b} : Interaction{b, a};
+  }
+
+  std::string name() const override {
+    return "graph-random/" + graph_.describe();
+  }
+
+  const InteractionGraph& graph() const { return graph_; }
+
+ private:
+  InteractionGraph graph_;
+  Rng rng_;
+};
+
+class GraphRoundRobinScheduler final : public Scheduler {
+ public:
+  explicit GraphRoundRobinScheduler(InteractionGraph graph)
+      : graph_(std::move(graph)) {
+    if (graph_.numEdges() == 0) {
+      throw std::invalid_argument("GraphRoundRobinScheduler: no edges");
+    }
+  }
+
+  Interaction next() override {
+    const auto& [a, b] = graph_.edges()[index_];
+    ++index_;
+    if (index_ == graph_.numEdges()) {
+      index_ = 0;
+      flip_ = !flip_;  // alternate orientation between laps
+    }
+    return flip_ ? Interaction{b, a} : Interaction{a, b};
+  }
+
+  std::string name() const override {
+    return "graph-round-robin/" + graph_.describe();
+  }
+
+  void reset() override {
+    index_ = 0;
+    flip_ = false;
+  }
+
+  const InteractionGraph& graph() const { return graph_; }
+
+ private:
+  InteractionGraph graph_;
+  std::size_t index_ = 0;
+  bool flip_ = false;
+};
+
+}  // namespace ppn

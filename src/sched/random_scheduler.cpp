@@ -1,0 +1,47 @@
+#include "sched/random_scheduler.h"
+
+#include <algorithm>
+
+namespace ppn {
+
+SkewedRandomScheduler::SkewedRandomScheduler(std::vector<double> weights,
+                                             std::uint64_t seed)
+    : rng_(seed) {
+  if (weights.size() < 2) {
+    throw std::invalid_argument("need at least 2 participants");
+  }
+  double sum = 0.0;
+  cumulative_.reserve(weights.size());
+  for (const double w : weights) {
+    if (w <= 0.0) {
+      throw std::invalid_argument(
+          "weights must be strictly positive to preserve global fairness");
+    }
+    sum += w;
+    cumulative_.push_back(sum);
+  }
+}
+
+std::uint32_t SkewedRandomScheduler::drawExcluding(std::uint32_t excluded) {
+  // Rejection sampling: with strictly positive weights the expected number of
+  // retries is bounded by 1/(1 - w_excluded/total), fine for our workloads.
+  for (;;) {
+    const double u = rng_.uniform01() * cumulative_.back();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    const auto idx = static_cast<std::uint32_t>(
+        std::distance(cumulative_.begin(), it));
+    const auto clamped = std::min(
+        idx, static_cast<std::uint32_t>(cumulative_.size() - 1));
+    if (clamped != excluded) return clamped;
+  }
+}
+
+Interaction SkewedRandomScheduler::next() {
+  const std::uint32_t a =
+      drawExcluding(static_cast<std::uint32_t>(cumulative_.size()));
+  const std::uint32_t b = drawExcluding(a);
+  return Interaction{a, b};
+}
+
+}  // namespace ppn

@@ -1,0 +1,59 @@
+// The paper's *reduced executions* (Section 3.1), as a scheduler.
+//
+// In a reduced execution, "each time a pair of s != m homonyms appears, it
+// is immediately reduced to m": whenever two mobile agents share a non-sink
+// state, the adversary schedules that pair (repeatedly, until the homonyms
+// are gone); only then do other interactions proceed. The paper's
+// Corollary 7 observes that forcing reductions never breaks weak fairness —
+// which this wrapper preserves by delegating to a weakly fair inner
+// scheduler between reduction bursts (interactions are inserted, never
+// dropped, so every inner pair still occurs infinitely often).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/engine.h"
+#include "sched/scheduler.h"
+
+namespace ppn {
+
+class ReducingScheduler final : public Scheduler {
+ public:
+  /// Watches `engine`'s live configuration (non-owning; the engine must
+  /// outlive the scheduler and be the one consuming next()). `sink` is the
+  /// state m that reductions target (0 for Protocols 1-3).
+  ReducingScheduler(const Engine& engine, std::unique_ptr<Scheduler> inner,
+                    StateId sink)
+      : engine_(&engine), inner_(std::move(inner)), sink_(sink) {}
+
+  Interaction next() override {
+    if (const auto pair = findReduciblePair()) return *pair;
+    return inner_->next();
+  }
+
+  std::string name() const override { return "reducing(" + inner_->name() + ")"; }
+
+  void reset() override { inner_->reset(); }
+
+  /// The pair of non-sink homonyms that must be reduced next, if any — also
+  /// usable by tests to assert the reduced-execution invariant.
+  std::optional<Interaction> findReduciblePair() const {
+    const Configuration& c = engine_->config();
+    const auto n = c.numMobile();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (c.mobile[i] == sink_) continue;
+      for (std::uint32_t j = i + 1; j < n; ++j) {
+        if (c.mobile[i] == c.mobile[j]) return Interaction{i, j};
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const Engine* engine_;
+  std::unique_ptr<Scheduler> inner_;
+  StateId sink_;
+};
+
+}  // namespace ppn

@@ -1,0 +1,39 @@
+// Schedulers realize the paper's fairness conditions (Section 2).
+//
+//  * Global fairness — "if C occurs infinitely often and C -> C', then C'
+//    occurs infinitely often" — is realized with probability 1 by any
+//    scheduler that gives every ordered pair a positive probability at every
+//    step (RandomScheduler, SkewedRandomScheduler); the paper cites [39] for
+//    this equivalence.
+//  * Weak fairness — every pair of agents interacts infinitely often — is
+//    realized deterministically by RoundRobinScheduler and
+//    TournamentScheduler, and is the arena for the adversarial schedules of
+//    the impossibility proofs (see adversary.h).
+//
+// A scheduler produces ordered participant pairs (initiator, responder) using
+// the engine's indexing convention: mobile agents 0..N-1, leader (if any) N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace ppn {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// The next interaction to execute.
+  virtual Interaction next() = 0;
+
+  /// Human-readable name for tables.
+  virtual std::string name() const = 0;
+
+  /// Restart the schedule from its beginning (meaningful for deterministic
+  /// schedulers; random schedulers keep their stream).
+  virtual void reset() {}
+};
+
+}  // namespace ppn

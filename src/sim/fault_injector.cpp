@@ -1,0 +1,53 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ppn {
+
+void injectFault(Engine& engine, const FaultPlan& plan, Rng& rng) {
+  const std::uint32_t n = engine.numMobile();
+  const std::uint32_t toCorrupt = std::min(plan.corruptAgents, n);
+  // Choose distinct victims by partial Fisher-Yates over agent ids.
+  std::vector<AgentId> agents(n);
+  for (AgentId i = 0; i < n; ++i) agents[i] = i;
+  for (std::uint32_t i = 0; i < toCorrupt; ++i) {
+    const auto j =
+        static_cast<std::uint32_t>(i + rng.below(n - i));
+    std::swap(agents[i], agents[j]);
+    const auto s = static_cast<StateId>(
+        rng.below(engine.protocol().numMobileStates()));
+    engine.corruptMobile(agents[i], s);
+  }
+  if (plan.corruptLeader && engine.protocol().hasLeader()) {
+    const auto all = engine.protocol().allLeaderStates();
+    if (!all.empty()) {
+      engine.corruptLeader(all[rng.below(all.size())]);
+    }
+  }
+}
+
+RecoveryOutcome measureRecovery(Engine& engine, Scheduler& sched,
+                                const FaultPlan& plan, const RunLimits& limits,
+                                Rng& rng) {
+  RecoveryOutcome out;
+  const RunOutcome before = runUntilSilent(engine, sched, limits);
+  out.initiallyConverged = before.silent;
+  if (!before.silent) return out;
+
+  injectFault(engine, plan, rng);
+  const std::uint64_t faultAt = engine.totalInteractions();
+  const RunOutcome after = runUntilSilent(engine, sched, limits);
+  out.recovered = after.silent;
+  out.recoveredNamed = after.namingSolved;
+  if (after.silent) {
+    // Corruption marks a change, so lastChangeAt >= faultAt — except for a
+    // no-op fault plan (zero agents, no leader), where recovery is free.
+    out.recoveryInteractions = engine.lastChangeAt() >= faultAt
+                                   ? engine.lastChangeAt() - faultAt
+                                   : 0;
+  }
+  return out;
+}
+
+}  // namespace ppn

@@ -1,0 +1,46 @@
+// Transient-fault injection for exercising self-stabilization claims.
+//
+// A transient fault arbitrarily corrupts volatile memory: here, it overwrites
+// the states of a chosen number of mobile agents (and optionally the leader)
+// with uniform-random values. A self-stabilizing protocol (Props 12, 13, 16)
+// must re-converge afterwards; protocols relying on initialization (Props 14,
+// 17, Protocol 1) may be driven to a wrong stable answer, which the
+// selfstab_recovery bench demonstrates.
+#pragma once
+
+#include <cstdint>
+
+#include "core/engine.h"
+#include "sched/scheduler.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+
+namespace ppn {
+
+struct FaultPlan {
+  /// How many distinct mobile agents to corrupt (clamped to N).
+  std::uint32_t corruptAgents = 1;
+  /// Whether to also corrupt the leader state (drawn from allLeaderStates();
+  /// ignored when the protocol has no leader or cannot enumerate them).
+  bool corruptLeader = false;
+};
+
+/// Applies one transient fault to the live configuration.
+void injectFault(Engine& engine, const FaultPlan& plan, Rng& rng);
+
+struct RecoveryOutcome {
+  bool initiallyConverged = false;  ///< pre-fault convergence reached
+  bool recovered = false;           ///< silent again after the fault
+  bool recoveredNamed = false;      ///< ... with correct naming
+  /// Interactions from the fault to the post-fault convergence (exact).
+  std::uint64_t recoveryInteractions = 0;
+};
+
+/// Converges `engine`, injects one fault, converges again and reports the
+/// recovery cost. The scheduler keeps running across the fault (a transient
+/// fault does not reset the schedule).
+RecoveryOutcome measureRecovery(Engine& engine, Scheduler& sched,
+                                const FaultPlan& plan, const RunLimits& limits,
+                                Rng& rng);
+
+}  // namespace ppn

@@ -1,0 +1,148 @@
+#include "sim/runner.h"
+
+#include <stdexcept>
+#include <thread>
+
+#include "sched/deterministic_schedulers.h"
+#include "sched/random_scheduler.h"
+
+namespace ppn {
+
+RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
+                          const RunLimits& limits) {
+  RunOutcome out;
+  out.numMobile = engine.numMobile();
+  const std::uint64_t interval = std::max<std::uint64_t>(1, limits.checkInterval);
+
+  bool silent = engine.silent();
+  std::uint64_t steps = 0;
+  while (!silent && steps < limits.maxInteractions) {
+    const std::uint64_t burst =
+        std::min(interval, limits.maxInteractions - steps);
+    for (std::uint64_t i = 0; i < burst; ++i) engine.step(sched.next());
+    steps += burst;
+    silent = engine.silent();
+  }
+
+  out.silent = silent;
+  out.namingSolved = silent && engine.namingSolved();
+  out.totalInteractions = engine.totalInteractions();
+  out.nonNullInteractions = engine.nonNullInteractions();
+  out.convergenceInteractions =
+      silent ? engine.lastChangeAt() : engine.totalInteractions();
+  out.finalConfig = engine.config();
+  return out;
+}
+
+SchedulerKind parseSchedulerKind(const std::string& s) {
+  if (s == "random") return SchedulerKind::kRandom;
+  if (s == "skewed") return SchedulerKind::kSkewed;
+  if (s == "round-robin") return SchedulerKind::kRoundRobin;
+  if (s == "tournament") return SchedulerKind::kTournament;
+  throw std::invalid_argument("unknown scheduler kind '" + s + "'");
+}
+
+std::string schedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kRandom:
+      return "random";
+    case SchedulerKind::kSkewed:
+      return "skewed";
+    case SchedulerKind::kRoundRobin:
+      return "round-robin";
+    case SchedulerKind::kTournament:
+      return "tournament";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind,
+                                         std::uint32_t numParticipants,
+                                         std::uint64_t seed, double skew) {
+  switch (kind) {
+    case SchedulerKind::kRandom:
+      return std::make_unique<RandomScheduler>(numParticipants, seed);
+    case SchedulerKind::kSkewed: {
+      std::vector<double> weights(numParticipants);
+      for (std::uint32_t i = 0; i < numParticipants; ++i) {
+        weights[i] = 1.0 + skew * static_cast<double>(i) /
+                               static_cast<double>(
+                                   std::max<std::uint32_t>(1, numParticipants - 1));
+      }
+      return std::make_unique<SkewedRandomScheduler>(std::move(weights), seed);
+    }
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>(numParticipants);
+    case SchedulerKind::kTournament:
+      return std::make_unique<TournamentScheduler>(numParticipants);
+  }
+  throw std::logic_error("unreachable scheduler kind");
+}
+
+BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
+  BatchResult result;
+  result.runs = spec.runs;
+
+  // Derive every run's inputs sequentially so results do not depend on the
+  // thread count or scheduling order.
+  struct RunInput {
+    Configuration start;
+    std::uint64_t schedulerSeed;
+  };
+  Rng master(spec.seed);
+  std::vector<RunInput> inputs;
+  inputs.reserve(spec.runs);
+  for (std::uint32_t r = 0; r < spec.runs; ++r) {
+    Rng runRng = master.split();
+    Configuration start =
+        spec.init == InitKind::kUniform
+            ? uniformConfiguration(proto, spec.numMobile)
+            : arbitraryConfiguration(proto, spec.numMobile, runRng);
+    inputs.push_back(RunInput{std::move(start), runRng.next()});
+  }
+
+  std::vector<RunOutcome> outcomes(spec.runs);
+  auto executeRange = [&](std::uint32_t begin, std::uint32_t end) {
+    for (std::uint32_t r = begin; r < end; ++r) {
+      Engine engine(proto, inputs[r].start);
+      auto sched = makeScheduler(spec.sched, engine.numParticipants(),
+                                 inputs[r].schedulerSeed);
+      outcomes[r] = runUntilSilent(engine, *sched, spec.limits);
+    }
+  };
+
+  std::uint32_t workers = spec.threads == 0
+                              ? std::max(1u, std::thread::hardware_concurrency())
+                              : spec.threads;
+  workers = std::min(workers, std::max(1u, spec.runs));
+  if (workers <= 1) {
+    executeRange(0, spec.runs);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    const std::uint32_t chunk = (spec.runs + workers - 1) / workers;
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      const std::uint32_t begin = w * chunk;
+      const std::uint32_t end = std::min(spec.runs, begin + chunk);
+      if (begin >= end) break;
+      pool.emplace_back(executeRange, begin, end);
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  std::vector<double> convergence;
+  std::vector<double> parallel;
+  for (const RunOutcome& out : outcomes) {
+    if (out.silent) {
+      ++result.converged;
+      if (out.namingSolved) ++result.named;
+      convergence.push_back(static_cast<double>(out.convergenceInteractions));
+      parallel.push_back(out.parallelTime());
+    }
+  }
+  result.convergenceInteractions = summarize(std::move(convergence));
+  result.parallelTime = summarize(std::move(parallel));
+  return result;
+}
+
+}  // namespace ppn

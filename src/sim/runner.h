@@ -1,0 +1,97 @@
+// Simulation driver: runs a protocol under a scheduler until the
+// configuration is silent (terminal), collecting convergence metrics.
+//
+// Convergence time is reported exactly: `Engine::lastChangeAt()` records the
+// interaction index of the most recent configuration change, so once silence
+// is observed (silence is permanent for deterministic protocols) the
+// convergence time does not depend on how often silence was polled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "sched/scheduler.h"
+#include "stats/summary.h"
+
+namespace ppn {
+
+struct RunLimits {
+  /// Abort the run (converged = false) after this many interactions.
+  std::uint64_t maxInteractions = 10'000'000;
+  /// Poll silence every this many interactions. Does not affect reported
+  /// convergence times, only detection overhead.
+  std::uint64_t checkInterval = 64;
+};
+
+struct RunOutcome {
+  bool silent = false;        ///< reached a terminal configuration in time
+  bool namingSolved = false;  ///< silent with distinct valid names
+  /// Interaction count at the last configuration change; the exact
+  /// convergence time when silent. Equals the step budget spent when not.
+  std::uint64_t convergenceInteractions = 0;
+  std::uint64_t totalInteractions = 0;
+  std::uint64_t nonNullInteractions = 0;
+  std::uint32_t numMobile = 0;
+  Configuration finalConfig;
+
+  /// Parallel time in the population-protocol sense: interactions / N.
+  double parallelTime() const {
+    return numMobile == 0
+               ? 0.0
+               : static_cast<double>(convergenceInteractions) / numMobile;
+  }
+};
+
+/// Steps `engine` with interactions from `sched` until silent or the budget
+/// runs out.
+RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
+                          const RunLimits& limits);
+
+/// Scheduler kinds selectable from CLI flags / experiment configs.
+enum class SchedulerKind { kRandom, kSkewed, kRoundRobin, kTournament };
+
+/// Parses "random" | "skewed" | "round-robin" | "tournament"; throws
+/// std::invalid_argument otherwise.
+SchedulerKind parseSchedulerKind(const std::string& s);
+std::string schedulerKindName(SchedulerKind kind);
+
+/// Factory. `skew` controls SkewedRandomScheduler: participant i gets weight
+/// 1 + skew * i / (M-1) (ignored by the other kinds).
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind,
+                                         std::uint32_t numParticipants,
+                                         std::uint64_t seed, double skew = 3.0);
+
+/// How mobile agents start a run.
+enum class InitKind {
+  kUniform,    ///< the protocol's declared uniform initialization
+  kArbitrary,  ///< fresh uniform-random states each run (self-stabilization)
+};
+
+struct BatchSpec {
+  std::uint32_t numMobile = 0;
+  InitKind init = InitKind::kArbitrary;
+  SchedulerKind sched = SchedulerKind::kRandom;
+  std::uint32_t runs = 32;
+  std::uint64_t seed = 1;
+  RunLimits limits;
+  /// Worker threads. Per-run seeds and starting configurations are derived
+  /// sequentially before any run executes, so results are bit-identical for
+  /// every thread count. 0 = std::thread::hardware_concurrency().
+  std::uint32_t threads = 1;
+};
+
+struct BatchResult {
+  Summary convergenceInteractions;  ///< over converged runs only
+  Summary parallelTime;
+  std::uint32_t converged = 0;  ///< runs that reached silence
+  std::uint32_t named = 0;      ///< runs that reached silence with naming
+  std::uint32_t runs = 0;
+};
+
+/// Runs `spec.runs` independent runs of `proto`, each with a fresh initial
+/// configuration and scheduler stream derived from `spec.seed`.
+BatchResult runBatch(const Protocol& proto, const BatchSpec& spec);
+
+}  // namespace ppn

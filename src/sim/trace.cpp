@@ -1,0 +1,72 @@
+#include "sim/trace.h"
+
+namespace ppn {
+
+std::size_t Trace::changes() const {
+  std::size_t n = 0;
+  for (const auto& s : steps) n += s.changed ? 1 : 0;
+  return n;
+}
+
+std::size_t Trace::lastChangeIndex() const {
+  for (std::size_t i = steps.size(); i > 0; --i) {
+    if (steps[i - 1].changed) return i - 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> Trace::renamesPerAgent(const Protocol& proto) const {
+  std::vector<std::uint32_t> renames(start.numMobile(), 0);
+  const Configuration* prev = &start;
+  for (const auto& step : steps) {
+    for (std::size_t a = 0; a < renames.size(); ++a) {
+      if (proto.nameOf(prev->mobile[a]) != proto.nameOf(step.after.mobile[a])) {
+        ++renames[a];
+      }
+    }
+    prev = &step.after;
+  }
+  return renames;
+}
+
+std::string Trace::render(const Protocol* proto, std::size_t maxSteps) const {
+  auto describe = [&](const Configuration& c) {
+    if (proto != nullptr && c.leader.has_value()) {
+      return c.toString(proto->describeLeaderState(*c.leader));
+    }
+    return c.toString();
+  };
+  std::string out = "t=0    " + describe(start) + "\n";
+  const std::size_t limit =
+      (maxSteps == 0) ? steps.size() : std::min(maxSteps, steps.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& s = steps[i];
+    out += "t=" + std::to_string(i + 1) + "  (" +
+           std::to_string(s.interaction.initiator) + "->" +
+           std::to_string(s.interaction.responder) + ")" +
+           (s.changed ? " " : " [null] ") + describe(s.after) + "\n";
+  }
+  if (limit < steps.size()) {
+    out += "... (" + std::to_string(steps.size() - limit) + " more steps)\n";
+  }
+  return out;
+}
+
+Trace recordRun(Engine& engine, Scheduler& sched,
+                std::uint64_t maxInteractions, std::uint64_t checkInterval) {
+  Trace trace;
+  trace.start = engine.config();
+  const std::uint64_t interval = std::max<std::uint64_t>(1, checkInterval);
+  bool silent = engine.silent();
+  std::uint64_t steps = 0;
+  while (!silent && steps < maxInteractions) {
+    const Interaction it = sched.next();
+    const bool changed = engine.step(it);
+    trace.steps.push_back(TraceStep{it, changed, engine.config()});
+    ++steps;
+    if (steps % interval == 0) silent = engine.silent();
+  }
+  return trace;
+}
+
+}  // namespace ppn

@@ -1,0 +1,51 @@
+// Execution traces (paper, Section 2: an execution is the sequence
+// C0, t1, C1, t2, ... of configurations and transitions). The recorder keeps
+// the interaction, whether it was null, and the resulting configuration, so
+// tests and examples can assert execution-level properties (e.g. the
+// reduced-execution invariant of Section 3.1) and render runs for humans.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/engine.h"
+#include "sched/scheduler.h"
+
+namespace ppn {
+
+struct TraceStep {
+  Interaction interaction;
+  bool changed = false;
+  Configuration after;
+};
+
+struct Trace {
+  Configuration start;
+  std::vector<TraceStep> steps;
+
+  std::size_t size() const { return steps.size(); }
+
+  /// Number of non-null steps.
+  std::size_t changes() const;
+
+  /// Interaction index of the last change (0 when none).
+  std::size_t lastChangeIndex() const;
+
+  /// Per-agent count of name changes along the trace (projection-aware).
+  std::vector<std::uint32_t> renamesPerAgent(const Protocol& proto) const;
+
+  /// Multi-line rendering: one "t: [config] (i<->j)" line per step; passing
+  /// the protocol adds leader-state descriptions. `maxSteps` truncates long
+  /// traces (0 = all).
+  std::string render(const Protocol* proto = nullptr,
+                     std::size_t maxSteps = 0) const;
+};
+
+/// Steps `engine` with `sched` for up to `maxInteractions`, recording every
+/// step; stops early once silent (checked every `checkInterval` steps).
+Trace recordRun(Engine& engine, Scheduler& sched,
+                std::uint64_t maxInteractions,
+                std::uint64_t checkInterval = 16);
+
+}  // namespace ppn

@@ -1,0 +1,68 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+namespace ppn {
+
+LinearFit linearFit(const std::vector<double>& x, const std::vector<double>& y) {
+  LinearFit fit;
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;  // vertical data: no meaningful slope
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    double ssRes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pred = fit.slope * x[i] + fit.intercept;
+      ssRes += (y[i] - pred) * (y[i] - pred);
+    }
+    fit.r2 = 1.0 - ssRes / syy;
+  } else {
+    fit.r2 = 1.0;  // constant y perfectly explained by slope 0
+  }
+  return fit;
+}
+
+namespace {
+
+LinearFit logSpaceFit(const std::vector<double>& x, const std::vector<double>& y,
+                      bool logX) {
+  std::vector<double> fx, fy;
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (y[i] <= 0.0) continue;
+    if (logX && x[i] <= 0.0) continue;
+    fx.push_back(logX ? std::log(x[i]) : x[i]);
+    fy.push_back(std::log(y[i]));
+  }
+  return linearFit(fx, fy);
+}
+
+}  // namespace
+
+LinearFit powerLawFit(const std::vector<double>& x, const std::vector<double>& y) {
+  return logSpaceFit(x, y, /*logX=*/true);
+}
+
+LinearFit exponentialFit(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  return logSpaceFit(x, y, /*logX=*/false);
+}
+
+}  // namespace ppn

@@ -1,0 +1,28 @@
+// Least-squares fits used to characterize convergence-cost growth: power
+// laws (fit in log-log space) and exponentials (fit in semi-log space).
+#pragma once
+
+#include <vector>
+
+namespace ppn {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination; 1 = perfect fit
+};
+
+/// Ordinary least squares y = slope * x + intercept. Requires >= 2 points
+/// (returns a zero fit otherwise).
+LinearFit linearFit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits y ~ c * x^k by regressing log y on log x; returns (k, log c, r2).
+/// Points with non-positive coordinates are skipped.
+LinearFit powerLawFit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits y ~ c * b^x by regressing log y on x; `slope` is ln b. Points with
+/// non-positive y are skipped.
+LinearFit exponentialFit(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+}  // namespace ppn

@@ -1,0 +1,73 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace ppn {
+
+double quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted[lo];
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = quantile(samples, 0.5);
+  s.p10 = quantile(samples, 0.1);
+  s.p90 = quantile(samples, 0.9);
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sq = 0.0;
+    for (const double x : samples) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  }
+  return s;
+}
+
+std::string Summary::toString(int precision) const {
+  return "n=" + std::to_string(count) + " mean=" + formatDouble(mean, precision) +
+         " sd=" + formatDouble(stddev, precision) +
+         " med=" + formatDouble(median, precision) +
+         " p10=" + formatDouble(p10, precision) +
+         " p90=" + formatDouble(p90, precision) +
+         " min=" + formatDouble(min, precision) +
+         " max=" + formatDouble(max, precision);
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace ppn

@@ -1,0 +1,50 @@
+// Descriptive statistics for experiment results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppn {
+
+struct Summary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+
+  std::string toString(int precision = 1) const;
+};
+
+/// Computes a Summary; an empty input yields an all-zero Summary.
+Summary summarize(std::vector<double> samples);
+
+/// Streaming mean/variance (Welford), for accumulation without storing
+/// samples. Does not provide percentiles.
+class Accumulator {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile by sorting (linear interpolation between order statistics).
+double quantile(std::vector<double> sorted, double q);
+
+}  // namespace ppn

@@ -1,0 +1,22 @@
+#include "tasks/bipartition.h"
+
+#include <cstdlib>
+
+namespace ppn {
+
+bool isBalancedBipartition(const Configuration& c) {
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  for (const StateId s : c.mobile) {
+    if (s == LeaderBipartition::kSideA) {
+      ++a;
+    } else if (s == LeaderBipartition::kSideB) {
+      ++b;
+    } else {
+      return false;  // unassigned agent
+    }
+  }
+  return std::llabs(a - b) <= 1;
+}
+
+}  // namespace ppn

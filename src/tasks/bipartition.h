@@ -1,0 +1,60 @@
+// Uniform bipartition — the problem of the paper's reference [55] (Yasumi,
+// Ooshita, Yamaguchi, Inoue, OPODIS 2017), which the introduction cites for
+// "self-stabilizing bipartition is impossible under weak fairness using a
+// constant number of states". Included here because its analysis style
+// (feasibility per assumption combination) directly parallels the paper's,
+// and because our exhaustive search machinery can re-derive the tiny-state
+// impossibility instances.
+//
+// Positive construction (initialized leader, uniform agents, weak fairness,
+// 3 mobile states): agents boot in `kUnassigned`; the leader holds one
+// parity bit and assigns sides alternately — the classic base-station
+// solution. Converges to |#A - #B| <= 1 with all agents assigned.
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace ppn {
+
+class LeaderBipartition final : public Protocol {
+ public:
+  static constexpr StateId kSideA = 0;
+  static constexpr StateId kSideB = 1;
+  static constexpr StateId kUnassigned = 2;
+
+  std::string name() const override { return "leader-bipartition"; }
+  StateId numMobileStates() const override { return 3; }
+  bool hasLeader() const override { return true; }
+  bool isSymmetric() const override { return true; }
+
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override {
+    return MobilePair{initiator, responder};  // all mobile-mobile null
+  }
+
+  LeaderResult leaderDelta(LeaderStateId leader, StateId mobile) const override {
+    if (mobile != kUnassigned) return LeaderResult{leader, mobile};
+    // leader bit 0 -> assign A, flip; bit 1 -> assign B, flip.
+    const StateId side = (leader == 0) ? kSideA : kSideB;
+    return LeaderResult{leader ^ 1u, side};
+  }
+
+  std::optional<StateId> uniformMobileInit() const override {
+    return kUnassigned;
+  }
+  std::optional<LeaderStateId> initialLeaderState() const override {
+    return LeaderStateId{0};
+  }
+  std::vector<LeaderStateId> allLeaderStates() const override { return {0, 1}; }
+  std::string describeLeaderState(LeaderStateId leader) const override {
+    return leader == 0 ? "next=A" : "next=B";
+  }
+};
+
+/// The bipartition predicate: everyone assigned and the sides balanced to
+/// within one agent.
+bool isBalancedBipartition(const Configuration& c);
+
+}  // namespace ppn

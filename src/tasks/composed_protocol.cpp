@@ -1,0 +1,69 @@
+#include "tasks/composed_protocol.h"
+
+#include <stdexcept>
+
+namespace ppn {
+
+ComposedProtocol::ComposedProtocol(const Protocol& a, const Protocol& b)
+    : a_(&a), b_(&b), qa_(a.numMobileStates()), qb_(b.numMobileStates()) {
+  if (a.hasLeader() && b.hasLeader()) {
+    throw std::invalid_argument(
+        "ComposedProtocol: at most one component may have a leader");
+  }
+}
+
+std::string ComposedProtocol::name() const {
+  return a_->name() + " || " + b_->name();
+}
+
+bool ComposedProtocol::hasLeader() const {
+  return a_->hasLeader() || b_->hasLeader();
+}
+
+MobilePair ComposedProtocol::mobileDelta(StateId initiator,
+                                         StateId responder) const {
+  const MobilePair ra =
+      a_->mobileDelta(componentA(initiator), componentA(responder));
+  const MobilePair rb =
+      b_->mobileDelta(componentB(initiator), componentB(responder));
+  return MobilePair{compose(ra.initiator, rb.initiator),
+                    compose(ra.responder, rb.responder)};
+}
+
+LeaderResult ComposedProtocol::leaderDelta(LeaderStateId leader,
+                                           StateId mobile) const {
+  // The leaderless component's state is untouched by leader interactions.
+  if (a_->hasLeader()) {
+    const LeaderResult r = a_->leaderDelta(leader, componentA(mobile));
+    return LeaderResult{r.leader, compose(r.mobile, componentB(mobile))};
+  }
+  const LeaderResult r = b_->leaderDelta(leader, componentB(mobile));
+  return LeaderResult{r.leader, compose(componentA(mobile), r.mobile)};
+}
+
+std::optional<StateId> ComposedProtocol::uniformMobileInit() const {
+  const auto ia = a_->uniformMobileInit();
+  const auto ib = b_->uniformMobileInit();
+  if (!ia.has_value() || !ib.has_value()) return std::nullopt;
+  return compose(*ia, *ib);
+}
+
+std::optional<LeaderStateId> ComposedProtocol::initialLeaderState() const {
+  if (a_->hasLeader()) return a_->initialLeaderState();
+  if (b_->hasLeader()) return b_->initialLeaderState();
+  return std::nullopt;
+}
+
+std::vector<LeaderStateId> ComposedProtocol::allLeaderStates() const {
+  if (a_->hasLeader()) return a_->allLeaderStates();
+  if (b_->hasLeader()) return b_->allLeaderStates();
+  return {};
+}
+
+std::string ComposedProtocol::describeLeaderState(LeaderStateId leader) const {
+  if (a_->hasLeader()) return a_->describeLeaderState(leader);
+  if (b_->hasLeader()) return b_->describeLeaderState(leader);
+  return Protocol::describeLeaderState(leader);
+}
+
+}  // namespace ppn

@@ -1,0 +1,9 @@
+#include "tasks/leader_election.h"
+
+namespace ppn {
+
+bool uniqueLeaderElected(const Configuration& c, StateId leaderName) {
+  return c.multiplicity(leaderName) == 1;
+}
+
+}  // namespace ppn

@@ -1,0 +1,31 @@
+// Leader election as a by-product of naming — the composition the paper's
+// introduction points at ("naming is frequently performed as a by-product or
+// as an important design module", citing leader election [19]).
+//
+// When the exact population size is known (N = P), a converged naming
+// assigns every name in {0..P-1} to exactly one agent, so "I hold name 0" is
+// a locally checkable leader predicate. Pairing this with the
+// self-stabilizing asymmetric naming protocol (Prop 12) yields
+// self-stabilizing leader election with exactly N states and exact knowledge
+// of N — matching the necessity results of Cai, Izumi, Wada [19] that the
+// paper builds on.
+#pragma once
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace ppn {
+
+/// The elected-leader predicate over a naming protocol's configurations:
+/// exactly one agent holds `leaderName`.
+bool uniqueLeaderElected(const Configuration& c, StateId leaderName = 0);
+
+/// Stabilizing leader-election problem statement for the checkers: the
+/// leaderName-holder must be unique AND stable (no agent may drift in or out
+/// of the leader name once converged). With `requireMobileQuiescence` the
+/// whole naming must freeze, which subsumes leader stability.
+struct LeaderElectionSpec {
+  StateId leaderName = 0;
+};
+
+}  // namespace ppn

@@ -1,0 +1,45 @@
+#include "tasks/majority.h"
+
+namespace ppn {
+
+MobilePair MajorityProtocol::mobileDelta(StateId initiator,
+                                         StateId responder) const {
+  auto rule = [](StateId x, StateId y) -> std::pair<StateId, StateId> {
+    // Strong opposites annihilate into weak (difference preserved).
+    if (x == kStrongA && y == kStrongB) return {kWeakA, kWeakB};
+    if (x == kStrongB && y == kStrongA) return {kWeakB, kWeakA};
+    // Strong converts opposite weak.
+    if (x == kStrongA && y == kWeakB) return {kStrongA, kWeakA};
+    if (x == kWeakB && y == kStrongA) return {kWeakA, kStrongA};
+    if (x == kStrongB && y == kWeakA) return {kStrongB, kWeakB};
+    if (x == kWeakA && y == kStrongB) return {kWeakB, kStrongB};
+    return {x, y};  // null
+  };
+  const auto [i, r] = rule(initiator, responder);
+  return MobilePair{i, r};
+}
+
+std::int64_t opinionBalance(const Configuration& c) {
+  std::int64_t balance = 0;
+  for (const StateId s : c.mobile) {
+    if (s == MajorityProtocol::kStrongA) ++balance;
+    if (s == MajorityProtocol::kStrongB) --balance;
+  }
+  return balance;
+}
+
+bool allOpinionA(const Configuration& c) {
+  for (const StateId s : c.mobile) {
+    if (!MajorityProtocol::opinionA(s)) return false;
+  }
+  return true;
+}
+
+bool allOpinionB(const Configuration& c) {
+  for (const StateId s : c.mobile) {
+    if (MajorityProtocol::opinionA(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace ppn

@@ -1,0 +1,44 @@
+// Exact majority — one of the "other forms of symmetry breaking" the paper's
+// conclusion lists as future work, implemented here as a payload task to
+// compose with naming and to exercise the substrate beyond naming.
+//
+// The classical 4-state protocol (Bénézit–Thiran–Vetterli style): agents are
+// strong or weak supporters of opinion A or B. Strong opposites annihilate
+// into weak ones (preserving the strong-count difference); strong agents
+// convert weak agents they meet. With a strict initial majority, the losing
+// side's strong agents are exhausted and the winners convert everyone. A tie
+// leaves only weak agents — provably unresolvable with 4 states.
+#pragma once
+
+#include "core/configuration.h"
+#include "core/protocol.h"
+
+namespace ppn {
+
+class MajorityProtocol final : public Protocol {
+ public:
+  static constexpr StateId kStrongA = 0;
+  static constexpr StateId kStrongB = 1;
+  static constexpr StateId kWeakA = 2;
+  static constexpr StateId kWeakB = 3;
+
+  std::string name() const override { return "majority-4state"; }
+  StateId numMobileStates() const override { return 4; }
+  bool isSymmetric() const override { return true; }
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override;
+
+  /// Opinion carried by a state (true = A).
+  static bool opinionA(StateId s) { return s == kStrongA || s == kWeakA; }
+  static bool isStrong(StateId s) { return s == kStrongA || s == kStrongB; }
+};
+
+/// Signed strong-count difference #A - #B over initial opinions of `c`
+/// (every state counts with its opinion; the protocol preserves the strong
+/// difference and the library uses it to determine the expected winner).
+std::int64_t opinionBalance(const Configuration& c);
+
+/// True when every agent currently carries opinion A (resp. B).
+bool allOpinionA(const Configuration& c);
+bool allOpinionB(const Configuration& c);
+
+}  // namespace ppn

@@ -1,0 +1,178 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <variant>
+
+#include "util/strings.h"
+
+namespace ppn {
+
+namespace {
+
+struct Option {
+  std::string name;
+  std::string help;
+  std::string defaultRepr;
+  bool isFlag = false;
+  std::variant<std::uint64_t*, std::int64_t*, double*, std::string*, bool*>
+      target;
+};
+
+}  // namespace
+
+struct Cli::Impl {
+  std::string program;
+  std::string description;
+  std::vector<Option> options;
+  // Owned storage for option values; deque-like stability via unique_ptr.
+  std::vector<std::unique_ptr<std::uint64_t>> uints;
+  std::vector<std::unique_ptr<std::int64_t>> ints;
+  std::vector<std::unique_ptr<double>> doubles;
+  std::vector<std::unique_ptr<std::string>> strings;
+  std::vector<std::unique_ptr<bool>> flags;
+
+  Option* find(std::string_view name) {
+    for (auto& o : options)
+      if (o.name == name) return &o;
+    return nullptr;
+  }
+};
+
+Cli::Cli(std::string programName, std::string description)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->program = std::move(programName);
+  impl_->description = std::move(description);
+}
+
+Cli::~Cli() = default;
+
+const std::uint64_t* Cli::addUint(std::string name, std::string help,
+                                  std::uint64_t defaultValue) {
+  impl_->uints.push_back(std::make_unique<std::uint64_t>(defaultValue));
+  auto* p = impl_->uints.back().get();
+  impl_->options.push_back(
+      {std::move(name), std::move(help), std::to_string(defaultValue), false, p});
+  return p;
+}
+
+const std::int64_t* Cli::addInt(std::string name, std::string help,
+                                std::int64_t defaultValue) {
+  impl_->ints.push_back(std::make_unique<std::int64_t>(defaultValue));
+  auto* p = impl_->ints.back().get();
+  impl_->options.push_back(
+      {std::move(name), std::move(help), std::to_string(defaultValue), false, p});
+  return p;
+}
+
+const double* Cli::addDouble(std::string name, std::string help,
+                             double defaultValue) {
+  impl_->doubles.push_back(std::make_unique<double>(defaultValue));
+  auto* p = impl_->doubles.back().get();
+  impl_->options.push_back(
+      {std::move(name), std::move(help), formatDouble(defaultValue), false, p});
+  return p;
+}
+
+const std::string* Cli::addString(std::string name, std::string help,
+                                  std::string defaultValue) {
+  impl_->strings.push_back(std::make_unique<std::string>(defaultValue));
+  auto* p = impl_->strings.back().get();
+  impl_->options.push_back(
+      {std::move(name), std::move(help), std::move(defaultValue), false, p});
+  return p;
+}
+
+const bool* Cli::addFlag(std::string name, std::string help) {
+  impl_->flags.push_back(std::make_unique<bool>(false));
+  auto* p = impl_->flags.back().get();
+  impl_->options.push_back(
+      {std::move(name), std::move(help), "false", true, p});
+  return p;
+}
+
+std::string Cli::helpText() const {
+  std::string out = impl_->program + " — " + impl_->description + "\n\nOptions:\n";
+  std::size_t width = 4;  // "help"
+  for (const auto& o : impl_->options) width = std::max(width, o.name.size());
+  for (const auto& o : impl_->options) {
+    out += "  --" + padRight(o.name, width) + "  " + o.help;
+    if (!o.isFlag) out += " (default: " + o.defaultRepr + ")";
+    out += "\n";
+  }
+  out += "  --" + padRight("help", width) + "  show this message\n";
+  return out;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(helpText().c_str(), stdout);
+      return false;
+    }
+    if (!startsWith(arg, "--")) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%.*s'\n",
+                   impl_->program.c_str(), static_cast<int>(arg.size()),
+                   arg.data());
+      return false;
+    }
+    arg.remove_prefix(2);
+    std::string_view name = arg;
+    std::string_view value;
+    bool haveValue = false;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      haveValue = true;
+    }
+    Option* opt = impl_->find(name);
+    if (opt == nullptr) {
+      std::fprintf(stderr, "%s: unknown option '--%.*s'\n",
+                   impl_->program.c_str(), static_cast<int>(name.size()),
+                   name.data());
+      return false;
+    }
+    if (opt->isFlag) {
+      if (haveValue) {
+        std::fprintf(stderr, "%s: flag '--%s' does not take a value\n",
+                     impl_->program.c_str(), opt->name.c_str());
+        return false;
+      }
+      *std::get<bool*>(opt->target) = true;
+      continue;
+    }
+    if (!haveValue) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option '--%s' needs a value\n",
+                     impl_->program.c_str(), opt->name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    bool ok = true;
+    if (auto** p = std::get_if<std::uint64_t*>(&opt->target)) {
+      auto v = parseU64(value);
+      ok = v.has_value();
+      if (ok) **p = *v;
+    } else if (auto** q = std::get_if<std::int64_t*>(&opt->target)) {
+      auto v = parseI64(value);
+      ok = v.has_value();
+      if (ok) **q = *v;
+    } else if (auto** d = std::get_if<double*>(&opt->target)) {
+      auto v = parseDouble(value);
+      ok = v.has_value();
+      if (ok) **d = *v;
+    } else if (auto** s = std::get_if<std::string*>(&opt->target)) {
+      **s = std::string(value);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "%s: invalid value '%.*s' for option '--%s'\n",
+                   impl_->program.c_str(), static_cast<int>(value.size()),
+                   value.data(), opt->name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ppn

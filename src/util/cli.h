@@ -1,0 +1,53 @@
+// Minimal declarative command-line parser for example and bench binaries.
+//
+// Usage:
+//   ppn::Cli cli("quickstart", "Runs the asymmetric naming protocol");
+//   auto n    = cli.addUint("n", "population size", 10);
+//   auto seed = cli.addUint("seed", "rng seed", 42);
+//   auto sym  = cli.addFlag("verbose", "print every interaction");
+//   if (!cli.parse(argc, argv)) return 1;   // prints help/error itself
+//   run(*n, *seed, *sym);
+//
+// Options are written `--name=value` or `--name value`; flags are `--name`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppn {
+
+class Cli {
+ public:
+  Cli(std::string programName, std::string description);
+  ~Cli();
+
+  Cli(const Cli&) = delete;
+  Cli& operator=(const Cli&) = delete;
+
+  /// Register options. The returned pointer stays valid for the Cli lifetime
+  /// and holds the default until parse() overwrites it.
+  const std::uint64_t* addUint(std::string name, std::string help,
+                               std::uint64_t defaultValue);
+  const std::int64_t* addInt(std::string name, std::string help,
+                             std::int64_t defaultValue);
+  const double* addDouble(std::string name, std::string help,
+                          double defaultValue);
+  const std::string* addString(std::string name, std::string help,
+                               std::string defaultValue);
+  const bool* addFlag(std::string name, std::string help);
+
+  /// Parse argv. Returns false (after printing a message) on error or when
+  /// --help was requested.
+  bool parse(int argc, const char* const* argv);
+
+  /// Render the help text.
+  std::string helpText() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ppn

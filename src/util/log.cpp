@@ -1,0 +1,60 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace ppn {
+
+namespace {
+
+LogLevel initialThreshold() {
+  const char* env = std::getenv("PPN_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& thresholdStorage() {
+  static std::atomic<int> level{static_cast<int>(initialThreshold())};
+  return level;
+}
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel logThreshold() {
+  return static_cast<LogLevel>(thresholdStorage().load(std::memory_order_relaxed));
+}
+
+void setLogThreshold(LogLevel level) {
+  thresholdStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+void logMessage(LogLevel level, std::string_view msg) {
+  std::fprintf(stderr, "[ppn %s] %.*s\n", levelName(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace detail
+
+}  // namespace ppn

@@ -1,0 +1,38 @@
+// Leveled stderr logging. Deliberately tiny: simulations are deterministic
+// and most diagnostics go through structured bench output, so logging is only
+// used for progress notes and unexpected conditions.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ppn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo and can
+/// be overridden by the PPN_LOG env var (debug|info|warn|error|off).
+LogLevel logThreshold();
+void setLogThreshold(LogLevel level);
+
+namespace detail {
+void logMessage(LogLevel level, std::string_view msg);
+}
+
+#define PPN_LOG_AT(level, ...)                                        \
+  do {                                                                \
+    if (static_cast<int>(level) >=                                    \
+        static_cast<int>(::ppn::logThreshold())) {                    \
+      char ppn_log_buf_[512];                                         \
+      std::snprintf(ppn_log_buf_, sizeof(ppn_log_buf_), __VA_ARGS__); \
+      ::ppn::detail::logMessage(level, ppn_log_buf_);                 \
+    }                                                                 \
+  } while (0)
+
+#define PPN_DEBUG(...) PPN_LOG_AT(::ppn::LogLevel::kDebug, __VA_ARGS__)
+#define PPN_INFO(...) PPN_LOG_AT(::ppn::LogLevel::kInfo, __VA_ARGS__)
+#define PPN_WARN(...) PPN_LOG_AT(::ppn::LogLevel::kWarn, __VA_ARGS__)
+#define PPN_ERROR(...) PPN_LOG_AT(::ppn::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace ppn

@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation for simulations and benches.
+//
+// All randomness in this library flows through ppn::Rng so that every
+// experiment is reproducible from a single 64-bit seed. The generator is
+// xoshiro256** seeded via SplitMix64, which is fast, has a 2^256-1 period and
+// passes BigCrush; it is not cryptographic and must not be used as such.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace ppn {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro's 256-bit state and
+/// as a cheap standalone mixer (e.g. for hashing).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), wrapped in the C++ URBG concept so it
+/// can also feed <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Derive an independent child generator (for per-run seeding in sweeps).
+  Rng split() noexcept { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Fisher-Yates shuffle of a random-access container.
+template <typename Container>
+void shuffle(Container& c, Rng& rng) {
+  using std::swap;
+  const std::size_t n = c.size();
+  if (n < 2) return;
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+    swap(c[i], c[j]);
+  }
+}
+
+}  // namespace ppn

@@ -1,0 +1,39 @@
+// Small string helpers shared by CLI parsing and table rendering.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppn {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Parse a non-negative integer; nullopt on malformed input or overflow.
+std::optional<std::uint64_t> parseU64(std::string_view s);
+
+/// Parse a signed integer; nullopt on malformed input or overflow.
+std::optional<std::int64_t> parseI64(std::string_view s);
+
+/// Parse a double; nullopt on malformed input.
+std::optional<double> parseDouble(std::string_view s);
+
+/// true if `s` starts with `prefix`.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Left/right pad to width with spaces (no-op if already wider).
+std::string padLeft(std::string_view s, std::size_t width);
+std::string padRight(std::string_view s, std::size_t width);
+
+/// Render a double with fixed precision, trimming trailing zeros.
+std::string formatDouble(double v, int precision = 3);
+
+}  // namespace ppn

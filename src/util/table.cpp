@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace ppn {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size() && "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::string_view s) {
+  cells_.emplace_back(s);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::uint64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double v, int precision) {
+  cells_.push_back(formatDouble(v, precision));
+  return *this;
+}
+
+Table::RowBuilder::~RowBuilder() { table_.addRow(std::move(cells_)); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::string out;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += (c == 0) ? "| " : " | ";
+      out += padRight(row[c], widths[c]);
+    }
+    out += " |\n";
+  };
+  emitRow(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += (c == 0) ? "|-" : "-|-";
+    out.append(widths[c], '-');
+  }
+  out += "-|\n";
+  for (const auto& row : rows_) emitRow(row);
+  return out;
+}
+
+namespace {
+std::string csvEscape(const std::string& cell) {
+  const bool needsQuote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::renderCsv() const {
+  std::string out;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out += ',';
+      out += csvEscape(row[c]);
+    }
+    out += '\n';
+  };
+  emitRow(header_);
+  for (const auto& row : rows_) emitRow(row);
+  return out;
+}
+
+}  // namespace ppn

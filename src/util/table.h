@@ -1,0 +1,55 @@
+// ASCII table and CSV rendering for bench output.
+//
+// Benches print both a human-readable aligned table (stdout) and, optionally,
+// machine-readable CSV, so results can be eyeballed and re-plotted.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: build a row from heterogeneous cells.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    RowBuilder& cell(std::string_view s);
+    RowBuilder& cell(std::uint64_t v);
+    RowBuilder& cell(std::int64_t v);
+    RowBuilder& cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+    RowBuilder& cell(double v, int precision = 3);
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Render as an aligned ASCII table with a separator under the header.
+  std::string render() const;
+
+  /// Render as CSV (header + rows). Cells containing commas/quotes/newlines
+  /// are quoted per RFC 4180.
+  std::string renderCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppn

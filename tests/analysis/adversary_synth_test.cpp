@@ -1,0 +1,137 @@
+#include "analysis/adversary_synth.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/initial_sets.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/color_example.h"
+#include "naming/global_leader_naming.h"
+#include "naming/symmetric_global_naming.h"
+
+namespace ppn {
+namespace {
+
+TEST(AdversarySynth, ColorExampleScheduleReplays) {
+  const ColorExample proto;
+  const Problem problem = predicateProblem("all-black", allBlack);
+  const std::vector<Configuration> initials{{{1, 0, 0}, std::nullopt}};
+  const auto schedule = synthesizeWeakAdversary(proto, problem, initials);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_FALSE(schedule->cycle.empty());
+  const ReplayReport report = replayAdversary(proto, problem, *schedule);
+  EXPECT_TRUE(report.cycleClosed);
+  EXPECT_TRUE(report.allPairsScheduled);
+  EXPECT_TRUE(report.violationWitnessed);
+  EXPECT_TRUE(report.valid());
+}
+
+TEST(AdversarySynth, ColorExampleLoopRunsForeverWithoutConverging) {
+  // Replay the synthesized loop many times by hand: the system must cycle
+  // and never reach all-black.
+  const ColorExample proto;
+  const Problem problem = predicateProblem("all-black", allBlack);
+  const std::vector<Configuration> initials{{{1, 0, 0}, std::nullopt}};
+  const auto schedule = synthesizeWeakAdversary(proto, problem, initials);
+  ASSERT_TRUE(schedule.has_value());
+
+  Engine engine(proto, schedule->start);
+  for (const Interaction it : schedule->prefix) engine.step(it);
+  for (int lap = 0; lap < 1000; ++lap) {
+    for (const Interaction it : schedule->cycle) {
+      engine.step(it);
+    }
+    ASSERT_FALSE(allBlack(engine.config())) << "lap " << lap;
+  }
+}
+
+TEST(AdversarySynth, Theorem11ScheduleAgainstProtocol3) {
+  // The constructive content of Theorem 11: an explicit weakly fair schedule
+  // defeating the P-state Protocol 3 at N = P.
+  const StateId p = 3;
+  const GlobalLeaderNaming proto(p);
+  const Problem problem = namingProblem(proto);
+  const auto initials = allConcreteConfigurations(proto, p);
+  const auto schedule = synthesizeWeakAdversary(proto, problem, initials);
+  ASSERT_TRUE(schedule.has_value());
+  const ReplayReport report = replayAdversary(proto, problem, *schedule);
+  EXPECT_TRUE(report.valid());
+
+  // Loop it: naming is never stably solved.
+  Engine engine(proto, schedule->start);
+  for (const Interaction it : schedule->prefix) engine.step(it);
+  std::uint64_t nameChanges = 0;
+  for (int lap = 0; lap < 200; ++lap) {
+    for (const Interaction it : schedule->cycle) {
+      const Configuration before = engine.config();
+      engine.step(it);
+      if (before.mobile != engine.config().mobile) ++nameChanges;
+    }
+  }
+  // Either names keep churning or the loop dwells on unnamed configurations;
+  // churn is what Protocol 3's violation looks like.
+  EXPECT_GT(nameChanges, 0u);
+}
+
+TEST(AdversarySynth, Prop1ScheduleAgainstSymmetricGlobalNaming) {
+  const SymmetricGlobalNaming proto(3);
+  const Problem problem = namingProblem(proto);
+  const auto initials = allUniformInitials(proto, 3);
+  const auto schedule = synthesizeWeakAdversary(proto, problem, initials);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_TRUE(replayAdversary(proto, problem, *schedule).valid());
+}
+
+TEST(AdversarySynth, NoScheduleForCorrectProtocols) {
+  // Prop 12's protocol survives weak fairness: no adversary exists.
+  const AsymmetricNaming proto(3);
+  const auto schedule =
+      synthesizeWeakAdversary(proto, namingProblem(proto),
+                              allConcreteConfigurations(proto, 3));
+  EXPECT_FALSE(schedule.has_value());
+}
+
+TEST(AdversarySynth, AgreesWithWeakChecker) {
+  // Synthesis succeeds exactly when the checker reports a violation.
+  struct Case {
+    std::unique_ptr<Protocol> proto;
+    std::uint32_t n;
+  };
+  std::vector<Case> cases;
+  cases.push_back({std::make_unique<AsymmetricNaming>(3), 3});
+  cases.push_back({std::make_unique<SymmetricGlobalNaming>(2), 2});
+  cases.push_back({std::make_unique<GlobalLeaderNaming>(2), 2});
+  for (const auto& c : cases) {
+    const Problem problem = namingProblem(*c.proto);
+    const auto initials = allConcreteConfigurations(*c.proto, c.n);
+    const WeakVerdict verdict = checkWeakFairness(*c.proto, problem, initials);
+    const auto schedule = synthesizeWeakAdversary(*c.proto, problem, initials);
+    ASSERT_TRUE(verdict.explored);
+    EXPECT_EQ(schedule.has_value(), !verdict.solves) << c.proto->name();
+    if (schedule.has_value()) {
+      EXPECT_TRUE(replayAdversary(*c.proto, problem, *schedule).valid())
+          << c.proto->name();
+    }
+  }
+}
+
+TEST(AdversarySynth, RespectsTopology) {
+  // On a star topology the asymmetric protocol is defeated (leaf homonyms
+  // can never meet); the synthesized schedule must only use star edges.
+  const std::uint32_t n = 4;
+  const AsymmetricNaming proto(n);
+  const InteractionGraph star = InteractionGraph::star(n, 0);
+  const Problem problem = namingProblem(proto);
+  const auto initials = allConcreteConfigurations(proto, n);
+  const auto schedule = synthesizeWeakAdversary(proto, problem, initials,
+                                                4'000'000, &star);
+  ASSERT_TRUE(schedule.has_value());
+  for (const Interaction it : schedule->cycle) {
+    EXPECT_TRUE(star.hasEdge(it.initiator, it.responder));
+  }
+  EXPECT_TRUE(replayAdversary(proto, problem, *schedule, &star).valid());
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,230 @@
+// Cross-validation of the exact checkers against brute-force simulation on
+// randomly sampled protocols: whenever a checker certifies convergence, long
+// simulated runs must agree; whenever the weak checker reports a violation,
+// the synthesized adversary must replay. This guards the checker semantics
+// (SCC criteria, coverage, quiescence) against implementation drift.
+#include <gtest/gtest.h>
+
+#include "analysis/adversary_synth.h"
+#include "analysis/global_checker.h"
+#include "analysis/initial_sets.h"
+#include "analysis/protocol_search.h"
+#include "analysis/weak_checker.h"
+#include "naming/registry.h"
+#include "core/engine.h"
+#include "sched/deterministic_schedulers.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+
+namespace ppn {
+namespace {
+
+TEST(CheckerConsistency, GlobalSolversConvergeInSimulation) {
+  // Sample random symmetric 3-state protocols; for each uniform start where
+  // the global checker certifies naming, random-scheduler runs must reach a
+  // named name-quiescent configuration.
+  Rng rng(2025);
+  const std::uint32_t n = 3;
+  int certified = 0;
+  for (int sample = 0; sample < 400; ++sample) {
+    const std::uint64_t idx = rng.below(symmetricProtocolCount(3));
+    const TabularProtocol proto = decodeSymmetricProtocol(3, idx);
+    const Problem problem = namingProblem(proto);
+    for (StateId s = 0; s < 3; ++s) {
+      Configuration start;
+      start.mobile.assign(n, s);
+      const GlobalVerdict v = checkGlobalFairness(proto, problem, {start});
+      if (!v.explored || !v.solves) continue;
+      ++certified;
+      for (int run = 0; run < 3; ++run) {
+        Engine engine(proto, start);
+        RandomScheduler sched(n, rng.next());
+        bool done = false;
+        for (int step = 0; step < 200000 && !done; ++step) {
+          engine.step(sched.next());
+          done = engine.namingSolved();
+        }
+        EXPECT_TRUE(done) << "protocol " << idx << " uniform start " << s;
+      }
+    }
+  }
+  // With N = Q = 3 symmetric naming from uniform starts is impossible
+  // (Prop 2), so nothing should ever be certified — which is itself the
+  // cross-check here.
+  EXPECT_EQ(certified, 0);
+}
+
+/// Index (in the symmetric encoding) of the all-null identity protocol with
+/// q = 3 states: diagonal digits d_s = s, off-diagonal digits a*3+b.
+std::uint64_t identityProtocolIndex3() {
+  const std::uint64_t diag = 0 + 1 * 3 + 2 * 9;
+  const std::uint64_t off = 1 + 2 * 9 + 5 * 81;  // pairs (0,1),(0,2),(1,2)
+  return diag + 27 * off;
+}
+
+TEST(CheckerConsistency, IdentityProtocolIndexDecodesToAllNull) {
+  const TabularProtocol proto = decodeSymmetricProtocol(3, identityProtocolIndex3());
+  for (StateId a = 0; a < 3; ++a) {
+    for (StateId b = 0; b < 3; ++b) {
+      EXPECT_EQ(proto.mobileDelta(a, b), (MobilePair{a, b}));
+    }
+  }
+}
+
+TEST(CheckerConsistency, GlobalSolversConvergeInSimulationMixedStarts) {
+  // Same cross-check but from a fixed non-uniform start. Random samples
+  // rarely solve, so the all-null identity protocol (which trivially keeps
+  // the distinct start frozen) is included as a guaranteed positive control.
+  Rng rng(77);
+  const Configuration start{{0, 1, 2}, std::nullopt};
+  int certified = 0;
+  std::vector<std::uint64_t> indices{identityProtocolIndex3()};
+  for (int sample = 0; sample < 300; ++sample) {
+    indices.push_back(rng.below(symmetricProtocolCount(3)));
+  }
+  for (const std::uint64_t idx : indices) {
+    const TabularProtocol proto = decodeSymmetricProtocol(3, idx);
+    const Problem problem = namingProblem(proto);
+    const GlobalVerdict v = checkGlobalFairness(proto, problem, {start});
+    if (!v.explored || !v.solves) continue;
+    ++certified;
+    for (int run = 0; run < 2; ++run) {
+      Engine engine(proto, start);
+      RandomScheduler sched(3, rng.next());
+      bool done = false;
+      for (int step = 0; step < 200000 && !done; ++step) {
+        engine.step(sched.next());
+        done = engine.namingSolved();
+      }
+      EXPECT_TRUE(done) << "protocol " << idx;
+    }
+  }
+  EXPECT_GT(certified, 0) << "the sample should contain some solvers";
+}
+
+TEST(CheckerConsistency, WeakViolationsAlwaysReplay) {
+  // Every weak-checker violation must come with a replayable adversary.
+  Rng rng(11);
+  const Configuration start{{0, 0, 1}, std::nullopt};
+  int violations = 0;
+  for (int sample = 0; sample < 200; ++sample) {
+    const std::uint64_t idx = rng.below(symmetricProtocolCount(3));
+    const TabularProtocol proto = decodeSymmetricProtocol(3, idx);
+    const Problem problem = namingProblem(proto);
+    const WeakVerdict v = checkWeakFairness(proto, problem, {start});
+    ASSERT_TRUE(v.explored);
+    const auto schedule = synthesizeWeakAdversary(proto, problem, {start});
+    EXPECT_EQ(schedule.has_value(), !v.solves) << "protocol " << idx;
+    if (schedule.has_value()) {
+      ++violations;
+      EXPECT_TRUE(replayAdversary(proto, problem, *schedule).valid())
+          << "protocol " << idx;
+    }
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(CheckerConsistency, WeakSolversSurviveDeterministicSchedulers) {
+  // If the weak checker certifies a protocol, round-robin and tournament
+  // simulations (both weakly fair) must converge to stable naming.
+  Rng rng(31);
+  const Configuration start{{0, 1, 2}, std::nullopt};
+  int certified = 0;
+  std::vector<std::uint64_t> indices{identityProtocolIndex3()};
+  for (int sample = 0; sample < 200; ++sample) {
+    indices.push_back(rng.below(symmetricProtocolCount(3)));
+  }
+  for (std::size_t k = 0; k < indices.size() && certified < 25; ++k) {
+    const std::uint64_t idx = indices[k];
+    const TabularProtocol proto = decodeSymmetricProtocol(3, idx);
+    const Problem problem = namingProblem(proto);
+    const WeakVerdict v = checkWeakFairness(proto, problem, {start});
+    if (!v.explored || !v.solves) continue;
+    ++certified;
+    for (const SchedulerKind kind :
+         {SchedulerKind::kRoundRobin, SchedulerKind::kTournament}) {
+      Engine engine(proto, start);
+      auto sched = makeScheduler(kind, 3, 0);
+      bool done = false;
+      for (int step = 0; step < 100000 && !done; ++step) {
+        engine.step(sched->next());
+        done = engine.namingSolved();
+      }
+      // A weakly fair execution must converge; once namingSolved the
+      // names can never change again (quiescence is part of the check).
+      EXPECT_TRUE(done) << "protocol " << idx << " "
+                        << schedulerKindName(kind);
+    }
+  }
+  EXPECT_GT(certified, 0);
+}
+
+TEST(CheckerConsistency, CanonicalQuotientAgreesWithConcreteGlobalChecker) {
+  // Soundness of the multiset quotient: on the complete topology, the
+  // canonical global checker and the concrete global checker must return
+  // identical verdicts for permutation-invariant problems. Fuzzed over
+  // random protocols and starts.
+  Rng rng(555);
+  for (int sample = 0; sample < 150; ++sample) {
+    const std::uint64_t idx = rng.below(symmetricProtocolCount(3));
+    const TabularProtocol proto = decodeSymmetricProtocol(3, idx);
+    const Problem problem = namingProblem(proto);
+    Configuration start;
+    for (int i = 0; i < 3; ++i) {
+      start.mobile.push_back(static_cast<StateId>(rng.below(3)));
+    }
+    const GlobalVerdict canonical =
+        checkGlobalFairness(proto, problem, {start});
+    const GlobalVerdict concrete =
+        checkGlobalFairnessConcrete(proto, problem, {start});
+    ASSERT_TRUE(canonical.explored);
+    ASSERT_TRUE(concrete.explored);
+    EXPECT_EQ(canonical.solves, concrete.solves)
+        << "protocol " << idx << " start " << start.toString();
+  }
+}
+
+TEST(CheckerConsistency, QuotientAgreementOnTheRealProtocols) {
+  // Same agreement on the paper's protocols (leader states included).
+  const std::vector<std::string> keys{"asymmetric", "symmetric-global",
+                                      "global-leader"};
+  for (const auto& key : keys) {
+    const auto proto = makeProtocol(key, 3);
+    const Problem problem = namingProblem(*proto);
+    Rng rng(99);
+    for (int sample = 0; sample < 10; ++sample) {
+      const Configuration start = arbitraryConfiguration(*proto, 3, rng);
+      const GlobalVerdict canonical =
+          checkGlobalFairness(*proto, problem, {start});
+      const GlobalVerdict concrete =
+          checkGlobalFairnessConcrete(*proto, problem, {start});
+      ASSERT_TRUE(canonical.explored && concrete.explored) << key;
+      EXPECT_EQ(canonical.solves, concrete.solves) << key;
+      EXPECT_LE(canonical.numConfigs, concrete.numConfigs) << key;
+    }
+  }
+}
+
+TEST(CheckerConsistency, WeakSolvesImpliesGlobalBottomSccsNamed) {
+  // Structural relation on a fixed start: if every weakly fair execution
+  // converges, then in particular every bottom SCC reachable is silent and
+  // named (a globally fair execution limited to a bottom SCC is weakly
+  // fair-compatible there). Checked empirically over samples.
+  Rng rng(131);
+  const Configuration start{{0, 1, 1}, std::nullopt};
+  for (int sample = 0; sample < 300; ++sample) {
+    const std::uint64_t idx = rng.below(symmetricProtocolCount(3));
+    const TabularProtocol proto = decodeSymmetricProtocol(3, idx);
+    const Problem problem = namingProblem(proto);
+    const WeakVerdict weak = checkWeakFairness(proto, problem, {start});
+    if (!weak.explored || !weak.solves) continue;
+    const GlobalVerdict global = checkGlobalFairness(proto, problem, {start});
+    ASSERT_TRUE(global.explored);
+    EXPECT_TRUE(global.solves)
+        << "weak-solves must imply global-solves on protocol " << idx;
+  }
+}
+
+}  // namespace
+}  // namespace ppn

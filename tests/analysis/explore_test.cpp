@@ -1,0 +1,144 @@
+#include "analysis/explore.h"
+
+#include <gtest/gtest.h>
+
+#include "naming/asymmetric_naming.h"
+#include "naming/color_example.h"
+#include "naming/counting_protocol.h"
+#include "naming/symmetric_global_naming.h"
+
+namespace ppn {
+namespace {
+
+TEST(PairLabel, TriangularEnumerationIsABijection) {
+  for (std::uint32_t m = 2; m <= 10; ++m) {
+    std::vector<bool> seen(numPairs(m), false);
+    for (std::uint32_t i = 0; i < m; ++i) {
+      for (std::uint32_t j = i + 1; j < m; ++j) {
+        const PairLabel l = pairLabel(i, j, m);
+        ASSERT_LT(l, numPairs(m));
+        ASSERT_FALSE(seen[l]) << "label collision at m=" << m;
+        seen[l] = true;
+      }
+    }
+  }
+}
+
+TEST(ExploreConcrete, ColorExampleFromOneBlack) {
+  const ColorExample proto;
+  const ConfigGraph g =
+      exploreConcrete(proto, {Configuration{{1, 0, 0}, std::nullopt}});
+  EXPECT_FALSE(g.truncated);
+  EXPECT_EQ(g.numParticipants, 3u);
+  // Reachable: the three one-black placements plus all-black.
+  EXPECT_EQ(g.size(), 4u);
+  // Every configuration has 3 pairs' worth of edges (some may be dedup'd
+  // identical-orientation outcomes but never zero).
+  for (const auto& edges : g.adj) EXPECT_GE(edges.size(), 3u);
+}
+
+TEST(ExploreConcrete, RecordsNullSelfLoops) {
+  const AsymmetricNaming proto(3);
+  const ConfigGraph g =
+      exploreConcrete(proto, {Configuration{{0, 1, 2}, std::nullopt}});
+  ASSERT_EQ(g.size(), 1u);  // already terminal
+  // All three pairs appear as null self-loops.
+  std::vector<bool> labels(numPairs(3), false);
+  for (const Edge& e : g.adj[0]) {
+    EXPECT_EQ(e.to, 0u);
+    EXPECT_FALSE(e.changed);
+    labels[e.label] = true;
+  }
+  for (const bool b : labels) EXPECT_TRUE(b);
+}
+
+TEST(ExploreConcrete, AsymmetricOrientationsBothPresent) {
+  const AsymmetricNaming proto(3);
+  const ConfigGraph g =
+      exploreConcrete(proto, {Configuration{{0, 0}, std::nullopt}});
+  // (0,0) -> (0,1) or (1,0) depending on orientation: 3 nodes total.
+  EXPECT_EQ(g.size(), 3u);
+  // The start node has two distinct outgoing changed edges with one label.
+  std::size_t changed = 0;
+  for (const Edge& e : g.adj[0]) changed += e.changed ? 1 : 0;
+  EXPECT_EQ(changed, 2u);
+}
+
+TEST(ExploreConcrete, LeaderParticipates) {
+  const CountingProtocol proto(2);
+  // Agents pre-named 1 with the guess still 0: the first leader meeting
+  // bumps n without renaming — a leader-only change.
+  const Configuration start{{1, 1}, *proto.initialLeaderState()};
+  const ConfigGraph g = exploreConcrete(proto, {start});
+  EXPECT_FALSE(g.truncated);
+  EXPECT_EQ(g.numParticipants, 3u);  // 2 mobile + leader
+  EXPECT_GT(g.size(), 1u);
+  // Some edge must change the leader state only (k-pointer bumps).
+  bool leaderOnlyChange = false;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (const Edge& e : g.adj[v]) {
+      if (e.changed && !e.changedMobile) leaderOnlyChange = true;
+    }
+  }
+  EXPECT_TRUE(leaderOnlyChange);
+}
+
+TEST(ExploreConcrete, TruncationFlag) {
+  const SymmetricGlobalNaming proto(4);
+  Configuration start{{0, 0, 0, 0}, std::nullopt};
+  const ConfigGraph g = exploreConcrete(proto, {start}, /*maxNodes=*/3);
+  EXPECT_TRUE(g.truncated);
+}
+
+TEST(ExploreCanonical, QuotientIsSmaller) {
+  const SymmetricGlobalNaming proto(3);
+  const auto initial = Configuration{{0, 0, 0}, std::nullopt};
+  const ConfigGraph concrete = exploreConcrete(proto, {initial});
+  const ConfigGraph canonical = exploreCanonical(proto, {initial});
+  EXPECT_FALSE(canonical.truncated);
+  EXPECT_LT(canonical.size(), concrete.size());
+  // Every canonical node is sorted.
+  for (const auto& c : canonical.configs) {
+    EXPECT_TRUE(std::is_sorted(c.mobile.begin(), c.mobile.end()));
+  }
+}
+
+TEST(ExploreCanonical, OmitsNullEdgesKeepsChanges) {
+  const AsymmetricNaming proto(3);
+  const ConfigGraph g =
+      exploreCanonical(proto, {Configuration{{0, 1, 2}, std::nullopt}});
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_TRUE(g.adj[0].empty());  // terminal: no non-null edges
+}
+
+TEST(ExploreCanonical, SwapTransitionsKeepChangedMobileFlag) {
+  // ColorExample's exchange rule maps a configuration to itself at the
+  // multiset level but changes agents' states — the canonical graph must
+  // keep it as a changedMobile self-loop.
+  const ColorExample proto;
+  const ConfigGraph g =
+      exploreCanonical(proto, {Configuration{{1, 0, 0}, std::nullopt}});
+  bool selfLoopWithMobileChange = false;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (const Edge& e : g.adj[v]) {
+      if (e.to == v && e.changedMobile) selfLoopWithMobileChange = true;
+    }
+  }
+  EXPECT_TRUE(selfLoopWithMobileChange);
+}
+
+TEST(Explore, RejectsEmptyInitials) {
+  const AsymmetricNaming proto(3);
+  EXPECT_THROW(exploreConcrete(proto, {}), std::invalid_argument);
+  EXPECT_THROW(exploreCanonical(proto, {}), std::invalid_argument);
+}
+
+TEST(Explore, RejectsMixedPopulationSizes) {
+  const AsymmetricNaming proto(3);
+  const std::vector<Configuration> bad{{{0, 1}, std::nullopt},
+                                       {{0, 1, 2}, std::nullopt}};
+  EXPECT_THROW(exploreConcrete(proto, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppn

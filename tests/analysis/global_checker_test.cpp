@@ -1,0 +1,129 @@
+#include "analysis/global_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/initial_sets.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/counting_protocol.h"
+#include "naming/global_leader_naming.h"
+#include "naming/leader_uniform_naming.h"
+#include "naming/symmetric_global_naming.h"
+
+namespace ppn {
+namespace {
+
+TEST(GlobalChecker, AsymmetricNamingSelfStabilizes) {
+  for (const StateId p : {2u, 3u, 4u}) {
+    const AsymmetricNaming proto(p);
+    const GlobalVerdict v = checkGlobalFairness(
+        proto, namingProblem(proto), allCanonicalConfigurations(proto, p));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "P=" << p << ": " << v.reason;
+  }
+}
+
+TEST(GlobalChecker, AsymmetricNamingBelowCapacity) {
+  const AsymmetricNaming proto(4);
+  for (std::uint32_t n = 1; n <= 4; ++n) {
+    const GlobalVerdict v = checkGlobalFairness(
+        proto, namingProblem(proto), allCanonicalConfigurations(proto, n));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "N=" << n;
+  }
+}
+
+TEST(GlobalChecker, SymmetricGlobalNamingSolvesForNAbove2) {
+  for (const StateId p : {3u, 4u}) {
+    const SymmetricGlobalNaming proto(p);
+    const GlobalVerdict v = checkGlobalFairness(
+        proto, namingProblem(proto), allCanonicalConfigurations(proto, p));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "P=" << p << ": " << v.reason;
+  }
+}
+
+TEST(GlobalChecker, SymmetricGlobalNamingFailsAtNEquals2) {
+  // The paper's N > 2 proviso is tight: with two agents the blank pair and
+  // the (1,1) pair chase each other forever.
+  const SymmetricGlobalNaming proto(4);
+  const GlobalVerdict v = checkGlobalFairness(
+      proto, namingProblem(proto), allCanonicalConfigurations(proto, 2));
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves);
+  ASSERT_TRUE(v.witness.has_value());
+}
+
+TEST(GlobalChecker, LeaderUniformNamingFromDeclaredInit) {
+  for (const StateId p : {2u, 3u, 5u}) {
+    const LeaderUniformNaming proto(p);
+    for (std::uint32_t n = 1; n <= p; ++n) {
+      const GlobalVerdict v = checkGlobalFairness(
+          proto, namingProblem(proto), declaredUniformInitials(proto, n));
+      ASSERT_TRUE(v.explored);
+      EXPECT_TRUE(v.solves) << "P=" << p << " N=" << n << ": " << v.reason;
+    }
+  }
+}
+
+TEST(GlobalChecker, LeaderUniformNamingIsNotSelfStabilizing) {
+  // From arbitrary (non-uniform) starts the protocol must fail — e.g. all
+  // agents already renamed to the same name with the counter exhausted.
+  const LeaderUniformNaming proto(3);
+  const GlobalVerdict v = checkGlobalFairness(
+      proto, namingProblem(proto), allCanonicalConfigurations(proto, 3));
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves);
+}
+
+TEST(GlobalChecker, CountingProtocolCountsForAllN) {
+  const StateId p = 3;
+  const CountingProtocol proto(p);
+  for (std::uint32_t n = 1; n <= p; ++n) {
+    const GlobalVerdict v = checkGlobalFairness(
+        proto, countingProblem(proto, n), allCanonicalConfigurations(proto, n));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "N=" << n << ": " << v.reason;
+  }
+}
+
+TEST(GlobalChecker, CountingProtocolCannotNameFullPopulation) {
+  // Prop 4 territory: P states cannot name N = P agents even under global
+  // fairness (with this leader protocol).
+  const StateId p = 3;
+  const CountingProtocol proto(p);
+  const GlobalVerdict v = checkGlobalFairness(
+      proto, namingProblem(proto), allCanonicalConfigurations(proto, p));
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves);
+}
+
+TEST(GlobalChecker, GlobalLeaderNamingSolvesFullPopulation) {
+  for (const StateId p : {2u, 3u, 4u}) {
+    const GlobalLeaderNaming proto(p);
+    const GlobalVerdict v = checkGlobalFairness(
+        proto, namingProblem(proto), allCanonicalConfigurations(proto, p));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "P=" << p << ": " << v.reason;
+  }
+}
+
+TEST(GlobalChecker, TruncatedGraphYieldsNoVerdict) {
+  const SymmetricGlobalNaming proto(4);
+  const GlobalVerdict v =
+      checkGlobalFairness(proto, namingProblem(proto),
+                          allCanonicalConfigurations(proto, 4), /*maxNodes=*/2);
+  EXPECT_FALSE(v.explored);
+  EXPECT_FALSE(v.solves);
+}
+
+TEST(GlobalChecker, ReportsBottomSccCount) {
+  const AsymmetricNaming proto(3);
+  const GlobalVerdict v = checkGlobalFairness(
+      proto, namingProblem(proto), allCanonicalConfigurations(proto, 3));
+  ASSERT_TRUE(v.explored);
+  // Exactly one terminal multiset {0,1,2} for N = P = 3.
+  EXPECT_EQ(v.numBottomSccs, 1u);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,172 @@
+#include "analysis/hitting_time.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/protocol_search.h"
+
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/color_example.h"
+#include "naming/leader_uniform_naming.h"
+#include "naming/selfstab_weak_naming.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+#include "stats/summary.h"
+
+namespace ppn {
+namespace {
+
+TEST(HittingTime, ColorExampleIsExactlyGeometric) {
+  // From [B,W,W]: exchanges are self-loops at the multiset level; the (W,W)
+  // meeting (2 of 6 ordered pairs) absorbs. Expected time = 3 exactly.
+  const ColorExample proto;
+  const HittingTime h = expectedConvergenceTime(
+      proto, Configuration{{1, 0, 0}, std::nullopt});
+  ASSERT_TRUE(h.computed);
+  EXPECT_FALSE(h.diverges);
+  EXPECT_NEAR(h.expectedInteractions, 3.0, 1e-9);
+}
+
+TEST(HittingTime, ColorExampleAllWhiteDiverges) {
+  // From [W,W,W] the first meeting yields [B,B,W], where the lone white can
+  // never pair with another white: silence is unreachable — the run jumps
+  // forever.
+  const ColorExample proto;
+  const HittingTime h = expectedConvergenceTime(
+      proto, Configuration{{0, 0, 0}, std::nullopt});
+  ASSERT_TRUE(h.computed);
+  EXPECT_TRUE(h.diverges);
+}
+
+TEST(HittingTime, ImmediateResolutionCostsOneInteraction) {
+  // Asymmetric naming, N = 2 homonyms: any first interaction separates them.
+  const AsymmetricNaming proto(3);
+  const HittingTime h = expectedConvergenceTime(
+      proto, Configuration{{1, 1}, std::nullopt});
+  ASSERT_TRUE(h.computed);
+  EXPECT_NEAR(h.expectedInteractions, 1.0, 1e-9);
+}
+
+TEST(HittingTime, AlreadySilentIsZero) {
+  const AsymmetricNaming proto(3);
+  const HittingTime h = expectedConvergenceTime(
+      proto, Configuration{{0, 1, 2}, std::nullopt});
+  ASSERT_TRUE(h.computed);
+  EXPECT_DOUBLE_EQ(h.expectedInteractions, 0.0);
+}
+
+TEST(HittingTime, LeaderUniformNamingMatchesCouponCollector) {
+  // Prop 14's protocol at N = P: progress happens exactly when the leader
+  // meets an unnamed agent (probability 2u / (M(M-1)) with u unnamed,
+  // M = N+1), and only P-1 renamings occur — the last agent keeps the
+  // marker as its name. Weighted coupon collector:
+  //   E = sum_{u=2..N} M(M-1) / (2u).
+  const std::uint32_t n = 4;
+  const LeaderUniformNaming proto(n);
+  const HittingTime h =
+      expectedConvergenceTime(proto, uniformConfiguration(proto, n));
+  ASSERT_TRUE(h.computed);
+  const double m = n + 1;
+  double expected = 0.0;
+  for (std::uint32_t u = 2; u <= n; ++u) {
+    expected += m * (m - 1) / (2.0 * u);
+  }
+  EXPECT_NEAR(h.expectedInteractions, expected, 1e-9);
+}
+
+TEST(HittingTime, MatchesSimulatedMeanWithinTolerance) {
+  // Cross-validation of the simulator against the exact value.
+  const SelfStabWeakNaming proto(3);
+  const Configuration start{{0, 0, 0}, LeaderStateId{0}};
+  const HittingTime h = expectedConvergenceTime(proto, start);
+  ASSERT_TRUE(h.computed);
+  ASSERT_FALSE(h.diverges);
+  ASSERT_GT(h.expectedInteractions, 0.0);
+
+  Rng rng(99);
+  std::vector<double> samples;
+  for (int run = 0; run < 4000; ++run) {
+    Engine engine(proto, start);
+    RandomScheduler sched(4, rng.next());
+    const RunOutcome out = runUntilSilent(engine, sched, RunLimits{500000, 1});
+    ASSERT_TRUE(out.silent);
+    samples.push_back(static_cast<double>(out.convergenceInteractions));
+  }
+  const Summary s = summarize(std::move(samples));
+  // 4000 samples: the mean is within ~4 standard errors of the exact value.
+  const double standardError = s.stddev / 63.2;  // sqrt(4000)
+  EXPECT_NEAR(s.mean, h.expectedInteractions, 4.5 * standardError)
+      << "exact=" << h.expectedInteractions << " simulated=" << s.mean;
+}
+
+TEST(HittingTime, FuzzAgainstSimulationOnRandomProtocols) {
+  // Differential test over random symmetric 3-state protocols: wherever the
+  // solver produces a finite expectation, a 1500-run simulation mean must
+  // agree within ~5 standard errors. Exercises chain construction with
+  // homonym weights, self-loop mass and divergence detection on arbitrary
+  // rule tables, not just the paper's protocols.
+  Rng rng(909);
+  const Configuration start{{0, 0, 1}, std::nullopt};
+  int finiteChecked = 0;
+  int divergentSeen = 0;
+  for (int sample = 0; sample < 80 && finiteChecked < 12; ++sample) {
+    const std::uint64_t idx = rng.below(symmetricProtocolCount(3));
+    const TabularProtocol proto = decodeSymmetricProtocol(3, idx);
+    const HittingTime h = expectedConvergenceTime(proto, start);
+    ASSERT_TRUE(h.computed) << "tiny instances must always be solvable";
+    if (h.diverges) {
+      ++divergentSeen;
+      continue;
+    }
+    if (h.expectedInteractions > 500.0) continue;  // keep simulation cheap
+    ++finiteChecked;
+
+    std::vector<double> samples;
+    for (int run = 0; run < 1500; ++run) {
+      Engine engine(proto, start);
+      RandomScheduler sched(3, rng.next());
+      const RunOutcome out =
+          runUntilSilent(engine, sched, RunLimits{2'000'000, 1});
+      ASSERT_TRUE(out.silent) << "protocol " << idx;
+      samples.push_back(static_cast<double>(out.convergenceInteractions));
+    }
+    const Summary s = summarize(std::move(samples));
+    const double se = s.stddev / std::sqrt(1500.0);
+    EXPECT_NEAR(s.mean, h.expectedInteractions, 5.0 * se + 0.05)
+        << "protocol " << idx;
+  }
+  EXPECT_GE(finiteChecked, 5);
+  // The sample space contains plenty of non-converging protocols too.
+  EXPECT_GT(divergentSeen, 0);
+}
+
+TEST(HittingTime, ExactValueIsSchedulerSeedFree) {
+  // Determinism: the exact computation has no randomness at all.
+  const AsymmetricNaming proto(4);
+  const Configuration start{{2, 2, 2, 2}, std::nullopt};
+  const HittingTime a = expectedConvergenceTime(proto, start);
+  const HittingTime b = expectedConvergenceTime(proto, start);
+  ASSERT_TRUE(a.computed);
+  EXPECT_DOUBLE_EQ(a.expectedInteractions, b.expectedInteractions);
+  EXPECT_GT(a.expectedInteractions, 1.0);
+}
+
+TEST(HittingTime, CapRespected) {
+  const SelfStabWeakNaming proto(4);
+  const HittingTime h = expectedConvergenceTime(
+      proto, Configuration{{0, 0, 0, 0}, LeaderStateId{0}}, /*maxStates=*/3);
+  EXPECT_FALSE(h.computed);
+}
+
+TEST(HittingTime, SingleAgentPopulations) {
+  const AsymmetricNaming proto(3);
+  const HittingTime h =
+      expectedConvergenceTime(proto, Configuration{{2}, std::nullopt});
+  ASSERT_TRUE(h.computed);
+  EXPECT_DOUBLE_EQ(h.expectedInteractions, 0.0);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,97 @@
+#include "analysis/initial_sets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "naming/asymmetric_naming.h"
+#include "naming/counting_protocol.h"
+#include "naming/leader_uniform_naming.h"
+#include "naming/selfstab_weak_naming.h"
+
+namespace ppn {
+namespace {
+
+TEST(InitialSets, DeclaredUniform) {
+  const LeaderUniformNaming proto(4);
+  const auto initials = declaredUniformInitials(proto, 3);
+  ASSERT_EQ(initials.size(), 1u);
+  EXPECT_EQ(initials[0].mobile, (std::vector<StateId>{3, 3, 3}));
+  EXPECT_EQ(initials[0].leader, LeaderStateId{0});
+}
+
+TEST(InitialSets, DeclaredUniformThrowsWhenUndeclared) {
+  const AsymmetricNaming proto(3);
+  EXPECT_THROW(declaredUniformInitials(proto, 3), std::logic_error);
+}
+
+TEST(InitialSets, AllUniformEnumeratesEveryState) {
+  const AsymmetricNaming proto(4);
+  const auto initials = allUniformInitials(proto, 2);
+  ASSERT_EQ(initials.size(), 4u);
+  std::set<StateId> seen;
+  for (const auto& c : initials) {
+    EXPECT_EQ(c.mobile[0], c.mobile[1]);
+    seen.insert(c.mobile[0]);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(InitialSets, AllUniformCrossesNonInitializedLeader) {
+  const SelfStabWeakNaming proto(2);  // leader not initialized
+  const auto initials = allUniformInitials(proto, 2);
+  // 3 mobile states x |leader states|.
+  EXPECT_EQ(initials.size(), 3u * proto.allLeaderStates().size());
+}
+
+TEST(InitialSets, AllUniformUsesInitializedLeaderOnly) {
+  const CountingProtocol proto(3);  // leader initialized to (0,0)
+  const auto initials = allUniformInitials(proto, 2);
+  EXPECT_EQ(initials.size(), 3u);
+  for (const auto& c : initials) {
+    EXPECT_EQ(c.leader, proto.initialLeaderState());
+  }
+}
+
+TEST(InitialSets, AllConcreteHasQToTheN) {
+  const AsymmetricNaming proto(3);
+  const auto initials = allConcreteConfigurations(proto, 3);
+  EXPECT_EQ(initials.size(), 27u);
+  std::set<std::vector<StateId>> unique;
+  for (const auto& c : initials) unique.insert(c.mobile);
+  EXPECT_EQ(unique.size(), 27u);  // all distinct
+}
+
+TEST(InitialSets, AllCanonicalHasMultisetCount) {
+  const AsymmetricNaming proto(3);
+  // C(3+3-1, 3) = 10 multisets of size 3 over 3 states.
+  const auto initials = allCanonicalConfigurations(proto, 3);
+  EXPECT_EQ(initials.size(), 10u);
+  for (const auto& c : initials) {
+    EXPECT_TRUE(std::is_sorted(c.mobile.begin(), c.mobile.end()));
+  }
+}
+
+TEST(InitialSets, CanonicalIsSubsetOfConcreteUpToSorting) {
+  const AsymmetricNaming proto(4);
+  const auto canonical = allCanonicalConfigurations(proto, 2);
+  const auto concrete = allConcreteConfigurations(proto, 2);
+  std::set<std::vector<StateId>> concreteSorted;
+  for (auto c : concrete) {
+    std::sort(c.mobile.begin(), c.mobile.end());
+    concreteSorted.insert(c.mobile);
+  }
+  EXPECT_EQ(concreteSorted.size(), canonical.size());
+  for (const auto& c : canonical) {
+    EXPECT_TRUE(concreteSorted.count(c.mobile)) << "missing multiset";
+  }
+}
+
+TEST(InitialSets, SingleAgentEdgeCase) {
+  const AsymmetricNaming proto(5);
+  EXPECT_EQ(allConcreteConfigurations(proto, 1).size(), 5u);
+  EXPECT_EQ(allCanonicalConfigurations(proto, 1).size(), 5u);
+}
+
+}  // namespace
+}  // namespace ppn

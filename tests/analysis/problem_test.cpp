@@ -1,0 +1,71 @@
+#include "analysis/problem.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "naming/counting_protocol.h"
+#include "naming/symmetric_global_naming.h"
+#include "naming/symmetrizer.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/bst_state.h"
+
+namespace ppn {
+namespace {
+
+TEST(Problem, NamingHoldsMatchesIsNamed) {
+  const SymmetricGlobalNaming proto(3);  // blank = 3 invalid
+  const Problem p = namingProblem(proto);
+  EXPECT_TRUE(p.requireMobileQuiescence);
+  EXPECT_TRUE(p.holds(Configuration{{0, 1, 2}, std::nullopt}));
+  EXPECT_FALSE(p.holds(Configuration{{0, 1, 3}, std::nullopt}));  // blank
+  EXPECT_FALSE(p.holds(Configuration{{0, 1, 1}, std::nullopt}));  // homonyms
+}
+
+TEST(Problem, NamingUsesNameProjection) {
+  const AsymmetricNaming inner(3);
+  const SymmetrizedProtocol proto(inner);
+  const Problem p = namingProblem(proto);
+  // Distinct inner names with arbitrary coins: named.
+  EXPECT_TRUE(p.holds(Configuration{
+      {proto.encode(0, true), proto.encode(1, false), proto.encode(2, true)},
+      std::nullopt}));
+  // Same inner name, different coins: homonyms by name.
+  EXPECT_FALSE(p.holds(Configuration{
+      {proto.encode(1, false), proto.encode(1, true)}, std::nullopt}));
+}
+
+TEST(Problem, CountingReadsLeaderAnswer) {
+  const CountingProtocol proto(4);
+  const Problem p = countingProblem(proto, 3);
+  EXPECT_FALSE(p.requireMobileQuiescence);
+  const LeaderStateId right = packBst(BstState{.n = 3, .k = 5, .namePtr = 0});
+  const LeaderStateId wrong = packBst(BstState{.n = 2, .k = 5, .namePtr = 0});
+  EXPECT_TRUE(p.holds(Configuration{{1, 2, 3}, right}));
+  EXPECT_FALSE(p.holds(Configuration{{1, 2, 3}, wrong}));
+  EXPECT_FALSE(p.holds(Configuration{{1, 2, 3}, std::nullopt}));  // no leader
+}
+
+TEST(Problem, PredicateProblemWrapsFunction) {
+  const Problem p = predicateProblem("even-sum", [](const Configuration& c) {
+    StateId sum = 0;
+    for (const StateId s : c.mobile) sum += s;
+    return sum % 2 == 0;
+  });
+  EXPECT_EQ(p.name, "even-sum");
+  EXPECT_FALSE(p.requireMobileQuiescence);
+  EXPECT_TRUE(p.holds(Configuration{{1, 1}, std::nullopt}));
+  EXPECT_FALSE(p.holds(Configuration{{1, 2}, std::nullopt}));
+}
+
+TEST(Problem, NamingIsPermutationInvariant) {
+  // Required by the canonical-quotient global checker.
+  const SymmetricGlobalNaming proto(3);
+  const Problem p = namingProblem(proto);
+  const Configuration a{{2, 0, 1}, std::nullopt};
+  EXPECT_EQ(p.holds(a), p.holds(a.canonicalized()));
+  const Configuration b{{1, 1, 0}, std::nullopt};
+  EXPECT_EQ(p.holds(b), p.holds(b.canonicalized()));
+}
+
+}  // namespace
+}  // namespace ppn

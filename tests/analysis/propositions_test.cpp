@@ -1,0 +1,241 @@
+// Mechanical verification of every cell of the paper's Table 1 at small P —
+// the repository's reproduction of the paper's synthesis of results.
+//
+// Feasible cells: the implemented protocol passes the matching fairness
+// checker with exactly the claimed state count. Infeasible cells / lower
+// bounds: the checker produces a violation witness for the protocol with one
+// state fewer (or for the forbidden assumption combination), and exhaustive
+// search (protocol_search_test) covers "no protocol at all" claims at tiny P.
+#include <gtest/gtest.h>
+
+#include "analysis/global_checker.h"
+#include "analysis/initial_sets.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/counting_protocol.h"
+#include "naming/global_leader_naming.h"
+#include "naming/leader_uniform_naming.h"
+#include "naming/selfstab_weak_naming.h"
+#include "naming/symmetric_global_naming.h"
+
+namespace ppn {
+namespace {
+
+class Table1 : public ::testing::TestWithParam<StateId> {};
+
+// Row "no leader", column "asymmetric rules, weak/global fairness":
+// Prop 12 — P states, self-stabilizing.
+TEST_P(Table1, CellAsymmetricNoLeaderPStates) {
+  const StateId p = GetParam();
+  const AsymmetricNaming proto(p);
+  ASSERT_EQ(proto.numMobileStates(), p);
+
+  const GlobalVerdict global = checkGlobalFairness(
+      proto, namingProblem(proto), allCanonicalConfigurations(proto, p));
+  ASSERT_TRUE(global.explored);
+  EXPECT_TRUE(global.solves) << global.reason;
+
+  const WeakVerdict weak = checkWeakFairness(
+      proto, namingProblem(proto), allConcreteConfigurations(proto, p));
+  ASSERT_TRUE(weak.explored);
+  EXPECT_TRUE(weak.solves) << weak.reason;
+}
+
+// Row "no leader", column "symmetric rules, weak fairness":
+// Prop 1 — impossible. Witnessed here on the P+1-state Prop 13 protocol
+// (exhaustive quantification over ALL protocols is in protocol_search_test).
+TEST_P(Table1, CellSymmetricWeakNoLeaderImpossible) {
+  const StateId p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  const SymmetricGlobalNaming proto(p);
+  const WeakVerdict weak = checkWeakFairness(
+      proto, namingProblem(proto), allUniformInitials(proto, p));
+  ASSERT_TRUE(weak.explored);
+  EXPECT_FALSE(weak.solves)
+      << "Prop 1: a weakly fair adversary must defeat any leaderless "
+         "symmetric protocol";
+  EXPECT_GT(weak.violatingSccs, 0u);
+}
+
+// Row "no leader", column "symmetric rules, global fairness":
+// Prop 13 — P+1 states suffice (self-stabilizing), for N > 2.
+TEST_P(Table1, CellSymmetricGlobalNoLeaderPPlus1States) {
+  const StateId p = GetParam();
+  if (p < 3) GTEST_SKIP() << "Prop 13 requires N > 2";
+  const SymmetricGlobalNaming proto(p);
+  ASSERT_EQ(proto.numMobileStates(), p + 1);
+  for (std::uint32_t n = 3; n <= p; ++n) {
+    const GlobalVerdict v = checkGlobalFairness(
+        proto, namingProblem(proto), allCanonicalConfigurations(proto, n));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "N=" << n << ": " << v.reason;
+  }
+}
+
+// Lower bound for the same cell (Prop 2): P states are NOT enough — the
+// natural P-state truncation (use the asymmetric protocol's symmetric
+// closure? no symmetric P-state protocol exists at all; here we witness that
+// the counting protocol's mobile side, the canonical P-state symmetric
+// gadget, fails without its leader). Full quantification: protocol_search.
+TEST_P(Table1, CellSymmetricGlobalNoLeaderPStatesFail) {
+  const StateId p = GetParam();
+  // A leaderless symmetric P-state protocol: homonyms drop to 0 (the only
+  // symmetry-breaking-free reaction available); nothing can ever rename
+  // agents upward, so naming fails.
+  class SinkOnly final : public Protocol {
+   public:
+    explicit SinkOnly(StateId states) : q_(states) {}
+    std::string name() const override { return "sink-only"; }
+    StateId numMobileStates() const override { return q_; }
+    bool isSymmetric() const override { return true; }
+    MobilePair mobileDelta(StateId a, StateId b) const override {
+      if (a == b) return MobilePair{0, 0};
+      return MobilePair{a, b};
+    }
+    bool isValidName(StateId s) const override { return s != 0; }
+
+   private:
+    StateId q_;
+  };
+  const SinkOnly proto(p);
+  const GlobalVerdict v = checkGlobalFairness(
+      proto, namingProblem(proto), allCanonicalConfigurations(proto, p));
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves);
+}
+
+// Row "initialized leader", column "symmetric, weak fairness, initialized
+// agents": Prop 14 — P states suffice.
+TEST_P(Table1, CellInitializedLeaderUniformAgentsPStates) {
+  const StateId p = GetParam();
+  const LeaderUniformNaming proto(p);
+  ASSERT_EQ(proto.numMobileStates(), p);
+  for (std::uint32_t n = 1; n <= p; ++n) {
+    const WeakVerdict v = checkWeakFairness(proto, namingProblem(proto),
+                                            declaredUniformInitials(proto, n));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "N=" << n << ": " << v.reason;
+  }
+}
+
+// Rows "non-initialized leader" and "initialized leader / non-initialized
+// agents", column "symmetric, weak fairness": Prop 16 — P+1 states suffice,
+// fully self-stabilizing (leader arbitrary too).
+TEST_P(Table1, CellSelfStabilizingWeakLeaderPPlus1States) {
+  const StateId p = GetParam();
+  if (p > 4) GTEST_SKIP() << "concrete space too large for exhaustive check";
+  const SelfStabWeakNaming proto(p);
+  ASSERT_EQ(proto.numMobileStates(), p + 1);
+  for (std::uint32_t n = 1; n <= p; ++n) {
+    const WeakVerdict v =
+        checkWeakFairness(proto, namingProblem(proto),
+                          allConcreteConfigurations(proto, n), 8'000'000);
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "N=" << n << ": " << v.reason;
+  }
+}
+
+// The matching lower bound (Theorem 11): with P states, symmetric rules and
+// an initialized leader, weak fairness defeats naming of non-initialized
+// agents. Witnessed on Protocol 3 (the best-known P-state candidate).
+TEST_P(Table1, CellTheorem11PStatesFailUnderWeakFairness) {
+  const StateId p = GetParam();
+  const GlobalLeaderNaming proto(p);
+  ASSERT_EQ(proto.numMobileStates(), p);
+  const WeakVerdict v = checkWeakFairness(
+      proto, namingProblem(proto), allConcreteConfigurations(proto, p));
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves)
+      << "Theorem 11: P-state symmetric naming with initialized leader must "
+         "admit a weakly fair counterexample at N = P";
+}
+
+// Row "initialized leader", column "symmetric, global fairness":
+// Prop 17 — P states suffice for arbitrary mobile agents.
+TEST_P(Table1, CellInitializedLeaderGlobalPStates) {
+  const StateId p = GetParam();
+  const GlobalLeaderNaming proto(p);
+  for (std::uint32_t n = 1; n <= p; ++n) {
+    const GlobalVerdict v = checkGlobalFairness(
+        proto, namingProblem(proto), allCanonicalConfigurations(proto, n));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "N=" << n << ": " << v.reason;
+  }
+}
+
+// Theorem 15 (substrate): Protocol 1 counts every N <= P under weak fairness
+// and names every N < P.
+TEST_P(Table1, Theorem15CountingAndByProductNaming) {
+  const StateId p = GetParam();
+  const CountingProtocol proto(p);
+  for (std::uint32_t n = 1; n <= p; ++n) {
+    const WeakVerdict counting = checkWeakFairness(
+        proto, countingProblem(proto, n), allConcreteConfigurations(proto, n));
+    ASSERT_TRUE(counting.explored);
+    EXPECT_TRUE(counting.solves) << "counting N=" << n << ": " << counting.reason;
+
+    const WeakVerdict naming = checkWeakFairness(
+        proto, namingProblem(proto), allConcreteConfigurations(proto, n));
+    ASSERT_TRUE(naming.explored);
+    if (n < p) {
+      EXPECT_TRUE(naming.solves) << "naming N=" << n << ": " << naming.reason;
+    } else {
+      EXPECT_FALSE(naming.solves)
+          << "P states cannot name N = P agents (Prop 4 territory)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallP, Table1,
+                         ::testing::Values(StateId{2}, StateId{3},
+                                           StateId{4}),
+                         [](const auto& paramInfo) {
+                           return "P" + std::to_string(paramInfo.param);
+                         });
+
+// Prop 4 (impossibility of P-state symmetric naming even with an arbitrarily
+// initialized leader): if the leader of Prop 14's protocol is arbitrary
+// instead of initialized, the protocol fails.
+TEST(Table1Extra, Prop4ArbitraryLeaderBreaksLeaderUniformNaming) {
+  const StateId p = 3;
+  // Simplest faithful rendering: reuse the protocol but quantify over every
+  // leader counter value, not just 0.
+  const LeaderUniformNaming proto(p);
+  std::vector<Configuration> initials;
+  for (const LeaderStateId l : proto.allLeaderStates()) {
+    Configuration c = uniformConfiguration(proto, p);
+    c.leader = l;
+    initials.push_back(std::move(c));
+  }
+  const GlobalVerdict v =
+      checkGlobalFairness(proto, namingProblem(proto), initials);
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves)
+      << "an arbitrarily initialized leader must break the P-state protocol";
+}
+
+// The one exception noted under Table 1: with symmetric rules, weak fairness
+// and an initialized leader, UNIFORM agent initialization admits P states
+// (Prop 14) while ARBITRARY agent initialization needs P+1 (Theorem 11).
+// Both facts are separately proven above; this test documents the contrast
+// on a single instance.
+TEST(Table1Extra, InitializationGapAtPEquals3) {
+  const StateId p = 3;
+  const LeaderUniformNaming uniformProto(p);
+  const WeakVerdict uniformOk =
+      checkWeakFairness(uniformProto, namingProblem(uniformProto),
+                        declaredUniformInitials(uniformProto, p));
+  ASSERT_TRUE(uniformOk.explored);
+  EXPECT_TRUE(uniformOk.solves);
+
+  const GlobalLeaderNaming arbitraryCandidate(p);
+  const WeakVerdict arbitraryFails = checkWeakFairness(
+      arbitraryCandidate, namingProblem(arbitraryCandidate),
+      allConcreteConfigurations(arbitraryCandidate, p));
+  ASSERT_TRUE(arbitraryFails.explored);
+  EXPECT_FALSE(arbitraryFails.solves);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,139 @@
+#include "analysis/protocol_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+
+namespace ppn {
+namespace {
+
+TEST(ProtocolSpace, SymmetricCounts) {
+  EXPECT_EQ(symmetricProtocolCount(2), 16u);      // 2^2 * 4^1
+  EXPECT_EQ(symmetricProtocolCount(3), 19683u);   // 3^3 * 9^3
+}
+
+TEST(ProtocolSpace, AllCounts) {
+  EXPECT_EQ(allProtocolCount(2), 256u);  // 4^4
+}
+
+TEST(ProtocolSpace, DecodedSymmetricProtocolsAreSymmetric) {
+  for (std::uint64_t idx = 0; idx < symmetricProtocolCount(2); ++idx) {
+    const TabularProtocol proto = decodeSymmetricProtocol(2, idx);
+    EXPECT_FALSE(verifySymmetric(proto).has_value()) << "idx=" << idx;
+    EXPECT_FALSE(verifyClosed(proto).has_value()) << "idx=" << idx;
+  }
+  // Spot-check the larger space.
+  for (std::uint64_t idx = 0; idx < symmetricProtocolCount(3); idx += 97) {
+    const TabularProtocol proto = decodeSymmetricProtocol(3, idx);
+    EXPECT_FALSE(verifySymmetric(proto).has_value()) << "idx=" << idx;
+  }
+}
+
+TEST(ProtocolSpace, DecodingIsInjective) {
+  // Distinct indices give distinct transition tables (q = 2, full check).
+  const std::uint64_t total = symmetricProtocolCount(2);
+  for (std::uint64_t a = 0; a < total; ++a) {
+    const TabularProtocol pa = decodeSymmetricProtocol(2, a);
+    for (std::uint64_t b = a + 1; b < total; ++b) {
+      const TabularProtocol pb = decodeSymmetricProtocol(2, b);
+      bool identical = true;
+      for (StateId x = 0; x < 2 && identical; ++x) {
+        for (StateId y = 0; y < 2 && identical; ++y) {
+          identical = pa.mobileDelta(x, y) == pb.mobileDelta(x, y);
+        }
+      }
+      EXPECT_FALSE(identical) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(ProtocolSpace, DecodedFullSpaceIsTotal) {
+  for (std::uint64_t idx = 0; idx < allProtocolCount(2); ++idx) {
+    const TabularProtocol proto = decodeAnyProtocol(2, idx);
+    EXPECT_FALSE(verifyClosed(proto).has_value()) << "idx=" << idx;
+  }
+}
+
+// ---- Proposition 2: no symmetric P-state protocol names N = P agents, under
+// either fairness, whatever uniform initialization the designer picks. ----
+
+TEST(LowerBoundSearch, Prop2NoSymmetricSolverAtP2Global) {
+  const SearchOutcome out =
+      searchUniformNaming(2, 2, Fairness::kGlobal, /*symmetricSpace=*/true);
+  EXPECT_EQ(out.examined, 16u);
+  EXPECT_EQ(out.solvers, 0u);
+}
+
+TEST(LowerBoundSearch, Prop2NoSymmetricSolverAtP2Weak) {
+  const SearchOutcome out =
+      searchUniformNaming(2, 2, Fairness::kWeak, /*symmetricSpace=*/true);
+  EXPECT_EQ(out.solvers, 0u);
+}
+
+TEST(LowerBoundSearch, Prop2NoSymmetricSolverAtP3Global) {
+  const SearchOutcome out =
+      searchUniformNaming(3, 3, Fairness::kGlobal, /*symmetricSpace=*/true);
+  EXPECT_EQ(out.examined, 19683u);
+  EXPECT_EQ(out.solvers, 0u);
+}
+
+TEST(LowerBoundSearch, Prop2NoSymmetricSolverAtP3Weak) {
+  const SearchOutcome out =
+      searchUniformNaming(3, 3, Fairness::kWeak, /*symmetricSpace=*/true);
+  EXPECT_EQ(out.solvers, 0u);
+}
+
+// ---- Proposition 1: under weak fairness, no leaderless symmetric protocol
+// names even a population SMALLER than its state budget. ----
+
+TEST(LowerBoundSearch, Prop1NoSymmetric3StateSolverForN2Weak) {
+  const SearchOutcome out =
+      searchUniformNaming(3, 2, Fairness::kWeak, /*symmetricSpace=*/true);
+  EXPECT_EQ(out.solvers, 0u);
+}
+
+// ---- Positive controls: the machinery does find solvers where they exist.
+
+TEST(LowerBoundSearch, AsymmetricSolversExistAtP2Global) {
+  // Prop 12's rule (s,s) -> (s, s+1 mod 2) lives in the full space.
+  const SearchOutcome out =
+      searchUniformNaming(2, 2, Fairness::kGlobal, /*symmetricSpace=*/false);
+  EXPECT_EQ(out.examined, 256u);
+  EXPECT_GT(out.solvers, 0u);
+}
+
+TEST(LowerBoundSearch, AsymmetricSolversExistAtP2Weak) {
+  const SearchOutcome out =
+      searchUniformNaming(2, 2, Fairness::kWeak, /*symmetricSpace=*/false);
+  EXPECT_GT(out.solvers, 0u);
+}
+
+TEST(LowerBoundSearch, SelfStabilizingAsymmetricSolversExistAtP2) {
+  // Prop 12 is self-stabilizing: solvers must survive the arbitrary-init
+  // quantification too.
+  const SearchOutcome out = searchSelfStabilizingNaming(
+      2, 2, Fairness::kWeak, /*symmetricSpace=*/false);
+  EXPECT_GT(out.solvers, 0u);
+}
+
+TEST(LowerBoundSearch, TwoAgentSymmetricNamingImpossibleEvenWithExtraStates) {
+  // With N = 2 and no leader, the only interactions are between the two
+  // agents, and symmetric rules map homonyms to homonyms — so from a uniform
+  // start the agents are homonyms forever, whatever the state budget. (This
+  // is why Prop 13 carries the N > 2 proviso.) The search must confirm zero
+  // solvers even with an extra state.
+  const SearchOutcome out =
+      searchUniformNaming(3, 2, Fairness::kGlobal, /*symmetricSpace=*/true);
+  EXPECT_EQ(out.solvers, 0u);
+}
+
+TEST(LowerBoundSearch, SolverIndicesAreReported) {
+  const SearchOutcome out =
+      searchUniformNaming(2, 2, Fairness::kGlobal, /*symmetricSpace=*/false);
+  ASSERT_FALSE(out.solverIndices.empty());
+  EXPECT_LE(out.solverIndices.size(), 8u);
+  EXPECT_LT(out.solverIndices.front(), out.examined);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,116 @@
+#include "analysis/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ppn {
+namespace {
+
+/// Builds a ConfigGraph shell with the given directed edges (all marked
+/// changed, arbitrary labels); configs are dummies.
+ConfigGraph makeGraph(std::uint32_t n,
+                      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  ConfigGraph g;
+  g.configs.resize(n);
+  g.adj.resize(n);
+  for (const auto& [u, v] : edges) {
+    g.adj[u].push_back(Edge{v, 0, 0, 0, /*changed=*/true, /*changedMobile=*/true});
+  }
+  return g;
+}
+
+TEST(Scc, SingleNodeNoEdges) {
+  const ConfigGraph g = makeGraph(1, {});
+  const SccDecomposition d = decomposeScc(g);
+  EXPECT_EQ(d.numSccs, 1u);
+  EXPECT_TRUE(d.bottom[0]);
+}
+
+TEST(Scc, ChainHasSingletonSccs) {
+  const ConfigGraph g = makeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  const SccDecomposition d = decomposeScc(g);
+  EXPECT_EQ(d.numSccs, 4u);
+  // Only the last node's SCC is bottom.
+  std::uint32_t bottoms = 0;
+  for (std::uint32_t s = 0; s < d.numSccs; ++s) bottoms += d.bottom[s] ? 1u : 0u;
+  EXPECT_EQ(bottoms, 1u);
+  EXPECT_TRUE(d.bottom[d.sccOf[3]]);
+}
+
+TEST(Scc, CycleIsOneScc) {
+  const ConfigGraph g = makeGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  const SccDecomposition d = decomposeScc(g);
+  EXPECT_EQ(d.numSccs, 1u);
+  EXPECT_TRUE(d.bottom[0]);
+  EXPECT_EQ(d.members[0].size(), 3u);
+}
+
+TEST(Scc, TwoCyclesWithBridge) {
+  // 0<->1  ->  2<->3 : first SCC not bottom, second bottom.
+  const ConfigGraph g =
+      makeGraph(4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}});
+  const SccDecomposition d = decomposeScc(g);
+  EXPECT_EQ(d.numSccs, 2u);
+  EXPECT_NE(d.sccOf[0], d.sccOf[2]);
+  EXPECT_EQ(d.sccOf[0], d.sccOf[1]);
+  EXPECT_EQ(d.sccOf[2], d.sccOf[3]);
+  EXPECT_FALSE(d.bottom[d.sccOf[0]]);
+  EXPECT_TRUE(d.bottom[d.sccOf[2]]);
+}
+
+TEST(Scc, SelfLoopDoesNotBreakBottomness) {
+  ConfigGraph g = makeGraph(2, {{0, 1}});
+  // Null self-loop on the sink: must stay bottom.
+  g.adj[1].push_back(Edge{1, 0, 0, 0, /*changed=*/false, false});
+  const SccDecomposition d = decomposeScc(g);
+  EXPECT_TRUE(d.bottom[d.sccOf[1]]);
+  EXPECT_FALSE(d.bottom[d.sccOf[0]]);
+}
+
+TEST(Scc, ReverseTopologicalNumbering) {
+  // Tarjan emits sink components first: the sink's SCC id is smaller.
+  const ConfigGraph g = makeGraph(3, {{0, 1}, {1, 2}});
+  const SccDecomposition d = decomposeScc(g);
+  EXPECT_LT(d.sccOf[2], d.sccOf[0]);
+}
+
+TEST(Scc, DisconnectedComponents) {
+  const ConfigGraph g = makeGraph(4, {{0, 1}, {2, 3}});
+  const SccDecomposition d = decomposeScc(g);
+  EXPECT_EQ(d.numSccs, 4u);
+  std::uint32_t bottoms = 0;
+  for (std::uint32_t s = 0; s < d.numSccs; ++s) bottoms += d.bottom[s] ? 1u : 0u;
+  EXPECT_EQ(bottoms, 2u);
+}
+
+TEST(Scc, MembersPartitionTheGraph) {
+  const ConfigGraph g =
+      makeGraph(6, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 4}, {4, 2}, {4, 5}});
+  const SccDecomposition d = decomposeScc(g);
+  std::set<std::uint32_t> all;
+  std::size_t total = 0;
+  for (const auto& m : d.members) {
+    total += m.size();
+    all.insert(m.begin(), m.end());
+  }
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(Scc, LargeCycleStressIterative) {
+  // 100k-node ring: would overflow the stack with a recursive Tarjan.
+  const std::uint32_t n = 100000;
+  ConfigGraph g;
+  g.configs.resize(n);
+  g.adj.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    g.adj[i].push_back(Edge{(i + 1) % n, 0, 0, 0, true, true});
+  }
+  const SccDecomposition d = decomposeScc(g);
+  EXPECT_EQ(d.numSccs, 1u);
+  EXPECT_EQ(d.members[0].size(), n);
+}
+
+}  // namespace
+}  // namespace ppn

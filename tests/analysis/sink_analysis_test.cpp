@@ -1,0 +1,102 @@
+// Proposition 6 structure on the implemented protocols.
+#include "analysis/sink_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/initial_sets.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/counting_protocol.h"
+#include "naming/global_leader_naming.h"
+#include "naming/selfstab_weak_naming.h"
+#include "naming/symmetric_global_naming.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+
+namespace ppn {
+namespace {
+
+TEST(SinkAnalysis, Protocols123HaveSinkZero) {
+  // The homonym sink 0 of the BST protocols is exactly the paper's m.
+  const CountingProtocol p1(4);
+  const SelfStabWeakNaming p2(4);
+  const GlobalLeaderNaming p3(4);
+  for (const Protocol* proto :
+       std::initializer_list<const Protocol*>{&p1, &p2, &p3}) {
+    const SinkAnalysis a = analyzeSinks(*proto);
+    ASSERT_TRUE(a.sink.has_value()) << proto->name();
+    EXPECT_EQ(*a.sink, 0u) << proto->name();
+    EXPECT_EQ(a.selfFixedStates, std::vector<StateId>{0}) << proto->name();
+  }
+}
+
+TEST(SinkAnalysis, EveryDiagonalChainOfProtocol2ReachesTheSinkInOneStep) {
+  const SelfStabWeakNaming proto(5);
+  const SinkAnalysis a = analyzeSinks(proto);
+  for (StateId s = 0; s < proto.numMobileStates(); ++s) {
+    EXPECT_EQ(a.chainTarget[s], 0u);
+  }
+}
+
+TEST(SinkAnalysis, AsymmetricNamingHasNoSink) {
+  // (s,s) -> (s, s+1): the diagonal never settles — the asymmetric protocol
+  // evades the symmetric sink structure, which is how it beats the P+1 lower
+  // bound with P states.
+  const AsymmetricNaming proto(4);
+  const SinkAnalysis a = analyzeSinks(proto);
+  EXPECT_TRUE(a.selfFixedStates.empty());
+  EXPECT_FALSE(a.sink.has_value());
+}
+
+TEST(SinkAnalysis, SymmetricGlobalNamingChainsCycleWithoutFixedPoint) {
+  // Prop 13's protocol: (s,s) -> (P,P) -> (1,1) -> (P,P) -> ... — a 2-cycle,
+  // no fixed diagonal pair, hence no sink. (Prop 6 presupposes a correct
+  // weak-fairness naming protocol, which this is not — it needs global
+  // fairness; the absence of a sink is consistent, not contradictory.)
+  const SymmetricGlobalNaming proto(4);
+  const SinkAnalysis a = analyzeSinks(proto);
+  EXPECT_TRUE(a.selfFixedStates.empty());
+  EXPECT_FALSE(a.sink.has_value());
+}
+
+TEST(SinkAnalysis, Lemma5SinkVanishesBelowCapacity) {
+  // Lemma 5 / Prop 6 condition (3): for N < P, the sink does not appear at
+  // convergence. Verified by simulation on Protocol 2.
+  const StateId p = 4;
+  const SelfStabWeakNaming proto(p);
+  Rng rng(7);
+  for (std::uint32_t n = 1; n < p; ++n) {
+    for (int trial = 0; trial < 5; ++trial) {
+      Engine engine(proto, arbitraryConfiguration(proto, n, rng));
+      RandomScheduler sched(n + 1, rng.next());
+      const RunOutcome out =
+          runUntilSilent(engine, sched, RunLimits{5'000'000, 32});
+      ASSERT_TRUE(out.silent);
+      EXPECT_EQ(out.finalConfig.multiplicity(0), 0u)
+          << "sink state must be absent at convergence for N < P";
+    }
+  }
+}
+
+TEST(SinkAnalysis, HandlesProtocolsWithMultipleFixedStates) {
+  // A degenerate all-null protocol: every state is self-fixed, so the
+  // paper's *unique* sink does not exist.
+  class AllNull final : public Protocol {
+   public:
+    std::string name() const override { return "all-null"; }
+    StateId numMobileStates() const override { return 3; }
+    bool isSymmetric() const override { return true; }
+    MobilePair mobileDelta(StateId a, StateId b) const override {
+      return MobilePair{a, b};
+    }
+  };
+  const AllNull proto;
+  const SinkAnalysis a = analyzeSinks(proto);
+  EXPECT_EQ(a.selfFixedStates.size(), 3u);
+  EXPECT_FALSE(a.sink.has_value());
+  for (StateId s = 0; s < 3; ++s) EXPECT_EQ(a.chainTarget[s], s);
+}
+
+}  // namespace
+}  // namespace ppn

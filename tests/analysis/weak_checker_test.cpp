@@ -1,0 +1,169 @@
+#include "analysis/weak_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/initial_sets.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/color_example.h"
+#include "naming/counting_protocol.h"
+#include "naming/global_leader_naming.h"
+#include "naming/leader_uniform_naming.h"
+#include "naming/selfstab_weak_naming.h"
+#include "naming/symmetric_global_naming.h"
+
+namespace ppn {
+namespace {
+
+TEST(WeakChecker, AsymmetricNamingSolvesUnderWeakFairness) {
+  // Prop 12: correct even against weakly fair adversaries, self-stabilizing.
+  for (const StateId p : {2u, 3u}) {
+    const AsymmetricNaming proto(p);
+    const WeakVerdict v = checkWeakFairness(
+        proto, namingProblem(proto), allConcreteConfigurations(proto, p));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "P=" << p << ": " << v.reason;
+  }
+}
+
+TEST(WeakChecker, ColorExampleViolated) {
+  const ColorExample proto;
+  const Problem problem = predicateProblem("all-black", allBlack);
+  const WeakVerdict v = checkWeakFairness(
+      proto, problem, {Configuration{{1, 0, 0}, std::nullopt}});
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves);
+  EXPECT_GT(v.violatingSccs, 0u);
+  ASSERT_TRUE(v.witness.has_value());
+  EXPECT_FALSE(allBlack(*v.witness));
+  // The witness SCC is the 3-configuration token-spinning cycle.
+  EXPECT_EQ(v.witnessSccSize, 3u);
+}
+
+TEST(WeakChecker, SymmetricGlobalNamingFailsUnderWeakFairness) {
+  // Prop 1: without a leader, no symmetric protocol survives a weakly fair
+  // adversary — including the Prop 13 protocol that is correct under global
+  // fairness.
+  const SymmetricGlobalNaming proto(3);
+  const WeakVerdict v = checkWeakFairness(
+      proto, namingProblem(proto), allConcreteConfigurations(proto, 3));
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves);
+  EXPECT_GT(v.violatingSccs, 0u);
+}
+
+TEST(WeakChecker, SelfStabWeakNamingSolves) {
+  // Prop 16: P+1 states with a (non-initialized) leader DO suffice under
+  // weak fairness, from every initial configuration.
+  for (const StateId p : {2u, 3u}) {
+    const SelfStabWeakNaming proto(p);
+    const WeakVerdict v =
+        checkWeakFairness(proto, namingProblem(proto),
+                          allConcreteConfigurations(proto, p), 8'000'000);
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "P=" << p << ": " << v.reason;
+  }
+}
+
+TEST(WeakChecker, GlobalLeaderNamingFailsAtFullPopulation) {
+  // Theorem 11 instance: a P-state symmetric protocol with an initialized
+  // leader cannot name N = P agents under weak fairness; the checker finds a
+  // concrete violating schedule for Protocol 3.
+  const StateId p = 3;
+  const GlobalLeaderNaming proto(p);
+  const WeakVerdict v = checkWeakFairness(
+      proto, namingProblem(proto), allConcreteConfigurations(proto, p));
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves);
+  EXPECT_GT(v.violatingSccs, 0u);
+}
+
+TEST(WeakChecker, GlobalLeaderNamingStillFineBelowCapacity) {
+  // For N < P Protocol 3 degenerates to Protocol 1, which is weak-fair
+  // correct (Theorem 15 names N < P agents).
+  const GlobalLeaderNaming proto(3);
+  const WeakVerdict v = checkWeakFairness(
+      proto, namingProblem(proto), allConcreteConfigurations(proto, 2));
+  ASSERT_TRUE(v.explored);
+  EXPECT_TRUE(v.solves) << v.reason;
+}
+
+TEST(WeakChecker, CountingProtocolCountsUnderWeakFairness) {
+  const StateId p = 3;
+  const CountingProtocol proto(p);
+  for (std::uint32_t n = 1; n <= p; ++n) {
+    const WeakVerdict v = checkWeakFairness(
+        proto, countingProblem(proto, n), allConcreteConfigurations(proto, n));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "N=" << n << ": " << v.reason;
+  }
+}
+
+TEST(WeakChecker, LeaderUniformNamingSolvesFromDeclaredInit) {
+  const LeaderUniformNaming proto(3);
+  for (std::uint32_t n = 1; n <= 3; ++n) {
+    const WeakVerdict v = checkWeakFairness(proto, namingProblem(proto),
+                                            declaredUniformInitials(proto, n));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "N=" << n << ": " << v.reason;
+  }
+}
+
+TEST(WeakChecker, TruncationYieldsNoVerdict) {
+  const SymmetricGlobalNaming proto(3);
+  const WeakVerdict v =
+      checkWeakFairness(proto, namingProblem(proto),
+                        allConcreteConfigurations(proto, 3), /*maxNodes=*/4);
+  EXPECT_FALSE(v.explored);
+}
+
+TEST(WeakChecker, StarTopologyDefeatsLeaderlessNaming) {
+  // On a star, weak fairness only promises that the star's EDGES recur;
+  // two leaf homonyms can never meet, so the asymmetric protocol fails.
+  const std::uint32_t n = 4;
+  const AsymmetricNaming proto(n);
+  const InteractionGraph star = InteractionGraph::star(n, 0);
+  const WeakVerdict v =
+      checkWeakFairness(proto, namingProblem(proto),
+                        allConcreteConfigurations(proto, n), 4'000'000, &star);
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves);
+  EXPECT_GT(v.violatingSccs, 0u);
+}
+
+TEST(WeakChecker, CompleteTopologyMatchesDefault) {
+  // Passing the explicit complete graph must agree with the implicit
+  // complete-interaction model.
+  const AsymmetricNaming proto(3);
+  const auto initials = allConcreteConfigurations(proto, 3);
+  const InteractionGraph complete = InteractionGraph::complete(3);
+  const WeakVerdict withGraph = checkWeakFairness(
+      proto, namingProblem(proto), initials, 4'000'000, &complete);
+  const WeakVerdict withoutGraph =
+      checkWeakFairness(proto, namingProblem(proto), initials);
+  ASSERT_TRUE(withGraph.explored && withoutGraph.explored);
+  EXPECT_EQ(withGraph.solves, withoutGraph.solves);
+  EXPECT_EQ(withGraph.numConfigs, withoutGraph.numConfigs);
+}
+
+TEST(WeakChecker, TopologyParticipantMismatchThrows) {
+  const AsymmetricNaming proto(3);
+  const InteractionGraph wrong = InteractionGraph::complete(5);
+  EXPECT_THROW(checkWeakFairness(proto, namingProblem(proto),
+                                 allConcreteConfigurations(proto, 3),
+                                 4'000'000, &wrong),
+               std::invalid_argument);
+}
+
+TEST(WeakChecker, TerminalOnlyGraphSolves) {
+  // Already-named population: the single config's null self-loops cover all
+  // pairs and nothing violates.
+  const AsymmetricNaming proto(3);
+  const WeakVerdict v = checkWeakFairness(
+      proto, namingProblem(proto), {Configuration{{0, 1, 2}, std::nullopt}});
+  ASSERT_TRUE(v.explored);
+  EXPECT_TRUE(v.solves);
+  EXPECT_EQ(v.numConfigs, 1u);
+}
+
+}  // namespace
+}  // namespace ppn

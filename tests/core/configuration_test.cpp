@@ -1,0 +1,80 @@
+#include "core/configuration.h"
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+TEST(Configuration, CanonicalizedSortsMobile) {
+  Configuration c{{3, 1, 2}, std::nullopt};
+  const Configuration canon = c.canonicalized();
+  EXPECT_EQ(canon.mobile, (std::vector<StateId>{1, 2, 3}));
+  EXPECT_EQ(c.mobile, (std::vector<StateId>{3, 1, 2}));  // original untouched
+}
+
+TEST(Configuration, CanonicalizedKeepsLeader) {
+  Configuration c{{2, 0}, LeaderStateId{99}};
+  EXPECT_EQ(c.canonicalized().leader, LeaderStateId{99});
+}
+
+TEST(Configuration, EquivalentConfigsShareCanonicalForm) {
+  // The paper's Section 3.1 example: [2,3,2,m,l] equivalent to [2,2,3,m,l].
+  Configuration a{{2, 3, 2, 0}, LeaderStateId{5}};
+  Configuration b{{2, 2, 3, 0}, LeaderStateId{5}};
+  EXPECT_EQ(a.canonicalized(), b.canonicalized());
+}
+
+TEST(Configuration, Multiplicity) {
+  Configuration c{{1, 1, 2, 1}, std::nullopt};
+  EXPECT_EQ(c.multiplicity(1), 3u);
+  EXPECT_EQ(c.multiplicity(2), 1u);
+  EXPECT_EQ(c.multiplicity(0), 0u);
+}
+
+TEST(Configuration, AllDistinct) {
+  EXPECT_TRUE((Configuration{{0, 1, 2}, std::nullopt}).allDistinct());
+  EXPECT_FALSE((Configuration{{0, 1, 0}, std::nullopt}).allDistinct());
+  EXPECT_TRUE((Configuration{{}, std::nullopt}).allDistinct());
+  EXPECT_TRUE((Configuration{{5}, std::nullopt}).allDistinct());
+}
+
+TEST(Configuration, Histogram) {
+  Configuration c{{0, 2, 2, 1}, std::nullopt};
+  const auto h = c.histogram(3);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 2u);
+}
+
+TEST(Configuration, HashDistinguishesLeaderPresence) {
+  Configuration noLeader{{1, 2}, std::nullopt};
+  Configuration withLeader{{1, 2}, LeaderStateId{0}};
+  EXPECT_NE(noLeader, withLeader);
+  // Not a strict requirement for a hash, but these must not be trivially
+  // equal for the interner to be efficient.
+  EXPECT_NE(noLeader.hashValue(), withLeader.hashValue());
+}
+
+TEST(Configuration, HashEqualForEqualConfigs) {
+  Configuration a{{1, 2, 3}, LeaderStateId{7}};
+  Configuration b{{1, 2, 3}, LeaderStateId{7}};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hashValue(), b.hashValue());
+}
+
+TEST(Configuration, ToStringFormats) {
+  Configuration c{{1, 0}, LeaderStateId{3}};
+  EXPECT_EQ(c.toString(), "[1, 0 | L3]");
+  EXPECT_EQ(c.toString("BST(n=1)"), "[1, 0 | BST(n=1)]");
+  Configuration noLeader{{4}, std::nullopt};
+  EXPECT_EQ(noLeader.toString(), "[4]");
+}
+
+TEST(Configuration, NumMobile) {
+  EXPECT_EQ((Configuration{{1, 2, 3}, std::nullopt}).numMobile(), 3u);
+  EXPECT_EQ((Configuration{{}, std::nullopt}).numMobile(), 0u);
+}
+
+}  // namespace
+}  // namespace ppn

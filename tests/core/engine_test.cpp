@@ -1,0 +1,183 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "naming/asymmetric_naming.h"
+#include "naming/counting_protocol.h"
+#include "naming/leader_uniform_naming.h"
+#include "naming/symmetric_global_naming.h"
+
+namespace ppn {
+namespace {
+
+TEST(ApplyInteraction, MobileMobileAsymmetric) {
+  const AsymmetricNaming proto(4);
+  Configuration c{{2, 2, 0}, std::nullopt};
+  // Homonyms: responder advances.
+  EXPECT_TRUE(applyInteraction(proto, c, Interaction{0, 1}));
+  EXPECT_EQ(c.mobile, (std::vector<StateId>{2, 3, 0}));
+  // Distinct states: null.
+  EXPECT_FALSE(applyInteraction(proto, c, Interaction{0, 2}));
+  EXPECT_EQ(c.mobile, (std::vector<StateId>{2, 3, 0}));
+}
+
+TEST(ApplyInteraction, OrientationMattersForAsymmetric) {
+  const AsymmetricNaming proto(4);
+  Configuration a{{1, 1}, std::nullopt};
+  applyInteraction(proto, a, Interaction{0, 1});
+  EXPECT_EQ(a.mobile, (std::vector<StateId>{1, 2}));
+
+  Configuration b{{1, 1}, std::nullopt};
+  applyInteraction(proto, b, Interaction{1, 0});
+  EXPECT_EQ(b.mobile, (std::vector<StateId>{2, 1}));
+}
+
+TEST(ApplyInteraction, WrapsModuloP) {
+  const AsymmetricNaming proto(3);
+  Configuration c{{2, 2}, std::nullopt};
+  applyInteraction(proto, c, Interaction{0, 1});
+  EXPECT_EQ(c.mobile, (std::vector<StateId>{2, 0}));
+}
+
+TEST(ApplyInteraction, LeaderInteractionEitherOrientation) {
+  const LeaderUniformNaming proto(3);  // unnamed marker = 2, counter starts 0
+  Configuration c{{2, 2}, LeaderStateId{0}};
+  // Leader is participant index 2 here (N = 2).
+  EXPECT_TRUE(applyInteraction(proto, c, Interaction{2, 0}));
+  EXPECT_EQ(c.mobile[0], 0u);
+  EXPECT_EQ(*c.leader, 1u);
+  EXPECT_TRUE(applyInteraction(proto, c, Interaction{1, 2}));  // mobile first
+  EXPECT_EQ(c.mobile[1], 1u);
+  EXPECT_EQ(*c.leader, 2u);
+}
+
+TEST(ApplyInteraction, RejectsSelfInteraction) {
+  const AsymmetricNaming proto(3);
+  Configuration c{{0, 1}, std::nullopt};
+  EXPECT_THROW(applyInteraction(proto, c, Interaction{1, 1}), std::logic_error);
+}
+
+TEST(ApplyInteraction, RejectsLeaderIndexWithoutLeader) {
+  const AsymmetricNaming proto(3);
+  Configuration c{{0, 1}, std::nullopt};
+  EXPECT_THROW(applyInteraction(proto, c, Interaction{0, 2}), std::logic_error);
+}
+
+TEST(IsSilent, DistinctNamesSilentForAsymmetric) {
+  const AsymmetricNaming proto(3);
+  EXPECT_TRUE(isSilent(proto, Configuration{{0, 1, 2}, std::nullopt}));
+  EXPECT_FALSE(isSilent(proto, Configuration{{0, 0, 2}, std::nullopt}));
+}
+
+TEST(IsSilent, LeaderTransitionsBreakSilence) {
+  const LeaderUniformNaming proto(3);
+  // An unnamed agent (state 2) with counter 0: leader will rename it.
+  EXPECT_FALSE(isSilent(proto, Configuration{{2, 0}, LeaderStateId{1}}));
+  // Fully named: silent.
+  EXPECT_TRUE(isSilent(proto, Configuration{{0, 1}, LeaderStateId{2}}));
+}
+
+TEST(IsMobileSilent, ToleratesLeaderOnlyChanges) {
+  // Craft a protocol whose leader ticks forever without touching agents.
+  class Ticker : public Protocol {
+   public:
+    std::string name() const override { return "ticker"; }
+    StateId numMobileStates() const override { return 2; }
+    bool hasLeader() const override { return true; }
+    bool isSymmetric() const override { return true; }
+    MobilePair mobileDelta(StateId a, StateId b) const override {
+      return MobilePair{a, b};
+    }
+    LeaderResult leaderDelta(LeaderStateId l, StateId m) const override {
+      return LeaderResult{(l + 1) % 5, m};
+    }
+    std::optional<LeaderStateId> initialLeaderState() const override {
+      return LeaderStateId{0};
+    }
+  };
+  const Ticker proto;
+  const Configuration c{{0, 1}, LeaderStateId{0}};
+  EXPECT_FALSE(isSilent(proto, c));
+  EXPECT_TRUE(isMobileSilent(proto, c));
+}
+
+TEST(IsNamed, ChecksDistinctnessAndValidity) {
+  const CountingProtocol proto(4);  // 0 is not a valid name
+  const LeaderStateId bst{0};       // packBst(n=0, k=0)
+  EXPECT_TRUE(isNamed(proto, Configuration{{1, 2, 3}, bst}));
+  EXPECT_FALSE(isNamed(proto, Configuration{{1, 1, 3}, bst}));
+  EXPECT_FALSE(isNamed(proto, Configuration{{0, 2, 3}, bst}));
+}
+
+TEST(UniformConfiguration, BuildsDeclaredInit) {
+  const LeaderUniformNaming proto(4);
+  const Configuration c = uniformConfiguration(proto, 3);
+  EXPECT_EQ(c.mobile, (std::vector<StateId>{3, 3, 3}));
+  EXPECT_EQ(c.leader, LeaderStateId{0});
+}
+
+TEST(UniformConfiguration, ThrowsWithoutDeclaredInit) {
+  const AsymmetricNaming proto(3);
+  EXPECT_THROW(uniformConfiguration(proto, 3), std::logic_error);
+}
+
+TEST(ArbitraryConfiguration, RespectsStateSpace) {
+  const SymmetricGlobalNaming proto(4);  // 5 states
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Configuration c = arbitraryConfiguration(proto, 6, rng);
+    EXPECT_EQ(c.numMobile(), 6u);
+    for (const StateId s : c.mobile) EXPECT_LT(s, 5u);
+    EXPECT_FALSE(c.leader.has_value());
+  }
+}
+
+TEST(ArbitraryConfiguration, InitializedLeaderStaysInitialized) {
+  const CountingProtocol proto(3);
+  Rng rng(6);
+  const Configuration c = arbitraryConfiguration(proto, 3, rng);
+  EXPECT_EQ(c.leader, proto.initialLeaderState());
+}
+
+TEST(Engine, CountsInteractionsAndChanges) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{1, 1, 0}, std::nullopt});
+  EXPECT_TRUE(engine.step(Interaction{0, 1}));   // (1,1) -> (1,2)
+  EXPECT_FALSE(engine.step(Interaction{0, 2}));  // distinct: null
+  EXPECT_EQ(engine.totalInteractions(), 2u);
+  EXPECT_EQ(engine.nonNullInteractions(), 1u);
+  EXPECT_EQ(engine.lastChangeAt(), 1u);
+  EXPECT_TRUE(engine.silent());
+  EXPECT_TRUE(engine.namingSolved());
+}
+
+TEST(Engine, RejectsLeaderMismatch) {
+  const CountingProtocol proto(3);
+  EXPECT_THROW(Engine(proto, Configuration{{0, 1}, std::nullopt}),
+               std::logic_error);
+  const AsymmetricNaming noLeader(3);
+  EXPECT_THROW(Engine(noLeader, Configuration{{0, 1}, LeaderStateId{0}}),
+               std::logic_error);
+}
+
+TEST(Engine, CorruptionMarksChange) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{0, 1, 2}, std::nullopt});
+  EXPECT_TRUE(engine.silent());
+  engine.corruptMobile(1, 0);
+  EXPECT_FALSE(engine.silent());
+  EXPECT_EQ(engine.config().mobile[1], 0u);
+}
+
+TEST(Engine, ResetToClearsCounters) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{1, 1}, std::nullopt});
+  engine.step(Interaction{0, 1});
+  engine.resetTo(Configuration{{0, 0}, std::nullopt});
+  EXPECT_EQ(engine.totalInteractions(), 0u);
+  EXPECT_EQ(engine.lastChangeAt(), 0u);
+  EXPECT_EQ(engine.config().mobile, (std::vector<StateId>{0, 0}));
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,94 @@
+#include "core/interaction_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+TEST(InteractionGraph, CompleteHasAllPairs) {
+  const auto g = InteractionGraph::complete(5);
+  EXPECT_EQ(g.numEdges(), 10u);
+  EXPECT_TRUE(g.isComplete());
+  EXPECT_TRUE(g.isConnected());
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    for (std::uint32_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(g.hasEdge(i, j), i != j);
+    }
+  }
+}
+
+TEST(InteractionGraph, Ring) {
+  const auto g = InteractionGraph::ring(5);
+  EXPECT_EQ(g.numEdges(), 5u);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_FALSE(g.isComplete());
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(4, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_THROW(InteractionGraph::ring(2), std::invalid_argument);
+}
+
+TEST(InteractionGraph, Line) {
+  const auto g = InteractionGraph::line(4);
+  EXPECT_EQ(g.numEdges(), 3u);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_TRUE(g.hasEdge(1, 2));
+  EXPECT_FALSE(g.hasEdge(0, 3));
+}
+
+TEST(InteractionGraph, Star) {
+  const auto g = InteractionGraph::star(6, 5);
+  EXPECT_EQ(g.numEdges(), 5u);
+  EXPECT_TRUE(g.isConnected());
+  for (std::uint32_t leaf = 0; leaf < 5; ++leaf) {
+    EXPECT_TRUE(g.hasEdge(5, leaf));
+    for (std::uint32_t other = leaf + 1; other < 5; ++other) {
+      EXPECT_FALSE(g.hasEdge(leaf, other));
+    }
+  }
+  EXPECT_THROW(InteractionGraph::star(3, 3), std::invalid_argument);
+}
+
+TEST(InteractionGraph, EdgeNormalization) {
+  // Duplicates and reversed pairs collapse.
+  const InteractionGraph g(3, {{1, 0}, {0, 1}, {2, 1}});
+  EXPECT_EQ(g.numEdges(), 2u);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 2));
+}
+
+TEST(InteractionGraph, RejectsBadEdges) {
+  EXPECT_THROW(InteractionGraph(3, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(InteractionGraph(3, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW(InteractionGraph(1, {}), std::invalid_argument);
+}
+
+TEST(InteractionGraph, Disconnection) {
+  const InteractionGraph g(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.isConnected());
+}
+
+TEST(InteractionGraph, RandomConnectedIsConnected) {
+  Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = InteractionGraph::randomConnected(8, 0.4, rng);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_EQ(g.numParticipants(), 8u);
+  }
+}
+
+TEST(InteractionGraph, RandomConnectedGivesUpOnHopelessP) {
+  Rng rng(56);
+  EXPECT_THROW(InteractionGraph::randomConnected(12, 0.0, rng),
+               std::runtime_error);
+}
+
+TEST(InteractionGraph, DescribeMentionsSizes) {
+  const auto g = InteractionGraph::ring(4);
+  const std::string d = g.describe();
+  EXPECT_NE(d.find("4 participants"), std::string::npos);
+  EXPECT_NE(d.find("4 edges"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppn

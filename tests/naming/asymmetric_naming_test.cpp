@@ -1,0 +1,153 @@
+// Proposition 12 unit and property tests.
+#include "naming/asymmetric_naming.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sched/deterministic_schedulers.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+
+namespace ppn {
+namespace {
+
+TEST(AsymmetricNaming, SingleRuleShape) {
+  const AsymmetricNaming proto(5);
+  // Homonyms: responder advances cyclically.
+  EXPECT_EQ(proto.mobileDelta(3, 3), (MobilePair{3, 4}));
+  EXPECT_EQ(proto.mobileDelta(4, 4), (MobilePair{4, 0}));
+  // Distinct states: null.
+  EXPECT_EQ(proto.mobileDelta(1, 2), (MobilePair{1, 2}));
+  EXPECT_EQ(proto.mobileDelta(2, 1), (MobilePair{2, 1}));
+}
+
+TEST(AsymmetricNaming, DeclaredAsymmetricAndLeaderless) {
+  const AsymmetricNaming proto(4);
+  EXPECT_FALSE(proto.isSymmetric());
+  EXPECT_FALSE(proto.hasLeader());
+  EXPECT_FALSE(proto.uniformMobileInit().has_value());  // self-stabilizing
+  EXPECT_EQ(proto.numMobileStates(), 4u);
+}
+
+TEST(HolePotential, CountsHolesAndDistances) {
+  // P = 4, config {0, 0, 2}: holes {1, 3}; distances: agent(0)->1 is 1 (x2),
+  // agent(2)->3 is 1. Total (2, 3).
+  const Configuration c{{0, 0, 2}, std::nullopt};
+  const auto [holes, dist] = holePotential(c, 4);
+  EXPECT_EQ(holes, 2u);
+  EXPECT_EQ(dist, 3u);
+}
+
+TEST(HolePotential, ZeroWhenNoHoles) {
+  const Configuration c{{0, 1, 2}, std::nullopt};
+  const auto [holes, dist] = holePotential(c, 3);
+  EXPECT_EQ(holes, 0u);
+  EXPECT_EQ(dist, 0u);
+}
+
+TEST(HolePotential, WrapsAroundModuloP) {
+  // P = 4, config {3, 3}: holes {0, 1, 2}; distance of each 3-agent is 1
+  // (3 + 1 mod 4 = 0 is a hole).
+  const Configuration c{{3, 3}, std::nullopt};
+  const auto [holes, dist] = holePotential(c, 4);
+  EXPECT_EQ(holes, 3u);
+  EXPECT_EQ(dist, 2u);
+}
+
+// The paper's proof: f = (holes, distance) strictly decreases
+// lexicographically on every non-null transition. Property-checked over
+// random configurations and random applicable transitions.
+TEST(HolePotential, StrictlyDecreasesOnEveryNonNullTransition) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const StateId p = static_cast<StateId>(2 + rng.below(6));          // P in 2..7
+    const auto n = static_cast<std::uint32_t>(2 + rng.below(p - 1));   // N in 2..P
+    const AsymmetricNaming proto(p);
+    Configuration c = arbitraryConfiguration(proto, n, rng);
+
+    // Find an applicable non-null transition (homonym pair), if any.
+    bool found = false;
+    for (std::uint32_t i = 0; i < n && !found; ++i) {
+      for (std::uint32_t j = i + 1; j < n && !found; ++j) {
+        if (c.mobile[i] != c.mobile[j]) continue;
+        const auto before = holePotential(c, p);
+        Configuration next = c;
+        applyInteraction(proto, next, Interaction{i, j});
+        const auto after = holePotential(next, p);
+        EXPECT_LT(after, before)
+            << "potential must strictly decrease (P=" << p << ")";
+        found = true;
+      }
+    }
+  }
+}
+
+TEST(AsymmetricNaming, PotentialBoundImpliesTermination) {
+  // f <= (P, P(P-1)) (paper): verify the bound over random configurations.
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const StateId p = static_cast<StateId>(2 + rng.below(8));
+    const AsymmetricNaming proto(p);
+    const auto n = static_cast<std::uint32_t>(1 + rng.below(p));
+    const Configuration c = arbitraryConfiguration(proto, n, rng);
+    const auto [holes, dist] = holePotential(c, p);
+    EXPECT_LE(holes, p);
+    EXPECT_LE(dist, static_cast<std::uint64_t>(p) * (p - 1));
+  }
+}
+
+TEST(AsymmetricNaming, ConvergesUnderRandomScheduler) {
+  const AsymmetricNaming proto(8);
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Engine engine(proto, arbitraryConfiguration(proto, 8, rng));
+    RandomScheduler sched(8, rng.next());
+    const RunOutcome out = runUntilSilent(engine, sched, RunLimits{100000, 16});
+    ASSERT_TRUE(out.silent);
+    EXPECT_TRUE(out.namingSolved);
+    EXPECT_TRUE(out.finalConfig.allDistinct());
+  }
+}
+
+TEST(AsymmetricNaming, ConvergesUnderWeaklyFairSchedulers) {
+  // Prop 12 claims correctness under weak fairness too.
+  const AsymmetricNaming proto(6);
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Configuration start = arbitraryConfiguration(proto, 6, rng);
+    for (const SchedulerKind kind :
+         {SchedulerKind::kRoundRobin, SchedulerKind::kTournament}) {
+      Engine engine(proto, start);
+      auto sched = makeScheduler(kind, 6, 0);
+      const RunOutcome out = runUntilSilent(engine, *sched, RunLimits{100000, 16});
+      ASSERT_TRUE(out.silent) << schedulerKindName(kind);
+      EXPECT_TRUE(out.namingSolved) << schedulerKindName(kind);
+    }
+  }
+}
+
+TEST(AsymmetricNaming, WorksForAllPopulationSizesUpToP) {
+  const StateId p = 7;
+  const AsymmetricNaming proto(p);
+  Rng rng(5);
+  for (std::uint32_t n = 1; n <= p; ++n) {
+    Engine engine(proto, arbitraryConfiguration(proto, n, rng));
+    RandomScheduler sched(std::max(2u, n), rng.next());
+    if (n == 1) {
+      // A single agent is trivially named; no interactions possible.
+      EXPECT_TRUE(engine.namingSolved());
+      continue;
+    }
+    const RunOutcome out = runUntilSilent(engine, sched, RunLimits{100000, 16});
+    ASSERT_TRUE(out.silent) << "N=" << n;
+    EXPECT_TRUE(out.namingSolved) << "N=" << n;
+  }
+}
+
+TEST(AsymmetricNaming, RejectsZeroP) {
+  EXPECT_THROW(AsymmetricNaming(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppn

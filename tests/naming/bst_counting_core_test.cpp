@@ -1,0 +1,125 @@
+// Unit tests for the shared BST body — the subtle boundary behaviour
+// (pointer saturation, guess overrun, name capping) that the three protocols
+// all rely on.
+#include "naming/bst_counting_core.h"
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+CountingCoreParams paramsFor(std::uint32_t p, bool protocol2) {
+  return CountingCoreParams{
+      .nLimit = protocol2 ? p + 1 : p,
+      .kMax = kBoundForExponent(protocol2 ? p : p - 1),
+      .nameCap = protocol2 ? p : p - 1,
+  };
+}
+
+TEST(BstCore, InactiveWhenGuessAtLimit) {
+  BstState bst{.n = 3, .k = 5, .namePtr = 0};
+  StateId name = 0;
+  EXPECT_FALSE(countingBody(bst, name, paramsFor(3, false)));
+  EXPECT_EQ(bst.n, 3u);
+  EXPECT_EQ(name, 0u);
+}
+
+TEST(BstCore, InactiveOnNamesWithinGuess) {
+  BstState bst{.n = 2, .k = 2, .namePtr = 0};
+  StateId name = 2;  // name <= n and != 0
+  EXPECT_FALSE(countingBody(bst, name, paramsFor(4, false)));
+  EXPECT_EQ(name, 2u);
+}
+
+TEST(BstCore, ZeroAgentAdvancesPointer) {
+  BstState bst{.n = 2, .k = 2, .namePtr = 0};
+  StateId name = 0;
+  EXPECT_TRUE(countingBody(bst, name, paramsFor(4, false)));
+  EXPECT_EQ(bst.k, 3u);
+  EXPECT_EQ(bst.n, 2u);          // l_2 = 3 not yet exceeded
+  EXPECT_EQ(name, rulerValue(3));  // U*(3) = 1
+}
+
+TEST(BstCore, PointerOverrunBumpsGuess) {
+  BstState bst{.n = 2, .k = 3, .namePtr = 0};  // k = l_2
+  StateId name = 0;
+  EXPECT_TRUE(countingBody(bst, name, paramsFor(4, false)));
+  EXPECT_EQ(bst.k, 4u);
+  EXPECT_EQ(bst.n, 3u);
+  EXPECT_EQ(name, rulerValue(4));  // = 3
+}
+
+TEST(BstCore, LargeNameJumpsPointerToNextBlock) {
+  BstState bst{.n = 1, .k = 0, .namePtr = 0};
+  StateId name = 3;  // > n
+  EXPECT_TRUE(countingBody(bst, name, paramsFor(4, false)));
+  EXPECT_EQ(bst.k, 2u);  // l_1 + 1
+  EXPECT_EQ(bst.n, 2u);
+  EXPECT_EQ(name, rulerValue(2));  // = 2
+}
+
+TEST(BstCore, KSaturatesAtDeclaredMax) {
+  // Protocol 2 with arbitrary leader init: k at its max must not overflow
+  // its declared range; behaviour (k > l_n comparisons) is unaffected.
+  const std::uint32_t p = 3;
+  const auto params = paramsFor(p, true);  // kMax = 2^3 = 8
+  BstState bst{.n = 2, .k = 8, .namePtr = 0};
+  StateId name = 0;
+  EXPECT_TRUE(countingBody(bst, name, params));
+  EXPECT_EQ(bst.k, 8u);  // clamped, not 9
+  EXPECT_EQ(bst.n, 3u);  // still counted as overrun
+}
+
+TEST(BstCore, NameCapAtTheBoundaryIndex) {
+  // The single boundary index k = 2^(P-1) would yield ruler value P, one
+  // past the Protocol 1 name domain; it must cap at P-1.
+  const std::uint32_t p = 3;
+  BstState bst{.n = 2, .k = 3, .namePtr = 0};  // next k = 4 = 2^2
+  StateId name = 0;
+  EXPECT_TRUE(countingBody(bst, name, paramsFor(p, false)));
+  EXPECT_EQ(bst.k, 4u);
+  EXPECT_EQ(rulerValue(4), 3u);      // raw ruler value out of domain
+  EXPECT_EQ(name, p - 1);            // capped
+}
+
+TEST(BstCore, HugeGuessDoesNotOverflowShift) {
+  // Defensive: n >= 63 must not shift out of range (reachable only through
+  // hostile encodings, but the function must stay total).
+  BstState bst{.n = 200, .k = 1, .namePtr = 0};
+  StateId name = 0;
+  EXPECT_FALSE(countingBody(bst, name,
+                            CountingCoreParams{.nLimit = 100,
+                                               .kMax = kBstKMask,
+                                               .nameCap = 10}));
+  bst.n = 64;
+  EXPECT_TRUE(countingBody(bst, name,
+                           CountingCoreParams{.nLimit = 100,
+                                              .kMax = kBstKMask,
+                                              .nameCap = 10}));
+  EXPECT_EQ(bst.n, 64u);  // l_64 saturates to max: no overrun possible
+}
+
+TEST(BstCore, KBoundForExponentClampsTo48Bits) {
+  EXPECT_EQ(kBoundForExponent(3), 8u);
+  EXPECT_EQ(kBoundForExponent(47), std::uint64_t{1} << 47);
+  EXPECT_EQ(kBoundForExponent(48), kBstKMask);
+  EXPECT_EQ(kBoundForExponent(200), kBstKMask);
+}
+
+TEST(BstCore, PackUnpackRoundTrip) {
+  for (const std::uint32_t n : {0u, 1u, 17u, 255u}) {
+    for (const std::uint64_t k : {std::uint64_t{0}, std::uint64_t{12345},
+                                  kBstKMask}) {
+      for (const std::uint32_t ptr : {0u, 9u, 255u}) {
+        const BstState s{.n = n, .k = k, .namePtr = ptr};
+        const BstState r = unpackBst(packBst(s));
+        EXPECT_EQ(r.n, n);
+        EXPECT_EQ(r.k, k);
+        EXPECT_EQ(r.namePtr, ptr);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,100 @@
+// The Section 2 black/white example: weak fairness admits an infinite
+// non-converging execution; global fairness forces all-black.
+#include "naming/color_example.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/global_checker.h"
+#include "analysis/problem.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "sched/adversary.h"
+#include "sched/random_scheduler.h"
+
+namespace ppn {
+namespace {
+
+constexpr StateId W = ColorExample::kWhite;
+constexpr StateId B = ColorExample::kBlack;
+
+TEST(ColorExample, Rules) {
+  const ColorExample proto;
+  EXPECT_EQ(proto.mobileDelta(W, W), (MobilePair{B, B}));
+  EXPECT_EQ(proto.mobileDelta(B, W), (MobilePair{W, B}));  // exchange
+  EXPECT_EQ(proto.mobileDelta(W, B), (MobilePair{B, W}));
+  EXPECT_EQ(proto.mobileDelta(B, B), (MobilePair{B, B}));  // null
+}
+
+TEST(ColorExample, AllBlackPredicate) {
+  EXPECT_TRUE(allBlack(Configuration{{B, B, B}, std::nullopt}));
+  EXPECT_FALSE(allBlack(Configuration{{B, W, B}, std::nullopt}));
+}
+
+TEST(ColorExample, AdversaryKeepsTheBlackTokenJumpingForever) {
+  // The paper's hand-built weakly fair execution: with one black and two
+  // whites, repeatedly schedule (black, white) exchanges in a round-robin
+  // over the three pairs; all three pairs interact infinitely often yet the
+  // configuration never becomes all-black.
+  const ColorExample proto;
+  Engine engine(proto, Configuration{{B, W, W}, std::nullopt});
+
+  // Pairs in rotation: {0,1}, {1,2}, {2,0}. Exchanges move the token around
+  // the triangle; no (white, white) meeting ever happens because each pair
+  // in this order always contains the current black agent.
+  CallbackScheduler adversary("token-spinner", [](std::uint64_t t) {
+    switch (t % 3) {
+      case 0:
+        return Interaction{0, 1};
+      case 1:
+        return Interaction{1, 2};
+      default:
+        return Interaction{2, 0};
+    }
+  });
+
+  for (int i = 0; i < 3000; ++i) {
+    engine.step(adversary.next());
+    ASSERT_FALSE(allBlack(engine.config())) << "at step " << i;
+    // Invariant: exactly one black agent at all times.
+    EXPECT_EQ(engine.config().multiplicity(B), 1u);
+  }
+}
+
+TEST(ColorExample, RandomSchedulerReachesAllBlack) {
+  const ColorExample proto;
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    Engine engine(proto, Configuration{{B, W, W}, std::nullopt});
+    RandomScheduler sched(3, rng.next());
+    bool reached = false;
+    for (int i = 0; i < 100000 && !reached; ++i) {
+      engine.step(sched.next());
+      reached = allBlack(engine.config());
+    }
+    EXPECT_TRUE(reached) << "trial " << trial;
+  }
+}
+
+TEST(ColorExample, CheckersSeparateTheTwoFairnessNotions) {
+  const ColorExample proto;
+  const Problem problem = predicateProblem("all-black", allBlack);
+  const std::vector<Configuration> start{{{B, W, W}, std::nullopt}};
+
+  const GlobalVerdict global = checkGlobalFairness(proto, problem, start);
+  ASSERT_TRUE(global.explored);
+  EXPECT_TRUE(global.solves) << global.reason;
+
+  const WeakVerdict weak = checkWeakFairness(proto, problem, start);
+  ASSERT_TRUE(weak.explored);
+  EXPECT_FALSE(weak.solves) << "the jumping-token schedule must be found";
+  EXPECT_GT(weak.violatingSccs, 0u);
+}
+
+TEST(ColorExample, AllBlackIsTerminal) {
+  const ColorExample proto;
+  EXPECT_TRUE(isSilent(proto, Configuration{{B, B, B}, std::nullopt}));
+  EXPECT_FALSE(isSilent(proto, Configuration{{B, W, W}, std::nullopt}));
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,122 @@
+// Protocol 3 / Proposition 17 tests: P-state symmetric naming with an
+// initialized leader under global fairness.
+#include "naming/global_leader_naming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "naming/bst_state.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+
+namespace ppn {
+namespace {
+
+TEST(GlobalLeaderNaming, UsesExactlyPStates) {
+  const GlobalLeaderNaming proto(5);
+  EXPECT_EQ(proto.numMobileStates(), 5u);
+  EXPECT_TRUE(proto.isSymmetric());
+  EXPECT_TRUE(proto.initialLeaderState().has_value());
+}
+
+TEST(GlobalLeaderNaming, RenamingWalkIncrementsOnMatch) {
+  // n = P: meeting an agent whose name equals name_ptr bumps the pointer and
+  // leaves the agent alone.
+  const StateId p = 4;
+  const GlobalLeaderNaming proto(p);
+  const LeaderStateId bst = packBst(BstState{.n = p, .k = 7, .namePtr = 2});
+  const LeaderResult r = proto.leaderDelta(bst, 2);
+  EXPECT_EQ(unpackBst(r.leader).namePtr, 3u);
+  EXPECT_EQ(r.mobile, 2u);
+}
+
+TEST(GlobalLeaderNaming, RenamingWalkRenamesAndResetsOnMismatch) {
+  const StateId p = 4;
+  const GlobalLeaderNaming proto(p);
+  const LeaderStateId bst = packBst(BstState{.n = p, .k = 7, .namePtr = 2});
+  const LeaderResult r = proto.leaderDelta(bst, 0);
+  EXPECT_EQ(unpackBst(r.leader).namePtr, 0u);
+  EXPECT_EQ(r.mobile, 2u);  // renamed to the old pointer value
+}
+
+TEST(GlobalLeaderNaming, WalkCompleteIsSilent) {
+  const StateId p = 3;
+  const GlobalLeaderNaming proto(p);
+  const LeaderStateId done = packBst(BstState{.n = p, .k = 4, .namePtr = p});
+  for (StateId s = 0; s < p; ++s) {
+    EXPECT_EQ(proto.leaderDelta(done, s), (LeaderResult{done, s}));
+  }
+  EXPECT_TRUE(isSilent(proto, Configuration{{0, 1, 2}, done}));
+}
+
+TEST(GlobalLeaderNaming, BelowFullPopulationBehavesLikeProtocol1) {
+  // For N < P the walk never activates (n stays < P); final names are {1..N}.
+  const StateId p = 5;
+  const GlobalLeaderNaming proto(p);
+  Rng rng(808);
+  for (std::uint32_t n = 1; n < p; ++n) {
+    Engine engine(proto, arbitraryConfiguration(proto, n, rng));
+    RandomScheduler sched(n + 1, rng.next());
+    const RunOutcome out =
+        runUntilSilent(engine, sched, RunLimits{2'000'000, 64});
+    ASSERT_TRUE(out.silent) << "N=" << n;
+    EXPECT_TRUE(out.namingSolved);
+    std::vector<StateId> names = out.finalConfig.mobile;
+    std::sort(names.begin(), names.end());
+    for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(names[i], i + 1);
+    EXPECT_EQ(unpackBst(*out.finalConfig.leader).n, n);
+  }
+}
+
+class GlobalLeaderFullSweep : public ::testing::TestWithParam<StateId> {};
+
+TEST_P(GlobalLeaderFullSweep, FullPopulationNamesZeroToPMinus1) {
+  // N = P under the (globally fair w.p. 1) random scheduler: final names are
+  // exactly {0..P-1} via the name_ptr walk.
+  const StateId p = GetParam();
+  const GlobalLeaderNaming proto(p);
+  Rng rng(p);
+  for (int trial = 0; trial < 6; ++trial) {
+    Engine engine(proto, arbitraryConfiguration(proto, p, rng));
+    RandomScheduler sched(p + 1, rng.next());
+    const RunOutcome out =
+        runUntilSilent(engine, sched, RunLimits{20'000'000, 64});
+    ASSERT_TRUE(out.silent) << "P=" << p << " trial " << trial;
+    EXPECT_TRUE(out.namingSolved);
+    std::vector<StateId> names = out.finalConfig.mobile;
+    std::sort(names.begin(), names.end());
+    for (StateId i = 0; i < p; ++i) EXPECT_EQ(names[i], i);
+    EXPECT_EQ(unpackBst(*out.finalConfig.leader).namePtr, p);
+  }
+}
+
+// P is capped at 4: the name_ptr walk's expected completion time grows
+// roughly factorially (measured: ~5e5 interactions at P=4, ~1e9 at P=5) —
+// global fairness only promises eventual convergence, and the paper makes no
+// time claim. The convergence_sweep bench documents the blow-up.
+INSTANTIATE_TEST_SUITE_P(Sweep, GlobalLeaderFullSweep,
+                         ::testing::Values(StateId{2}, StateId{3}, StateId{4}),
+                         [](const auto& paramInfo) {
+                           return "P" + std::to_string(paramInfo.param);
+                         });
+
+TEST(GlobalLeaderNaming, CountingAnswerTracksN) {
+  const StateId p = 4;
+  const GlobalLeaderNaming proto(p);
+  Rng rng(99);
+  Engine engine(proto, arbitraryConfiguration(proto, 3, rng));
+  RandomScheduler sched(4, 5);
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{2'000'000, 64});
+  ASSERT_TRUE(out.silent);
+  EXPECT_EQ(*proto.countingAnswer(*out.finalConfig.leader), 3u);
+}
+
+TEST(GlobalLeaderNaming, RejectsPBelow2) {
+  EXPECT_THROW(GlobalLeaderNaming(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppn

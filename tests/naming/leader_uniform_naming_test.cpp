@@ -1,0 +1,95 @@
+// Proposition 14 unit tests (P states, initialized leader + uniform agents,
+// weak fairness).
+#include "naming/leader_uniform_naming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "sched/deterministic_schedulers.h"
+#include "sim/runner.h"
+
+namespace ppn {
+namespace {
+
+TEST(LeaderUniformNaming, NamesSequentially) {
+  const LeaderUniformNaming proto(4);  // unnamed marker = 3
+  // Leader with counter 0 meets an unnamed agent: names it 0, counter -> 1.
+  EXPECT_EQ(proto.leaderDelta(0, 3), (LeaderResult{1, 0}));
+  EXPECT_EQ(proto.leaderDelta(1, 3), (LeaderResult{2, 1}));
+  EXPECT_EQ(proto.leaderDelta(2, 3), (LeaderResult{3, 2}));
+  // Counter saturated at P-1: the last agent keeps P-1 as its name.
+  EXPECT_EQ(proto.leaderDelta(3, 3), (LeaderResult{3, 3}));
+  // Already named agents are never touched.
+  EXPECT_EQ(proto.leaderDelta(1, 0), (LeaderResult{1, 0}));
+  EXPECT_EQ(proto.leaderDelta(3, 2), (LeaderResult{3, 2}));
+}
+
+TEST(LeaderUniformNaming, MobileMobileAlwaysNull) {
+  const LeaderUniformNaming proto(4);
+  for (StateId a = 0; a < 4; ++a) {
+    for (StateId b = 0; b < 4; ++b) {
+      EXPECT_EQ(proto.mobileDelta(a, b), (MobilePair{a, b}));
+    }
+  }
+}
+
+TEST(LeaderUniformNaming, DeclaredInitialization) {
+  const LeaderUniformNaming proto(5);
+  EXPECT_EQ(proto.uniformMobileInit(), StateId{4});
+  EXPECT_EQ(proto.initialLeaderState(), LeaderStateId{0});
+  EXPECT_EQ(proto.allLeaderStates().size(), 5u);
+}
+
+class LeaderUniformSweep
+    : public ::testing::TestWithParam<std::tuple<StateId, std::uint32_t>> {};
+
+TEST_P(LeaderUniformSweep, ConvergesUnderWeakFairnessForAllN) {
+  const auto [p, n] = GetParam();
+  const LeaderUniformNaming proto(p);
+  Engine engine(proto, uniformConfiguration(proto, n));
+  RoundRobinScheduler sched(n + 1);  // +1 for the leader
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{100000, 8});
+  ASSERT_TRUE(out.silent);
+  EXPECT_TRUE(out.namingSolved);
+  // Names are exactly {0..N-1} for N < P, {0..P-1} for N = P.
+  std::vector<StateId> names = out.finalConfig.mobile;
+  std::sort(names.begin(), names.end());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (n < p) {
+      EXPECT_EQ(names[i], i);
+    }
+  }
+  if (n == p) {
+    for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(names[i], i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LeaderUniformSweep,
+    ::testing::Values(std::tuple{StateId{2}, 1u}, std::tuple{StateId{2}, 2u},
+                      std::tuple{StateId{4}, 1u}, std::tuple{StateId{4}, 2u},
+                      std::tuple{StateId{4}, 3u}, std::tuple{StateId{4}, 4u},
+                      std::tuple{StateId{8}, 5u}, std::tuple{StateId{8}, 8u},
+                      std::tuple{StateId{16}, 16u}),
+    [](const auto& paramInfo) {
+      return "P" + std::to_string(std::get<0>(paramInfo.param)) + "_N" +
+             std::to_string(std::get<1>(paramInfo.param));
+    });
+
+TEST(LeaderUniformNaming, DoesNotSurviveLeaderCorruption) {
+  // Negative control: the protocol is NOT self-stabilizing. If the leader's
+  // counter is corrupted to P-1 before naming, unnamed agents stay unnamed.
+  const LeaderUniformNaming proto(4);
+  Configuration start = uniformConfiguration(proto, 3);
+  start.leader = LeaderStateId{3};  // corrupted counter
+  Engine engine(proto, start);
+  RoundRobinScheduler sched(4);
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{10000, 8});
+  ASSERT_TRUE(out.silent);  // silent immediately...
+  EXPECT_FALSE(out.namingSolved);  // ...but all three agents are homonyms "3"
+}
+
+}  // namespace
+}  // namespace ppn

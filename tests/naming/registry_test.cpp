@@ -1,0 +1,47 @@
+#include "naming/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ppn {
+namespace {
+
+TEST(Registry, AllKeysConstruct) {
+  for (const auto& key : protocolKeys()) {
+    const auto proto = makeProtocol(key, 4);
+    ASSERT_NE(proto, nullptr) << key;
+    EXPECT_FALSE(proto->name().empty());
+    EXPECT_GE(proto->numMobileStates(), 4u) << key;
+    EXPECT_FALSE(protocolAssumptions(key).empty());
+  }
+}
+
+TEST(Registry, UnknownKeyThrows) {
+  EXPECT_THROW(makeProtocol("nope", 4), std::invalid_argument);
+  EXPECT_THROW(protocolAssumptions("nope"), std::invalid_argument);
+}
+
+TEST(Registry, KeyListIsStable) {
+  const auto keys = protocolKeys();
+  EXPECT_EQ(keys.size(), 6u);
+  // The six Table 1 protocols.
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "asymmetric"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "symmetric-global"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "leader-uniform"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "counting"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "selfstab-weak"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "global-leader"), keys.end());
+}
+
+TEST(Registry, LeaderPresenceMatchesAssumptions) {
+  EXPECT_FALSE(makeProtocol("asymmetric", 3)->hasLeader());
+  EXPECT_FALSE(makeProtocol("symmetric-global", 3)->hasLeader());
+  EXPECT_TRUE(makeProtocol("leader-uniform", 3)->hasLeader());
+  EXPECT_TRUE(makeProtocol("counting", 3)->hasLeader());
+  EXPECT_TRUE(makeProtocol("selfstab-weak", 3)->hasLeader());
+  EXPECT_TRUE(makeProtocol("global-leader", 3)->hasLeader());
+}
+
+}  // namespace
+}  // namespace ppn

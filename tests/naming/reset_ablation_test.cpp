@@ -1,0 +1,81 @@
+// Ablation: Protocol 2 WITHOUT its reset rule (lines 11-12) is still a
+// correct naming protocol from a well-initialized BST, but loses
+// self-stabilization — the reset is precisely what pays for the arbitrary
+// leader initialization of Proposition 16.
+#include <gtest/gtest.h>
+
+#include "analysis/initial_sets.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "naming/bst_state.h"
+#include "naming/selfstab_weak_naming.h"
+#include "sched/deterministic_schedulers.h"
+#include "sim/runner.h"
+
+namespace ppn {
+namespace {
+
+TEST(ResetAblation, NoResetVariantStillWorksFromCleanBst) {
+  const StateId p = 3;
+  const SelfStabWeakNaming noReset(p, /*withReset=*/false);
+  // Initial set: arbitrary mobile agents, BST clean (n = k = 0).
+  std::vector<Configuration> initials;
+  for (auto& c : allConcreteConfigurations(noReset, p)) {
+    if (unpackBst(*c.leader).n == 0 && unpackBst(*c.leader).k == 0) {
+      initials.push_back(std::move(c));
+    }
+  }
+  ASSERT_FALSE(initials.empty());
+  const WeakVerdict v =
+      checkWeakFairness(noReset, namingProblem(noReset), initials, 8'000'000);
+  ASSERT_TRUE(v.explored);
+  EXPECT_TRUE(v.solves) << v.reason;
+}
+
+TEST(ResetAblation, NoResetVariantFailsSelfStabilization) {
+  const StateId p = 3;
+  const SelfStabWeakNaming noReset(p, /*withReset=*/false);
+  const WeakVerdict v =
+      checkWeakFairness(noReset, namingProblem(noReset),
+                        allConcreteConfigurations(noReset, p), 8'000'000);
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves)
+      << "without the reset, a corrupted BST (n > P) must wedge the protocol";
+}
+
+TEST(ResetAblation, WedgedRunDemonstration) {
+  // Concrete wedge: BST starts past the end (n = P+1) with homonym agents;
+  // without the reset rule nothing ever repairs them.
+  const StateId p = 3;
+  const SelfStabWeakNaming noReset(p, /*withReset=*/false);
+  Configuration start{{2, 2, 2},
+                      packBst(BstState{.n = p + 1, .k = 3, .namePtr = 0})};
+  Engine engine(noReset, start);
+  RoundRobinScheduler sched(4);
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{200000, 16});
+  ASSERT_TRUE(out.silent);  // wedged: homonyms collapsed into the sink
+  EXPECT_FALSE(out.namingSolved);
+  EXPECT_GE(out.finalConfig.multiplicity(0), 2u)
+      << "at least one homonym pair must have dropped to 0 and stayed";
+}
+
+TEST(ResetAblation, WithResetRepairsTheSameStart) {
+  const StateId p = 3;
+  const SelfStabWeakNaming withReset(p, /*withReset=*/true);
+  Configuration start{{2, 2, 2},
+                      packBst(BstState{.n = p + 1, .k = 3, .namePtr = 0})};
+  Engine engine(withReset, start);
+  RoundRobinScheduler sched(4);
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{200000, 16});
+  ASSERT_TRUE(out.silent);
+  EXPECT_TRUE(out.namingSolved);
+}
+
+TEST(ResetAblation, NamesReflectTheVariant) {
+  const SelfStabWeakNaming a(3, true), b(3, false);
+  EXPECT_EQ(a.name().find("no-reset"), std::string::npos);
+  EXPECT_NE(b.name().find("no-reset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,132 @@
+// Protocol 2 / Proposition 16 tests: self-stabilizing symmetric naming under
+// weak fairness, P+1 states, non-initialized leader.
+#include "naming/selfstab_weak_naming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "naming/bst_state.h"
+#include "sched/deterministic_schedulers.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+
+namespace ppn {
+namespace {
+
+TEST(SelfStabWeakNaming, HasPPlusOneStatesAndNoDeclaredInit) {
+  const SelfStabWeakNaming proto(4);
+  EXPECT_EQ(proto.numMobileStates(), 5u);
+  EXPECT_TRUE(proto.hasLeader());
+  EXPECT_FALSE(proto.initialLeaderState().has_value());  // non-initialized
+  EXPECT_FALSE(proto.uniformMobileInit().has_value());
+  EXPECT_FALSE(proto.allLeaderStates().empty());
+}
+
+TEST(SelfStabWeakNaming, ResetRuleFires) {
+  // n > P and a 0-agent: BST must reset n = k = 0 (lines 11-12).
+  const StateId p = 3;
+  const SelfStabWeakNaming proto(p);
+  const LeaderStateId overrun = packBst(BstState{.n = p + 1, .k = 5, .namePtr = 0});
+  const LeaderResult r = proto.leaderDelta(overrun, 0);
+  EXPECT_EQ(unpackBst(r.leader).n, 0u);
+  EXPECT_EQ(unpackBst(r.leader).k, 0u);
+  EXPECT_EQ(r.mobile, 0u);  // the agent itself is not renamed by the reset
+}
+
+TEST(SelfStabWeakNaming, ResetDoesNotFireOnNamedAgents) {
+  const StateId p = 3;
+  const SelfStabWeakNaming proto(p);
+  const LeaderStateId overrun = packBst(BstState{.n = p + 1, .k = 5, .namePtr = 0});
+  for (StateId s = 1; s <= p; ++s) {
+    EXPECT_EQ(proto.leaderDelta(overrun, s), (LeaderResult{overrun, s}));
+  }
+}
+
+TEST(SelfStabWeakNaming, BodyActiveUpToNEqualsP) {
+  // Protocol 2's guard is n <= P (not n < P as in Protocol 1): at n = P a
+  // 0-agent still advances the pointer.
+  const StateId p = 3;
+  const SelfStabWeakNaming proto(p);
+  const LeaderStateId atP = packBst(BstState{.n = p, .k = 3, .namePtr = 0});
+  const LeaderResult r = proto.leaderDelta(atP, 0);
+  EXPECT_EQ(unpackBst(r.leader).k, 4u);
+  EXPECT_NE(r.mobile, 0u);
+}
+
+class SelfStabSweep
+    : public ::testing::TestWithParam<std::tuple<StateId, std::uint32_t>> {};
+
+TEST_P(SelfStabSweep, NamesFromFullyArbitraryStates) {
+  const auto [p, n] = GetParam();
+  const SelfStabWeakNaming proto(p);
+  Rng rng(static_cast<std::uint64_t>(p) * 31 + n);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Arbitrary mobile AND leader states: true self-stabilization.
+    Engine engine(proto, arbitraryConfiguration(proto, n, rng));
+    RoundRobinScheduler sched(n + 1);
+    const RunOutcome out =
+        runUntilSilent(engine, sched, RunLimits{5'000'000, 64});
+    ASSERT_TRUE(out.silent) << "P=" << p << " N=" << n << " trial " << trial;
+    EXPECT_TRUE(out.namingSolved);
+    // Names are distinct values in {1..P}. (Only a well-initialized BST
+    // guarantees the sharper {1..N}; an arbitrary BST start may legitimately
+    // settle on any distinct non-sink names.)
+    std::vector<StateId> names = out.finalConfig.mobile;
+    std::sort(names.begin(), names.end());
+    EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
+    for (const StateId s : names) {
+      EXPECT_GE(s, 1u);
+      EXPECT_LE(s, p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SelfStabSweep,
+    ::testing::Values(std::tuple{StateId{1}, 1u}, std::tuple{StateId{2}, 1u},
+                      std::tuple{StateId{2}, 2u}, std::tuple{StateId{3}, 2u},
+                      std::tuple{StateId{3}, 3u}, std::tuple{StateId{4}, 4u},
+                      std::tuple{StateId{5}, 3u}, std::tuple{StateId{6}, 6u},
+                      std::tuple{StateId{8}, 8u}, std::tuple{StateId{10}, 10u}),
+    [](const auto& paramInfo) {
+      return "P" + std::to_string(std::get<0>(paramInfo.param)) + "_N" +
+             std::to_string(std::get<1>(paramInfo.param));
+    });
+
+TEST(SelfStabWeakNaming, ConvergesUnderRandomAndTournamentSchedulers) {
+  const StateId p = 5;
+  const SelfStabWeakNaming proto(p);
+  Rng rng(404);
+  for (const SchedulerKind kind :
+       {SchedulerKind::kRandom, SchedulerKind::kTournament,
+        SchedulerKind::kSkewed}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      Engine engine(proto, arbitraryConfiguration(proto, p, rng));
+      auto sched = makeScheduler(kind, p + 1, rng.next());
+      const RunOutcome out =
+          runUntilSilent(engine, *sched, RunLimits{5'000'000, 64});
+      ASSERT_TRUE(out.silent) << schedulerKindName(kind);
+      EXPECT_TRUE(out.namingSolved) << schedulerKindName(kind);
+    }
+  }
+}
+
+TEST(SelfStabWeakNaming, WorstCaseLeaderStartStillConverges) {
+  // Adversarial leader start: n already past P with a garbage pointer, all
+  // agents homonyms in the top name.
+  const StateId p = 4;
+  const SelfStabWeakNaming proto(p);
+  Configuration start{{4, 4, 4, 4},
+                      packBst(BstState{.n = p + 1, .k = (1u << p), .namePtr = 0})};
+  Engine engine(proto, start);
+  RoundRobinScheduler sched(5);
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{5'000'000, 64});
+  ASSERT_TRUE(out.silent);
+  EXPECT_TRUE(out.namingSolved);
+}
+
+}  // namespace
+}  // namespace ppn

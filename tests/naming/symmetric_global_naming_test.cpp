@@ -1,0 +1,91 @@
+// Proposition 13 unit and behaviour tests (P+1 states, no leader, global
+// fairness, N > 2).
+#include "naming/symmetric_global_naming.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+
+namespace ppn {
+namespace {
+
+TEST(SymmetricGlobalNaming, RuleTable) {
+  const SymmetricGlobalNaming proto(4);  // states 0..4, blank = 4
+  const StateId blank = proto.blankState();
+  ASSERT_EQ(blank, 4u);
+  // Rule 1: (s, P) -> (s, s+1 mod P).
+  EXPECT_EQ(proto.mobileDelta(2, blank), (MobilePair{2, 3}));
+  EXPECT_EQ(proto.mobileDelta(3, blank), (MobilePair{3, 0}));  // wraps
+  // Rule 1 mirrored.
+  EXPECT_EQ(proto.mobileDelta(blank, 2), (MobilePair{3, 2}));
+  // Rule 2: homonyms blank out.
+  EXPECT_EQ(proto.mobileDelta(1, 1), (MobilePair{blank, blank}));
+  EXPECT_EQ(proto.mobileDelta(0, 0), (MobilePair{blank, blank}));
+  // Rule 3: blank homonyms re-seed.
+  EXPECT_EQ(proto.mobileDelta(blank, blank), (MobilePair{1, 1}));
+  // Distinct non-blank: null.
+  EXPECT_EQ(proto.mobileDelta(1, 3), (MobilePair{1, 3}));
+}
+
+TEST(SymmetricGlobalNaming, UsesExactlyPPlusOneStates) {
+  const SymmetricGlobalNaming proto(6);
+  EXPECT_EQ(proto.numMobileStates(), 7u);
+  EXPECT_TRUE(proto.isSymmetric());
+  EXPECT_FALSE(proto.hasLeader());
+}
+
+TEST(SymmetricGlobalNaming, BlankIsNotAValidName) {
+  const SymmetricGlobalNaming proto(3);
+  EXPECT_FALSE(proto.isValidName(3));
+  for (StateId s = 0; s < 3; ++s) EXPECT_TRUE(proto.isValidName(s));
+}
+
+TEST(SymmetricGlobalNaming, TerminalConfigsAreExactlyDistinctNonBlank) {
+  const SymmetricGlobalNaming proto(3);
+  EXPECT_TRUE(isSilent(proto, Configuration{{0, 1, 2}, std::nullopt}));
+  // A blank agent always has an applicable non-null rule.
+  EXPECT_FALSE(isSilent(proto, Configuration{{0, 1, 3}, std::nullopt}));
+  EXPECT_FALSE(isSilent(proto, Configuration{{3, 3, 3}, std::nullopt}));
+  // Homonyms are never silent.
+  EXPECT_FALSE(isSilent(proto, Configuration{{0, 0, 2}, std::nullopt}));
+}
+
+TEST(SymmetricGlobalNaming, ConvergesUnderRandomSchedulerFromArbitraryStart) {
+  const SymmetricGlobalNaming proto(5);
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n = static_cast<std::uint32_t>(3 + rng.below(3));  // 3..5 <= P
+    Engine engine(proto, arbitraryConfiguration(proto, n, rng));
+    RandomScheduler sched(n, rng.next());
+    const RunOutcome out =
+        runUntilSilent(engine, sched, RunLimits{2'000'000, 32});
+    ASSERT_TRUE(out.silent) << "trial " << trial << " N=" << n;
+    EXPECT_TRUE(out.namingSolved);
+    for (const StateId s : out.finalConfig.mobile) {
+      EXPECT_NE(s, proto.blankState());
+    }
+  }
+}
+
+TEST(SymmetricGlobalNaming, AllBlankStartRecoversForNGreaterThan2) {
+  // The proof's special case: from the all-blank configuration the protocol
+  // must escape via rules 3 and 1 (needs a third agent, hence N > 2).
+  const SymmetricGlobalNaming proto(4);
+  Configuration allBlank{{4, 4, 4, 4}, std::nullopt};
+  Engine engine(proto, allBlank);
+  RandomScheduler sched(4, 99);
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{2'000'000, 32});
+  ASSERT_TRUE(out.silent);
+  EXPECT_TRUE(out.namingSolved);
+}
+
+TEST(SymmetricGlobalNaming, RejectsPBelow2) {
+  EXPECT_THROW(SymmetricGlobalNaming(1), std::invalid_argument);
+  EXPECT_THROW(SymmetricGlobalNaming(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,163 @@
+// The footnote-5 transformer ([17]): asymmetric -> symmetric at the cost of
+// doubling the state space and requiring global fairness.
+#include "naming/symmetrizer.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/global_checker.h"
+#include "analysis/initial_sets.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+
+namespace ppn {
+namespace {
+
+/// All configurations except the fully identical ones (identical inner state
+/// AND coin everywhere), which symmetric rules provably cannot escape.
+std::vector<Configuration> diverseConfigurations(const Protocol& proto,
+                                                 std::uint32_t n) {
+  std::vector<Configuration> out;
+  for (auto& c : allCanonicalConfigurations(proto, n)) {
+    const bool allSame =
+        std::all_of(c.mobile.begin(), c.mobile.end(),
+                    [&](StateId s) { return s == c.mobile.front(); });
+    if (!allSame) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+TEST(Symmetrizer, IsSymmetricAndDoublesStates) {
+  const AsymmetricNaming inner(3);
+  const SymmetrizedProtocol proto(inner);
+  EXPECT_EQ(proto.numMobileStates(), 6u);
+  EXPECT_FALSE(verifySymmetric(proto).has_value());
+  EXPECT_FALSE(verifyClosed(proto).has_value());
+}
+
+TEST(Symmetrizer, NameProjectionDropsTheCoin) {
+  const AsymmetricNaming inner(3);
+  const SymmetrizedProtocol proto(inner);
+  for (StateId s = 0; s < 3; ++s) {
+    EXPECT_EQ(proto.nameOf(proto.encode(s, false)), s);
+    EXPECT_EQ(proto.nameOf(proto.encode(s, true)), s);
+  }
+}
+
+TEST(Symmetrizer, DifferingCoinsRunTheInnerRule) {
+  const AsymmetricNaming inner(4);
+  const SymmetrizedProtocol proto(inner);
+  // Inner homonyms, coins (0, 1): the 0-coin agent initiates
+  // (s, s) -> (s, s+1); both coins flip.
+  const MobilePair r =
+      proto.mobileDelta(proto.encode(2, false), proto.encode(2, true));
+  EXPECT_EQ(r.initiator, proto.encode(2, true));
+  EXPECT_EQ(r.responder, proto.encode(3, false));
+  // Mirrored orientation gives the mirrored outcome (symmetry).
+  const MobilePair m =
+      proto.mobileDelta(proto.encode(2, true), proto.encode(2, false));
+  EXPECT_EQ(m.initiator, proto.encode(3, false));
+  EXPECT_EQ(m.responder, proto.encode(2, true));
+}
+
+TEST(Symmetrizer, EqualCoinsTieBreakOnStateOrder) {
+  const AsymmetricNaming inner(4);
+  const SymmetrizedProtocol proto(inner);
+  const MobilePair r =
+      proto.mobileDelta(proto.encode(1, false), proto.encode(3, false));
+  EXPECT_EQ(r.initiator, proto.encode(1, true));  // lower state flips
+  EXPECT_EQ(r.responder, proto.encode(3, false));
+}
+
+TEST(Symmetrizer, FullyIdenticalPairIsStuck) {
+  const AsymmetricNaming inner(4);
+  const SymmetrizedProtocol proto(inner);
+  const StateId s = proto.encode(2, true);
+  EXPECT_EQ(proto.mobileDelta(s, s), (MobilePair{s, s}));
+}
+
+TEST(Symmetrizer, SolvesNamingUnderGlobalFairnessFromDiverseStarts) {
+  // The transformer's guarantee: symmetric rules + global fairness, from any
+  // configuration in which not all agents are fully identical.
+  for (const StateId p : {2u, 3u}) {
+    const AsymmetricNaming inner(p);
+    const SymmetrizedProtocol proto(inner);
+    const GlobalVerdict v = checkGlobalFairness(
+        proto, namingProblem(proto), diverseConfigurations(proto, p));
+    ASSERT_TRUE(v.explored);
+    EXPECT_TRUE(v.solves) << "P=" << p << ": " << v.reason;
+  }
+}
+
+TEST(Symmetrizer, CannotEscapeFullyUniformStarts) {
+  // The inadequacy half of footnote 5: from an all-identical configuration
+  // nothing can ever happen (Prop 1/2 style), so the transformer is NOT a
+  // substitute for the paper's bespoke symmetric protocols.
+  const AsymmetricNaming inner(3);
+  const SymmetrizedProtocol proto(inner);
+  Configuration uniform;
+  uniform.mobile.assign(3, proto.encode(1, false));
+  const GlobalVerdict v =
+      checkGlobalFairness(proto, namingProblem(proto), {uniform});
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves);
+  EXPECT_EQ(v.numConfigs, 1u);  // literally nothing is reachable
+}
+
+TEST(Symmetrizer, StateCostExceedsTheOptimalPPlus1) {
+  // 2P > P+1 for every P > 1 — the quantitative point of footnote 5.
+  for (const StateId p : {2u, 3u, 5u, 8u}) {
+    const AsymmetricNaming inner(p);
+    const SymmetrizedProtocol proto(inner);
+    EXPECT_GT(proto.numMobileStates(), p + 1);
+  }
+}
+
+TEST(Symmetrizer, ConvergesInSimulation) {
+  const AsymmetricNaming inner(6);
+  const SymmetrizedProtocol proto(inner);
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    Configuration start = arbitraryConfiguration(proto, 6, rng);
+    // Nudge fully-uniform samples into the supported regime.
+    if (std::all_of(start.mobile.begin(), start.mobile.end(),
+                    [&](StateId s) { return s == start.mobile.front(); })) {
+      start.mobile[0] ^= 1u;  // flip one coin
+    }
+    Engine engine(proto, start);
+    RandomScheduler sched(6, rng.next());
+    // Converged = named && name-quiescent (coins may keep flipping, so the
+    // run is judged with isNamingSolved rather than full silence).
+    bool done = false;
+    for (int step = 0; step < 1'000'000 && !done; ++step) {
+      engine.step(sched.next());
+      if (engine.totalInteractions() % 32 == 0) {
+        done = engine.namingSolved();
+      }
+    }
+    EXPECT_TRUE(done) << "trial " << trial;
+  }
+}
+
+TEST(Symmetrizer, RejectsLeaderedProtocols) {
+  class WithLeader final : public Protocol {
+   public:
+    std::string name() const override { return "x"; }
+    StateId numMobileStates() const override { return 2; }
+    bool hasLeader() const override { return true; }
+    bool isSymmetric() const override { return true; }
+    MobilePair mobileDelta(StateId a, StateId b) const override {
+      return MobilePair{a, b};
+    }
+    LeaderResult leaderDelta(LeaderStateId l, StateId m) const override {
+      return LeaderResult{l, m};
+    }
+  };
+  const WithLeader inner;
+  EXPECT_THROW(SymmetrizedProtocol{inner}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,95 @@
+#include "naming/ustar.h"
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+TEST(UStar, BaseCase) {
+  EXPECT_EQ(buildUStar(1), (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(buildUStar(0).empty());
+}
+
+TEST(UStar, RecursiveStructure) {
+  // U_2 = 1,2,1; U_3 = 1,2,1,3,1,2,1 (paper's recursion).
+  EXPECT_EQ(buildUStar(2), (std::vector<std::uint32_t>{1, 2, 1}));
+  EXPECT_EQ(buildUStar(3),
+            (std::vector<std::uint32_t>{1, 2, 1, 3, 1, 2, 1}));
+}
+
+TEST(UStar, LengthIsTwoToTheNMinusOne) {
+  for (std::uint32_t n = 1; n <= 12; ++n) {
+    EXPECT_EQ(buildUStar(n).size(), (1u << n) - 1) << "n=" << n;
+    EXPECT_EQ(ustarLength(n), (1ull << n) - 1) << "n=" << n;
+  }
+}
+
+TEST(UStar, SelfSimilarHalves) {
+  // U_n = U_{n-1}, n, U_{n-1}: both halves equal U_{n-1}, middle = n.
+  for (std::uint32_t n = 2; n <= 10; ++n) {
+    const auto un = buildUStar(n);
+    const auto prev = buildUStar(n - 1);
+    const std::size_t half = prev.size();
+    EXPECT_EQ(un[half], n);
+    for (std::size_t i = 0; i < half; ++i) {
+      EXPECT_EQ(un[i], prev[i]);
+      EXPECT_EQ(un[half + 1 + i], prev[i]);
+    }
+  }
+}
+
+TEST(UStar, RulerFormulaMatchesRecursion) {
+  for (std::uint32_t n = 1; n <= 14; ++n) {
+    const auto un = buildUStar(n);
+    for (std::size_t k = 1; k <= un.size(); ++k) {
+      ASSERT_EQ(rulerValue(k), un[k - 1]) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(UStar, RulerValueAtPowersOfTwo) {
+  for (std::uint32_t e = 0; e < 40; ++e) {
+    EXPECT_EQ(rulerValue(std::uint64_t{1} << e), e + 1);
+  }
+}
+
+TEST(UStar, RulerRejectsZero) {
+  EXPECT_THROW(rulerValue(0), std::invalid_argument);
+}
+
+TEST(UStar, BuildRejectsHugeN) {
+  EXPECT_THROW(buildUStar(31), std::invalid_argument);
+}
+
+TEST(UStar, ValueCountsAreBinomial) {
+  // In U_n, value v occurs exactly 2^(n-v) times — the key density property
+  // behind the naming pointer: smaller names are retried more often.
+  for (std::uint32_t n = 1; n <= 12; ++n) {
+    const auto un = buildUStar(n);
+    std::vector<std::uint64_t> counts(n + 1, 0);
+    for (const auto v : un) {
+      ASSERT_GE(v, 1u);
+      ASSERT_LE(v, n);
+      ++counts[v];
+    }
+    for (std::uint32_t v = 1; v <= n; ++v) {
+      EXPECT_EQ(counts[v], std::uint64_t{1} << (n - v)) << "n=" << n << " v=" << v;
+    }
+  }
+}
+
+TEST(UStar, EveryPrefixContainsAllSmallerValues) {
+  // Before U* first emits value v it has emitted every value < v — the
+  // invariant that lets BST name agents 1..N in waves.
+  const auto u = buildUStar(10);
+  std::vector<bool> seen(11, false);
+  for (const auto v : u) {
+    for (std::uint32_t w = 1; w < v; ++w) {
+      EXPECT_TRUE(seen[w]) << "value " << v << " before first " << w;
+    }
+    seen[v] = true;
+  }
+}
+
+}  // namespace
+}  // namespace ppn

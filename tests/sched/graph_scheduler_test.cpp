@@ -1,0 +1,107 @@
+#include "sched/graph_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/leader_uniform_naming.h"
+#include "sim/runner.h"
+
+namespace ppn {
+namespace {
+
+TEST(GraphRandomScheduler, OnlyEmitsTopologyEdges) {
+  const auto ring = InteractionGraph::ring(6);
+  GraphRandomScheduler sched(ring, 42);
+  for (int i = 0; i < 2000; ++i) {
+    const Interaction it = sched.next();
+    EXPECT_TRUE(ring.hasEdge(it.initiator, it.responder));
+  }
+}
+
+TEST(GraphRandomScheduler, CoversAllEdgesAndBothOrientations) {
+  const auto ring = InteractionGraph::ring(5);
+  GraphRandomScheduler sched(ring, 7);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> oriented;
+  for (int i = 0; i < 2000; ++i) {
+    const Interaction it = sched.next();
+    oriented.insert({it.initiator, it.responder});
+  }
+  EXPECT_EQ(oriented.size(), 2 * ring.numEdges());
+}
+
+TEST(GraphRoundRobinScheduler, CyclesEdgesDeterministically) {
+  const auto line = InteractionGraph::line(4);
+  GraphRoundRobinScheduler sched(line);
+  std::vector<Interaction> firstLap;
+  for (std::size_t i = 0; i < line.numEdges(); ++i) {
+    firstLap.push_back(sched.next());
+  }
+  // Second lap uses flipped orientation.
+  for (std::size_t i = 0; i < line.numEdges(); ++i) {
+    const Interaction it = sched.next();
+    EXPECT_EQ(it.initiator, firstLap[i].responder);
+    EXPECT_EQ(it.responder, firstLap[i].initiator);
+  }
+  sched.reset();
+  EXPECT_EQ(sched.next(), firstLap[0]);
+}
+
+TEST(GraphSchedulers, CompleteGraphMatchesClassicModel) {
+  // On the complete topology the asymmetric protocol converges exactly as
+  // under the unconstrained random scheduler.
+  const AsymmetricNaming proto(6);
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    Engine engine(proto, arbitraryConfiguration(proto, 6, rng));
+    GraphRandomScheduler sched(InteractionGraph::complete(6), rng.next());
+    const RunOutcome out = runUntilSilent(engine, sched, RunLimits{200000, 16});
+    ASSERT_TRUE(out.silent);
+    EXPECT_TRUE(out.namingSolved);
+  }
+}
+
+TEST(GraphSchedulers, LeaderUniformNamingWorksOnBaseStationStar) {
+  // Prop 14's protocol only needs leader-agent edges: the star centered at
+  // the leader (participant N) is enough.
+  const std::uint32_t n = 6;
+  const LeaderUniformNaming proto(n);
+  Engine engine(proto, uniformConfiguration(proto, n));
+  GraphRoundRobinScheduler sched(InteractionGraph::star(n + 1, n));
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{100000, 8});
+  ASSERT_TRUE(out.silent);
+  EXPECT_TRUE(out.namingSolved);
+}
+
+TEST(GraphSchedulers, AsymmetricNamingCanWedgeOnAStar) {
+  // Leaf agents never meet each other on a star, so two leaf homonyms can
+  // never be separated: witness a wedged (silent-under-the-topology but
+  // unnamed) run. Start with all agents identical — the hub interaction is
+  // the only one that can ever fire.
+  const std::uint32_t n = 5;
+  const AsymmetricNaming proto(n);
+  Configuration start;
+  start.mobile.assign(n, 0);
+  Engine engine(proto, start);
+  GraphRoundRobinScheduler sched(InteractionGraph::star(n, 0));
+  // Run a long weakly fair (per-topology) schedule.
+  for (int i = 0; i < 100000; ++i) engine.step(sched.next());
+  // Leaves 1..4 only ever interact with the hub; homonym leaves persist.
+  std::vector<StateId> leaves(engine.config().mobile.begin() + 1,
+                              engine.config().mobile.end());
+  std::sort(leaves.begin(), leaves.end());
+  EXPECT_TRUE(std::adjacent_find(leaves.begin(), leaves.end()) != leaves.end())
+      << "expected at least two leaf homonyms to survive on the star";
+  EXPECT_FALSE(engine.namingSolved());
+}
+
+TEST(GraphSchedulers, EmptyGraphRejected) {
+  const InteractionGraph disconnected(3, {});
+  EXPECT_THROW(GraphRandomScheduler(disconnected, 1), std::invalid_argument);
+  EXPECT_THROW(GraphRoundRobinScheduler{disconnected}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppn

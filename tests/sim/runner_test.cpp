@@ -1,0 +1,169 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "naming/asymmetric_naming.h"
+#include "naming/leader_uniform_naming.h"
+#include "naming/selfstab_weak_naming.h"
+#include "naming/symmetric_global_naming.h"
+#include "sched/random_scheduler.h"
+
+namespace ppn {
+namespace {
+
+TEST(RunUntilSilent, AlreadySilentReturnsImmediately) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{0, 1, 2}, std::nullopt});
+  RandomScheduler sched(3, 1);
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{1000, 8});
+  EXPECT_TRUE(out.silent);
+  EXPECT_TRUE(out.namingSolved);
+  EXPECT_EQ(out.totalInteractions, 0u);
+  EXPECT_EQ(out.convergenceInteractions, 0u);
+}
+
+TEST(RunUntilSilent, ConvergenceTimeIsExactDespiteCoarsePolling) {
+  // Run the same seeded system with two very different polling intervals;
+  // the reported convergence time must be identical.
+  const AsymmetricNaming proto(6);
+  const Configuration start{{2, 2, 2, 2, 2, 2}, std::nullopt};
+
+  Engine e1(proto, start);
+  RandomScheduler s1(6, 77);
+  const RunOutcome fine = runUntilSilent(e1, s1, RunLimits{100000, 1});
+
+  Engine e2(proto, start);
+  RandomScheduler s2(6, 77);
+  const RunOutcome coarse = runUntilSilent(e2, s2, RunLimits{100000, 1000});
+
+  ASSERT_TRUE(fine.silent);
+  ASSERT_TRUE(coarse.silent);
+  EXPECT_EQ(fine.convergenceInteractions, coarse.convergenceInteractions);
+}
+
+TEST(RunUntilSilent, BudgetExhaustionReported) {
+  // The Prop 13 protocol at N = 2 never converges (the paper's N > 2
+  // proviso); the runner must stop at the budget.
+  const SymmetricGlobalNaming proto(3);
+  Engine engine(proto, Configuration{{1, 1}, std::nullopt});
+  RandomScheduler sched(2, 5);
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{5000, 16});
+  EXPECT_FALSE(out.silent);
+  EXPECT_FALSE(out.namingSolved);
+  EXPECT_EQ(out.totalInteractions, 5000u);
+}
+
+TEST(RunUntilSilent, ParallelTimeNormalizesByN) {
+  RunOutcome out;
+  out.numMobile = 10;
+  out.convergenceInteractions = 250;
+  EXPECT_DOUBLE_EQ(out.parallelTime(), 25.0);
+}
+
+TEST(SchedulerKind, ParseRoundTrip) {
+  for (const auto kind : {SchedulerKind::kRandom, SchedulerKind::kSkewed,
+                          SchedulerKind::kRoundRobin, SchedulerKind::kTournament}) {
+    EXPECT_EQ(parseSchedulerKind(schedulerKindName(kind)), kind);
+  }
+  EXPECT_THROW(parseSchedulerKind("bogus"), std::invalid_argument);
+}
+
+TEST(MakeScheduler, ProducesWorkingSchedulers) {
+  for (const auto kind : {SchedulerKind::kRandom, SchedulerKind::kSkewed,
+                          SchedulerKind::kRoundRobin, SchedulerKind::kTournament}) {
+    auto sched = makeScheduler(kind, 5, 42);
+    ASSERT_NE(sched, nullptr);
+    for (int i = 0; i < 100; ++i) {
+      const Interaction it = sched->next();
+      EXPECT_LT(it.initiator, 5u);
+      EXPECT_LT(it.responder, 5u);
+      EXPECT_NE(it.initiator, it.responder);
+    }
+  }
+}
+
+TEST(RunBatch, AllRunsConvergeForRobustProtocol) {
+  const AsymmetricNaming proto(6);
+  BatchSpec spec;
+  spec.numMobile = 6;
+  spec.init = InitKind::kArbitrary;
+  spec.sched = SchedulerKind::kRandom;
+  spec.runs = 16;
+  spec.seed = 9;
+  spec.limits = RunLimits{200000, 32};
+  const BatchResult result = runBatch(proto, spec);
+  EXPECT_EQ(result.runs, 16u);
+  EXPECT_EQ(result.converged, 16u);
+  EXPECT_EQ(result.named, 16u);
+  EXPECT_EQ(result.convergenceInteractions.count, 16u);
+  EXPECT_GT(result.convergenceInteractions.mean, 0.0);
+}
+
+TEST(RunBatch, UniformInitUsesDeclaredStart) {
+  const LeaderUniformNaming proto(4);
+  BatchSpec spec;
+  spec.numMobile = 4;
+  spec.init = InitKind::kUniform;
+  spec.sched = SchedulerKind::kRoundRobin;
+  spec.runs = 4;
+  spec.seed = 3;
+  spec.limits = RunLimits{100000, 8};
+  const BatchResult result = runBatch(proto, spec);
+  EXPECT_EQ(result.named, 4u);
+}
+
+TEST(RunBatch, ThreadCountDoesNotChangeResults) {
+  // Per-run inputs are derived before execution, so the batch is
+  // bit-deterministic across worker counts.
+  const SelfStabWeakNaming proto(5);
+  BatchSpec spec;
+  spec.numMobile = 5;
+  spec.runs = 12;
+  spec.seed = 77;
+  spec.limits = RunLimits{2'000'000, 64};
+
+  spec.threads = 1;
+  const BatchResult sequential = runBatch(proto, spec);
+  spec.threads = 4;
+  const BatchResult parallel4 = runBatch(proto, spec);
+  spec.threads = 0;  // hardware concurrency
+  const BatchResult parallelAuto = runBatch(proto, spec);
+
+  for (const BatchResult* r : {&parallel4, &parallelAuto}) {
+    EXPECT_EQ(r->converged, sequential.converged);
+    EXPECT_EQ(r->named, sequential.named);
+    EXPECT_DOUBLE_EQ(r->convergenceInteractions.mean,
+                     sequential.convergenceInteractions.mean);
+    EXPECT_DOUBLE_EQ(r->convergenceInteractions.max,
+                     sequential.convergenceInteractions.max);
+  }
+}
+
+TEST(RunBatch, MoreThreadsThanRunsIsFine) {
+  const AsymmetricNaming proto(4);
+  BatchSpec spec;
+  spec.numMobile = 4;
+  spec.runs = 2;
+  spec.threads = 16;
+  spec.seed = 5;
+  spec.limits = RunLimits{100000, 16};
+  const BatchResult r = runBatch(proto, spec);
+  EXPECT_EQ(r.converged, 2u);
+}
+
+TEST(RunBatch, DistinctSeedsGiveDistinctCosts) {
+  const SelfStabWeakNaming proto(5);
+  BatchSpec spec;
+  spec.numMobile = 5;
+  spec.runs = 8;
+  spec.seed = 1;
+  spec.limits = RunLimits{2'000'000, 64};
+  const BatchResult result = runBatch(proto, spec);
+  EXPECT_EQ(result.converged, 8u);
+  // Convergence cost varies across runs (not a constant).
+  EXPECT_GT(result.convergenceInteractions.max,
+            result.convergenceInteractions.min);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,139 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "naming/asymmetric_naming.h"
+#include "naming/selfstab_weak_naming.h"
+#include "naming/symmetrizer.h"
+#include "sched/deterministic_schedulers.h"
+#include "sched/random_scheduler.h"
+#include "sched/reducing_scheduler.h"
+
+namespace ppn {
+namespace {
+
+TEST(Trace, RecordsStartAndSteps) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{1, 1, 0}, std::nullopt});
+  RoundRobinScheduler sched(3);
+  const Trace trace = recordRun(engine, sched, 1000, 1);
+  EXPECT_EQ(trace.start.mobile, (std::vector<StateId>{1, 1, 0}));
+  ASSERT_GT(trace.size(), 0u);
+  EXPECT_TRUE(engine.silent());
+  EXPECT_EQ(trace.steps.back().after, engine.config());
+}
+
+TEST(Trace, ChangesMatchesEngineCounter) {
+  const AsymmetricNaming proto(4);
+  Engine engine(proto, Configuration{{2, 2, 2, 2}, std::nullopt});
+  RandomScheduler sched(4, 5);
+  const Trace trace = recordRun(engine, sched, 100000, 4);
+  EXPECT_EQ(trace.changes(), engine.nonNullInteractions());
+  EXPECT_EQ(trace.lastChangeIndex() + 1, engine.lastChangeAt());
+}
+
+TEST(Trace, AlreadySilentYieldsEmptyTrace) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{0, 1, 2}, std::nullopt});
+  RoundRobinScheduler sched(3);
+  const Trace trace = recordRun(engine, sched, 1000, 1);
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, RenamesPerAgentCountsNameChanges) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{1, 1}, std::nullopt});
+  // Single step: (1,1) -> (1,2): agent 1 renamed once.
+  RoundRobinScheduler sched(2);
+  const Trace trace = recordRun(engine, sched, 100, 1);
+  const auto renames = trace.renamesPerAgent(proto);
+  ASSERT_EQ(renames.size(), 2u);
+  EXPECT_EQ(renames[0] + renames[1], trace.changes());
+}
+
+TEST(Trace, RenamesIgnoreAuxiliaryBits) {
+  // Symmetrized protocol: coin flips are not renames.
+  const AsymmetricNaming inner(3);
+  const SymmetrizedProtocol proto(inner);
+  Engine engine(proto,
+                Configuration{{proto.encode(0, false), proto.encode(1, false),
+                               proto.encode(2, false)},
+                              std::nullopt});
+  // Tie-break steps flip coins only; run a few and count renames.
+  RandomScheduler sched(3, 9);
+  Trace trace;
+  trace.start = engine.config();
+  for (int i = 0; i < 50; ++i) {
+    const Interaction it = sched.next();
+    const bool changed = engine.step(it);
+    trace.steps.push_back(TraceStep{it, changed, engine.config()});
+  }
+  const auto renames = trace.renamesPerAgent(proto);
+  for (const auto r : renames) EXPECT_EQ(r, 0u);  // names already distinct
+  EXPECT_GT(trace.changes(), 0u);  // but coins did flip
+}
+
+TEST(Trace, RenderShowsConfigurationsAndTruncates) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{1, 1, 1}, std::nullopt});
+  RandomScheduler sched(3, 3);
+  const Trace trace = recordRun(engine, sched, 1000, 1);
+  const std::string full = trace.render();
+  EXPECT_NE(full.find("t=0"), std::string::npos);
+  EXPECT_NE(full.find("->"), std::string::npos);
+  if (trace.size() > 1) {
+    const std::string truncated = trace.render(nullptr, 1);
+    EXPECT_NE(truncated.find("more steps"), std::string::npos);
+  }
+}
+
+TEST(ReducingScheduler, EnforcesTheReducedExecutionInvariant) {
+  // Section 3.1: in a reduced execution, other transitions only happen when
+  // there are no non-sink homonym pairs. Verify step by step.
+  const SelfStabWeakNaming proto(4);
+  Rng rng(13);
+  Engine engine(proto, arbitraryConfiguration(proto, 4, rng));
+  ReducingScheduler sched(
+      engine, std::make_unique<RoundRobinScheduler>(5), /*sink=*/0);
+  for (int i = 0; i < 5000; ++i) {
+    const auto mustReduce = sched.findReduciblePair();
+    const Interaction it = sched.next();
+    if (mustReduce.has_value()) {
+      // The scheduled pair is a non-sink homonym pair.
+      EXPECT_EQ(engine.config().mobile[it.initiator],
+                engine.config().mobile[it.responder]);
+      EXPECT_NE(engine.config().mobile[it.initiator], 0u);
+    }
+    engine.step(it);
+    if (engine.silent()) break;
+  }
+}
+
+TEST(ReducingScheduler, ReducedExecutionsStillConverge) {
+  // Corollary 7: forcing reductions does not prevent convergence.
+  const SelfStabWeakNaming proto(5);
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    Engine engine(proto, arbitraryConfiguration(proto, 5, rng));
+    ReducingScheduler sched(
+        engine, std::make_unique<RoundRobinScheduler>(6), /*sink=*/0);
+    const Trace trace = recordRun(engine, sched, 5'000'000, 32);
+    (void)trace;
+    ASSERT_TRUE(engine.silent()) << "trial " << trial;
+    EXPECT_TRUE(engine.namingSolved());
+  }
+}
+
+TEST(ReducingScheduler, NoHomonymsMeansInnerSchedule) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{0, 1, 2}, std::nullopt});
+  ReducingScheduler sched(
+      engine, std::make_unique<RoundRobinScheduler>(3), /*sink=*/0);
+  RoundRobinScheduler reference(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sched.next(), reference.next());
+  }
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,85 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppn {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  const LinearFit f = linearFit({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineStillCloseAndR2Sane) {
+  const LinearFit f =
+      linearFit({0, 1, 2, 3, 4, 5}, {0.1, 0.9, 2.2, 2.8, 4.1, 5.0});
+  EXPECT_NEAR(f.slope, 1.0, 0.1);
+  EXPECT_GT(f.r2, 0.98);
+  EXPECT_LE(f.r2, 1.0);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_EQ(linearFit({}, {}).slope, 0.0);
+  EXPECT_EQ(linearFit({1}, {2}).slope, 0.0);
+  // All x equal: no slope recoverable.
+  EXPECT_EQ(linearFit({2, 2, 2}, {1, 2, 3}).slope, 0.0);
+}
+
+TEST(LinearFit, ConstantYHasZeroSlopePerfectFit) {
+  const LinearFit f = linearFit({1, 2, 3}, {5, 5, 5});
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(PowerLawFit, RecoversExponent) {
+  // y = 3 * x^2.5
+  std::vector<double> x, y;
+  for (double v = 1; v <= 10; v += 1) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 2.5));
+  }
+  const LinearFit f = powerLawFit(x, y);
+  EXPECT_NEAR(f.slope, 2.5, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 3.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(PowerLawFit, SkipsNonPositivePoints) {
+  const LinearFit f = powerLawFit({0, 1, 2, 4}, {5, 2, 4, 8});  // x=0 skipped
+  EXPECT_NEAR(f.slope, 1.0, 1e-9);  // y = 2x on the remaining points
+}
+
+TEST(ExponentialFit, RecoversBase) {
+  // y = 5 * 2^x  =>  slope = ln 2.
+  std::vector<double> x, y;
+  for (double v = 0; v <= 12; v += 1) {
+    x.push_back(v);
+    y.push_back(5.0 * std::pow(2.0, v));
+  }
+  const LinearFit f = exponentialFit(x, y);
+  EXPECT_NEAR(f.slope, std::log(2.0), 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 5.0, 1e-9);
+}
+
+TEST(ExponentialFit, DistinguishesGrowthRegimes) {
+  // The tradeoff bench's discriminator: exponential data fits semi-log far
+  // better than quadratic data does.
+  std::vector<double> x, quad, expo;
+  for (double v = 1; v <= 12; v += 1) {
+    x.push_back(v);
+    quad.push_back(7.0 * v * v);
+    expo.push_back(0.5 * std::pow(2.0, v));
+  }
+  EXPECT_GT(exponentialFit(x, expo).r2, 0.999);
+  EXPECT_GT(powerLawFit(x, quad).r2, 0.999);
+  // Cross-fits are visibly worse.
+  EXPECT_LT(powerLawFit(x, expo).r2, exponentialFit(x, expo).r2);
+  EXPECT_LT(exponentialFit(x, quad).r2, powerLawFit(x, quad).r2);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,85 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppn {
+namespace {
+
+TEST(Summarize, EmptyIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleSample) {
+  const Summary s = summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(Summarize, KnownValues) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);  // sample variance = 2.5
+}
+
+TEST(Summarize, MedianOfEvenCountInterpolates) {
+  const Summary s = summarize({1, 2, 3, 10});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Summarize, OrderIndependent) {
+  const Summary a = summarize({5, 1, 4, 2, 3});
+  const Summary b = summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.p90, b.p90);
+}
+
+TEST(Quantile, EndpointsAndMidpoints) {
+  const std::vector<double> sorted{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(sorted, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(sorted, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Accumulator, MatchesBatchSummary) {
+  const std::vector<double> xs{3.5, -1.0, 7.25, 0.0, 2.0, 2.0, 9.5};
+  Accumulator acc;
+  for (const double x : xs) acc.add(x);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(acc.count(), s.count);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), s.min);
+  EXPECT_DOUBLE_EQ(acc.max(), s.max);
+}
+
+TEST(Accumulator, VarianceNeedsTwoSamples) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(7.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 2.0);
+}
+
+TEST(Summary, ToStringContainsFields) {
+  const Summary s = summarize({1, 2, 3});
+  const std::string str = s.toString();
+  EXPECT_NE(str.find("mean=2"), std::string::npos);
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,136 @@
+#include "tasks/composed_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/global_checker.h"
+#include "analysis/initial_sets.h"
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/counting_protocol.h"
+#include "naming/leader_uniform_naming.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+#include "tasks/majority.h"
+
+namespace ppn {
+namespace {
+
+TEST(ComposedProtocol, StateSpaceIsProduct) {
+  const AsymmetricNaming a(3);
+  const MajorityProtocol b;
+  const ComposedProtocol c(a, b);
+  EXPECT_EQ(c.numMobileStates(), 12u);
+  EXPECT_FALSE(c.hasLeader());
+  EXPECT_FALSE(c.isSymmetric());  // asymmetric component dominates
+}
+
+TEST(ComposedProtocol, ComponentRoundTrip) {
+  const AsymmetricNaming a(3);
+  const MajorityProtocol b;
+  const ComposedProtocol c(a, b);
+  for (StateId sa = 0; sa < 3; ++sa) {
+    for (StateId sb = 0; sb < 4; ++sb) {
+      const StateId s = c.compose(sa, sb);
+      EXPECT_EQ(c.componentA(s), sa);
+      EXPECT_EQ(c.componentB(s), sb);
+    }
+  }
+}
+
+TEST(ComposedProtocol, DeltaActsComponentwise) {
+  const AsymmetricNaming a(4);
+  const MajorityProtocol b;
+  const ComposedProtocol c(a, b);
+  // A-homonyms advance; majority components react independently.
+  const StateId x = c.compose(2, MajorityProtocol::kStrongA);
+  const StateId y = c.compose(2, MajorityProtocol::kStrongB);
+  const MobilePair r = c.mobileDelta(x, y);
+  EXPECT_EQ(c.componentA(r.initiator), 2u);
+  EXPECT_EQ(c.componentA(r.responder), 3u);  // naming rule fired
+  EXPECT_EQ(c.componentB(r.initiator), MajorityProtocol::kWeakA);
+  EXPECT_EQ(c.componentB(r.responder), MajorityProtocol::kWeakB);
+}
+
+TEST(ComposedProtocol, RejectsTwoLeaders) {
+  const CountingProtocol a(3);
+  const LeaderUniformNaming b(3);
+  EXPECT_THROW(ComposedProtocol(a, b), std::invalid_argument);
+}
+
+TEST(ComposedProtocol, LeaderComponentPassesThrough) {
+  const LeaderUniformNaming a(3);
+  const MajorityProtocol b;
+  const ComposedProtocol c(a, b);
+  EXPECT_TRUE(c.hasLeader());
+  EXPECT_EQ(c.initialLeaderState(), a.initialLeaderState());
+  // Leader interaction renames the A component, leaves the B component.
+  const StateId s = c.compose(2, MajorityProtocol::kWeakB);  // unnamed, weak-B
+  const LeaderResult r = c.leaderDelta(0, s);
+  EXPECT_EQ(c.componentA(r.mobile), 0u);  // named 0
+  EXPECT_EQ(c.componentB(r.mobile), MajorityProtocol::kWeakB);
+}
+
+TEST(ComposedProtocol, UniformInitComposesWhenBothDeclareIt) {
+  const LeaderUniformNaming a(3);
+  const AsymmetricNaming b(3);
+  const ComposedProtocol ab(a, b);
+  EXPECT_FALSE(ab.uniformMobileInit().has_value());  // b has none
+}
+
+TEST(ComposedProtocol, NamingAndMajorityConvergeTogether) {
+  // The paper's motivation made concrete: run naming and a payload task in
+  // parallel; both must converge, at the price of a product state space.
+  const AsymmetricNaming naming(6);
+  const MajorityProtocol majority;
+  const ComposedProtocol combo(naming, majority);
+
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Start: arbitrary names, 4 strong-A vs 2 strong-B.
+    Configuration start;
+    for (int i = 0; i < 6; ++i) {
+      const auto nameState = static_cast<StateId>(rng.below(6));
+      const StateId opinion =
+          i < 4 ? MajorityProtocol::kStrongA : MajorityProtocol::kStrongB;
+      start.mobile.push_back(combo.compose(nameState, opinion));
+    }
+    Engine engine(combo, start);
+    RandomScheduler sched(6, rng.next());
+    // Run until the naming component is silent AND majority stabilized.
+    bool done = false;
+    for (int step = 0; step < 2'000'000 && !done; ++step) {
+      engine.step(sched.next());
+      if (engine.totalInteractions() % 64 != 0) continue;
+      Configuration namesOnly, opinionsOnly;
+      for (const StateId s : engine.config().mobile) {
+        namesOnly.mobile.push_back(combo.componentA(s));
+        opinionsOnly.mobile.push_back(combo.componentB(s));
+      }
+      done = isNamingSolved(naming, namesOnly) && allOpinionA(opinionsOnly);
+    }
+    EXPECT_TRUE(done) << "trial " << trial;
+  }
+}
+
+TEST(ComposedProtocol, CheckerVerifiesComposedNaming) {
+  // Component-projected naming on the composed protocol, via the checker:
+  // the composed system still solves naming on the A component.
+  const AsymmetricNaming naming(2);
+  const MajorityProtocol majority;
+  const ComposedProtocol combo(naming, majority);
+  const Problem componentNaming = predicateProblem(
+      "component-naming", [&combo, &naming](const Configuration& c) {
+        Configuration namesOnly;
+        for (const StateId s : c.mobile) {
+          namesOnly.mobile.push_back(combo.componentA(s));
+        }
+        return isNamed(naming, namesOnly);
+      });
+  const GlobalVerdict v = checkGlobalFairness(
+      combo, componentNaming, allCanonicalConfigurations(combo, 2));
+  ASSERT_TRUE(v.explored);
+  EXPECT_TRUE(v.solves) << v.reason;
+}
+
+}  // namespace
+}  // namespace ppn

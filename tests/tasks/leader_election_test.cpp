@@ -1,0 +1,86 @@
+// Leader election as a by-product of naming (paper introduction: naming is
+// "frequently performed as a by-product or as an important design module" of
+// leader election [19]).
+#include "tasks/leader_election.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/global_checker.h"
+#include "analysis/initial_sets.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+
+namespace ppn {
+namespace {
+
+TEST(LeaderElection, PredicateCountsLeaderName) {
+  EXPECT_TRUE(uniqueLeaderElected(Configuration{{0, 1, 2}, std::nullopt}));
+  EXPECT_FALSE(uniqueLeaderElected(Configuration{{0, 0, 2}, std::nullopt}));
+  EXPECT_FALSE(uniqueLeaderElected(Configuration{{1, 2, 3}, std::nullopt}));
+  EXPECT_TRUE(uniqueLeaderElected(Configuration{{1, 2, 3}, std::nullopt}, 2));
+}
+
+TEST(LeaderElection, SelfStabilizingViaNamingWhenNKnownExactly) {
+  // With N = P (exact size knowledge), the Prop 12 naming protocol yields
+  // self-stabilizing leader election with N states — matching the necessity
+  // bound of [19] that the paper cites. Verified exactly: from EVERY
+  // configuration, under both fairness notions, the name-0 holder becomes
+  // unique and stays.
+  for (const StateId p : {2u, 3u, 4u}) {
+    const AsymmetricNaming proto(p);
+    const Problem election = [] {
+      Problem pr = predicateProblem("unique-leader", [](const Configuration& c) {
+        return uniqueLeaderElected(c, 0);
+      });
+      pr.requireMobileQuiescence = true;  // leadership must also be stable
+      return pr;
+    }();
+
+    const GlobalVerdict global = checkGlobalFairness(
+        proto, election, allCanonicalConfigurations(proto, p));
+    ASSERT_TRUE(global.explored);
+    EXPECT_TRUE(global.solves) << "P=" << p << ": " << global.reason;
+
+    const WeakVerdict weak = checkWeakFairness(
+        proto, election, allConcreteConfigurations(proto, p));
+    ASSERT_TRUE(weak.explored);
+    EXPECT_TRUE(weak.solves) << "P=" << p << ": " << weak.reason;
+  }
+}
+
+TEST(LeaderElection, FailsWithoutExactSizeKnowledge) {
+  // With N < P the converged names are an arbitrary N-subset of {0..P-1}:
+  // name 0 may simply be absent, so "I hold name 0" does not elect anyone.
+  const AsymmetricNaming proto(4);
+  const Problem election = predicateProblem(
+      "unique-leader",
+      [](const Configuration& c) { return uniqueLeaderElected(c, 0); });
+  const GlobalVerdict v = checkGlobalFairness(
+      proto, election, allCanonicalConfigurations(proto, 3));  // N=3 < P=4
+  ASSERT_TRUE(v.explored);
+  EXPECT_FALSE(v.solves)
+      << "leader election must fail when the size is only upper-bounded";
+}
+
+TEST(LeaderElection, SimulationElectsExactlyOneLeader) {
+  const StateId p = 8;
+  const AsymmetricNaming proto(p);
+  Rng rng(64);
+  for (int trial = 0; trial < 10; ++trial) {
+    Engine engine(proto, arbitraryConfiguration(proto, p, rng));
+    RandomScheduler sched(p, rng.next());
+    const RunOutcome out = runUntilSilent(engine, sched, RunLimits{500000, 32});
+    ASSERT_TRUE(out.silent);
+    EXPECT_TRUE(uniqueLeaderElected(out.finalConfig, 0));
+    // Every name is held exactly once, so any name works as the crown.
+    for (StateId crown = 0; crown < p; ++crown) {
+      EXPECT_TRUE(uniqueLeaderElected(out.finalConfig, crown));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,109 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace ppn {
+namespace {
+
+TEST(Cli, DefaultsSurviveEmptyArgv) {
+  Cli cli("prog", "test");
+  const auto* n = cli.addUint("n", "count", 10);
+  const auto* s = cli.addString("mode", "mode", "fast");
+  const auto* f = cli.addFlag("verbose", "talk");
+  const std::array<const char*, 1> argv{"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_EQ(*n, 10u);
+  EXPECT_EQ(*s, "fast");
+  EXPECT_FALSE(*f);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  Cli cli("prog", "test");
+  const auto* n = cli.addUint("n", "count", 10);
+  const auto* d = cli.addDouble("rate", "rate", 0.5);
+  const std::array<const char*, 3> argv{"prog", "--n=42", "--rate=1.25"};
+  ASSERT_TRUE(cli.parse(3, argv.data()));
+  EXPECT_EQ(*n, 42u);
+  EXPECT_DOUBLE_EQ(*d, 1.25);
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  Cli cli("prog", "test");
+  const auto* n = cli.addUint("n", "count", 10);
+  const std::array<const char*, 3> argv{"prog", "--n", "7"};
+  ASSERT_TRUE(cli.parse(3, argv.data()));
+  EXPECT_EQ(*n, 7u);
+}
+
+TEST(Cli, ParsesFlagsAndInts) {
+  Cli cli("prog", "test");
+  const auto* f = cli.addFlag("verbose", "talk");
+  const auto* i = cli.addInt("delta", "signed", -1);
+  const std::array<const char*, 3> argv{"prog", "--verbose", "--delta=-9"};
+  ASSERT_TRUE(cli.parse(3, argv.data()));
+  EXPECT_TRUE(*f);
+  EXPECT_EQ(*i, -9);
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  Cli cli("prog", "test");
+  const std::array<const char*, 2> argv{"prog", "--bogus=1"};
+  EXPECT_FALSE(cli.parse(2, argv.data()));
+}
+
+TEST(Cli, RejectsBadValue) {
+  Cli cli("prog", "test");
+  cli.addUint("n", "count", 10);
+  const std::array<const char*, 2> argv{"prog", "--n=notanumber"};
+  EXPECT_FALSE(cli.parse(2, argv.data()));
+}
+
+TEST(Cli, RejectsMissingValue) {
+  Cli cli("prog", "test");
+  cli.addUint("n", "count", 10);
+  const std::array<const char*, 2> argv{"prog", "--n"};
+  EXPECT_FALSE(cli.parse(2, argv.data()));
+}
+
+TEST(Cli, RejectsValueOnFlag) {
+  Cli cli("prog", "test");
+  cli.addFlag("verbose", "talk");
+  const std::array<const char*, 2> argv{"prog", "--verbose=1"};
+  EXPECT_FALSE(cli.parse(2, argv.data()));
+}
+
+TEST(Cli, RejectsPositional) {
+  Cli cli("prog", "test");
+  const std::array<const char*, 2> argv{"prog", "stray"};
+  EXPECT_FALSE(cli.parse(2, argv.data()));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("prog", "test");
+  const std::array<const char*, 2> argv{"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv.data()));
+}
+
+TEST(Cli, HelpTextMentionsOptionsAndDefaults) {
+  Cli cli("prog", "does things");
+  cli.addUint("n", "population size", 10);
+  cli.addFlag("verbose", "talk a lot");
+  const std::string help = cli.helpText();
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("population size"), std::string::npos);
+  EXPECT_NE(help.find("default: 10"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+}
+
+TEST(Cli, StringWithEqualsInValue) {
+  Cli cli("prog", "test");
+  const auto* s = cli.addString("expr", "expression", "");
+  const std::array<const char*, 2> argv{"prog", "--expr=a=b"};
+  ASSERT_TRUE(cli.parse(2, argv.data()));
+  EXPECT_EQ(*s, "a=b");
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,36 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+TEST(Log, ThresholdRoundTrip) {
+  const LogLevel original = logThreshold();
+  setLogThreshold(LogLevel::kError);
+  EXPECT_EQ(logThreshold(), LogLevel::kError);
+  setLogThreshold(LogLevel::kDebug);
+  EXPECT_EQ(logThreshold(), LogLevel::kDebug);
+  setLogThreshold(original);
+}
+
+TEST(Log, MacrosCompileAndRespectThreshold) {
+  const LogLevel original = logThreshold();
+  setLogThreshold(LogLevel::kOff);
+  // Nothing should be emitted (and nothing should crash) at kOff.
+  PPN_DEBUG("debug %d", 1);
+  PPN_INFO("info %s", "x");
+  PPN_WARN("warn");
+  PPN_ERROR("error %f", 1.5);
+  setLogThreshold(original);
+}
+
+TEST(Log, LevelsAreOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug), static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn), static_cast<int>(LogLevel::kError));
+  EXPECT_LT(static_cast<int>(LogLevel::kError), static_cast<int>(LogLevel::kOff));
+}
+
+}  // namespace
+}  // namespace ppn

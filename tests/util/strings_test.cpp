@@ -1,0 +1,98 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ParseU64, Valid) {
+  EXPECT_EQ(parseU64("0"), 0u);
+  EXPECT_EQ(parseU64("42"), 42u);
+  EXPECT_EQ(parseU64(" 17 "), 17u);
+  EXPECT_EQ(parseU64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseU64, Invalid) {
+  EXPECT_FALSE(parseU64("").has_value());
+  EXPECT_FALSE(parseU64("-1").has_value());
+  EXPECT_FALSE(parseU64("12x").has_value());
+  EXPECT_FALSE(parseU64("18446744073709551616").has_value());  // overflow
+  EXPECT_FALSE(parseU64("1.5").has_value());
+}
+
+TEST(ParseI64, ValidAndInvalid) {
+  EXPECT_EQ(parseI64("-5"), -5);
+  EXPECT_EQ(parseI64("7"), 7);
+  EXPECT_FALSE(parseI64("abc").has_value());
+  EXPECT_FALSE(parseI64("").has_value());
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*parseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parseDouble("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(*parseDouble("1e3"), 1000.0);
+  EXPECT_FALSE(parseDouble("x").has_value());
+  EXPECT_FALSE(parseDouble("").has_value());
+  EXPECT_FALSE(parseDouble("1.5z").has_value());
+}
+
+TEST(StartsWith, Cases) {
+  EXPECT_TRUE(startsWith("--flag", "--"));
+  EXPECT_FALSE(startsWith("-f", "--"));
+  EXPECT_TRUE(startsWith("abc", ""));
+  EXPECT_FALSE(startsWith("", "a"));
+}
+
+TEST(Join, Cases) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");  // no truncation
+  EXPECT_EQ(padRight("abcd", 2), "abcd");
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(formatDouble(1.5, 3), "1.5");
+  EXPECT_EQ(formatDouble(2.0, 3), "2");
+  EXPECT_EQ(formatDouble(0.125, 3), "0.125");
+  EXPECT_EQ(formatDouble(0.1234, 2), "0.12");
+  EXPECT_EQ(formatDouble(-3.10, 2), "-3.1");
+}
+
+}  // namespace
+}  // namespace ppn

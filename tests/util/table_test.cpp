@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::uint64_t{5});
+  t.row().cell("b").cell(std::uint64_t{12345});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 5     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(Table, RowBuilderTypes) {
+  Table t({"a", "b", "c", "d"});
+  t.row().cell("x").cell(std::int64_t{-3}).cell(2.5, 2).cell(std::uint64_t{7});
+  const std::string csv = t.renderCsv();
+  EXPECT_NE(csv.find("x,-3,2.5,7"), std::string::npos);
+}
+
+TEST(Table, CsvHeaderFirst) {
+  Table t({"h1", "h2"});
+  t.row().cell("v1").cell("v2");
+  const std::string csv = t.renderCsv();
+  EXPECT_EQ(csv.rfind("h1,h2\n", 0), 0u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"x"});
+  t.row().cell("has,comma");
+  t.row().cell("has\"quote");
+  const std::string csv = t.renderCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, EmptyTableStillRendersHeader) {
+  Table t({"only"});
+  EXPECT_EQ(t.rowCount(), 0u);
+  EXPECT_NE(t.render().find("only"), std::string::npos);
+  EXPECT_EQ(t.renderCsv(), "only\n");
+}
+
+TEST(Table, SeparatorLinePresent) {
+  Table t({"col"});
+  t.row().cell("v");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("|----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppn
