@@ -1,0 +1,137 @@
+#include "faults/campaign.h"
+
+#include <chrono>
+#include <memory>
+
+#include "faults/stuck_agent_scheduler.h"
+
+namespace ppn {
+
+CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
+                                   FaultProcess* process,
+                                   std::uint64_t faultWindow,
+                                   const RunLimits& limits,
+                                   const CancelToken* cancel) {
+  using Clock = std::chrono::steady_clock;
+  CampaignRunOutcome out;
+  const bool watch = limits.maxWallMillis > 0;
+  const Clock::time_point deadline =
+      watch ? Clock::now() + std::chrono::milliseconds(limits.maxWallMillis)
+            : Clock::time_point{};
+  const std::uint64_t interval = std::max<std::uint64_t>(1, limits.checkInterval);
+
+  // Fault phase: execute exactly faultWindow interactions, applying the
+  // process at its event indices. Silence is NOT polled — an ongoing campaign
+  // keeps perturbing whatever the protocol converges to.
+  std::uint64_t now = engine.totalInteractions();
+  const std::uint64_t windowEnd = now + faultWindow;
+  while (now < windowEnd) {
+    std::uint64_t target = windowEnd;
+    bool faultDue = false;
+    if (process != nullptr) {
+      if (const auto at = process->nextFaultAt(now);
+          at.has_value() && *at <= windowEnd) {
+        target = *at;
+        faultDue = true;
+      }
+    }
+    while (now < target) {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return out;
+      if (watch && Clock::now() >= deadline) {
+        out.timedOut = true;
+        return out;
+      }
+      const std::uint64_t burst = std::min(interval, target - now);
+      for (std::uint64_t i = 0; i < burst; ++i) engine.step(sched.next());
+      now += burst;
+    }
+    if (faultDue && now == target) {
+      process->apply(engine);
+      ++out.faultsInjected;
+    }
+  }
+
+  // Recovery phase: the fault window is closed; demand re-convergence within
+  // the remaining interaction and wall-clock budget.
+  RunLimits recoveryLimits = limits;
+  if (watch) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    recoveryLimits.maxWallMillis = left > 0 ? static_cast<std::uint64_t>(left) : 1;
+  }
+  const RunOutcome rec = runUntilSilent(engine, sched, recoveryLimits, cancel);
+  out.recovered = rec.silent;
+  out.recoveredNamed = rec.namingSolved;
+  out.timedOut = rec.timedOut;
+  if (rec.silent) {
+    const std::uint64_t lastChange = engine.lastChangeAt();
+    out.recoveryInteractions = lastChange > windowEnd ? lastChange - windowEnd : 0;
+  }
+  return out;
+}
+
+CampaignResult runCampaign(const Protocol& proto, const CampaignSpec& spec) {
+  CampaignResult result;
+  result.runs = spec.runs;
+  result.outcomes.resize(spec.runs);
+
+  // Sequential pre-split: the only source of randomness each run sees is its
+  // own generator, so outcomes are bit-identical for every thread count.
+  Rng master(spec.seed);
+  std::vector<Rng> runRngs;
+  runRngs.reserve(spec.runs);
+  for (std::uint32_t r = 0; r < spec.runs; ++r) runRngs.push_back(master.split());
+
+  parallelRunIndexed(
+      spec.runs, spec.threads,
+      [&](std::uint32_t r, CancelToken& cancel) {
+        Rng runRng = runRngs[r];
+        Configuration start =
+            spec.init == InitKind::kUniform
+                ? uniformConfiguration(proto, spec.numMobile)
+                : arbitraryConfiguration(proto, spec.numMobile, runRng);
+        Engine engine(proto, std::move(start));
+        auto inner =
+            makeScheduler(spec.sched, engine.numParticipants(), runRng.next());
+        const std::uint64_t faultSeed = runRng.next();
+
+        std::unique_ptr<FaultProcess> process =
+            makeFaultProcess(spec.regime, proto, spec.params, faultSeed);
+        std::unique_ptr<StuckAgentScheduler> stuck;
+        Scheduler* sched = inner.get();
+        if (spec.regime == FaultRegime::kStuckAgent) {
+          const auto victim = static_cast<std::uint32_t>(
+              runRng.below(std::max(1u, engine.numMobile())));
+          stuck = std::make_unique<StuckAgentScheduler>(
+              *inner, engine.numParticipants(), victim, 0, spec.faultWindow);
+          sched = stuck.get();
+        }
+
+        CampaignRunOutcome out = runCampaignOnce(
+            engine, *sched, process.get(), spec.faultWindow, spec.limits,
+            &cancel);
+        if (spec.regime == FaultRegime::kStuckAgent) {
+          out.faultsInjected = 1;  // the crash itself
+        }
+        result.outcomes[r] = out;
+      });
+
+  std::vector<double> recovery;
+  std::vector<double> faults;
+  for (const CampaignRunOutcome& out : result.outcomes) {
+    if (out.timedOut) ++result.timedOut;
+    if (out.recovered) ++result.recovered;
+    if (out.recoveredNamed) {
+      ++result.recoveredNamed;
+      recovery.push_back(static_cast<double>(out.recoveryInteractions));
+    }
+    faults.push_back(static_cast<double>(out.faultsInjected));
+  }
+  result.degraded = result.timedOut > 0;
+  result.recoveryInteractions = summarize(std::move(recovery));
+  result.faultsInjected = summarize(std::move(faults));
+  return result;
+}
+
+}  // namespace ppn

@@ -1,0 +1,84 @@
+// Campaign driver: subjects a protocol to an *ongoing* fault regime for a
+// window of interactions, then measures whether (and how fast) it
+// re-converges to a correct named configuration.
+//
+// This is the continuous generalization of sim/fault_injector.h's
+// measureRecovery: instead of converge → one fault → reconverge, a campaign
+// interleaves execution with a FaultProcess for `faultWindow` interactions
+// (never polling silence — faults keep perturbing), closes the fault window,
+// and only then demands recovery. Batches reuse the hardened runner
+// machinery: exception-safe workers, cooperative cancellation, wall-clock
+// watchdog, and sequential seed derivation for thread-count-independent
+// bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.h"
+#include "faults/fault_process.h"
+#include "sim/runner.h"
+#include "stats/summary.h"
+
+namespace ppn {
+
+struct CampaignSpec {
+  FaultRegime regime = FaultRegime::kPoissonTransient;
+  FaultRegimeParams params;
+  /// Interactions during which the fault process is live. For kStuckAgent
+  /// this is the crash window: a random agent is frozen in [0, faultWindow).
+  std::uint64_t faultWindow = 20'000;
+  std::uint32_t numMobile = 0;
+  InitKind init = InitKind::kArbitrary;
+  SchedulerKind sched = SchedulerKind::kRandom;
+  std::uint32_t runs = 32;
+  std::uint64_t seed = 1;
+  /// Recovery budget. maxInteractions bounds the post-window phase;
+  /// maxWallMillis (when nonzero) covers the whole run, fault phase included.
+  RunLimits limits;
+  std::uint32_t threads = 1;
+};
+
+struct CampaignRunOutcome {
+  bool recovered = false;       ///< silent after the fault window closed
+  bool recoveredNamed = false;  ///< ... with distinct valid names
+  bool timedOut = false;        ///< watchdog fired (fault or recovery phase)
+  std::uint64_t faultsInjected = 0;
+  /// Interactions from fault-window close to post-campaign convergence
+  /// (exact; 0 when the final fault left the system already converged).
+  std::uint64_t recoveryInteractions = 0;
+
+  friend bool operator==(const CampaignRunOutcome&,
+                         const CampaignRunOutcome&) = default;
+};
+
+struct CampaignResult {
+  std::uint32_t runs = 0;
+  std::uint32_t recovered = 0;
+  std::uint32_t recoveredNamed = 0;
+  std::uint32_t timedOut = 0;
+  /// True when any run hit the watchdog: statistics are partial.
+  bool degraded = false;
+  /// Recovery cost over runs that recovered WITH correct naming.
+  Summary recoveryInteractions;
+  Summary faultsInjected;
+  /// Per-run outcomes in run order (bitwise identical across thread counts).
+  std::vector<CampaignRunOutcome> outcomes;
+};
+
+/// Runs one campaign (fault phase + recovery measurement) on a prepared
+/// engine/scheduler pair. `process` may be null (kStuckAgent: the crash
+/// lives in the scheduler wrapper, not in a state-corruption process).
+CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
+                                   FaultProcess* process,
+                                   std::uint64_t faultWindow,
+                                   const RunLimits& limits,
+                                   const CancelToken* cancel = nullptr);
+
+/// Runs `spec.runs` independent campaigns of `proto` under the spec's fault
+/// regime. Exception-safe and deterministic like runBatch: per-run inputs are
+/// pre-split sequentially, a throwing run cancels the batch and rethrows, and
+/// watchdog-aborted runs degrade the result instead of blocking it.
+CampaignResult runCampaign(const Protocol& proto, const CampaignSpec& spec);
+
+}  // namespace ppn

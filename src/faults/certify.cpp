@@ -1,0 +1,229 @@
+#include "faults/certify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "naming/registry.h"
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+/// FNV-1a over the cell coordinates: stable across platforms and runs, so a
+/// cell's campaign seed does not depend on sweep order or std::hash.
+std::uint64_t cellSeed(std::uint64_t base, const std::string& protocol,
+                       std::uint32_t population, FaultRegime regime,
+                       SchedulerKind sched) {
+  std::uint64_t h = 1469598103934665603ULL ^ base;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const char c : protocol) mix(static_cast<unsigned char>(c));
+  mix(population);
+  mix(static_cast<std::uint64_t>(regime) + 101);
+  mix(static_cast<std::uint64_t>(sched) + 211);
+  return h;
+}
+
+bool schedulerOnlyWeaklyFair(SchedulerKind kind) {
+  return kind == SchedulerKind::kRoundRobin ||
+         kind == SchedulerKind::kTournament;
+}
+
+std::string percent(std::uint32_t part, std::uint32_t whole) {
+  if (whole == 0) return "-";
+  return std::to_string(part) + "/" + std::to_string(whole);
+}
+
+}  // namespace
+
+std::string cellVerdictName(CellVerdict v) {
+  switch (v) {
+    case CellVerdict::kCertified:
+      return "CERTIFIED";
+    case CellVerdict::kFailed:
+      return "FAILED";
+    case CellVerdict::kEvidence:
+      return "evidence";
+    case CellVerdict::kDegraded:
+      return "DEGRADED";
+    case CellVerdict::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+RobustnessTable certifyRecovery(const CertifySpec& spec) {
+  RobustnessTable table;
+  const std::vector<std::string> protocols =
+      spec.protocols.empty() ? protocolKeys() : spec.protocols;
+
+  for (const std::string& key : protocols) {
+    const bool selfStab = isSelfStabilizing(key);
+    std::vector<std::uint32_t> usedPopulations;
+    for (const std::uint32_t requestedN : spec.populations) {
+      // Per-protocol instance carve-outs (documented on CertifySpec).
+      std::uint32_t population = requestedN;
+      std::string instanceNote;
+      if (key == "global-leader" && population > 4) {
+        population = 4;
+        instanceNote = "N capped at 4 (N=P walk explodes, E16)";
+      }
+      // Capping can collapse two requested populations onto one instance;
+      // emit each instance once.
+      if (std::find(usedPopulations.begin(), usedPopulations.end(),
+                    population) != usedPopulations.end()) {
+        continue;
+      }
+      usedPopulations.push_back(population);
+      StateId p = static_cast<StateId>(population);
+      if (key == "counting") {
+        p = static_cast<StateId>(population + 1);
+        instanceNote = "P=N+1 (names claimed for N<P)";
+      }
+
+      for (const FaultRegime regime : spec.regimes) {
+        for (const SchedulerKind sched : spec.schedulers) {
+          RobustnessCell cell;
+          cell.protocol = key;
+          cell.selfStabilizing = selfStab;
+          cell.population = population;
+          cell.p = p;
+          cell.regime = regime;
+          cell.sched = sched;
+          cell.note = instanceNote;
+
+          if (requiresGlobalFairness(key) && schedulerOnlyWeaklyFair(sched)) {
+            cell.verdict = CellVerdict::kSkipped;
+            cell.note = "needs global fairness; scheduler only weakly fair";
+            table.cells.push_back(std::move(cell));
+            continue;
+          }
+
+          const auto proto = makeProtocol(key, p);
+          CampaignSpec campaign;
+          campaign.regime = regime;
+          campaign.params.rate = spec.faultRate;
+          campaign.params.period = spec.faultPeriod;
+          campaign.params.corruptAgents = static_cast<std::uint32_t>(
+              std::max(1.0, std::round(population * spec.corruptFraction)));
+          campaign.params.corruptLeader = spec.corruptLeader;
+          campaign.faultWindow = spec.faultWindow;
+          campaign.numMobile = population;
+          // Prop 14 is the only row whose claim requires initialized mobile
+          // agents; everything else starts arbitrary (self-stabilizing rows
+          // by definition, leader rows per their Table 1 assumptions).
+          campaign.init = key == "leader-uniform" ? InitKind::kUniform
+                                                  : InitKind::kArbitrary;
+          campaign.sched = sched;
+          campaign.runs = spec.runs;
+          campaign.seed = cellSeed(spec.seed, key, population, regime, sched);
+          campaign.limits = spec.limits;
+          campaign.threads = spec.threads;
+
+          cell.result = runCampaign(*proto, campaign);
+
+          if (cell.result.timedOut > 0) {
+            cell.verdict = CellVerdict::kDegraded;
+          } else if (selfStab) {
+            cell.verdict = cell.result.recoveredNamed == cell.result.runs
+                               ? CellVerdict::kCertified
+                               : CellVerdict::kFailed;
+          } else {
+            cell.verdict = CellVerdict::kEvidence;
+            const std::uint32_t wrongStable =
+                cell.result.recovered - cell.result.recoveredNamed;
+            if (wrongStable > 0) {
+              if (!cell.note.empty()) cell.note += "; ";
+              cell.note += "wrong-stable " + percent(wrongStable, spec.runs);
+            }
+          }
+          table.cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return table;
+}
+
+Table RobustnessTable::render() const {
+  Table t({"protocol", "self-stab", "N", "P", "regime", "scheduler", "faults/run",
+           "recovered", "named", "rec p50", "rec p90", "verdict", "note"});
+  for (const RobustnessCell& c : cells) {
+    auto row = t.row();
+    row.cell(c.protocol)
+        .cell(c.selfStabilizing ? "yes" : "no")
+        .cell(static_cast<std::uint64_t>(c.population))
+        .cell(static_cast<std::uint64_t>(c.p))
+        .cell(faultRegimeName(c.regime))
+        .cell(schedulerKindName(c.sched));
+    if (c.verdict == CellVerdict::kSkipped) {
+      row.cell("-").cell("-").cell("-").cell("-").cell("-");
+    } else {
+      row.cell(c.result.faultsInjected.mean, 1)
+          .cell(percent(c.result.recovered, c.result.runs))
+          .cell(percent(c.result.recoveredNamed, c.result.runs))
+          .cell(c.result.recoveryInteractions.median, 0)
+          .cell(c.result.recoveryInteractions.p90, 0);
+    }
+    row.cell(cellVerdictName(c.verdict)).cell(c.note);
+  }
+  return t;
+}
+
+std::string RobustnessTable::toJson() const {
+  JsonWriter w;
+  w.beginObject();
+  w.key("kind").value("ppn-robustness-table");
+  w.key("certified").value(certified());
+  w.key("cells").beginArray();
+  for (const RobustnessCell& c : cells) {
+    w.beginObject();
+    w.key("protocol").value(c.protocol);
+    w.key("selfStabilizing").value(c.selfStabilizing);
+    w.key("population").value(c.population);
+    w.key("p").value(static_cast<std::uint64_t>(c.p));
+    w.key("regime").value(faultRegimeName(c.regime));
+    w.key("scheduler").value(schedulerKindName(c.sched));
+    w.key("verdict").value(cellVerdictName(c.verdict));
+    w.key("note").value(c.note);
+    if (c.verdict != CellVerdict::kSkipped) {
+      w.key("runs").value(c.result.runs);
+      w.key("recovered").value(c.result.recovered);
+      w.key("recoveredNamed").value(c.result.recoveredNamed);
+      w.key("timedOut").value(c.result.timedOut);
+      w.key("degraded").value(c.result.degraded);
+      w.key("faultsPerRunMean").value(c.result.faultsInjected.mean);
+      w.key("recovery").beginObject();
+      w.key("count").value(c.result.recoveryInteractions.count);
+      w.key("mean").value(c.result.recoveryInteractions.mean);
+      w.key("median").value(c.result.recoveryInteractions.median);
+      w.key("p90").value(c.result.recoveryInteractions.p90);
+      w.key("max").value(c.result.recoveryInteractions.max);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+bool RobustnessTable::certified() const {
+  for (const RobustnessCell& c : cells) {
+    if (c.verdict == CellVerdict::kFailed) return false;
+  }
+  return true;
+}
+
+std::uint32_t RobustnessTable::countVerdict(CellVerdict v) const {
+  std::uint32_t n = 0;
+  for (const RobustnessCell& c : cells) {
+    if (c.verdict == v) ++n;
+  }
+  return n;
+}
+
+}  // namespace ppn

@@ -1,0 +1,95 @@
+// Self-stabilization certification: sweeps the registry's protocol set ×
+// fault regimes × schedulers and emits a machine-readable ROBUSTNESS TABLE —
+// the mechanical companion to the paper's Table 1.
+//
+// Table 1 separates protocols by initialization assumptions; this table
+// separates them by *behavior under continuous faults*:
+//  * rows the paper claims self-stabilizing (Props 12, 13, 16) must certify
+//    at 100% recovery — anything less is a FAILED cell (a refutation of the
+//    implementation, or of the claim);
+//  * initialized rows (Prop 14, Protocol 1, Prop 17) are EXPECTED to exhibit
+//    wrong-stable outcomes; the table records the observed rates as
+//    evidence, not failure;
+//  * cells pairing a global-fairness-only protocol with a merely weakly fair
+//    deterministic scheduler are skipped — the paper's own impossibility
+//    results (Prop 1, Thm 11) say nothing can be certified there.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/campaign.h"
+#include "util/table.h"
+
+namespace ppn {
+
+struct CertifySpec {
+  /// Protocol registry keys to sweep; empty = protocolKeys().
+  std::vector<std::string> protocols;
+  /// Population sizes N. P = N for naming protocols (the hardest, zero-slack
+  /// instance) with two carve-outs applied per-cell: `counting` runs at
+  /// P = N+1 (naming is only claimed for N < P) and `global-leader` caps N
+  /// at 4 (its N = P renaming walk costs ~10^9 interactions by P = 5 — see
+  /// EXPERIMENTS.md E16).
+  std::vector<std::uint32_t> populations = {4, 6};
+  std::vector<FaultRegime> regimes = {
+      FaultRegime::kPoissonTransient, FaultRegime::kChurn,
+      FaultRegime::kTargetedAdversary, FaultRegime::kStuckAgent};
+  std::vector<SchedulerKind> schedulers = {SchedulerKind::kRandom};
+  /// Agents corrupted per fault event: max(1, round(N * corruptFraction)).
+  double corruptFraction = 0.5;
+  /// Whether transient regimes also corrupt the leader (where enumerable).
+  bool corruptLeader = true;
+  double faultRate = 0.005;        ///< poisson/churn per-interaction rate
+  std::uint64_t faultPeriod = 500; ///< periodic/targeted event period
+  std::uint64_t faultWindow = 20'000;
+  std::uint32_t runs = 24;
+  std::uint64_t seed = 2026;
+  RunLimits limits{100'000'000, 128, 0};
+  std::uint32_t threads = 0;
+};
+
+enum class CellVerdict {
+  kCertified,  ///< self-stabilizing row, 100% named recovery
+  kFailed,     ///< self-stabilizing row, at least one unrecovered run
+  kEvidence,   ///< initialized row: outcomes recorded, nothing to certify
+  kDegraded,   ///< watchdog aborted runs; statistics are partial
+  kSkipped,    ///< assumption gap (global fairness vs deterministic sched)
+};
+
+std::string cellVerdictName(CellVerdict v);
+
+struct RobustnessCell {
+  std::string protocol;
+  bool selfStabilizing = false;
+  std::uint32_t population = 0;
+  StateId p = 0;  ///< the protocol's state bound for this cell
+  FaultRegime regime = FaultRegime::kPoissonTransient;
+  SchedulerKind sched = SchedulerKind::kRandom;
+  CampaignResult result;
+  CellVerdict verdict = CellVerdict::kSkipped;
+  std::string note;
+};
+
+struct RobustnessTable {
+  std::vector<RobustnessCell> cells;
+
+  /// Aligned ASCII rendering via util/table.h.
+  Table render() const;
+
+  /// Machine-readable JSON document (spec echo + one object per cell).
+  std::string toJson() const;
+
+  /// True when no cell FAILED and every executed self-stabilizing cell
+  /// certified (skipped/evidence/degraded cells do not block).
+  bool certified() const;
+
+  std::uint32_t countVerdict(CellVerdict v) const;
+};
+
+/// Runs the sweep. Cells execute sequentially; each campaign parallelizes
+/// its runs across spec.threads workers (deterministic per-cell results).
+RobustnessTable certifyRecovery(const CertifySpec& spec);
+
+}  // namespace ppn

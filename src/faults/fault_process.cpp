@@ -1,0 +1,201 @@
+#include "faults/fault_process.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/sink_analysis.h"
+
+namespace ppn {
+
+namespace {
+
+/// Geometric inter-arrival gap (>= 1) for a per-interaction event rate:
+/// the number of Bernoulli(rate) trials up to and including the first hit.
+std::uint64_t geometricGap(double rate, Rng& rng) {
+  // Inverse-CDF sampling: ceil(ln(U) / ln(1 - rate)) with U in (0, 1).
+  // rate == 1 degenerates to a fault at every interaction.
+  if (rate >= 1.0) return 1;
+  const double u = std::max(rng.uniform01(), 1e-300);  // avoid log(0)
+  const double gap = std::ceil(std::log(u) / std::log1p(-rate));
+  if (gap < 1.0) return 1;
+  if (gap > 1e18) return static_cast<std::uint64_t>(1e18);
+  return static_cast<std::uint64_t>(gap);
+}
+
+void requireRate(double rate, const char* who) {
+  if (!(rate > 0.0) || rate > 1.0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": rate must be in (0, 1]");
+  }
+}
+
+void requirePeriod(std::uint64_t period, const char* who) {
+  if (period == 0) {
+    throw std::invalid_argument(std::string(who) + ": period must be >= 1");
+  }
+}
+
+}  // namespace
+
+PoissonTransientFaults::PoissonTransientFaults(double rate, FaultPlan plan,
+                                               std::uint64_t seed)
+    : rate_(rate), plan_(plan), rng_(seed) {
+  requireRate(rate, "PoissonTransientFaults");
+}
+
+std::optional<std::uint64_t> PoissonTransientFaults::nextFaultAt(
+    std::uint64_t now) {
+  if (!pending_.has_value()) pending_ = now + geometricGap(rate_, rng_);
+  return pending_;
+}
+
+void PoissonTransientFaults::apply(Engine& engine) {
+  injectFault(engine, plan_, rng_);
+  pending_.reset();
+}
+
+PeriodicTransientFaults::PeriodicTransientFaults(std::uint64_t period,
+                                                 FaultPlan plan,
+                                                 std::uint64_t seed)
+    : period_(period), plan_(plan), rng_(seed), nextAt_(period) {
+  requirePeriod(period, "PeriodicTransientFaults");
+}
+
+std::optional<std::uint64_t> PeriodicTransientFaults::nextFaultAt(
+    std::uint64_t now) {
+  while (nextAt_ < now) nextAt_ += period_;
+  return nextAt_;
+}
+
+void PeriodicTransientFaults::apply(Engine& engine) {
+  injectFault(engine, plan_, rng_);
+  nextAt_ += period_;
+}
+
+ChurnFaults::ChurnFaults(double rate, std::uint64_t seed)
+    : rate_(rate), rng_(seed) {
+  requireRate(rate, "ChurnFaults");
+}
+
+std::optional<std::uint64_t> ChurnFaults::nextFaultAt(std::uint64_t now) {
+  if (!pending_.has_value()) pending_ = now + geometricGap(rate_, rng_);
+  return pending_;
+}
+
+void ChurnFaults::apply(Engine& engine) {
+  const std::uint32_t n = engine.numMobile();
+  if (n > 0) {
+    const auto victim = static_cast<AgentId>(rng_.below(n));
+    const Protocol& proto = engine.protocol();
+    const StateId fresh =
+        proto.uniformMobileInit().has_value()
+            ? *proto.uniformMobileInit()
+            : static_cast<StateId>(rng_.below(proto.numMobileStates()));
+    engine.corruptMobile(victim, fresh);
+  }
+  pending_.reset();
+}
+
+TargetedAdversaryFaults::TargetedAdversaryFaults(const Protocol& proto,
+                                                 std::uint64_t period,
+                                                 std::uint32_t corruptAgents,
+                                                 std::uint64_t seed)
+    : period_(period),
+      corruptAgents_(corruptAgents),
+      rng_(seed),
+      nextAt_(period),
+      sink_(analyzeSinks(proto).sink) {
+  requirePeriod(period, "TargetedAdversaryFaults");
+}
+
+std::optional<std::uint64_t> TargetedAdversaryFaults::nextFaultAt(
+    std::uint64_t now) {
+  while (nextAt_ < now) nextAt_ += period_;
+  return nextAt_;
+}
+
+void TargetedAdversaryFaults::apply(Engine& engine) {
+  const std::uint32_t n = engine.numMobile();
+  const std::uint32_t toCorrupt = std::min(corruptAgents_, n);
+  if (toCorrupt > 0 && n > 0) {
+    // Distinct victims via partial Fisher-Yates, like injectFault — but the
+    // written state is adversarial, not uniform.
+    std::vector<AgentId> agents(n);
+    for (AgentId i = 0; i < n; ++i) agents[i] = i;
+    for (std::uint32_t i = 0; i < toCorrupt; ++i) {
+      const auto j = static_cast<std::uint32_t>(i + rng_.below(n - i));
+      std::swap(agents[i], agents[j]);
+    }
+    if (sink_.has_value()) {
+      // Worst reachable direction (Prop 6): pile victims into the homonym
+      // sink m — every diagonal chain ends there, and m must never appear at
+      // convergence when N < P, so the protocol is forced to do maximal
+      // repair work.
+      for (std::uint32_t i = 0; i < toCorrupt; ++i) {
+        engine.corruptMobile(agents[i], *sink_);
+      }
+    } else {
+      // No diagonal fixed point (the asymmetric protocol). The worst
+      // corruption is duplicating live names: each victim copies the state
+      // of a surviving (non-victim) agent when one exists.
+      const Configuration& config = engine.config();
+      for (std::uint32_t i = 0; i < toCorrupt; ++i) {
+        const AgentId donor =
+            toCorrupt < n ? agents[toCorrupt + rng_.below(n - toCorrupt)]
+                          : agents[rng_.below(n)];
+        engine.corruptMobile(agents[i], config.mobile[donor]);
+      }
+    }
+  }
+  nextAt_ += period_;
+}
+
+FaultRegime parseFaultRegime(const std::string& s) {
+  if (s == "poisson-transient") return FaultRegime::kPoissonTransient;
+  if (s == "periodic-transient") return FaultRegime::kPeriodicTransient;
+  if (s == "churn") return FaultRegime::kChurn;
+  if (s == "targeted-adversary") return FaultRegime::kTargetedAdversary;
+  if (s == "stuck-agent") return FaultRegime::kStuckAgent;
+  throw std::invalid_argument("unknown fault regime '" + s + "'");
+}
+
+std::string faultRegimeName(FaultRegime regime) {
+  switch (regime) {
+    case FaultRegime::kPoissonTransient:
+      return "poisson-transient";
+    case FaultRegime::kPeriodicTransient:
+      return "periodic-transient";
+    case FaultRegime::kChurn:
+      return "churn";
+    case FaultRegime::kTargetedAdversary:
+      return "targeted-adversary";
+    case FaultRegime::kStuckAgent:
+      return "stuck-agent";
+  }
+  return "?";
+}
+
+std::unique_ptr<FaultProcess> makeFaultProcess(FaultRegime regime,
+                                               const Protocol& proto,
+                                               const FaultRegimeParams& params,
+                                               std::uint64_t seed) {
+  const FaultPlan plan{.corruptAgents = params.corruptAgents,
+                       .corruptLeader = params.corruptLeader};
+  switch (regime) {
+    case FaultRegime::kPoissonTransient:
+      return std::make_unique<PoissonTransientFaults>(params.rate, plan, seed);
+    case FaultRegime::kPeriodicTransient:
+      return std::make_unique<PeriodicTransientFaults>(params.period, plan,
+                                                       seed);
+    case FaultRegime::kChurn:
+      return std::make_unique<ChurnFaults>(params.rate, seed);
+    case FaultRegime::kTargetedAdversary:
+      return std::make_unique<TargetedAdversaryFaults>(
+          proto, params.period, params.corruptAgents, seed);
+    case FaultRegime::kStuckAgent:
+      return nullptr;  // crash faults are a scheduler wrapper, not a process
+  }
+  throw std::logic_error("unreachable fault regime");
+}
+
+}  // namespace ppn

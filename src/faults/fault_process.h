@@ -1,0 +1,177 @@
+// Ongoing fault campaigns: generalizes the one-shot transient fault of
+// sim/fault_injector.* into fault *processes* that keep perturbing a live
+// execution.
+//
+// A FaultProcess is a deterministic (seeded) point process over interaction
+// indices together with a corruption action. The campaign driver
+// (faults/campaign.h) steps the engine to each event index, applies the
+// fault, and — once the campaign window closes — measures whether and how
+// fast the protocol re-converges. The paper's self-stabilizing protocols
+// (Props 12, 13, 16) must recover from every regime here; the initialized
+// ones (Prop 14, Protocol 1, Prop 17) are expected to reach wrong-stable
+// configurations, which the robustness table records as evidence.
+//
+// Regimes:
+//  * PoissonTransientFaults — memoryless corruption bursts at a configurable
+//    per-interaction rate (the classic transient-fault model).
+//  * PeriodicTransientFaults — corruption every `period` interactions
+//    (worst-case clocked interference).
+//  * ChurnFaults — an agent's state is RESET mid-run, modeling the agent
+//    departing and a fresh one arriving under the fixed population bound P
+//    (the paper's motivating mobile-network scenario). The replacement state
+//    is the protocol's declared uniform init when it has one, otherwise
+//    uniform random.
+//  * TargetedAdversaryFaults — uses src/analysis sink analysis (Prop 6) to
+//    corrupt *toward the worst reachable configuration* instead of uniformly
+//    at random: victims are driven into the protocol's homonym sink (the
+//    self-fixed state every diagonal chain falls into), or — when no sink
+//    exists, e.g. the asymmetric protocol — into copies of a live agent's
+//    state, maximizing homonyms either way.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/engine.h"
+#include "sim/fault_injector.h"
+#include "util/rng.h"
+
+namespace ppn {
+
+class FaultProcess {
+ public:
+  virtual ~FaultProcess() = default;
+
+  /// Human-readable regime name for tables.
+  virtual std::string name() const = 0;
+
+  /// Absolute interaction index of the next fault event at or after `now`;
+  /// nullopt when the process will fire no further fault. The returned index
+  /// is stable until apply() is called (pure lookahead).
+  virtual std::optional<std::uint64_t> nextFaultAt(std::uint64_t now) = 0;
+
+  /// Injects one fault into the live engine and advances the process to its
+  /// next event. Called by the campaign driver when the engine reaches
+  /// nextFaultAt().
+  virtual void apply(Engine& engine) = 0;
+};
+
+/// Transient corruption with geometric (memoryless) inter-arrival times:
+/// every interaction independently starts a fault burst with probability
+/// `rate`. Each burst corrupts `plan.corruptAgents` uniform-random agents
+/// (and optionally the leader) via injectFault.
+class PoissonTransientFaults final : public FaultProcess {
+ public:
+  /// rate must be in (0, 1].
+  PoissonTransientFaults(double rate, FaultPlan plan, std::uint64_t seed);
+
+  std::string name() const override { return "poisson-transient"; }
+  std::optional<std::uint64_t> nextFaultAt(std::uint64_t now) override;
+  void apply(Engine& engine) override;
+
+ private:
+  double rate_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::optional<std::uint64_t> pending_;
+};
+
+/// Transient corruption at fixed interaction intervals: fires at period,
+/// 2*period, 3*period, ...
+class PeriodicTransientFaults final : public FaultProcess {
+ public:
+  /// period must be >= 1.
+  PeriodicTransientFaults(std::uint64_t period, FaultPlan plan,
+                          std::uint64_t seed);
+
+  std::string name() const override { return "periodic-transient"; }
+  std::optional<std::uint64_t> nextFaultAt(std::uint64_t now) override;
+  void apply(Engine& engine) override;
+
+ private:
+  std::uint64_t period_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::uint64_t nextAt_;
+};
+
+/// Agent churn: at memoryless (rate-driven) event times, one uniform-random
+/// agent is reset — departure plus arrival of a fresh agent under the fixed
+/// bound P. Reset state: the protocol's uniformMobileInit() when declared,
+/// else uniform random (an arriving agent in an unknown state).
+class ChurnFaults final : public FaultProcess {
+ public:
+  /// rate must be in (0, 1].
+  ChurnFaults(double rate, std::uint64_t seed);
+
+  std::string name() const override { return "churn"; }
+  std::optional<std::uint64_t> nextFaultAt(std::uint64_t now) override;
+  void apply(Engine& engine) override;
+
+ private:
+  double rate_;
+  Rng rng_;
+  std::optional<std::uint64_t> pending_;
+};
+
+/// Sink-seeking adversary: periodically drives `corruptAgents` victims
+/// toward the worst reachable configuration. The target state is computed
+/// once from analysis/sink_analysis (the protocol's unique homonym sink when
+/// it exists); protocols without a diagonal fixed point get homonyms instead
+/// (victims copy a surviving agent's state). Corrupting the leader is
+/// deliberately out of scope: the adversary models mobile-memory corruption
+/// steered by protocol structure.
+class TargetedAdversaryFaults final : public FaultProcess {
+ public:
+  /// period must be >= 1. The protocol must outlive the process.
+  TargetedAdversaryFaults(const Protocol& proto, std::uint64_t period,
+                          std::uint32_t corruptAgents, std::uint64_t seed);
+
+  std::string name() const override { return "targeted-adversary"; }
+  std::optional<std::uint64_t> nextFaultAt(std::uint64_t now) override;
+  void apply(Engine& engine) override;
+
+  /// The precomputed worst-case target state, when the protocol has a sink.
+  std::optional<StateId> sinkTarget() const { return sink_; }
+
+ private:
+  std::uint64_t period_;
+  std::uint32_t corruptAgents_;
+  Rng rng_;
+  std::uint64_t nextAt_;
+  std::optional<StateId> sink_;
+};
+
+/// Fault regimes selectable from CLI flags / certification specs.
+enum class FaultRegime {
+  kPoissonTransient,
+  kPeriodicTransient,
+  kChurn,
+  kTargetedAdversary,
+  kStuckAgent,  ///< crash fault realized by faults/stuck_agent_scheduler.h
+};
+
+/// Parses "poisson-transient" | "periodic-transient" | "churn" |
+/// "targeted-adversary" | "stuck-agent"; throws std::invalid_argument
+/// otherwise.
+FaultRegime parseFaultRegime(const std::string& s);
+std::string faultRegimeName(FaultRegime regime);
+
+/// Parameters shared by the regime factory below.
+struct FaultRegimeParams {
+  double rate = 0.005;          ///< poisson-transient / churn event rate
+  std::uint64_t period = 500;   ///< periodic-transient / targeted period
+  std::uint32_t corruptAgents = 1;
+  bool corruptLeader = false;   ///< transient regimes only
+};
+
+/// Builds the FaultProcess for `regime` (kStuckAgent yields nullptr — it is
+/// a scheduler wrapper, not a state-corruption process; see campaign.cpp).
+std::unique_ptr<FaultProcess> makeFaultProcess(FaultRegime regime,
+                                               const Protocol& proto,
+                                               const FaultRegimeParams& params,
+                                               std::uint64_t seed);
+
+}  // namespace ppn

@@ -1,0 +1,79 @@
+// Crash faults as a scheduler wrapper: a *stuck* agent silently drops out of
+// the interaction pattern for a window of delivered interactions, then
+// reappears.
+//
+// This models the fail-stop/recover behavior the transient-fault model
+// cannot: during the window the population behaves as if the agent were
+// absent (its state is frozen, no pair involving it is ever delivered), which
+// is exactly the hidden-agent construction of the paper's Theorem 11 proof —
+// the remaining agents may converge to an illusory solution that the
+// returning agent invalidates. Self-stabilizing protocols must re-converge
+// after the window closes; the robustness table measures that recovery.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "sched/scheduler.h"
+
+namespace ppn {
+
+/// Wraps any scheduler and suppresses (resamples past) every interaction
+/// involving `stuckAgent` while the count of *delivered* interactions lies in
+/// [windowStart, windowEnd). Deterministic given the inner scheduler: dropped
+/// draws consume the inner stream exactly as if an adversary had filtered it.
+class StuckAgentScheduler final : public Scheduler {
+ public:
+  /// `numParticipants` must be >= 3: with only two participants, freezing one
+  /// leaves no legal interaction and next() could never return.
+  StuckAgentScheduler(Scheduler& inner, std::uint32_t numParticipants,
+                      std::uint32_t stuckAgent, std::uint64_t windowStart,
+                      std::uint64_t windowEnd)
+      : inner_(&inner),
+        stuck_(stuckAgent),
+        windowStart_(windowStart),
+        windowEnd_(windowEnd) {
+    if (numParticipants < 3) {
+      throw std::invalid_argument(
+          "StuckAgentScheduler needs >= 3 participants");
+    }
+    if (stuckAgent >= numParticipants) {
+      throw std::invalid_argument("stuck agent out of range");
+    }
+  }
+
+  Interaction next() override {
+    for (;;) {
+      const Interaction it = inner_->next();
+      const bool stuckNow = delivered_ >= windowStart_ && delivered_ < windowEnd_;
+      if (!stuckNow || (it.initiator != stuck_ && it.responder != stuck_)) {
+        ++delivered_;
+        return it;
+      }
+      ++dropped_;
+    }
+  }
+
+  std::string name() const override {
+    return inner_->name() + "+stuck(" + std::to_string(stuck_) + ")";
+  }
+
+  void reset() override {
+    inner_->reset();
+    delivered_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Interactions suppressed so far (diagnostics).
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  Scheduler* inner_;
+  std::uint32_t stuck_;
+  std::uint64_t windowStart_;
+  std::uint64_t windowEnd_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ppn

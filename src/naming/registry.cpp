@@ -26,6 +26,25 @@ std::unique_ptr<Protocol> makeProtocol(const std::string& key, StateId p) {
   throw std::invalid_argument("unknown protocol key '" + key + "'");
 }
 
+bool isSelfStabilizing(const std::string& key) {
+  if (key == "asymmetric" || key == "symmetric-global" || key == "selfstab-weak") {
+    return true;
+  }
+  if (key == "leader-uniform" || key == "counting" || key == "global-leader") {
+    return false;
+  }
+  throw std::invalid_argument("unknown protocol key '" + key + "'");
+}
+
+bool requiresGlobalFairness(const std::string& key) {
+  if (key == "symmetric-global" || key == "global-leader") return true;
+  if (key == "asymmetric" || key == "leader-uniform" || key == "counting" ||
+      key == "selfstab-weak") {
+    return false;
+  }
+  throw std::invalid_argument("unknown protocol key '" + key + "'");
+}
+
 std::string protocolAssumptions(const std::string& key) {
   if (key == "asymmetric") {
     return "asymmetric rules, no leader, arbitrary init, weak/global fairness, P states";

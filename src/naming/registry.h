@@ -26,4 +26,16 @@ std::unique_ptr<Protocol> makeProtocol(const std::string& key, StateId p);
 /// One-line summary of a protocol's model assumptions (for tables).
 std::string protocolAssumptions(const std::string& key);
 
+/// Whether the paper claims the protocol is self-stabilizing (Props 12, 13,
+/// 16): it must re-converge from ARBITRARY corruption of the whole
+/// configuration, which is what the robustness certification enforces.
+/// Throws std::invalid_argument for unknown keys.
+bool isSelfStabilizing(const std::string& key);
+
+/// Whether the protocol's correctness claim needs global fairness (Props 13,
+/// 17). Under merely weakly fair (deterministic) schedulers these protocols
+/// have violating executions, so certification sweeps skip those cells.
+/// Throws std::invalid_argument for unknown keys.
+bool requiresGlobalFairness(const std::string& key);
+
 }  // namespace ppn

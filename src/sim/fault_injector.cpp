@@ -7,6 +7,7 @@ namespace ppn {
 
 void injectFault(Engine& engine, const FaultPlan& plan, Rng& rng) {
   const std::uint32_t n = engine.numMobile();
+  // Contract: clamp to the population; corruptAgents == 0 is a no-op.
   const std::uint32_t toCorrupt = std::min(plan.corruptAgents, n);
   // Choose distinct victims by partial Fisher-Yates over agent ids.
   std::vector<AgentId> agents(n);
@@ -19,6 +20,8 @@ void injectFault(Engine& engine, const FaultPlan& plan, Rng& rng) {
         rng.below(engine.protocol().numMobileStates()));
     engine.corruptMobile(agents[i], s);
   }
+  // Contract: corruptLeader is silently ignored for leaderless protocols and
+  // for leaders whose state space is not enumerable.
   if (plan.corruptLeader && engine.protocol().hasLeader()) {
     const auto all = engine.protocol().allLeaderStates();
     if (!all.empty()) {

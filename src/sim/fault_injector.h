@@ -18,14 +18,19 @@
 namespace ppn {
 
 struct FaultPlan {
-  /// How many distinct mobile agents to corrupt (clamped to N).
+  /// How many distinct mobile agents to corrupt. Contract: clamped to N
+  /// (requesting more than the population corrupts every agent exactly once);
+  /// 0 leaves every mobile state untouched.
   std::uint32_t corruptAgents = 1;
-  /// Whether to also corrupt the leader state (drawn from allLeaderStates();
-  /// ignored when the protocol has no leader or cannot enumerate them).
+  /// Whether to also corrupt the leader state (drawn from allLeaderStates()).
+  /// Contract: silently ignored when the protocol has no leader or cannot
+  /// enumerate its leader states.
   bool corruptLeader = false;
 };
 
-/// Applies one transient fault to the live configuration.
+/// Applies one transient fault to the live configuration, honoring the
+/// FaultPlan contract above. A plan that corrupts nothing (zero agents, no
+/// applicable leader corruption) is a no-op and never throws.
 void injectFault(Engine& engine, const FaultPlan& plan, Rng& rng);
 
 struct RecoveryOutcome {

@@ -1,7 +1,12 @@
 #include "sim/runner.h"
 
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "sched/deterministic_schedulers.h"
 #include "sched/random_scheduler.h"
@@ -9,14 +14,27 @@
 namespace ppn {
 
 RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
-                          const RunLimits& limits) {
+                          const RunLimits& limits, const CancelToken* cancel) {
+  using Clock = std::chrono::steady_clock;
   RunOutcome out;
   out.numMobile = engine.numMobile();
   const std::uint64_t interval = std::max<std::uint64_t>(1, limits.checkInterval);
+  const bool watch = limits.maxWallMillis > 0;
+  const Clock::time_point deadline =
+      watch ? Clock::now() + std::chrono::milliseconds(limits.maxWallMillis)
+            : Clock::time_point{};
 
   bool silent = engine.silent();
   std::uint64_t steps = 0;
   while (!silent && steps < limits.maxInteractions) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      out.cancelled = true;
+      break;
+    }
+    if (watch && Clock::now() >= deadline) {
+      out.timedOut = true;
+      break;
+    }
     const std::uint64_t burst =
         std::min(interval, limits.maxInteractions - steps);
     for (std::uint64_t i = 0; i < burst; ++i) engine.step(sched.next());
@@ -32,6 +50,54 @@ RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
       silent ? engine.lastChangeAt() : engine.totalInteractions();
   out.finalConfig = engine.config();
   return out;
+}
+
+void parallelRunIndexed(
+    std::uint32_t count, std::uint32_t threads,
+    const std::function<void(std::uint32_t, CancelToken&)>& fn) {
+  std::uint32_t workers = threads == 0
+                              ? std::max(1u, std::thread::hardware_concurrency())
+                              : threads;
+  workers = std::min(workers, std::max(1u, count));
+
+  CancelToken cancel{false};
+  std::mutex errorMutex;
+  std::uint32_t errorIndex = std::numeric_limits<std::uint32_t>::max();
+  std::exception_ptr error;
+  std::atomic<std::uint32_t> nextIndex{0};
+
+  auto work = [&]() {
+    for (;;) {
+      const std::uint32_t i = nextIndex.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      if (cancel.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i, cancel);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(errorMutex);
+          // Keep the exception of the lowest index so the rethrown error is
+          // deterministic regardless of worker interleaving.
+          if (i < errorIndex) {
+            errorIndex = i;
+            error = std::current_exception();
+          }
+        }
+        cancel.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 SchedulerKind parseSchedulerKind(const std::string& s) {
@@ -83,56 +149,35 @@ BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
   BatchResult result;
   result.runs = spec.runs;
 
-  // Derive every run's inputs sequentially so results do not depend on the
-  // thread count or scheduling order.
-  struct RunInput {
-    Configuration start;
-    std::uint64_t schedulerSeed;
-  };
+  // Derive every run's randomness sequentially so results do not depend on
+  // the thread count or scheduling order. The start configuration itself is
+  // built inside the worker from the pre-split per-run generator (still
+  // deterministic, and a throwing arbitraryConfiguration is then captured by
+  // parallelRunIndexed instead of escaping a worker thread).
   Rng master(spec.seed);
-  std::vector<RunInput> inputs;
-  inputs.reserve(spec.runs);
-  for (std::uint32_t r = 0; r < spec.runs; ++r) {
-    Rng runRng = master.split();
-    Configuration start =
-        spec.init == InitKind::kUniform
-            ? uniformConfiguration(proto, spec.numMobile)
-            : arbitraryConfiguration(proto, spec.numMobile, runRng);
-    inputs.push_back(RunInput{std::move(start), runRng.next()});
-  }
+  std::vector<Rng> runRngs;
+  runRngs.reserve(spec.runs);
+  for (std::uint32_t r = 0; r < spec.runs; ++r) runRngs.push_back(master.split());
 
   std::vector<RunOutcome> outcomes(spec.runs);
-  auto executeRange = [&](std::uint32_t begin, std::uint32_t end) {
-    for (std::uint32_t r = begin; r < end; ++r) {
-      Engine engine(proto, inputs[r].start);
-      auto sched = makeScheduler(spec.sched, engine.numParticipants(),
-                                 inputs[r].schedulerSeed);
-      outcomes[r] = runUntilSilent(engine, *sched, spec.limits);
-    }
-  };
-
-  std::uint32_t workers = spec.threads == 0
-                              ? std::max(1u, std::thread::hardware_concurrency())
-                              : spec.threads;
-  workers = std::min(workers, std::max(1u, spec.runs));
-  if (workers <= 1) {
-    executeRange(0, spec.runs);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    const std::uint32_t chunk = (spec.runs + workers - 1) / workers;
-    for (std::uint32_t w = 0; w < workers; ++w) {
-      const std::uint32_t begin = w * chunk;
-      const std::uint32_t end = std::min(spec.runs, begin + chunk);
-      if (begin >= end) break;
-      pool.emplace_back(executeRange, begin, end);
-    }
-    for (auto& t : pool) t.join();
-  }
+  parallelRunIndexed(
+      spec.runs, spec.threads,
+      [&](std::uint32_t r, CancelToken& cancel) {
+        Rng runRng = runRngs[r];
+        Configuration start =
+            spec.init == InitKind::kUniform
+                ? uniformConfiguration(proto, spec.numMobile)
+                : arbitraryConfiguration(proto, spec.numMobile, runRng);
+        Engine engine(proto, std::move(start));
+        auto sched =
+            makeScheduler(spec.sched, engine.numParticipants(), runRng.next());
+        outcomes[r] = runUntilSilent(engine, *sched, spec.limits, &cancel);
+      });
 
   std::vector<double> convergence;
   std::vector<double> parallel;
   for (const RunOutcome& out : outcomes) {
+    if (out.timedOut) ++result.timedOut;
     if (out.silent) {
       ++result.converged;
       if (out.namingSolved) ++result.named;
@@ -140,6 +185,7 @@ BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
       parallel.push_back(out.parallelTime());
     }
   }
+  result.degraded = result.timedOut > 0;
   result.convergenceInteractions = summarize(std::move(convergence));
   result.parallelTime = summarize(std::move(parallel));
   return result;

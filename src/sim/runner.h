@@ -5,9 +5,20 @@
 // interaction index of the most recent configuration change, so once silence
 // is observed (silence is permanent for deterministic protocols) the
 // convergence time does not depend on how often silence was polled.
+//
+// Batches are hardened for campaign-scale use (see src/faults/):
+//  * worker threads never leak exceptions (a throwing run cancels the rest of
+//    the batch cooperatively and the first exception is rethrown on join);
+//  * an optional wall-clock watchdog aborts hung runs, producing a *partial*
+//    BatchResult flagged `degraded` instead of blocking forever;
+//  * every per-run input (start configuration, scheduler seed) is derived
+//    sequentially before execution, so results are bit-identical for every
+//    thread count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -23,11 +34,21 @@ struct RunLimits {
   /// Poll silence every this many interactions. Does not affect reported
   /// convergence times, only detection overhead.
   std::uint64_t checkInterval = 64;
+  /// Wall-clock watchdog: abort the run (silent = false, timedOut = true)
+  /// once this many milliseconds have elapsed. 0 = unlimited, the default,
+  /// so pre-existing benches and tests are byte-for-byte unaffected.
+  std::uint64_t maxWallMillis = 0;
 };
+
+/// Cooperative cancellation token shared by the workers of a batch: a run
+/// polls it at every silence check and winds down promptly once set.
+using CancelToken = std::atomic<bool>;
 
 struct RunOutcome {
   bool silent = false;        ///< reached a terminal configuration in time
   bool namingSolved = false;  ///< silent with distinct valid names
+  bool timedOut = false;      ///< aborted by the wall-clock watchdog
+  bool cancelled = false;     ///< aborted via the CancelToken
   /// Interaction count at the last configuration change; the exact
   /// convergence time when silent. Equals the step budget spent when not.
   std::uint64_t convergenceInteractions = 0;
@@ -44,10 +65,21 @@ struct RunOutcome {
   }
 };
 
-/// Steps `engine` with interactions from `sched` until silent or the budget
-/// runs out.
+/// Steps `engine` with interactions from `sched` until silent or a budget
+/// (interactions or wall clock) runs out. `cancel`, when non-null, is polled
+/// once per check interval; a set token aborts the run with cancelled = true.
 RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
-                          const RunLimits& limits);
+                          const RunLimits& limits,
+                          const CancelToken* cancel = nullptr);
+
+/// Runs fn(index, cancel) for every index in [0, count), spread over
+/// `threads` workers (0 = hardware concurrency). Exception-safe: a throwing
+/// invocation sets the shared cancel token (so in-flight runs wind down
+/// cooperatively), remaining indices are skipped, all workers are joined, and
+/// the exception belonging to the lowest index is rethrown exactly once.
+void parallelRunIndexed(
+    std::uint32_t count, std::uint32_t threads,
+    const std::function<void(std::uint32_t, CancelToken&)>& fn);
 
 /// Scheduler kinds selectable from CLI flags / experiment configs.
 enum class SchedulerKind { kRandom, kSkewed, kRoundRobin, kTournament };
@@ -87,11 +119,19 @@ struct BatchResult {
   Summary parallelTime;
   std::uint32_t converged = 0;  ///< runs that reached silence
   std::uint32_t named = 0;      ///< runs that reached silence with naming
+  std::uint32_t timedOut = 0;   ///< runs aborted by the wall-clock watchdog
   std::uint32_t runs = 0;
+  /// True when any run hit the watchdog: the batch completed, but its
+  /// statistics cover only the runs that finished — a partial result.
+  bool degraded = false;
 };
 
 /// Runs `spec.runs` independent runs of `proto`, each with a fresh initial
-/// configuration and scheduler stream derived from `spec.seed`.
+/// configuration and scheduler stream derived from `spec.seed`. A run that
+/// throws (e.g. std::logic_error from arbitraryConfiguration on a protocol
+/// with no enumerable leader states) cancels the remaining runs and is
+/// rethrown with its message intact; runs aborted by the watchdog are
+/// reported via `timedOut`/`degraded` rather than blocking the batch.
 BatchResult runBatch(const Protocol& proto, const BatchSpec& spec);
 
 }  // namespace ppn

@@ -1,0 +1,168 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ppn {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::beforeValue() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) return;  // root value
+  if (stack_.back() == Ctx::kObject) {
+    if (!pendingKey_) {
+      throw std::logic_error("JsonWriter: value inside object requires key()");
+    }
+    pendingKey_ = false;
+  } else {
+    if (hasElement_.back()) out_.push_back(',');
+    hasElement_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  out_.push_back('{');
+  stack_.push_back(Ctx::kObject);
+  hasElement_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  if (stack_.empty() || stack_.back() != Ctx::kObject || pendingKey_) {
+    throw std::logic_error("JsonWriter: mismatched endObject");
+  }
+  out_.push_back('}');
+  stack_.pop_back();
+  hasElement_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  out_.push_back('[');
+  stack_.push_back(Ctx::kArray);
+  hasElement_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  if (stack_.empty() || stack_.back() != Ctx::kArray) {
+    throw std::logic_error("JsonWriter: mismatched endArray");
+  }
+  out_.push_back(']');
+  stack_.pop_back();
+  hasElement_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (done_ || stack_.empty() || stack_.back() != Ctx::kObject || pendingKey_) {
+    throw std::logic_error("JsonWriter: key() outside object");
+  }
+  if (hasElement_.back()) out_.push_back(',');
+  hasElement_.back() = true;
+  out_ += jsonEscape(k);
+  out_.push_back(':');
+  pendingKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  beforeValue();
+  out_ += jsonEscape(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  beforeValue();
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, res.ptr);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  beforeValue();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!done_ || !stack_.empty()) {
+    throw std::logic_error("JsonWriter: document incomplete");
+  }
+  return out_;
+}
+
+}  // namespace ppn

@@ -1,0 +1,67 @@
+// Minimal streaming JSON writer for machine-readable bench output.
+//
+// No third-party JSON dependency is available in this build, and the emitted
+// documents are small (robustness tables, experiment manifests), so a tiny
+// push-style writer suffices. It produces deterministic, valid JSON: keys and
+// values are escaped per RFC 8259, doubles are rendered with enough digits to
+// round-trip, and NaN/Inf (not representable in JSON) degrade to null.
+//
+// Usage:
+//   JsonWriter w;
+//   w.beginObject();
+//   w.key("runs").value(24);
+//   w.key("cells").beginArray();
+//   w.beginObject(); ... w.endObject();
+//   w.endArray();
+//   w.endObject();
+//   std::string doc = w.str();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppn {
+
+/// Escapes `s` as a JSON string literal, including the surrounding quotes.
+std::string jsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Writes an object key; must be followed by exactly one value (or
+  /// container begin). Throws std::logic_error outside an object.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  /// The finished document. Throws std::logic_error if containers are still
+  /// open or nothing was written.
+  std::string str() const;
+
+ private:
+  enum class Ctx : std::uint8_t { kObject, kArray };
+  void beforeValue();
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  /// Whether the current container already holds an element (per level).
+  std::vector<bool> hasElement_;
+  bool pendingKey_ = false;
+  bool done_ = false;
+};
+
+}  // namespace ppn

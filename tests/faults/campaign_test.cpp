@@ -1,0 +1,110 @@
+#include "faults/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/registry.h"
+#include "sched/random_scheduler.h"
+
+namespace ppn {
+namespace {
+
+CampaignSpec baseSpec(std::uint32_t numMobile) {
+  CampaignSpec spec;
+  spec.numMobile = numMobile;
+  spec.faultWindow = 2000;
+  spec.runs = 8;
+  spec.seed = 404;
+  spec.limits = RunLimits{5'000'000, 64, 0};
+  return spec;
+}
+
+TEST(RunCampaignOnce, ExactWindowAndFreeRecoveryOnSilentStart) {
+  // No fault process, silent start: the fault phase still executes exactly
+  // the window's interactions, and recovery is immediate and free.
+  const AsymmetricNaming proto(5);
+  Engine engine(proto, Configuration{{0, 1, 2, 3, 4}, std::nullopt});
+  RandomScheduler sched(5, 77);
+  const CampaignRunOutcome out =
+      runCampaignOnce(engine, sched, nullptr, 100, RunLimits{10'000, 8, 0});
+  EXPECT_GE(engine.totalInteractions(), 100u);
+  EXPECT_EQ(out.faultsInjected, 0u);
+  EXPECT_TRUE(out.recovered);
+  EXPECT_TRUE(out.recoveredNamed);
+  EXPECT_EQ(out.recoveryInteractions, 0u);
+}
+
+TEST(RunCampaign, SelfStabilizingProtocolSurvivesTransientCampaign) {
+  const AsymmetricNaming proto(5);
+  CampaignSpec spec = baseSpec(5);
+  spec.regime = FaultRegime::kPoissonTransient;
+  spec.params.rate = 0.01;
+  spec.params.corruptAgents = 2;
+  const CampaignResult result = runCampaign(proto, spec);
+  EXPECT_EQ(result.runs, spec.runs);
+  EXPECT_EQ(result.recovered, spec.runs);
+  EXPECT_EQ(result.recoveredNamed, spec.runs);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_GT(result.faultsInjected.mean, 0.0)
+      << "a 0.01-rate campaign over 2000 interactions must inject faults";
+  EXPECT_EQ(result.outcomes.size(), spec.runs);
+}
+
+TEST(RunCampaign, StuckAgentCrashIsRecoveredFrom) {
+  const AsymmetricNaming proto(5);
+  CampaignSpec spec = baseSpec(5);
+  spec.regime = FaultRegime::kStuckAgent;
+  const CampaignResult result = runCampaign(proto, spec);
+  EXPECT_EQ(result.recoveredNamed, spec.runs);
+  for (const CampaignRunOutcome& out : result.outcomes) {
+    EXPECT_EQ(out.faultsInjected, 1u) << "the crash itself is the one fault";
+  }
+}
+
+TEST(RunCampaign, BitwiseIdenticalAcrossThreadCounts) {
+  // Acceptance criterion: per-run inputs are pre-split sequentially, so the
+  // full per-run outcome vector is bit-identical for threads = 1 and 8.
+  const AsymmetricNaming proto(6);
+  for (const FaultRegime regime :
+       {FaultRegime::kPoissonTransient, FaultRegime::kTargetedAdversary,
+        FaultRegime::kStuckAgent}) {
+    CampaignSpec spec = baseSpec(6);
+    spec.regime = regime;
+    spec.params.corruptAgents = 3;
+    spec.runs = 12;
+    spec.threads = 1;
+    const CampaignResult serial = runCampaign(proto, spec);
+    spec.threads = 8;
+    const CampaignResult parallel = runCampaign(proto, spec);
+    ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+    for (std::size_t r = 0; r < serial.outcomes.size(); ++r) {
+      EXPECT_EQ(serial.outcomes[r], parallel.outcomes[r])
+          << faultRegimeName(regime) << " run " << r
+          << " differs between thread counts";
+    }
+    EXPECT_EQ(serial.recoveredNamed, parallel.recoveredNamed);
+    EXPECT_EQ(serial.timedOut, parallel.timedOut);
+  }
+}
+
+TEST(RunCampaign, WatchdogDegradesHungCampaign) {
+  // A multi-second fault window with a ~40 ms wall budget: only the watchdog
+  // can end the fault phase, and the campaign must report partial (degraded)
+  // results rather than hang.
+  const auto proto = makeProtocol("asymmetric", 5);
+  CampaignSpec spec = baseSpec(5);
+  spec.regime = FaultRegime::kChurn;
+  spec.params.rate = 0.01;
+  spec.faultWindow = 2'000'000'000ULL;
+  spec.runs = 3;
+  spec.threads = 3;
+  spec.limits = RunLimits{1'000'000'000'000ULL, 64, 40};
+  const CampaignResult result = runCampaign(*proto, spec);
+  EXPECT_EQ(result.timedOut, spec.runs);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.recoveredNamed, 0u);
+}
+
+}  // namespace
+}  // namespace ppn

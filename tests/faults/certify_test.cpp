@@ -1,0 +1,101 @@
+#include "faults/certify.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ppn {
+namespace {
+
+CertifySpec fastSpec() {
+  CertifySpec spec;
+  spec.populations = {4};
+  spec.regimes = {FaultRegime::kPoissonTransient};
+  spec.schedulers = {SchedulerKind::kRandom};
+  spec.runs = 4;
+  spec.faultWindow = 2000;
+  spec.limits = RunLimits{10'000'000, 64, 0};
+  spec.threads = 2;
+  return spec;
+}
+
+TEST(CertifyRecovery, SelfStabilizingCellCertifiesAtFullRecovery) {
+  CertifySpec spec = fastSpec();
+  spec.protocols = {"asymmetric"};
+  const RobustnessTable table = certifyRecovery(spec);
+  ASSERT_EQ(table.cells.size(), 1u);
+  const RobustnessCell& cell = table.cells.front();
+  EXPECT_TRUE(cell.selfStabilizing);
+  EXPECT_EQ(cell.verdict, CellVerdict::kCertified);
+  EXPECT_EQ(cell.result.recoveredNamed, spec.runs);
+  EXPECT_TRUE(table.certified());
+  EXPECT_EQ(table.countVerdict(CellVerdict::kCertified), 1u);
+}
+
+TEST(CertifyRecovery, GlobalFairnessProtocolsSkipWeaklyFairSchedulers) {
+  // Prop 13 needs global fairness; a deterministic round-robin scheduler is
+  // only weakly fair, so the cell is an assumption gap, not a measurement.
+  CertifySpec spec = fastSpec();
+  spec.protocols = {"symmetric-global"};
+  spec.schedulers = {SchedulerKind::kRoundRobin};
+  const RobustnessTable table = certifyRecovery(spec);
+  ASSERT_EQ(table.cells.size(), 1u);
+  EXPECT_EQ(table.cells.front().verdict, CellVerdict::kSkipped);
+  EXPECT_NE(table.cells.front().note.find("global fairness"),
+            std::string::npos);
+  // Skipped cells never block certification.
+  EXPECT_TRUE(table.certified());
+}
+
+TEST(CertifyRecovery, CountingRunsAtPopulationPlusOne) {
+  // Protocol 1 only claims naming for N < P: the sweep must instantiate it
+  // at P = N+1 and record outcomes as evidence (it is not self-stabilizing).
+  CertifySpec spec = fastSpec();
+  spec.protocols = {"counting"};
+  spec.regimes = {FaultRegime::kStuckAgent};
+  const RobustnessTable table = certifyRecovery(spec);
+  ASSERT_EQ(table.cells.size(), 1u);
+  const RobustnessCell& cell = table.cells.front();
+  EXPECT_EQ(cell.population, 4u);
+  EXPECT_EQ(cell.p, 5u);
+  EXPECT_FALSE(cell.selfStabilizing);
+  EXPECT_TRUE(cell.verdict == CellVerdict::kEvidence ||
+              cell.verdict == CellVerdict::kDegraded);
+  EXPECT_NE(cell.note.find("P=N+1"), std::string::npos);
+}
+
+TEST(CertifyRecovery, GlobalLeaderPopulationCapDeduplicatesCells) {
+  // Requesting N = 4 and N = 6 both cap to the feasible N = 4 instance; the
+  // table must contain that instance once, not twice.
+  CertifySpec spec = fastSpec();
+  spec.protocols = {"global-leader"};
+  spec.populations = {6, 4};
+  const RobustnessTable table = certifyRecovery(spec);
+  ASSERT_EQ(table.cells.size(), 1u);
+  EXPECT_EQ(table.cells.front().population, 4u);
+  EXPECT_NE(table.cells.front().note.find("capped"), std::string::npos);
+}
+
+TEST(RobustnessTable, JsonAndRenderCarryEveryCell) {
+  CertifySpec spec = fastSpec();
+  spec.protocols = {"asymmetric", "symmetric-global"};
+  spec.schedulers = {SchedulerKind::kRoundRobin};  // one run, one skip
+  const RobustnessTable table = certifyRecovery(spec);
+  ASSERT_EQ(table.cells.size(), 2u);
+
+  const std::string json = table.toJson();
+  EXPECT_NE(json.find("\"kind\":\"ppn-robustness-table\""), std::string::npos);
+  EXPECT_NE(json.find("\"protocol\":\"asymmetric\""), std::string::npos);
+  EXPECT_NE(json.find("\"protocol\":\"symmetric-global\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"skipped\""), std::string::npos);
+  EXPECT_NE(json.find("\"certified\":"), std::string::npos);
+  // Executed cells carry their campaign statistics; skipped ones do not.
+  EXPECT_NE(json.find("\"recoveredNamed\""), std::string::npos);
+
+  const std::string rendered = table.render().render();
+  EXPECT_NE(rendered.find("asymmetric"), std::string::npos);
+  EXPECT_NE(rendered.find("symmetric-global"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,203 @@
+#include "faults/fault_process.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/engine.h"
+#include "faults/stuck_agent_scheduler.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/registry.h"
+#include "sched/random_scheduler.h"
+
+namespace ppn {
+namespace {
+
+TEST(PoissonTransientFaults, ScheduleIsDeterministicAndStable) {
+  PoissonTransientFaults a(0.01, FaultPlan{1, false}, 42);
+  PoissonTransientFaults b(0.01, FaultPlan{1, false}, 42);
+  const AsymmetricNaming proto(4);
+  Engine engine(proto, Configuration{{0, 1, 2, 3}, std::nullopt});
+  std::uint64_t now = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto atA = a.nextFaultAt(now);
+    const auto atB = b.nextFaultAt(now);
+    ASSERT_TRUE(atA.has_value());
+    EXPECT_EQ(*atA, *atB) << "same seed must give the same schedule";
+    EXPECT_GT(*atA, now) << "a pending fault lies strictly in the future";
+    // Pure lookahead: asking again without apply() does not advance.
+    EXPECT_EQ(*a.nextFaultAt(now), *atA);
+    a.apply(engine);
+    b.apply(engine);
+    now = *atA;
+  }
+}
+
+TEST(PoissonTransientFaults, RateOneFiresEveryInteraction) {
+  PoissonTransientFaults p(1.0, FaultPlan{1, false}, 7);
+  const AsymmetricNaming proto(4);
+  Engine engine(proto, Configuration{{0, 1, 2, 3}, std::nullopt});
+  for (std::uint64_t now = 0; now < 10; ++now) {
+    ASSERT_EQ(*p.nextFaultAt(now), now + 1);
+    p.apply(engine);
+  }
+}
+
+TEST(PoissonTransientFaults, RejectsInvalidRate) {
+  EXPECT_THROW(PoissonTransientFaults(0.0, FaultPlan{}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(PoissonTransientFaults(1.5, FaultPlan{}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(ChurnFaults(-0.1, 1), std::invalid_argument);
+}
+
+TEST(PeriodicTransientFaults, FiresAtExactMultiplesOfPeriod) {
+  PeriodicTransientFaults p(100, FaultPlan{1, false}, 3);
+  const AsymmetricNaming proto(4);
+  Engine engine(proto, Configuration{{0, 1, 2, 3}, std::nullopt});
+  EXPECT_EQ(*p.nextFaultAt(0), 100u);
+  EXPECT_EQ(*p.nextFaultAt(100), 100u);  // fires exactly at the boundary
+  p.apply(engine);
+  EXPECT_EQ(*p.nextFaultAt(100), 200u);
+  // Lookahead past missed multiples lands on the next one, never behind now.
+  EXPECT_EQ(*p.nextFaultAt(350), 400u);
+  EXPECT_THROW(PeriodicTransientFaults(0, FaultPlan{}, 1),
+               std::invalid_argument);
+}
+
+TEST(ChurnFaults, ResetsExactlyOneAgentToUniformInitWhenDeclared) {
+  // leader-uniform (Prop 14) declares a uniform mobile init: a churned agent
+  // must re-enter in that state, like a freshly arriving initialized agent.
+  const auto proto = makeProtocol("leader-uniform", 4);
+  ASSERT_TRUE(proto->uniformMobileInit().has_value());
+  const StateId init = *proto->uniformMobileInit();
+  // Start every agent in some non-init state so the reset is observable.
+  const StateId other = init == 0 ? StateId{1} : StateId{0};
+  Configuration start{{other, other, other, other},
+                      proto->initialLeaderState()};
+  Engine engine(*proto, start);
+  ChurnFaults churn(0.5, 99);
+  churn.apply(engine);
+  std::uint32_t changed = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (engine.config().mobile[i] != other) {
+      ++changed;
+      EXPECT_EQ(engine.config().mobile[i], init);
+    }
+  }
+  EXPECT_EQ(changed, 1u);
+}
+
+TEST(ChurnFaults, ArrivingAgentGetsRandomLegalStateWithoutDeclaredInit) {
+  const AsymmetricNaming proto(5);
+  ASSERT_FALSE(proto.uniformMobileInit().has_value());
+  Engine engine(proto, Configuration{{0, 1, 2, 3, 4}, std::nullopt});
+  ChurnFaults churn(0.5, 5);
+  for (int i = 0; i < 10; ++i) {
+    churn.apply(engine);
+    for (const StateId s : engine.config().mobile) {
+      EXPECT_LT(s, proto.numMobileStates());
+    }
+  }
+}
+
+TEST(TargetedAdversaryFaults, PilesVictimsIntoTheHomonymSink) {
+  // Protocol 2 (selfstab-weak) has the homonym sink state 0 (Prop 6): the
+  // adversary must precompute it and drive every victim there.
+  const auto proto = makeProtocol("selfstab-weak", 5);
+  TargetedAdversaryFaults adv(*proto, 10, 3, 17);
+  ASSERT_TRUE(adv.sinkTarget().has_value());
+  const StateId sink = *adv.sinkTarget();
+  Configuration start{{1, 2, 3, 4, 5}, std::nullopt};
+  // SelfStabWeakNaming has no leader agent in this build only if hasLeader()
+  // is false; follow the protocol's declaration either way.
+  if (proto->hasLeader()) {
+    start.leader = proto->initialLeaderState().has_value()
+                       ? proto->initialLeaderState()
+                       : std::optional<LeaderStateId>(
+                             proto->allLeaderStates().front());
+  }
+  Engine engine(*proto, start);
+  adv.apply(engine);
+  std::uint32_t inSink = 0;
+  for (const StateId s : engine.config().mobile) inSink += (s == sink) ? 1 : 0;
+  EXPECT_EQ(inSink, 3u);
+}
+
+TEST(TargetedAdversaryFaults, DuplicatesLiveNamesWhenNoSinkExists) {
+  // The asymmetric protocol has no diagonal fixed point: the worst corruption
+  // is copying a survivor's state, so every post-fault state was already
+  // present and at least one name is now duplicated.
+  const AsymmetricNaming proto(5);
+  TargetedAdversaryFaults adv(proto, 10, 2, 23);
+  EXPECT_FALSE(adv.sinkTarget().has_value());
+  Engine engine(proto, Configuration{{0, 1, 2, 3, 4}, std::nullopt});
+  adv.apply(engine);
+  std::vector<std::uint32_t> histogram(proto.numMobileStates(), 0);
+  for (const StateId s : engine.config().mobile) {
+    ++histogram[s];
+  }
+  EXPECT_GT(*std::max_element(histogram.begin(), histogram.end()), 1u)
+      << "victims must duplicate a live name";
+}
+
+TEST(StuckAgentScheduler, SuppressesStuckAgentDuringWindowOnly) {
+  RandomScheduler inner(5, 1234);
+  StuckAgentScheduler sched(inner, 5, 2, 0, 200);
+  for (int i = 0; i < 200; ++i) {
+    const Interaction it = sched.next();
+    EXPECT_NE(it.initiator, 2u);
+    EXPECT_NE(it.responder, 2u);
+  }
+  EXPECT_GT(sched.dropped(), 0u);
+  // After the window closes the agent reappears in the interaction pattern.
+  bool seen = false;
+  for (int i = 0; i < 500 && !seen; ++i) {
+    const Interaction it = sched.next();
+    seen = it.initiator == 2u || it.responder == 2u;
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(StuckAgentScheduler, RejectsDegenerateConstructions) {
+  RandomScheduler inner(2, 1);
+  EXPECT_THROW(StuckAgentScheduler(inner, 2, 0, 0, 10), std::invalid_argument);
+  RandomScheduler inner3(3, 1);
+  EXPECT_THROW(StuckAgentScheduler(inner3, 3, 3, 0, 10),
+               std::invalid_argument);
+}
+
+TEST(FaultRegime, NameParseRoundTrip) {
+  const FaultRegime all[] = {
+      FaultRegime::kPoissonTransient, FaultRegime::kPeriodicTransient,
+      FaultRegime::kChurn, FaultRegime::kTargetedAdversary,
+      FaultRegime::kStuckAgent};
+  for (const FaultRegime r : all) {
+    EXPECT_EQ(parseFaultRegime(faultRegimeName(r)), r);
+  }
+  EXPECT_THROW(parseFaultRegime("meteor-strike"), std::invalid_argument);
+}
+
+TEST(MakeFaultProcess, BuildsEveryProcessRegimeAndNullForStuckAgent) {
+  const AsymmetricNaming proto(4);
+  const FaultRegimeParams params;
+  EXPECT_EQ(makeFaultProcess(FaultRegime::kStuckAgent, proto, params, 1),
+            nullptr);
+  const struct {
+    FaultRegime regime;
+    const char* name;
+  } cases[] = {{FaultRegime::kPoissonTransient, "poisson-transient"},
+               {FaultRegime::kPeriodicTransient, "periodic-transient"},
+               {FaultRegime::kChurn, "churn"},
+               {FaultRegime::kTargetedAdversary, "targeted-adversary"}};
+  for (const auto& c : cases) {
+    const auto process = makeFaultProcess(c.regime, proto, params, 1);
+    ASSERT_NE(process, nullptr);
+    EXPECT_EQ(process->name(), c.name);
+  }
+}
+
+}  // namespace
+}  // namespace ppn

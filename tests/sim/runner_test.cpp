@@ -11,6 +11,30 @@
 namespace ppn {
 namespace {
 
+/// Never silences: every pair flips both participants' low bit. Symmetric,
+/// total, leaderless — the cleanest deterministic "hung run" for watchdog
+/// and cancellation tests.
+class SpinProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "spin"; }
+  StateId numMobileStates() const override { return 2; }
+  bool isSymmetric() const override { return true; }
+  MobilePair mobileDelta(StateId initiator, StateId responder) const override {
+    return MobilePair{initiator ^ 1u, responder ^ 1u};
+  }
+};
+
+/// Throws from inside the run loop, on a worker thread when batched.
+class ThrowingProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "throwing"; }
+  StateId numMobileStates() const override { return 2; }
+  bool isSymmetric() const override { return true; }
+  MobilePair mobileDelta(StateId, StateId) const override {
+    throw std::runtime_error("deliberate failure for exception-safety test");
+  }
+};
+
 TEST(RunUntilSilent, AlreadySilentReturnsImmediately) {
   const AsymmetricNaming proto(3);
   Engine engine(proto, Configuration{{0, 1, 2}, std::nullopt});
@@ -149,6 +173,132 @@ TEST(RunBatch, MoreThreadsThanRunsIsFine) {
   spec.limits = RunLimits{100000, 16};
   const BatchResult r = runBatch(proto, spec);
   EXPECT_EQ(r.converged, 2u);
+}
+
+TEST(RunUntilSilent, WatchdogAbortsHungRun) {
+  // A deliberately hung run: silence unreachable, an effectively unlimited
+  // interaction budget, and a tiny wall-clock limit. Must return promptly
+  // with timedOut instead of blocking.
+  const SpinProtocol proto;
+  Engine engine(proto, Configuration{{0, 0, 0, 0}, std::nullopt});
+  RandomScheduler sched(4, 7);
+  const RunOutcome out = runUntilSilent(
+      engine, sched, RunLimits{1'000'000'000'000'000ULL, 64, 30});
+  EXPECT_FALSE(out.silent);
+  EXPECT_TRUE(out.timedOut);
+  EXPECT_FALSE(out.cancelled);
+  EXPECT_GT(out.totalInteractions, 0u);
+}
+
+TEST(RunUntilSilent, WatchdogOffByDefault) {
+  // maxWallMillis = 0 must not abort anything: default-constructed limits
+  // behave exactly as before the watchdog existed.
+  const AsymmetricNaming proto(4);
+  Rng rng(3);
+  Engine engine(proto, arbitraryConfiguration(proto, 4, rng));
+  RandomScheduler sched(4, 9);
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{200000, 16});
+  EXPECT_TRUE(out.silent);
+  EXPECT_FALSE(out.timedOut);
+}
+
+TEST(RunUntilSilent, CancelTokenAbortsCooperatively) {
+  const SpinProtocol proto;
+  Engine engine(proto, Configuration{{0, 0, 0}, std::nullopt});
+  RandomScheduler sched(3, 5);
+  CancelToken cancel{true};  // already cancelled: must abort at first poll
+  const RunOutcome out =
+      runUntilSilent(engine, sched, RunLimits{1'000'000'000ULL, 64}, &cancel);
+  EXPECT_FALSE(out.silent);
+  EXPECT_TRUE(out.cancelled);
+  EXPECT_EQ(out.totalInteractions, 0u);
+}
+
+TEST(RunBatch, HungRunsYieldDegradedPartialResult) {
+  const SpinProtocol proto;
+  BatchSpec spec;
+  spec.numMobile = 4;
+  spec.runs = 3;
+  spec.threads = 3;
+  spec.seed = 11;
+  spec.limits = RunLimits{1'000'000'000'000'000ULL, 64, 30};
+  const BatchResult result = runBatch(proto, spec);
+  EXPECT_EQ(result.runs, 3u);
+  EXPECT_EQ(result.converged, 0u);
+  EXPECT_EQ(result.timedOut, 3u);
+  EXPECT_TRUE(result.degraded);
+}
+
+TEST(RunBatch, WorkerExceptionRethrownWithMessageIntact) {
+  // A throwing run must not std::terminate the process (the seed behavior:
+  // exceptions escaped worker threads); it cancels the batch and the
+  // original exception surfaces on the calling thread.
+  const ThrowingProtocol proto;
+  BatchSpec spec;
+  spec.numMobile = 4;
+  spec.runs = 8;
+  spec.threads = 4;
+  spec.seed = 2;
+  spec.limits = RunLimits{1000, 8};
+  try {
+    runBatch(proto, spec);
+    FAIL() << "runBatch must rethrow the worker exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "deliberate failure for exception-safety test");
+  }
+}
+
+TEST(RunBatch, SingleThreadAlsoPropagatesExceptions) {
+  const ThrowingProtocol proto;
+  BatchSpec spec;
+  spec.numMobile = 3;
+  spec.runs = 2;
+  spec.threads = 1;
+  spec.limits = RunLimits{100, 4};
+  EXPECT_THROW(runBatch(proto, spec), std::runtime_error);
+}
+
+TEST(ParallelRunIndexed, SequentialRethrowsLowestThrowingIndex) {
+  // Single worker: indices run in order, so the first throwing index (1) is
+  // the one rethrown and later indices are cancelled, 3 never runs.
+  std::vector<int> ran(6, 0);
+  try {
+    parallelRunIndexed(6, 1, [&](std::uint32_t i, CancelToken&) {
+      ran[static_cast<std::size_t>(i)] = 1;
+      if (i == 1) throw std::runtime_error("error at 1");
+      if (i == 3) throw std::runtime_error("error at 3");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "error at 1");
+  }
+  EXPECT_EQ(ran, (std::vector<int>{1, 1, 0, 0, 0, 0}));
+}
+
+TEST(ParallelRunIndexed, ConcurrentExceptionIsCapturedNotTerminated) {
+  // Multi-worker: whichever throwing index ran first wins, but the process
+  // must never std::terminate and the surfaced message must be one of the
+  // injected ones.
+  for (int trial = 0; trial < 8; ++trial) {
+    try {
+      parallelRunIndexed(6, 4, [](std::uint32_t i, CancelToken&) {
+        if (i == 1) throw std::runtime_error("error at 1");
+        if (i == 3) throw std::runtime_error("error at 3");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_TRUE(what == "error at 1" || what == "error at 3") << what;
+    }
+  }
+}
+
+TEST(ParallelRunIndexed, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  parallelRunIndexed(64, 0, [&](std::uint32_t i, CancelToken&) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(RunBatch, DistinctSeedsGiveDistinctCosts) {

@@ -1,0 +1,90 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ppn {
+namespace {
+
+TEST(JsonEscape, QuotesAndEscapesPerRfc8259) {
+  EXPECT_EQ(jsonEscape("plain"), "\"plain\"");
+  EXPECT_EQ(jsonEscape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(jsonEscape("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(jsonEscape("line\nbreak\ttab\r"), "\"line\\nbreak\\ttab\\r\"");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01\x1f", 2)), "\"\\u0001\\u001f\"");
+  EXPECT_EQ(jsonEscape(""), "\"\"");
+}
+
+TEST(JsonWriter, BuildsNestedDocument) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("name").value("robustness");
+  w.key("certified").value(true);
+  w.key("runs").value(std::uint64_t{24});
+  w.key("offset").value(std::int64_t{-3});
+  w.key("cells").beginArray();
+  w.beginObject();
+  w.key("rate").value(0.5);
+  w.key("note").null();
+  w.endObject();
+  w.beginArray().value(1).value(2).endArray();
+  w.endArray();
+  w.endObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"robustness\",\"certified\":true,\"runs\":24,"
+            "\"offset\":-3,\"cells\":[{\"rate\":0.5,\"note\":null},[1,2]]}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesDegradeToNull) {
+  JsonWriter w;
+  w.beginArray();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.25);
+  w.endArray();
+  EXPECT_EQ(w.str(), "[null,null,1.25]");
+}
+
+TEST(JsonWriter, RootScalarIsAValidDocument) {
+  JsonWriter w;
+  w.value("hello");
+  EXPECT_EQ(w.str(), "\"hello\"");
+}
+
+TEST(JsonWriter, MisuseThrowsInsteadOfEmittingGarbage) {
+  {
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.value(1), std::logic_error) << "object value needs a key";
+  }
+  {
+    JsonWriter w;
+    w.beginArray();
+    EXPECT_THROW(w.key("k"), std::logic_error) << "key() outside an object";
+  }
+  {
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.endArray(), std::logic_error) << "mismatched container end";
+  }
+  {
+    JsonWriter w;
+    w.beginArray();
+    EXPECT_THROW(w.str(), std::logic_error) << "incomplete document";
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.str(), std::logic_error) << "empty document";
+  }
+  {
+    JsonWriter w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), std::logic_error) << "second root value";
+  }
+}
+
+}  // namespace
+}  // namespace ppn
