@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validates the telemetry smoke artifacts produced in CI.
+
+Checks (the E20 acceptance contract):
+  * every line of the JSONL event stream parses as a JSON object with an
+    "event" discriminator and an "elapsed_ms" timestamp;
+  * run_start/run_end events pair one-to-one per run id;
+  * fault_injected / watchdog_abort / cancelled events carry a run id that
+    belongs to a started run;
+  * the metrics snapshot parses, and its endpoint counters agree with the
+    event stream (runs_ended == run_end lines, faults_injected ==
+    fault_injected lines) and with the robustness-table JSON's run count.
+
+Usage: check_telemetry.py events.jsonl metrics.json [table.json]
+"""
+import json
+import sys
+from collections import Counter
+
+KNOWN_EVENTS = {
+    "run_start", "run_end", "fault_injected", "watchdog_abort",
+    "cancelled", "batch_progress",
+}
+
+
+def fail(msg):
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) < 3:
+        fail(f"usage: {argv[0]} events.jsonl metrics.json [table.json]")
+    events_path, metrics_path = argv[1], argv[2]
+    table_path = argv[3] if len(argv) > 3 else None
+
+    starts, ends = Counter(), Counter()
+    kinds = Counter()
+    with open(events_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                fail(f"{events_path}:{lineno}: blank line")
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{events_path}:{lineno}: invalid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(f"{events_path}:{lineno}: not an object")
+            kind = obj.get("event")
+            if kind not in KNOWN_EVENTS:
+                fail(f"{events_path}:{lineno}: unknown event {kind!r}")
+            if "elapsed_ms" not in obj:
+                fail(f"{events_path}:{lineno}: missing elapsed_ms")
+            kinds[kind] += 1
+            if kind == "run_start":
+                starts[obj["run"]] += 1
+            elif kind == "run_end":
+                ends[obj["run"]] += 1
+            elif kind in ("fault_injected", "watchdog_abort", "cancelled"):
+                if "run" not in obj:
+                    fail(f"{events_path}:{lineno}: {kind} without run id")
+
+    if not starts:
+        fail("no run_start events at all")
+    if starts != ends:
+        only_start = set(starts) - set(ends)
+        only_end = set(ends) - set(starts)
+        fail(f"unpaired runs: started-not-ended={sorted(only_start)[:5]} "
+             f"ended-not-started={sorted(only_end)[:5]}")
+    dups = [r for r, n in starts.items() if n != 1]
+    if dups:
+        fail(f"runs with duplicate start/end events: {sorted(dups)[:5]}")
+
+    with open(events_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            obj = json.loads(line)
+            if obj["event"] in ("fault_injected", "watchdog_abort",
+                                "cancelled") and obj["run"] not in starts:
+                fail(f"{events_path}:{lineno}: {obj['event']} references "
+                     f"unknown run {obj['run']}")
+
+    with open(metrics_path, encoding="utf-8") as f:
+        metrics = json.load(f)
+    if metrics.get("kind") != "ppn-metrics":
+        fail(f"{metrics_path}: unexpected kind {metrics.get('kind')!r}")
+    counters = metrics.get("counters", {})
+    for name, expected in (("runs_started", sum(starts.values())),
+                           ("runs_ended", sum(ends.values())),
+                           ("faults_injected", kinds["fault_injected"]),
+                           ("watchdog_aborts", kinds["watchdog_abort"])):
+        got = counters.get(name)
+        if got != expected:
+            fail(f"{metrics_path}: counter {name}={got}, "
+                 f"event stream says {expected}")
+
+    if table_path:
+        with open(table_path, encoding="utf-8") as f:
+            table = json.load(f)
+        table_runs = sum(cell.get("runs", 0) for cell in table.get("cells", [])
+                         if cell.get("verdict") != "skipped")
+        if table_runs != sum(ends.values()):
+            fail(f"{table_path}: table accounts for {table_runs} runs, "
+                 f"event stream has {sum(ends.values())}")
+
+    print(f"check_telemetry: OK — {sum(ends.values())} runs, "
+          f"{kinds['fault_injected']} faults, "
+          f"{sum(kinds.values())} events, metrics consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,19 +11,40 @@
 //    traverse U_n (length 2^n - 1) and rejected names keep recycling.
 //
 //   ./convergence_sweep [--nmax 11] [--runs 12] [--csv]
+//                       [--events-out run.jsonl] [--metrics-out metrics.json]
+//                       [--progress]
+//
+// Telemetry (E20): --events-out streams per-run JSONL events, --metrics-out
+// dumps the final metrics snapshot, --progress prints periodic runs/sec +
+// ETA to stderr. Absent flags leave the sweep unobserved (output unchanged).
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
 
 #include "core/engine.h"
 #include "naming/registry.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/probes.h"
+#include "obs/progress.h"
 #include "sim/runner.h"
 #include "util/cli.h"
 #include "util/table.h"
 
 namespace {
 
+/// Telemetry plumbed through every measure() call; runIdBase advances by
+/// `runs` per batch so event run ids stay unique across the whole sweep.
+struct Telemetry {
+  ppn::RunObserver* observer = nullptr;
+  std::uint64_t nextRunIdBase = 0;
+};
+
 ppn::BatchResult measure(const ppn::Protocol& proto, std::uint32_t n,
                          ppn::InitKind init, std::uint32_t runs,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, Telemetry& telemetry) {
   ppn::BatchSpec spec;
   spec.numMobile = n;
   spec.init = init;
@@ -31,7 +52,35 @@ ppn::BatchResult measure(const ppn::Protocol& proto, std::uint32_t n,
   spec.runs = runs;
   spec.seed = seed;
   spec.limits = ppn::RunLimits{200'000'000, 256};
+  spec.observer = telemetry.observer;
+  spec.runIdBase = telemetry.nextRunIdBase;
+  telemetry.nextRunIdBase += runs;
   return ppn::runBatch(proto, spec);
+}
+
+/// Points the E7 table will measure (for the progress reporter's ETA).
+std::uint64_t e7Points(std::uint64_t nmax) {
+  std::uint64_t points = 0;
+  for (const auto& key : ppn::protocolKeys()) {
+    if (key == "counting") continue;
+    const std::uint64_t cap = (key == "global-leader") ? 4 : nmax;
+    for (std::uint64_t n = 3; n <= std::min(cap, nmax); ++n) ++points;
+  }
+  return points;
+}
+
+/// Points the E8 table will measure.
+std::uint64_t e8Points() {
+  std::uint64_t points = 0;
+  const std::uint32_t n = 6;
+  for (const auto& key : ppn::protocolKeys()) {
+    for (std::uint64_t p = n; p <= n + 6; p += 2) {
+      if (key == "counting" && p == n) continue;
+      if (key == "global-leader" && p == n) continue;
+      ++points;
+    }
+  }
+  return points;
 }
 
 }  // namespace
@@ -42,9 +91,41 @@ int main(int argc, char** argv) {
   const auto* runs = cli.addUint("runs", "runs per point", 12);
   const auto* seed = cli.addUint("seed", "rng seed", 99);
   const auto* csv = cli.addFlag("csv", "emit CSV");
+  const auto* eventsOut = cli.addString(
+      "events-out", "stream JSONL telemetry events to this file", "");
+  const auto* metricsOut = cli.addString(
+      "metrics-out", "write the final metrics snapshot (JSON) to this file", "");
+  const auto* progress =
+      cli.addFlag("progress", "print periodic batch progress to stderr");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto runCount = static_cast<std::uint32_t>(*runs);
+
+  ppn::MetricsRegistry registry;
+  std::unique_ptr<ppn::JsonlEventSink> sink;
+  std::unique_ptr<ppn::MetricsRunObserver> metricsProbe;
+  std::unique_ptr<ppn::ProgressReporter> reporter;
+  ppn::MultiObserver observers;
+  try {
+    if (!eventsOut->empty()) {
+      sink = std::make_unique<ppn::JsonlEventSink>(*eventsOut);
+      observers.add(sink.get());
+    }
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "convergence_sweep: %s\n", e.what());
+    return 1;
+  }
+  if (!metricsOut->empty()) {
+    metricsProbe = std::make_unique<ppn::MetricsRunObserver>(registry);
+    observers.add(metricsProbe.get());
+  }
+  if (*progress) {
+    reporter = std::make_unique<ppn::ProgressReporter>(
+        (e7Points(*nmax) + e8Points()) * runCount);
+    observers.add(reporter.get());
+  }
+  Telemetry telemetry;
+  if (!observers.empty()) telemetry.observer = &observers;
 
   std::printf("E7: convergence cost vs N (P = N, random scheduler)\n\n");
   {
@@ -62,7 +143,7 @@ int main(int argc, char** argv) {
                                        ? ppn::InitKind::kUniform
                                        : ppn::InitKind::kArbitrary;
         const auto r = measure(*proto, static_cast<std::uint32_t>(n), init,
-                               runCount, *seed + n);
+                               runCount, *seed + n, telemetry);
         table.row()
             .cell(key)
             .cell(n)
@@ -89,7 +170,8 @@ int main(int argc, char** argv) {
         const ppn::InitKind init = (key == "leader-uniform")
                                        ? ppn::InitKind::kUniform
                                        : ppn::InitKind::kArbitrary;
-        const auto r = measure(*proto, n, init, runCount, *seed + p * 7);
+        const auto r = measure(*proto, n, init, runCount, *seed + p * 7,
+                               telemetry);
         table.row()
             .cell(key)
             .cell(p)
@@ -100,6 +182,18 @@ int main(int argc, char** argv) {
       }
     }
     std::fputs((*csv ? table.renderCsv() : table.render()).c_str(), stdout);
+  }
+
+  if (reporter) reporter->finish();
+  if (sink) sink->flush();
+  if (!metricsOut->empty()) {
+    std::ofstream out(*metricsOut, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "convergence_sweep: cannot write '%s'\n",
+                   metricsOut->c_str());
+      return 1;
+    }
+    out << registry.toJson() << '\n';
   }
   return 0;
 }

@@ -3,14 +3,34 @@
 // Measures the simulation substrate itself: raw interaction throughput per
 // protocol, scheduler overhead, silence-detection cost, and model-checker
 // throughput — the numbers that bound how large an experiment the harness
-// can run.
+// can run. The telemetry additions (E20) measure the observability layer:
+// metrics-registry counter/histogram hot paths and observed-vs-unobserved
+// runUntilSilent, so the "< 2% on the hot loop" budget stays checkable.
+//
+// A custom main() (instead of benchmark_main) accepts the telemetry flags
+// in --flag=value form before delegating the rest to google-benchmark:
+//   ./micro_bench [--events-out=run.jsonl] [--metrics-out=metrics.json]
+//                 [google-benchmark flags...]
+// With the flags set it runs a small observed sample batch after the
+// benchmarks, streaming its JSONL events and dumping the metrics snapshot.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "analysis/global_checker.h"
 #include "analysis/initial_sets.h"
 #include "analysis/weak_checker.h"
 #include "core/engine.h"
 #include "naming/registry.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/probes.h"
 #include "sched/deterministic_schedulers.h"
 #include "sched/random_scheduler.h"
 #include "sim/runner.h"
@@ -110,4 +130,131 @@ void BM_GlobalChecker(benchmark::State& state) {
 BENCHMARK(BM_GlobalChecker)->Arg(3)->Arg(4)->Arg(5)
     ->Unit(benchmark::kMillisecond);
 
+// --- E20: observability-layer hot paths -----------------------------------
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  MetricsRegistry registry;
+  const CounterHandle c = registry.counter("bench_counter");
+  for (auto _ : state) {
+    registry.add(c);
+  }
+  benchmark::DoNotOptimize(registry.snapshot().counterValue("bench_counter"));
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  MetricsRegistry registry;
+  const HistogramHandle h = registry.histogram(
+      "bench_histogram", {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8});
+  double v = 1.0;
+  for (auto _ : state) {
+    registry.observe(h, v);
+    v = (v < 1e8) ? v * 3.0 : 1.0;  // walk the buckets
+  }
+  benchmark::DoNotOptimize(registry.snapshot());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+// Observed vs unobserved full runs: the delta is the total telemetry cost of
+// a run (hooks + metric updates), the quantity the "< 2% hot loop" budget in
+// ISSUE/EXPERIMENTS speaks about. The unobserved variant must match the
+// pre-telemetry BM_FullConvergence numbers.
+void BM_RunTelemetry(benchmark::State& state, bool observed) {
+  const std::uint32_t n = 8;
+  const auto proto = makeProtocol("asymmetric", static_cast<StateId>(n));
+  MetricsRegistry registry;
+  MetricsRunObserver probe(registry);
+  Rng rng(3);
+  std::uint64_t runId = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine(*proto, arbitraryConfiguration(*proto, n, rng));
+    RandomScheduler sched(engine.numParticipants(), rng.next());
+    state.ResumeTiming();
+    const RunOutcome out =
+        observed ? runUntilSilent(engine, sched, RunLimits{100'000'000, 256},
+                                  nullptr, &probe, runId++)
+                 : runUntilSilent(engine, sched, RunLimits{100'000'000, 256});
+    benchmark::DoNotOptimize(out.convergenceInteractions);
+  }
+}
+BENCHMARK_CAPTURE(BM_RunTelemetry, unobserved, false)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_RunTelemetry, observed, true)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
+
+namespace {
+
+/// Post-benchmark telemetry sample: a small observed batch whose JSONL
+/// events and metrics snapshot land in the files named by the stripped
+/// --events-out=/--metrics-out= flags.
+int dumpTelemetrySample(const std::string& eventsOut,
+                        const std::string& metricsOut) {
+  MetricsRegistry registry;
+  MetricsRunObserver probe(registry);
+  MultiObserver observers;
+  observers.add(&probe);
+  std::unique_ptr<JsonlEventSink> sink;
+  try {
+    if (!eventsOut.empty()) {
+      sink = std::make_unique<JsonlEventSink>(eventsOut);
+      observers.add(sink.get());
+    }
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "micro_bench: %s\n", e.what());
+    return 1;
+  }
+
+  const auto proto = makeProtocol("asymmetric", 8);
+  BatchSpec spec;
+  spec.numMobile = 8;
+  spec.init = InitKind::kArbitrary;
+  spec.sched = SchedulerKind::kRandom;
+  spec.runs = 8;
+  spec.seed = 17;
+  spec.limits = RunLimits{100'000'000, 256};
+  spec.observer = &observers;
+  const BatchResult r = runBatch(*proto, spec);
+  benchmark::DoNotOptimize(r.named);
+
+  if (sink) sink->flush();
+  if (!metricsOut.empty()) {
+    std::ofstream out(metricsOut, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "micro_bench: cannot write '%s'\n",
+                   metricsOut.c_str());
+      return 1;
+    }
+    out << registry.toJson() << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string eventsOut;
+  std::string metricsOut;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--events-out=", 13) == 0) {
+      eventsOut = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metricsOut = argv[i] + 14;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int restArgc = static_cast<int>(rest.size());
+  benchmark::Initialize(&restArgc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(restArgc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!eventsOut.empty() || !metricsOut.empty()) {
+    return dumpTelemetrySample(eventsOut, metricsOut);
+  }
+  return 0;
+}

@@ -13,15 +13,29 @@
 //
 //   ./robustness_table [--pops 4,6] [--runs 24] [--regimes poisson-transient,churn,...]
 //                      [--schedulers random,round-robin] [--json] [--csv]
+//                      [--events-out run.jsonl] [--metrics-out metrics.json]
+//                      [--progress]
+//
+// Telemetry (E20): --events-out streams one JSONL event per run/fault/
+// watchdog/progress tick; --metrics-out dumps the final metrics-registry
+// snapshot; --progress prints periodic runs/sec + ETA lines to stderr.
+// Without these flags the sweep runs fully unobserved and output is
+// byte-for-byte what it was before the telemetry layer.
 //
 // Exit code 0 iff every self-stabilizing cell certified.
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "faults/certify.h"
 #include "naming/registry.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/probes.h"
+#include "obs/progress.h"
 #include "util/cli.h"
 #include "util/strings.h"
 
@@ -65,6 +79,12 @@ int main(int argc, char** argv) {
   const auto* threads = cli.addUint("threads", "workers (0 = hardware)", 0);
   const auto* json = cli.addFlag("json", "emit the JSON document only");
   const auto* csv = cli.addFlag("csv", "emit CSV instead of the ASCII table");
+  const auto* eventsOut = cli.addString(
+      "events-out", "stream JSONL telemetry events to this file", "");
+  const auto* metricsOut = cli.addString(
+      "metrics-out", "write the final metrics snapshot (JSON) to this file", "");
+  const auto* progress =
+      cli.addFlag("progress", "print periodic batch progress to stderr");
   if (!cli.parse(argc, argv)) return 1;
 
   ppn::CertifySpec spec;
@@ -109,7 +129,44 @@ int main(int argc, char** argv) {
   spec.limits.maxWallMillis = *maxWall;
   spec.threads = static_cast<std::uint32_t>(*threads);
 
+  // Telemetry stack (all optional; absent flags leave the sweep unobserved).
+  ppn::MetricsRegistry registry;
+  std::unique_ptr<ppn::JsonlEventSink> sink;
+  std::unique_ptr<ppn::MetricsRunObserver> metricsProbe;
+  std::unique_ptr<ppn::ProgressReporter> reporter;
+  ppn::MultiObserver observers;
+  try {
+    if (!eventsOut->empty()) {
+      sink = std::make_unique<ppn::JsonlEventSink>(*eventsOut);
+      observers.add(sink.get());
+    }
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "robustness_table: %s\n", e.what());
+    return 1;
+  }
+  if (!metricsOut->empty()) {
+    metricsProbe = std::make_unique<ppn::MetricsRunObserver>(registry);
+    observers.add(metricsProbe.get());
+  }
+  if (*progress) {
+    reporter = std::make_unique<ppn::ProgressReporter>(ppn::plannedRuns(spec));
+    observers.add(reporter.get());
+  }
+  if (!observers.empty()) spec.observer = &observers;
+
   const ppn::RobustnessTable table = ppn::certifyRecovery(spec);
+
+  if (reporter) reporter->finish();
+  if (sink) sink->flush();
+  if (!metricsOut->empty()) {
+    std::ofstream out(*metricsOut, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "robustness_table: cannot write '%s'\n",
+                   metricsOut->c_str());
+      return 1;
+    }
+    out << registry.toJson() << '\n';
+  }
 
   if (*json) {
     std::fputs(table.toJson().c_str(), stdout);

@@ -224,6 +224,10 @@ bool Engine::step(Interaction interaction) {
 void Engine::corruptMobile(AgentId agent, StateId state) {
   config_.mobile.at(agent) = state;
   lastChangeAt_ = interactions_;
+  if (observer_ != nullptr) {
+    observer_->onFaultInjected(FaultInjectedEvent{
+        observerRunId_, interactions_, FaultTarget::kMobile, agent});
+  }
 }
 
 void Engine::corruptLeader(LeaderStateId state) {
@@ -232,6 +236,10 @@ void Engine::corruptLeader(LeaderStateId state) {
   }
   config_.leader = state;
   lastChangeAt_ = interactions_;
+  if (observer_ != nullptr) {
+    observer_->onFaultInjected(FaultInjectedEvent{
+        observerRunId_, interactions_, FaultTarget::kLeader, 0});
+  }
 }
 
 void Engine::resetTo(Configuration start) {

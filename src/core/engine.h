@@ -11,6 +11,7 @@
 
 #include "core/configuration.h"
 #include "core/protocol.h"
+#include "obs/observer.h"
 #include "util/rng.h"
 
 namespace ppn {
@@ -87,8 +88,21 @@ class Engine {
   std::uint64_t lastChangeAt() const { return lastChangeAt_; }
 
   /// Transient-fault injection: overwrite one agent's state / leader state.
+  /// When an observer is attached, each call emits a fault_injected event —
+  /// this is the single choke point every fault regime goes through, so
+  /// attaching here observes them all.
   void corruptMobile(AgentId agent, StateId state);
   void corruptLeader(LeaderStateId state);
+
+  /// Attaches a telemetry observer (nullptr detaches). `runId` labels this
+  /// engine's fault events; the hot step() path is untouched — only the
+  /// corrupt* fault-injection entry points carry the (single-branch) hook.
+  void attachObserver(RunObserver* observer, std::uint64_t runId = 0) {
+    observer_ = observer;
+    observerRunId_ = runId;
+  }
+  RunObserver* observer() const { return observer_; }
+  std::uint64_t observerRunId() const { return observerRunId_; }
 
   /// Replace the whole configuration (e.g. to reuse an engine across runs).
   void resetTo(Configuration start);
@@ -99,6 +113,8 @@ class Engine {
   std::uint64_t interactions_ = 0;
   std::uint64_t nonNull_ = 0;
   std::uint64_t lastChangeAt_ = 0;
+  RunObserver* observer_ = nullptr;
+  std::uint64_t observerRunId_ = 0;
 };
 
 }  // namespace ppn

@@ -11,14 +11,40 @@ CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
                                    FaultProcess* process,
                                    std::uint64_t faultWindow,
                                    const RunLimits& limits,
-                                   const CancelToken* cancel) {
+                                   const CancelToken* cancel,
+                                   RunObserver* observer,
+                                   std::uint64_t runId) {
   using Clock = std::chrono::steady_clock;
   CampaignRunOutcome out;
   const bool watch = limits.maxWallMillis > 0;
+  const Clock::time_point started = (watch || observer != nullptr)
+                                        ? Clock::now()
+                                        : Clock::time_point{};
   const Clock::time_point deadline =
-      watch ? Clock::now() + std::chrono::milliseconds(limits.maxWallMillis)
+      watch ? started + std::chrono::milliseconds(limits.maxWallMillis)
             : Clock::time_point{};
   const std::uint64_t interval = std::max<std::uint64_t>(1, limits.checkInterval);
+
+  // The engine hook turns every corruption (any regime, any process) into a
+  // fault_injected event carrying this run's id.
+  engine.attachObserver(observer, runId);
+  if (observer != nullptr) {
+    observer->onRunStart(RunStartEvent{runId, engine.numMobile(),
+                                       engine.numParticipants()});
+  }
+  bool cancelled = false;
+  // Emits the run_end paired with the onRunStart above; every return path
+  // below goes through this, so ids always pair up in the event stream.
+  const auto finishRun = [&]() {
+    if (observer == nullptr) return;
+    const double wallMillis =
+        std::chrono::duration<double, std::milli>(Clock::now() - started)
+            .count();
+    observer->onRunEnd(RunEndEvent{runId, out.recovered, out.recoveredNamed,
+                                   out.timedOut, cancelled,
+                                   out.recoveryInteractions,
+                                   engine.totalInteractions(), wallMillis});
+  };
 
   // Fault phase: execute exactly faultWindow interactions, applying the
   // process at its event indices. Silence is NOT polled — an ongoing campaign
@@ -36,9 +62,21 @@ CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
       }
     }
     while (now < target) {
-      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return out;
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        cancelled = true;
+        if (observer != nullptr) {
+          observer->onCancelled(CancelledEvent{runId, now});
+        }
+        finishRun();
+        return out;
+      }
       if (watch && Clock::now() >= deadline) {
         out.timedOut = true;
+        if (observer != nullptr) {
+          observer->onWatchdogAbort(
+              WatchdogAbortEvent{runId, now, limits.maxWallMillis});
+        }
+        finishRun();
         return out;
       }
       const std::uint64_t burst = std::min(interval, target - now);
@@ -52,7 +90,10 @@ CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
   }
 
   // Recovery phase: the fault window is closed; demand re-convergence within
-  // the remaining interaction and wall-clock budget.
+  // the remaining interaction and wall-clock budget. runUntilSilent runs
+  // unobserved here — this campaign run is ONE observed run, so its abort
+  // events are re-emitted from the recovery outcome below instead of letting
+  // the inner runner open a nested run_start/run_end pair.
   RunLimits recoveryLimits = limits;
   if (watch) {
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -64,10 +105,22 @@ CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
   out.recovered = rec.silent;
   out.recoveredNamed = rec.namingSolved;
   out.timedOut = rec.timedOut;
+  cancelled = rec.cancelled;
   if (rec.silent) {
     const std::uint64_t lastChange = engine.lastChangeAt();
     out.recoveryInteractions = lastChange > windowEnd ? lastChange - windowEnd : 0;
   }
+  if (observer != nullptr) {
+    if (rec.timedOut) {
+      observer->onWatchdogAbort(WatchdogAbortEvent{
+          runId, engine.totalInteractions(), limits.maxWallMillis});
+    }
+    if (rec.cancelled) {
+      observer->onCancelled(
+          CancelledEvent{runId, engine.totalInteractions()});
+    }
+  }
+  finishRun();
   return out;
 }
 
@@ -83,6 +136,8 @@ CampaignResult runCampaign(const Protocol& proto, const CampaignSpec& spec) {
   runRngs.reserve(spec.runs);
   for (std::uint32_t r = 0; r < spec.runs; ++r) runRngs.push_back(master.split());
 
+  std::atomic<std::uint32_t> progressCompleted{0};
+  std::atomic<std::uint32_t> progressDegraded{0};
   parallelRunIndexed(
       spec.runs, spec.threads,
       [&](std::uint32_t r, CancelToken& cancel) {
@@ -110,11 +165,21 @@ CampaignResult runCampaign(const Protocol& proto, const CampaignSpec& spec) {
 
         CampaignRunOutcome out = runCampaignOnce(
             engine, *sched, process.get(), spec.faultWindow, spec.limits,
-            &cancel);
+            &cancel, spec.observer, spec.runIdBase + r);
         if (spec.regime == FaultRegime::kStuckAgent) {
           out.faultsInjected = 1;  // the crash itself
         }
         result.outcomes[r] = out;
+        if (spec.observer != nullptr) {
+          if (out.timedOut) {
+            progressDegraded.fetch_add(1, std::memory_order_relaxed);
+          }
+          const std::uint32_t done =
+              progressCompleted.fetch_add(1, std::memory_order_relaxed) + 1;
+          spec.observer->onBatchProgress(BatchProgressEvent{
+              done, spec.runs,
+              progressDegraded.load(std::memory_order_relaxed)});
+        }
       });
 
   std::vector<double> recovery;

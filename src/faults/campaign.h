@@ -37,6 +37,12 @@ struct CampaignSpec {
   /// maxWallMillis (when nonzero) covers the whole run, fault phase included.
   RunLimits limits;
   std::uint32_t threads = 1;
+  /// Telemetry probe (not owned; thread-safe when threads != 1). Each
+  /// campaign run emits one run_start/run_end pair plus a fault_injected
+  /// event per injection; null keeps the campaign entirely unobserved.
+  RunObserver* observer = nullptr;
+  /// Added to run indices to form event runIds (see BatchSpec::runIdBase).
+  std::uint64_t runIdBase = 0;
 };
 
 struct CampaignRunOutcome {
@@ -69,11 +75,18 @@ struct CampaignResult {
 /// Runs one campaign (fault phase + recovery measurement) on a prepared
 /// engine/scheduler pair. `process` may be null (kStuckAgent: the crash
 /// lives in the scheduler wrapper, not in a state-corruption process).
+///
+/// `observer` (with `runId`) receives exactly one run_start/run_end pair for
+/// the whole campaign run — the internal recovery phase is folded in, not
+/// reported as a nested run — plus fault_injected events (via the engine
+/// hook) and watchdog_abort/cancelled at the abort point in either phase.
 CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
                                    FaultProcess* process,
                                    std::uint64_t faultWindow,
                                    const RunLimits& limits,
-                                   const CancelToken* cancel = nullptr);
+                                   const CancelToken* cancel = nullptr,
+                                   RunObserver* observer = nullptr,
+                                   std::uint64_t runId = 0);
 
 /// Runs `spec.runs` independent campaigns of `proto` under the spec's fault
 /// regime. Exception-safe and deterministic like runBatch: per-run inputs are

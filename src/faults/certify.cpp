@@ -37,26 +37,22 @@ std::string percent(std::uint32_t part, std::uint32_t whole) {
   return std::to_string(part) + "/" + std::to_string(whole);
 }
 
-}  // namespace
+/// One planned sweep cell. Enumerated up front so certifyRecovery and
+/// plannedRuns agree on exactly which cells execute (carve-outs, population
+/// dedup, and assumption-gap skips included).
+struct CellPlan {
+  std::string protocol;
+  bool selfStabilizing = false;
+  std::uint32_t population = 0;
+  StateId p = 0;
+  FaultRegime regime = FaultRegime::kPoissonTransient;
+  SchedulerKind sched = SchedulerKind::kRandom;
+  std::string note;
+  bool skipped = false;
+};
 
-std::string cellVerdictName(CellVerdict v) {
-  switch (v) {
-    case CellVerdict::kCertified:
-      return "CERTIFIED";
-    case CellVerdict::kFailed:
-      return "FAILED";
-    case CellVerdict::kEvidence:
-      return "evidence";
-    case CellVerdict::kDegraded:
-      return "DEGRADED";
-    case CellVerdict::kSkipped:
-      return "skipped";
-  }
-  return "?";
-}
-
-RobustnessTable certifyRecovery(const CertifySpec& spec) {
-  RobustnessTable table;
+std::vector<CellPlan> planCells(const CertifySpec& spec) {
+  std::vector<CellPlan> plans;
   const std::vector<std::string> protocols =
       spec.protocols.empty() ? protocolKeys() : spec.protocols;
 
@@ -86,66 +82,119 @@ RobustnessTable certifyRecovery(const CertifySpec& spec) {
 
       for (const FaultRegime regime : spec.regimes) {
         for (const SchedulerKind sched : spec.schedulers) {
-          RobustnessCell cell;
-          cell.protocol = key;
-          cell.selfStabilizing = selfStab;
-          cell.population = population;
-          cell.p = p;
-          cell.regime = regime;
-          cell.sched = sched;
-          cell.note = instanceNote;
-
+          CellPlan plan;
+          plan.protocol = key;
+          plan.selfStabilizing = selfStab;
+          plan.population = population;
+          plan.p = p;
+          plan.regime = regime;
+          plan.sched = sched;
+          plan.note = instanceNote;
           if (requiresGlobalFairness(key) && schedulerOnlyWeaklyFair(sched)) {
-            cell.verdict = CellVerdict::kSkipped;
-            cell.note = "needs global fairness; scheduler only weakly fair";
-            table.cells.push_back(std::move(cell));
-            continue;
+            plan.skipped = true;
+            plan.note = "needs global fairness; scheduler only weakly fair";
           }
-
-          const auto proto = makeProtocol(key, p);
-          CampaignSpec campaign;
-          campaign.regime = regime;
-          campaign.params.rate = spec.faultRate;
-          campaign.params.period = spec.faultPeriod;
-          campaign.params.corruptAgents = static_cast<std::uint32_t>(
-              std::max(1.0, std::round(population * spec.corruptFraction)));
-          campaign.params.corruptLeader = spec.corruptLeader;
-          campaign.faultWindow = spec.faultWindow;
-          campaign.numMobile = population;
-          // Prop 14 is the only row whose claim requires initialized mobile
-          // agents; everything else starts arbitrary (self-stabilizing rows
-          // by definition, leader rows per their Table 1 assumptions).
-          campaign.init = key == "leader-uniform" ? InitKind::kUniform
-                                                  : InitKind::kArbitrary;
-          campaign.sched = sched;
-          campaign.runs = spec.runs;
-          campaign.seed = cellSeed(spec.seed, key, population, regime, sched);
-          campaign.limits = spec.limits;
-          campaign.threads = spec.threads;
-
-          cell.result = runCampaign(*proto, campaign);
-
-          if (cell.result.timedOut > 0) {
-            cell.verdict = CellVerdict::kDegraded;
-          } else if (selfStab) {
-            cell.verdict = cell.result.recoveredNamed == cell.result.runs
-                               ? CellVerdict::kCertified
-                               : CellVerdict::kFailed;
-          } else {
-            cell.verdict = CellVerdict::kEvidence;
-            const std::uint32_t wrongStable =
-                cell.result.recovered - cell.result.recoveredNamed;
-            if (wrongStable > 0) {
-              if (!cell.note.empty()) cell.note += "; ";
-              cell.note += "wrong-stable " + percent(wrongStable, spec.runs);
-            }
-          }
-          table.cells.push_back(std::move(cell));
+          plans.push_back(std::move(plan));
         }
       }
     }
   }
+  return plans;
+}
+
+}  // namespace
+
+std::string cellVerdictName(CellVerdict v) {
+  switch (v) {
+    case CellVerdict::kCertified:
+      return "CERTIFIED";
+    case CellVerdict::kFailed:
+      return "FAILED";
+    case CellVerdict::kEvidence:
+      return "evidence";
+    case CellVerdict::kDegraded:
+      return "DEGRADED";
+    case CellVerdict::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+RobustnessTable certifyRecovery(const CertifySpec& spec) {
+  RobustnessTable table;
+  // Run ids are assigned per executed cell in plan order, so an observer's
+  // event stream has globally unique, reproducible ids across the sweep.
+  std::uint64_t runIdBase = 0;
+
+  for (const CellPlan& plan : planCells(spec)) {
+    RobustnessCell cell;
+    cell.protocol = plan.protocol;
+    cell.selfStabilizing = plan.selfStabilizing;
+    cell.population = plan.population;
+    cell.p = plan.p;
+    cell.regime = plan.regime;
+    cell.sched = plan.sched;
+    cell.note = plan.note;
+
+    if (plan.skipped) {
+      cell.verdict = CellVerdict::kSkipped;
+      table.cells.push_back(std::move(cell));
+      continue;
+    }
+
+    const auto proto = makeProtocol(plan.protocol, plan.p);
+    CampaignSpec campaign;
+    campaign.regime = plan.regime;
+    campaign.params.rate = spec.faultRate;
+    campaign.params.period = spec.faultPeriod;
+    campaign.params.corruptAgents = static_cast<std::uint32_t>(
+        std::max(1.0, std::round(plan.population * spec.corruptFraction)));
+    campaign.params.corruptLeader = spec.corruptLeader;
+    campaign.faultWindow = spec.faultWindow;
+    campaign.numMobile = plan.population;
+    // Prop 14 is the only row whose claim requires initialized mobile
+    // agents; everything else starts arbitrary (self-stabilizing rows
+    // by definition, leader rows per their Table 1 assumptions).
+    campaign.init = plan.protocol == "leader-uniform" ? InitKind::kUniform
+                                                      : InitKind::kArbitrary;
+    campaign.sched = plan.sched;
+    campaign.runs = spec.runs;
+    campaign.seed = cellSeed(spec.seed, plan.protocol, plan.population,
+                             plan.regime, plan.sched);
+    campaign.limits = spec.limits;
+    campaign.threads = spec.threads;
+    campaign.observer = spec.observer;
+    campaign.runIdBase = runIdBase;
+    runIdBase += spec.runs;
+
+    cell.result = runCampaign(*proto, campaign);
+
+    if (cell.result.timedOut > 0) {
+      cell.verdict = CellVerdict::kDegraded;
+    } else if (plan.selfStabilizing) {
+      cell.verdict = cell.result.recoveredNamed == cell.result.runs
+                         ? CellVerdict::kCertified
+                         : CellVerdict::kFailed;
+    } else {
+      cell.verdict = CellVerdict::kEvidence;
+      const std::uint32_t wrongStable =
+          cell.result.recovered - cell.result.recoveredNamed;
+      if (wrongStable > 0) {
+        if (!cell.note.empty()) cell.note += "; ";
+        cell.note += "wrong-stable " + percent(wrongStable, spec.runs);
+      }
+    }
+    table.cells.push_back(std::move(cell));
+  }
   return table;
+}
+
+std::uint64_t plannedRuns(const CertifySpec& spec) {
+  std::uint64_t runs = 0;
+  for (const CellPlan& plan : planCells(spec)) {
+    if (!plan.skipped) runs += spec.runs;
+  }
+  return runs;
 }
 
 Table RobustnessTable::render() const {

@@ -48,6 +48,12 @@ struct CertifySpec {
   std::uint64_t seed = 2026;
   RunLimits limits{100'000'000, 128, 0};
   std::uint32_t threads = 0;
+  /// Telemetry probe shared by every cell's campaign (not owned; thread-safe
+  /// when threads != 1). Run ids are unique across the whole sweep: cell k's
+  /// campaign gets runIdBase = k * runs, so run_start/run_end pairs and
+  /// fault/watchdog events remain attributable after cells are interleaved
+  /// into one event stream. Null (default) keeps the sweep unobserved.
+  RunObserver* observer = nullptr;
 };
 
 enum class CellVerdict {
@@ -91,5 +97,9 @@ struct RobustnessTable {
 /// Runs the sweep. Cells execute sequentially; each campaign parallelizes
 /// its runs across spec.threads workers (deterministic per-cell results).
 RobustnessTable certifyRecovery(const CertifySpec& spec);
+
+/// Number of campaign runs the sweep will actually execute (skipped cells
+/// excluded) — the expected-total input for a ProgressReporter.
+std::uint64_t plannedRuns(const CertifySpec& spec);
 
 }  // namespace ppn

@@ -1,0 +1,142 @@
+#include "obs/events.h"
+
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+const char* faultTargetName(FaultTarget t) {
+  return t == FaultTarget::kMobile ? "mobile" : "leader";
+}
+
+}  // namespace
+
+JsonlEventSink::JsonlEventSink(const std::string& path,
+                               std::uint64_t progressIntervalMillis)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+      out_(owned_.get()),
+      start_(std::chrono::steady_clock::now()),
+      progressIntervalMillis_(progressIntervalMillis) {
+  if (!*owned_) {
+    throw std::runtime_error("JsonlEventSink: cannot open '" + path +
+                             "' for writing");
+  }
+}
+
+JsonlEventSink::JsonlEventSink(std::ostream& out,
+                               std::uint64_t progressIntervalMillis)
+    : out_(&out),
+      start_(std::chrono::steady_clock::now()),
+      progressIntervalMillis_(progressIntervalMillis) {}
+
+JsonlEventSink::~JsonlEventSink() { flush(); }
+
+std::uint64_t JsonlEventSink::elapsedMillis() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void JsonlEventSink::writeLine(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line << '\n';
+}
+
+void JsonlEventSink::flush() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_->flush();
+}
+
+void JsonlEventSink::onRunStart(const RunStartEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("run_start");
+  w.key("run").value(e.runId);
+  w.key("num_mobile").value(e.numMobile);
+  w.key("num_participants").value(e.numParticipants);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onRunEnd(const RunEndEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("run_end");
+  w.key("run").value(e.runId);
+  w.key("silent").value(e.silent);
+  w.key("named").value(e.named);
+  w.key("timed_out").value(e.timedOut);
+  w.key("cancelled").value(e.cancelled);
+  w.key("convergence_interactions").value(e.convergenceInteractions);
+  w.key("total_interactions").value(e.totalInteractions);
+  w.key("wall_millis").value(e.wallMillis);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onWatchdogAbort(const WatchdogAbortEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("watchdog_abort");
+  w.key("run").value(e.runId);
+  w.key("at").value(e.interactions);
+  w.key("budget_millis").value(e.budgetMillis);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onCancelled(const CancelledEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("cancelled");
+  w.key("run").value(e.runId);
+  w.key("at").value(e.interactions);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onFaultInjected(const FaultInjectedEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("fault_injected");
+  w.key("run").value(e.runId);
+  w.key("at").value(e.interactions);
+  w.key("target").value(faultTargetName(e.target));
+  w.key("agent").value(e.agent);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onBatchProgress(const BatchProgressEvent& e) {
+  const std::uint64_t now = elapsedMillis();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const bool final = e.completed == e.total;
+    if (!final && anyProgressWritten_ &&
+        now - lastProgressMillis_ < progressIntervalMillis_) {
+      return;
+    }
+    lastProgressMillis_ = now;
+    anyProgressWritten_ = true;
+  }
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("batch_progress");
+  w.key("completed").value(e.completed);
+  w.key("total").value(e.total);
+  w.key("degraded").value(e.degraded);
+  w.key("elapsed_ms").value(now);
+  w.endObject();
+  writeLine(w.str());
+}
+
+}  // namespace ppn

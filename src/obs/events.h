@@ -1,0 +1,73 @@
+// JSONL event sink: streams one JSON object per line for every probe event.
+//
+// Schema (documented in EXPERIMENTS.md, E20): every line is an object with
+// an "event" discriminator and an "elapsed_ms" timestamp (milliseconds since
+// the sink was created, steady clock):
+//   run_start       {run, num_mobile, num_participants}
+//   run_end         {run, silent, named, timed_out, cancelled,
+//                    convergence_interactions, total_interactions, wall_millis}
+//   fault_injected  {run, at, target: "mobile"|"leader", agent}
+//   watchdog_abort  {run, at, budget_millis}
+//   cancelled       {run, at}
+//   batch_progress  {completed, total, degraded}
+//
+// Silence checks are deliberately NOT streamed (they fire every
+// checkInterval interactions and would dwarf everything else); count them
+// with a MetricsRunObserver instead.
+//
+// batch_progress events arrive once per completed run; the sink throttles
+// them to at most one per `progressIntervalMillis` (the batch-final event,
+// completed == total, is always written).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/observer.h"
+
+namespace ppn {
+
+class JsonlEventSink final : public RunObserver {
+ public:
+  /// Opens `path` for writing (truncating); throws std::runtime_error on
+  /// failure so a bad --events-out flag fails fast instead of silently
+  /// dropping telemetry.
+  explicit JsonlEventSink(const std::string& path,
+                          std::uint64_t progressIntervalMillis = 500);
+
+  /// Non-owning: writes to `out` (tests, stdout). Defaults to writing every
+  /// batch_progress event so tests see them all.
+  explicit JsonlEventSink(std::ostream& out,
+                          std::uint64_t progressIntervalMillis = 0);
+
+  ~JsonlEventSink() override;
+
+  void onRunStart(const RunStartEvent& e) override;
+  void onRunEnd(const RunEndEvent& e) override;
+  void onWatchdogAbort(const WatchdogAbortEvent& e) override;
+  void onCancelled(const CancelledEvent& e) override;
+  void onFaultInjected(const FaultInjectedEvent& e) override;
+  void onBatchProgress(const BatchProgressEvent& e) override;
+
+  /// Flushes the underlying stream (also done on destruction).
+  void flush();
+
+ private:
+  std::uint64_t elapsedMillis() const;
+  void writeLine(const std::string& line);
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  std::mutex mu_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t progressIntervalMillis_;
+  std::uint64_t lastProgressMillis_ = 0;
+  bool anyProgressWritten_ = false;
+};
+
+}  // namespace ppn

@@ -1,0 +1,234 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+std::uint64_t nextRegistryId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// Single-writer slot array: only the owning thread writes (and grows) it;
+// snapshot() reads it under `mu`. Growth copies into a fresh array under the
+// lock, so a concurrent snapshot never sees a moving buffer; the owner's
+// unlocked increments are safe because only the owner ever swaps the buffer.
+struct MetricsRegistry::Shard {
+  std::mutex mu;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+  std::size_t size = 0;
+
+  void ensure(std::size_t need) {
+    if (need <= size) return;
+    const std::size_t newSize = std::max(need, size * 2 + 16);
+    auto grown = std::make_unique<std::atomic<std::uint64_t>[]>(newSize);
+    for (std::size_t i = 0; i < newSize; ++i) {
+      grown[i].store(i < size ? slots[i].load(std::memory_order_relaxed) : 0,
+                     std::memory_order_relaxed);
+    }
+    const std::lock_guard<std::mutex> lock(mu);
+    slots = std::move(grown);
+    size = newSize;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : id_(nextRegistryId()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::localShard() {
+  // Cache keyed by process-unique registry id: entries for dead registries
+  // are never matched again (ids are not reused), so stale pointers are inert.
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> cache;
+  for (const auto& [id, shard] : cache) {
+    if (id == id_) return *shard;
+  }
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shard->ensure(nextSlot_);
+    shards_.push_back(std::move(owned));
+  }
+  cache.emplace_back(id_, shard);
+  return *shard;
+}
+
+CounterHandle MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const CounterMeta& m : counters_) {
+    if (m.name == name) return CounterHandle{m.slot};
+  }
+  const std::uint32_t slot = nextSlot_++;
+  counters_.push_back(CounterMeta{name, slot});
+  return CounterHandle{slot};
+}
+
+GaugeHandle MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const GaugeMeta& m : gauges_) {
+    if (m.name == name) return GaugeHandle{m.cell.get()};
+  }
+  gauges_.push_back(
+      GaugeMeta{name, std::make_unique<std::atomic<std::int64_t>>(0)});
+  return GaugeHandle{gauges_.back().cell.get()};
+}
+
+HistogramHandle MetricsRegistry::histogram(const std::string& name,
+                                           std::vector<double> bounds) {
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    if (!(bounds[i - 1] < bounds[i])) {
+      throw std::logic_error("histogram '" + name +
+                             "': bounds must be strictly ascending");
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const HistogramMeta& m : histograms_) {
+    if (m.name == name) {
+      if (m.bounds != bounds) {
+        throw std::logic_error("histogram '" + name +
+                               "' re-registered with different bounds");
+      }
+      return HistogramHandle{m.slot,
+                             static_cast<std::uint32_t>(m.bounds.size() + 1),
+                             m.bounds.data()};
+    }
+  }
+  const std::uint32_t slot = nextSlot_;
+  const auto buckets = static_cast<std::uint32_t>(bounds.size() + 1);
+  nextSlot_ += buckets + 2;  // buckets, count, sum bits
+  histograms_.push_back(HistogramMeta{name, std::move(bounds), slot});
+  // The bounds buffer is heap-owned by the meta and never mutated, so the
+  // handle's borrowed pointer stays valid even when histograms_ reallocates.
+  return HistogramHandle{slot, buckets, histograms_.back().bounds.data()};
+}
+
+void MetricsRegistry::add(CounterHandle h, std::uint64_t delta) {
+  Shard& shard = localShard();
+  shard.ensure(h.slot + 1);
+  shard.slots[h.slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(HistogramHandle h, double value) {
+  Shard& shard = localShard();
+  const std::size_t countSlot = h.slot + h.buckets;
+  const std::size_t sumSlot = countSlot + 1;
+  shard.ensure(sumSlot + 1);
+
+  std::uint32_t bucket = h.buckets - 1;  // overflow by default
+  for (std::uint32_t i = 0; i + 1 < h.buckets; ++i) {
+    if (value <= h.bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+
+  shard.slots[h.slot + bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.slots[countSlot].fetch_add(1, std::memory_order_relaxed);
+  // Single-writer read-modify-write: only this thread touches this shard.
+  const double sum =
+      std::bit_cast<double>(shard.slots[sumSlot].load(std::memory_order_relaxed));
+  shard.slots[sumSlot].store(std::bit_cast<std::uint64_t>(sum + value),
+                             std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+
+  // Merge every shard's slot array into one flat view.
+  std::vector<std::uint64_t> merged(nextSlot_, 0);
+  std::vector<double> mergedSums(nextSlot_, 0.0);
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shardLock(shard->mu);
+    const std::size_t n = std::min<std::size_t>(shard->size, nextSlot_);
+    for (std::size_t i = 0; i < n; ++i) {
+      merged[i] += shard->slots[i].load(std::memory_order_relaxed);
+      mergedSums[i] +=
+          std::bit_cast<double>(shard->slots[i].load(std::memory_order_relaxed));
+    }
+  }
+
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const CounterMeta& m : counters_) {
+    snap.counters.push_back(MetricsSnapshot::Counter{m.name, merged[m.slot]});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const GaugeMeta& m : gauges_) {
+    snap.gauges.push_back(MetricsSnapshot::Gauge{
+        m.name, m.cell->load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const HistogramMeta& m : histograms_) {
+    MetricsSnapshot::Histogram h;
+    h.name = m.name;
+    h.bounds = m.bounds;
+    const std::size_t buckets = m.bounds.size() + 1;
+    h.counts.reserve(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) h.counts.push_back(merged[m.slot + b]);
+    h.count = merged[m.slot + buckets];
+    h.sum = mergedSums[m.slot + buckets + 1];
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+const std::uint64_t* MetricsSnapshot::counterValue(std::string_view name) const {
+  for (const Counter& c : counters) {
+    if (c.name == name) return &c.value;
+  }
+  return nullptr;
+}
+
+const std::int64_t* MetricsSnapshot::gaugeValue(std::string_view name) const {
+  for (const Gauge& g : gauges) {
+    if (g.name == name) return &g.value;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::Histogram* MetricsSnapshot::histogramNamed(
+    std::string_view name) const {
+  for (const Histogram& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::toJson() const {
+  JsonWriter w;
+  w.beginObject();
+  w.key("kind").value("ppn-metrics");
+  w.key("counters").beginObject();
+  for (const Counter& c : counters) w.key(c.name).value(c.value);
+  w.endObject();
+  w.key("gauges").beginObject();
+  for (const Gauge& g : gauges) w.key(g.name).value(g.value);
+  w.endObject();
+  w.key("histograms").beginObject();
+  for (const Histogram& h : histograms) {
+    w.key(h.name).beginObject();
+    w.key("bounds").beginArray();
+    for (const double b : h.bounds) w.value(b);
+    w.endArray();
+    w.key("counts").beginArray();
+    for (const std::uint64_t c : h.counts) w.value(c);
+    w.endArray();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("mean").value(h.mean());
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace ppn

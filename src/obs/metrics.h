@@ -1,0 +1,144 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Built for parallelRunIndexed: counter increments and histogram
+// observations go to a *thread-local shard* (one per thread per registry),
+// so workers record without contention; snapshot() merges all shards. Slots
+// are relaxed atomics written by exactly one thread (the shard owner) and
+// read by the snapshotting thread, so recording is wait-free on the fast
+// path. Shards are owned by the registry and survive their recording thread,
+// so nothing is lost when a batch's worker pool is joined before snapshot().
+//
+// Gauges are last-write-wins process-wide values (a sharded gauge has no
+// meaningful merge), stored as a single heap cell the handle points at.
+//
+// Usage:
+//   MetricsRegistry reg;
+//   auto runs = reg.counter("runs_ended");
+//   auto conv = reg.histogram("convergence_interactions", {1e3, 1e4, 1e5});
+//   reg.add(runs);                // from any thread
+//   reg.observe(conv, 8'192.0);
+//   std::string doc = reg.toJson();
+//
+// Registration (counter/gauge/histogram) is mutex-protected and idempotent
+// by name, but should complete before concurrent recording begins: a shard
+// created mid-batch lazily grows to cover late registrations, which is
+// correct but takes the shard lock once.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppn {
+
+struct CounterHandle {
+  std::uint32_t slot = 0;
+};
+
+struct GaugeHandle {
+  std::atomic<std::int64_t>* cell = nullptr;
+};
+
+struct HistogramHandle {
+  std::uint32_t slot = 0;     ///< first bucket slot
+  std::uint32_t buckets = 0;  ///< bounds.size() + 1 (overflow bucket)
+  /// Borrowed view of the registered bounds (immutable, registry-owned);
+  /// lets observe() bucket without taking any registry lock.
+  const double* bounds = nullptr;
+};
+
+/// Point-in-time merged view of a registry; safe to use after the registry
+/// keeps recording (values are a consistent-enough relaxed read).
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct Histogram {
+    std::string name;
+    std::vector<double> bounds;         ///< ascending upper bounds
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 buckets
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  };
+
+  std::vector<Counter> counters;  ///< registration order
+  std::vector<Gauge> gauges;
+  std::vector<Histogram> histograms;
+
+  /// nullptr when no counter/histogram with that name exists.
+  const std::uint64_t* counterValue(std::string_view name) const;
+  const std::int64_t* gaugeValue(std::string_view name) const;
+  const Histogram* histogramNamed(std::string_view name) const;
+
+  /// {"kind":"ppn-metrics","counters":{...},"gauges":{...},"histograms":{...}}
+  std::string toJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent by name: registering an existing name returns its handle.
+  CounterHandle counter(const std::string& name);
+  GaugeHandle gauge(const std::string& name);
+  /// `bounds` must be strictly ascending; a value v lands in the first bucket
+  /// with v <= bounds[i], or the final overflow bucket. Re-registering a name
+  /// returns the existing handle (bounds must then match — logic_error if not).
+  HistogramHandle histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Wait-free fast path on the caller's thread-local shard.
+  void add(CounterHandle h, std::uint64_t delta = 1);
+  void observe(HistogramHandle h, double value);
+
+  static void set(GaugeHandle h, std::int64_t value) {
+    h.cell->store(value, std::memory_order_relaxed);
+  }
+  static std::int64_t get(GaugeHandle h) {
+    return h.cell->load(std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot snapshot() const;
+  std::string toJson() const { return snapshot().toJson(); }
+
+ private:
+  struct Shard;
+  Shard& localShard();
+
+  const std::uint64_t id_;  ///< process-unique; keys the thread-local cache
+  mutable std::mutex mu_;   ///< registration tables + shard list
+  std::uint32_t nextSlot_ = 0;
+
+  struct CounterMeta {
+    std::string name;
+    std::uint32_t slot;
+  };
+  struct GaugeMeta {
+    std::string name;
+    std::unique_ptr<std::atomic<std::int64_t>> cell;
+  };
+  struct HistogramMeta {
+    std::string name;
+    std::vector<double> bounds;
+    std::uint32_t slot;  ///< layout: bounds.size()+1 buckets, count, sum bits
+  };
+  std::vector<CounterMeta> counters_;
+  std::vector<GaugeMeta> gauges_;
+  std::vector<HistogramMeta> histograms_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ppn

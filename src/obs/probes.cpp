@@ -1,0 +1,62 @@
+#include "obs/probes.h"
+
+namespace ppn {
+
+MetricsRunObserver::MetricsRunObserver(MetricsRegistry& registry)
+    : registry_(&registry),
+      runsStarted_(registry.counter("runs_started")),
+      runsEnded_(registry.counter("runs_ended")),
+      runsConverged_(registry.counter("runs_converged")),
+      runsNamed_(registry.counter("runs_named")),
+      runsTimedOut_(registry.counter("runs_timed_out")),
+      runsCancelled_(registry.counter("runs_cancelled")),
+      silenceChecks_(registry.counter("silence_checks")),
+      faultsInjected_(registry.counter("faults_injected")),
+      watchdogAborts_(registry.counter("watchdog_aborts")),
+      batchCompleted_(registry.gauge("batch_completed")),
+      batchTotal_(registry.gauge("batch_total")),
+      batchDegraded_(registry.gauge("batch_degraded")),
+      convergenceInteractions_(registry.histogram(
+          "convergence_interactions",
+          {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8})) {}
+
+void MetricsRunObserver::onRunStart(const RunStartEvent&) {
+  registry_->add(runsStarted_);
+}
+
+void MetricsRunObserver::onRunEnd(const RunEndEvent& e) {
+  registry_->add(runsEnded_);
+  if (e.silent) {
+    registry_->add(runsConverged_);
+    registry_->observe(convergenceInteractions_,
+                       static_cast<double>(e.convergenceInteractions));
+  }
+  if (e.named) registry_->add(runsNamed_);
+  if (e.timedOut) registry_->add(runsTimedOut_);
+  if (e.cancelled) registry_->add(runsCancelled_);
+}
+
+void MetricsRunObserver::onSilenceCheck(const SilenceCheckEvent&) {
+  registry_->add(silenceChecks_);
+}
+
+void MetricsRunObserver::onWatchdogAbort(const WatchdogAbortEvent&) {
+  registry_->add(watchdogAborts_);
+}
+
+void MetricsRunObserver::onCancelled(const CancelledEvent&) {
+  // Counted at run_end (the cancelled flag) — this hook fires at the abort
+  // point itself, which may precede run_end within the same run.
+}
+
+void MetricsRunObserver::onFaultInjected(const FaultInjectedEvent&) {
+  registry_->add(faultsInjected_);
+}
+
+void MetricsRunObserver::onBatchProgress(const BatchProgressEvent& e) {
+  MetricsRegistry::set(batchCompleted_, static_cast<std::int64_t>(e.completed));
+  MetricsRegistry::set(batchTotal_, static_cast<std::int64_t>(e.total));
+  MetricsRegistry::set(batchDegraded_, static_cast<std::int64_t>(e.degraded));
+}
+
+}  // namespace ppn

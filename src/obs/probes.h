@@ -1,0 +1,41 @@
+// MetricsRunObserver: the standard probe that folds every RunObserver event
+// into a MetricsRegistry, so a sweep's endpoint counters (runs, converged,
+// named, timed out, faults injected, silence checks) come out of the metrics
+// snapshot and can be cross-checked against the batch summary structs.
+//
+// Registered metrics (all under the given registry):
+//   counters   runs_started, runs_ended, runs_converged, runs_named,
+//              runs_timed_out, runs_cancelled, silence_checks,
+//              faults_injected, watchdog_aborts
+//   gauges     batch_completed, batch_total, batch_degraded (last batch seen)
+//   histograms convergence_interactions (converged runs only; decade buckets)
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/observer.h"
+
+namespace ppn {
+
+class MetricsRunObserver final : public RunObserver {
+ public:
+  /// The registry must outlive the observer.
+  explicit MetricsRunObserver(MetricsRegistry& registry);
+
+  void onRunStart(const RunStartEvent& e) override;
+  void onRunEnd(const RunEndEvent& e) override;
+  void onSilenceCheck(const SilenceCheckEvent& e) override;
+  void onWatchdogAbort(const WatchdogAbortEvent& e) override;
+  void onCancelled(const CancelledEvent& e) override;
+  void onFaultInjected(const FaultInjectedEvent& e) override;
+  void onBatchProgress(const BatchProgressEvent& e) override;
+
+ private:
+  MetricsRegistry* registry_;
+  CounterHandle runsStarted_, runsEnded_, runsConverged_, runsNamed_,
+      runsTimedOut_, runsCancelled_, silenceChecks_, faultsInjected_,
+      watchdogAborts_;
+  GaugeHandle batchCompleted_, batchTotal_, batchDegraded_;
+  HistogramHandle convergenceInteractions_;
+};
+
+}  // namespace ppn

@@ -1,0 +1,77 @@
+#include "obs/progress.h"
+
+namespace ppn {
+
+ProgressReporter::ProgressReporter(std::uint64_t expectedRuns,
+                                   std::uint64_t intervalMillis, std::FILE* out)
+    : out_(out != nullptr ? out : stderr),
+      expectedRuns_(expectedRuns),
+      intervalMillis_(intervalMillis),
+      start_(std::chrono::steady_clock::now()),
+      lastReport_(start_) {}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+std::uint64_t ProgressReporter::completed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+std::uint64_t ProgressReporter::degraded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+void ProgressReporter::onRunEnd(const RunEndEvent& e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  if (e.timedOut) ++degraded_;
+  const auto now = std::chrono::steady_clock::now();
+  const auto sinceLast =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - lastReport_)
+          .count();
+  if (sinceLast >= 0 &&
+      static_cast<std::uint64_t>(sinceLast) >= intervalMillis_) {
+    lastReport_ = now;
+    report(false);
+  }
+}
+
+void ProgressReporter::finish() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  if (completed_ > 0) report(true);
+}
+
+// Caller holds mu_.
+void ProgressReporter::report(bool final) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate =
+      elapsed > 0.0 ? static_cast<double>(completed_) / elapsed : 0.0;
+  if (expectedRuns_ > 0) {
+    const std::uint64_t left =
+        expectedRuns_ > completed_ ? expectedRuns_ - completed_ : 0;
+    const double eta = rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
+    std::fprintf(out_,
+                 "[ppn progress] %llu/%llu runs (%.1f%%) | %.1f runs/s | "
+                 "degraded %llu | eta %.0fs%s\n",
+                 static_cast<unsigned long long>(completed_),
+                 static_cast<unsigned long long>(expectedRuns_),
+                 100.0 * static_cast<double>(completed_) /
+                     static_cast<double>(expectedRuns_),
+                 rate, static_cast<unsigned long long>(degraded_), eta,
+                 final ? " | done" : "");
+  } else {
+    std::fprintf(out_,
+                 "[ppn progress] %llu runs | %.1f runs/s | degraded %llu%s\n",
+                 static_cast<unsigned long long>(completed_), rate,
+                 static_cast<unsigned long long>(degraded_),
+                 final ? " | done" : "");
+  }
+  std::fflush(out_);
+}
+
+}  // namespace ppn

@@ -1,0 +1,50 @@
+// Batch progress reporter: periodically prints completed/total, runs/sec,
+// degraded count and an ETA to stderr while a long sweep is running.
+//
+// Counts run_end events (so it works for single batches and multi-batch
+// sweeps alike; batch-local completed/total from batch_progress events would
+// reset between cells). `expectedRuns` = 0 means the sweep size is unknown:
+// the reporter then omits the total and the ETA. Output goes to stderr and
+// only when explicitly attached (benches gate it behind --progress), so
+// default bench output stays byte-for-byte unchanged.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/observer.h"
+
+namespace ppn {
+
+class ProgressReporter final : public RunObserver {
+ public:
+  explicit ProgressReporter(std::uint64_t expectedRuns = 0,
+                            std::uint64_t intervalMillis = 2000,
+                            std::FILE* out = nullptr);  // nullptr = stderr
+
+  void onRunEnd(const RunEndEvent& e) override;
+
+  /// Prints the final summary line (idempotent); also called on destruction.
+  void finish();
+  ~ProgressReporter() override;
+
+  std::uint64_t completed() const;
+  std::uint64_t degraded() const;
+
+ private:
+  void report(bool final);
+
+  std::FILE* out_;
+  const std::uint64_t expectedRuns_;
+  const std::uint64_t intervalMillis_;
+  mutable std::mutex mu_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t degraded_ = 0;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point lastReport_;
+};
+
+}  // namespace ppn

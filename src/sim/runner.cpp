@@ -14,25 +14,45 @@
 namespace ppn {
 
 RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
-                          const RunLimits& limits, const CancelToken* cancel) {
+                          const RunLimits& limits, const CancelToken* cancel,
+                          RunObserver* observer, std::uint64_t runId) {
   using Clock = std::chrono::steady_clock;
   RunOutcome out;
   out.numMobile = engine.numMobile();
   const std::uint64_t interval = std::max<std::uint64_t>(1, limits.checkInterval);
   const bool watch = limits.maxWallMillis > 0;
+  const Clock::time_point started = (watch || observer != nullptr)
+                                        ? Clock::now()
+                                        : Clock::time_point{};
   const Clock::time_point deadline =
-      watch ? Clock::now() + std::chrono::milliseconds(limits.maxWallMillis)
+      watch ? started + std::chrono::milliseconds(limits.maxWallMillis)
             : Clock::time_point{};
 
+  if (observer != nullptr) {
+    observer->onRunStart(RunStartEvent{runId, engine.numMobile(),
+                                       engine.numParticipants()});
+  }
+
   bool silent = engine.silent();
+  if (observer != nullptr) {
+    observer->onSilenceCheck(
+        SilenceCheckEvent{runId, engine.totalInteractions(), silent});
+  }
   std::uint64_t steps = 0;
   while (!silent && steps < limits.maxInteractions) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       out.cancelled = true;
+      if (observer != nullptr) {
+        observer->onCancelled(CancelledEvent{runId, engine.totalInteractions()});
+      }
       break;
     }
     if (watch && Clock::now() >= deadline) {
       out.timedOut = true;
+      if (observer != nullptr) {
+        observer->onWatchdogAbort(WatchdogAbortEvent{
+            runId, engine.totalInteractions(), limits.maxWallMillis});
+      }
       break;
     }
     const std::uint64_t burst =
@@ -40,6 +60,10 @@ RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
     for (std::uint64_t i = 0; i < burst; ++i) engine.step(sched.next());
     steps += burst;
     silent = engine.silent();
+    if (observer != nullptr) {
+      observer->onSilenceCheck(
+          SilenceCheckEvent{runId, engine.totalInteractions(), silent});
+    }
   }
 
   out.silent = silent;
@@ -49,6 +73,15 @@ RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
   out.convergenceInteractions =
       silent ? engine.lastChangeAt() : engine.totalInteractions();
   out.finalConfig = engine.config();
+  if (observer != nullptr) {
+    const double wallMillis =
+        std::chrono::duration<double, std::milli>(Clock::now() - started)
+            .count();
+    observer->onRunEnd(RunEndEvent{runId, out.silent, out.namingSolved,
+                                   out.timedOut, out.cancelled,
+                                   out.convergenceInteractions,
+                                   out.totalInteractions, wallMillis});
+  }
   return out;
 }
 
@@ -160,6 +193,8 @@ BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
   for (std::uint32_t r = 0; r < spec.runs; ++r) runRngs.push_back(master.split());
 
   std::vector<RunOutcome> outcomes(spec.runs);
+  std::atomic<std::uint32_t> progressCompleted{0};
+  std::atomic<std::uint32_t> progressDegraded{0};
   parallelRunIndexed(
       spec.runs, spec.threads,
       [&](std::uint32_t r, CancelToken& cancel) {
@@ -171,7 +206,20 @@ BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
         Engine engine(proto, std::move(start));
         auto sched =
             makeScheduler(spec.sched, engine.numParticipants(), runRng.next());
-        outcomes[r] = runUntilSilent(engine, *sched, spec.limits, &cancel);
+        const std::uint64_t runId = spec.runIdBase + r;
+        engine.attachObserver(spec.observer, runId);
+        outcomes[r] = runUntilSilent(engine, *sched, spec.limits, &cancel,
+                                     spec.observer, runId);
+        if (spec.observer != nullptr) {
+          if (outcomes[r].timedOut) {
+            progressDegraded.fetch_add(1, std::memory_order_relaxed);
+          }
+          const std::uint32_t done =
+              progressCompleted.fetch_add(1, std::memory_order_relaxed) + 1;
+          spec.observer->onBatchProgress(BatchProgressEvent{
+              done, spec.runs,
+              progressDegraded.load(std::memory_order_relaxed)});
+        }
       });
 
   std::vector<double> convergence;

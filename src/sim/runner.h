@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/engine.h"
+#include "obs/observer.h"
 #include "sched/scheduler.h"
 #include "stats/summary.h"
 
@@ -68,9 +69,16 @@ struct RunOutcome {
 /// Steps `engine` with interactions from `sched` until silent or a budget
 /// (interactions or wall clock) runs out. `cancel`, when non-null, is polled
 /// once per check interval; a set token aborts the run with cancelled = true.
+///
+/// `observer`, when non-null, receives run_start/run_end (always paired, even
+/// for cancelled or timed-out runs), one silence_check per poll, and
+/// watchdog_abort / cancelled at the abort point; `runId` labels the events.
+/// A null observer costs one branch per check interval — nothing per step.
 RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
                           const RunLimits& limits,
-                          const CancelToken* cancel = nullptr);
+                          const CancelToken* cancel = nullptr,
+                          RunObserver* observer = nullptr,
+                          std::uint64_t runId = 0);
 
 /// Runs fn(index, cancel) for every index in [0, count), spread over
 /// `threads` workers (0 = hardware concurrency). Exception-safe: a throwing
@@ -112,6 +120,13 @@ struct BatchSpec {
   /// sequentially before any run executes, so results are bit-identical for
   /// every thread count. 0 = std::thread::hardware_concurrency().
   std::uint32_t threads = 1;
+  /// Telemetry probe (not owned; must be thread-safe when threads != 1).
+  /// Null — the default — keeps the batch entirely unobserved: results and
+  /// outputs are byte-for-byte what they were before the telemetry layer.
+  RunObserver* observer = nullptr;
+  /// Added to each run's index to form its event runId, so sweeps chaining
+  /// several batches into one observer keep ids unique across the sweep.
+  std::uint64_t runIdBase = 0;
 };
 
 struct BatchResult {

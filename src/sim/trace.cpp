@@ -1,5 +1,7 @@
 #include "sim/trace.h"
 
+#include "util/json.h"
+
 namespace ppn {
 
 std::size_t Trace::changes() const {
@@ -48,6 +50,47 @@ std::string Trace::render(const Protocol* proto, std::size_t maxSteps) const {
   }
   if (limit < steps.size()) {
     out += "... (" + std::to_string(steps.size() - limit) + " more steps)\n";
+  }
+  return out;
+}
+
+std::string Trace::toJsonl(const Protocol* proto) const {
+  auto writeConfig = [proto](JsonWriter& w, const Configuration& c) {
+    w.key("config").beginArray();
+    for (const StateId s : c.mobile) w.value(s);
+    w.endArray();
+    if (c.leader.has_value()) w.key("leader").value(*c.leader);
+    if (proto != nullptr) {
+      w.key("names").beginArray();
+      for (const StateId s : c.mobile) w.value(proto->nameOf(s));
+      w.endArray();
+    }
+  };
+
+  std::string out;
+  {
+    JsonWriter w;
+    w.beginObject();
+    w.key("event").value("trace_start");
+    w.key("num_mobile").value(start.numMobile());
+    writeConfig(w, start);
+    w.endObject();
+    out += w.str();
+    out += '\n';
+  }
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const TraceStep& s = steps[i];
+    JsonWriter w;
+    w.beginObject();
+    w.key("event").value("trace_step");
+    w.key("t").value(static_cast<std::uint64_t>(i + 1));
+    w.key("initiator").value(s.interaction.initiator);
+    w.key("responder").value(s.interaction.responder);
+    w.key("changed").value(s.changed);
+    writeConfig(w, s.after);
+    w.endObject();
+    out += w.str();
+    out += '\n';
   }
   return out;
 }

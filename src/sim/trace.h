@@ -40,6 +40,14 @@ struct Trace {
   /// traces (0 = all).
   std::string render(const Protocol* proto = nullptr,
                      std::size_t maxSteps = 0) const;
+
+  /// JSONL export in the telemetry event format (EXPERIMENTS.md, E20): a
+  /// trace_start line with the initial configuration, then one trace_step
+  /// line per step ({t, initiator, responder, changed, config, leader?}).
+  /// Passing the protocol adds each step's projected "names" array, so
+  /// recorded executions can be replayed/diffed offline against the
+  /// renaming telemetry of a live run. Every line is a valid JSON object.
+  std::string toJsonl(const Protocol* proto = nullptr) const;
 };
 
 /// Steps `engine` with `sched` for up to `maxInteractions`, recording every

@@ -27,6 +27,12 @@ namespace ppn {
 /// Escapes `s` as a JSON string literal, including the surrounding quotes.
 std::string jsonEscape(std::string_view s);
 
+/// True when `s` is exactly one syntactically valid JSON value (RFC 8259)
+/// plus optional surrounding whitespace. A structural validator, not a
+/// parser: used by tests and telemetry consumers to assert that emitted
+/// documents and JSONL event lines parse, without a DOM dependency.
+bool jsonIsValid(std::string_view s);
+
 class JsonWriter {
  public:
   JsonWriter& beginObject();

@@ -1,5 +1,6 @@
 #include "util/log.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -11,17 +12,17 @@ namespace {
 LogLevel initialThreshold() {
   const char* env = std::getenv("PPN_LOG");
   if (env == nullptr) return LogLevel::kInfo;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
-  return LogLevel::kInfo;
+  return parseLogLevel(env, LogLevel::kInfo);
 }
 
 std::atomic<int>& thresholdStorage() {
   static std::atomic<int> level{static_cast<int>(initialThreshold())};
   return level;
+}
+
+LogSink& sinkStorage() {
+  static LogSink sink;
+  return sink;
 }
 
 const char* levelName(LogLevel level) {
@@ -42,6 +43,15 @@ const char* levelName(LogLevel level) {
 
 }  // namespace
 
+LogLevel parseLogLevel(std::string_view s, LogLevel fallback) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return fallback;
+}
+
 LogLevel logThreshold() {
   return static_cast<LogLevel>(thresholdStorage().load(std::memory_order_relaxed));
 }
@@ -50,11 +60,41 @@ void setLogThreshold(LogLevel level) {
   thresholdStorage().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void setLogSink(LogSink sink) { sinkStorage() = std::move(sink); }
+
 namespace detail {
+
+std::string_view finishLogBuffer(char* buf, std::size_t cap, int written) {
+  if (written < 0) {
+    // Encoding error: nothing reliable is in the buffer.
+    constexpr std::string_view kBad = "(log formatting error)";
+    const std::size_t n = std::min(kBad.size(), cap - 1);
+    std::memcpy(buf, kBad.data(), n);
+    buf[n] = '\0';
+    return std::string_view(buf, n);
+  }
+  const auto want = static_cast<std::size_t>(written);
+  if (want >= cap) {
+    // snprintf truncated to cap-1 chars; make the cut visible.
+    constexpr std::string_view kMarker = "...";
+    const std::size_t len = cap - 1;
+    if (len >= kMarker.size()) {
+      std::memcpy(buf + len - kMarker.size(), kMarker.data(), kMarker.size());
+    }
+    return std::string_view(buf, len);
+  }
+  return std::string_view(buf, want);
+}
+
 void logMessage(LogLevel level, std::string_view msg) {
+  if (const LogSink& sink = sinkStorage()) {
+    sink(level, msg);
+    return;
+  }
   std::fprintf(stderr, "[ppn %s] %.*s\n", levelName(level),
                static_cast<int>(msg.size()), msg.data());
 }
+
 }  // namespace detail
 
 }  // namespace ppn

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -16,18 +17,39 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel logThreshold();
 void setLogThreshold(LogLevel level);
 
+/// Parses "debug"|"info"|"warn"|"error"|"off"; anything else (including
+/// nullptr-free garbage) yields `fallback`. This is exactly the PPN_LOG
+/// env-var semantics, exposed for tests and CLI reuse.
+LogLevel parseLogLevel(std::string_view s, LogLevel fallback = LogLevel::kInfo);
+
+/// Redirects delivered log messages (tests, embedding). The sink receives
+/// the already-formatted, threshold-filtered message without the "[ppn
+/// LEVEL]" prefix or trailing newline. An empty function restores the
+/// default stderr sink. Not safe to swap while other threads are logging.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void setLogSink(LogSink sink);
+
 namespace detail {
 void logMessage(LogLevel level, std::string_view msg);
-}
 
-#define PPN_LOG_AT(level, ...)                                        \
-  do {                                                                \
-    if (static_cast<int>(level) >=                                    \
-        static_cast<int>(::ppn::logThreshold())) {                    \
-      char ppn_log_buf_[512];                                         \
-      std::snprintf(ppn_log_buf_, sizeof(ppn_log_buf_), __VA_ARGS__); \
-      ::ppn::detail::logMessage(level, ppn_log_buf_);                 \
-    }                                                                 \
+/// Post-processes a snprintf'd buffer: `written` is snprintf's return value.
+/// On overflow (written >= cap) the tail is replaced with a "..." marker so
+/// truncation is visible instead of silent; on encoding error the message is
+/// replaced wholesale. Returns the view to deliver.
+std::string_view finishLogBuffer(char* buf, std::size_t cap, int written);
+}  // namespace detail
+
+#define PPN_LOG_AT(level, ...)                                             \
+  do {                                                                     \
+    if (static_cast<int>(level) >=                                         \
+        static_cast<int>(::ppn::logThreshold())) {                         \
+      char ppn_log_buf_[512];                                              \
+      const int ppn_log_written_ = std::snprintf(                          \
+          ppn_log_buf_, sizeof(ppn_log_buf_), __VA_ARGS__);                \
+      ::ppn::detail::logMessage(                                           \
+          level, ::ppn::detail::finishLogBuffer(                           \
+                     ppn_log_buf_, sizeof(ppn_log_buf_), ppn_log_written_)); \
+    }                                                                      \
   } while (0)
 
 #define PPN_DEBUG(...) PPN_LOG_AT(::ppn::LogLevel::kDebug, __VA_ARGS__)

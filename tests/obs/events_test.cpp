@@ -1,0 +1,242 @@
+#include "obs/events.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "faults/campaign.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/registry.h"
+#include "sched/random_scheduler.h"
+#include "sim/runner.h"
+#include "util/json.h"
+
+namespace ppn {
+namespace {
+
+std::vector<std::string> lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+bool isEvent(const std::string& line, const std::string& name) {
+  return line.find("\"event\":\"" + name + "\"") != std::string::npos;
+}
+
+/// Extracts an integer field ("run":17) with plain string surgery — enough
+/// for lines produced by our own JsonWriter.
+std::uint64_t intField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " in " << line;
+  if (pos == std::string::npos) return 0;
+  return std::stoull(line.substr(pos + needle.size()));
+}
+
+TEST(JsonlEventSink, EveryLineIsValidJsonWithElapsedMs) {
+  std::ostringstream buffer;
+  const AsymmetricNaming proto(5);
+  {
+    JsonlEventSink sink(buffer);
+    BatchSpec spec;
+    spec.numMobile = 5;
+    spec.runs = 6;
+    spec.seed = 11;
+    spec.threads = 2;
+    spec.observer = &sink;
+    runBatch(proto, spec);
+    sink.flush();
+  }
+  const auto all = lines(buffer.str());
+  ASSERT_FALSE(all.empty());
+  for (const auto& line : all) {
+    EXPECT_TRUE(jsonIsValid(line)) << line;
+    EXPECT_NE(line.find("\"elapsed_ms\":"), std::string::npos) << line;
+  }
+}
+
+TEST(JsonlEventSink, RunStartAndRunEndPairPerRun) {
+  std::ostringstream buffer;
+  const AsymmetricNaming proto(5);
+  JsonlEventSink sink(buffer);
+  BatchSpec spec;
+  spec.numMobile = 5;
+  spec.runs = 8;
+  spec.seed = 3;
+  spec.threads = 4;
+  spec.observer = &sink;
+  spec.runIdBase = 100;
+  const BatchResult result = runBatch(proto, spec);
+  sink.flush();
+
+  std::map<std::uint64_t, int> starts, ends;
+  std::uint32_t named = 0;
+  for (const auto& line : lines(buffer.str())) {
+    if (isEvent(line, "run_start")) ++starts[intField(line, "run")];
+    if (isEvent(line, "run_end")) {
+      ++ends[intField(line, "run")];
+      if (line.find("\"named\":true") != std::string::npos) ++named;
+    }
+  }
+  EXPECT_EQ(starts.size(), 8u);
+  EXPECT_EQ(ends.size(), 8u);
+  for (std::uint64_t id = 100; id < 108; ++id) {
+    EXPECT_EQ(starts[id], 1) << "run " << id;
+    EXPECT_EQ(ends[id], 1) << "run " << id;
+  }
+  EXPECT_EQ(named, result.named);
+}
+
+TEST(JsonlEventSink, BatchProgressReachesTotal) {
+  std::ostringstream buffer;
+  const AsymmetricNaming proto(4);
+  JsonlEventSink sink(buffer);  // interval 0: every progress event written
+  BatchSpec spec;
+  spec.numMobile = 4;
+  spec.runs = 5;
+  spec.seed = 7;
+  spec.observer = &sink;
+  runBatch(proto, spec);
+  sink.flush();
+
+  std::vector<std::string> progress;
+  for (const auto& line : lines(buffer.str())) {
+    if (isEvent(line, "batch_progress")) progress.push_back(line);
+  }
+  ASSERT_FALSE(progress.empty());
+  const auto& last = progress.back();
+  EXPECT_EQ(intField(last, "completed"), 5u);
+  EXPECT_EQ(intField(last, "total"), 5u);
+}
+
+TEST(JsonlEventSink, CancelledRunStillEmitsPairedEvents) {
+  std::ostringstream buffer;
+  const AsymmetricNaming proto(4);
+  Engine engine(proto, Configuration{{1, 1, 1, 1}, std::nullopt});
+  RandomScheduler sched(4, 9);
+  JsonlEventSink sink(buffer);
+  CancelToken cancel{true};  // pre-cancelled: aborts at the first poll
+  const RunOutcome out = runUntilSilent(engine, sched, RunLimits{1000, 4},
+                                        &cancel, &sink, 42);
+  sink.flush();
+  EXPECT_TRUE(out.cancelled);
+
+  bool sawStart = false, sawCancelled = false, sawEnd = false;
+  for (const auto& line : lines(buffer.str())) {
+    if (isEvent(line, "run_start")) {
+      sawStart = true;
+      EXPECT_EQ(intField(line, "run"), 42u);
+    }
+    if (isEvent(line, "cancelled")) {
+      sawCancelled = true;
+      EXPECT_EQ(intField(line, "run"), 42u);
+    }
+    if (isEvent(line, "run_end")) {
+      sawEnd = true;
+      EXPECT_NE(line.find("\"cancelled\":true"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(sawStart);
+  EXPECT_TRUE(sawCancelled);
+  EXPECT_TRUE(sawEnd);
+}
+
+/// Always schedules (0, 1). On asymmetric {1,1,1} the pair resolves once and
+/// then interacts null forever while agents 0 and 2 stay homonyms — the run
+/// can only end via a budget, which makes watchdog behaviour deterministic.
+class FixedPairScheduler final : public Scheduler {
+ public:
+  Interaction next() override { return Interaction{0, 1}; }
+  std::string name() const override { return "fixed-pair"; }
+};
+
+TEST(JsonlEventSink, WatchdogAbortCarriesRunIdAndBudget) {
+  std::ostringstream buffer;
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{1, 1, 1}, std::nullopt});
+  FixedPairScheduler sched;
+  JsonlEventSink sink(buffer);
+  RunLimits limits;
+  limits.maxInteractions = 10'000'000'000ull;
+  limits.checkInterval = 64;
+  limits.maxWallMillis = 5;
+  const RunOutcome out =
+      runUntilSilent(engine, sched, limits, nullptr, &sink, 7);
+  sink.flush();
+  ASSERT_TRUE(out.timedOut);
+
+  bool sawAbort = false, sawEnd = false;
+  for (const auto& line : lines(buffer.str())) {
+    if (isEvent(line, "watchdog_abort")) {
+      sawAbort = true;
+      EXPECT_EQ(intField(line, "run"), 7u);
+      EXPECT_EQ(intField(line, "budget_millis"), 5u);
+    }
+    if (isEvent(line, "run_end")) {
+      sawEnd = true;
+      EXPECT_EQ(intField(line, "run"), 7u);
+      EXPECT_NE(line.find("\"timed_out\":true"), std::string::npos) << line;
+    }
+  }
+  EXPECT_TRUE(sawAbort);
+  EXPECT_TRUE(sawEnd);
+}
+
+TEST(JsonlEventSink, CampaignEmitsFaultsAndOnePairPerRun) {
+  std::ostringstream buffer;
+  const auto proto = makeProtocol("selfstab-weak", 4);
+  JsonlEventSink sink(buffer);
+  CampaignSpec spec;
+  spec.regime = FaultRegime::kPoissonTransient;
+  spec.params.rate = 0.01;
+  spec.faultWindow = 2000;
+  spec.numMobile = 4;
+  spec.runs = 4;
+  spec.seed = 5;
+  spec.threads = 2;
+  spec.observer = &sink;
+  spec.runIdBase = 10;
+  const CampaignResult result = runCampaign(*proto, spec);
+  sink.flush();
+
+  std::map<std::uint64_t, int> starts, ends;
+  std::uint64_t faults = 0;
+  for (const auto& line : lines(buffer.str())) {
+    EXPECT_TRUE(jsonIsValid(line)) << line;
+    if (isEvent(line, "run_start")) ++starts[intField(line, "run")];
+    if (isEvent(line, "run_end")) ++ends[intField(line, "run")];
+    if (isEvent(line, "fault_injected")) {
+      ++faults;
+      const std::uint64_t id = intField(line, "run");
+      EXPECT_GE(id, 10u);
+      EXPECT_LT(id, 14u);
+      EXPECT_NE(line.find("\"target\":\"mobile\""), std::string::npos) << line;
+    }
+  }
+  // Exactly one pair per campaign run — the internal recovery phase must not
+  // produce nested run events.
+  EXPECT_EQ(starts.size(), 4u);
+  EXPECT_EQ(ends.size(), 4u);
+  for (const auto& [id, n] : starts) EXPECT_EQ(n, 1) << "run " << id;
+  for (const auto& [id, n] : ends) EXPECT_EQ(n, 1) << "run " << id;
+
+  std::uint64_t expectedFaults = 0;
+  for (const auto& o : result.outcomes) expectedFaults += o.faultsInjected;
+  EXPECT_EQ(faults, expectedFaults);
+}
+
+TEST(JsonlEventSink, UnwritablePathThrows) {
+  EXPECT_THROW(JsonlEventSink("/nonexistent-dir/sub/events.jsonl"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppn

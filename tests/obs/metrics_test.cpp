@@ -1,0 +1,152 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/runner.h"
+#include "util/json.h"
+
+namespace ppn {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  MetricsRegistry reg;
+  const CounterHandle c = reg.counter("runs");
+  {
+    const auto snap = reg.snapshot();
+    ASSERT_NE(snap.counterValue("runs"), nullptr);
+    EXPECT_EQ(*snap.counterValue("runs"), 0u);
+  }
+  reg.add(c);
+  reg.add(c, 41);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(*snap.counterValue("runs"), 42u);
+  EXPECT_EQ(snap.counterValue("missing"), nullptr);
+}
+
+TEST(Metrics, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  const CounterHandle a = reg.counter("same");
+  const CounterHandle b = reg.counter("same");
+  EXPECT_EQ(a.slot, b.slot);
+  reg.add(a);
+  reg.add(b);
+  EXPECT_EQ(*reg.snapshot().counterValue("same"), 2u);
+  // Only one entry appears in the snapshot.
+  EXPECT_EQ(reg.snapshot().counters.size(), 1u);
+
+  const HistogramHandle h1 = reg.histogram("hist", {1.0, 2.0});
+  const HistogramHandle h2 = reg.histogram("hist", {1.0, 2.0});
+  EXPECT_EQ(h1.slot, h2.slot);
+  EXPECT_THROW(reg.histogram("hist", {1.0, 3.0}), std::logic_error);
+}
+
+TEST(Metrics, HistogramRejectsNonAscendingBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {2.0, 1.0}), std::logic_error);
+  EXPECT_THROW(reg.histogram("flat", {1.0, 1.0}), std::logic_error);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  MetricsRegistry reg;
+  const GaugeHandle g = reg.gauge("depth");
+  MetricsRegistry::set(g, 7);
+  MetricsRegistry::set(g, -3);
+  EXPECT_EQ(MetricsRegistry::get(g), -3);
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.gaugeValue("depth"), nullptr);
+  EXPECT_EQ(*snap.gaugeValue("depth"), -3);
+}
+
+TEST(Metrics, HistogramBucketsByUpperBound) {
+  MetricsRegistry reg;
+  const HistogramHandle h = reg.histogram("lat", {10.0, 100.0});
+  reg.observe(h, 5.0);     // <= 10      -> bucket 0
+  reg.observe(h, 10.0);    // <= 10      -> bucket 0 (inclusive upper bound)
+  reg.observe(h, 11.0);    // <= 100     -> bucket 1
+  reg.observe(h, 1000.0);  // overflow   -> bucket 2
+  const auto snap = reg.snapshot();
+  const auto* hist = snap.histogramNamed("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->bounds, (std::vector<double>{10.0, 100.0}));
+  EXPECT_EQ(hist->counts, (std::vector<std::uint64_t>{2, 1, 1}));
+  EXPECT_EQ(hist->count, 4u);
+  EXPECT_DOUBLE_EQ(hist->sum, 5.0 + 10.0 + 11.0 + 1000.0);
+  EXPECT_DOUBLE_EQ(hist->mean(), hist->sum / 4.0);
+  EXPECT_EQ(snap.histogramNamed("nope"), nullptr);
+}
+
+TEST(Metrics, SnapshotToJsonIsValidJson) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("c"), 3);
+  MetricsRegistry::set(reg.gauge("g"), 5);
+  reg.observe(reg.histogram("h", {1.0}), 0.5);
+  const std::string doc = reg.toJson();
+  EXPECT_TRUE(jsonIsValid(doc)) << doc;
+  EXPECT_NE(doc.find("\"kind\":\"ppn-metrics\""), std::string::npos);
+  EXPECT_NE(doc.find("\"c\":3"), std::string::npos);
+  EXPECT_NE(doc.find("\"g\":5"), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Metrics, EmptyRegistrySnapshotStillValidates) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(jsonIsValid(reg.toJson()));
+  EXPECT_TRUE(reg.snapshot().counters.empty());
+}
+
+// The acceptance criterion: exercised concurrently via parallelRunIndexed
+// across thread counts, final totals must be identical.
+TEST(Metrics, ConcurrentRecordingTotalsAreThreadCountIndependent) {
+  constexpr std::uint32_t kTasks = 64;
+  constexpr std::uint64_t kAddsPerTask = 1000;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    MetricsRegistry reg;
+    const CounterHandle c = reg.counter("adds");
+    const HistogramHandle h = reg.histogram("values", {16.0, 48.0});
+    parallelRunIndexed(kTasks, threads,
+                       [&](std::uint32_t index, CancelToken&) {
+                         for (std::uint64_t i = 0; i < kAddsPerTask; ++i) {
+                           reg.add(c);
+                         }
+                         reg.observe(h, static_cast<double>(index));
+                       });
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(*snap.counterValue("adds"), kTasks * kAddsPerTask)
+        << "threads=" << threads;
+    const auto* hist = snap.histogramNamed("values");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, kTasks) << "threads=" << threads;
+    // Sum of 0..63 = 2016, split 0..16 | 17..48 | 49..63.
+    EXPECT_DOUBLE_EQ(hist->sum, 2016.0) << "threads=" << threads;
+    EXPECT_EQ(hist->counts, (std::vector<std::uint64_t>{17, 32, 15}))
+        << "threads=" << threads;
+  }
+}
+
+TEST(Metrics, SnapshotSurvivesWorkerThreadExit) {
+  // Shards are registry-owned: recording threads may be long gone by the
+  // time snapshot() runs.
+  MetricsRegistry reg;
+  const CounterHandle c = reg.counter("from_workers");
+  parallelRunIndexed(8, 8, [&](std::uint32_t, CancelToken&) { reg.add(c); });
+  // All workers joined inside parallelRunIndexed.
+  EXPECT_EQ(*reg.snapshot().counterValue("from_workers"), 8u);
+}
+
+TEST(Metrics, LateRegistrationAfterRecordingStarted) {
+  MetricsRegistry reg;
+  const CounterHandle first = reg.counter("first");
+  reg.add(first);  // creates this thread's shard at the current size
+  const CounterHandle second = reg.counter("second");
+  reg.add(second);  // shard must grow to cover the late slot
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(*snap.counterValue("first"), 1u);
+  EXPECT_EQ(*snap.counterValue("second"), 1u);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,248 @@
+#include "obs/observer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/engine.h"
+#include "faults/certify.h"
+#include "naming/asymmetric_naming.h"
+#include "obs/metrics.h"
+#include "obs/probes.h"
+#include "obs/progress.h"
+#include "sim/runner.h"
+
+namespace ppn {
+namespace {
+
+/// Thread-safe event recorder for assertions.
+class CountingObserver final : public RunObserver {
+ public:
+  void onRunStart(const RunStartEvent& e) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    startIds_.push_back(e.runId);
+  }
+  void onRunEnd(const RunEndEvent& e) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    endIds_.push_back(e.runId);
+    if (e.silent) ++converged_;
+    if (e.named) ++named_;
+    if (e.timedOut) ++timedOut_;
+  }
+  void onSilenceCheck(const SilenceCheckEvent&) override { ++silenceChecks_; }
+  void onFaultInjected(const FaultInjectedEvent& e) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_.push_back(e);
+  }
+  void onBatchProgress(const BatchProgressEvent& e) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Events from concurrent workers may arrive out of order; keep the
+    // furthest-along one.
+    if (e.completed >= lastProgress_.completed) lastProgress_ = e;
+  }
+
+  std::vector<std::uint64_t> startIds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return startIds_;
+  }
+  std::vector<std::uint64_t> endIds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return endIds_;
+  }
+  std::vector<FaultInjectedEvent> faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_;
+  }
+  BatchProgressEvent lastProgress() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lastProgress_;
+  }
+  std::uint32_t converged() const { return converged_; }
+  std::uint32_t named() const { return named_; }
+  std::uint32_t timedOut() const { return timedOut_; }
+  std::uint64_t silenceChecks() const { return silenceChecks_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> startIds_;
+  std::vector<std::uint64_t> endIds_;
+  std::vector<FaultInjectedEvent> faults_;
+  BatchProgressEvent lastProgress_;
+  std::atomic<std::uint32_t> converged_{0}, named_{0}, timedOut_{0};
+  std::atomic<std::uint64_t> silenceChecks_{0};
+};
+
+TEST(Observer, BatchEmitsOnePairPerRunWithUniqueIds) {
+  const AsymmetricNaming proto(5);
+  CountingObserver obs;
+  BatchSpec spec;
+  spec.numMobile = 5;
+  spec.runs = 10;
+  spec.seed = 21;
+  spec.threads = 4;
+  spec.observer = &obs;
+  spec.runIdBase = 1000;
+  const BatchResult result = runBatch(proto, spec);
+
+  const auto starts = obs.startIds();
+  const auto ends = obs.endIds();
+  EXPECT_EQ(starts.size(), 10u);
+  EXPECT_EQ(ends.size(), 10u);
+  const std::set<std::uint64_t> unique(starts.begin(), starts.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_EQ(*unique.begin(), 1000u);
+  EXPECT_EQ(*unique.rbegin(), 1009u);
+  EXPECT_EQ(std::set<std::uint64_t>(ends.begin(), ends.end()), unique);
+
+  EXPECT_EQ(obs.converged(), result.converged);
+  EXPECT_EQ(obs.named(), result.named);
+  EXPECT_EQ(obs.timedOut(), result.timedOut);
+  EXPECT_GT(obs.silenceChecks(), 0u);
+
+  const auto progress = obs.lastProgress();
+  EXPECT_EQ(progress.completed, 10u);
+  EXPECT_EQ(progress.total, 10u);
+}
+
+TEST(Observer, EngineCorruptHooksReportTargetAndRunId) {
+  const AsymmetricNaming proto(4);
+  Engine engine(proto, Configuration{{0, 1, 2, 3}, std::nullopt});
+  CountingObserver obs;
+  engine.attachObserver(&obs, 77);
+  engine.corruptMobile(2, 0);
+  const auto faults = obs.faults();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].runId, 77u);
+  EXPECT_EQ(faults[0].target, FaultTarget::kMobile);
+  EXPECT_EQ(faults[0].agent, 2u);
+
+  // Detaching stops the reports.
+  engine.attachObserver(nullptr);
+  engine.corruptMobile(1, 0);
+  EXPECT_EQ(obs.faults().size(), 1u);
+}
+
+TEST(Observer, MultiObserverFansOutToAllTargets) {
+  CountingObserver a, b;
+  MultiObserver multi;
+  EXPECT_TRUE(multi.empty());
+  multi.add(&a);
+  multi.add(&b);
+  multi.add(nullptr);  // ignored
+  EXPECT_FALSE(multi.empty());
+
+  multi.onRunStart(RunStartEvent{5, 4, 4});
+  multi.onRunEnd(RunEndEvent{5, true, true, false, false, 10, 12, 0.5});
+  ASSERT_EQ(a.startIds().size(), 1u);
+  ASSERT_EQ(b.startIds().size(), 1u);
+  EXPECT_EQ(a.startIds()[0], 5u);
+  EXPECT_EQ(b.endIds()[0], 5u);
+  EXPECT_EQ(a.named(), 1u);
+  EXPECT_EQ(b.named(), 1u);
+}
+
+TEST(Observer, MetricsProbeMatchesBatchSummary) {
+  const AsymmetricNaming proto(5);
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    MetricsRegistry registry;
+    MetricsRunObserver probe(registry);
+    BatchSpec spec;
+    spec.numMobile = 5;
+    spec.runs = 12;
+    spec.seed = 33;
+    spec.threads = threads;
+    spec.observer = &probe;
+    const BatchResult result = runBatch(proto, spec);
+
+    const auto snap = registry.snapshot();
+    EXPECT_EQ(*snap.counterValue("runs_started"), 12u) << threads;
+    EXPECT_EQ(*snap.counterValue("runs_ended"), 12u) << threads;
+    EXPECT_EQ(*snap.counterValue("runs_converged"), result.converged)
+        << threads;
+    EXPECT_EQ(*snap.counterValue("runs_named"), result.named) << threads;
+    EXPECT_EQ(*snap.counterValue("runs_timed_out"), result.timedOut)
+        << threads;
+    EXPECT_GT(*snap.counterValue("silence_checks"), 0u) << threads;
+
+    const auto* hist = snap.histogramNamed("convergence_interactions");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, result.converged) << threads;
+
+    EXPECT_EQ(*snap.gaugeValue("batch_total"), 12) << threads;
+    if (threads == 1) {
+      // With workers, progress events can be applied out of order (the
+      // gauge is last-write-wins), so the exact final value is only
+      // guaranteed single-threaded.
+      EXPECT_EQ(*snap.gaugeValue("batch_completed"), 12);
+    }
+  }
+}
+
+TEST(Observer, CertifySweepKeepsRunIdsUniqueAcrossCells) {
+  CountingObserver obs;
+  CertifySpec spec;
+  spec.protocols = {"asymmetric", "selfstab-weak"};
+  spec.populations = {4};
+  spec.regimes = {FaultRegime::kPoissonTransient, FaultRegime::kChurn};
+  spec.runs = 3;
+  spec.faultWindow = 1000;
+  spec.threads = 2;
+  spec.observer = &obs;
+  certifyRecovery(spec);
+
+  const std::uint64_t planned = plannedRuns(spec);
+  EXPECT_EQ(planned, 2u * 2u * 3u);  // 2 protocols x 2 regimes x 3 runs
+  const auto starts = obs.startIds();
+  const auto ends = obs.endIds();
+  EXPECT_EQ(starts.size(), planned);
+  EXPECT_EQ(ends.size(), planned);
+  EXPECT_EQ(std::set<std::uint64_t>(starts.begin(), starts.end()).size(),
+            planned);
+}
+
+TEST(Observer, ProgressReporterCountsRunEnds) {
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  {
+    ProgressReporter reporter(4, /*intervalMillis=*/0, out);
+    reporter.onRunEnd(RunEndEvent{0, true, true, false, false, 1, 1, 0.1});
+    reporter.onRunEnd(RunEndEvent{1, false, false, true, false, 1, 1, 0.1});
+    EXPECT_EQ(reporter.completed(), 2u);
+    EXPECT_EQ(reporter.degraded(), 1u);
+    reporter.finish();
+    reporter.finish();  // idempotent
+  }
+  std::fseek(out, 0, SEEK_END);
+  EXPECT_GT(std::ftell(out), 0);  // something was printed
+  std::fclose(out);
+}
+
+TEST(Observer, UnobservedBatchIsBitIdenticalToObserved) {
+  // The observer must not perturb results: seeds are pre-split, so an
+  // observed batch reports exactly the same statistics as an unobserved one.
+  const AsymmetricNaming proto(6);
+  BatchSpec spec;
+  spec.numMobile = 6;
+  spec.runs = 8;
+  spec.seed = 55;
+  const BatchResult plain = runBatch(proto, spec);
+
+  CountingObserver obs;
+  spec.observer = &obs;
+  spec.threads = 4;
+  const BatchResult observed = runBatch(proto, spec);
+
+  EXPECT_EQ(plain.converged, observed.converged);
+  EXPECT_EQ(plain.named, observed.named);
+  EXPECT_EQ(plain.convergenceInteractions.mean,
+            observed.convergenceInteractions.mean);
+  EXPECT_EQ(plain.convergenceInteractions.p90,
+            observed.convergenceInteractions.p90);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "naming/asymmetric_naming.h"
+#include "util/json.h"
 #include "naming/selfstab_weak_naming.h"
 #include "naming/symmetrizer.h"
 #include "sched/deterministic_schedulers.h"
@@ -85,6 +88,67 @@ TEST(Trace, RenderShowsConfigurationsAndTruncates) {
     const std::string truncated = trace.render(nullptr, 1);
     EXPECT_NE(truncated.find("more steps"), std::string::npos);
   }
+}
+
+TEST(Trace, RenderMaxStepsEdgeCases) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{1, 1, 1}, std::nullopt});
+  RandomScheduler sched(3, 3);
+  const Trace trace = recordRun(engine, sched, 1000, 1);
+  ASSERT_GT(trace.size(), 1u);
+
+  // maxSteps == 0 renders everything, no truncation note.
+  const std::string all = trace.render(nullptr, 0);
+  EXPECT_EQ(all.find("more steps"), std::string::npos);
+  EXPECT_NE(all.find("t=" + std::to_string(trace.size())), std::string::npos);
+
+  // maxSteps == size is exactly "all" as well.
+  EXPECT_EQ(trace.render(nullptr, trace.size()), all);
+
+  // maxSteps > size must not read past the end or claim truncation.
+  EXPECT_EQ(trace.render(nullptr, trace.size() + 10), all);
+
+  // maxSteps < size truncates and reports the exact remainder.
+  const std::string one = trace.render(nullptr, 1);
+  EXPECT_NE(one.find("... (" + std::to_string(trace.size() - 1) + " more steps)"),
+            std::string::npos);
+}
+
+TEST(Trace, ToJsonlEveryLineIsValidJson) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{1, 1, 1}, std::nullopt});
+  RandomScheduler sched(3, 7);
+  const Trace trace = recordRun(engine, sched, 1000, 1);
+  ASSERT_GT(trace.size(), 0u);
+
+  const std::string jsonl = trace.toJsonl(&proto);
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(jsonIsValid(line)) << "line " << count << ": " << line;
+    ++count;
+  }
+  EXPECT_EQ(count, trace.size() + 1);  // trace_start + one line per step
+  EXPECT_NE(jsonl.find("\"event\":\"trace_start\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"trace_step\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"names\":["), std::string::npos);
+
+  // Without the protocol there is no names projection.
+  const std::string bare = trace.toJsonl();
+  EXPECT_EQ(bare.find("\"names\""), std::string::npos);
+  EXPECT_NE(bare.find("\"config\":["), std::string::npos);
+}
+
+TEST(Trace, ToJsonlEmptyTraceIsJustTheStartLine) {
+  const AsymmetricNaming proto(3);
+  Engine engine(proto, Configuration{{0, 1, 2}, std::nullopt});
+  RoundRobinScheduler sched(3);
+  const Trace trace = recordRun(engine, sched, 1000, 1);
+  ASSERT_EQ(trace.size(), 0u);
+  const std::string jsonl = trace.toJsonl(&proto);
+  EXPECT_EQ(jsonl.find('\n'), jsonl.size() - 1);  // exactly one line
+  EXPECT_TRUE(jsonIsValid(jsonl.substr(0, jsonl.size() - 1)));
 }
 
 TEST(ReducingScheduler, EnforcesTheReducedExecutionInvariant) {

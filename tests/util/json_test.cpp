@@ -86,5 +86,58 @@ TEST(JsonWriter, MisuseThrowsInsteadOfEmittingGarbage) {
   }
 }
 
+TEST(JsonValidator, AcceptsValidDocuments) {
+  EXPECT_TRUE(jsonIsValid("{}"));
+  EXPECT_TRUE(jsonIsValid("[]"));
+  EXPECT_TRUE(jsonIsValid("null"));
+  EXPECT_TRUE(jsonIsValid("true"));
+  EXPECT_TRUE(jsonIsValid("-12.5e3"));
+  EXPECT_TRUE(jsonIsValid("0"));
+  EXPECT_TRUE(jsonIsValid("\"a\\n\\u00e9\""));
+  EXPECT_TRUE(jsonIsValid(R"({"a":[1,2,{"b":null}],"c":"x"})"));
+  EXPECT_TRUE(jsonIsValid("  [ 1 ,\t2 ]\n"));
+}
+
+TEST(JsonValidator, RejectsInvalidDocuments) {
+  EXPECT_FALSE(jsonIsValid(""));
+  EXPECT_FALSE(jsonIsValid("{"));
+  EXPECT_FALSE(jsonIsValid("[1,]"));
+  EXPECT_FALSE(jsonIsValid("{\"a\":}"));
+  EXPECT_FALSE(jsonIsValid("{'a':1}"));
+  EXPECT_FALSE(jsonIsValid("01"));
+  EXPECT_FALSE(jsonIsValid("1."));
+  EXPECT_FALSE(jsonIsValid("1e"));
+  EXPECT_FALSE(jsonIsValid("nul"));
+  EXPECT_FALSE(jsonIsValid("\"unterminated"));
+  EXPECT_FALSE(jsonIsValid("\"bad\\qescape\""));
+  EXPECT_FALSE(jsonIsValid("\"raw\ncontrol\""));
+  EXPECT_FALSE(jsonIsValid("\"\\u12g4\""));
+  EXPECT_FALSE(jsonIsValid("{} trailing"));
+  EXPECT_FALSE(jsonIsValid("1 2"));
+}
+
+TEST(JsonValidator, WriterOutputAlwaysValidates) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("text").value("line\nbreak \"quoted\" \\slash");
+  w.key("num").value(3.25);
+  w.key("neg").value(std::int64_t{-7});
+  w.key("arr").beginArray().value(true).null().endArray();
+  w.endObject();
+  EXPECT_TRUE(jsonIsValid(w.str()));
+}
+
+TEST(JsonValidator, DeepNestingIsBounded) {
+  // 300 nested arrays exceed the validator's depth cap; it must return
+  // false, not crash.
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(jsonIsValid(deep));
+  std::string ok(100, '[');
+  ok += "1";
+  ok += std::string(100, ']');
+  EXPECT_TRUE(jsonIsValid(ok));
+}
+
 }  // namespace
 }  // namespace ppn

@@ -2,8 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace ppn {
 namespace {
+
+/// Captures delivered messages for the duration of a test.
+class SinkCapture {
+ public:
+  SinkCapture() {
+    setLogSink([this](LogLevel level, std::string_view msg) {
+      messages_.emplace_back(level, std::string(msg));
+    });
+  }
+  ~SinkCapture() { setLogSink({}); }
+
+  const std::vector<std::pair<LogLevel, std::string>>& messages() const {
+    return messages_;
+  }
+
+ private:
+  std::vector<std::pair<LogLevel, std::string>> messages_;
+};
 
 TEST(Log, ThresholdRoundTrip) {
   const LogLevel original = logThreshold();
@@ -23,6 +45,81 @@ TEST(Log, MacrosCompileAndRespectThreshold) {
   PPN_WARN("warn");
   PPN_ERROR("error %f", 1.5);
   setLogThreshold(original);
+}
+
+TEST(Log, ParseLogLevelAcceptsAllFiveLevels) {
+  EXPECT_EQ(parseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(parseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(parseLogLevel("off"), LogLevel::kOff);
+}
+
+TEST(Log, ParseLogLevelGarbageYieldsFallback) {
+  EXPECT_EQ(parseLogLevel(""), LogLevel::kInfo);
+  EXPECT_EQ(parseLogLevel("DEBUG"), LogLevel::kInfo);     // case-sensitive
+  EXPECT_EQ(parseLogLevel("verbose"), LogLevel::kInfo);
+  EXPECT_EQ(parseLogLevel("warn "), LogLevel::kInfo);     // no trimming
+  EXPECT_EQ(parseLogLevel("2"), LogLevel::kInfo);
+  EXPECT_EQ(parseLogLevel("garbage", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(parseLogLevel("", LogLevel::kOff), LogLevel::kOff);
+}
+
+TEST(Log, SinkReceivesOnlyMessagesAtOrAboveThreshold) {
+  const LogLevel original = logThreshold();
+  SinkCapture capture;
+  setLogThreshold(LogLevel::kWarn);
+  PPN_DEBUG("dropped %d", 1);
+  PPN_INFO("dropped too");
+  PPN_WARN("kept %s", "warn");
+  PPN_ERROR("kept error");
+  setLogThreshold(original);
+  ASSERT_EQ(capture.messages().size(), 2u);
+  EXPECT_EQ(capture.messages()[0].first, LogLevel::kWarn);
+  EXPECT_EQ(capture.messages()[0].second, "kept warn");
+  EXPECT_EQ(capture.messages()[1].first, LogLevel::kError);
+  EXPECT_EQ(capture.messages()[1].second, "kept error");
+}
+
+TEST(Log, OverflowingMessageEndsInTruncationMarker) {
+  const LogLevel original = logThreshold();
+  SinkCapture capture;
+  setLogThreshold(LogLevel::kInfo);
+  const std::string longText(2000, 'x');
+  PPN_INFO("%s", longText.c_str());
+  setLogThreshold(original);
+  ASSERT_EQ(capture.messages().size(), 1u);
+  const std::string& msg = capture.messages()[0].second;
+  // The macro's buffer is 512 bytes: 511 chars survive, the last three
+  // replaced by the marker.
+  EXPECT_EQ(msg.size(), 511u);
+  EXPECT_EQ(msg.substr(msg.size() - 3), "...");
+  EXPECT_EQ(msg.substr(0, 8), "xxxxxxxx");
+}
+
+TEST(Log, ShortMessagesAreDeliveredVerbatim) {
+  const LogLevel original = logThreshold();
+  SinkCapture capture;
+  setLogThreshold(LogLevel::kDebug);
+  PPN_DEBUG("n=%d p=%d", 4, 6);
+  setLogThreshold(original);
+  ASSERT_EQ(capture.messages().size(), 1u);
+  EXPECT_EQ(capture.messages()[0].second, "n=4 p=6");
+}
+
+TEST(Log, FinishLogBufferHandlesEdgeCases) {
+  char buf[16];
+  // Exact fit (written == cap-1) is NOT truncation.
+  const std::string fits = "123456789012345";
+  std::snprintf(buf, sizeof buf, "%s", fits.c_str());
+  EXPECT_EQ(detail::finishLogBuffer(buf, sizeof buf, 15), "123456789012345");
+  // One past the end is.
+  const std::string over = fits + "6";
+  std::snprintf(buf, sizeof buf, "%s", over.c_str());
+  EXPECT_EQ(detail::finishLogBuffer(buf, sizeof buf, 16), "123456789012...");
+  // Encoding error replaces the message wholesale.
+  const std::string_view bad = detail::finishLogBuffer(buf, sizeof buf, -1);
+  EXPECT_EQ(bad, std::string_view("(log formatting").substr(0, sizeof buf - 1));
 }
 
 TEST(Log, LevelsAreOrdered) {
