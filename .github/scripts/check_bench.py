@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validates the step-throughput report produced by the CI bench smoke job.
+
+Checks (the E21 acceptance contract's CI-checkable core):
+  * the report parses, carries the expected "ppn-step-throughput" kind and a
+    non-empty row per measurement;
+  * every row has positive interpreted and compiled throughputs and a
+    consistent speedup field (compiled / interpreted);
+  * the compiled fast path is never SLOWER than the interpreted reference
+    (speedup >= 1.0) — the regression this guard exists to catch. The full
+    >= 3x target is asserted on the committed BENCH_step_throughput.json, not
+    on shared CI runners whose absolute throughput is noisy.
+
+Usage: check_bench.py BENCH_step_throughput.json [min_speedup]
+"""
+import json
+import sys
+
+EXPECTED_PROTOCOLS = {
+    "asymmetric", "symmetric-global", "leader-uniform",
+    "counting", "selfstab-weak", "global-leader",
+}
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail(f"usage: {argv[0]} BENCH_step_throughput.json [min_speedup]")
+    path = argv[1]
+    min_speedup = float(argv[2]) if len(argv) > 2 else 1.0
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    if doc.get("kind") != "ppn-step-throughput":
+        fail(f"{path}: kind is {doc.get('kind')!r}")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: empty or missing rows")
+
+    seen = set()
+    for row in rows:
+        proto = row.get("protocol")
+        if proto not in EXPECTED_PROTOCOLS:
+            fail(f"unknown protocol {proto!r}")
+        if proto in seen:
+            fail(f"duplicate row for {proto!r}")
+        seen.add(proto)
+        interp = row.get("interpretedStepsPerSec", 0.0)
+        compiled = row.get("compiledStepsPerSec", 0.0)
+        speedup = row.get("speedup", 0.0)
+        if not interp > 0.0 or not compiled > 0.0:
+            fail(f"{proto}: non-positive throughput "
+                 f"(interp={interp}, compiled={compiled})")
+        if abs(speedup - compiled / interp) > 1e-6 * speedup:
+            fail(f"{proto}: speedup field {speedup} inconsistent with "
+                 f"{compiled}/{interp}")
+        if speedup < min_speedup:
+            fail(f"{proto}: compiled path speedup {speedup:.2f}x is below "
+                 f"the {min_speedup:.2f}x floor — the compiled kernel "
+                 f"regressed relative to the interpreted reference")
+
+    missing = EXPECTED_PROTOCOLS - seen
+    if missing:
+        fail(f"missing rows for {sorted(missing)}")
+
+    print(f"check_bench: OK: {len(rows)} protocols, speedups "
+          + ", ".join(f"{r['protocol']}={r['speedup']:.2f}x" for r in rows))
+
+
+if __name__ == "__main__":
+    main(sys.argv)

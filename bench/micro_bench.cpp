@@ -7,14 +7,20 @@
 // metrics-registry counter/histogram hot paths and observed-vs-unobserved
 // runUntilSilent, so the "< 2% on the hot loop" budget stays checkable.
 //
-// A custom main() (instead of benchmark_main) accepts the telemetry flags
+// A custom main() (instead of benchmark_main) accepts repo-specific flags
 // in --flag=value form before delegating the rest to google-benchmark:
 //   ./micro_bench [--events-out=run.jsonl] [--metrics-out=metrics.json]
+//                 [--step-throughput-out=report.json]
 //                 [google-benchmark flags...]
-// With the flags set it runs a small observed sample batch after the
-// benchmarks, streaming its JSONL events and dumping the metrics snapshot.
+// With the telemetry flags set it runs a small observed sample batch after
+// the benchmarks, streaming its JSONL events and dumping the metrics
+// snapshot. --step-throughput-out runs the E21 interpreted-vs-compiled
+// experiment INSTEAD of the benchmarks and writes the JSON report consumed
+// by .github/scripts/check_bench.py (see EXPERIMENTS.md E21).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +32,7 @@
 #include "analysis/global_checker.h"
 #include "analysis/initial_sets.h"
 #include "analysis/weak_checker.h"
+#include "core/compiled.h"
 #include "core/engine.h"
 #include "naming/registry.h"
 #include "obs/events.h"
@@ -34,6 +41,7 @@
 #include "sched/deterministic_schedulers.h"
 #include "sched/random_scheduler.h"
 #include "sim/runner.h"
+#include "util/json.h"
 
 namespace {
 
@@ -67,6 +75,71 @@ BENCHMARK_CAPTURE(BM_StepThroughput, asymmetric, "asymmetric")->Arg(16)->Arg(256
 BENCHMARK_CAPTURE(BM_StepThroughput, selfstab_weak, "selfstab-weak")->Arg(12);
 BENCHMARK_CAPTURE(BM_StepThroughput, global_leader, "global-leader")->Arg(12);
 BENCHMARK_CAPTURE(BM_StepThroughput, leader_uniform, "leader-uniform")->Arg(256);
+
+// --- E21: compiled fast path (core/compiled.h) ------------------------------
+
+// Per-interaction cost with the flat tables attached. Compare against the
+// same-key BM_StepThroughput rows: the delta is the virtual-dispatch +
+// bounds-checking overhead the compilation removes from a single step().
+void BM_CompiledStepThroughput(benchmark::State& state, const char* key) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto proto = makeProtocol(key, static_cast<StateId>(n));
+  const CompiledProtocol compiled(*proto);
+  Rng rng(7);
+  Engine engine(*proto, key == std::string("leader-uniform")
+                            ? uniformConfiguration(*proto, n)
+                            : arbitraryConfiguration(*proto, n, rng));
+  engine.attachCompiled(&compiled);
+  RandomScheduler sched(engine.numParticipants(), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(sched.next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_CompiledStepThroughput, asymmetric, "asymmetric")
+    ->Arg(16)->Arg(256);
+BENCHMARK_CAPTURE(BM_CompiledStepThroughput, leader_uniform, "leader-uniform")
+    ->Arg(256);
+
+// The real hot kernel: Engine::runBurst pulls scheduler pairs in blocks and
+// batches the counter updates, so it is faster than compiled step()-by-step —
+// this is what runUntilSilent actually executes.
+void BM_BurstThroughput(benchmark::State& state, const char* key, bool fast) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto proto = makeProtocol(key, static_cast<StateId>(n));
+  const CompiledProtocol compiled(*proto);
+  Rng rng(7);
+  Engine engine(*proto, arbitraryConfiguration(*proto, n, rng));
+  if (fast) engine.attachCompiled(&compiled);
+  RandomScheduler sched(engine.numParticipants(), 11);
+  constexpr std::uint64_t kBurst = 4096;
+  for (auto _ : state) {
+    engine.runBurst(sched, kBurst);
+    benchmark::DoNotOptimize(engine.nonNullInteractions());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBurst));
+}
+BENCHMARK_CAPTURE(BM_BurstThroughput, asymmetric_interp, "asymmetric", false)
+    ->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_BurstThroughput, asymmetric_compiled, "asymmetric", true)
+    ->Arg(256)->Unit(benchmark::kMicrosecond);
+
+// Incremental silence verdict (counter test + leader row scan) vs the
+// histogram-rebuilding isSilent() oracle at the same N — the poll cost that
+// used to be paid every checkInterval interactions.
+void BM_IncrementalSilence(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto proto = makeProtocol("asymmetric", static_cast<StateId>(n));
+  const CompiledProtocol compiled(*proto);
+  Rng rng(7);
+  Engine engine(*proto, arbitraryConfiguration(*proto, n, rng));
+  engine.attachCompiled(&compiled);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.silent());
+  }
+}
+BENCHMARK(BM_IncrementalSilence)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_SilenceCheck(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -187,6 +260,132 @@ BENCHMARK_CAPTURE(BM_RunTelemetry, observed, true)
 
 namespace {
 
+/// One interpreted-vs-compiled throughput measurement (E21). Both paths run
+/// the identical interaction sequence (same scheduler seed, same start
+/// configuration — the differential tests prove bit-identical executions), so
+/// the ratio is a pure substrate speedup, not a workload difference.
+struct ThroughputRow {
+  std::string protocol;
+  StateId p = 0;
+  std::uint64_t interactions = 0;
+  double interpretedStepsPerSec = 0.0;
+  double compiledStepsPerSec = 0.0;
+  double speedup = 0.0;
+};
+
+double measureStepsPerSec(const Protocol& proto, std::uint32_t numMobile,
+                          const CompiledProtocol* compiled,
+                          const RunLimits& limits, int repetitions,
+                          std::uint64_t* interactionsOut) {
+  using Clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Rng rng(9);  // same seed every rep and for both paths
+    Configuration start;
+    try {
+      start = arbitraryConfiguration(proto, numMobile, rng);
+    } catch (const std::logic_error&) {
+      // Non-initialized leader with an un-enumerable state space at this P
+      // (selfstab-weak): arbitrary init admits ANY leader state, so pick the
+      // zero encoding — the throughput measured is the same.
+      for (std::uint32_t i = 0; i < numMobile; ++i) {
+        start.mobile.push_back(
+            static_cast<StateId>(rng.below(proto.numMobileStates())));
+      }
+      start.leader = LeaderStateId{0};
+    }
+    Engine engine(proto, std::move(start));
+    if (compiled != nullptr) engine.attachCompiled(compiled);
+    RandomScheduler sched(engine.numParticipants(), rng.next());
+    const Clock::time_point t0 = Clock::now();
+    const RunOutcome out = runUntilSilent(engine, sched, limits);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (interactionsOut != nullptr) *interactionsOut = out.totalInteractions;
+    if (secs > 0.0) {
+      best = std::max(best, static_cast<double>(out.totalInteractions) / secs);
+    }
+  }
+  return best;
+}
+
+/// Runs the E21 step-throughput experiment (N = 256 across the registry,
+/// interpreted vs compiled runUntilSilent, best of 3) and writes the
+/// machine-readable report consumed by .github/scripts/check_bench.py.
+int dumpStepThroughput(const std::string& path) {
+  struct Case {
+    const char* key;
+    StateId p;
+  };
+  // P chosen so every protocol has 256 mobile states at N = 256 (the
+  // symmetric/selfstab constructions use P+1 states for a bound of P).
+  const Case cases[] = {{"asymmetric", 256},   {"symmetric-global", 255},
+                        {"leader-uniform", 256}, {"counting", 256},
+                        {"selfstab-weak", 255},  {"global-leader", 256}};
+  // 4M interactions keeps the compiled timed region tens of milliseconds
+  // (~100M steps/s), long enough that best-of-5 is stable across CI runners.
+  const std::uint32_t numMobile = 256;
+  const RunLimits limits{4'000'000, 64};
+  const int repetitions = 5;
+
+  std::vector<ThroughputRow> rows;
+  for (const Case& c : cases) {
+    const auto proto = makeProtocol(c.key, c.p);
+    const CompiledProtocol compiled(*proto);
+    ThroughputRow row;
+    row.protocol = c.key;
+    row.p = c.p;
+    // Warm-up pass per path, then best-of-N timed passes.
+    measureStepsPerSec(*proto, numMobile, nullptr, RunLimits{100'000, 64}, 1,
+                       nullptr);
+    row.interpretedStepsPerSec = measureStepsPerSec(
+        *proto, numMobile, nullptr, limits, repetitions, nullptr);
+    measureStepsPerSec(*proto, numMobile, &compiled, RunLimits{100'000, 64}, 1,
+                       nullptr);
+    row.compiledStepsPerSec = measureStepsPerSec(
+        *proto, numMobile, &compiled, limits, repetitions, &row.interactions);
+    row.speedup = row.interpretedStepsPerSec > 0.0
+                      ? row.compiledStepsPerSec / row.interpretedStepsPerSec
+                      : 0.0;
+    rows.push_back(row);
+    std::fprintf(stderr,
+                 "step-throughput %-16s P=%-3u interp=%.3gM/s compiled=%.3gM/s "
+                 "speedup=%.2fx\n",
+                 row.protocol.c_str(), row.p,
+                 row.interpretedStepsPerSec / 1e6,
+                 row.compiledStepsPerSec / 1e6, row.speedup);
+  }
+
+  JsonWriter w;
+  w.beginObject();
+  w.key("kind").value("ppn-step-throughput");
+  w.key("numMobile").value(numMobile);
+  w.key("budgetInteractions").value(limits.maxInteractions);
+  w.key("checkInterval").value(limits.checkInterval);
+  w.key("repetitions").value(repetitions);
+  w.key("rows").beginArray();
+  for (const ThroughputRow& row : rows) {
+    w.beginObject();
+    w.key("protocol").value(row.protocol);
+    w.key("p").value(row.p);
+    w.key("interactions").value(row.interactions);
+    w.key("interpretedStepsPerSec").value(row.interpretedStepsPerSec);
+    w.key("compiledStepsPerSec").value(row.compiledStepsPerSec);
+    w.key("speedup").value(row.speedup);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "micro_bench: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << w.str() << '\n';
+  return 0;
+}
+
 /// Post-benchmark telemetry sample: a small observed batch whose JSONL
 /// events and metrics snapshot land in the files named by the stripped
 /// --events-out=/--metrics-out= flags.
@@ -237,6 +436,7 @@ int dumpTelemetrySample(const std::string& eventsOut,
 int main(int argc, char** argv) {
   std::string eventsOut;
   std::string metricsOut;
+  std::string stepThroughputOut;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -244,10 +444,15 @@ int main(int argc, char** argv) {
       eventsOut = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metricsOut = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--step-throughput-out=", 22) == 0) {
+      stepThroughputOut = argv[i] + 22;
     } else {
       rest.push_back(argv[i]);
     }
   }
+  // The step-throughput experiment (E21) stands alone: it times whole runs
+  // itself, so it skips the google-benchmark harness entirely.
+  if (!stepThroughputOut.empty()) return dumpStepThroughput(stepThroughputOut);
   int restArgc = static_cast<int>(rest.size());
   benchmark::Initialize(&restArgc, rest.data());
   if (benchmark::ReportUnrecognizedArguments(restArgc, rest.data())) return 1;

@@ -1,0 +1,98 @@
+#include "core/compiled.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace ppn {
+
+namespace {
+
+std::size_t bitmapWords(std::size_t bits) { return (bits + 63) / 64; }
+
+void setBit(std::vector<std::uint64_t>& bitmap, std::size_t bit) {
+  bitmap[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+}
+
+}  // namespace
+
+bool CompiledProtocol::compilable(const Protocol& proto) {
+  const StateId q = proto.numMobileStates();
+  return q >= 1 && q <= kMaxStates;
+}
+
+CompiledProtocol::CompiledProtocol(const Protocol& proto)
+    : proto_(&proto), q_(proto.numMobileStates()), words_(bitmapWords(q_)) {
+  if (!compilable(proto)) {
+    throw std::invalid_argument("CompiledProtocol: '" + proto.name() +
+                                "' has " + std::to_string(q_) +
+                                " states, outside [1, " +
+                                std::to_string(kMaxStates) + "]");
+  }
+
+  const std::size_t qq = static_cast<std::size_t>(q_) * q_;
+  mobile_.resize(qq);
+  nullMM_.assign(bitmapWords(qq), 0);
+  diagActive_.assign(words_, 0);
+  activeRows_.assign(static_cast<std::size_t>(q_) * words_, 0);
+  names_.resize(q_);
+  validNames_.assign(words_, 0);
+
+  for (StateId a = 0; a < q_; ++a) {
+    for (StateId b = 0; b < q_; ++b) {
+      const MobilePair r = proto.mobileDelta(a, b);
+      if (r.initiator >= q_ || r.responder >= q_) {
+        throw std::invalid_argument(
+            "CompiledProtocol: '" + proto.name() + "' delta(" +
+            std::to_string(a) + ", " + std::to_string(b) +
+            ") leaves the state space");
+      }
+      const std::size_t cell = static_cast<std::size_t>(a) * q_ + b;
+      mobile_[cell] = r;
+      if (r.initiator == a && r.responder == b) setBit(nullMM_, cell);
+    }
+  }
+
+  for (StateId s = 0; s < q_; ++s) {
+    if (!mobileNull(s, s)) setBit(diagActive_, s);
+    for (StateId t = 0; t < q_; ++t) {
+      if (t != s && (!mobileNull(s, t) || !mobileNull(t, s))) {
+        setBit(activeRows_, static_cast<std::size_t>(s) * words_ * 64 + t);
+      }
+    }
+    names_[s] = proto.nameOf(s);
+    if (proto.isValidName(s)) setBit(validNames_, s);
+  }
+
+  if (!proto.hasLeader()) return;
+  leaderIds_ = proto.allLeaderStates();
+  const std::size_t l = leaderIds_.size();
+  if (l == 0 || l * q_ > kMaxLeaderEntries) {
+    leaderIds_.clear();
+    return;  // leader stays on the virtual path
+  }
+  leaderIndex_.reserve(l);
+  for (std::uint32_t i = 0; i < l; ++i) leaderIndex_.emplace(leaderIds_[i], i);
+  leader_.resize(l * q_);
+  nullLM_.assign(bitmapWords(l * q_), 0);
+  for (std::uint32_t li = 0; li < l; ++li) {
+    for (StateId s = 0; s < q_; ++s) {
+      const LeaderResult r = proto.leaderDelta(leaderIds_[li], s);
+      const auto it = leaderIndex_.find(r.leader);
+      if (it == leaderIndex_.end() || r.mobile >= q_) {
+        // Not closed over the enumerated set: discard the leader table and
+        // keep leader interactions virtual (the mobile table stands).
+        leaderIds_.clear();
+        leaderIndex_.clear();
+        leader_.clear();
+        nullLM_.clear();
+        return;
+      }
+      const std::size_t cell = static_cast<std::size_t>(li) * q_ + s;
+      leader_[cell] = LeaderEntry{it->second, r.mobile};
+      if (it->second == li && r.mobile == s) setBit(nullLM_, cell);
+    }
+  }
+  leaderCompiled_ = true;
+}
+
+}  // namespace ppn

@@ -5,20 +5,38 @@
 // are participants 0 .. N-1; when the protocol has a leader it is participant
 // N. An *execution* in the paper's sense is the sequence of configurations
 // produced by repeatedly calling step().
+//
+// Two execution paths share this interface:
+//  * the interpreted path — virtual Protocol dispatch per interaction and
+//    histogram-rebuilding silence checks. The reference oracle.
+//  * the compiled fast path — attachCompiled() binds a CompiledProtocol
+//    (flat transition tables, core/compiled.h) and the engine maintains an
+//    incremental silence tracker: the mobile-state histogram is updated in
+//    O(1) per interaction and an active-pair counter (derived from the
+//    compiled null-transition bitmaps) counts the live unordered state pairs,
+//    so silent() collapses to a counter test plus an O(present-states) leader
+//    row scan. Both paths produce bit-identical executions and counters
+//    (tests/core/compiled_test.cpp enforces this differentially).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/configuration.h"
 #include "core/protocol.h"
 #include "obs/observer.h"
+#include "sched/scheduler.h"
 #include "util/rng.h"
 
 namespace ppn {
 
+class CompiledProtocol;
+
 /// Applies one interaction to `config` in place. Returns true when the
 /// transition was non-null (the configuration changed, including leader-only
-/// changes). Participant indices follow the convention above.
+/// changes). Participant indices follow the convention above; out-of-range
+/// indices throw std::logic_error (states themselves are validated once, at
+/// Engine construction, not per step).
 bool applyInteraction(const Protocol& proto, Configuration& config,
                       Interaction interaction);
 
@@ -60,8 +78,18 @@ Configuration arbitraryConfiguration(const Protocol& proto,
 
 class Engine {
  public:
-  /// The protocol must outlive the engine.
+  /// The protocol must outlive the engine. Validates every mobile state of
+  /// `start` against the protocol's state space once, here — the hot path
+  /// then indexes unchecked.
   Engine(const Protocol& proto, Configuration start);
+
+  /// Binds the compiled fast path (nullptr detaches and reverts to the
+  /// interpreted path). `compiled` must be a compilation of this engine's
+  /// protocol and must outlive the engine; it is read-only and may be shared
+  /// by many engines across threads. (Re)builds the incremental silence
+  /// tracker from the current configuration.
+  void attachCompiled(const CompiledProtocol* compiled);
+  const CompiledProtocol* compiledProtocol() const { return compiled_; }
 
   std::uint32_t numMobile() const { return config_.numMobile(); }
 
@@ -73,10 +101,19 @@ class Engine {
   /// Applies one interaction; returns true when it was non-null.
   bool step(Interaction interaction);
 
+  /// Applies the next `n` interactions from `sched` — the hot kernel. With a
+  /// compiled protocol attached this is a tight virtual-free loop over the
+  /// flat tables, pulling scheduler pairs in blocks via Scheduler::fill;
+  /// otherwise it degrades to n step(sched.next()) calls. Configuration,
+  /// counters and lastChangeAt() are identical on both paths.
+  void runBurst(Scheduler& sched, std::uint64_t n);
+
   const Configuration& config() const { return config_; }
   const Protocol& protocol() const { return *proto_; }
 
-  bool silent() const { return isSilent(*proto_, config_); }
+  /// O(1) active-pair test + O(present-states) leader row scan on the
+  /// compiled path; full isSilent() otherwise. Same verdict either way.
+  bool silent() const;
   bool namingSolved() const { return isNamingSolved(*proto_, config_); }
 
   std::uint64_t totalInteractions() const { return interactions_; }
@@ -88,9 +125,11 @@ class Engine {
   std::uint64_t lastChangeAt() const { return lastChangeAt_; }
 
   /// Transient-fault injection: overwrite one agent's state / leader state.
-  /// When an observer is attached, each call emits a fault_injected event —
-  /// this is the single choke point every fault regime goes through, so
-  /// attaching here observes them all.
+  /// Validates the victim index and the injected state (throws
+  /// std::logic_error) — faults are rare, so unlike step() this entry point
+  /// keeps its guards. When an observer is attached, each call emits a
+  /// fault_injected event — this is the single choke point every fault
+  /// regime goes through, so attaching here observes them all.
   void corruptMobile(AgentId agent, StateId state);
   void corruptLeader(LeaderStateId state);
 
@@ -108,6 +147,18 @@ class Engine {
   void resetTo(Configuration start);
 
  private:
+  /// One compiled interaction: table lookups plus the O(1) tracker updates.
+  /// Does not touch the interaction counters (callers batch those).
+  bool stepCompiled(Interaction interaction);
+
+  /// Incremental silence tracker (compiled path only).
+  void trackerAdd(StateId s);
+  void trackerRemove(StateId s);
+  std::uint64_t trackerActiveWith(StateId s) const;
+  void rebuildTracker();
+  void refreshLeaderIndex();
+  bool fastSilent() const;
+
   const Protocol* proto_;
   Configuration config_;
   std::uint64_t interactions_ = 0;
@@ -115,6 +166,13 @@ class Engine {
   std::uint64_t lastChangeAt_ = 0;
   RunObserver* observer_ = nullptr;
   std::uint64_t observerRunId_ = 0;
+
+  const CompiledProtocol* compiled_ = nullptr;
+  std::vector<std::uint32_t> hist_;      ///< mobile-state multiplicities
+  std::vector<std::uint64_t> present_;   ///< presence bitset over states
+  std::uint64_t activePairs_ = 0;        ///< live unordered state pairs
+  std::uint32_t leaderIdx_ = 0xffffffffu;  ///< dense leader index cache
+  std::vector<Interaction> burstBuf_;    ///< scratch for Scheduler::fill
 };
 
 }  // namespace ppn

@@ -26,6 +26,12 @@ class RandomScheduler final : public Scheduler {
     return Interaction{a, b};
   }
 
+  /// Same stream as repeated next(), devirtualized into one tight loop (the
+  /// class is final, so the next() calls below inline).
+  void fill(Interaction* out, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next();
+  }
+
   std::string name() const override { return "random-uniform"; }
 
  private:

@@ -14,6 +14,7 @@
 // the engine's indexing convention: mobile agents 0..N-1, leader (if any) N.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -27,6 +28,14 @@ class Scheduler {
 
   /// The next interaction to execute.
   virtual Interaction next() = 0;
+
+  /// Fills out[0..n) with the next n interactions — semantically identical
+  /// to n calls of next(), always producing the same sequence. Hot
+  /// schedulers override this so the engine's compiled burst kernel pays one
+  /// virtual dispatch per block instead of one per interaction.
+  virtual void fill(Interaction* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = next();
+  }
 
   /// Human-readable name for tables.
   virtual std::string name() const = 0;

@@ -4,9 +4,12 @@
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "core/compiled.h"
 
 #include "sched/deterministic_schedulers.h"
 #include "sched/random_scheduler.h"
@@ -57,7 +60,7 @@ RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
     }
     const std::uint64_t burst =
         std::min(interval, limits.maxInteractions - steps);
-    for (std::uint64_t i = 0; i < burst; ++i) engine.step(sched.next());
+    engine.runBurst(sched, burst);
     steps += burst;
     silent = engine.silent();
     if (observer != nullptr) {
@@ -182,6 +185,20 @@ BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
   BatchResult result;
   result.runs = spec.runs;
 
+  // Compile the protocol once per batch; the flat tables are read-only and
+  // shared by every worker's engine. A protocol that cannot be compiled
+  // (state space too large, or a delta that is not closed — which the
+  // interpreted path tolerates until the bad state is actually hit) simply
+  // stays on the interpreted path: outcomes are bit-identical either way.
+  std::optional<CompiledProtocol> compiled;
+  if (spec.compiled && CompiledProtocol::compilable(proto)) {
+    try {
+      compiled.emplace(proto);
+    } catch (const std::invalid_argument&) {
+      compiled.reset();
+    }
+  }
+
   // Derive every run's randomness sequentially so results do not depend on
   // the thread count or scheduling order. The start configuration itself is
   // built inside the worker from the pre-split per-run generator (still
@@ -204,6 +221,7 @@ BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
                 ? uniformConfiguration(proto, spec.numMobile)
                 : arbitraryConfiguration(proto, spec.numMobile, runRng);
         Engine engine(proto, std::move(start));
+        if (compiled.has_value()) engine.attachCompiled(&*compiled);
         auto sched =
             makeScheduler(spec.sched, engine.numParticipants(), runRng.next());
         const std::uint64_t runId = spec.runIdBase + r;

@@ -6,6 +6,13 @@
 // is observed (silence is permanent for deterministic protocols) the
 // convergence time does not depend on how often silence was polled.
 //
+// Hot path: runUntilSilent steps the engine through Engine::runBurst, so an
+// engine with a CompiledProtocol attached (runBatch attaches one per batch,
+// see BatchSpec::compiled) runs the virtual-free table kernel with O(1)
+// incremental silence detection; an unadorned engine runs the interpreted
+// reference path. Both produce bit-identical RunOutcomes and observer event
+// streams for the same seed.
+//
 // Batches are hardened for campaign-scale use (see src/faults/):
 //  * worker threads never leak exceptions (a throwing run cancels the rest of
 //    the batch cooperatively and the first exception is rethrown on join);
@@ -127,6 +134,12 @@ struct BatchSpec {
   /// Added to each run's index to form its event runId, so sweeps chaining
   /// several batches into one observer keep ids unique across the sweep.
   std::uint64_t runIdBase = 0;
+  /// Use the compiled fast path (core/compiled.h): the protocol's transition
+  /// tables are flattened once per batch and shared read-only by all workers,
+  /// and each engine maintains the incremental silence tracker. Outcomes are
+  /// bit-identical to the interpreted path (enforced by the differential
+  /// tests); false forces the interpreted reference path.
+  bool compiled = true;
 };
 
 struct BatchResult {
