@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-rev/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("obs")
+subdirs("core")
+subdirs("sched")
+subdirs("naming")
+subdirs("tasks")
+subdirs("analysis")
+subdirs("stats")
+subdirs("sim")
+subdirs("faults")
