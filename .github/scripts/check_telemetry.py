@@ -1,26 +1,53 @@
 #!/usr/bin/env python3
 """Validates the telemetry smoke artifacts produced in CI.
 
-Checks (the E20 acceptance contract):
-  * every line of the JSONL event stream parses as a JSON object with an
-    "event" discriminator and an "elapsed_ms" timestamp;
+Two event families share the JSONL stream format; each is validated when
+present, and at least one must be:
+
+Run family (the E20 acceptance contract — robustness_table):
   * run_start/run_end events pair one-to-one per run id;
   * fault_injected / watchdog_abort / cancelled events carry a run id that
     belongs to a started run;
-  * the metrics snapshot parses, and its endpoint counters agree with the
-    event stream (runs_ended == run_end lines, faults_injected ==
-    fault_injected lines) and with the robustness-table JSON's run count.
+  * metrics endpoint counters agree with the event stream (runs_ended ==
+    run_end lines, faults_injected == fault_injected lines) and with the
+    robustness-table JSON's run count.
+
+Explore family (the E22 acceptance contract — lower_bound_search etc.):
+  * per exploration id, explore_progress node/edge counts are monotone
+    non-decreasing and the stream ends with a done=true event;
+  * phase_start/phase_end nest LIFO per exploration id (phase_end always
+    closes the innermost open phase) and every phase is closed by EOF;
+  * per search id, search_progress examined counts are monotone,
+    examined <= total, and the stream ends with done=true;
+  * metrics counters agree: explorations == done explore_progress lines,
+    explorations_truncated == explore_truncated lines, explore_phases ==
+    phase_end lines.
+
+With --trace FILE, also validates a Chrome trace_event export:
+  * top-level object with a traceEvents list and displayTimeUnit;
+  * every duration track balances its B/E events as a stack, with each E
+    naming the innermost open B;
+  * every track that carries events has thread_name metadata.
+
+Every JSONL line must parse as a JSON object with an "event" discriminator
+and an "elapsed_ms" timestamp.
 
 Usage: check_telemetry.py events.jsonl metrics.json [table.json]
+                          [--trace trace.json]
 """
 import json
 import sys
-from collections import Counter
+from collections import Counter, defaultdict
 
-KNOWN_EVENTS = {
+RUN_EVENTS = {
     "run_start", "run_end", "fault_injected", "watchdog_abort",
     "cancelled", "batch_progress",
 }
+EXPLORE_EVENTS = {
+    "explore_progress", "phase_start", "phase_end", "explore_truncated",
+    "search_progress",
+}
+KNOWN_EVENTS = RUN_EVENTS | EXPLORE_EVENTS
 
 
 def fail(msg):
@@ -28,14 +55,8 @@ def fail(msg):
     sys.exit(1)
 
 
-def main(argv):
-    if len(argv) < 3:
-        fail(f"usage: {argv[0]} events.jsonl metrics.json [table.json]")
-    events_path, metrics_path = argv[1], argv[2]
-    table_path = argv[3] if len(argv) > 3 else None
-
-    starts, ends = Counter(), Counter()
-    kinds = Counter()
+def load_events(events_path):
+    events = []
     with open(events_path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -52,17 +73,24 @@ def main(argv):
                 fail(f"{events_path}:{lineno}: unknown event {kind!r}")
             if "elapsed_ms" not in obj:
                 fail(f"{events_path}:{lineno}: missing elapsed_ms")
-            kinds[kind] += 1
-            if kind == "run_start":
-                starts[obj["run"]] += 1
-            elif kind == "run_end":
-                ends[obj["run"]] += 1
-            elif kind in ("fault_injected", "watchdog_abort", "cancelled"):
-                if "run" not in obj:
-                    fail(f"{events_path}:{lineno}: {kind} without run id")
+            events.append((lineno, obj))
+    return events
+
+
+def check_run_family(events_path, events):
+    starts, ends = Counter(), Counter()
+    for lineno, obj in events:
+        kind = obj["event"]
+        if kind == "run_start":
+            starts[obj["run"]] += 1
+        elif kind == "run_end":
+            ends[obj["run"]] += 1
+        elif kind in ("fault_injected", "watchdog_abort", "cancelled"):
+            if "run" not in obj:
+                fail(f"{events_path}:{lineno}: {kind} without run id")
 
     if not starts:
-        fail("no run_start events at all")
+        fail("run-family events present but no run_start at all")
     if starts != ends:
         only_start = set(starts) - set(ends)
         only_end = set(ends) - set(starts)
@@ -72,23 +100,202 @@ def main(argv):
     if dups:
         fail(f"runs with duplicate start/end events: {sorted(dups)[:5]}")
 
-    with open(events_path, encoding="utf-8") as f:
-        for lineno, line in enumerate(f, 1):
-            obj = json.loads(line)
-            if obj["event"] in ("fault_injected", "watchdog_abort",
-                                "cancelled") and obj["run"] not in starts:
-                fail(f"{events_path}:{lineno}: {obj['event']} references "
-                     f"unknown run {obj['run']}")
+    for lineno, obj in events:
+        if obj["event"] in ("fault_injected", "watchdog_abort",
+                            "cancelled") and obj["run"] not in starts:
+            fail(f"{events_path}:{lineno}: {obj['event']} references "
+                 f"unknown run {obj['run']}")
+    return ends
+
+
+def check_explore_family(events_path, events):
+    """Monotone progress per exploration, LIFO phases, monotone searches."""
+    last_progress = {}                 # explore id -> (lineno, obj)
+    phase_stacks = defaultdict(list)   # explore id -> [open phase names]
+    last_search = {}                   # search id -> (lineno, obj)
+    for lineno, obj in events:
+        kind = obj["event"]
+        if kind == "explore_progress":
+            prev = last_progress.get(obj["explore"])
+            if prev is not None:
+                pline, pobj = prev
+                if pobj["done"]:
+                    fail(f"{events_path}:{lineno}: explore_progress for "
+                         f"exploration {obj['explore']} after its done "
+                         f"event (line {pline})")
+                for field in ("nodes", "edges"):
+                    if obj[field] < pobj[field]:
+                        fail(f"{events_path}:{lineno}: exploration "
+                             f"{obj['explore']} {field} went backwards "
+                             f"({pobj[field]} -> {obj[field]})")
+            last_progress[obj["explore"]] = (lineno, obj)
+        elif kind == "phase_start":
+            phase_stacks[obj["explore"]].append(obj["phase"])
+        elif kind == "phase_end":
+            stack = phase_stacks[obj["explore"]]
+            if not stack:
+                fail(f"{events_path}:{lineno}: phase_end {obj['phase']!r} "
+                     f"for exploration {obj['explore']} with no open phase")
+            if stack[-1] != obj["phase"]:
+                fail(f"{events_path}:{lineno}: phase_end {obj['phase']!r} "
+                     f"does not match innermost open phase {stack[-1]!r} "
+                     f"(exploration {obj['explore']})")
+            stack.pop()
+        elif kind == "explore_truncated":
+            for field in ("explore", "nodes", "max_nodes", "frontier_size"):
+                if field not in obj:
+                    fail(f"{events_path}:{lineno}: explore_truncated "
+                         f"missing {field}")
+        elif kind == "search_progress":
+            prev = last_search.get(obj["search"])
+            if prev is not None:
+                pline, pobj = prev
+                if pobj["done"]:
+                    fail(f"{events_path}:{lineno}: search_progress for "
+                         f"search {obj['search']} after its done event "
+                         f"(line {pline})")
+                if obj["examined"] < pobj["examined"]:
+                    fail(f"{events_path}:{lineno}: search {obj['search']} "
+                         f"examined went backwards ({pobj['examined']} -> "
+                         f"{obj['examined']})")
+            if obj["examined"] > obj["total"]:
+                fail(f"{events_path}:{lineno}: search {obj['search']} "
+                     f"examined {obj['examined']} > total {obj['total']}")
+            last_search[obj["search"]] = (lineno, obj)
+
+    open_phases = {eid: s for eid, s in phase_stacks.items() if s}
+    if open_phases:
+        eid, stack = next(iter(open_phases.items()))
+        fail(f"unclosed phases at EOF, e.g. exploration {eid} still "
+             f"inside {stack!r}")
+    for eid, (lineno, obj) in last_progress.items():
+        if not obj["done"]:
+            fail(f"{events_path}:{lineno}: exploration {eid}'s last "
+                 f"explore_progress has done=false")
+    for sid, (lineno, obj) in last_search.items():
+        if not obj["done"]:
+            fail(f"{events_path}:{lineno}: search {sid}'s last "
+                 f"search_progress has done=false")
+    return len(last_progress), len(last_search)
+
+
+def check_trace(trace_path):
+    """Structural validation of a Chrome trace_event export."""
+    with open(trace_path, encoding="utf-8") as f:
+        try:
+            trace = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{trace_path}: invalid JSON: {e}")
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail(f"{trace_path}: not an object with a traceEvents list")
+    if not isinstance(trace["traceEvents"], list):
+        fail(f"{trace_path}: traceEvents is not a list")
+    if trace.get("displayTimeUnit") not in ("ms", "ns"):
+        fail(f"{trace_path}: displayTimeUnit "
+             f"{trace.get('displayTimeUnit')!r} not ms/ns")
+
+    stacks = defaultdict(list)   # tid -> [open B names]
+    named_tids, used_tids = set(), set()
+    counts = Counter()
+    for i, ev in enumerate(trace["traceEvents"]):
+        if not isinstance(ev, dict):
+            fail(f"{trace_path}: traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in ("B", "E", "i", "C", "M"):
+            fail(f"{trace_path}: traceEvents[{i}]: unexpected ph {ph!r}")
+        for field in ("name", "pid", "tid"):
+            if field not in ev:
+                fail(f"{trace_path}: traceEvents[{i}]: missing {field}")
+        tid = ev["tid"]
+        counts[ph] += 1
+        if ph == "M":
+            if ev["name"] != "thread_name":
+                fail(f"{trace_path}: traceEvents[{i}]: metadata name "
+                     f"{ev['name']!r} (expected 'thread_name')")
+            named_tids.add(tid)
+            continue
+        if "ts" not in ev:
+            fail(f"{trace_path}: traceEvents[{i}]: missing ts")
+        used_tids.add(tid)
+        if ph == "B":
+            stacks[tid].append(ev["name"])
+        elif ph == "E":
+            if not stacks[tid]:
+                fail(f"{trace_path}: traceEvents[{i}]: E {ev['name']!r} on "
+                     f"track {tid} with no open B")
+            if stacks[tid][-1] != ev["name"]:
+                fail(f"{trace_path}: traceEvents[{i}]: E {ev['name']!r} "
+                     f"does not close innermost B {stacks[tid][-1]!r} "
+                     f"on track {tid}")
+            stacks[tid].pop()
+
+    open_spans = {tid: s for tid, s in stacks.items() if s}
+    if open_spans:
+        tid, names = next(iter(open_spans.items()))
+        fail(f"{trace_path}: track {tid} has unclosed spans {names!r}")
+    # Track 0 only ever carries the synthetic events_dropped instant, which
+    # the writer emits without a matching metadata record.
+    unnamed = {t for t in used_tids if t != 0} - named_tids
+    if unnamed:
+        fail(f"{trace_path}: tracks without thread_name metadata: "
+             f"{sorted(unnamed)[:5]}")
+    return counts
+
+
+def main(argv):
+    positional, trace_path = [], None
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--trace":
+            if i + 1 >= len(argv):
+                fail("--trace requires a file argument")
+            trace_path = argv[i + 1]
+            i += 2
+        elif argv[i].startswith("--"):
+            fail(f"unknown option {argv[i]!r}")
+        else:
+            positional.append(argv[i])
+            i += 1
+    if len(positional) < 2:
+        fail(f"usage: {argv[0]} events.jsonl metrics.json [table.json] "
+             f"[--trace trace.json]")
+    events_path, metrics_path = positional[0], positional[1]
+    table_path = positional[2] if len(positional) > 2 else None
+
+    events = load_events(events_path)
+    kinds = Counter(obj["event"] for _, obj in events)
+    has_runs = any(k in RUN_EVENTS for k in kinds)
+    has_explore = any(k in EXPLORE_EVENTS for k in kinds)
+    if not has_runs and not has_explore:
+        fail("event stream is empty")
+
+    ends = Counter()
+    if has_runs:
+        ends = check_run_family(events_path, events)
+    explorations, searches = 0, 0
+    if has_explore:
+        explorations, searches = check_explore_family(events_path, events)
 
     with open(metrics_path, encoding="utf-8") as f:
         metrics = json.load(f)
     if metrics.get("kind") != "ppn-metrics":
         fail(f"{metrics_path}: unexpected kind {metrics.get('kind')!r}")
     counters = metrics.get("counters", {})
-    for name, expected in (("runs_started", sum(starts.values())),
-                           ("runs_ended", sum(ends.values())),
-                           ("faults_injected", kinds["fault_injected"]),
-                           ("watchdog_aborts", kinds["watchdog_abort"])):
+    expectations = []
+    if has_runs:
+        expectations += [
+            ("runs_started", sum(ends.values())),
+            ("runs_ended", sum(ends.values())),
+            ("faults_injected", kinds["fault_injected"]),
+            ("watchdog_aborts", kinds["watchdog_abort"]),
+        ]
+    if has_explore:
+        expectations += [
+            ("explorations", explorations),
+            ("explorations_truncated", kinds["explore_truncated"]),
+            ("explore_phases", kinds["phase_end"]),
+        ]
+    for name, expected in expectations:
         got = counters.get(name)
         if got != expected:
             fail(f"{metrics_path}: counter {name}={got}, "
@@ -97,15 +304,36 @@ def main(argv):
     if table_path:
         with open(table_path, encoding="utf-8") as f:
             table = json.load(f)
-        table_runs = sum(cell.get("runs", 0) for cell in table.get("cells", [])
-                         if cell.get("verdict") != "skipped")
-        if table_runs != sum(ends.values()):
-            fail(f"{table_path}: table accounts for {table_runs} runs, "
-                 f"event stream has {sum(ends.values())}")
+        if has_runs and "cells" in table:
+            table_runs = sum(cell.get("runs", 0)
+                             for cell in table.get("cells", [])
+                             if cell.get("verdict") != "skipped")
+            if table_runs != sum(ends.values()):
+                fail(f"{table_path}: table accounts for {table_runs} runs, "
+                     f"event stream has {sum(ends.values())}")
+        rows = table.get("jobs", []) + [c for c in table.get("cells", [])
+                                        if "verdict" in c]
+        for row in rows:
+            if str(row.get("verdict")).lower() not in ("pass", "fail",
+                                                       "unknown", "skipped"):
+                fail(f"{table_path}: row "
+                     f"{row.get('claim', row.get('cell'))!r} has unexpected "
+                     f"verdict {row.get('verdict')!r}")
 
-    print(f"check_telemetry: OK — {sum(ends.values())} runs, "
-          f"{kinds['fault_injected']} faults, "
-          f"{sum(kinds.values())} events, metrics consistent")
+    trace_note = ""
+    if trace_path:
+        counts = check_trace(trace_path)
+        trace_note = (f", trace OK ({counts['B']} spans, {counts['C']} "
+                      f"counter samples, {counts['M']} tracks)")
+
+    parts = []
+    if has_runs:
+        parts.append(f"{sum(ends.values())} runs, "
+                     f"{kinds['fault_injected']} faults")
+    if has_explore:
+        parts.append(f"{explorations} explorations, {searches} searches")
+    print(f"check_telemetry: OK — {', '.join(parts)}, "
+          f"{sum(kinds.values())} events, metrics consistent{trace_note}")
     return 0
 
 

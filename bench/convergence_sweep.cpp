@@ -12,11 +12,18 @@
 //
 //   ./convergence_sweep [--nmax 11] [--runs 12] [--csv]
 //                       [--events-out run.jsonl] [--metrics-out metrics.json]
-//                       [--progress]
+//                       [--trace-out trace.json]
+//                       [--flight-recorder-out flight.jsonl]
+//                       [--flight-stride 1024] [--progress]
 //
-// Telemetry (E20): --events-out streams per-run JSONL events, --metrics-out
-// dumps the final metrics snapshot, --progress prints periodic runs/sec +
-// ETA to stderr. Absent flags leave the sweep unobserved (output unchanged).
+// Telemetry (E20/E22): --events-out streams per-run JSONL events,
+// --metrics-out dumps the final metrics snapshot, --trace-out writes a
+// Chrome trace_event timeline of every run (chrome://tracing), --progress
+// prints periodic runs/sec + ETA to stderr. --flight-recorder-out arms the
+// convergence flight recorder: every run is sampled each --flight-stride
+// interactions (name occupancy, collisions) and the retained ring is dumped
+// at sweep end (and automatically on any watchdog abort). Absent flags leave
+// the sweep unobserved (output unchanged).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -29,6 +36,7 @@
 #include "obs/metrics.h"
 #include "obs/probes.h"
 #include "obs/progress.h"
+#include "obs/trace.h"
 #include "sim/runner.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -39,6 +47,7 @@ namespace {
 /// `runs` per batch so event run ids stay unique across the whole sweep.
 struct Telemetry {
   ppn::RunObserver* observer = nullptr;
+  ppn::FlightRecorder* recorder = nullptr;
   std::uint64_t nextRunIdBase = 0;
 };
 
@@ -53,6 +62,7 @@ ppn::BatchResult measure(const ppn::Protocol& proto, std::uint32_t n,
   spec.seed = seed;
   spec.limits = ppn::RunLimits{200'000'000, 256};
   spec.observer = telemetry.observer;
+  spec.recorder = telemetry.recorder;
   spec.runIdBase = telemetry.nextRunIdBase;
   telemetry.nextRunIdBase += runs;
   return ppn::runBatch(proto, spec);
@@ -95,6 +105,12 @@ int main(int argc, char** argv) {
       "events-out", "stream JSONL telemetry events to this file", "");
   const auto* metricsOut = cli.addString(
       "metrics-out", "write the final metrics snapshot (JSON) to this file", "");
+  const auto* traceOut = cli.addString(
+      "trace-out", "write a Chrome trace_event timeline to this file", "");
+  const auto* flightOut = cli.addString(
+      "flight-recorder-out", "dump flight-recorder samples (JSONL) here", "");
+  const auto* flightStride = cli.addUint(
+      "flight-stride", "interactions between flight-recorder samples", 1024);
   const auto* progress =
       cli.addFlag("progress", "print periodic batch progress to stderr");
   if (!cli.parse(argc, argv)) return 1;
@@ -105,6 +121,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<ppn::JsonlEventSink> sink;
   std::unique_ptr<ppn::MetricsRunObserver> metricsProbe;
   std::unique_ptr<ppn::ProgressReporter> reporter;
+  std::unique_ptr<ppn::ChromeTraceWriter> traceWriter;
+  std::unique_ptr<ppn::ChromeTraceObserver> traceProbe;
+  std::unique_ptr<ppn::FlightRecorder> recorder;
   ppn::MultiObserver observers;
   try {
     if (!eventsOut->empty()) {
@@ -119,13 +138,23 @@ int main(int argc, char** argv) {
     metricsProbe = std::make_unique<ppn::MetricsRunObserver>(registry);
     observers.add(metricsProbe.get());
   }
+  if (!traceOut->empty()) {
+    traceWriter = std::make_unique<ppn::ChromeTraceWriter>();
+    traceProbe = std::make_unique<ppn::ChromeTraceObserver>(*traceWriter);
+    observers.add(traceProbe.get());
+  }
   if (*progress) {
     reporter = std::make_unique<ppn::ProgressReporter>(
         (e7Points(*nmax) + e8Points()) * runCount);
     observers.add(reporter.get());
   }
+  if (!flightOut->empty()) {
+    recorder = std::make_unique<ppn::FlightRecorder>(
+        4096, std::max<std::uint64_t>(1, *flightStride), *flightOut);
+  }
   Telemetry telemetry;
   if (!observers.empty()) telemetry.observer = &observers;
+  telemetry.recorder = recorder.get();
 
   std::printf("E7: convergence cost vs N (P = N, random scheduler)\n\n");
   {
@@ -186,6 +215,18 @@ int main(int argc, char** argv) {
 
   if (reporter) reporter->finish();
   if (sink) sink->flush();
+  if (traceWriter && !traceWriter->writeToFile(*traceOut)) {
+    std::fprintf(stderr, "convergence_sweep: cannot write '%s'\n",
+                 traceOut->c_str());
+    return 1;
+  }
+  // Watchdog aborts dump mid-sweep on their own; this final dump retains the
+  // tail of a healthy sweep so the samples are inspectable either way.
+  if (recorder && !recorder->dumpToConfiguredPath("sweep_complete")) {
+    std::fprintf(stderr, "convergence_sweep: cannot write '%s'\n",
+                 flightOut->c_str());
+    return 1;
+  }
   if (!metricsOut->empty()) {
     std::ofstream out(*metricsOut, std::ios::trunc);
     if (!out) {

@@ -3,14 +3,24 @@
 // time-space story at small instances, and validating the simulator
 // quantitatively (the two columns must agree to within sampling error).
 //
-//   ./exact_vs_simulated [--runs 512] [--csv]
+//   ./exact_vs_simulated [--runs 512] [--csv] [--events-out events.jsonl]
+//                        [--trace-out trace.json]
+//
+// Telemetry (E22): --events-out streams one run_start/run_end JSONL pair per
+// simulation run; --trace-out renders the same runs as a Chrome trace_event
+// timeline (chrome://tracing). Absent flags leave the runs unobserved.
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 
 #include "analysis/hitting_time.h"
 #include "core/engine.h"
 #include "naming/color_example.h"
 #include "naming/registry.h"
+#include "obs/events.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
 #include "sched/random_scheduler.h"
 #include "sim/runner.h"
 #include "stats/summary.h"
@@ -22,14 +32,16 @@ namespace {
 using namespace ppn;
 
 Summary simulate(const Protocol& proto, const Configuration& start,
-                 std::uint32_t runs, std::uint64_t seed) {
+                 std::uint32_t runs, std::uint64_t seed,
+                 RunObserver* observer, std::uint64_t runIdBase) {
   Rng rng(seed);
   std::vector<double> samples;
   for (std::uint32_t r = 0; r < runs; ++r) {
     Engine engine(proto, start);
     RandomScheduler sched(engine.numParticipants(), rng.next());
-    const RunOutcome out =
-        runUntilSilent(engine, sched, RunLimits{50'000'000, 1});
+    const RunOutcome out = runUntilSilent(engine, sched,
+                                          RunLimits{50'000'000, 1}, nullptr,
+                                          observer, runIdBase + r);
     if (out.silent) {
       samples.push_back(static_cast<double>(out.convergenceInteractions));
     }
@@ -43,7 +55,31 @@ int main(int argc, char** argv) {
   Cli cli("exact_vs_simulated", "Markov-exact convergence vs simulation");
   const auto* runs = cli.addUint("runs", "simulation runs per row", 512);
   const auto* csv = cli.addFlag("csv", "emit CSV");
+  const auto* eventsOut = cli.addString(
+      "events-out", "stream JSONL run events to this file", "");
+  const auto* traceOut = cli.addString(
+      "trace-out", "write a Chrome trace_event timeline to this file", "");
   if (!cli.parse(argc, argv)) return 1;
+
+  std::unique_ptr<JsonlEventSink> sink;
+  std::unique_ptr<ChromeTraceWriter> traceWriter;
+  std::unique_ptr<ChromeTraceObserver> traceProbe;
+  MultiObserver observers;
+  try {
+    if (!eventsOut->empty()) {
+      sink = std::make_unique<JsonlEventSink>(*eventsOut);
+      observers.add(sink.get());
+    }
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "exact_vs_simulated: %s\n", e.what());
+    return 1;
+  }
+  if (!traceOut->empty()) {
+    traceWriter = std::make_unique<ChromeTraceWriter>();
+    traceProbe = std::make_unique<ChromeTraceObserver>(*traceWriter);
+    observers.add(traceProbe.get());
+  }
+  RunObserver* observer = observers.empty() ? nullptr : &observers;
 
   struct Row {
     std::string label;
@@ -89,6 +125,7 @@ int main(int argc, char** argv) {
   Table table({"instance", "chain states", "exact E[interactions]",
                "simulated mean", "simulated sd", "agreement"});
   bool ok = true;
+  std::uint64_t runIdBase = 0;
   for (const auto& row : rows) {
     const HittingTime h = expectedConvergenceTime(*row.proto, row.start, 4000);
     if (!h.computed || h.diverges) {
@@ -97,7 +134,9 @@ int main(int argc, char** argv) {
       continue;
     }
     const Summary s =
-        simulate(*row.proto, row.start, static_cast<std::uint32_t>(*runs), 7);
+        simulate(*row.proto, row.start, static_cast<std::uint32_t>(*runs), 7,
+                 observer, runIdBase);
+    runIdBase += *runs;
     const double stderrMean =
         s.count > 1 ? s.stddev / std::sqrt(static_cast<double>(s.count)) : 0.0;
     const bool agrees =
@@ -115,5 +154,12 @@ int main(int argc, char** argv) {
   std::printf("E18: exact Markov-chain expectations vs simulation\n\n");
   std::fputs((*csv ? table.renderCsv() : table.render()).c_str(), stdout);
   std::printf("\nsimulator agrees with exact values: %s\n", ok ? "PASS" : "FAIL");
+
+  if (sink) sink->flush();
+  if (traceWriter && !traceWriter->writeToFile(*traceOut)) {
+    std::fprintf(stderr, "exact_vs_simulated: cannot write '%s'\n",
+                 traceOut->c_str());
+    return 1;
+  }
   return ok ? 0 : 2;
 }

@@ -8,16 +8,52 @@
 //  * Prop 12 (positive control) — the asymmetric space at Q = 2 contains
 //    solvers, and some survive the self-stabilization quantification.
 //
-//   ./lower_bound_search [--csv]
+//   ./lower_bound_search [--csv] [--json out.json] [--tiny]
+//                        [--explore-stats-out stats.jsonl]
+//                        [--trace-out trace.json] [--metrics-out metrics.json]
+//                        [--progress]
+//
+// Telemetry (E22): --explore-stats-out streams JSONL explore/search progress
+// and phase events, --trace-out writes a Chrome trace_event timeline
+// (chrome://tracing), --metrics-out dumps the final metrics snapshot,
+// --progress prints candidates/sec + ETA to stderr. --tiny restricts the job
+// list to the Q = 2 spaces (16-256 candidates) so CI smoke runs stay cheap.
+// Absent flags leave the searches unobserved (output unchanged).
+//
+// A candidate whose exploration is truncated decides nothing: it is counted
+// `unknown`, warned about on stderr, and the job's verdict degrades to
+// "unknown" — a lower-bound claim is only conclusive at unknown == 0.
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
 
 #include "analysis/protocol_search.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/probes.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   ppn::Cli cli("lower_bound_search", "exhaustive protocol-space searches");
   const auto* csv = cli.addFlag("csv", "emit CSV");
+  const auto* jsonOut =
+      cli.addString("json", "write results as JSON to this file", "");
+  const auto* tiny =
+      cli.addFlag("tiny", "only the Q=2 jobs (cheap CI smoke subset)");
+  const auto* statsOut = cli.addString(
+      "explore-stats-out", "stream JSONL explore/search events to this file",
+      "");
+  const auto* traceOut = cli.addString(
+      "trace-out", "write a Chrome trace_event timeline to this file", "");
+  const auto* metricsOut = cli.addString(
+      "metrics-out", "write the final metrics snapshot (JSON) to this file", "");
+  const auto* progress =
+      cli.addFlag("progress", "print periodic search progress to stderr");
   if (!cli.parse(argc, argv)) return 1;
 
   struct Job {
@@ -29,7 +65,7 @@ int main(int argc, char** argv) {
     bool selfStab;
     bool expectSolvers;
   };
-  const std::vector<Job> jobs{
+  std::vector<Job> jobs{
       {"Prop 2: symmetric, Q=2, N=2, global", 2, 2, ppn::Fairness::kGlobal,
        true, false, false},
       {"Prop 2: symmetric, Q=2, N=2, weak", 2, 2, ppn::Fairness::kWeak, true,
@@ -49,30 +85,139 @@ int main(int argc, char** argv) {
       {"Prop 12 control: self-stabilizing, Q=2, N=2, weak", 2, 2,
        ppn::Fairness::kWeak, false, true, true},
   };
+  if (*tiny) {
+    std::erase_if(jobs, [](const Job& j) { return j.q != 2; });
+  }
 
-  ppn::Table table({"claim", "space", "examined", "solvers", "expected",
-                    "result"});
+  // Telemetry assembly (one registry, one JSONL stream, shared by every job;
+  // searchIds ascend with the job index so events stay attributable).
+  ppn::MetricsRegistry registry;
+  std::unique_ptr<ppn::JsonlEventSink> sink;
+  std::unique_ptr<ppn::MetricsExploreObserver> metricsProbe;
+  std::unique_ptr<ppn::ExploreProgressReporter> reporter;
+  std::unique_ptr<ppn::ChromeTraceWriter> traceWriter;
+  std::unique_ptr<ppn::ChromeTraceObserver> traceProbe;
+  ppn::MultiExploreObserver observers;
+  try {
+    if (!statsOut->empty()) {
+      sink = std::make_unique<ppn::JsonlEventSink>(*statsOut);
+      observers.add(sink.get());
+    }
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "lower_bound_search: %s\n", e.what());
+    return 1;
+  }
+  if (!metricsOut->empty()) {
+    metricsProbe = std::make_unique<ppn::MetricsExploreObserver>(registry);
+    observers.add(metricsProbe.get());
+  }
+  if (!traceOut->empty()) {
+    traceWriter = std::make_unique<ppn::ChromeTraceWriter>();
+    traceProbe = std::make_unique<ppn::ChromeTraceObserver>(*traceWriter);
+    observers.add(traceProbe.get());
+  }
+  if (*progress) {
+    reporter = std::make_unique<ppn::ExploreProgressReporter>();
+    observers.add(reporter.get());
+  }
+  ppn::ExploreObserver* observer = observers.empty() ? nullptr : &observers;
+
+  struct Row {
+    const Job* job;
+    ppn::SearchOutcome out;
+    std::string verdict;  // "pass" | "fail" | "unknown"
+  };
+  std::vector<Row> rows;
+  ppn::Table table({"claim", "space", "examined", "solvers", "unknown",
+                    "expected", "result"});
   bool ok = true;
+  std::uint64_t searchId = 0;
   for (const auto& job : jobs) {
+    ++searchId;
     const ppn::SearchOutcome out =
         job.selfStab
             ? ppn::searchSelfStabilizingNaming(job.q, job.n, job.fairness,
-                                               job.symmetric)
+                                               job.symmetric, observer,
+                                               searchId)
             : ppn::searchUniformNaming(job.q, job.n, job.fairness,
-                                       job.symmetric);
-    const bool pass = job.expectSolvers ? out.solvers > 0 : out.solvers == 0;
-    ok = ok && pass;
+                                       job.symmetric, observer, searchId);
+    std::string verdict;
+    if (out.unknown > 0) {
+      // A truncated candidate can hide a solver (or a non-solver): neither
+      // "zero solvers" nor "solvers exist" is certified.
+      verdict = job.expectSolvers && out.solvers > 0 ? "pass" : "unknown";
+      std::fprintf(stderr,
+                   "lower_bound_search: WARNING: %llu of %llu candidates "
+                   "exceeded the exploration budget in '%s'; verdict %s\n",
+                   static_cast<unsigned long long>(out.unknown),
+                   static_cast<unsigned long long>(out.examined),
+                   job.what.c_str(), verdict.c_str());
+    } else {
+      const bool pass = job.expectSolvers ? out.solvers > 0 : out.solvers == 0;
+      verdict = pass ? "pass" : "fail";
+    }
+    ok = ok && verdict == "pass";
     table.row()
         .cell(job.what)
         .cell(job.symmetric ? "symmetric" : "all deterministic")
         .cell(out.examined)
         .cell(out.solvers)
+        .cell(out.unknown)
         .cell(job.expectSolvers ? ">0" : "0")
-        .cell(pass ? "PASS" : "FAIL");
+        .cell(verdict == "pass" ? "PASS"
+                                : (verdict == "fail" ? "FAIL" : "UNKNOWN"));
+    rows.push_back(Row{&job, out, verdict});
   }
 
-  std::printf("E13: exhaustive lower-bound verification\n\n");
+  std::printf("E13: exhaustive lower-bound verification%s\n\n",
+              *tiny ? " (tiny subset)" : "");
   std::fputs((*csv ? table.renderCsv() : table.render()).c_str(), stdout);
   std::printf("\noverall: %s\n", ok ? "PASS" : "FAIL");
+
+  if (!jsonOut->empty()) {
+    ppn::JsonWriter w;
+    w.beginObject();
+    w.key("experiment").value("E13");
+    w.key("tiny").value(static_cast<bool>(*tiny));
+    w.key("jobs").beginArray();
+    for (const Row& r : rows) {
+      w.beginObject();
+      w.key("claim").value(r.job->what);
+      w.key("space").value(r.job->symmetric ? "symmetric"
+                                            : "all deterministic");
+      w.key("examined").value(r.out.examined);
+      w.key("solvers").value(r.out.solvers);
+      w.key("unknown").value(r.out.unknown);
+      w.key("expected_solvers").value(r.job->expectSolvers ? ">0" : "0");
+      w.key("verdict").value(r.verdict);
+      w.endObject();
+    }
+    w.endArray();
+    w.key("overall").value(ok ? "pass" : "fail");
+    w.endObject();
+    std::ofstream out(*jsonOut, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "lower_bound_search: cannot write '%s'\n",
+                   jsonOut->c_str());
+      return 1;
+    }
+    out << w.str() << '\n';
+  }
+
+  if (sink) sink->flush();
+  if (traceWriter && !traceWriter->writeToFile(*traceOut)) {
+    std::fprintf(stderr, "lower_bound_search: cannot write '%s'\n",
+                 traceOut->c_str());
+    return 1;
+  }
+  if (!metricsOut->empty()) {
+    std::ofstream out(*metricsOut, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "lower_bound_search: cannot write '%s'\n",
+                   metricsOut->c_str());
+      return 1;
+    }
+    out << registry.toJson() << '\n';
+  }
   return ok ? 0 : 2;
 }

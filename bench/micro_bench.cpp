@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/explore.h"
 #include "analysis/global_checker.h"
 #include "analysis/initial_sets.h"
 #include "analysis/weak_checker.h"
@@ -255,6 +256,35 @@ BENCHMARK_CAPTURE(BM_RunTelemetry, unobserved, false)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_RunTelemetry, observed, true)
     ->Unit(benchmark::kMicrosecond);
+
+// Observed vs unobserved exhaustive exploration: the delta is the
+// ExploreObserver overhead on the checker hot loop (E22). The null-observer
+// variant costs one pointer test per expansion/edge and must stay within
+// noise of the pre-observer exploration throughput; the observed variant
+// pays the periodic event construction (one per kExploreProgressStride
+// expansions) plus the MetricsExploreObserver updates.
+void BM_ExploreTelemetry(benchmark::State& state, bool observed) {
+  const auto p = static_cast<StateId>(state.range(0));
+  const auto proto = makeProtocol("selfstab-weak", p);
+  const auto initials = allConcreteConfigurations(*proto, p);
+  MetricsRegistry registry;
+  MetricsExploreObserver probe(registry);
+  std::uint64_t exploreId = 0;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const ConfigGraph graph =
+        observed ? exploreConcrete(*proto, initials, 4'000'000, nullptr,
+                                   &probe, ++exploreId)
+                 : exploreConcrete(*proto, initials);
+    nodes = graph.size();
+    benchmark::DoNotOptimize(graph.configs.data());
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK_CAPTURE(BM_ExploreTelemetry, unobserved, false)
+    ->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ExploreTelemetry, observed, true)
+    ->Arg(3)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

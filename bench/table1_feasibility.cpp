@@ -11,8 +11,19 @@
 //    search over ALL protocols confirms "no protocol exists" claims at P=2,3
 //    (see lower_bound_search for the full sweep).
 //
-//   ./table1_feasibility [--p 3] [--csv]
+// Verdicts are tri-state: a checker whose exploration is TRUNCATED
+// (ConfigGraph::truncated — the 8M-node budget ran out) proves nothing, so
+// the cell is reported UNKNOWN (with a stderr warning and "unknown" in the
+// JSON row) instead of silently counting as a failure.
+//
+//   ./table1_feasibility [--p 3] [--csv] [--json out.json]
+//                        [--explore-stats-out stats.jsonl]
+//                        [--trace-out trace.json] [--metrics-out metrics.json]
+//                        [--progress]
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "analysis/global_checker.h"
@@ -25,37 +36,98 @@
 #include "naming/leader_uniform_naming.h"
 #include "naming/selfstab_weak_naming.h"
 #include "naming/symmetric_global_naming.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/probes.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace ppn;
 
+/// Tri-state check outcome: a truncated exploration decides NOTHING — the
+/// missing part of the configuration graph may hold either a violation or
+/// the last piece of the proof.
+enum class Check { kPass, kFail, kUnknown };
+
+/// Conjunction over sub-checks: any failure is conclusive (one real
+/// counterexample sinks the claim), otherwise any unknown taints the cell.
+Check operator&(Check a, Check b) {
+  if (a == Check::kFail || b == Check::kFail) return Check::kFail;
+  if (a == Check::kUnknown || b == Check::kUnknown) return Check::kUnknown;
+  return Check::kPass;
+}
+
+/// Negation for impossibility cells: the candidate FAILING to solve is the
+/// expected (passing) outcome. Unknown stays unknown.
+Check expectFail(Check solves) {
+  if (solves == Check::kUnknown) return Check::kUnknown;
+  return solves == Check::kFail ? Check::kPass : Check::kFail;
+}
+
+const char* verdictName(Check c) {
+  switch (c) {
+    case Check::kPass:
+      return "pass";
+    case Check::kFail:
+      return "fail";
+    case Check::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
 struct CellResult {
   std::string cell;
   std::string claim;
   std::string mechanism;
   std::string states;
-  bool pass = false;
+  Check verdict = Check::kUnknown;
 };
 
-std::string passFail(bool b) { return b ? "PASS" : "FAIL"; }
+struct Checks {
+  ExploreObserver* observer = nullptr;
+  std::uint64_t nextExplore = 0;   // direct checker invocations
+  std::uint64_t nextSearch = 256;  // exhaustive searches (disjoint id range:
+                                   // inner explorations get searchId << 32)
 
-bool weakSolves(const Protocol& proto, std::uint32_t n,
-                const std::vector<Configuration>& initials) {
-  (void)n;
-  const WeakVerdict v =
-      checkWeakFairness(proto, namingProblem(proto), initials, 8'000'000);
-  return v.explored && v.solves;
-}
+  Check weakSolves(const Protocol& proto,
+                   const std::vector<Configuration>& initials,
+                   const Problem& problem) {
+    const WeakVerdict v = checkWeakFairness(proto, problem, initials,
+                                            8'000'000, nullptr, observer,
+                                            ++nextExplore);
+    if (!v.explored) return Check::kUnknown;
+    return v.solves ? Check::kPass : Check::kFail;
+  }
 
-bool globalSolves(const Protocol& proto,
-                  const std::vector<Configuration>& initials) {
-  const GlobalVerdict v =
-      checkGlobalFairness(proto, namingProblem(proto), initials, 8'000'000);
-  return v.explored && v.solves;
-}
+  Check weakSolves(const Protocol& proto,
+                   const std::vector<Configuration>& initials) {
+    return weakSolves(proto, initials, namingProblem(proto));
+  }
+
+  Check globalSolves(const Protocol& proto,
+                     const std::vector<Configuration>& initials) {
+    const GlobalVerdict v =
+        checkGlobalFairness(proto, namingProblem(proto), initials, 8'000'000,
+                            observer, ++nextExplore);
+    if (!v.explored) return Check::kUnknown;
+    return v.solves ? Check::kPass : Check::kFail;
+  }
+
+  /// "No solver exists" via exhaustive search: conclusive only when every
+  /// candidate was fully checked (outcome.unknown == 0).
+  Check searchEmpty(StateId q, std::uint32_t n, Fairness fairness) {
+    const SearchOutcome out = searchUniformNaming(
+        q, n, fairness, /*symmetricSpace=*/true, observer, ++nextSearch);
+    if (out.solvers > 0) return Check::kFail;
+    return out.unknown > 0 ? Check::kUnknown : Check::kPass;
+  }
+};
 
 }  // namespace
 
@@ -63,6 +135,17 @@ int main(int argc, char** argv) {
   Cli cli("table1_feasibility", "regenerates the paper's Table 1");
   const auto* pFlag = cli.addUint("p", "bound P for the checks (2..4)", 3);
   const auto* csv = cli.addFlag("csv", "emit CSV instead of an ASCII table");
+  const auto* jsonOut =
+      cli.addString("json", "write results as JSON to this file", "");
+  const auto* statsOut = cli.addString(
+      "explore-stats-out", "stream JSONL explore/search events to this file",
+      "");
+  const auto* traceOut = cli.addString(
+      "trace-out", "write a Chrome trace_event timeline to this file", "");
+  const auto* metricsOut = cli.addString(
+      "metrics-out", "write the final metrics snapshot (JSON) to this file", "");
+  const auto* progress =
+      cli.addFlag("progress", "print periodic checker progress to stderr");
   if (!cli.parse(argc, argv)) return 1;
   const auto p = static_cast<StateId>(*pFlag);
   if (p < 2 || p > 4) {
@@ -70,58 +153,88 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  MetricsRegistry registry;
+  std::unique_ptr<JsonlEventSink> sink;
+  std::unique_ptr<MetricsExploreObserver> metricsProbe;
+  std::unique_ptr<ExploreProgressReporter> reporter;
+  std::unique_ptr<ChromeTraceWriter> traceWriter;
+  std::unique_ptr<ChromeTraceObserver> traceProbe;
+  MultiExploreObserver observers;
+  try {
+    if (!statsOut->empty()) {
+      sink = std::make_unique<JsonlEventSink>(*statsOut);
+      observers.add(sink.get());
+    }
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "table1_feasibility: %s\n", e.what());
+    return 1;
+  }
+  if (!metricsOut->empty()) {
+    metricsProbe = std::make_unique<MetricsExploreObserver>(registry);
+    observers.add(metricsProbe.get());
+  }
+  if (!traceOut->empty()) {
+    traceWriter = std::make_unique<ChromeTraceWriter>();
+    traceProbe = std::make_unique<ChromeTraceObserver>(*traceWriter);
+    observers.add(traceProbe.get());
+  }
+  if (*progress) {
+    reporter = std::make_unique<ExploreProgressReporter>(8'000'000);
+    observers.add(reporter.get());
+  }
+  Checks checks;
+  checks.observer = observers.empty() ? nullptr : &observers;
+
   std::vector<CellResult> results;
 
   // ---- Column: asymmetric rules (weak/global fairness), all leader rows.
   // Prop 12: P states, no leader, self-stabilizing.
   {
     const AsymmetricNaming proto(p);
-    const bool okWeak =
-        weakSolves(proto, p, allConcreteConfigurations(proto, p));
-    const bool okGlobal = globalSolves(proto, allCanonicalConfigurations(proto, p));
+    const Check okWeak =
+        checks.weakSolves(proto, allConcreteConfigurations(proto, p));
+    const Check okGlobal =
+        checks.globalSolves(proto, allCanonicalConfigurations(proto, p));
     results.push_back({"any leader row / asymmetric / weak+global",
                        "Prop 12: possible with P states (self-stabilizing)",
                        "weak+global checkers, arbitrary init, N=P",
-                       "P", okWeak && okGlobal});
+                       "P", okWeak & okGlobal});
   }
 
   // ---- Cell: no leader / symmetric / weak — impossible (Prop 1).
   {
     const SymmetricGlobalNaming candidate(p);
-    const WeakVerdict v =
-        checkWeakFairness(candidate, namingProblem(candidate),
-                          allUniformInitials(candidate, p), 8'000'000);
-    const SearchOutcome search =
-        searchUniformNaming(2, 2, Fairness::kWeak, /*symmetricSpace=*/true);
+    const Check solves = checks.weakSolves(
+        candidate, allUniformInitials(candidate, p), namingProblem(candidate));
+    const Check empty = checks.searchEmpty(2, 2, Fairness::kWeak);
     results.push_back(
         {"no leader / symmetric / weak",
          "Prop 1: impossible",
          "adversary found vs P+1-state candidate; exhaustive search @ Q=2",
-         "-", v.explored && !v.solves && search.solvers == 0});
+         "-", expectFail(solves) & empty});
   }
 
   // ---- Cell: no leader / symmetric / global — P+1 states (Prop 13 + Prop 2).
   {
     const SymmetricGlobalNaming proto(p);
-    bool ok = proto.numMobileStates() == p + 1;
-    for (std::uint32_t n = 3; n <= p && ok; ++n) {
-      ok = globalSolves(proto, allCanonicalConfigurations(proto, n));
+    Check ok = proto.numMobileStates() == p + 1 ? Check::kPass : Check::kFail;
+    for (std::uint32_t n = 3; n <= p && ok == Check::kPass; ++n) {
+      ok = ok & checks.globalSolves(proto, allCanonicalConfigurations(proto, n));
     }
-    const SearchOutcome lower =
-        searchUniformNaming(2, 2, Fairness::kGlobal, /*symmetricSpace=*/true);
+    const Check lower = checks.searchEmpty(2, 2, Fairness::kGlobal);
     results.push_back({"no leader / symmetric / global",
                        "Prop 13: P+1 states; Prop 2: P states impossible",
                        "global checker (N=3..P); exhaustive P-state search @ Q=2",
-                       "P+1", ok && lower.solvers == 0});
+                       "P+1", ok & lower});
   }
 
   // ---- Cells: non-initialized leader / symmetric (weak and global) — P+1
   // states (Prop 16; lower bound Prop 4).
   {
     const SelfStabWeakNaming proto(p);
-    bool ok = proto.numMobileStates() == p + 1;
-    for (std::uint32_t n = 1; n <= p && ok; ++n) {
-      ok = weakSolves(proto, n, allConcreteConfigurations(proto, n));
+    Check ok = proto.numMobileStates() == p + 1 ? Check::kPass : Check::kFail;
+    for (std::uint32_t n = 1; n <= p && ok == Check::kPass; ++n) {
+      ok = ok & checks.weakSolves(proto, allConcreteConfigurations(proto, n));
     }
     results.push_back({"non-init leader / symmetric / weak+global",
                        "Prop 16: P+1 states (self-stabilizing, leader too)",
@@ -133,9 +246,9 @@ int main(int argc, char** argv) {
   // P states (Prop 14).
   {
     const LeaderUniformNaming proto(p);
-    bool ok = proto.numMobileStates() == p;
-    for (std::uint32_t n = 1; n <= p && ok; ++n) {
-      ok = weakSolves(proto, n, declaredUniformInitials(proto, n));
+    Check ok = proto.numMobileStates() == p ? Check::kPass : Check::kFail;
+    for (std::uint32_t n = 1; n <= p && ok == Check::kPass; ++n) {
+      ok = ok & checks.weakSolves(proto, declaredUniformInitials(proto, n));
     }
     results.push_back({"init leader / symmetric / weak / init agents",
                        "Prop 14: P states",
@@ -147,21 +260,20 @@ int main(int argc, char** argv) {
   // P+1 states (Prop 16); P states impossible (Theorem 11).
   {
     const GlobalLeaderNaming candidate(p);  // the natural P-state candidate
-    const WeakVerdict v =
-        checkWeakFairness(candidate, namingProblem(candidate),
-                          allConcreteConfigurations(candidate, p), 8'000'000);
+    const Check solves = checks.weakSolves(
+        candidate, allConcreteConfigurations(candidate, p));
     results.push_back({"init leader / symmetric / weak / non-init agents",
                        "Thm 11: P states impossible (P+1 needed, via Prop 16)",
                        "weak checker defeats the P-state Protocol 3 at N=P",
-                       "P+1", v.explored && !v.solves});
+                       "P+1", expectFail(solves)});
   }
 
   // ---- Cell: initialized leader / symmetric / global — P states (Prop 17).
   {
     const GlobalLeaderNaming proto(p);
-    bool ok = proto.numMobileStates() == p;
-    for (std::uint32_t n = 1; n <= p && ok; ++n) {
-      ok = globalSolves(proto, allCanonicalConfigurations(proto, n));
+    Check ok = proto.numMobileStates() == p ? Check::kPass : Check::kFail;
+    for (std::uint32_t n = 1; n <= p && ok == Check::kPass; ++n) {
+      ok = ok & checks.globalSolves(proto, allCanonicalConfigurations(proto, n));
     }
     results.push_back({"init leader / symmetric / global",
                        "Prop 17: P states",
@@ -172,14 +284,12 @@ int main(int argc, char** argv) {
   // ---- Substrate: Theorem 15 (Protocol 1 counting + by-product naming).
   {
     const CountingProtocol proto(p);
-    bool ok = true;
-    for (std::uint32_t n = 1; n <= p && ok; ++n) {
-      const WeakVerdict count = checkWeakFairness(
-          proto, countingProblem(proto, n), allConcreteConfigurations(proto, n),
-          8'000'000);
-      ok = count.explored && count.solves;
-      if (ok && n < p) {
-        ok = weakSolves(proto, n, allConcreteConfigurations(proto, n));
+    Check ok = Check::kPass;
+    for (std::uint32_t n = 1; n <= p && ok == Check::kPass; ++n) {
+      ok = ok & checks.weakSolves(proto, allConcreteConfigurations(proto, n),
+                                  countingProblem(proto, n));
+      if (ok == Check::kPass && n < p) {
+        ok = ok & checks.weakSolves(proto, allConcreteConfigurations(proto, n));
       }
     }
     results.push_back({"substrate: counting (Protocol 1)",
@@ -191,12 +301,63 @@ int main(int argc, char** argv) {
   Table table({"Table 1 cell", "paper claim", "checked by", "states", "result"});
   bool allPass = true;
   for (const auto& r : results) {
+    if (r.verdict == Check::kUnknown) {
+      std::fprintf(stderr,
+                   "table1_feasibility: WARNING: exploration budget exhausted "
+                   "in cell '%s'; verdict unknown (raise the node cap)\n",
+                   r.cell.c_str());
+    }
     table.row().cell(r.cell).cell(r.claim).cell(r.mechanism).cell(r.states)
-        .cell(passFail(r.pass));
-    allPass = allPass && r.pass;
+        .cell(r.verdict == Check::kPass
+                  ? "PASS"
+                  : (r.verdict == Check::kFail ? "FAIL" : "UNKNOWN"));
+    allPass = allPass && r.verdict == Check::kPass;
   }
   std::printf("Table 1 reproduction at P = %u (exact model checking)\n\n", p);
   std::fputs((*csv ? table.renderCsv() : table.render()).c_str(), stdout);
-  std::printf("\noverall: %s\n", passFail(allPass).c_str());
+  std::printf("\noverall: %s\n", allPass ? "PASS" : "FAIL");
+
+  if (!jsonOut->empty()) {
+    JsonWriter w;
+    w.beginObject();
+    w.key("experiment").value("table1");
+    w.key("p").value(static_cast<std::uint64_t>(p));
+    w.key("cells").beginArray();
+    for (const auto& r : results) {
+      w.beginObject();
+      w.key("cell").value(r.cell);
+      w.key("claim").value(r.claim);
+      w.key("checked_by").value(r.mechanism);
+      w.key("states").value(r.states);
+      w.key("verdict").value(verdictName(r.verdict));
+      w.endObject();
+    }
+    w.endArray();
+    w.key("overall").value(allPass ? "pass" : "fail");
+    w.endObject();
+    std::ofstream out(*jsonOut, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "table1_feasibility: cannot write '%s'\n",
+                   jsonOut->c_str());
+      return 1;
+    }
+    out << w.str() << '\n';
+  }
+
+  if (sink) sink->flush();
+  if (traceWriter && !traceWriter->writeToFile(*traceOut)) {
+    std::fprintf(stderr, "table1_feasibility: cannot write '%s'\n",
+                 traceOut->c_str());
+    return 1;
+  }
+  if (!metricsOut->empty()) {
+    std::ofstream out(*metricsOut, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "table1_feasibility: cannot write '%s'\n",
+                   metricsOut->c_str());
+      return 1;
+    }
+    out << registry.toJson() << '\n';
+  }
   return allPass ? 0 : 2;
 }

@@ -10,14 +10,16 @@
 // exact weak-fairness checker exhibits a weakly fair schedule on which it
 // can never converge (the Theorem 11 boundary).
 //
-//   ./fairness_explorer --p 3 --steps 12
+//   ./fairness_explorer --p 3 --steps 12 [--progress]
 #include <cstdio>
+#include <memory>
 
 #include "analysis/initial_sets.h"
 #include "analysis/weak_checker.h"
 #include "core/engine.h"
 #include "naming/color_example.h"
 #include "naming/global_leader_naming.h"
+#include "obs/progress.h"
 #include "sched/adversary.h"
 #include "sched/random_scheduler.h"
 #include "sim/runner.h"
@@ -28,6 +30,8 @@ int main(int argc, char** argv) {
   const auto* p = cli.addUint("p", "bound P for part 2 (2..4)", 3);
   const auto* steps = cli.addUint("steps", "adversary steps to display", 12);
   const auto* seed = cli.addUint("seed", "rng seed", 5);
+  const auto* progress = cli.addFlag(
+      "progress", "print checker nodes/sec + ETA to stderr (part 2)");
   if (!cli.parse(argc, argv)) return 1;
   if (*p < 2 || *p > 4) {
     std::fprintf(stderr, "need 2 <= p <= 4\n");
@@ -85,9 +89,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(out.convergenceInteractions));
   }
   {
+    std::unique_ptr<ppn::ExploreProgressReporter> reporter;
+    if (*progress) {
+      reporter = std::make_unique<ppn::ExploreProgressReporter>(4'000'000);
+    }
     const ppn::WeakVerdict v = ppn::checkWeakFairness(
         proto, ppn::namingProblem(proto),
-        ppn::allConcreteConfigurations(proto, static_cast<std::uint32_t>(*p)));
+        ppn::allConcreteConfigurations(proto, static_cast<std::uint32_t>(*p)),
+        4'000'000, nullptr, reporter.get());
     std::printf("exact weak-fairness checker: solves=%s (%s)\n",
                 v.solves ? "yes" : "no", v.reason.c_str());
     if (v.witness.has_value()) {

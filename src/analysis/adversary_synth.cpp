@@ -52,11 +52,17 @@ std::optional<std::pair<std::vector<Interaction>, std::uint32_t>> bfsPath(
 std::optional<AdversarySchedule> synthesizeWeakAdversary(
     const Protocol& proto, const Problem& problem,
     const std::vector<Configuration>& initials, std::size_t maxNodes,
-    const InteractionGraph* topology) {
+    const InteractionGraph* topology, ExploreObserver* observer,
+    std::uint64_t exploreId) {
+  const PhaseScope synthPhase(observer, exploreId, "synthesize");
   const ConfigGraph graph =
-      exploreConcrete(proto, initials, maxNodes, topology);
+      exploreConcrete(proto, initials, maxNodes, topology, observer, exploreId);
   if (graph.truncated) return std::nullopt;
-  const SccDecomposition scc = decomposeScc(graph);
+  SccDecomposition scc;
+  {
+    const PhaseScope sccPhase(observer, exploreId, "scc");
+    scc = decomposeScc(graph);
+  }
   const std::uint32_t pairs = numPairs(graph.numParticipants);
   const std::uint32_t required =
       topology == nullptr ? pairs

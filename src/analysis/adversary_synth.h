@@ -33,10 +33,15 @@ struct AdversarySchedule {
 
 /// Synthesizes a weakly fair violating schedule, or nullopt when the
 /// protocol actually solves the problem (or exploration was truncated).
+///
+/// A non-null `observer` receives a "synthesize" phase wrapping nested
+/// "explore" (with progress/truncation events) and "scc" phases, tagged with
+/// `exploreId`. Null observer = identical behavior.
 std::optional<AdversarySchedule> synthesizeWeakAdversary(
     const Protocol& proto, const Problem& problem,
     const std::vector<Configuration>& initials, std::size_t maxNodes = 4'000'000,
-    const InteractionGraph* topology = nullptr);
+    const InteractionGraph* topology = nullptr,
+    ExploreObserver* observer = nullptr, std::uint64_t exploreId = 0);
 
 struct ReplayReport {
   bool cycleClosed = false;      ///< cycle returns to its entry configuration

@@ -1,5 +1,6 @@
 #include "analysis/explore.h"
 
+#include <chrono>
 #include <deque>
 #include <stdexcept>
 #include <unordered_map>
@@ -40,12 +41,94 @@ class Interner {
   std::unordered_map<Configuration, std::uint32_t, ConfigurationHash> ids_;
 };
 
+/// Progress bookkeeping for one exploration. All methods are single-branch
+/// no-ops when no observer is attached, so the unobserved BFS stays
+/// bit-identical to the pre-telemetry loop.
+class ExploreTracker {
+ public:
+  ExploreTracker(ExploreObserver* obs, std::uint64_t exploreId,
+                 const ConfigGraph& g)
+      : obs_(obs), exploreId_(exploreId), g_(&g) {
+    if (obs_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  void recordEdge(bool dedupHit) {
+    if (obs_ == nullptr) return;
+    ++edges_;
+    if (dedupHit) ++dedupHits_;
+  }
+
+  void recordExpansion(std::size_t frontierSize) {
+    if (obs_ == nullptr) return;
+    ++expanded_;
+    if (expanded_ % kExploreProgressStride == 0) emit(frontierSize, false);
+  }
+
+  void recordTruncation(std::size_t maxNodes,
+                        const std::deque<std::uint32_t>& frontier) {
+    if (obs_ == nullptr) return;
+    ExploreTruncatedEvent e;
+    e.exploreId = exploreId_;
+    e.nodes = g_->size();
+    e.maxNodes = maxNodes;
+    e.frontier.assign(frontier.begin(), frontier.end());
+    obs_->onTruncated(e);
+  }
+
+  void finish(std::size_t frontierSize) {
+    if (obs_ == nullptr) return;
+    emit(frontierSize, true);
+  }
+
+ private:
+  void emit(std::size_t frontierSize, bool done) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    ExploreProgressEvent e;
+    e.exploreId = exploreId_;
+    e.nodes = g_->size();
+    e.frontier = frontierSize;
+    e.edges = edges_;
+    e.dedupHits = dedupHits_;
+    e.bytesEstimate = bytesEstimate();
+    e.nodesPerSec =
+        elapsed > 0.0 ? static_cast<double>(expanded_) / elapsed : 0.0;
+    e.elapsedMillis = elapsed * 1e3;
+    e.done = done;
+    obs_->onExploreProgress(e);
+  }
+
+  /// Approximate heap footprint: interned configurations (struct + mobile
+  /// vector payload) plus adjacency (vector headers + edge payload).
+  std::uint64_t bytesEstimate() const {
+    const std::uint64_t perConfig =
+        sizeof(Configuration) +
+        (g_->configs.empty() ? 0
+                             : g_->configs.front().mobile.size() *
+                                   sizeof(StateId));
+    return g_->size() * (perConfig + sizeof(std::vector<Edge>)) +
+           edges_ * sizeof(Edge);
+  }
+
+  ExploreObserver* obs_;
+  std::uint64_t exploreId_;
+  const ConfigGraph* g_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t expanded_ = 0;
+  std::uint64_t edges_ = 0;
+  std::uint64_t dedupHits_ = 0;
+};
+
 }  // namespace
 
 ConfigGraph exploreConcrete(const Protocol& proto,
                             const std::vector<Configuration>& initials,
                             std::size_t maxNodes,
-                            const InteractionGraph* topology) {
+                            const InteractionGraph* topology,
+                            ExploreObserver* observer,
+                            std::uint64_t exploreId) {
   if (initials.empty()) {
     throw std::invalid_argument("exploreConcrete: no initial configurations");
   }
@@ -58,6 +141,8 @@ ConfigGraph exploreConcrete(const Protocol& proto,
         "exploreConcrete: topology participant count mismatch");
   }
 
+  const PhaseScope phase(observer, exploreId, "explore");
+  ExploreTracker tracker(observer, exploreId, g);
   Interner interner(g);
   std::deque<std::uint32_t> frontier;
   for (const auto& c : initials) {
@@ -71,10 +156,12 @@ ConfigGraph exploreConcrete(const Protocol& proto,
   while (!frontier.empty()) {
     if (g.size() > maxNodes) {
       g.truncated = true;
+      tracker.recordTruncation(maxNodes, frontier);
       break;
     }
     const std::uint32_t id = frontier.front();
     frontier.pop_front();
+    tracker.recordExpansion(frontier.size());
     // Copy: interning may reallocate configs while we expand.
     const Configuration current = g.configs[id];
 
@@ -86,6 +173,7 @@ ConfigGraph exploreConcrete(const Protocol& proto,
           changedMobile && namesDiffer(proto, current.mobile, next.mobile);
       const auto [to, isNew] = interner.intern(next);
       if (isNew) frontier.push_back(to);
+      tracker.recordEdge(!isNew);
       g.adj[id].push_back(Edge{to, label, static_cast<std::uint16_t>(initiator),
                                static_cast<std::uint16_t>(responder), changed,
                                changedMobile, changedName});
@@ -113,12 +201,14 @@ ConfigGraph exploreConcrete(const Protocol& proto,
       }
     }
   }
+  tracker.finish(frontier.size());
   return g;
 }
 
 ConfigGraph exploreCanonical(const Protocol& proto,
                              const std::vector<Configuration>& initials,
-                             std::size_t maxNodes) {
+                             std::size_t maxNodes, ExploreObserver* observer,
+                             std::uint64_t exploreId) {
   if (initials.empty()) {
     throw std::invalid_argument("exploreCanonical: no initial configurations");
   }
@@ -126,6 +216,8 @@ ConfigGraph exploreCanonical(const Protocol& proto,
   const std::uint32_t n = initials.front().numMobile();
   g.numParticipants = n + (proto.hasLeader() ? 1u : 0u);
 
+  const PhaseScope phase(observer, exploreId, "explore");
+  ExploreTracker tracker(observer, exploreId, g);
   Interner interner(g);
   std::deque<std::uint32_t> frontier;
   for (const auto& c : initials) {
@@ -139,10 +231,12 @@ ConfigGraph exploreCanonical(const Protocol& proto,
   while (!frontier.empty()) {
     if (g.size() > maxNodes) {
       g.truncated = true;
+      tracker.recordTruncation(maxNodes, frontier);
       break;
     }
     const std::uint32_t id = frontier.front();
     frontier.pop_front();
+    tracker.recordExpansion(frontier.size());
     const Configuration current = g.configs[id];
 
     auto addEdge = [&](Configuration next, bool changedMobile) {
@@ -154,6 +248,7 @@ ConfigGraph exploreCanonical(const Protocol& proto,
       if (!changed) return;  // canonical graphs omit null edges
       const auto [to, isNew] = interner.intern(next);
       if (isNew) frontier.push_back(to);
+      tracker.recordEdge(!isNew);
       g.adj[id].push_back(Edge{to, 0xffff, 0, 0, true, changedMobile,
                                changedName});
     };
@@ -185,6 +280,7 @@ ConfigGraph exploreCanonical(const Protocol& proto,
       }
     }
   }
+  tracker.finish(frontier.size());
   return g;
 }
 

@@ -18,6 +18,7 @@
 #include "core/configuration.h"
 #include "core/interaction_graph.h"
 #include "core/protocol.h"
+#include "obs/explore_observer.h"
 
 namespace ppn {
 
@@ -71,20 +72,35 @@ struct ConfigGraph {
   std::size_t size() const { return configs.size(); }
 };
 
+/// How often exploration reports progress: one ExploreProgressEvent per this
+/// many expanded nodes (plus a final done=true event per exploration).
+constexpr std::uint64_t kExploreProgressStride = 1024;
+
 /// Explores all configurations reachable from `initials`. Every applicable
 /// interaction contributes an edge, *including null transitions* (self-loop
 /// edges with changed = false) — weak-fairness coverage analysis needs them.
 /// When `topology` is non-null, only its edges may interact (restricted
 /// interaction graph); it must span the same participant count.
+///
+/// When `observer` is non-null it receives an "explore" phase pair, one
+/// ExploreProgressEvent per kExploreProgressStride expanded nodes plus a
+/// final done=true event, and — when maxNodes fires — an
+/// ExploreTruncatedEvent carrying the unexpanded frontier. The observer only
+/// reads; a null observer leaves behavior bit-identical.
 ConfigGraph exploreConcrete(const Protocol& proto,
                             const std::vector<Configuration>& initials,
                             std::size_t maxNodes = 4'000'000,
-                            const InteractionGraph* topology = nullptr);
+                            const InteractionGraph* topology = nullptr,
+                            ExploreObserver* observer = nullptr,
+                            std::uint64_t exploreId = 0);
 
 /// Explores the canonical quotient graph. Edges are unlabeled and null
 /// transitions are omitted (global-fairness analysis does not need them).
+/// Observer contract as in exploreConcrete.
 ConfigGraph exploreCanonical(const Protocol& proto,
                              const std::vector<Configuration>& initials,
-                             std::size_t maxNodes = 4'000'000);
+                             std::size_t maxNodes = 4'000'000,
+                             ExploreObserver* observer = nullptr,
+                             std::uint64_t exploreId = 0);
 
 }  // namespace ppn

@@ -7,9 +7,13 @@ namespace ppn {
 
 GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
                                   const std::vector<Configuration>& initials,
-                                  std::size_t maxNodes) {
+                                  std::size_t maxNodes,
+                                  ExploreObserver* observer,
+                                  std::uint64_t exploreId) {
+  const PhaseScope checkPhase(observer, exploreId, "check");
   GlobalVerdict verdict;
-  const ConfigGraph graph = exploreCanonical(proto, initials, maxNodes);
+  const ConfigGraph graph =
+      exploreCanonical(proto, initials, maxNodes, observer, exploreId);
   verdict.numConfigs = graph.size();
   if (graph.truncated) {
     verdict.reason = "state space exceeded " + std::to_string(maxNodes) +
@@ -18,7 +22,12 @@ GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
   }
   verdict.explored = true;
 
-  const SccDecomposition scc = decomposeScc(graph);
+  SccDecomposition scc;
+  {
+    const PhaseScope sccPhase(observer, exploreId, "scc");
+    scc = decomposeScc(graph);
+  }
+  const PhaseScope verdictPhase(observer, exploreId, "verdict");
   verdict.solves = true;
   for (std::uint32_t s = 0; s < scc.numSccs; ++s) {
     if (!scc.bottom[s]) continue;
@@ -49,10 +58,12 @@ GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
 GlobalVerdict checkGlobalFairnessConcrete(
     const Protocol& proto, const Problem& problem,
     const std::vector<Configuration>& initials, std::size_t maxNodes,
-    const InteractionGraph* topology) {
+    const InteractionGraph* topology, ExploreObserver* observer,
+    std::uint64_t exploreId) {
+  const PhaseScope checkPhase(observer, exploreId, "check");
   GlobalVerdict verdict;
   const ConfigGraph graph =
-      exploreConcrete(proto, initials, maxNodes, topology);
+      exploreConcrete(proto, initials, maxNodes, topology, observer, exploreId);
   verdict.numConfigs = graph.size();
   if (graph.truncated) {
     verdict.reason = "state space exceeded " + std::to_string(maxNodes) +
@@ -61,7 +72,12 @@ GlobalVerdict checkGlobalFairnessConcrete(
   }
   verdict.explored = true;
 
-  const SccDecomposition scc = decomposeScc(graph);
+  SccDecomposition scc;
+  {
+    const PhaseScope sccPhase(observer, exploreId, "scc");
+    scc = decomposeScc(graph);
+  }
+  const PhaseScope verdictPhase(observer, exploreId, "verdict");
   verdict.solves = true;
   for (std::uint32_t s = 0; s < scc.numSccs; ++s) {
     if (!scc.bottom[s]) continue;

@@ -36,9 +36,15 @@ struct GlobalVerdict {
   std::string reason;
 };
 
+/// A non-null `observer` receives a "check" phase wrapping nested "explore"
+/// (with progress/truncation events), "scc" and "verdict" phases, all tagged
+/// with `exploreId`. Null observer = identical behavior. Same contract for
+/// checkGlobalFairnessConcrete.
 GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
                                   const std::vector<Configuration>& initials,
-                                  std::size_t maxNodes = 4'000'000);
+                                  std::size_t maxNodes = 4'000'000,
+                                  ExploreObserver* observer = nullptr,
+                                  std::uint64_t exploreId = 0);
 
 /// Global-fairness check over the CONCRETE configuration graph, optionally
 /// restricted to an interaction topology. Needed because the canonical
@@ -49,6 +55,7 @@ GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
 GlobalVerdict checkGlobalFairnessConcrete(
     const Protocol& proto, const Problem& problem,
     const std::vector<Configuration>& initials, std::size_t maxNodes = 4'000'000,
-    const InteractionGraph* topology = nullptr);
+    const InteractionGraph* topology = nullptr,
+    ExploreObserver* observer = nullptr, std::uint64_t exploreId = 0);
 
 }  // namespace ppn

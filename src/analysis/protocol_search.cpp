@@ -1,5 +1,6 @@
 #include "analysis/protocol_search.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "analysis/global_checker.h"
@@ -83,12 +84,44 @@ TabularProtocol decodeAnyProtocol(StateId q, std::uint64_t index) {
   return TabularProtocol(q, std::move(table), /*symmetric=*/false);
 }
 
+namespace {
+
+/// Tri-state per-candidate verdict: truncated explorations decide nothing.
+enum class CandidateVerdict { kSolves, kFails, kUnknown };
+
+}  // namespace
+
 SearchOutcome searchProblem(
     StateId q, std::uint32_t n, Fairness fairness, bool symmetricSpace,
     bool selfStabilizing,
-    const std::function<Problem(const Protocol&)>& problemFor) {
+    const std::function<Problem(const Protocol&)>& problemFor,
+    ExploreObserver* observer, std::uint64_t searchId) {
   const std::uint64_t total =
       symmetricSpace ? symmetricProtocolCount(q) : allProtocolCount(q);
+  const PhaseScope searchPhase(observer, searchId, "search");
+  const auto start = std::chrono::steady_clock::now();
+  // Unique id per inner exploration: high half names the search, low half
+  // counts checker invocations (see the header contract).
+  std::uint64_t exploreSeq = 0;
+
+  auto emitProgress = [&](const SearchOutcome& o, bool done) {
+    if (observer == nullptr) return;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    SearchProgressEvent e;
+    e.searchId = searchId;
+    e.examined = o.examined;
+    e.total = total;
+    e.solvers = o.solvers;
+    e.unknown = o.unknown;
+    e.candidatesPerSec =
+        elapsed > 0.0 ? static_cast<double>(o.examined) / elapsed : 0.0;
+    e.elapsedMillis = elapsed * 1e3;
+    e.done = done;
+    observer->onSearchProgress(e);
+  };
+
   SearchOutcome outcome;
   for (std::uint64_t idx = 0; idx < total; ++idx) {
     const TabularProtocol proto = symmetricSpace
@@ -98,50 +131,74 @@ SearchOutcome searchProblem(
     const Problem problem = problemFor(proto);
 
     auto solvesFrom = [&](const std::vector<Configuration>& initials) {
+      const std::uint64_t exploreId = (searchId << 32) | ++exploreSeq;
       if (fairness == Fairness::kGlobal) {
-        const GlobalVerdict v = checkGlobalFairness(proto, problem, initials);
-        return v.explored && v.solves;
+        const GlobalVerdict v = checkGlobalFairness(
+            proto, problem, initials, 4'000'000, observer, exploreId);
+        if (!v.explored) return CandidateVerdict::kUnknown;
+        return v.solves ? CandidateVerdict::kSolves : CandidateVerdict::kFails;
       }
-      const WeakVerdict v = checkWeakFairness(proto, problem, initials);
-      return v.explored && v.solves;
+      const WeakVerdict v = checkWeakFairness(
+          proto, problem, initials, 4'000'000, nullptr, observer, exploreId);
+      if (!v.explored) return CandidateVerdict::kUnknown;
+      return v.solves ? CandidateVerdict::kSolves : CandidateVerdict::kFails;
     };
 
-    bool solves = false;
+    CandidateVerdict verdict = CandidateVerdict::kFails;
     if (selfStabilizing) {
-      solves = solvesFrom(fairness == Fairness::kGlobal
-                              ? allCanonicalConfigurations(proto, n)
-                              : allConcreteConfigurations(proto, n));
+      verdict = solvesFrom(fairness == Fairness::kGlobal
+                               ? allCanonicalConfigurations(proto, n)
+                               : allConcreteConfigurations(proto, n));
     } else {
-      // The designer may pick any single uniform initialization.
-      for (StateId s = 0; s < q && !solves; ++s) {
+      // The designer may pick any single uniform initialization. Any
+      // truncated initialization leaves the candidate unknown unless a later
+      // initialization proves it a solver.
+      for (StateId s = 0; s < q && verdict != CandidateVerdict::kSolves; ++s) {
         Configuration c;
         c.mobile.assign(n, s);
-        solves = solvesFrom({c});
+        const CandidateVerdict v = solvesFrom({c});
+        if (v == CandidateVerdict::kSolves ||
+            (v == CandidateVerdict::kUnknown &&
+             verdict == CandidateVerdict::kFails)) {
+          verdict = v;
+        }
       }
     }
-    if (solves) {
+    if (verdict == CandidateVerdict::kSolves) {
       ++outcome.solvers;
       if (outcome.solverIndices.size() < 8) {
         outcome.solverIndices.push_back(idx);
       }
+    } else if (verdict == CandidateVerdict::kUnknown) {
+      ++outcome.unknown;
+    }
+    if (outcome.examined % kSearchProgressStride == 0) {
+      emitProgress(outcome, false);
     }
   }
+  emitProgress(outcome, true);
   return outcome;
 }
 
 SearchOutcome searchUniformNaming(StateId q, std::uint32_t n, Fairness fairness,
-                                  bool symmetricSpace) {
+                                  bool symmetricSpace,
+                                  ExploreObserver* observer,
+                                  std::uint64_t searchId) {
   return searchProblem(q, n, fairness, symmetricSpace,
                        /*selfStabilizing=*/false,
-                       [](const Protocol& p) { return namingProblem(p); });
+                       [](const Protocol& p) { return namingProblem(p); },
+                       observer, searchId);
 }
 
 SearchOutcome searchSelfStabilizingNaming(StateId q, std::uint32_t n,
                                           Fairness fairness,
-                                          bool symmetricSpace) {
+                                          bool symmetricSpace,
+                                          ExploreObserver* observer,
+                                          std::uint64_t searchId) {
   return searchProblem(q, n, fairness, symmetricSpace,
                        /*selfStabilizing=*/true,
-                       [](const Protocol& p) { return namingProblem(p); });
+                       [](const Protocol& p) { return namingProblem(p); },
+                       observer, searchId);
 }
 
 }  // namespace ppn

@@ -22,6 +22,7 @@
 
 #include "analysis/problem.h"
 #include "core/protocol.h"
+#include "obs/explore_observer.h"
 
 namespace ppn {
 
@@ -62,9 +63,17 @@ enum class Fairness { kWeak, kGlobal };
 struct SearchOutcome {
   std::uint64_t examined = 0;
   std::uint64_t solvers = 0;
+  /// Candidates whose verdict came from a truncated exploration: neither
+  /// solver nor non-solver. A lower-bound claim ("zero solvers") is only
+  /// conclusive when this is zero too.
+  std::uint64_t unknown = 0;
   /// Indices of the first few solving protocols (<= 8), for inspection.
   std::vector<std::uint64_t> solverIndices;
 };
+
+/// How often searches report progress: one SearchProgressEvent per this many
+/// candidates examined (plus a final done=true event per search).
+constexpr std::uint64_t kSearchProgressStride = 256;
 
 /// Generic search: counts the protocols in the chosen space that solve an
 /// arbitrary configuration-level problem. `problemFor` builds the problem
@@ -72,23 +81,35 @@ struct SearchOutcome {
 /// capture only the predicate; naming needs the protocol's name semantics).
 /// With `selfStabilizing` the protocol must solve from EVERY configuration;
 /// otherwise from SOME uniform initialization of the designer's choice.
+///
+/// A non-null `observer` receives a "search"-phase pair tagged with
+/// `searchId`, one SearchProgressEvent per kSearchProgressStride candidates
+/// plus a final done=true event, and is forwarded into every per-candidate
+/// checker invocation. Those inner explorations get unique ascending
+/// exploreIds of the form (searchId << 32) | seq (seq >= 1), so one JSONL
+/// stream carrying several searches stays attributable.
 SearchOutcome searchProblem(
     StateId q, std::uint32_t n, Fairness fairness, bool symmetricSpace,
     bool selfStabilizing,
-    const std::function<Problem(const Protocol&)>& problemFor);
+    const std::function<Problem(const Protocol&)>& problemFor,
+    ExploreObserver* observer = nullptr, std::uint64_t searchId = 0);
 
 /// For every protocol in the chosen space, asks: does there EXIST a uniform
 /// initialization (all agents in the same state, the designer's choice) from
 /// which the protocol solves naming for a population of `n` agents under
 /// `fairness`? Counts the protocols for which the answer is yes.
 SearchOutcome searchUniformNaming(StateId q, std::uint32_t n, Fairness fairness,
-                                  bool symmetricSpace);
+                                  bool symmetricSpace,
+                                  ExploreObserver* observer = nullptr,
+                                  std::uint64_t searchId = 0);
 
 /// Like searchUniformNaming but quantifying over ARBITRARY initialization
 /// (self-stabilizing naming): the protocol must solve from every
 /// configuration.
 SearchOutcome searchSelfStabilizingNaming(StateId q, std::uint32_t n,
                                           Fairness fairness,
-                                          bool symmetricSpace);
+                                          bool symmetricSpace,
+                                          ExploreObserver* observer = nullptr,
+                                          std::uint64_t searchId = 0);
 
 }  // namespace ppn

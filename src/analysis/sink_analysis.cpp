@@ -4,7 +4,9 @@
 
 namespace ppn {
 
-SinkAnalysis analyzeSinks(const Protocol& proto) {
+SinkAnalysis analyzeSinks(const Protocol& proto, ExploreObserver* observer,
+                          std::uint64_t exploreId) {
+  const PhaseScope phase(observer, exploreId, "sink_analysis");
   SinkAnalysis out;
   const StateId q = proto.numMobileStates();
 

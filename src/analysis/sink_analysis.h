@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/protocol.h"
+#include "obs/explore_observer.h"
 
 namespace ppn {
 
@@ -35,6 +36,11 @@ struct SinkAnalysis {
 /// rule (s,s) -> (p,q) may split; the chain then follows the *initiator*
 /// component p (the analysis is still well-defined, but Prop 6's uniqueness
 /// claim only applies to symmetric protocols).
-SinkAnalysis analyzeSinks(const Protocol& proto);
+///
+/// The analysis is purely syntactic (no exploration); a non-null `observer`
+/// gets a single "sink_analysis" phase pair for timeline completeness.
+SinkAnalysis analyzeSinks(const Protocol& proto,
+                          ExploreObserver* observer = nullptr,
+                          std::uint64_t exploreId = 0);
 
 }  // namespace ppn

@@ -7,10 +7,13 @@ namespace ppn {
 WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
                               const std::vector<Configuration>& initials,
                               std::size_t maxNodes,
-                              const InteractionGraph* topology) {
+                              const InteractionGraph* topology,
+                              ExploreObserver* observer,
+                              std::uint64_t exploreId) {
+  const PhaseScope checkPhase(observer, exploreId, "check");
   WeakVerdict verdict;
   const ConfigGraph graph =
-      exploreConcrete(proto, initials, maxNodes, topology);
+      exploreConcrete(proto, initials, maxNodes, topology, observer, exploreId);
   verdict.numConfigs = graph.size();
   if (graph.truncated) {
     verdict.reason = "state space exceeded " + std::to_string(maxNodes) +
@@ -19,7 +22,12 @@ WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
   }
   verdict.explored = true;
 
-  const SccDecomposition scc = decomposeScc(graph);
+  SccDecomposition scc;
+  {
+    const PhaseScope sccPhase(observer, exploreId, "scc");
+    scc = decomposeScc(graph);
+  }
+  const PhaseScope verdictPhase(observer, exploreId, "verdict");
   verdict.numSccs = scc.numSccs;
   const std::uint32_t pairs = numPairs(graph.numParticipants);
   // Required labels: all pairs in the complete model, or the topology edges.

@@ -44,9 +44,16 @@ struct WeakVerdict {
 /// `topology` restricts interactions to a graph (weak fairness then demands
 /// every EDGE of the topology interact infinitely often); nullptr means the
 /// paper's complete-interaction model.
+///
+/// A non-null `observer` receives a "check" phase wrapping nested "explore"
+/// (from exploreConcrete, with progress/truncation events), "scc" and
+/// "verdict" phases, all tagged with `exploreId`. Null observer = identical
+/// behavior.
 WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
                               const std::vector<Configuration>& initials,
                               std::size_t maxNodes = 4'000'000,
-                              const InteractionGraph* topology = nullptr);
+                              const InteractionGraph* topology = nullptr,
+                              ExploreObserver* observer = nullptr,
+                              std::uint64_t exploreId = 0);
 
 }  // namespace ppn

@@ -13,7 +13,8 @@ CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
                                    const RunLimits& limits,
                                    const CancelToken* cancel,
                                    RunObserver* observer,
-                                   std::uint64_t runId) {
+                                   std::uint64_t runId,
+                                   FlightRecorder* recorder) {
   using Clock = std::chrono::steady_clock;
   CampaignRunOutcome out;
   const bool watch = limits.maxWallMillis > 0;
@@ -51,6 +52,8 @@ CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
   // keeps perturbing whatever the protocol converges to.
   std::uint64_t now = engine.totalInteractions();
   const std::uint64_t windowEnd = now + faultWindow;
+  std::uint64_t nextSampleAt =
+      recorder != nullptr ? now + recorder->stride() : 0;
   while (now < windowEnd) {
     std::uint64_t target = windowEnd;
     bool faultDue = false;
@@ -76,12 +79,24 @@ CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
           observer->onWatchdogAbort(
               WatchdogAbortEvent{runId, now, limits.maxWallMillis});
         }
+        if (recorder != nullptr) {
+          recorder->record(sampleConvergence(engine, runId));
+          recorder->dumpToConfiguredPath("watchdog_abort run " +
+                                         std::to_string(runId));
+        }
         finishRun();
         return out;
       }
-      const std::uint64_t burst = std::min(interval, target - now);
+      std::uint64_t burst = std::min(interval, target - now);
+      if (recorder != nullptr && nextSampleAt > now) {
+        burst = std::min(burst, nextSampleAt - now);
+      }
       for (std::uint64_t i = 0; i < burst; ++i) engine.step(sched.next());
       now += burst;
+      if (recorder != nullptr && now == nextSampleAt) {
+        recorder->record(sampleConvergence(engine, runId));
+        nextSampleAt += recorder->stride();
+      }
     }
     if (faultDue && now == target) {
       process->apply(engine);
@@ -101,7 +116,8 @@ CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
                           .count();
     recoveryLimits.maxWallMillis = left > 0 ? static_cast<std::uint64_t>(left) : 1;
   }
-  const RunOutcome rec = runUntilSilent(engine, sched, recoveryLimits, cancel);
+  const RunOutcome rec = runUntilSilent(engine, sched, recoveryLimits, cancel,
+                                        nullptr, runId, recorder);
   out.recovered = rec.silent;
   out.recoveredNamed = rec.namingSolved;
   out.timedOut = rec.timedOut;
@@ -119,6 +135,14 @@ CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
       observer->onCancelled(
           CancelledEvent{runId, engine.totalInteractions()});
     }
+  }
+  // Fault-induced divergence: the window closed and the system failed to
+  // re-converge (on budget, not by cancellation). The inner runner already
+  // dumped on its own watchdog; this covers the interaction-budget case.
+  if (recorder != nullptr && !out.recovered && !cancelled && !rec.timedOut) {
+    recorder->record(sampleConvergence(engine, runId));
+    recorder->dumpToConfiguredPath("fault-induced divergence run " +
+                                   std::to_string(runId));
   }
   finishRun();
   return out;
@@ -165,7 +189,7 @@ CampaignResult runCampaign(const Protocol& proto, const CampaignSpec& spec) {
 
         CampaignRunOutcome out = runCampaignOnce(
             engine, *sched, process.get(), spec.faultWindow, spec.limits,
-            &cancel, spec.observer, spec.runIdBase + r);
+            &cancel, spec.observer, spec.runIdBase + r, spec.recorder);
         if (spec.regime == FaultRegime::kStuckAgent) {
           out.faultsInjected = 1;  // the crash itself
         }

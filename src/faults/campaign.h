@@ -43,6 +43,10 @@ struct CampaignSpec {
   RunObserver* observer = nullptr;
   /// Added to run indices to form event runIds (see BatchSpec::runIdBase).
   std::uint64_t runIdBase = 0;
+  /// Convergence flight recorder (not owned; thread-safe by construction):
+  /// samples both the fault and recovery phases, and dumps automatically on
+  /// fault-induced divergence or watchdog abort. Null records nothing.
+  FlightRecorder* recorder = nullptr;
 };
 
 struct CampaignRunOutcome {
@@ -80,13 +84,19 @@ struct CampaignResult {
 /// the whole campaign run — the internal recovery phase is folded in, not
 /// reported as a nested run — plus fault_injected events (via the engine
 /// hook) and watchdog_abort/cancelled at the abort point in either phase.
+///
+/// `recorder`, when non-null, samples convergence state at its stride across
+/// both phases and dumps to its configured path when the run ends without
+/// recovering (fault-induced divergence or watchdog abort) — the retained
+/// ring then holds the perturbation history leading up to the failure.
 CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
                                    FaultProcess* process,
                                    std::uint64_t faultWindow,
                                    const RunLimits& limits,
                                    const CancelToken* cancel = nullptr,
                                    RunObserver* observer = nullptr,
-                                   std::uint64_t runId = 0);
+                                   std::uint64_t runId = 0,
+                                   FlightRecorder* recorder = nullptr);
 
 /// Runs `spec.runs` independent campaigns of `proto` under the spec's fault
 /// regime. Exception-safe and deterministic like runBatch: per-run inputs are

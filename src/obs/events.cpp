@@ -116,6 +116,75 @@ void JsonlEventSink::onFaultInjected(const FaultInjectedEvent& e) {
   writeLine(w.str());
 }
 
+void JsonlEventSink::onExploreProgress(const ExploreProgressEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("explore_progress");
+  w.key("explore").value(e.exploreId);
+  w.key("nodes").value(e.nodes);
+  w.key("frontier").value(e.frontier);
+  w.key("edges").value(e.edges);
+  w.key("dedup_hits").value(e.dedupHits);
+  w.key("bytes_estimate").value(e.bytesEstimate);
+  w.key("nodes_per_sec").value(e.nodesPerSec);
+  w.key("done").value(e.done);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onPhaseStart(const ExplorePhaseStartEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("phase_start");
+  w.key("explore").value(e.exploreId);
+  w.key("phase").value(e.phase);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onPhaseEnd(const ExplorePhaseEndEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("phase_end");
+  w.key("explore").value(e.exploreId);
+  w.key("phase").value(e.phase);
+  w.key("wall_millis").value(e.wallMillis);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onTruncated(const ExploreTruncatedEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("explore_truncated");
+  w.key("explore").value(e.exploreId);
+  w.key("nodes").value(e.nodes);
+  w.key("max_nodes").value(e.maxNodes);
+  w.key("frontier_size").value(static_cast<std::uint64_t>(e.frontier.size()));
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onSearchProgress(const SearchProgressEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("search_progress");
+  w.key("search").value(e.searchId);
+  w.key("examined").value(e.examined);
+  w.key("total").value(e.total);
+  w.key("solvers").value(e.solvers);
+  w.key("unknown").value(e.unknown);
+  w.key("candidates_per_sec").value(e.candidatesPerSec);
+  w.key("done").value(e.done);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
 void JsonlEventSink::onBatchProgress(const BatchProgressEvent& e) {
   const std::uint64_t now = elapsedMillis();
   {

@@ -11,9 +11,22 @@
 //   cancelled       {run, at}
 //   batch_progress  {completed, total, degraded}
 //
+// The sink also implements ExploreObserver (obs/explore_observer.h), so one
+// file carries both simulation and analysis telemetry (E22):
+//   explore_progress  {explore, nodes, frontier, edges, dedup_hits,
+//                      bytes_estimate, nodes_per_sec, done}
+//   phase_start       {explore, phase}
+//   phase_end         {explore, phase, wall_millis}
+//   explore_truncated {explore, nodes, max_nodes, frontier_size}
+//   search_progress   {search, examined, total, solvers, unknown,
+//                      candidates_per_sec, done}
+//
 // Silence checks are deliberately NOT streamed (they fire every
 // checkInterval interactions and would dwarf everything else); count them
-// with a MetricsRunObserver instead.
+// with a MetricsRunObserver instead. The explore_truncated line records the
+// frontier SIZE only — the full node-id snapshot stays with in-process
+// consumers (ExploreTruncatedEvent::frontier), since serialized frontiers of
+// multi-million-node graphs would dominate the stream.
 //
 // batch_progress events arrive once per completed run; the sink throttles
 // them to at most one per `progressIntervalMillis` (the batch-final event,
@@ -28,11 +41,12 @@
 #include <ostream>
 #include <string>
 
+#include "obs/explore_observer.h"
 #include "obs/observer.h"
 
 namespace ppn {
 
-class JsonlEventSink final : public RunObserver {
+class JsonlEventSink final : public RunObserver, public ExploreObserver {
  public:
   /// Opens `path` for writing (truncating); throws std::runtime_error on
   /// failure so a bad --events-out flag fails fast instead of silently
@@ -53,6 +67,12 @@ class JsonlEventSink final : public RunObserver {
   void onCancelled(const CancelledEvent& e) override;
   void onFaultInjected(const FaultInjectedEvent& e) override;
   void onBatchProgress(const BatchProgressEvent& e) override;
+
+  void onExploreProgress(const ExploreProgressEvent& e) override;
+  void onPhaseStart(const ExplorePhaseStartEvent& e) override;
+  void onPhaseEnd(const ExplorePhaseEndEvent& e) override;
+  void onTruncated(const ExploreTruncatedEvent& e) override;
+  void onSearchProgress(const SearchProgressEvent& e) override;
 
   /// Flushes the underlying stream (also done on destruction).
   void flush();

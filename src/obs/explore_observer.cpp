@@ -1,0 +1,33 @@
+#include "obs/explore_observer.h"
+
+#include <chrono>
+
+namespace ppn {
+
+namespace {
+
+std::uint64_t nowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+PhaseScope::PhaseScope(ExploreObserver* obs, std::uint64_t exploreId,
+                       const char* phase)
+    : obs_(obs), exploreId_(exploreId), phase_(phase) {
+  if (obs_ == nullptr) return;
+  startNanos_ = nowNanos();
+  obs_->onPhaseStart(ExplorePhaseStartEvent{exploreId_, phase_});
+}
+
+PhaseScope::~PhaseScope() {
+  if (obs_ == nullptr) return;
+  const double wallMillis =
+      static_cast<double>(nowNanos() - startNanos_) / 1e6;
+  obs_->onPhaseEnd(ExplorePhaseEndEvent{exploreId_, phase_, wallMillis});
+}
+
+}  // namespace ppn

@@ -1,0 +1,150 @@
+// Observability probe interface for the ANALYSIS layer (the exact-checker
+// counterpart of obs/observer.h's RunObserver).
+//
+// An ExploreObserver receives structured events from state-space exploration
+// (analysis/explore.h), the fairness checkers, sink analysis, adversary
+// synthesis, and the exhaustive protocol search. Everything is opt-in and
+// mirrors RunObserver's null-is-one-branch design: observers are plumbed as
+// nullable pointers, every hook site is a single branch on a pointer that is
+// null in the default configuration, and an unobserved exploration is
+// bit-identical to pre-telemetry behavior (the observer only ever *reads*).
+//
+// Event identity: `exploreId` labels one exploration / one checker invocation
+// / one search job. Callers that run several explorations into one observer
+// (protocol_search, the Table 1 bench) assign ascending ids so events remain
+// attributable after they are interleaved into one JSONL stream. Within one
+// exploreId, ExploreProgressEvent node counts are monotone non-decreasing
+// and phase events nest like a call stack — both properties are validated by
+// tests/obs/explore_observer_test.cpp and .github/scripts/check_telemetry.py.
+//
+// Threading contract: the analysis layer is single-threaded today, but
+// observers shared with the simulation substrate (JsonlEventSink,
+// ChromeTraceObserver, MetricsExploreObserver) are thread-safe anyway, so a
+// future parallel search can share one sink without a contract change.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ppn {
+
+/// Periodic snapshot of a breadth-first exploration, emitted every
+/// kExploreProgressStride expanded nodes plus once at the end of every
+/// exploration that expanded at least one node.
+struct ExploreProgressEvent {
+  std::uint64_t exploreId = 0;
+  std::uint64_t nodes = 0;      ///< configurations interned so far
+  std::uint64_t frontier = 0;   ///< nodes discovered but not yet expanded
+  std::uint64_t edges = 0;      ///< edges recorded so far
+  std::uint64_t dedupHits = 0;  ///< intern() calls that hit an existing node
+  std::uint64_t bytesEstimate = 0;  ///< approximate graph memory footprint
+  double nodesPerSec = 0.0;     ///< expansion rate since the exploration began
+  double elapsedMillis = 0.0;   ///< wall time since the exploration began
+  bool done = false;            ///< true on the final (completion) event
+};
+
+/// Start of a named analysis phase ("explore", "scc", "verdict",
+/// "synthesize", "search", ...). Phases nest: every start is balanced by an
+/// ExplorePhaseEndEvent with the same name, LIFO within an exploreId.
+struct ExplorePhaseStartEvent {
+  std::uint64_t exploreId = 0;
+  const char* phase = "";
+};
+
+struct ExplorePhaseEndEvent {
+  std::uint64_t exploreId = 0;
+  const char* phase = "";
+  double wallMillis = 0.0;  ///< duration of the phase
+};
+
+/// Exploration hit maxNodes before closing the frontier. Carries the
+/// unexpanded frontier (node ids into the returned ConfigGraph) that was
+/// previously dropped on the floor, so a consumer can resume, sample, or at
+/// least report *where* the explosion happened.
+struct ExploreTruncatedEvent {
+  std::uint64_t exploreId = 0;
+  std::uint64_t nodes = 0;     ///< nodes interned when the cap fired
+  std::uint64_t maxNodes = 0;  ///< the cap that fired
+  /// Unexpanded node ids, in BFS order, valid in the returned ConfigGraph.
+  std::vector<std::uint32_t> frontier;
+};
+
+/// Periodic progress of an exhaustive protocol-space search
+/// (analysis/protocol_search.h). `unknown` counts candidates whose verdict
+/// came from a truncated exploration — neither solver nor non-solver.
+struct SearchProgressEvent {
+  std::uint64_t searchId = 0;
+  std::uint64_t examined = 0;  ///< candidates fully decided so far
+  std::uint64_t total = 0;     ///< size of the enumerated space
+  std::uint64_t solvers = 0;
+  std::uint64_t unknown = 0;
+  double candidatesPerSec = 0.0;
+  double elapsedMillis = 0.0;
+  bool done = false;  ///< true on the final (completion) event
+};
+
+/// Base class with no-op defaults: implementations override only the hooks
+/// they care about (mirrors RunObserver).
+class ExploreObserver {
+ public:
+  virtual ~ExploreObserver() = default;
+
+  virtual void onExploreProgress(const ExploreProgressEvent&) {}
+  virtual void onPhaseStart(const ExplorePhaseStartEvent&) {}
+  virtual void onPhaseEnd(const ExplorePhaseEndEvent&) {}
+  virtual void onTruncated(const ExploreTruncatedEvent&) {}
+  virtual void onSearchProgress(const SearchProgressEvent&) {}
+};
+
+/// Fan-out to several explore observers (e.g. JSONL sink + metrics + trace).
+/// Observers are not owned and must outlive the MultiExploreObserver; add()
+/// must finish before the observed analysis starts.
+class MultiExploreObserver final : public ExploreObserver {
+ public:
+  MultiExploreObserver() = default;
+  void add(ExploreObserver* obs) {
+    if (obs != nullptr) observers_.push_back(obs);
+  }
+  bool empty() const { return observers_.empty(); }
+
+  void onExploreProgress(const ExploreProgressEvent& e) override {
+    for (auto* o : observers_) o->onExploreProgress(e);
+  }
+  void onPhaseStart(const ExplorePhaseStartEvent& e) override {
+    for (auto* o : observers_) o->onPhaseStart(e);
+  }
+  void onPhaseEnd(const ExplorePhaseEndEvent& e) override {
+    for (auto* o : observers_) o->onPhaseEnd(e);
+  }
+  void onTruncated(const ExploreTruncatedEvent& e) override {
+    for (auto* o : observers_) o->onTruncated(e);
+  }
+  void onSearchProgress(const SearchProgressEvent& e) override {
+    for (auto* o : observers_) o->onSearchProgress(e);
+  }
+
+ private:
+  std::vector<ExploreObserver*> observers_;
+};
+
+/// RAII helper emitting a balanced onPhaseStart/onPhaseEnd pair around a
+/// scope, with the wall timing measured here so every emitter agrees on the
+/// clock. Null observer = zero work beyond one branch.
+class PhaseScope {
+ public:
+  PhaseScope(ExploreObserver* obs, std::uint64_t exploreId, const char* phase);
+  ~PhaseScope();
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  ExploreObserver* obs_;
+  std::uint64_t exploreId_;
+  const char* phase_;
+  /// steady_clock::time_point, stored as nanoseconds-since-epoch to keep
+  /// <chrono> out of this widely included header.
+  std::uint64_t startNanos_ = 0;
+};
+
+}  // namespace ppn

@@ -59,4 +59,51 @@ void MetricsRunObserver::onBatchProgress(const BatchProgressEvent& e) {
   MetricsRegistry::set(batchDegraded_, static_cast<std::int64_t>(e.degraded));
 }
 
+MetricsExploreObserver::MetricsExploreObserver(MetricsRegistry& registry)
+    : registry_(&registry),
+      explorations_(registry.counter("explorations")),
+      explorationsTruncated_(registry.counter("explorations_truncated")),
+      explorePhases_(registry.counter("explore_phases")),
+      searchCandidates_(registry.counter("search_candidates")),
+      exploreNodes_(registry.gauge("explore_nodes")),
+      exploreEdges_(registry.gauge("explore_edges")),
+      exploreDedupHits_(registry.gauge("explore_dedup_hits")),
+      exploreBytesEstimate_(registry.gauge("explore_bytes_estimate")),
+      searchSolvers_(registry.gauge("search_solvers")),
+      searchUnknown_(registry.gauge("search_unknown")),
+      explorePhaseMillis_(registry.histogram(
+          "explore_phase_millis", {1e-1, 1e0, 1e1, 1e2, 1e3, 1e4, 1e5})) {}
+
+void MetricsExploreObserver::onExploreProgress(const ExploreProgressEvent& e) {
+  if (e.done) registry_->add(explorations_);
+  MetricsRegistry::set(exploreNodes_, static_cast<std::int64_t>(e.nodes));
+  MetricsRegistry::set(exploreEdges_, static_cast<std::int64_t>(e.edges));
+  MetricsRegistry::set(exploreDedupHits_,
+                       static_cast<std::int64_t>(e.dedupHits));
+  MetricsRegistry::set(exploreBytesEstimate_,
+                       static_cast<std::int64_t>(e.bytesEstimate));
+}
+
+void MetricsExploreObserver::onPhaseEnd(const ExplorePhaseEndEvent& e) {
+  registry_->add(explorePhases_);
+  registry_->observe(explorePhaseMillis_, e.wallMillis);
+}
+
+void MetricsExploreObserver::onTruncated(const ExploreTruncatedEvent&) {
+  registry_->add(explorationsTruncated_);
+}
+
+void MetricsExploreObserver::onSearchProgress(const SearchProgressEvent& e) {
+  if (e.searchId != lastSearchId_) {
+    lastSearchId_ = e.searchId;
+    lastExamined_ = 0;
+  }
+  if (e.examined > lastExamined_) {
+    registry_->add(searchCandidates_, e.examined - lastExamined_);
+    lastExamined_ = e.examined;
+  }
+  MetricsRegistry::set(searchSolvers_, static_cast<std::int64_t>(e.solvers));
+  MetricsRegistry::set(searchUnknown_, static_cast<std::int64_t>(e.unknown));
+}
+
 }  // namespace ppn

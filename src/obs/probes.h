@@ -9,8 +9,22 @@
 //              faults_injected, watchdog_aborts
 //   gauges     batch_completed, batch_total, batch_degraded (last batch seen)
 //   histograms convergence_interactions (converged runs only; decade buckets)
+//
+// MetricsExploreObserver is the analysis-layer twin: it folds ExploreObserver
+// events into the same registry so one metrics.json covers simulation and
+// exact-checking alike.
+//
+// Registered metrics:
+//   counters   explorations (final progress events), explorations_truncated,
+//              explore_phases (phase_end events), search_candidates
+//              (candidates examined across all search_progress deltas)
+//   gauges     explore_nodes, explore_edges, explore_dedup_hits,
+//              explore_bytes_estimate (last progress event seen),
+//              search_solvers, search_unknown (last search event seen)
+//   histograms explore_phase_millis (decade buckets, every phase_end)
 #pragma once
 
+#include "obs/explore_observer.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
 
@@ -36,6 +50,30 @@ class MetricsRunObserver final : public RunObserver {
       watchdogAborts_;
   GaugeHandle batchCompleted_, batchTotal_, batchDegraded_;
   HistogramHandle convergenceInteractions_;
+};
+
+class MetricsExploreObserver final : public ExploreObserver {
+ public:
+  /// The registry must outlive the observer.
+  explicit MetricsExploreObserver(MetricsRegistry& registry);
+
+  void onExploreProgress(const ExploreProgressEvent& e) override;
+  void onPhaseEnd(const ExplorePhaseEndEvent& e) override;
+  void onTruncated(const ExploreTruncatedEvent& e) override;
+  void onSearchProgress(const SearchProgressEvent& e) override;
+
+ private:
+  MetricsRegistry* registry_;
+  CounterHandle explorations_, explorationsTruncated_, explorePhases_,
+      searchCandidates_;
+  GaugeHandle exploreNodes_, exploreEdges_, exploreDedupHits_,
+      exploreBytesEstimate_, searchSolvers_, searchUnknown_;
+  HistogramHandle explorePhaseMillis_;
+  /// Last search_progress seen (searches run sequentially into one
+  /// observer), so search_candidates counts each candidate once despite
+  /// periodic re-reports; resets when a new searchId appears.
+  std::uint64_t lastSearchId_ = 0;
+  std::uint64_t lastExamined_ = 0;
 };
 
 }  // namespace ppn

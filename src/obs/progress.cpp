@@ -74,4 +74,104 @@ void ProgressReporter::report(bool final) {
   std::fflush(out_);
 }
 
+ExploreProgressReporter::ExploreProgressReporter(std::uint64_t maxNodes,
+                                                 std::uint64_t intervalMillis,
+                                                 std::FILE* out)
+    : out_(out != nullptr ? out : stderr),
+      maxNodes_(maxNodes),
+      intervalMillis_(intervalMillis),
+      lastReport_(std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(intervalMillis)) {}
+
+// Caller holds mu_. Final events always print; periodic ones are throttled.
+bool ExploreProgressReporter::shouldReport(bool final) {
+  const auto now = std::chrono::steady_clock::now();
+  if (!final) {
+    const auto sinceLast =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - lastReport_)
+            .count();
+    if (sinceLast < 0 ||
+        static_cast<std::uint64_t>(sinceLast) < intervalMillis_) {
+      return false;
+    }
+  }
+  lastReport_ = now;
+  return true;
+}
+
+void ExploreProgressReporter::onExploreProgress(const ExploreProgressEvent& e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (e.done) {
+    const bool wasVisible = e.exploreId == visibleExplore_;
+    if (wasVisible) {
+      visibleExplore_ = 0;
+    } else if (!shouldReport(false)) {
+      return;
+    }
+  } else {
+    if (!shouldReport(false)) return;
+    visibleExplore_ = e.exploreId;
+  }
+  if (maxNodes_ > 0) {
+    const std::uint64_t left = maxNodes_ > e.nodes ? maxNodes_ - e.nodes : 0;
+    const double eta = e.nodesPerSec > 0.0
+                           ? static_cast<double>(left) / e.nodesPerSec
+                           : 0.0;
+    std::fprintf(out_,
+                 "[ppn explore %llu] %llu/%llu nodes (%.1f%% of cap) | "
+                 "%.0f nodes/s | frontier %llu | eta %.0fs%s\n",
+                 static_cast<unsigned long long>(e.exploreId),
+                 static_cast<unsigned long long>(e.nodes),
+                 static_cast<unsigned long long>(maxNodes_),
+                 100.0 * static_cast<double>(e.nodes) /
+                     static_cast<double>(maxNodes_),
+                 e.nodesPerSec, static_cast<unsigned long long>(e.frontier),
+                 eta, e.done ? " | done" : "");
+  } else {
+    std::fprintf(out_,
+                 "[ppn explore %llu] %llu nodes | %.0f nodes/s | "
+                 "frontier %llu%s\n",
+                 static_cast<unsigned long long>(e.exploreId),
+                 static_cast<unsigned long long>(e.nodes), e.nodesPerSec,
+                 static_cast<unsigned long long>(e.frontier),
+                 e.done ? " | done" : "");
+  }
+  std::fflush(out_);
+}
+
+void ExploreProgressReporter::onTruncated(const ExploreTruncatedEvent& e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(out_,
+               "[ppn explore %llu] TRUNCATED at %llu nodes (cap %llu), "
+               "%llu frontier configurations unexpanded\n",
+               static_cast<unsigned long long>(e.exploreId),
+               static_cast<unsigned long long>(e.nodes),
+               static_cast<unsigned long long>(e.maxNodes),
+               static_cast<unsigned long long>(e.frontier.size()));
+  std::fflush(out_);
+}
+
+void ExploreProgressReporter::onSearchProgress(const SearchProgressEvent& e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!shouldReport(e.done)) return;
+  const std::uint64_t left = e.total > e.examined ? e.total - e.examined : 0;
+  const double eta = e.candidatesPerSec > 0.0
+                         ? static_cast<double>(left) / e.candidatesPerSec
+                         : 0.0;
+  std::fprintf(out_,
+               "[ppn search %llu] %llu/%llu candidates (%.1f%%) | "
+               "%.0f cand/s | solvers %llu | unknown %llu | eta %.0fs%s\n",
+               static_cast<unsigned long long>(e.searchId),
+               static_cast<unsigned long long>(e.examined),
+               static_cast<unsigned long long>(e.total),
+               e.total > 0 ? 100.0 * static_cast<double>(e.examined) /
+                                 static_cast<double>(e.total)
+                           : 0.0,
+               e.candidatesPerSec,
+               static_cast<unsigned long long>(e.solvers),
+               static_cast<unsigned long long>(e.unknown), eta,
+               e.done ? " | done" : "");
+  std::fflush(out_);
+}
+
 }  // namespace ppn

@@ -7,6 +7,10 @@
 // the reporter then omits the total and the ETA. Output goes to stderr and
 // only when explicitly attached (benches gate it behind --progress), so
 // default bench output stays byte-for-byte unchanged.
+// ExploreProgressReporter is the analysis-layer twin: it prints exploration
+// node counts (nodes/sec, plus percent-of-cap and ETA when the caller knows
+// maxNodes) and search progress (candidates/sec + ETA) from ExploreObserver
+// events, throttled the same way.
 #pragma once
 
 #include <chrono>
@@ -14,6 +18,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/explore_observer.h"
 #include "obs/observer.h"
 
 namespace ppn {
@@ -45,6 +50,36 @@ class ProgressReporter final : public RunObserver {
   bool finished_ = false;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point lastReport_;
+};
+
+class ExploreProgressReporter final : public ExploreObserver {
+ public:
+  /// `maxNodes` = 0 means the node cap is unknown: exploration lines then
+  /// omit the percent-of-cap and ETA. Output goes to `out` (nullptr =
+  /// stderr), only when explicitly attached (benches gate it behind
+  /// --progress).
+  explicit ExploreProgressReporter(std::uint64_t maxNodes = 0,
+                                   std::uint64_t intervalMillis = 2000,
+                                   std::FILE* out = nullptr);
+
+  void onExploreProgress(const ExploreProgressEvent& e) override;
+  void onTruncated(const ExploreTruncatedEvent& e) override;
+  void onSearchProgress(const SearchProgressEvent& e) override;
+
+ private:
+  bool shouldReport(bool final);  // caller holds mu_
+
+  std::FILE* out_;
+  const std::uint64_t maxNodes_;
+  const std::uint64_t intervalMillis_;
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point lastReport_;
+  /// The exploration that last printed a periodic line. Its completion always
+  /// prints (closing the story the reader was following); completions of
+  /// never-shown explorations go through the normal throttle instead — a
+  /// search finishes thousands of tiny explorations per second, and one
+  /// stderr line each would drown the search-level progress.
+  std::uint64_t visibleExplore_ = 0;
 };
 
 }  // namespace ppn

@@ -1,0 +1,317 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "util/json.h"
+
+namespace ppn {
+
+FlightRecorder::FlightRecorder(std::size_t capacity, std::uint64_t stride,
+                               std::string dumpPath)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      stride_(stride == 0 ? 1 : stride),
+      dumpPath_(std::move(dumpPath)) {}
+
+void FlightRecorder::record(ConvergenceSample sample) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(sample));
+  } else {
+    ring_[static_cast<std::size_t>(total_ % capacity_)] = std::move(sample);
+  }
+  ++total_;
+}
+
+std::size_t FlightRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::totalRecorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::vector<ConvergenceSample> FlightRecorder::samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ConvergenceSample> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: storage order is recording order
+  } else {
+    const std::size_t head = static_cast<std::size_t>(total_ % capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(head + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void FlightRecorder::dump(const std::string& reason, std::ostream& out) const {
+  const std::vector<ConvergenceSample> snap = samples();
+  std::uint64_t total;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    total = total_;
+  }
+  {
+    JsonWriter w;
+    w.beginObject();
+    w.key("event").value("flight_recorder_dump");
+    w.key("reason").value(reason);
+    w.key("capacity").value(static_cast<std::uint64_t>(capacity_));
+    w.key("stride").value(stride_);
+    w.key("total_recorded").value(total);
+    w.key("retained").value(static_cast<std::uint64_t>(snap.size()));
+    w.endObject();
+    out << w.str() << '\n';
+  }
+  for (const ConvergenceSample& s : snap) {
+    JsonWriter w;
+    w.beginObject();
+    w.key("event").value("convergence_sample");
+    w.key("run").value(s.runId);
+    w.key("at").value(s.interactions);
+    w.key("distinct_names").value(s.distinctNames);
+    w.key("collisions").value(s.collisions);
+    w.key("occupancy").beginArray();
+    for (const std::uint32_t c : s.occupancy) w.value(c);
+    w.endArray();
+    w.endObject();
+    out << w.str() << '\n';
+  }
+  out.flush();
+}
+
+bool FlightRecorder::dumpToConfiguredPath(const std::string& reason) const {
+  if (dumpPath_.empty()) return false;
+  std::ofstream out(dumpPath_, std::ios::trunc);
+  if (!out) return false;
+  dump(reason, out);
+  return static_cast<bool>(out);
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::size_t maxEvents)
+    : maxEvents_(maxEvents), start_(std::chrono::steady_clock::now()) {}
+
+double ChromeTraceWriter::nowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+// Caller holds mu_.
+std::uint32_t ChromeTraceWriter::tidLocked() {
+  const auto id = std::this_thread::get_id();
+  const auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  const auto tid = static_cast<std::uint32_t>(tids_.size());
+  tids_.emplace(id, tid);
+  Event meta;
+  meta.name = "worker-" + std::to_string(tid);
+  meta.ph = 'M';
+  meta.tid = tid;
+  meta.threadName = meta.name;
+  if (events_.size() < maxEvents_) events_.push_back(std::move(meta));
+  return tid;
+}
+
+// Caller holds mu_.
+void ChromeTraceWriter::push(Event e) {
+  if (events_.size() >= maxEvents_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::begin(const std::string& name, const Args& args) {
+  const double ts = nowMicros();
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = name;
+  e.ph = 'B';
+  e.tsMicros = ts;
+  e.tid = tidLocked();
+  e.args = args;
+  push(std::move(e));
+}
+
+void ChromeTraceWriter::end(const std::string& name) {
+  const double ts = nowMicros();
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = name;
+  e.ph = 'E';
+  e.tsMicros = ts;
+  e.tid = tidLocked();
+  push(std::move(e));
+}
+
+void ChromeTraceWriter::instant(const std::string& name, const Args& args) {
+  const double ts = nowMicros();
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = name;
+  e.ph = 'i';
+  e.tsMicros = ts;
+  e.tid = tidLocked();
+  e.args = args;
+  push(std::move(e));
+}
+
+void ChromeTraceWriter::counter(const std::string& name, double value) {
+  const double ts = nowMicros();
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = name;
+  e.ph = 'C';
+  e.tsMicros = ts;
+  e.tid = tidLocked();
+  e.counterValue = value;
+  push(std::move(e));
+}
+
+void ChromeTraceWriter::setThreadName(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = name;
+  e.ph = 'M';
+  e.tid = tidLocked();
+  e.threadName = name;
+  push(std::move(e));
+}
+
+std::size_t ChromeTraceWriter::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t ChromeTraceWriter::droppedEvents() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void ChromeTraceWriter::write(std::ostream& out) const {
+  std::vector<Event> snap;
+  std::uint64_t dropped;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snap = events_;
+    dropped = dropped_;
+  }
+  JsonWriter w;
+  w.beginObject();
+  w.key("traceEvents").beginArray();
+  for (const Event& e : snap) {
+    w.beginObject();
+    // Metadata entries carry the reserved name "thread_name"; the
+    // human-readable track label lives in args.name.
+    w.key("name").value(e.ph == 'M' ? "thread_name" : e.name.c_str());
+    w.key("ph").value(std::string(1, e.ph));
+    w.key("pid").value(1);
+    w.key("tid").value(e.tid);
+    if (e.ph == 'M') {
+      w.key("args").beginObject();
+      w.key("name").value(e.threadName);
+      w.endObject();
+      w.endObject();
+      continue;
+    }
+    w.key("ts").value(e.tsMicros);
+    if (e.ph == 'i') w.key("s").value("t");
+    if (e.ph == 'C') {
+      w.key("args").beginObject();
+      w.key("value").value(e.counterValue);
+      w.endObject();
+    } else if (!e.args.empty()) {
+      w.key("args").beginObject();
+      for (const auto& [k, v] : e.args) w.key(k).value(v);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  if (dropped > 0) {
+    w.beginObject();
+    w.key("name").value("events_dropped");
+    w.key("ph").value("i");
+    w.key("s").value("g");
+    w.key("ts").value(0.0);
+    w.key("pid").value(1);
+    w.key("tid").value(0);
+    w.key("args").beginObject();
+    w.key("count").value(dropped);
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.key("displayTimeUnit").value("ms");
+  w.endObject();
+  out << w.str() << '\n';
+  out.flush();
+}
+
+bool ChromeTraceWriter::writeToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write(out);
+  return static_cast<bool>(out);
+}
+
+void ChromeTraceObserver::onRunStart(const RunStartEvent& e) {
+  writer_->begin("run " + std::to_string(e.runId),
+                 {{"run", static_cast<double>(e.runId)},
+                  {"num_mobile", static_cast<double>(e.numMobile)}});
+}
+
+void ChromeTraceObserver::onRunEnd(const RunEndEvent& e) {
+  writer_->end("run " + std::to_string(e.runId));
+}
+
+void ChromeTraceObserver::onWatchdogAbort(const WatchdogAbortEvent& e) {
+  writer_->instant("watchdog_abort",
+                   {{"run", static_cast<double>(e.runId)},
+                    {"at", static_cast<double>(e.interactions)}});
+}
+
+void ChromeTraceObserver::onCancelled(const CancelledEvent& e) {
+  writer_->instant("cancelled", {{"run", static_cast<double>(e.runId)}});
+}
+
+void ChromeTraceObserver::onFaultInjected(const FaultInjectedEvent& e) {
+  writer_->instant("fault_injected",
+                   {{"run", static_cast<double>(e.runId)},
+                    {"at", static_cast<double>(e.interactions)},
+                    {"agent", static_cast<double>(e.agent)}});
+}
+
+void ChromeTraceObserver::onBatchProgress(const BatchProgressEvent& e) {
+  writer_->counter("batch_completed", static_cast<double>(e.completed));
+}
+
+void ChromeTraceObserver::onExploreProgress(const ExploreProgressEvent& e) {
+  writer_->counter("explore_nodes", static_cast<double>(e.nodes));
+  writer_->counter("explore_frontier", static_cast<double>(e.frontier));
+}
+
+void ChromeTraceObserver::onPhaseStart(const ExplorePhaseStartEvent& e) {
+  writer_->begin(e.phase, {{"explore", static_cast<double>(e.exploreId)}});
+}
+
+void ChromeTraceObserver::onPhaseEnd(const ExplorePhaseEndEvent& e) {
+  writer_->end(e.phase);
+}
+
+void ChromeTraceObserver::onTruncated(const ExploreTruncatedEvent& e) {
+  writer_->instant("explore_truncated",
+                   {{"explore", static_cast<double>(e.exploreId)},
+                    {"nodes", static_cast<double>(e.nodes)},
+                    {"max_nodes", static_cast<double>(e.maxNodes)}});
+}
+
+void ChromeTraceObserver::onSearchProgress(const SearchProgressEvent& e) {
+  writer_->counter("search_examined", static_cast<double>(e.examined));
+  writer_->counter("search_solvers", static_cast<double>(e.solvers));
+}
+
+}  // namespace ppn

@@ -1,0 +1,181 @@
+// Convergence flight recorder + Chrome-trace exporter.
+//
+// FlightRecorder is a bounded ring buffer of per-run convergence samples
+// (name-occupancy histogram, distinct-name count, collision count) taken at a
+// configurable interaction stride. It retains only the most recent
+// `capacity` samples, so it can stay attached to long campaigns for free and
+// still hold the moments that matter when a run goes wrong: the sim layer
+// dumps it automatically on watchdog abort and on fault-induced divergence
+// (sim/runner.h, faults/campaign.h). Samples are plain data — this layer
+// never sees core types, so the Engine-sampling glue lives in sim.
+//
+// ChromeTraceWriter collects Chrome trace_event JSON (the format consumed by
+// chrome://tracing and ui.perfetto.dev): nested B/E duration events, i
+// instants and C counters on per-thread tracks, timestamped in microseconds
+// since the writer was created. ChromeTraceObserver adapts RunObserver +
+// ExploreObserver events onto a writer, so one --trace-out flag renders runs,
+// batches, checker phases and fault injections as a zoomable timeline.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/explore_observer.h"
+#include "obs/observer.h"
+
+namespace ppn {
+
+/// One convergence snapshot of a run, taken every `stride` interactions.
+struct ConvergenceSample {
+  std::uint64_t runId = 0;
+  std::uint64_t interactions = 0;  ///< engine interaction count at the sample
+  std::uint32_t distinctNames = 0; ///< distinct projected names held
+  std::uint32_t collisions = 0;    ///< agents sharing their name with another
+  /// Multiplicity of each held name, descending (the shape of the occupancy
+  /// histogram matters for diagnosis, the name identities do not).
+  std::vector<std::uint32_t> occupancy;
+};
+
+/// Thread-safe bounded ring buffer of ConvergenceSamples with JSONL dumping.
+/// Overwrites the oldest sample when full; totalRecorded() keeps counting, so
+/// consumers can tell how much history the ring dropped.
+class FlightRecorder {
+ public:
+  /// `dumpPath` is where dump() writes when the sim layer trips an abort;
+  /// empty disables automatic dumping (samples stay queryable in-process).
+  explicit FlightRecorder(std::size_t capacity = 4096,
+                          std::uint64_t stride = 1024,
+                          std::string dumpPath = "");
+
+  std::uint64_t stride() const { return stride_; }
+  std::size_t capacity() const { return capacity_; }
+
+  void record(ConvergenceSample sample);
+
+  /// Samples currently retained (<= capacity).
+  std::size_t size() const;
+  /// Samples ever recorded (>= size(); the difference was overwritten).
+  std::uint64_t totalRecorded() const;
+  /// Retained samples in recording order (oldest first), wraparound resolved.
+  std::vector<ConvergenceSample> samples() const;
+
+  /// Writes a JSONL dump: one header line
+  ///   {"event":"flight_recorder_dump","reason":...,"capacity":...,
+  ///    "stride":...,"total_recorded":...,"retained":...}
+  /// then one {"event":"convergence_sample",...} line per retained sample,
+  /// oldest first.
+  void dump(const std::string& reason, std::ostream& out) const;
+
+  /// dump() to the path configured at construction. Returns false (without
+  /// throwing — this runs on abort paths) when no path was configured or the
+  /// file cannot be opened. Later dumps overwrite earlier ones: the most
+  /// recent abort is the one being debugged.
+  bool dumpToConfiguredPath(const std::string& reason) const;
+
+ private:
+  mutable std::mutex mu_;
+  const std::size_t capacity_;
+  const std::uint64_t stride_;
+  const std::string dumpPath_;
+  std::vector<ConvergenceSample> ring_;
+  std::uint64_t total_ = 0;  ///< next write position = total_ % capacity_
+};
+
+/// Thread-safe collector of Chrome trace_event entries. Every emitter stamps
+/// the calling thread's track (tids are dense indices in first-seen order,
+/// each introduced by a thread_name metadata event) and the current time in
+/// microseconds since construction. Bounded: past `maxEvents` new events are
+/// dropped and counted, so a runaway campaign cannot exhaust memory.
+class ChromeTraceWriter {
+ public:
+  using Args = std::vector<std::pair<std::string, double>>;
+
+  explicit ChromeTraceWriter(std::size_t maxEvents = 1u << 20);
+
+  /// Begin/end a nested duration (ph B/E) on the calling thread's track.
+  void begin(const std::string& name, const Args& args = {});
+  void end(const std::string& name);
+  /// Thread-scoped instant event (ph i).
+  void instant(const std::string& name, const Args& args = {});
+  /// Counter track (ph C).
+  void counter(const std::string& name, double value);
+  /// Names the calling thread's track (thread_name metadata, ph M); tracks
+  /// are otherwise auto-named "worker-<tid>".
+  void setThreadName(const std::string& name);
+
+  std::size_t size() const;
+  std::uint64_t droppedEvents() const;
+
+  /// Renders {"traceEvents":[...],"displayTimeUnit":"ms"}. Valid JSON
+  /// (loadable in chrome://tracing) regardless of event mix; a
+  /// dropped-events metadata entry is appended when the cap was hit.
+  void write(std::ostream& out) const;
+  /// write() to a file; returns false when the file cannot be opened.
+  bool writeToFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    char ph = 'i';
+    double tsMicros = 0.0;
+    std::uint32_t tid = 0;
+    double counterValue = 0.0;  ///< ph C only
+    Args args;
+    std::string threadName;  ///< ph M only
+  };
+
+  /// Caller holds mu_. Dense tid for the calling thread, registering (and
+  /// queueing a thread_name metadata event) on first sight.
+  std::uint32_t tidLocked();
+  void push(Event e);
+  double nowMicros() const;
+
+  mutable std::mutex mu_;
+  const std::size_t maxEvents_;
+  const std::chrono::steady_clock::time_point start_;
+  std::map<std::thread::id, std::uint32_t> tids_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Adapts simulation (RunObserver) and analysis (ExploreObserver) events onto
+/// a ChromeTraceWriter:
+///   run_start/run_end         -> "run <id>" duration on the worker's track
+///   fault_injected            -> instant
+///   watchdog_abort/cancelled  -> instant
+///   batch_progress            -> "batch_completed" counter
+///   phase_start/phase_end     -> nested duration named after the phase
+///   explore_progress          -> "explore_nodes"/"explore_frontier" counters
+///   explore_truncated         -> instant
+///   search_progress           -> "search_examined"/"search_solvers" counters
+/// The writer is not owned and must outlive the observer.
+class ChromeTraceObserver final : public RunObserver, public ExploreObserver {
+ public:
+  explicit ChromeTraceObserver(ChromeTraceWriter& writer) : writer_(&writer) {}
+
+  void onRunStart(const RunStartEvent& e) override;
+  void onRunEnd(const RunEndEvent& e) override;
+  void onWatchdogAbort(const WatchdogAbortEvent& e) override;
+  void onCancelled(const CancelledEvent& e) override;
+  void onFaultInjected(const FaultInjectedEvent& e) override;
+  void onBatchProgress(const BatchProgressEvent& e) override;
+
+  void onExploreProgress(const ExploreProgressEvent& e) override;
+  void onPhaseStart(const ExplorePhaseStartEvent& e) override;
+  void onPhaseEnd(const ExplorePhaseEndEvent& e) override;
+  void onTruncated(const ExploreTruncatedEvent& e) override;
+  void onSearchProgress(const SearchProgressEvent& e) override;
+
+ private:
+  ChromeTraceWriter* writer_;
+};
+
+}  // namespace ppn

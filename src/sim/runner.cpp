@@ -1,12 +1,15 @@
 #include "sim/runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <functional>
 #include <limits>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/compiled.h"
@@ -16,9 +19,29 @@
 
 namespace ppn {
 
+ConvergenceSample sampleConvergence(const Engine& engine,
+                                    std::uint64_t runId) {
+  ConvergenceSample s;
+  s.runId = runId;
+  s.interactions = engine.totalInteractions();
+  const Protocol& proto = engine.protocol();
+  std::unordered_map<StateId, std::uint32_t> counts;
+  for (const StateId st : engine.config().mobile) ++counts[proto.nameOf(st)];
+  s.distinctNames = static_cast<std::uint32_t>(counts.size());
+  s.occupancy.reserve(counts.size());
+  for (const auto& [name, c] : counts) {
+    s.occupancy.push_back(c);
+    if (c > 1) s.collisions += c;
+  }
+  std::sort(s.occupancy.begin(), s.occupancy.end(),
+            std::greater<std::uint32_t>());
+  return s;
+}
+
 RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
                           const RunLimits& limits, const CancelToken* cancel,
-                          RunObserver* observer, std::uint64_t runId) {
+                          RunObserver* observer, std::uint64_t runId,
+                          FlightRecorder* recorder) {
   using Clock = std::chrono::steady_clock;
   RunOutcome out;
   out.numMobile = engine.numMobile();
@@ -42,11 +65,16 @@ RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
         SilenceCheckEvent{runId, engine.totalInteractions(), silent});
   }
   std::uint64_t steps = 0;
+  std::uint64_t nextSampleAt =
+      recorder != nullptr ? recorder->stride() : 0;
   while (!silent && steps < limits.maxInteractions) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       out.cancelled = true;
       if (observer != nullptr) {
         observer->onCancelled(CancelledEvent{runId, engine.totalInteractions()});
+      }
+      if (recorder != nullptr) {
+        recorder->record(sampleConvergence(engine, runId));
       }
       break;
     }
@@ -56,12 +84,23 @@ RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
         observer->onWatchdogAbort(WatchdogAbortEvent{
             runId, engine.totalInteractions(), limits.maxWallMillis});
       }
+      if (recorder != nullptr) {
+        recorder->record(sampleConvergence(engine, runId));
+        recorder->dumpToConfiguredPath("watchdog_abort run " +
+                                       std::to_string(runId));
+      }
       break;
     }
-    const std::uint64_t burst =
-        std::min(interval, limits.maxInteractions - steps);
+    std::uint64_t burst = std::min(interval, limits.maxInteractions - steps);
+    if (recorder != nullptr && nextSampleAt > steps) {
+      burst = std::min(burst, nextSampleAt - steps);
+    }
     engine.runBurst(sched, burst);
     steps += burst;
+    if (recorder != nullptr && steps == nextSampleAt) {
+      recorder->record(sampleConvergence(engine, runId));
+      nextSampleAt += recorder->stride();
+    }
     silent = engine.silent();
     if (observer != nullptr) {
       observer->onSilenceCheck(
@@ -227,7 +266,7 @@ BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
         const std::uint64_t runId = spec.runIdBase + r;
         engine.attachObserver(spec.observer, runId);
         outcomes[r] = runUntilSilent(engine, *sched, spec.limits, &cancel,
-                                     spec.observer, runId);
+                                     spec.observer, runId, spec.recorder);
         if (spec.observer != nullptr) {
           if (outcomes[r].timedOut) {
             progressDegraded.fetch_add(1, std::memory_order_relaxed);

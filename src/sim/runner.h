@@ -31,6 +31,7 @@
 
 #include "core/engine.h"
 #include "obs/observer.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "stats/summary.h"
 
@@ -73,6 +74,13 @@ struct RunOutcome {
   }
 };
 
+/// Snapshots the run's convergence state from the engine's current
+/// configuration: projected-name occupancy histogram (multiplicities,
+/// descending), distinct-name count, and collision count (agents sharing
+/// their name). This is the FlightRecorder sampling glue — obs/trace.h holds
+/// only plain data and never sees core types.
+ConvergenceSample sampleConvergence(const Engine& engine, std::uint64_t runId);
+
 /// Steps `engine` with interactions from `sched` until silent or a budget
 /// (interactions or wall clock) runs out. `cancel`, when non-null, is polled
 /// once per check interval; a set token aborts the run with cancelled = true.
@@ -81,11 +89,18 @@ struct RunOutcome {
 /// for cancelled or timed-out runs), one silence_check per poll, and
 /// watchdog_abort / cancelled at the abort point; `runId` labels the events.
 /// A null observer costs one branch per check interval — nothing per step.
+///
+/// `recorder`, when non-null, receives one convergence sample per recorder
+/// stride of interactions (bursts are capped at sample boundaries — this can
+/// add silence polls but never changes the outcome) plus a final sample at a
+/// watchdog/cancel abort, and is dumped to its configured path when the
+/// watchdog fires.
 RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
                           const RunLimits& limits,
                           const CancelToken* cancel = nullptr,
                           RunObserver* observer = nullptr,
-                          std::uint64_t runId = 0);
+                          std::uint64_t runId = 0,
+                          FlightRecorder* recorder = nullptr);
 
 /// Runs fn(index, cancel) for every index in [0, count), spread over
 /// `threads` workers (0 = hardware concurrency). Exception-safe: a throwing
@@ -134,6 +149,10 @@ struct BatchSpec {
   /// Added to each run's index to form its event runId, so sweeps chaining
   /// several batches into one observer keep ids unique across the sweep.
   std::uint64_t runIdBase = 0;
+  /// Convergence flight recorder shared by every run of the batch (not
+  /// owned; thread-safe by construction). Null — the default — records
+  /// nothing and keeps the hot loop untouched.
+  FlightRecorder* recorder = nullptr;
   /// Use the compiled fast path (core/compiled.h): the protocol's transition
   /// tables are flattened once per batch and shared read-only by all workers,
   /// and each engine maintains the incremental silence tracker. Outcomes are

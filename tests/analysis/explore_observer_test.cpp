@@ -1,0 +1,286 @@
+// Observer threading through the checkers: event ordering (monotone progress,
+// LIFO phase nesting), truncation reporting, and the differential guarantee
+// that observing an exploration does not change the graph it builds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/explore.h"
+#include "analysis/global_checker.h"
+#include "analysis/initial_sets.h"
+#include "analysis/problem.h"
+#include "analysis/protocol_search.h"
+#include "analysis/weak_checker.h"
+#include "core/engine.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/color_example.h"
+#include "obs/explore_observer.h"
+#include "obs/trace.h"
+#include "sched/adversary.h"
+#include "sim/runner.h"
+
+namespace ppn {
+namespace {
+
+/// Captures every hook invocation in arrival order for later inspection.
+class RecordingExploreObserver final : public ExploreObserver {
+ public:
+  void onExploreProgress(const ExploreProgressEvent& e) override {
+    progress.push_back(e);
+  }
+  void onPhaseStart(const ExplorePhaseStartEvent& e) override {
+    phases.emplace_back(true, std::string(e.phase), e.exploreId);
+  }
+  void onPhaseEnd(const ExplorePhaseEndEvent& e) override {
+    phases.emplace_back(false, std::string(e.phase), e.exploreId);
+  }
+  void onTruncated(const ExploreTruncatedEvent& e) override {
+    truncations.push_back(e);
+  }
+  void onSearchProgress(const SearchProgressEvent& e) override {
+    searches.push_back(e);
+  }
+
+  struct PhaseMark {
+    PhaseMark(bool s, std::string n, std::uint64_t id)
+        : start(s), name(std::move(n)), exploreId(id) {}
+    bool start;
+    std::string name;
+    std::uint64_t exploreId;
+  };
+
+  std::vector<ExploreProgressEvent> progress;
+  std::vector<PhaseMark> phases;
+  std::vector<ExploreTruncatedEvent> truncations;
+  std::vector<SearchProgressEvent> searches;
+};
+
+bool sameGraph(const ConfigGraph& a, const ConfigGraph& b) {
+  if (a.size() != b.size() || a.truncated != b.truncated ||
+      a.numParticipants != b.numParticipants) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.configs.size(); ++i) {
+    if (!(a.configs[i] == b.configs[i])) return false;
+    if (a.adj[i].size() != b.adj[i].size()) return false;
+    for (std::size_t j = 0; j < a.adj[i].size(); ++j) {
+      const Edge& x = a.adj[i][j];
+      const Edge& y = b.adj[i][j];
+      if (x.to != y.to || x.label != y.label || x.initiator != y.initiator ||
+          x.responder != y.responder || x.changed != y.changed ||
+          x.changedMobile != y.changedMobile ||
+          x.changedName != y.changedName) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(ExploreObserverTest, ProgressIsMonotoneAndEndsWithDone) {
+  const AsymmetricNaming proto(3);
+  RecordingExploreObserver obs;
+  const ConfigGraph graph = exploreConcrete(
+      proto, allConcreteConfigurations(proto, 3), 4'000'000, nullptr, &obs, 42);
+
+  ASSERT_FALSE(obs.progress.empty());
+  std::uint64_t lastNodes = 0;
+  std::uint64_t lastEdges = 0;
+  for (const auto& e : obs.progress) {
+    EXPECT_EQ(e.exploreId, 42u);
+    EXPECT_GE(e.nodes, lastNodes) << "node counts must be monotone";
+    EXPECT_GE(e.edges, lastEdges);
+    lastNodes = e.nodes;
+    lastEdges = e.edges;
+  }
+  for (std::size_t i = 0; i + 1 < obs.progress.size(); ++i) {
+    EXPECT_FALSE(obs.progress[i].done);
+  }
+  const auto& final = obs.progress.back();
+  EXPECT_TRUE(final.done);
+  EXPECT_EQ(final.nodes, graph.size());
+  EXPECT_EQ(final.frontier, 0u);
+  EXPECT_TRUE(obs.truncations.empty());
+}
+
+TEST(ExploreObserverTest, CheckerPhasesNestLifoPerExploration) {
+  const AsymmetricNaming proto(3);
+  RecordingExploreObserver obs;
+  const WeakVerdict v =
+      checkWeakFairness(proto, namingProblem(proto),
+                        allConcreteConfigurations(proto, 3), 4'000'000,
+                        nullptr, &obs, 7);
+  EXPECT_TRUE(v.explored);
+
+  ASSERT_FALSE(obs.phases.empty());
+  // Balanced LIFO: ends match the innermost open start, everything closes.
+  std::vector<std::string> stack;
+  std::vector<std::string> order;  // phases by start time
+  for (const auto& m : obs.phases) {
+    EXPECT_EQ(m.exploreId, 7u);
+    if (m.start) {
+      stack.push_back(m.name);
+      order.push_back(m.name);
+    } else {
+      ASSERT_FALSE(stack.empty()) << "phase_end without open phase: " << m.name;
+      EXPECT_EQ(stack.back(), m.name) << "phases must close LIFO";
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty()) << "unclosed phase: " << stack.back();
+  // The weak checker runs explore -> scc -> verdict inside an outer "check".
+  const std::vector<std::string> expected{"check", "explore", "scc", "verdict"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ExploreObserverTest, GlobalCheckerEmitsSamePhaseStructure) {
+  const AsymmetricNaming proto(3);
+  RecordingExploreObserver obs;
+  const GlobalVerdict v =
+      checkGlobalFairness(proto, namingProblem(proto),
+                          allCanonicalConfigurations(proto, 3), 4'000'000,
+                          &obs, 11);
+  EXPECT_TRUE(v.explored);
+  std::vector<std::string> order;
+  for (const auto& m : obs.phases) {
+    if (m.start) order.push_back(m.name);
+  }
+  const std::vector<std::string> expected{"check", "explore", "scc", "verdict"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ExploreObserverTest, TruncationCarriesTheFrontier) {
+  const AsymmetricNaming proto(4);
+  RecordingExploreObserver obs;
+  const ConfigGraph graph = exploreConcrete(
+      proto, allConcreteConfigurations(proto, 4), 50, nullptr, &obs, 3);
+  ASSERT_TRUE(graph.truncated);
+
+  ASSERT_EQ(obs.truncations.size(), 1u);
+  const auto& t = obs.truncations.front();
+  EXPECT_EQ(t.exploreId, 3u);
+  EXPECT_EQ(t.maxNodes, 50u);
+  EXPECT_EQ(t.nodes, graph.size());
+  EXPECT_FALSE(t.frontier.empty());
+  for (const std::uint32_t id : t.frontier) {
+    EXPECT_LT(id, graph.size()) << "frontier ids index the returned graph";
+  }
+  // Truncation still produces a final done=true progress event.
+  ASSERT_FALSE(obs.progress.empty());
+  EXPECT_TRUE(obs.progress.back().done);
+}
+
+TEST(ExploreObserverTest, TruncatedCheckRefusesVerdict) {
+  const AsymmetricNaming proto(4);
+  const WeakVerdict v =
+      checkWeakFairness(proto, namingProblem(proto),
+                        allConcreteConfigurations(proto, 4), 50);
+  EXPECT_FALSE(v.explored);
+  EXPECT_FALSE(v.solves);
+}
+
+// The acceptance-critical differential: a null observer and a recording
+// observer must produce bit-identical configuration graphs.
+TEST(ExploreObserverTest, ObservedExplorationIsBitIdenticalToUnobserved) {
+  const AsymmetricNaming proto(3);
+  const auto initials = allConcreteConfigurations(proto, 3);
+
+  const ConfigGraph plain = exploreConcrete(proto, initials);
+  RecordingExploreObserver obs;
+  const ConfigGraph observed =
+      exploreConcrete(proto, initials, 4'000'000, nullptr, &obs, 1);
+  EXPECT_TRUE(sameGraph(plain, observed));
+
+  const ConfigGraph plainCanon = exploreCanonical(proto, initials);
+  const ConfigGraph observedCanon =
+      exploreCanonical(proto, initials, 4'000'000, &obs, 2);
+  EXPECT_TRUE(sameGraph(plainCanon, observedCanon));
+}
+
+TEST(ExploreObserverTest, SearchReportsProgressAndFinishes) {
+  RecordingExploreObserver obs;
+  const SearchOutcome out = searchUniformNaming(
+      2, 2, Fairness::kGlobal, /*symmetricSpace=*/true, &obs, 5);
+  EXPECT_EQ(out.examined, 16u);
+  EXPECT_EQ(out.unknown, 0u);
+
+  ASSERT_FALSE(obs.searches.empty());
+  std::uint64_t lastExamined = 0;
+  for (const auto& e : obs.searches) {
+    EXPECT_EQ(e.searchId, 5u);
+    EXPECT_GE(e.examined, lastExamined);
+    EXPECT_EQ(e.total, 16u);
+    lastExamined = e.examined;
+  }
+  const auto& fin = obs.searches.back();
+  EXPECT_TRUE(fin.done);
+  EXPECT_EQ(fin.examined, 16u);
+  EXPECT_EQ(fin.solvers, out.solvers);
+
+  // Inner explorations are namespaced under the search id.
+  ASSERT_FALSE(obs.progress.empty());
+  for (const auto& e : obs.progress) {
+    EXPECT_EQ(e.exploreId >> 32, 5u);
+  }
+}
+
+TEST(ExploreObserverTest, MultiObserverFansOutAndEmptyIsDetectable) {
+  MultiExploreObserver multi;
+  EXPECT_TRUE(multi.empty());
+  RecordingExploreObserver a;
+  RecordingExploreObserver b;
+  multi.add(&a);
+  multi.add(&b);
+  EXPECT_FALSE(multi.empty());
+  multi.onExploreProgress(ExploreProgressEvent{1, 10, 2, 30, 0, 0, 1.0, 1.0,
+                                               false});
+  multi.onTruncated(ExploreTruncatedEvent{1, 10, 10, {4}});
+  EXPECT_EQ(a.progress.size(), 1u);
+  EXPECT_EQ(b.progress.size(), 1u);
+  EXPECT_EQ(a.truncations.size(), 1u);
+  EXPECT_EQ(b.truncations.size(), 1u);
+}
+
+// Watchdog abort must trigger the flight recorder's automatic dump: drive a
+// protocol that can never go silent (the black/white token spinner) into a
+// 1 ms watchdog and check the configured path was written.
+TEST(ExploreObserverTest, WatchdogAbortDumpsTheFlightRecorder) {
+  const std::string path = testing::TempDir() + "/watchdog_dump.jsonl";
+  std::remove(path.c_str());
+
+  const ColorExample colors;
+  Engine engine(colors, Configuration{{1, 0, 0}, std::nullopt});
+  CallbackScheduler spinner("token-spinner", [](std::uint64_t t) {
+    switch (t % 3) {
+      case 0: return Interaction{0, 1};
+      case 1: return Interaction{1, 2};
+      default: return Interaction{2, 0};
+    }
+  });
+
+  FlightRecorder recorder(64, 16, path);
+  RunLimits limits;
+  limits.maxInteractions = 1'000'000'000;
+  limits.checkInterval = 64;
+  limits.maxWallMillis = 1;
+  const RunOutcome out =
+      runUntilSilent(engine, spinner, limits, nullptr, nullptr, 77, &recorder);
+  ASSERT_TRUE(out.timedOut);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "watchdog abort must dump to the configured path";
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("\"event\":\"flight_recorder_dump\""),
+            std::string::npos);
+  EXPECT_NE(header.find("watchdog_abort run 77"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ppn

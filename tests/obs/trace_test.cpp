@@ -1,0 +1,247 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ppn {
+namespace {
+
+ConvergenceSample sample(std::uint64_t runId, std::uint64_t at,
+                         std::vector<std::uint32_t> occupancy) {
+  ConvergenceSample s;
+  s.runId = runId;
+  s.interactions = at;
+  s.distinctNames = static_cast<std::uint32_t>(occupancy.size());
+  for (const std::uint32_t c : occupancy) {
+    if (c > 1) s.collisions += c;
+  }
+  s.occupancy = std::move(occupancy);
+  return s;
+}
+
+std::vector<std::string> lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string tempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(FlightRecorderTest, RetainsEverythingBelowCapacity) {
+  FlightRecorder rec(8, 100);
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.stride(), 100u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.totalRecorded(), 0u);
+
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    rec.record(sample(7, i * 100, {2, 1}));
+  }
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.totalRecorded(), 5u);
+  const auto got = rec.samples();
+  ASSERT_EQ(got.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[i].interactions, i * 100) << i;
+    EXPECT_EQ(got[i].runId, 7u);
+  }
+}
+
+// Wraparound must be exact: after k > capacity records, the ring holds
+// precisely the last `capacity` samples, oldest first, fields intact.
+TEST(FlightRecorderTest, WraparoundKeepsExactlyTheMostRecentSamples) {
+  FlightRecorder rec(4, 1);
+  for (std::uint64_t i = 0; i < 11; ++i) {
+    rec.record(sample(i, 10 * i, {static_cast<std::uint32_t>(i + 1)}));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.totalRecorded(), 11u);
+
+  const auto got = rec.samples();
+  ASSERT_EQ(got.size(), 4u);
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    const std::uint64_t i = 7 + k;  // samples 7, 8, 9, 10 survive
+    EXPECT_EQ(got[k].runId, i);
+    EXPECT_EQ(got[k].interactions, 10 * i);
+    ASSERT_EQ(got[k].occupancy.size(), 1u);
+    EXPECT_EQ(got[k].occupancy[0], i + 1);
+  }
+}
+
+TEST(FlightRecorderTest, WraparoundAtExactCapacityBoundary) {
+  FlightRecorder rec(3, 1);
+  for (std::uint64_t i = 0; i < 6; ++i) rec.record(sample(i, i, {1}));
+  // total_ == 2 * capacity: next write position wrapped to 0 twice.
+  EXPECT_EQ(rec.totalRecorded(), 6u);
+  const auto got = rec.samples();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].runId, 3u);
+  EXPECT_EQ(got[2].runId, 5u);
+}
+
+TEST(FlightRecorderTest, DumpEmitsValidJsonlWithHeader) {
+  FlightRecorder rec(4, 64);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    rec.record(sample(3, 64 * (i + 1), {2, 2, 1}));
+  }
+  std::ostringstream out;
+  rec.dump("unit test", out);
+  const auto ls = lines(out.str());
+  ASSERT_EQ(ls.size(), 5u);  // header + 4 retained samples
+  for (const auto& line : ls) {
+    EXPECT_TRUE(jsonIsValid(line)) << line;
+  }
+  EXPECT_NE(ls[0].find("\"event\":\"flight_recorder_dump\""), std::string::npos);
+  EXPECT_NE(ls[0].find("\"reason\":\"unit test\""), std::string::npos);
+  EXPECT_NE(ls[0].find("\"capacity\":4"), std::string::npos);
+  EXPECT_NE(ls[0].find("\"stride\":64"), std::string::npos);
+  EXPECT_NE(ls[0].find("\"total_recorded\":6"), std::string::npos);
+  EXPECT_NE(ls[0].find("\"retained\":4"), std::string::npos);
+  for (std::size_t i = 1; i < ls.size(); ++i) {
+    EXPECT_NE(ls[i].find("\"event\":\"convergence_sample\""), std::string::npos);
+    EXPECT_NE(ls[i].find("\"occupancy\":[2,2,1]"), std::string::npos);
+    EXPECT_NE(ls[i].find("\"collisions\":4"), std::string::npos);
+  }
+}
+
+TEST(FlightRecorderTest, DumpToConfiguredPathWritesAndOverwrites) {
+  const std::string path = tempPath("flight_dump.jsonl");
+  FlightRecorder rec(4, 1, path);
+  rec.record(sample(1, 1, {3}));
+  ASSERT_TRUE(rec.dumpToConfiguredPath("first abort"));
+  EXPECT_NE(slurp(path).find("first abort"), std::string::npos);
+
+  rec.record(sample(2, 2, {2, 1}));
+  ASSERT_TRUE(rec.dumpToConfiguredPath("second abort"));
+  const std::string second = slurp(path);
+  EXPECT_EQ(second.find("first abort"), std::string::npos);
+  EXPECT_NE(second.find("second abort"), std::string::npos);
+  EXPECT_EQ(lines(second).size(), 3u);  // header + both samples
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DumpToConfiguredPathFailsSilentlyWithoutPath) {
+  FlightRecorder rec(4, 1);
+  rec.record(sample(1, 1, {1}));
+  EXPECT_FALSE(rec.dumpToConfiguredPath("nowhere to go"));
+}
+
+TEST(ChromeTraceWriterTest, WriteIsValidJsonWithExpectedStructure) {
+  ChromeTraceWriter writer;
+  writer.setThreadName("checker");
+  writer.begin("check", {{"explore", 1}});
+  writer.begin("explore", {{"explore", 1}});
+  writer.counter("explore_nodes", 42);
+  writer.instant("explore_truncated", {{"nodes", 42}});
+  writer.end("explore");
+  writer.end("check");
+
+  std::ostringstream out;
+  writer.write(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(jsonIsValid(json)) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // The track label lives in args.name of a reserved thread_name metadata
+  // event — NOT in the event's own name (chrome://tracing ignores it there).
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"checker\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+
+  // B/E pairs nest LIFO: the inner "explore" closes before the outer "check".
+  const auto bCheck = json.find("\"name\":\"check\",\"ph\":\"B\"");
+  const auto bExplore = json.find("\"name\":\"explore\",\"ph\":\"B\"");
+  const auto eExplore = json.find("\"name\":\"explore\",\"ph\":\"E\"");
+  const auto eCheck = json.find("\"name\":\"check\",\"ph\":\"E\"");
+  ASSERT_NE(bCheck, std::string::npos);
+  ASSERT_NE(bExplore, std::string::npos);
+  ASSERT_NE(eExplore, std::string::npos);
+  ASSERT_NE(eCheck, std::string::npos);
+  EXPECT_LT(bCheck, bExplore);
+  EXPECT_LT(bExplore, eExplore);
+  EXPECT_LT(eExplore, eCheck);
+}
+
+TEST(ChromeTraceWriterTest, EmptyWriterStillProducesValidJson) {
+  ChromeTraceWriter writer;
+  std::ostringstream out;
+  writer.write(out);
+  EXPECT_TRUE(jsonIsValid(out.str())) << out.str();
+}
+
+TEST(ChromeTraceWriterTest, CapsEventsAndReportsDrops) {
+  ChromeTraceWriter writer(2);
+  for (int i = 0; i < 7; ++i) writer.instant("tick");
+  EXPECT_GT(writer.droppedEvents(), 0u);
+  std::ostringstream out;
+  writer.write(out);
+  EXPECT_TRUE(jsonIsValid(out.str())) << out.str();
+  EXPECT_NE(out.str().find("events_dropped"), std::string::npos);
+}
+
+TEST(ChromeTraceWriterTest, WriteToFileRoundTrips) {
+  const std::string path = tempPath("chrome_trace.json");
+  ChromeTraceWriter writer;
+  writer.begin("run 0", {{"run", 0}});
+  writer.end("run 0");
+  ASSERT_TRUE(writer.writeToFile(path));
+  const std::string json = slurp(path);
+  EXPECT_TRUE(jsonIsValid(json)) << json;
+  EXPECT_NE(json.find("\"run 0\""), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_FALSE(writer.writeToFile("/nonexistent-dir/trace.json"));
+}
+
+TEST(ChromeTraceObserverTest, AdaptsRunAndExploreEvents) {
+  ChromeTraceWriter writer;
+  ChromeTraceObserver obs(writer);
+
+  obs.onRunStart(RunStartEvent{5, 4, 5});
+  obs.onFaultInjected(FaultInjectedEvent{5, 120, FaultTarget::kMobile, 2});
+  obs.onBatchProgress(BatchProgressEvent{1, 8, 0});
+  obs.onRunEnd(RunEndEvent{5, true, true, false, false, 950, 1000, 3.5});
+
+  obs.onPhaseStart(ExplorePhaseStartEvent{9, "check"});
+  obs.onExploreProgress(ExploreProgressEvent{9, 100, 10, 300, 5, 1 << 12,
+                                             1e6, 17, false});
+  obs.onTruncated(ExploreTruncatedEvent{9, 100, 100, {1, 2, 3}});
+  obs.onPhaseEnd(ExplorePhaseEndEvent{9, "check", 0.8});
+  obs.onSearchProgress(SearchProgressEvent{2, 128, 256, 3, 1, 64.0, 2000,
+                                           false});
+
+  std::ostringstream out;
+  writer.write(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(jsonIsValid(json)) << json;
+  EXPECT_NE(json.find("\"run 5\""), std::string::npos);
+  EXPECT_NE(json.find("fault_injected"), std::string::npos);
+  EXPECT_NE(json.find("batch_completed"), std::string::npos);
+  EXPECT_NE(json.find("\"check\""), std::string::npos);
+  EXPECT_NE(json.find("explore_nodes"), std::string::npos);
+  EXPECT_NE(json.find("explore_truncated"), std::string::npos);
+  EXPECT_NE(json.find("search_examined"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppn
