@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Validates the step-throughput report produced by the CI bench smoke job.
+"""Validates the throughput reports produced by the CI bench smoke job.
 
-Checks (the E21 acceptance contract's CI-checkable core):
-  * the report parses, carries the expected "ppn-step-throughput" kind and a
-    non-empty row per measurement;
+Two report kinds, dispatched on the "kind" field:
+
+ppn-step-throughput (E21):
+  * the report parses, carries the expected kind and a non-empty row per
+    measurement;
   * every row has positive interpreted and compiled throughputs and a
     consistent speedup field (compiled / interpreted);
   * the compiled fast path is never SLOWER than the interpreted reference
@@ -11,7 +13,18 @@ Checks (the E21 acceptance contract's CI-checkable core):
     >= 3x target is asserted on the committed BENCH_step_throughput.json, not
     on shared CI runners whose absolute throughput is noisy.
 
-Usage: check_bench.py BENCH_step_throughput.json [min_speedup]
+ppn-explore-throughput (E23):
+  * every explore case carries a threads=1 baseline row plus parallel rows
+    with positive rates, consistent speedup fields, and — the determinism
+    contract — IDENTICAL node counts and truncation flags across all thread
+    counts;
+  * every search case likewise has identical candidate counts across rows;
+  * the min_speedup floor applies to the best parallel row of each case, and
+    only when the report was generated on a machine with >= 4 hardware
+    threads (a 1-core container honestly reports ~1.0x; the committed
+    baseline may come from such a box, while CI runners regenerate and gate).
+
+Usage: check_bench.py BENCH_report.json [min_speedup]
 """
 import json
 import sys
@@ -27,23 +40,10 @@ def fail(msg):
     sys.exit(1)
 
 
-def main(argv):
-    if len(argv) < 2:
-        fail(f"usage: {argv[0]} BENCH_step_throughput.json [min_speedup]")
-    path = argv[1]
-    min_speedup = float(argv[2]) if len(argv) > 2 else 1.0
-
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"{path}: {e}")
-
-    if doc.get("kind") != "ppn-step-throughput":
-        fail(f"{path}: kind is {doc.get('kind')!r}")
+def check_step_throughput(doc, min_speedup):
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
-        fail(f"{path}: empty or missing rows")
+        fail("empty or missing rows")
 
     seen = set()
     for row in rows:
@@ -73,6 +73,101 @@ def main(argv):
 
     print(f"check_bench: OK: {len(rows)} protocols, speedups "
           + ", ".join(f"{r['protocol']}={r['speedup']:.2f}x" for r in rows))
+
+
+def check_parallel_case(label, rows, invariant_keys, rate_key, min_speedup,
+                        apply_floor):
+    """Shared validation for one explore/search case's thread-count rows."""
+    if not isinstance(rows, list) or not rows:
+        fail(f"{label}: empty or missing rows")
+    baseline = rows[0]
+    if baseline.get("threads") != 1:
+        fail(f"{label}: first row must be the threads=1 baseline, got "
+             f"threads={baseline.get('threads')}")
+    base_rate = baseline.get(rate_key, 0.0)
+    if not base_rate > 0.0:
+        fail(f"{label}: non-positive baseline {rate_key}={base_rate}")
+    best_parallel = None
+    for row in rows:
+        threads = row.get("threads")
+        for key in invariant_keys:
+            if row.get(key) != baseline.get(key):
+                fail(f"{label}: threads={threads} {key}={row.get(key)!r} "
+                     f"differs from the threads=1 baseline "
+                     f"{baseline.get(key)!r} — parallel output is not "
+                     f"bit-identical to serial")
+        rate = row.get(rate_key, 0.0)
+        speedup = row.get("speedup", 0.0)
+        if not rate > 0.0:
+            fail(f"{label}: threads={threads} non-positive {rate_key}={rate}")
+        if abs(speedup - rate / base_rate) > 1e-6 * max(speedup, 1.0):
+            fail(f"{label}: threads={threads} speedup field {speedup} "
+                 f"inconsistent with {rate}/{base_rate}")
+        if threads != 1:
+            best_parallel = max(best_parallel or 0.0, speedup)
+    if best_parallel is None:
+        fail(f"{label}: no parallel (threads > 1) rows")
+    if apply_floor and best_parallel < min_speedup:
+        fail(f"{label}: best parallel speedup {best_parallel:.2f}x is below "
+             f"the {min_speedup:.2f}x floor")
+    return best_parallel
+
+
+def check_explore_throughput(doc, min_speedup):
+    hw = doc.get("hardwareThreads", 0)
+    if not isinstance(hw, int) or hw < 1:
+        fail(f"missing/invalid hardwareThreads: {hw!r}")
+    # A box without the cores cannot demonstrate a speedup; the determinism
+    # invariants are still fully checked.
+    apply_floor = hw >= 4
+    explore = doc.get("explore")
+    if not isinstance(explore, list) or not explore:
+        fail("empty or missing explore cases")
+    summaries = []
+    for case in explore:
+        label = f"explore:{case.get('protocol')}"
+        if case.get("protocol") not in EXPECTED_PROTOCOLS:
+            fail(f"{label}: unknown protocol")
+        best = check_parallel_case(label, case.get("rows"),
+                                   ("nodes", "truncated"), "nodesPerSec",
+                                   min_speedup, apply_floor)
+        if case["rows"][0].get("truncated"):
+            fail(f"{label}: benchmark graph was truncated — the measurement "
+                 f"must run on a closed graph")
+        summaries.append(f"{label}={best:.2f}x")
+    search = doc.get("search")
+    if not isinstance(search, list) or not search:
+        fail("empty or missing search cases")
+    for case in search:
+        label = f"search:{case.get('space')}-q{case.get('q')}"
+        best = check_parallel_case(label, case.get("rows"), ("candidates",),
+                                   "candidatesPerSec", min_speedup,
+                                   apply_floor)
+        summaries.append(f"{label}={best:.2f}x")
+    floor_note = (f"floor {min_speedup:.2f}x enforced" if apply_floor else
+                  f"floor skipped (hardwareThreads={hw} < 4)")
+    print(f"check_bench: OK: {', '.join(summaries)}; {floor_note}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail(f"usage: {argv[0]} BENCH_report.json [min_speedup]")
+    path = argv[1]
+    min_speedup = float(argv[2]) if len(argv) > 2 else 1.0
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    kind = doc.get("kind")
+    if kind == "ppn-step-throughput":
+        check_step_throughput(doc, min_speedup)
+    elif kind == "ppn-explore-throughput":
+        check_explore_throughput(doc, min_speedup)
+    else:
+        fail(f"{path}: unknown kind {kind!r}")
 
 
 if __name__ == "__main__":

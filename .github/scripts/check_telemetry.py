@@ -14,7 +14,11 @@ Run family (the E20 acceptance contract — robustness_table):
 
 Explore family (the E22 acceptance contract — lower_bound_search etc.):
   * per exploration id, explore_progress node/edge counts are monotone
-    non-decreasing and the stream ends with a done=true event;
+    non-decreasing WITHIN each explore phase and the phase ends with a
+    done=true event. Monotonicity is per phase, not global: parallel
+    candidate dispatch (E23) interleaves many explorations' events in one
+    stream, and an id whose explore phase restarts legitimately resets its
+    counts — each phase_start of an "explore" phase re-bases the check;
   * phase_start/phase_end nest LIFO per exploration id (phase_end always
     closes the innermost open phase) and every phase is closed by EOF;
   * per search id, search_progress examined counts are monotone,
@@ -113,9 +117,12 @@ def check_explore_family(events_path, events):
     last_progress = {}                 # explore id -> (lineno, obj)
     phase_stacks = defaultdict(list)   # explore id -> [open phase names]
     last_search = {}                   # search id -> (lineno, obj)
+    done_explorations = 0
     for lineno, obj in events:
         kind = obj["event"]
         if kind == "explore_progress":
+            if obj["done"]:
+                done_explorations += 1
             prev = last_progress.get(obj["explore"])
             if prev is not None:
                 pline, pobj = prev
@@ -131,6 +138,14 @@ def check_explore_family(events_path, events):
             last_progress[obj["explore"]] = (lineno, obj)
         elif kind == "phase_start":
             phase_stacks[obj["explore"]].append(obj["phase"])
+            if obj["phase"] == "explore":
+                # A fresh explore phase re-bases the progress counters: the
+                # previous exploration under this id must have completed.
+                prev = last_progress.pop(obj["explore"], None)
+                if prev is not None and not prev[1]["done"]:
+                    fail(f"{events_path}:{lineno}: new explore phase for "
+                         f"exploration {obj['explore']} but its previous "
+                         f"progress (line {prev[0]}) never reached done=true")
         elif kind == "phase_end":
             stack = phase_stacks[obj["explore"]]
             if not stack:
@@ -176,7 +191,7 @@ def check_explore_family(events_path, events):
         if not obj["done"]:
             fail(f"{events_path}:{lineno}: search {sid}'s last "
                  f"search_progress has done=false")
-    return len(last_progress), len(last_search)
+    return done_explorations, len(last_search)
 
 
 def check_trace(trace_path):

@@ -11,7 +11,10 @@
 //  * ring / line — the leaderless protocols fail once two homonyms are
 //    non-adjacent.
 //
-//   ./graph_topologies [--csv]
+//   ./graph_topologies [--csv] [--threads K]
+//
+// --threads K parallelizes the checker explorations (0 = hardware
+// concurrency); verdicts are bit-identical for any K.
 #include <cstdio>
 
 #include "analysis/global_checker.h"
@@ -38,7 +41,16 @@ struct TopologyCase {
 int main(int argc, char** argv) {
   Cli cli("graph_topologies", "naming on restricted interaction graphs");
   const auto* csv = cli.addFlag("csv", "emit CSV");
+  const auto* threads = cli.addUint(
+      "threads", "exploration worker threads (0 = all cores)", 1);
   if (!cli.parse(argc, argv)) return 1;
+  auto topoOptions = [&](const InteractionGraph& graph, std::size_t maxNodes) {
+    ExploreOptions options;
+    options.maxNodes = maxNodes;
+    options.threads = static_cast<std::uint32_t>(*threads);
+    options.topology = &graph;
+    return options;
+  };
 
   Table table({"protocol", "topology", "fairness", "verdict", "explored",
                "expected"});
@@ -79,11 +91,11 @@ int main(int argc, char** argv) {
     };
     for (const auto& t : topologies) {
       const GlobalVerdict g = checkGlobalFairnessConcrete(
-          proto, problem, initials, 4'000'000, &t.graph);
+          proto, problem, initials, topoOptions(t.graph, 4'000'000));
       record("asymmetric (Prop 12)", t.name, "global", g.solves, g.explored,
              g.numConfigs, t.name == "complete");
-      const WeakVerdict w =
-          checkWeakFairness(proto, problem, initials, 4'000'000, &t.graph);
+      const WeakVerdict w = checkWeakFairness(
+          proto, problem, initials, topoOptions(t.graph, 4'000'000));
       record("asymmetric (Prop 12)", t.name, "weak", w.solves, w.explored,
              w.numConfigs, t.name == "complete");
     }
@@ -102,8 +114,8 @@ int main(int argc, char** argv) {
         {"ring", InteractionGraph::ring(n + 1)},
     };
     for (const auto& t : topologies) {
-      const WeakVerdict w =
-          checkWeakFairness(proto, problem, initials, 4'000'000, &t.graph);
+      const WeakVerdict w = checkWeakFairness(
+          proto, problem, initials, topoOptions(t.graph, 4'000'000));
       // The protocol needs every agent to reach the leader; complete and
       // leader-star obviously provide that. The ring does NOT provide
       // leader-adjacency for all, yet mobile-mobile transitions are null, so
@@ -125,8 +137,8 @@ int main(int argc, char** argv) {
         {"star@leader", InteractionGraph::star(n + 1, n)},
     };
     for (const auto& t : topologies) {
-      const WeakVerdict w =
-          checkWeakFairness(proto, problem, initials, 8'000'000, &t.graph);
+      const WeakVerdict w = checkWeakFairness(
+          proto, problem, initials, topoOptions(t.graph, 8'000'000));
       record("selfstab-weak (Prop 16)", t.name, "weak", w.solves, w.explored,
              w.numConfigs, t.name == "complete");
     }

@@ -8,7 +8,7 @@
 //  * Prop 12 (positive control) — the asymmetric space at Q = 2 contains
 //    solvers, and some survive the self-stabilization quantification.
 //
-//   ./lower_bound_search [--csv] [--json out.json] [--tiny]
+//   ./lower_bound_search [--csv] [--json out.json] [--tiny] [--threads K]
 //                        [--explore-stats-out stats.jsonl]
 //                        [--trace-out trace.json] [--metrics-out metrics.json]
 //                        [--progress]
@@ -18,7 +18,9 @@
 // (chrome://tracing), --metrics-out dumps the final metrics snapshot,
 // --progress prints candidates/sec + ETA to stderr. --tiny restricts the job
 // list to the Q = 2 spaces (16-256 candidates) so CI smoke runs stay cheap.
-// Absent flags leave the searches unobserved (output unchanged).
+// Absent flags leave the searches unobserved (output unchanged). --threads K
+// dispatches candidates to K workers (0 = hardware concurrency); counts,
+// verdicts and solver indices are deterministic for any K.
 //
 // A candidate whose exploration is truncated decides nothing: it is counted
 // `unknown`, warned about on stderr, and the job's verdict degrades to
@@ -54,6 +56,8 @@ int main(int argc, char** argv) {
       "metrics-out", "write the final metrics snapshot (JSON) to this file", "");
   const auto* progress =
       cli.addFlag("progress", "print periodic search progress to stderr");
+  const auto* threads = cli.addUint(
+      "threads", "candidate-dispatch worker threads (0 = all cores)", 1);
   if (!cli.parse(argc, argv)) return 1;
 
   struct Job {
@@ -134,13 +138,16 @@ int main(int argc, char** argv) {
   std::uint64_t searchId = 0;
   for (const auto& job : jobs) {
     ++searchId;
+    ppn::SearchOptions searchOptions;
+    searchOptions.threads = static_cast<std::uint32_t>(*threads);
+    searchOptions.observer = observer;
+    searchOptions.searchId = searchId;
     const ppn::SearchOutcome out =
         job.selfStab
             ? ppn::searchSelfStabilizingNaming(job.q, job.n, job.fairness,
-                                               job.symmetric, observer,
-                                               searchId)
+                                               job.symmetric, searchOptions)
             : ppn::searchUniformNaming(job.q, job.n, job.fairness,
-                                       job.symmetric, observer, searchId);
+                                       job.symmetric, searchOptions);
     std::string verdict;
     if (out.unknown > 0) {
       // A truncated candidate can hide a solver (or a non-solver): neither

@@ -11,12 +11,15 @@
 // in --flag=value form before delegating the rest to google-benchmark:
 //   ./micro_bench [--events-out=run.jsonl] [--metrics-out=metrics.json]
 //                 [--step-throughput-out=report.json]
+//                 [--explore-throughput-out=report.json]
 //                 [google-benchmark flags...]
 // With the telemetry flags set it runs a small observed sample batch after
 // the benchmarks, streaming its JSONL events and dumping the metrics
 // snapshot. --step-throughput-out runs the E21 interpreted-vs-compiled
 // experiment INSTEAD of the benchmarks and writes the JSON report consumed
-// by .github/scripts/check_bench.py (see EXPERIMENTS.md E21).
+// by .github/scripts/check_bench.py (see EXPERIMENTS.md E21);
+// --explore-throughput-out does the same for the E23 parallel-exploration
+// and parallel-search experiment (EXPERIMENTS.md E23).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -27,11 +30,13 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/explore.h"
 #include "analysis/global_checker.h"
 #include "analysis/initial_sets.h"
+#include "analysis/protocol_search.h"
 #include "analysis/weak_checker.h"
 #include "core/compiled.h"
 #include "core/engine.h"
@@ -416,6 +421,173 @@ int dumpStepThroughput(const std::string& path) {
   return 0;
 }
 
+// --- E23: parallel exploration / search throughput --------------------------
+
+/// One parallel-exploration measurement: canonical exploration of a closed
+/// graph at several thread counts. The graph is explored from ALL canonical
+/// configurations (the self-stabilization workload), so its size is known and
+/// identical across thread counts — the report records per-row node counts so
+/// check_bench.py can re-verify the determinism contract.
+struct ExploreThroughputRow {
+  std::uint32_t threads = 0;
+  std::uint64_t nodes = 0;
+  bool truncated = false;
+  double nodesPerSec = 0.0;
+  double speedup = 0.0;
+};
+
+double measureExploreNodesPerSec(const Protocol& proto,
+                                 const std::vector<Configuration>& initials,
+                                 std::uint32_t threads, int repetitions,
+                                 std::uint64_t* nodesOut, bool* truncatedOut) {
+  using Clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    ExploreOptions options;
+    options.threads = threads;
+    const Clock::time_point t0 = Clock::now();
+    const ConfigGraph g = exploreCanonical(proto, initials, options);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (nodesOut != nullptr) *nodesOut = g.size();
+    if (truncatedOut != nullptr) *truncatedOut = g.truncated;
+    if (secs > 0.0) {
+      best = std::max(best, static_cast<double>(g.size()) / secs);
+    }
+  }
+  return best;
+}
+
+double measureSearchCandidatesPerSec(std::uint32_t threads, int repetitions,
+                                     std::uint64_t* candidatesOut) {
+  using Clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    SearchOptions options;
+    options.threads = threads;
+    const Clock::time_point t0 = Clock::now();
+    const SearchOutcome out = searchUniformNaming(
+        3, 3, Fairness::kWeak, /*symmetricSpace=*/true, options);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (candidatesOut != nullptr) *candidatesOut = out.examined;
+    if (secs > 0.0) {
+      best = std::max(best, static_cast<double>(out.examined) / secs);
+    }
+  }
+  return best;
+}
+
+/// Runs the E23 explore-throughput experiment (canonical exploration at
+/// threads = 1/2/4/8 plus the q=3 symmetric lower-bound search) and writes
+/// the JSON report consumed by .github/scripts/check_bench.py. The recorded
+/// hardwareThreads lets the checker apply the speedup floor only on machines
+/// that actually have the cores (a 1-core container honestly reports ~1.0x).
+int dumpExploreThroughput(const std::string& path) {
+  struct Case {
+    const char* key;
+    StateId p;
+    std::uint32_t numMobile;
+  };
+  // Populations chosen so the canonical graph over ALL configurations closes
+  // at ~10^4..10^5 nodes: large enough to amortize the per-level barriers,
+  // small enough for a CI smoke lane. (asymmetric P=10/N=10: C(19,9) = 92378
+  // multisets; symmetric-global P=8 has 9 states, N=10: C(18,8) = 43758.)
+  const Case cases[] = {{"asymmetric", 10, 10}, {"symmetric-global", 8, 10}};
+  const std::uint32_t threadCounts[] = {1, 2, 4, 8};
+  const int repetitions = 3;
+
+  JsonWriter w;
+  w.beginObject();
+  w.key("kind").value("ppn-explore-throughput");
+  w.key("hardwareThreads")
+      .value(std::max(1u, std::thread::hardware_concurrency()));
+  w.key("repetitions").value(repetitions);
+  w.key("explore").beginArray();
+  for (const Case& c : cases) {
+    const auto proto = makeProtocol(c.key, c.p);
+    const auto initials = allCanonicalConfigurations(*proto, c.numMobile);
+    w.beginObject();
+    w.key("protocol").value(c.key);
+    w.key("p").value(c.p);
+    w.key("numMobile").value(c.numMobile);
+    w.key("rows").beginArray();
+    double serialRate = 0.0;
+    for (const std::uint32_t threads : threadCounts) {
+      ExploreThroughputRow row;
+      row.threads = threads;
+      // One warm-up pass, then best-of-N timed passes.
+      measureExploreNodesPerSec(*proto, initials, threads, 1, nullptr,
+                                nullptr);
+      row.nodesPerSec =
+          measureExploreNodesPerSec(*proto, initials, threads, repetitions,
+                                    &row.nodes, &row.truncated);
+      if (threads == 1) serialRate = row.nodesPerSec;
+      row.speedup = serialRate > 0.0 ? row.nodesPerSec / serialRate : 0.0;
+      w.beginObject();
+      w.key("threads").value(row.threads);
+      w.key("nodes").value(row.nodes);
+      w.key("truncated").value(row.truncated);
+      w.key("nodesPerSec").value(row.nodesPerSec);
+      w.key("speedup").value(row.speedup);
+      w.endObject();
+      std::fprintf(stderr,
+                   "explore-throughput %-16s P=%-3u N=%-3u threads=%u "
+                   "nodes=%llu rate=%.3gM/s speedup=%.2fx\n",
+                   c.key, c.p, c.numMobile, threads,
+                   static_cast<unsigned long long>(row.nodes),
+                   row.nodesPerSec / 1e6, row.speedup);
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+
+  // Candidate-level parallel search: the q=3 symmetric lower-bound workload
+  // (19683 candidates, Proposition 2 at N = 3).
+  w.key("search").beginArray();
+  {
+    w.beginObject();
+    w.key("space").value("symmetric");
+    w.key("q").value(3);
+    w.key("numMobile").value(3);
+    w.key("fairness").value("weak");
+    w.key("rows").beginArray();
+    double serialRate = 0.0;
+    for (const std::uint32_t threads : threadCounts) {
+      std::uint64_t candidates = 0;
+      const double rate =
+          measureSearchCandidatesPerSec(threads, repetitions > 1 ? 2 : 1,
+                                        &candidates);
+      if (threads == 1) serialRate = rate;
+      const double speedup = serialRate > 0.0 ? rate / serialRate : 0.0;
+      w.beginObject();
+      w.key("threads").value(threads);
+      w.key("candidates").value(candidates);
+      w.key("candidatesPerSec").value(rate);
+      w.key("speedup").value(speedup);
+      w.endObject();
+      std::fprintf(stderr,
+                   "search-throughput symmetric q=3 threads=%u "
+                   "candidates=%llu rate=%.3gk/s speedup=%.2fx\n",
+                   threads, static_cast<unsigned long long>(candidates),
+                   rate / 1e3, speedup);
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "micro_bench: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << w.str() << '\n';
+  return 0;
+}
+
 /// Post-benchmark telemetry sample: a small observed batch whose JSONL
 /// events and metrics snapshot land in the files named by the stripped
 /// --events-out=/--metrics-out= flags.
@@ -467,6 +639,7 @@ int main(int argc, char** argv) {
   std::string eventsOut;
   std::string metricsOut;
   std::string stepThroughputOut;
+  std::string exploreThroughputOut;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -476,13 +649,19 @@ int main(int argc, char** argv) {
       metricsOut = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--step-throughput-out=", 22) == 0) {
       stepThroughputOut = argv[i] + 22;
+    } else if (std::strncmp(argv[i], "--explore-throughput-out=", 25) == 0) {
+      exploreThroughputOut = argv[i] + 25;
     } else {
       rest.push_back(argv[i]);
     }
   }
-  // The step-throughput experiment (E21) stands alone: it times whole runs
-  // itself, so it skips the google-benchmark harness entirely.
+  // The step-throughput (E21) and explore-throughput (E23) experiments stand
+  // alone: they time whole runs themselves, so they skip the google-benchmark
+  // harness entirely.
   if (!stepThroughputOut.empty()) return dumpStepThroughput(stepThroughputOut);
+  if (!exploreThroughputOut.empty()) {
+    return dumpExploreThroughput(exploreThroughputOut);
+  }
   int restArgc = static_cast<int>(rest.size());
   benchmark::Initialize(&restArgc, rest.data());
   if (benchmark::ReportUnrecognizedArguments(restArgc, rest.data())) return 1;

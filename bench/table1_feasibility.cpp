@@ -16,10 +16,14 @@
 // the cell is reported UNKNOWN (with a stderr warning and "unknown" in the
 // JSON row) instead of silently counting as a failure.
 //
-//   ./table1_feasibility [--p 3] [--csv] [--json out.json]
+//   ./table1_feasibility [--p 3] [--csv] [--json out.json] [--threads K]
 //                        [--explore-stats-out stats.jsonl]
 //                        [--trace-out trace.json] [--metrics-out metrics.json]
 //                        [--progress]
+//
+// --threads K parallelizes the checker explorations (level-synchronous BFS)
+// and the exhaustive searches (candidate dispatch); 0 = hardware concurrency.
+// Every verdict is bit-identical for any K.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -91,16 +95,25 @@ struct CellResult {
 
 struct Checks {
   ExploreObserver* observer = nullptr;
+  std::uint32_t threads = 1;
   std::uint64_t nextExplore = 0;   // direct checker invocations
   std::uint64_t nextSearch = 256;  // exhaustive searches (disjoint id range:
                                    // inner explorations get searchId << 32)
 
+  ExploreOptions exploreOptions() {
+    ExploreOptions options;
+    options.maxNodes = 8'000'000;
+    options.threads = threads;
+    options.observer = observer;
+    options.exploreId = ++nextExplore;
+    return options;
+  }
+
   Check weakSolves(const Protocol& proto,
                    const std::vector<Configuration>& initials,
                    const Problem& problem) {
-    const WeakVerdict v = checkWeakFairness(proto, problem, initials,
-                                            8'000'000, nullptr, observer,
-                                            ++nextExplore);
+    const WeakVerdict v =
+        checkWeakFairness(proto, problem, initials, exploreOptions());
     if (!v.explored) return Check::kUnknown;
     return v.solves ? Check::kPass : Check::kFail;
   }
@@ -112,9 +125,8 @@ struct Checks {
 
   Check globalSolves(const Protocol& proto,
                      const std::vector<Configuration>& initials) {
-    const GlobalVerdict v =
-        checkGlobalFairness(proto, namingProblem(proto), initials, 8'000'000,
-                            observer, ++nextExplore);
+    const GlobalVerdict v = checkGlobalFairness(proto, namingProblem(proto),
+                                                initials, exploreOptions());
     if (!v.explored) return Check::kUnknown;
     return v.solves ? Check::kPass : Check::kFail;
   }
@@ -122,8 +134,12 @@ struct Checks {
   /// "No solver exists" via exhaustive search: conclusive only when every
   /// candidate was fully checked (outcome.unknown == 0).
   Check searchEmpty(StateId q, std::uint32_t n, Fairness fairness) {
-    const SearchOutcome out = searchUniformNaming(
-        q, n, fairness, /*symmetricSpace=*/true, observer, ++nextSearch);
+    SearchOptions options;
+    options.threads = threads;
+    options.observer = observer;
+    options.searchId = ++nextSearch;
+    const SearchOutcome out =
+        searchUniformNaming(q, n, fairness, /*symmetricSpace=*/true, options);
     if (out.solvers > 0) return Check::kFail;
     return out.unknown > 0 ? Check::kUnknown : Check::kPass;
   }
@@ -146,6 +162,9 @@ int main(int argc, char** argv) {
       "metrics-out", "write the final metrics snapshot (JSON) to this file", "");
   const auto* progress =
       cli.addFlag("progress", "print periodic checker progress to stderr");
+  const auto* threads = cli.addUint(
+      "threads", "worker threads for explorations/searches (0 = all cores)",
+      1);
   if (!cli.parse(argc, argv)) return 1;
   const auto p = static_cast<StateId>(*pFlag);
   if (p < 2 || p > 4) {
@@ -184,6 +203,7 @@ int main(int argc, char** argv) {
   }
   Checks checks;
   checks.observer = observers.empty() ? nullptr : &observers;
+  checks.threads = static_cast<std::uint32_t>(*threads);
 
   std::vector<CellResult> results;
 

@@ -54,9 +54,22 @@ std::optional<AdversarySchedule> synthesizeWeakAdversary(
     const std::vector<Configuration>& initials, std::size_t maxNodes,
     const InteractionGraph* topology, ExploreObserver* observer,
     std::uint64_t exploreId) {
+  ExploreOptions options;
+  options.maxNodes = maxNodes;
+  options.topology = topology;
+  options.observer = observer;
+  options.exploreId = exploreId;
+  return synthesizeWeakAdversary(proto, problem, initials, options);
+}
+
+std::optional<AdversarySchedule> synthesizeWeakAdversary(
+    const Protocol& proto, const Problem& problem,
+    const std::vector<Configuration>& initials, const ExploreOptions& options) {
+  ExploreObserver* observer = options.observer;
+  const std::uint64_t exploreId = options.exploreId;
+  const InteractionGraph* topology = options.topology;
   const PhaseScope synthPhase(observer, exploreId, "synthesize");
-  const ConfigGraph graph =
-      exploreConcrete(proto, initials, maxNodes, topology, observer, exploreId);
+  const ConfigGraph graph = exploreConcrete(proto, initials, options);
   if (graph.truncated) return std::nullopt;
   SccDecomposition scc;
   {

@@ -43,6 +43,12 @@ std::optional<AdversarySchedule> synthesizeWeakAdversary(
     const InteractionGraph* topology = nullptr,
     ExploreObserver* observer = nullptr, std::uint64_t exploreId = 0);
 
+/// Options form: forwards everything including options.threads into the
+/// exploration; the synthesized schedule is identical for any thread count.
+std::optional<AdversarySchedule> synthesizeWeakAdversary(
+    const Protocol& proto, const Problem& problem,
+    const std::vector<Configuration>& initials, const ExploreOptions& options);
+
 struct ReplayReport {
   bool cycleClosed = false;      ///< cycle returns to its entry configuration
   bool allPairsScheduled = false;///< every required pair occurs in the cycle

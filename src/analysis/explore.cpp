@@ -1,34 +1,26 @@
 #include "analysis/explore.h"
 
-#include <chrono>
 #include <deque>
 #include <stdexcept>
 #include <unordered_map>
 
-#include "core/engine.h"
+#include "analysis/explore_impl.h"
+#include "analysis/packed_config.h"
 
 namespace ppn {
 
 namespace {
 
-/// Whether any agent's projected name differs between the two mobile
-/// vectors (same length by construction).
-bool namesDiffer(const Protocol& proto, const std::vector<StateId>& before,
-                 const std::vector<StateId>& after) {
-  for (std::size_t i = 0; i < before.size(); ++i) {
-    if (proto.nameOf(before[i]) != proto.nameOf(after[i])) return true;
-  }
-  return false;
-}
-
+/// Visited table keyed by the packed encoding: probes cost one precomputed
+/// hash load plus a memcmp instead of re-hashing a std::vector<StateId>.
 class Interner {
  public:
-  explicit Interner(ConfigGraph& g) : graph_(g) {}
+  Interner(ConfigGraph& g, const PackedCodec& codec) : graph_(g), codec_(codec) {}
 
   /// Returns (id, isNew).
   std::pair<std::uint32_t, bool> intern(const Configuration& c) {
-    const auto [it, inserted] =
-        ids_.emplace(c, static_cast<std::uint32_t>(graph_.configs.size()));
+    const auto [it, inserted] = ids_.try_emplace(
+        codec_.pack(c), static_cast<std::uint32_t>(graph_.configs.size()));
     if (inserted) {
       graph_.configs.push_back(c);
       graph_.adj.emplace_back();
@@ -38,125 +30,73 @@ class Interner {
 
  private:
   ConfigGraph& graph_;
-  std::unordered_map<Configuration, std::uint32_t, ConfigurationHash> ids_;
+  const PackedCodec& codec_;
+  std::unordered_map<PackedConfig, std::uint32_t, PackedConfigHash> ids_;
 };
 
-/// Progress bookkeeping for one exploration. All methods are single-branch
-/// no-ops when no observer is attached, so the unobserved BFS stays
-/// bit-identical to the pre-telemetry loop.
-class ExploreTracker {
- public:
-  ExploreTracker(ExploreObserver* obs, std::uint64_t exploreId,
-                 const ConfigGraph& g)
-      : obs_(obs), exploreId_(exploreId), g_(&g) {
-    if (obs_ != nullptr) start_ = std::chrono::steady_clock::now();
+void validateInitials(const char* where,
+                      const std::vector<Configuration>& initials) {
+  if (initials.empty()) {
+    throw std::invalid_argument(std::string(where) +
+                                ": no initial configurations");
   }
-
-  void recordEdge(bool dedupHit) {
-    if (obs_ == nullptr) return;
-    ++edges_;
-    if (dedupHit) ++dedupHits_;
+  const std::uint32_t n = initials.front().numMobile();
+  for (const auto& c : initials) {
+    if (c.numMobile() != n) {
+      throw std::invalid_argument(std::string(where) +
+                                  ": mixed population sizes");
+    }
   }
-
-  void recordExpansion(std::size_t frontierSize) {
-    if (obs_ == nullptr) return;
-    ++expanded_;
-    if (expanded_ % kExploreProgressStride == 0) emit(frontierSize, false);
-  }
-
-  void recordTruncation(std::size_t maxNodes,
-                        const std::deque<std::uint32_t>& frontier) {
-    if (obs_ == nullptr) return;
-    ExploreTruncatedEvent e;
-    e.exploreId = exploreId_;
-    e.nodes = g_->size();
-    e.maxNodes = maxNodes;
-    e.frontier.assign(frontier.begin(), frontier.end());
-    obs_->onTruncated(e);
-  }
-
-  void finish(std::size_t frontierSize) {
-    if (obs_ == nullptr) return;
-    emit(frontierSize, true);
-  }
-
- private:
-  void emit(std::size_t frontierSize, bool done) {
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start_)
-            .count();
-    ExploreProgressEvent e;
-    e.exploreId = exploreId_;
-    e.nodes = g_->size();
-    e.frontier = frontierSize;
-    e.edges = edges_;
-    e.dedupHits = dedupHits_;
-    e.bytesEstimate = bytesEstimate();
-    e.nodesPerSec =
-        elapsed > 0.0 ? static_cast<double>(expanded_) / elapsed : 0.0;
-    e.elapsedMillis = elapsed * 1e3;
-    e.done = done;
-    obs_->onExploreProgress(e);
-  }
-
-  /// Approximate heap footprint: interned configurations (struct + mobile
-  /// vector payload) plus adjacency (vector headers + edge payload).
-  std::uint64_t bytesEstimate() const {
-    const std::uint64_t perConfig =
-        sizeof(Configuration) +
-        (g_->configs.empty() ? 0
-                             : g_->configs.front().mobile.size() *
-                                   sizeof(StateId));
-    return g_->size() * (perConfig + sizeof(std::vector<Edge>)) +
-           edges_ * sizeof(Edge);
-  }
-
-  ExploreObserver* obs_;
-  std::uint64_t exploreId_;
-  const ConfigGraph* g_;
-  std::chrono::steady_clock::time_point start_;
-  std::uint64_t expanded_ = 0;
-  std::uint64_t edges_ = 0;
-  std::uint64_t dedupHits_ = 0;
-};
+}
 
 }  // namespace
 
+std::uint64_t configGraphBytes(const ConfigGraph& g) {
+  std::uint64_t bytes = 0;
+  for (const Configuration& c : g.configs) {
+    bytes += sizeof(Configuration) + c.mobile.capacity() * sizeof(StateId);
+  }
+  for (const auto& edges : g.adj) {
+    bytes += sizeof(std::vector<Edge>) + edges.capacity() * sizeof(Edge);
+  }
+  return bytes;
+}
+
 ConfigGraph exploreConcrete(const Protocol& proto,
                             const std::vector<Configuration>& initials,
-                            std::size_t maxNodes,
-                            const InteractionGraph* topology,
-                            ExploreObserver* observer,
-                            std::uint64_t exploreId) {
-  if (initials.empty()) {
-    throw std::invalid_argument("exploreConcrete: no initial configurations");
-  }
-  ConfigGraph g;
+                            const ExploreOptions& options) {
+  validateInitials("exploreConcrete", initials);
   const std::uint32_t n = initials.front().numMobile();
   const std::uint32_t m = n + (proto.hasLeader() ? 1u : 0u);
-  g.numParticipants = m;
-  if (topology != nullptr && topology->numParticipants() != m) {
+  if (options.topology != nullptr &&
+      options.topology->numParticipants() != m) {
     throw std::invalid_argument(
         "exploreConcrete: topology participant count mismatch");
   }
+  if (detail::resolveThreads(options.threads) > 1) {
+    return detail::exploreParallelImpl(proto, initials, options,
+                                       /*canonical=*/false);
+  }
 
-  const PhaseScope phase(observer, exploreId, "explore");
-  ExploreTracker tracker(observer, exploreId, g);
-  Interner interner(g);
+  ConfigGraph g;
+  g.numParticipants = m;
+  const PhaseScope phase(options.observer, options.exploreId, "explore");
+  detail::ExploreTracker tracker(options.observer, options.exploreId, g);
+  const PackedCodec codec(PackedCodec::Form::kConcrete, proto, n);
+  Interner interner(g, codec);
   std::deque<std::uint32_t> frontier;
   for (const auto& c : initials) {
-    if (c.numMobile() != n) {
-      throw std::invalid_argument("exploreConcrete: mixed population sizes");
-    }
     const auto [id, isNew] = interner.intern(c);
-    if (isNew) frontier.push_back(id);
+    if (isNew) {
+      frontier.push_back(id);
+      tracker.recordInterned();
+    }
   }
 
   while (!frontier.empty()) {
-    if (g.size() > maxNodes) {
+    if (g.size() > options.maxNodes) {
       g.truncated = true;
-      tracker.recordTruncation(maxNodes, frontier);
+      tracker.recordTruncation(options.maxNodes, frontier);
       break;
     }
     const std::uint32_t id = frontier.front();
@@ -165,41 +105,20 @@ ConfigGraph exploreConcrete(const Protocol& proto,
     // Copy: interning may reallocate configs while we expand.
     const Configuration current = g.configs[id];
 
-    auto addEdge = [&](const Configuration& next, PairLabel label,
-                       std::uint32_t initiator, std::uint32_t responder,
-                       bool changedMobile) {
-      const bool changed = !(next == current);
-      const bool changedName =
-          changedMobile && namesDiffer(proto, current.mobile, next.mobile);
-      const auto [to, isNew] = interner.intern(next);
-      if (isNew) frontier.push_back(to);
-      tracker.recordEdge(!isNew);
-      g.adj[id].push_back(Edge{to, label, static_cast<std::uint16_t>(initiator),
-                               static_cast<std::uint16_t>(responder), changed,
-                               changedMobile, changedName});
-    };
-
-    for (std::uint32_t i = 0; i < m; ++i) {
-      for (std::uint32_t j = i + 1; j < m; ++j) {
-        if (topology != nullptr && !topology->hasEdge(i, j)) continue;
-        const PairLabel label = pairLabel(i, j, m);
-        // Orientation 1: i initiates.
-        Configuration next = current;
-        applyInteraction(proto, next, Interaction{i, j});
-        const bool mobileChanged1 = next.mobile != current.mobile;
-        addEdge(next, label, i, j, mobileChanged1);
-        // Orientation 2: j initiates (distinct only for asymmetric
-        // mobile-mobile rules; leader interactions are orientation-free).
-        const bool involvesLeader = proto.hasLeader() && j == m - 1;
-        if (!involvesLeader) {
-          Configuration next2 = current;
-          applyInteraction(proto, next2, Interaction{j, i});
-          if (!(next2 == next)) {
-            addEdge(next2, label, j, i, next2.mobile != current.mobile);
+    detail::forEachConcreteSuccessor(
+        proto, current, m, options.topology,
+        [&](Configuration&& next, const detail::EdgeMeta& meta) {
+          const auto [to, isNew] = interner.intern(next);
+          if (isNew) {
+            frontier.push_back(to);
+            tracker.recordInterned();
           }
-        }
-      }
-    }
+          tracker.recordEdge(!isNew);
+          g.adj[id].push_back(Edge{to, meta.label, meta.initiator,
+                                   meta.responder, meta.changed,
+                                   meta.changedMobile, meta.changedName});
+        });
+    tracker.recordNodeExpanded(id);
   }
   tracker.finish(frontier.size());
   return g;
@@ -207,31 +126,37 @@ ConfigGraph exploreConcrete(const Protocol& proto,
 
 ConfigGraph exploreCanonical(const Protocol& proto,
                              const std::vector<Configuration>& initials,
-                             std::size_t maxNodes, ExploreObserver* observer,
-                             std::uint64_t exploreId) {
-  if (initials.empty()) {
-    throw std::invalid_argument("exploreCanonical: no initial configurations");
+                             const ExploreOptions& options) {
+  validateInitials("exploreCanonical", initials);
+  if (options.topology != nullptr) {
+    throw std::invalid_argument(
+        "exploreCanonical: topologies require the concrete graph");
   }
-  ConfigGraph g;
   const std::uint32_t n = initials.front().numMobile();
-  g.numParticipants = n + (proto.hasLeader() ? 1u : 0u);
+  if (detail::resolveThreads(options.threads) > 1) {
+    return detail::exploreParallelImpl(proto, initials, options,
+                                       /*canonical=*/true);
+  }
 
-  const PhaseScope phase(observer, exploreId, "explore");
-  ExploreTracker tracker(observer, exploreId, g);
-  Interner interner(g);
+  ConfigGraph g;
+  g.numParticipants = n + (proto.hasLeader() ? 1u : 0u);
+  const PhaseScope phase(options.observer, options.exploreId, "explore");
+  detail::ExploreTracker tracker(options.observer, options.exploreId, g);
+  const PackedCodec codec(PackedCodec::Form::kCanonical, proto, n);
+  Interner interner(g, codec);
   std::deque<std::uint32_t> frontier;
   for (const auto& c : initials) {
-    if (c.numMobile() != n) {
-      throw std::invalid_argument("exploreCanonical: mixed population sizes");
-    }
     const auto [id, isNew] = interner.intern(c.canonicalized());
-    if (isNew) frontier.push_back(id);
+    if (isNew) {
+      frontier.push_back(id);
+      tracker.recordInterned();
+    }
   }
 
   while (!frontier.empty()) {
-    if (g.size() > maxNodes) {
+    if (g.size() > options.maxNodes) {
       g.truncated = true;
-      tracker.recordTruncation(maxNodes, frontier);
+      tracker.recordTruncation(options.maxNodes, frontier);
       break;
     }
     const std::uint32_t id = frontier.front();
@@ -239,49 +164,48 @@ ConfigGraph exploreCanonical(const Protocol& proto,
     tracker.recordExpansion(frontier.size());
     const Configuration current = g.configs[id];
 
-    auto addEdge = [&](Configuration next, bool changedMobile) {
-      const bool changedName =
-          changedMobile && namesDiffer(proto, current.mobile, next.mobile);
-      next = next.canonicalized();
-      const bool changed = changedMobile || !(next == current) ||
-                           next.leader != current.leader;
-      if (!changed) return;  // canonical graphs omit null edges
-      const auto [to, isNew] = interner.intern(next);
-      if (isNew) frontier.push_back(to);
-      tracker.recordEdge(!isNew);
-      g.adj[id].push_back(Edge{to, 0xffff, 0, 0, true, changedMobile,
-                               changedName});
-    };
-
-    // Mobile-mobile interactions: pick representative agent indices for each
-    // present state pair. The canonical form is sorted, so equal states are
-    // adjacent; scanning index pairs over *distinct positions* covers every
-    // state pair including homonym pairs, with duplicates deduplicated by
-    // interning. N is tiny in checker workloads, so the O(N^2) scan is fine.
-    for (std::uint32_t i = 0; i < n; ++i) {
-      for (std::uint32_t j = i + 1; j < n; ++j) {
-        // Skip repeats of the same (state_i, state_j) combination.
-        if (i > 0 && current.mobile[i - 1] == current.mobile[i]) continue;
-        if (j > i + 1 && current.mobile[j - 1] == current.mobile[j]) continue;
-        Configuration next = current;
-        applyInteraction(proto, next, Interaction{i, j});
-        addEdge(next, next.mobile != current.mobile);
-        Configuration next2 = current;
-        applyInteraction(proto, next2, Interaction{j, i});
-        addEdge(next2, next2.mobile != current.mobile);
-      }
-    }
-    if (proto.hasLeader()) {
-      for (std::uint32_t i = 0; i < n; ++i) {
-        if (i > 0 && current.mobile[i - 1] == current.mobile[i]) continue;
-        Configuration next = current;
-        applyInteraction(proto, next, Interaction{n, i});
-        addEdge(next, next.mobile != current.mobile);
-      }
-    }
+    detail::forEachCanonicalSuccessor(
+        proto, current, n,
+        [&](Configuration&& next, const detail::EdgeMeta& meta) {
+          const auto [to, isNew] = interner.intern(next);
+          if (isNew) {
+            frontier.push_back(to);
+            tracker.recordInterned();
+          }
+          tracker.recordEdge(!isNew);
+          g.adj[id].push_back(Edge{to, meta.label, meta.initiator,
+                                   meta.responder, meta.changed,
+                                   meta.changedMobile, meta.changedName});
+        });
+    tracker.recordNodeExpanded(id);
   }
   tracker.finish(frontier.size());
   return g;
+}
+
+ConfigGraph exploreConcrete(const Protocol& proto,
+                            const std::vector<Configuration>& initials,
+                            std::size_t maxNodes,
+                            const InteractionGraph* topology,
+                            ExploreObserver* observer,
+                            std::uint64_t exploreId) {
+  ExploreOptions options;
+  options.maxNodes = maxNodes;
+  options.topology = topology;
+  options.observer = observer;
+  options.exploreId = exploreId;
+  return exploreConcrete(proto, initials, options);
+}
+
+ConfigGraph exploreCanonical(const Protocol& proto,
+                             const std::vector<Configuration>& initials,
+                             std::size_t maxNodes, ExploreObserver* observer,
+                             std::uint64_t exploreId) {
+  ExploreOptions options;
+  options.maxNodes = maxNodes;
+  options.observer = observer;
+  options.exploreId = exploreId;
+  return exploreCanonical(proto, initials, options);
 }
 
 }  // namespace ppn

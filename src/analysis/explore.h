@@ -76,6 +76,28 @@ struct ConfigGraph {
 /// many expanded nodes (plus a final done=true event per exploration).
 constexpr std::uint64_t kExploreProgressStride = 1024;
 
+/// Exact heap footprint of a ConfigGraph: interned configurations (struct +
+/// mobile payload at its real capacity) plus adjacency (vector headers + edge
+/// payload at its real capacity). This is what ExploreProgressEvent.
+/// bytesEstimate converges to on the final done=true event.
+std::uint64_t configGraphBytes(const ConfigGraph& g);
+
+/// Knobs shared by both explorers (and forwarded by the checkers).
+struct ExploreOptions {
+  std::size_t maxNodes = 4'000'000;
+  /// Worker threads for the level-synchronous parallel BFS. 1 (the default)
+  /// runs the serial reference loop; 0 means hardware concurrency. Any value
+  /// produces a bit-identical ConfigGraph — node ids, edge order and
+  /// truncation behavior all match the serial result (DESIGN.md, decision
+  /// 14) — so callers may tune this freely.
+  std::uint32_t threads = 1;
+  /// Restricts interactions to a graph (concrete exploration only; must be
+  /// null for exploreCanonical).
+  const InteractionGraph* topology = nullptr;
+  ExploreObserver* observer = nullptr;
+  std::uint64_t exploreId = 0;
+};
+
 /// Explores all configurations reachable from `initials`. Every applicable
 /// interaction contributes an edge, *including null transitions* (self-loop
 /// edges with changed = false) — weak-fairness coverage analysis needs them.
@@ -89,14 +111,23 @@ constexpr std::uint64_t kExploreProgressStride = 1024;
 /// reads; a null observer leaves behavior bit-identical.
 ConfigGraph exploreConcrete(const Protocol& proto,
                             const std::vector<Configuration>& initials,
+                            const ExploreOptions& options);
+
+/// Explores the canonical quotient graph. Edges are unlabeled and null
+/// transitions are omitted (global-fairness analysis does not need them).
+/// Observer contract as in exploreConcrete. options.topology must be null.
+ConfigGraph exploreCanonical(const Protocol& proto,
+                             const std::vector<Configuration>& initials,
+                             const ExploreOptions& options);
+
+/// Positional convenience overloads (serial, threads = 1).
+ConfigGraph exploreConcrete(const Protocol& proto,
+                            const std::vector<Configuration>& initials,
                             std::size_t maxNodes = 4'000'000,
                             const InteractionGraph* topology = nullptr,
                             ExploreObserver* observer = nullptr,
                             std::uint64_t exploreId = 0);
 
-/// Explores the canonical quotient graph. Edges are unlabeled and null
-/// transitions are omitted (global-fairness analysis does not need them).
-/// Observer contract as in exploreConcrete.
 ConfigGraph exploreCanonical(const Protocol& proto,
                              const std::vector<Configuration>& initials,
                              std::size_t maxNodes = 4'000'000,

@@ -1,0 +1,259 @@
+// Internal machinery shared by the serial (explore.cpp) and parallel
+// (parallel_explore.cpp) exploration engines. Not part of the public API.
+//
+// The two engines must produce bit-identical ConfigGraphs, so everything
+// that defines the output — successor enumeration order, edge metadata,
+// truncation semantics — lives here exactly once. The enumerators replicate
+// the historical serial loops verbatim: orientation 1 before orientation 2,
+// orientation 2 suppressed for leader pairs and for coinciding outcomes,
+// canonical null edges omitted, canonical duplicate (state_i, state_j)
+// combinations skipped via the sortedness of the canonical form.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "analysis/explore.h"
+#include "core/engine.h"
+
+namespace ppn::detail {
+
+/// Everything an Edge carries except the target id (which interning decides).
+struct EdgeMeta {
+  PairLabel label = 0xffff;
+  std::uint16_t initiator = 0;
+  std::uint16_t responder = 0;
+  bool changed = false;
+  bool changedMobile = false;
+  bool changedName = false;
+};
+
+/// Whether any agent's projected name differs between the two mobile
+/// vectors (same length by construction).
+inline bool namesDiffer(const Protocol& proto, const std::vector<StateId>& before,
+                        const std::vector<StateId>& after) {
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (proto.nameOf(before[i]) != proto.nameOf(after[i])) return true;
+  }
+  return false;
+}
+
+/// Enumerates the concrete successors of `current` in the canonical serial
+/// order, calling fn(Configuration&&, const EdgeMeta&) once per edge
+/// (including null self-loops — weak-fairness coverage needs them).
+template <class Fn>
+void forEachConcreteSuccessor(const Protocol& proto, const Configuration& current,
+                              std::uint32_t numParticipants,
+                              const InteractionGraph* topology, Fn&& fn) {
+  const std::uint32_t m = numParticipants;
+  const bool hasLeader = proto.hasLeader();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = i + 1; j < m; ++j) {
+      if (topology != nullptr && !topology->hasEdge(i, j)) continue;
+      const PairLabel label = pairLabel(i, j, m);
+      // Orientation 1: i initiates.
+      Configuration next = current;
+      applyInteraction(proto, next, Interaction{i, j});
+      const bool changed1 = !(next == current);
+      const bool mobile1 = next.mobile != current.mobile;
+      const bool name1 =
+          mobile1 && namesDiffer(proto, current.mobile, next.mobile);
+      const EdgeMeta meta1{label, static_cast<std::uint16_t>(i),
+                           static_cast<std::uint16_t>(j), changed1, mobile1,
+                           name1};
+      // Orientation 2: j initiates (distinct only for asymmetric
+      // mobile-mobile rules; leader interactions are orientation-free).
+      const bool involvesLeader = hasLeader && j == m - 1;
+      if (involvesLeader) {
+        fn(std::move(next), meta1);
+        continue;
+      }
+      Configuration next2 = current;
+      applyInteraction(proto, next2, Interaction{j, i});
+      const bool distinct = !(next2 == next);
+      fn(std::move(next), meta1);
+      if (distinct) {
+        const bool mobile2 = next2.mobile != current.mobile;
+        const bool name2 =
+            mobile2 && namesDiffer(proto, current.mobile, next2.mobile);
+        fn(std::move(next2),
+           EdgeMeta{label, static_cast<std::uint16_t>(j),
+                    static_cast<std::uint16_t>(i), !(next2 == current), mobile2,
+                    name2});
+      }
+    }
+  }
+}
+
+/// Enumerates the canonical successors of the canonical configuration
+/// `current` in the canonical serial order. Null transitions are omitted;
+/// emitted configurations are already canonicalized.
+template <class Fn>
+void forEachCanonicalSuccessor(const Protocol& proto, const Configuration& current,
+                               std::uint32_t numMobile, Fn&& fn) {
+  const std::uint32_t n = numMobile;
+  auto emit = [&](Configuration next, bool changedMobile) {
+    const bool changedName =
+        changedMobile && namesDiffer(proto, current.mobile, next.mobile);
+    next = next.canonicalized();
+    const bool changed = changedMobile || !(next == current) ||
+                         next.leader != current.leader;
+    if (!changed) return;  // canonical graphs omit null edges
+    fn(std::move(next),
+       EdgeMeta{0xffff, 0, 0, true, changedMobile, changedName});
+  };
+
+  // Mobile-mobile interactions: pick representative agent indices for each
+  // present state pair. The canonical form is sorted, so equal states are
+  // adjacent; scanning index pairs over *distinct positions* covers every
+  // state pair including homonym pairs, with duplicates deduplicated by
+  // interning. N is tiny in checker workloads, so the O(N^2) scan is fine.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      // Skip repeats of the same (state_i, state_j) combination.
+      if (i > 0 && current.mobile[i - 1] == current.mobile[i]) continue;
+      if (j > i + 1 && current.mobile[j - 1] == current.mobile[j]) continue;
+      Configuration next = current;
+      applyInteraction(proto, next, Interaction{i, j});
+      const bool mobile1 = next.mobile != current.mobile;
+      emit(std::move(next), mobile1);
+      Configuration next2 = current;
+      applyInteraction(proto, next2, Interaction{j, i});
+      const bool mobile2 = next2.mobile != current.mobile;
+      emit(std::move(next2), mobile2);
+    }
+  }
+  if (proto.hasLeader()) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (i > 0 && current.mobile[i - 1] == current.mobile[i]) continue;
+      Configuration next = current;
+      applyInteraction(proto, next, Interaction{n, i});
+      const bool mobileChanged = next.mobile != current.mobile;
+      emit(std::move(next), mobileChanged);
+    }
+  }
+}
+
+/// Progress bookkeeping for one exploration. All methods are single-branch
+/// no-ops when no observer is attached, so the unobserved BFS stays
+/// bit-identical to the pre-telemetry loop.
+///
+/// Byte accounting is incremental and capacity-exact: configuration bytes
+/// accrue at intern time, adjacency bytes once a node's expansion finished
+/// (its edge vector's capacity is final then), so the final done=true event
+/// reports exactly configGraphBytes() of the returned graph.
+class ExploreTracker {
+ public:
+  ExploreTracker(ExploreObserver* obs, std::uint64_t exploreId,
+                 const ConfigGraph& g)
+      : obs_(obs), exploreId_(exploreId), g_(&g) {
+    if (obs_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  void recordEdge(bool dedupHit) {
+    if (obs_ == nullptr) return;
+    ++edges_;
+    if (dedupHit) ++dedupHits_;
+  }
+
+  /// The configuration just pushed onto the graph (struct + mobile payload +
+  /// its adjacency vector header).
+  void recordInterned() {
+    if (obs_ == nullptr) return;
+    configBytes_ += sizeof(Configuration) +
+                    g_->configs.back().mobile.capacity() * sizeof(StateId) +
+                    sizeof(std::vector<Edge>);
+  }
+
+  /// Node `id`'s expansion is complete; its adjacency capacity is final.
+  void recordNodeExpanded(std::uint32_t id) {
+    if (obs_ == nullptr) return;
+    adjBytes_ += g_->adj[id].capacity() * sizeof(Edge);
+  }
+
+  void recordExpansion(std::size_t frontierSize) {
+    if (obs_ == nullptr) return;
+    ++expanded_;
+    if (expanded_ % kExploreProgressStride == 0) emit(frontierSize, false);
+  }
+
+  /// Bulk variant for the parallel engine (merge thread only): accounts one
+  /// completed BFS level and emits at most one progress event when the level
+  /// crossed a stride boundary.
+  void recordLevel(std::uint64_t expandedNodes, std::uint64_t edges,
+                   std::uint64_t dedupHits, std::uint64_t adjBytes,
+                   std::size_t frontierSize) {
+    if (obs_ == nullptr) return;
+    expanded_ += expandedNodes;
+    edges_ += edges;
+    dedupHits_ += dedupHits;
+    adjBytes_ += adjBytes;
+    if (expanded_ / kExploreProgressStride > emittedStrides_) {
+      emittedStrides_ = expanded_ / kExploreProgressStride;
+      emit(frontierSize, false);
+    }
+  }
+
+  template <class Container>
+  void recordTruncation(std::size_t maxNodes, const Container& frontier) {
+    if (obs_ == nullptr) return;
+    ExploreTruncatedEvent e;
+    e.exploreId = exploreId_;
+    e.nodes = g_->size();
+    e.maxNodes = maxNodes;
+    e.frontier.assign(frontier.begin(), frontier.end());
+    obs_->onTruncated(e);
+  }
+
+  void finish(std::size_t frontierSize) {
+    if (obs_ == nullptr) return;
+    emit(frontierSize, true);
+  }
+
+ private:
+  void emit(std::size_t frontierSize, bool done) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    ExploreProgressEvent e;
+    e.exploreId = exploreId_;
+    e.nodes = g_->size();
+    e.frontier = frontierSize;
+    e.edges = edges_;
+    e.dedupHits = dedupHits_;
+    e.bytesEstimate = configBytes_ + adjBytes_;
+    e.nodesPerSec =
+        elapsed > 0.0 ? static_cast<double>(expanded_) / elapsed : 0.0;
+    e.elapsedMillis = elapsed * 1e3;
+    e.done = done;
+    obs_->onExploreProgress(e);
+  }
+
+  ExploreObserver* obs_;
+  std::uint64_t exploreId_;
+  const ConfigGraph* g_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t expanded_ = 0;
+  std::uint64_t edges_ = 0;
+  std::uint64_t dedupHits_ = 0;
+  std::uint64_t configBytes_ = 0;
+  std::uint64_t adjBytes_ = 0;
+  std::uint64_t emittedStrides_ = 0;
+};
+
+/// 0 = hardware concurrency, otherwise the requested count.
+inline std::uint32_t resolveThreads(std::uint32_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+/// The level-synchronous parallel engine (parallel_explore.cpp). Inputs are
+/// pre-validated by the public entry points; produces a graph bit-identical
+/// to the serial loop for any thread count.
+ConfigGraph exploreParallelImpl(const Protocol& proto,
+                                const std::vector<Configuration>& initials,
+                                const ExploreOptions& options, bool canonical);
+
+}  // namespace ppn::detail

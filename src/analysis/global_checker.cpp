@@ -10,13 +10,24 @@ GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
                                   std::size_t maxNodes,
                                   ExploreObserver* observer,
                                   std::uint64_t exploreId) {
+  ExploreOptions options;
+  options.maxNodes = maxNodes;
+  options.observer = observer;
+  options.exploreId = exploreId;
+  return checkGlobalFairness(proto, problem, initials, options);
+}
+
+GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
+                                  const std::vector<Configuration>& initials,
+                                  const ExploreOptions& options) {
+  ExploreObserver* observer = options.observer;
+  const std::uint64_t exploreId = options.exploreId;
   const PhaseScope checkPhase(observer, exploreId, "check");
   GlobalVerdict verdict;
-  const ConfigGraph graph =
-      exploreCanonical(proto, initials, maxNodes, observer, exploreId);
+  const ConfigGraph graph = exploreCanonical(proto, initials, options);
   verdict.numConfigs = graph.size();
   if (graph.truncated) {
-    verdict.reason = "state space exceeded " + std::to_string(maxNodes) +
+    verdict.reason = "state space exceeded " + std::to_string(options.maxNodes) +
                      " configurations; no verdict";
     return verdict;
   }
@@ -60,13 +71,25 @@ GlobalVerdict checkGlobalFairnessConcrete(
     const std::vector<Configuration>& initials, std::size_t maxNodes,
     const InteractionGraph* topology, ExploreObserver* observer,
     std::uint64_t exploreId) {
+  ExploreOptions options;
+  options.maxNodes = maxNodes;
+  options.topology = topology;
+  options.observer = observer;
+  options.exploreId = exploreId;
+  return checkGlobalFairnessConcrete(proto, problem, initials, options);
+}
+
+GlobalVerdict checkGlobalFairnessConcrete(
+    const Protocol& proto, const Problem& problem,
+    const std::vector<Configuration>& initials, const ExploreOptions& options) {
+  ExploreObserver* observer = options.observer;
+  const std::uint64_t exploreId = options.exploreId;
   const PhaseScope checkPhase(observer, exploreId, "check");
   GlobalVerdict verdict;
-  const ConfigGraph graph =
-      exploreConcrete(proto, initials, maxNodes, topology, observer, exploreId);
+  const ConfigGraph graph = exploreConcrete(proto, initials, options);
   verdict.numConfigs = graph.size();
   if (graph.truncated) {
-    verdict.reason = "state space exceeded " + std::to_string(maxNodes) +
+    verdict.reason = "state space exceeded " + std::to_string(options.maxNodes) +
                      " configurations; no verdict";
     return verdict;
   }

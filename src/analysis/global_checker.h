@@ -58,4 +58,16 @@ GlobalVerdict checkGlobalFairnessConcrete(
     const InteractionGraph* topology = nullptr,
     ExploreObserver* observer = nullptr, std::uint64_t exploreId = 0);
 
+/// Options forms: forward everything including options.threads into the
+/// exploration (the SCC/verdict passes stay serial). Verdicts are identical
+/// for any options.threads. checkGlobalFairness requires a null
+/// options.topology (canonical quotient).
+GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
+                                  const std::vector<Configuration>& initials,
+                                  const ExploreOptions& options);
+
+GlobalVerdict checkGlobalFairnessConcrete(
+    const Protocol& proto, const Problem& problem,
+    const std::vector<Configuration>& initials, const ExploreOptions& options);
+
 }  // namespace ppn

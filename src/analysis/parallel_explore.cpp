@@ -1,0 +1,389 @@
+// Level-synchronous parallel BFS over the configuration graph, bit-identical
+// to the serial explorers for any thread count (DESIGN.md, decision 14).
+//
+// Why bit-identity is achievable at all: the serial loop pops a FIFO deque
+// and assigns ids at intern time, so its expansion order IS ascending node-id
+// order and the global candidate stream is ordered by (expanding position p,
+// per-node enumeration index k). Any scheme that reconstitutes that stream
+// order at a level barrier reproduces the exact serial intern order — node
+// ids, edge targets, edge order, dedup counts and the truncation cut all
+// follow. Concretely, each level runs four phases:
+//
+//   1. expand (parallel)    — workers take static contiguous blocks of the
+//      level, enumerate successors via the shared enumerators, pack each one
+//      (packed_config.h) and bucket its (p, k) index by hash shard. Static
+//      blocks keep every shard's bucket lists concatenable in stream order.
+//   2. dedup (parallel)     — shards are claimed atomically; each of the 64
+//      shards is owned by exactly one worker per level (no locks), which
+//      replays its bucket entries in stream order against the shard's map.
+//      First-ever occurrences get a placeholder slot; every candidate
+//      records (shard, slot) for later id resolution.
+//   3. merge (serial)       — new entries from all shards are ordered by
+//      stream position and assigned ids g.size(), g.size()+1, ... — the
+//      serial intern order. The serial per-pop maxNodes check is replayed
+//      exactly: the cut position p* is the first level position at which the
+//      simulated node count exceeds the cap; entries born at p >= p* are
+//      discarded (a suffix of every shard's pending list) and the remaining
+//      frontier is reconstructed as the serial deque would have held it.
+//   4. edges (parallel)     — adjacency lists of the expanded (p < p*) level
+//      nodes are filled independently (distinct vectors, race-free),
+//      resolving targets through the now-final shard slots.
+//
+// Observer events are emitted only by the merge thread, so one exploration's
+// progress stream stays globally monotone even at threads > 1.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/explore_impl.h"
+#include "analysis/packed_config.h"
+
+namespace ppn::detail {
+
+namespace {
+
+constexpr std::uint32_t kShards = 64;
+constexpr std::uint32_t kUnassigned = 0xffffffffu;
+
+/// Reusable fork-join pool: run(job) executes job(w) for w in [0, threads)
+/// — worker 0 is the calling thread — and returns when all invocations
+/// finished, rethrowing the first worker exception. The mutex/condvar
+/// handshake at each barrier gives the happens-before edges the phase
+/// structure relies on.
+class LevelPool {
+ public:
+  explicit LevelPool(std::uint32_t threads) : threads_(threads) {
+    for (std::uint32_t w = 1; w < threads_; ++w) {
+      workers_.emplace_back([this, w] { workerLoop(w); });
+    }
+  }
+
+  ~LevelPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void run(const std::function<void(std::uint32_t)>& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      pending_ = threads_ - 1;
+      ++generation_;
+    }
+    cv_.notify_all();
+    runGuarded(job, 0);
+    std::unique_lock<std::mutex> lock(mu_);
+    doneCv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    if (error_ != nullptr) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void runGuarded(const std::function<void(std::uint32_t)>& job,
+                  std::uint32_t w) {
+    try {
+      job(w);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+  }
+
+  void workerLoop(std::uint32_t w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::uint32_t)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        seen = generation_;
+        if (stop_) return;
+        job = job_;
+      }
+      if (job != nullptr) runGuarded(*job, w);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) doneCv_.notify_all();
+      }
+    }
+  }
+
+  std::uint32_t threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable doneCv_;
+  const std::function<void(std::uint32_t)>* job_ = nullptr;
+  std::uint32_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+/// One enumerated successor, between expansion and edge construction.
+struct Cand {
+  PackedConfig key;           // moved into the shard map on first occurrence
+  std::uint32_t slotRef = 0;  // index into its shard's slot table (phase 2)
+  std::uint8_t shard = 0;
+  bool dedupHit = false;  // key was already interned (matches serial counts)
+  EdgeMeta meta;
+};
+
+/// (level position, candidate index) — the global stream order key.
+struct PK {
+  std::uint32_t p;
+  std::uint32_t k;
+};
+
+/// A configuration first seen this level, pending id assignment.
+struct NewEntry {
+  std::uint64_t pos;  // (p << 32) | k of the first occurrence
+  std::uint32_t slotRef;
+  std::uint8_t shard;
+  const PackedConfig* key;  // stable: points into the shard map node
+};
+
+struct Shard {
+  std::unordered_map<PackedConfig, std::uint32_t, PackedConfigHash> map;
+  std::vector<std::uint32_t> slots;  // slotRef -> final node id
+  std::vector<NewEntry> pending;     // this level's insertions, stream order
+};
+
+}  // namespace
+
+ConfigGraph exploreParallelImpl(const Protocol& proto,
+                                const std::vector<Configuration>& initials,
+                                const ExploreOptions& options, bool canonical) {
+  ConfigGraph g;
+  const std::uint32_t n = initials.front().numMobile();
+  const std::uint32_t m = n + (proto.hasLeader() ? 1u : 0u);
+  g.numParticipants = m;
+  const std::uint32_t K = resolveThreads(options.threads);
+  const PackedCodec codec(canonical ? PackedCodec::Form::kCanonical
+                                    : PackedCodec::Form::kConcrete,
+                          proto, n);
+
+  const PhaseScope phase(options.observer, options.exploreId, "explore");
+  ExploreTracker tracker(options.observer, options.exploreId, g);
+
+  std::vector<Shard> shards(kShards);
+  std::vector<std::uint32_t> frontier;
+  for (const auto& initial : initials) {
+    const Configuration c = canonical ? initial.canonicalized() : initial;
+    PackedConfig key = codec.pack(c);
+    Shard& sh = shards[key.hash() % kShards];
+    const auto [it, inserted] = sh.map.try_emplace(
+        std::move(key), static_cast<std::uint32_t>(sh.slots.size()));
+    if (inserted) {
+      sh.slots.push_back(static_cast<std::uint32_t>(g.configs.size()));
+      frontier.push_back(static_cast<std::uint32_t>(g.configs.size()));
+      g.configs.push_back(c);
+      g.adj.emplace_back();
+      tracker.recordInterned();
+    }
+  }
+
+  LevelPool pool(K);
+  std::vector<std::vector<Cand>> candBuf;
+  // buckets[w][s]: stream-ordered (p, k) indices worker w produced for shard
+  // s. Concatenating w = 0..K-1 restores stream order because phase 1 blocks
+  // are contiguous and ascending in p.
+  std::vector<std::array<std::vector<PK>, kShards>> buckets(K);
+  std::atomic<std::uint32_t> shardCursor{0};
+  std::atomic<std::uint32_t> nodeCursor{0};
+  std::atomic<std::uint64_t> edgeCount{0};
+  std::atomic<std::uint64_t> dedupCount{0};
+  std::atomic<std::uint64_t> adjBytes{0};
+
+  while (!frontier.empty()) {
+    // The serial loop re-checks the cap before every pop, so a cap already
+    // exceeded at level entry truncates with the whole frontier unexpanded.
+    if (g.size() > options.maxNodes) {
+      g.truncated = true;
+      tracker.recordTruncation(options.maxNodes, frontier);
+      break;
+    }
+    const std::uint32_t L = static_cast<std::uint32_t>(frontier.size());
+    if (candBuf.size() < L) candBuf.resize(L);
+
+    // Phase 1: expand + bucket.
+    pool.run([&](std::uint32_t w) {
+      const std::uint32_t lo =
+          static_cast<std::uint32_t>(std::uint64_t{L} * w / K);
+      const std::uint32_t hi =
+          static_cast<std::uint32_t>(std::uint64_t{L} * (w + 1) / K);
+      auto& myBuckets = buckets[w];
+      for (auto& b : myBuckets) b.clear();
+      for (std::uint32_t p = lo; p < hi; ++p) {
+        auto& cands = candBuf[p];
+        cands.clear();
+        const Configuration& current = g.configs[frontier[p]];
+        auto sink = [&](Configuration&& next, const EdgeMeta& meta) {
+          Cand c;
+          c.key = codec.pack(next);
+          c.shard = static_cast<std::uint8_t>(c.key.hash() % kShards);
+          c.meta = meta;
+          cands.push_back(std::move(c));
+        };
+        if (canonical) {
+          forEachCanonicalSuccessor(proto, current, n, sink);
+        } else {
+          forEachConcreteSuccessor(proto, current, m, options.topology, sink);
+        }
+        for (std::uint32_t k = 0; k < cands.size(); ++k) {
+          myBuckets[cands[k].shard].push_back(PK{p, k});
+        }
+      }
+    });
+
+    // Phase 2: per-shard dedup (each shard owned by one worker this level).
+    shardCursor.store(0, std::memory_order_relaxed);
+    pool.run([&](std::uint32_t) {
+      for (;;) {
+        const std::uint32_t s =
+            shardCursor.fetch_add(1, std::memory_order_relaxed);
+        if (s >= kShards) break;
+        Shard& sh = shards[s];
+        for (std::uint32_t w = 0; w < K; ++w) {
+          for (const PK pk : buckets[w][s]) {
+            Cand& c = candBuf[pk.p][pk.k];
+            const auto [it, inserted] = sh.map.try_emplace(
+                std::move(c.key), static_cast<std::uint32_t>(sh.slots.size()));
+            if (inserted) {
+              sh.slots.push_back(kUnassigned);
+              sh.pending.push_back(
+                  NewEntry{(std::uint64_t{pk.p} << 32) | pk.k, it->second,
+                           static_cast<std::uint8_t>(s), &it->first});
+            }
+            c.slotRef = it->second;
+            c.dedupHit = !inserted;
+          }
+        }
+      }
+    });
+
+    // Phase 3 (serial): replay the per-pop cap check, then assign ids in
+    // stream order — the serial intern order.
+    std::uint64_t totalNew = 0;
+    for (const Shard& sh : shards) totalNew += sh.pending.size();
+
+    std::uint32_t cut = L;  // number of level nodes that get expanded
+    if (g.size() + totalNew > options.maxNodes) {
+      std::vector<std::uint32_t> newFrom(L, 0);
+      for (const Shard& sh : shards) {
+        for (const NewEntry& e : sh.pending) ++newFrom[e.pos >> 32];
+      }
+      std::uint64_t size = g.size();
+      for (std::uint32_t p = 0; p < L; ++p) {
+        if (size > options.maxNodes) {
+          cut = p;
+          break;
+        }
+        size += newFrom[p];
+      }
+      if (cut < L) {
+        // Serial exploration stops before expanding position `cut`; nodes
+        // first discovered at or after it were never interned. They form a
+        // suffix of every shard's stream-ordered pending list.
+        for (Shard& sh : shards) {
+          while (!sh.pending.empty() &&
+                 (sh.pending.back().pos >> 32) >= cut) {
+            sh.map.erase(sh.map.find(*sh.pending.back().key));
+            sh.slots.pop_back();
+            sh.pending.pop_back();
+          }
+        }
+      }
+    }
+
+    std::vector<const NewEntry*> order;
+    order.reserve(static_cast<std::size_t>(totalNew));
+    for (const Shard& sh : shards) {
+      for (const NewEntry& e : sh.pending) order.push_back(&e);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const NewEntry* a, const NewEntry* b) { return a->pos < b->pos; });
+
+    std::vector<std::uint32_t> nextFrontier;
+    nextFrontier.reserve(order.size());
+    for (const NewEntry* e : order) {
+      const std::uint32_t id = static_cast<std::uint32_t>(g.configs.size());
+      shards[e->shard].slots[e->slotRef] = id;
+      g.configs.push_back(codec.unpack(*e->key));
+      g.adj.emplace_back();
+      tracker.recordInterned();
+      nextFrontier.push_back(id);
+    }
+    for (Shard& sh : shards) sh.pending.clear();
+
+    // Phase 4: build adjacency for the expanded prefix of the level.
+    nodeCursor.store(0, std::memory_order_relaxed);
+    edgeCount.store(0, std::memory_order_relaxed);
+    dedupCount.store(0, std::memory_order_relaxed);
+    adjBytes.store(0, std::memory_order_relaxed);
+    pool.run([&](std::uint32_t) {
+      std::uint64_t localEdges = 0;
+      std::uint64_t localDedup = 0;
+      std::uint64_t localBytes = 0;
+      for (;;) {
+        const std::uint32_t p =
+            nodeCursor.fetch_add(1, std::memory_order_relaxed);
+        if (p >= cut) break;
+        const auto& cands = candBuf[p];
+        auto& adj = g.adj[frontier[p]];
+        adj.reserve(cands.size());
+        for (const Cand& c : cands) {
+          adj.push_back(Edge{shards[c.shard].slots[c.slotRef], c.meta.label,
+                             c.meta.initiator, c.meta.responder, c.meta.changed,
+                             c.meta.changedMobile, c.meta.changedName});
+          ++localEdges;
+          if (c.dedupHit) ++localDedup;
+        }
+        localBytes += adj.capacity() * sizeof(Edge);
+      }
+      edgeCount.fetch_add(localEdges, std::memory_order_relaxed);
+      dedupCount.fetch_add(localDedup, std::memory_order_relaxed);
+      adjBytes.fetch_add(localBytes, std::memory_order_relaxed);
+    });
+
+    if (cut < L) {
+      g.truncated = true;
+      // The serial deque at the cap: the unexpanded level tail, then the new
+      // nodes discovered by the expanded prefix, in discovery (= id) order.
+      std::vector<std::uint32_t> rest(frontier.begin() + cut, frontier.end());
+      rest.insert(rest.end(), nextFrontier.begin(), nextFrontier.end());
+      tracker.recordLevel(cut, edgeCount.load(), dedupCount.load(),
+                          adjBytes.load(), rest.size());
+      tracker.recordTruncation(options.maxNodes, rest);
+      frontier = std::move(rest);
+      break;
+    }
+
+    tracker.recordLevel(L, edgeCount.load(), dedupCount.load(),
+                        adjBytes.load(), nextFrontier.size());
+    frontier = std::move(nextFrontier);
+  }
+
+  tracker.finish(frontier.size());
+  return g;
+}
+
+}  // namespace ppn::detail

@@ -1,11 +1,18 @@
 #include "analysis/protocol_search.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
+#include "analysis/explore_impl.h"
 #include "analysis/global_checker.h"
 #include "analysis/initial_sets.h"
 #include "analysis/weak_checker.h"
+#include "obs/concurrent_observer.h"
 
 namespace ppn {
 
@@ -89,95 +96,215 @@ namespace {
 /// Tri-state per-candidate verdict: truncated explorations decide nothing.
 enum class CandidateVerdict { kSolves, kFails, kUnknown };
 
+/// Decides one candidate protocol. `nextExploreId` mints the unique id for
+/// each inner checker invocation (a plain counter serially, an atomic one in
+/// the parallel dispatch).
+CandidateVerdict evaluateCandidate(
+    StateId q, std::uint32_t n, Fairness fairness, bool symmetricSpace,
+    bool selfStabilizing,
+    const std::function<Problem(const Protocol&)>& problemFor,
+    std::uint64_t idx, std::size_t maxNodes, ExploreObserver* observer,
+    const std::function<std::uint64_t()>& nextExploreId) {
+  const TabularProtocol proto = symmetricSpace ? decodeSymmetricProtocol(q, idx)
+                                               : decodeAnyProtocol(q, idx);
+  const Problem problem = problemFor(proto);
+
+  auto solvesFrom = [&](const std::vector<Configuration>& initials) {
+    ExploreOptions exploreOptions;
+    exploreOptions.maxNodes = maxNodes;
+    exploreOptions.observer = observer;
+    exploreOptions.exploreId = nextExploreId();
+    if (fairness == Fairness::kGlobal) {
+      const GlobalVerdict v =
+          checkGlobalFairness(proto, problem, initials, exploreOptions);
+      if (!v.explored) return CandidateVerdict::kUnknown;
+      return v.solves ? CandidateVerdict::kSolves : CandidateVerdict::kFails;
+    }
+    const WeakVerdict v =
+        checkWeakFairness(proto, problem, initials, exploreOptions);
+    if (!v.explored) return CandidateVerdict::kUnknown;
+    return v.solves ? CandidateVerdict::kSolves : CandidateVerdict::kFails;
+  };
+
+  CandidateVerdict verdict = CandidateVerdict::kFails;
+  if (selfStabilizing) {
+    verdict = solvesFrom(fairness == Fairness::kGlobal
+                             ? allCanonicalConfigurations(proto, n)
+                             : allConcreteConfigurations(proto, n));
+  } else {
+    // The designer may pick any single uniform initialization. Any
+    // truncated initialization leaves the candidate unknown unless a later
+    // initialization proves it a solver.
+    for (StateId s = 0; s < q && verdict != CandidateVerdict::kSolves; ++s) {
+      Configuration c;
+      c.mobile.assign(n, s);
+      const CandidateVerdict v = solvesFrom({c});
+      if (v == CandidateVerdict::kSolves ||
+          (v == CandidateVerdict::kUnknown &&
+           verdict == CandidateVerdict::kFails)) {
+        verdict = v;
+      }
+    }
+  }
+  return verdict;
+}
+
 }  // namespace
 
 SearchOutcome searchProblem(
     StateId q, std::uint32_t n, Fairness fairness, bool symmetricSpace,
     bool selfStabilizing,
     const std::function<Problem(const Protocol&)>& problemFor,
-    ExploreObserver* observer, std::uint64_t searchId) {
+    const SearchOptions& options) {
   const std::uint64_t total =
       symmetricSpace ? symmetricProtocolCount(q) : allProtocolCount(q);
+  const std::uint32_t requested = detail::resolveThreads(options.threads);
+  const std::uint32_t K = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(requested, std::max<std::uint64_t>(total, 1)));
+  const std::uint64_t searchId = options.searchId;
+
+  if (K <= 1) {
+    // Serial reference path — event-for-event identical to the historical
+    // single-threaded loop.
+    ExploreObserver* observer = options.observer;
+    const PhaseScope searchPhase(observer, searchId, "search");
+    const auto start = std::chrono::steady_clock::now();
+    // Unique id per inner exploration: high half names the search, low half
+    // counts checker invocations (see the header contract).
+    std::uint64_t exploreSeq = 0;
+
+    auto emitProgress = [&](const SearchOutcome& o, bool done) {
+      if (observer == nullptr) return;
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      SearchProgressEvent e;
+      e.searchId = searchId;
+      e.examined = o.examined;
+      e.total = total;
+      e.solvers = o.solvers;
+      e.unknown = o.unknown;
+      e.candidatesPerSec =
+          elapsed > 0.0 ? static_cast<double>(o.examined) / elapsed : 0.0;
+      e.elapsedMillis = elapsed * 1e3;
+      e.done = done;
+      observer->onSearchProgress(e);
+    };
+
+    SearchOutcome outcome;
+    for (std::uint64_t idx = 0; idx < total; ++idx) {
+      ++outcome.examined;
+      const CandidateVerdict verdict = evaluateCandidate(
+          q, n, fairness, symmetricSpace, selfStabilizing, problemFor, idx,
+          options.maxNodes, observer,
+          [&] { return (searchId << 32) | ++exploreSeq; });
+      if (verdict == CandidateVerdict::kSolves) {
+        ++outcome.solvers;
+        if (outcome.solverIndices.size() < 8) {
+          outcome.solverIndices.push_back(idx);
+        }
+      } else if (verdict == CandidateVerdict::kUnknown) {
+        ++outcome.unknown;
+      }
+      if (outcome.examined % kSearchProgressStride == 0) {
+        emitProgress(outcome, false);
+      }
+    }
+    emitProgress(outcome, true);
+    return outcome;
+  }
+
+  // Parallel dispatch: workers claim candidate indices from an atomic
+  // cursor, results are aggregated under one mutex, and solverIndices is the
+  // sorted-ascending prefix of ALL solver indices — the first witnesses by
+  // canonical candidate index, independent of completion order.
+  SerializedExploreObserver serializedStorage(options.observer);
+  ExploreObserver* observer =
+      options.observer == nullptr ? nullptr : &serializedStorage;
   const PhaseScope searchPhase(observer, searchId, "search");
   const auto start = std::chrono::steady_clock::now();
-  // Unique id per inner exploration: high half names the search, low half
-  // counts checker invocations (see the header contract).
-  std::uint64_t exploreSeq = 0;
 
-  auto emitProgress = [&](const SearchOutcome& o, bool done) {
+  std::atomic<std::uint64_t> exploreSeq{0};
+  std::atomic<std::uint64_t> cursor{0};
+  std::mutex mu;  // guards outcome, allSolvers, progress emission, firstError
+  SearchOutcome outcome;
+  std::vector<std::uint64_t> allSolvers;
+  std::exception_ptr firstError;
+
+  auto emitProgressLocked = [&](bool done) {
     if (observer == nullptr) return;
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     SearchProgressEvent e;
     e.searchId = searchId;
-    e.examined = o.examined;
+    e.examined = outcome.examined;
     e.total = total;
-    e.solvers = o.solvers;
-    e.unknown = o.unknown;
+    e.solvers = outcome.solvers;
+    e.unknown = outcome.unknown;
     e.candidatesPerSec =
-        elapsed > 0.0 ? static_cast<double>(o.examined) / elapsed : 0.0;
+        elapsed > 0.0 ? static_cast<double>(outcome.examined) / elapsed : 0.0;
     e.elapsedMillis = elapsed * 1e3;
     e.done = done;
     observer->onSearchProgress(e);
   };
 
-  SearchOutcome outcome;
-  for (std::uint64_t idx = 0; idx < total; ++idx) {
-    const TabularProtocol proto = symmetricSpace
-                                      ? decodeSymmetricProtocol(q, idx)
-                                      : decodeAnyProtocol(q, idx);
-    ++outcome.examined;
-    const Problem problem = problemFor(proto);
-
-    auto solvesFrom = [&](const std::vector<Configuration>& initials) {
-      const std::uint64_t exploreId = (searchId << 32) | ++exploreSeq;
-      if (fairness == Fairness::kGlobal) {
-        const GlobalVerdict v = checkGlobalFairness(
-            proto, problem, initials, 4'000'000, observer, exploreId);
-        if (!v.explored) return CandidateVerdict::kUnknown;
-        return v.solves ? CandidateVerdict::kSolves : CandidateVerdict::kFails;
-      }
-      const WeakVerdict v = checkWeakFairness(
-          proto, problem, initials, 4'000'000, nullptr, observer, exploreId);
-      if (!v.explored) return CandidateVerdict::kUnknown;
-      return v.solves ? CandidateVerdict::kSolves : CandidateVerdict::kFails;
-    };
-
-    CandidateVerdict verdict = CandidateVerdict::kFails;
-    if (selfStabilizing) {
-      verdict = solvesFrom(fairness == Fairness::kGlobal
-                               ? allCanonicalConfigurations(proto, n)
-                               : allConcreteConfigurations(proto, n));
-    } else {
-      // The designer may pick any single uniform initialization. Any
-      // truncated initialization leaves the candidate unknown unless a later
-      // initialization proves it a solver.
-      for (StateId s = 0; s < q && verdict != CandidateVerdict::kSolves; ++s) {
-        Configuration c;
-        c.mobile.assign(n, s);
-        const CandidateVerdict v = solvesFrom({c});
-        if (v == CandidateVerdict::kSolves ||
-            (v == CandidateVerdict::kUnknown &&
-             verdict == CandidateVerdict::kFails)) {
-          verdict = v;
+  auto worker = [&]() {
+    try {
+      for (;;) {
+        const std::uint64_t idx =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= total) break;
+        const CandidateVerdict verdict = evaluateCandidate(
+            q, n, fairness, symmetricSpace, selfStabilizing, problemFor, idx,
+            options.maxNodes, observer, [&] {
+              return (searchId << 32) |
+                     (exploreSeq.fetch_add(1, std::memory_order_relaxed) + 1);
+            });
+        const std::lock_guard<std::mutex> lock(mu);
+        ++outcome.examined;
+        if (verdict == CandidateVerdict::kSolves) {
+          ++outcome.solvers;
+          allSolvers.push_back(idx);
+        } else if (verdict == CandidateVerdict::kUnknown) {
+          ++outcome.unknown;
+        }
+        if (outcome.examined % kSearchProgressStride == 0) {
+          emitProgressLocked(false);
         }
       }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (firstError == nullptr) firstError = std::current_exception();
+      cursor.store(total, std::memory_order_relaxed);  // drain remaining work
     }
-    if (verdict == CandidateVerdict::kSolves) {
-      ++outcome.solvers;
-      if (outcome.solverIndices.size() < 8) {
-        outcome.solverIndices.push_back(idx);
-      }
-    } else if (verdict == CandidateVerdict::kUnknown) {
-      ++outcome.unknown;
-    }
-    if (outcome.examined % kSearchProgressStride == 0) {
-      emitProgress(outcome, false);
-    }
-  }
-  emitProgress(outcome, true);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(K - 1);
+  for (std::uint32_t w = 1; w < K; ++w) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+  if (firstError != nullptr) std::rethrow_exception(firstError);
+
+  std::sort(allSolvers.begin(), allSolvers.end());
+  if (allSolvers.size() > 8) allSolvers.resize(8);
+  outcome.solverIndices = std::move(allSolvers);
+  emitProgressLocked(true);
   return outcome;
+}
+
+SearchOutcome searchProblem(
+    StateId q, std::uint32_t n, Fairness fairness, bool symmetricSpace,
+    bool selfStabilizing,
+    const std::function<Problem(const Protocol&)>& problemFor,
+    ExploreObserver* observer, std::uint64_t searchId) {
+  SearchOptions options;
+  options.observer = observer;
+  options.searchId = searchId;
+  return searchProblem(q, n, fairness, symmetricSpace, selfStabilizing,
+                       problemFor, options);
 }
 
 SearchOutcome searchUniformNaming(StateId q, std::uint32_t n, Fairness fairness,
@@ -190,6 +317,15 @@ SearchOutcome searchUniformNaming(StateId q, std::uint32_t n, Fairness fairness,
                        observer, searchId);
 }
 
+SearchOutcome searchUniformNaming(StateId q, std::uint32_t n, Fairness fairness,
+                                  bool symmetricSpace,
+                                  const SearchOptions& options) {
+  return searchProblem(q, n, fairness, symmetricSpace,
+                       /*selfStabilizing=*/false,
+                       [](const Protocol& p) { return namingProblem(p); },
+                       options);
+}
+
 SearchOutcome searchSelfStabilizingNaming(StateId q, std::uint32_t n,
                                           Fairness fairness,
                                           bool symmetricSpace,
@@ -199,6 +335,16 @@ SearchOutcome searchSelfStabilizingNaming(StateId q, std::uint32_t n,
                        /*selfStabilizing=*/true,
                        [](const Protocol& p) { return namingProblem(p); },
                        observer, searchId);
+}
+
+SearchOutcome searchSelfStabilizingNaming(StateId q, std::uint32_t n,
+                                          Fairness fairness,
+                                          bool symmetricSpace,
+                                          const SearchOptions& options) {
+  return searchProblem(q, n, fairness, symmetricSpace,
+                       /*selfStabilizing=*/true,
+                       [](const Protocol& p) { return namingProblem(p); },
+                       options);
 }
 
 }  // namespace ppn

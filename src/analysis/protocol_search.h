@@ -75,6 +75,24 @@ struct SearchOutcome {
 /// candidates examined (plus a final done=true event per search).
 constexpr std::uint64_t kSearchProgressStride = 256;
 
+/// Knobs for the exhaustive searches.
+struct SearchOptions {
+  /// Node cap for every per-candidate exploration.
+  std::size_t maxNodes = 4'000'000;
+  /// Worker threads dispatching CANDIDATES (the inner explorations stay
+  /// serial — candidate-level parallelism dominates for these workloads).
+  /// 1 = today's serial loop; 0 = hardware concurrency. The outcome is
+  /// deterministic for any value: counts are exact and solverIndices holds
+  /// the smallest candidate indices, not the first completions. At
+  /// threads > 1 the observer is fed through a SerializedExploreObserver
+  /// (obs/concurrent_observer.h), so it need not be thread-safe itself, and
+  /// `problemFor` must be safe to call concurrently (the naming/counting
+  /// problem factories are).
+  std::uint32_t threads = 1;
+  ExploreObserver* observer = nullptr;
+  std::uint64_t searchId = 0;
+};
+
 /// Generic search: counts the protocols in the chosen space that solve an
 /// arbitrary configuration-level problem. `problemFor` builds the problem
 /// statement for each candidate (most problems ignore the protocol and
@@ -94,6 +112,13 @@ SearchOutcome searchProblem(
     const std::function<Problem(const Protocol&)>& problemFor,
     ExploreObserver* observer = nullptr, std::uint64_t searchId = 0);
 
+/// Options form (see SearchOptions for the threading contract).
+SearchOutcome searchProblem(
+    StateId q, std::uint32_t n, Fairness fairness, bool symmetricSpace,
+    bool selfStabilizing,
+    const std::function<Problem(const Protocol&)>& problemFor,
+    const SearchOptions& options);
+
 /// For every protocol in the chosen space, asks: does there EXIST a uniform
 /// initialization (all agents in the same state, the designer's choice) from
 /// which the protocol solves naming for a population of `n` agents under
@@ -103,6 +128,10 @@ SearchOutcome searchUniformNaming(StateId q, std::uint32_t n, Fairness fairness,
                                   ExploreObserver* observer = nullptr,
                                   std::uint64_t searchId = 0);
 
+SearchOutcome searchUniformNaming(StateId q, std::uint32_t n, Fairness fairness,
+                                  bool symmetricSpace,
+                                  const SearchOptions& options);
+
 /// Like searchUniformNaming but quantifying over ARBITRARY initialization
 /// (self-stabilizing naming): the protocol must solve from every
 /// configuration.
@@ -111,5 +140,10 @@ SearchOutcome searchSelfStabilizingNaming(StateId q, std::uint32_t n,
                                           bool symmetricSpace,
                                           ExploreObserver* observer = nullptr,
                                           std::uint64_t searchId = 0);
+
+SearchOutcome searchSelfStabilizingNaming(StateId q, std::uint32_t n,
+                                          Fairness fairness,
+                                          bool symmetricSpace,
+                                          const SearchOptions& options);
 
 }  // namespace ppn

@@ -46,4 +46,8 @@ SinkAnalysis analyzeSinks(const Protocol& proto, ExploreObserver* observer,
   return out;
 }
 
+SinkAnalysis analyzeSinks(const Protocol& proto, const ExploreOptions& options) {
+  return analyzeSinks(proto, options.observer, options.exploreId);
+}
+
 }  // namespace ppn

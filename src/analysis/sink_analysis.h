@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/explore.h"
 #include "core/protocol.h"
 #include "obs/explore_observer.h"
 
@@ -42,5 +43,10 @@ struct SinkAnalysis {
 SinkAnalysis analyzeSinks(const Protocol& proto,
                           ExploreObserver* observer = nullptr,
                           std::uint64_t exploreId = 0);
+
+/// Options form for API uniformity with the explorers/checkers: uses
+/// options.observer/exploreId. The analysis itself is O(|Q|^2) syntactic
+/// work, so options.threads is accepted but has nothing to parallelize.
+SinkAnalysis analyzeSinks(const Protocol& proto, const ExploreOptions& options);
 
 }  // namespace ppn

@@ -10,13 +10,26 @@ WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
                               const InteractionGraph* topology,
                               ExploreObserver* observer,
                               std::uint64_t exploreId) {
+  ExploreOptions options;
+  options.maxNodes = maxNodes;
+  options.topology = topology;
+  options.observer = observer;
+  options.exploreId = exploreId;
+  return checkWeakFairness(proto, problem, initials, options);
+}
+
+WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
+                              const std::vector<Configuration>& initials,
+                              const ExploreOptions& options) {
+  ExploreObserver* observer = options.observer;
+  const std::uint64_t exploreId = options.exploreId;
+  const InteractionGraph* topology = options.topology;
   const PhaseScope checkPhase(observer, exploreId, "check");
   WeakVerdict verdict;
-  const ConfigGraph graph =
-      exploreConcrete(proto, initials, maxNodes, topology, observer, exploreId);
+  const ConfigGraph graph = exploreConcrete(proto, initials, options);
   verdict.numConfigs = graph.size();
   if (graph.truncated) {
-    verdict.reason = "state space exceeded " + std::to_string(maxNodes) +
+    verdict.reason = "state space exceeded " + std::to_string(options.maxNodes) +
                      " configurations; no verdict";
     return verdict;
   }

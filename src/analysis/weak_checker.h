@@ -56,4 +56,11 @@ WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
                               ExploreObserver* observer = nullptr,
                               std::uint64_t exploreId = 0);
 
+/// Options form: forwards maxNodes/topology/observer/exploreId AND the
+/// thread count into the exploration (the SCC/verdict passes stay serial).
+/// The verdict is identical for any options.threads.
+WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
+                              const std::vector<Configuration>& initials,
+                              const ExploreOptions& options);
+
 }  // namespace ppn

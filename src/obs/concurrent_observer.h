@@ -1,0 +1,53 @@
+// Thread-safe fan-in for ExploreObservers shared by parallel analyses.
+//
+// The parallel protocol search (analysis/protocol_search.h, threads > 1) runs
+// one checker per worker, all forwarding into a single user-supplied
+// observer. Sinks designed for the simulation substrate (JsonlEventSink,
+// ChromeTraceObserver) are internally locked, but the ExploreObserver
+// contract itself never promised thread-safety, and some implementations
+// keep cross-event state (MetricsExploreObserver's search-delta tracking,
+// ad-hoc test collectors). SerializedExploreObserver restores the
+// single-threaded contract by serializing every hook behind one mutex: the
+// inner observer sees a linearized event stream exactly as if the analyses
+// had run sequentially interleaved.
+#pragma once
+
+#include <mutex>
+
+#include "obs/explore_observer.h"
+
+namespace ppn {
+
+/// Mutex fan-in adapter. The inner observer is borrowed and must outlive
+/// this object; it must not be fed from elsewhere concurrently.
+class SerializedExploreObserver final : public ExploreObserver {
+ public:
+  explicit SerializedExploreObserver(ExploreObserver* inner) : inner_(inner) {}
+
+  void onExploreProgress(const ExploreProgressEvent& e) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inner_->onExploreProgress(e);
+  }
+  void onPhaseStart(const ExplorePhaseStartEvent& e) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inner_->onPhaseStart(e);
+  }
+  void onPhaseEnd(const ExplorePhaseEndEvent& e) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inner_->onPhaseEnd(e);
+  }
+  void onTruncated(const ExploreTruncatedEvent& e) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inner_->onTruncated(e);
+  }
+  void onSearchProgress(const SearchProgressEvent& e) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inner_->onSearchProgress(e);
+  }
+
+ private:
+  ExploreObserver* inner_;
+  std::mutex mu_;
+};
+
+}  // namespace ppn
