@@ -33,11 +33,23 @@ With --trace FILE, also validates a Chrome trace_event export:
     naming the innermost open B;
   * every track that carries events has thread_name metadata.
 
+Campaign family (the E24 acceptance contract — campaign_runner):
+  * exactly one campaign_start (first campaign event) and one campaign_end
+    (last event of the stream);
+  * unit_end at most once per unit with a known status; unit_retry attempts
+    strictly increase per unit; at most one unit_failed per unit;
+  * shard_exit events never outnumber shard_spawn events per shard;
+  * for a fresh (not resumed), uninterrupted campaign the unit_end lines
+    cover exactly campaign_end.total units and the completed/failed rollups
+    match the per-unit statuses, and every unit_start reaches a unit_end.
+
 Every JSONL line must parse as a JSON object with an "event" discriminator
 and an "elapsed_ms" timestamp.
 
-Usage: check_telemetry.py events.jsonl metrics.json [table.json]
+Usage: check_telemetry.py events.jsonl [metrics.json] [table.json]
                           [--trace trace.json]
+(metrics.json is required when run/explore events are present; a pure
+campaign stream validates standalone.)
 """
 import json
 import sys
@@ -51,7 +63,13 @@ EXPLORE_EVENTS = {
     "explore_progress", "phase_start", "phase_end", "explore_truncated",
     "search_progress",
 }
-KNOWN_EVENTS = RUN_EVENTS | EXPLORE_EVENTS
+CAMPAIGN_EVENTS = {
+    "campaign_start", "campaign_end", "shard_spawn", "shard_exit",
+    "unit_start", "unit_end", "unit_retry", "unit_failed",
+}
+KNOWN_EVENTS = RUN_EVENTS | EXPLORE_EVENTS | CAMPAIGN_EVENTS
+
+UNIT_STATUSES = ("ok", "degraded", "skipped", "failed")
 
 
 def fail(msg):
@@ -194,6 +212,96 @@ def check_explore_family(events_path, events):
     return done_explorations, len(last_search)
 
 
+def check_campaign_family(events_path, events):
+    """Orchestrator lifecycle: one campaign, consistent unit bookkeeping."""
+    campaign = [(l, o) for l, o in events
+                if o["event"] in CAMPAIGN_EVENTS]
+    starts = [(l, o) for l, o in campaign if o["event"] == "campaign_start"]
+    ends = [(l, o) for l, o in campaign if o["event"] == "campaign_end"]
+    if len(starts) != 1:
+        fail(f"{events_path}: {len(starts)} campaign_start events (want 1)")
+    if len(ends) != 1:
+        fail(f"{events_path}: {len(ends)} campaign_end events (want 1)")
+    if campaign[0][1]["event"] != "campaign_start":
+        fail(f"{events_path}:{campaign[0][0]}: campaign stream does not open "
+             f"with campaign_start")
+    if events[-1][1]["event"] != "campaign_end":
+        fail(f"{events_path}: last event is {events[-1][1]['event']!r}, "
+             f"not campaign_end")
+    start, end = starts[0][1], ends[0][1]
+    for field in ("units", "shards", "workers", "resumed"):
+        if field not in start:
+            fail(f"{events_path}:{starts[0][0]}: campaign_start missing "
+                 f"{field}")
+    for field in ("completed", "failed", "total", "interrupted"):
+        if field not in end:
+            fail(f"{events_path}:{ends[0][0]}: campaign_end missing {field}")
+
+    unit_end = {}            # unit -> status
+    started_units = set()
+    retry_attempts = {}      # unit -> last reported attempt
+    failed_units = set()
+    spawns, exits = Counter(), Counter()
+    for lineno, obj in campaign:
+        kind = obj["event"]
+        if kind == "shard_spawn":
+            for field in ("shard", "pid", "spawn"):
+                if field not in obj:
+                    fail(f"{events_path}:{lineno}: shard_spawn missing "
+                         f"{field}")
+            spawns[obj["shard"]] += 1
+        elif kind == "shard_exit":
+            exits[obj["shard"]] += 1
+        elif kind == "unit_start":
+            started_units.add(obj["unit"])
+        elif kind == "unit_end":
+            if obj["unit"] in unit_end:
+                fail(f"{events_path}:{lineno}: duplicate unit_end for unit "
+                     f"{obj['unit']}")
+            if obj.get("status") not in UNIT_STATUSES:
+                fail(f"{events_path}:{lineno}: unit_end status "
+                     f"{obj.get('status')!r} not in {UNIT_STATUSES}")
+            unit_end[obj["unit"]] = obj["status"]
+        elif kind == "unit_retry":
+            for field in ("unit", "attempt", "backoff_ms", "reason"):
+                if field not in obj:
+                    fail(f"{events_path}:{lineno}: unit_retry missing "
+                         f"{field}")
+            prev = retry_attempts.get(obj["unit"], 0)
+            if obj["attempt"] <= prev:
+                fail(f"{events_path}:{lineno}: unit {obj['unit']} retry "
+                     f"attempt {obj['attempt']} not greater than {prev}")
+            retry_attempts[obj["unit"]] = obj["attempt"]
+        elif kind == "unit_failed":
+            if obj["unit"] in failed_units:
+                fail(f"{events_path}:{lineno}: duplicate unit_failed for "
+                     f"unit {obj['unit']}")
+            failed_units.add(obj["unit"])
+
+    for shard, n in exits.items():
+        if n > spawns[shard]:
+            fail(f"{events_path}: shard {shard} has {n} exits but only "
+                 f"{spawns[shard]} spawns")
+
+    if not end["interrupted"] and not start["resumed"]:
+        # A fresh uninterrupted campaign accounts for every unit in-stream.
+        # (A resumed session only re-observes units it executed itself.)
+        if len(unit_end) != end["total"]:
+            fail(f"{events_path}: {len(unit_end)} unit_end events but "
+                 f"campaign_end.total={end['total']}")
+        completed = sum(1 for s in unit_end.values() if s != "failed")
+        failed = sum(1 for s in unit_end.values() if s == "failed")
+        if completed != end["completed"] or failed != end["failed"]:
+            fail(f"{events_path}: campaign_end says "
+                 f"completed={end['completed']} failed={end['failed']}, "
+                 f"unit_end statuses say {completed}/{failed}")
+        missing = started_units - set(unit_end)
+        if missing:
+            fail(f"{events_path}: units started but never ended: "
+                 f"{sorted(missing)[:5]}")
+    return len(unit_end), len(failed_units), sum(spawns.values())
+
+
 def check_trace(trace_path):
     """Structural validation of a Chrome trace_event export."""
     with open(trace_path, encoding="utf-8") as f:
@@ -271,17 +379,19 @@ def main(argv):
         else:
             positional.append(argv[i])
             i += 1
-    if len(positional) < 2:
-        fail(f"usage: {argv[0]} events.jsonl metrics.json [table.json] "
+    if len(positional) < 1:
+        fail(f"usage: {argv[0]} events.jsonl [metrics.json] [table.json] "
              f"[--trace trace.json]")
-    events_path, metrics_path = positional[0], positional[1]
+    events_path = positional[0]
+    metrics_path = positional[1] if len(positional) > 1 else None
     table_path = positional[2] if len(positional) > 2 else None
 
     events = load_events(events_path)
     kinds = Counter(obj["event"] for _, obj in events)
     has_runs = any(k in RUN_EVENTS for k in kinds)
     has_explore = any(k in EXPLORE_EVENTS for k in kinds)
-    if not has_runs and not has_explore:
+    has_campaign = any(k in CAMPAIGN_EVENTS for k in kinds)
+    if not has_runs and not has_explore and not has_campaign:
         fail("event stream is empty")
 
     ends = Counter()
@@ -290,31 +400,38 @@ def main(argv):
     explorations, searches = 0, 0
     if has_explore:
         explorations, searches = check_explore_family(events_path, events)
+    unit_ends, unit_fails, shard_spawns = 0, 0, 0
+    if has_campaign:
+        unit_ends, unit_fails, shard_spawns = check_campaign_family(
+            events_path, events)
 
-    with open(metrics_path, encoding="utf-8") as f:
-        metrics = json.load(f)
-    if metrics.get("kind") != "ppn-metrics":
-        fail(f"{metrics_path}: unexpected kind {metrics.get('kind')!r}")
-    counters = metrics.get("counters", {})
-    expectations = []
-    if has_runs:
-        expectations += [
-            ("runs_started", sum(ends.values())),
-            ("runs_ended", sum(ends.values())),
-            ("faults_injected", kinds["fault_injected"]),
-            ("watchdog_aborts", kinds["watchdog_abort"]),
-        ]
-    if has_explore:
-        expectations += [
-            ("explorations", explorations),
-            ("explorations_truncated", kinds["explore_truncated"]),
-            ("explore_phases", kinds["phase_end"]),
-        ]
-    for name, expected in expectations:
-        got = counters.get(name)
-        if got != expected:
-            fail(f"{metrics_path}: counter {name}={got}, "
-                 f"event stream says {expected}")
+    if (has_runs or has_explore) and metrics_path is None:
+        fail("run/explore events present but no metrics.json argument")
+    if metrics_path is not None:
+        with open(metrics_path, encoding="utf-8") as f:
+            metrics = json.load(f)
+        if metrics.get("kind") != "ppn-metrics":
+            fail(f"{metrics_path}: unexpected kind {metrics.get('kind')!r}")
+        counters = metrics.get("counters", {})
+        expectations = []
+        if has_runs:
+            expectations += [
+                ("runs_started", sum(ends.values())),
+                ("runs_ended", sum(ends.values())),
+                ("faults_injected", kinds["fault_injected"]),
+                ("watchdog_aborts", kinds["watchdog_abort"]),
+            ]
+        if has_explore:
+            expectations += [
+                ("explorations", explorations),
+                ("explorations_truncated", kinds["explore_truncated"]),
+                ("explore_phases", kinds["phase_end"]),
+            ]
+        for name, expected in expectations:
+            got = counters.get(name)
+            if got != expected:
+                fail(f"{metrics_path}: counter {name}={got}, "
+                     f"event stream says {expected}")
 
     if table_path:
         with open(table_path, encoding="utf-8") as f:
@@ -347,8 +464,12 @@ def main(argv):
                      f"{kinds['fault_injected']} faults")
     if has_explore:
         parts.append(f"{explorations} explorations, {searches} searches")
+    if has_campaign:
+        parts.append(f"{unit_ends} units ({unit_fails} failed, "
+                     f"{shard_spawns} shard spawns)")
+    metrics_note = ", metrics consistent" if metrics_path else ""
     print(f"check_telemetry: OK — {', '.join(parts)}, "
-          f"{sum(kinds.values())} events, metrics consistent{trace_note}")
+          f"{sum(kinds.values())} events{metrics_note}{trace_note}")
     return 0
 
 

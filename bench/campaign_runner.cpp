@@ -1,0 +1,345 @@
+// E24: crash-safe campaign orchestration — runs the robustness-table sweep
+// (and optionally the Table 1 feasibility cells) as a sharded, checkpointed,
+// retry-with-backoff campaign of worker processes.
+//
+//   ./campaign_runner run    --out DIR [grid flags] [orchestrator flags]
+//   ./campaign_runner resume --out DIR [orchestrator flags]
+//   ./campaign_runner merge  --out DIR
+//   ./campaign_runner status --out DIR
+//
+// `run` expands the manifest (grid flags mirror robustness_table; add
+// --table1-p to include the Table 1 cells) into deterministic work units with
+// pre-drawn seeds, persists it to DIR/manifest.json, and drives --workers
+// forked shard processes over it. Shards checkpoint after every unit, so a
+// crashed/killed/hung shard (see --stall-timeout-ms) is respawned with capped
+// exponential backoff and resumes from its last completed unit; a unit that
+// keeps killing its shard is blacklisted after --max-attempts and surfaces as
+// a FAILED cell instead of sinking the campaign. SIGINT/SIGTERM checkpoint
+// and exit; `resume` picks up exactly where the campaign stopped, and the
+// merged output is byte-identical to an uninterrupted run.
+//
+// `merge` verifies every shard artifact's checksum footer (refusing torn or
+// tampered inputs), then rebuilds DIR/merged.jsonl, DIR/robustness_table.json
+// (byte-identical to robustness_table --json when no unit failed),
+// DIR/table1.json, and DIR/summary.json.
+//
+// Orchestrator telemetry (campaign_start/shard_spawn/shard_exit/unit_start/
+// unit_end/unit_retry/unit_failed/campaign_end) streams to DIR/events.jsonl
+// (one file per session; a resume starts a fresh stream).
+//
+// Exit codes: 0 clean; 2 units failed / table not certified; 130 interrupted;
+// 1 usage or integrity errors.
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/artifact.h"
+#include "campaign/manifest.h"
+#include "campaign/merge.h"
+#include "campaign/orchestrator.h"
+#include "faults/certify.h"
+#include "naming/registry.h"
+#include "obs/events.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+namespace {
+
+std::vector<std::string> parseList(const std::string& csv) {
+  std::vector<std::string> out;
+  for (const auto& item : ppn::split(csv, ',')) {
+    const auto trimmed = ppn::trim(item);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+struct OrchestratorFlags {
+  const std::uint64_t* workers;
+  const std::uint64_t* maxAttempts;
+  const std::uint64_t* backoffMs;
+  const std::uint64_t* backoffCapMs;
+  const std::uint64_t* stallTimeoutMs;
+  const std::uint64_t* pollMs;
+  const bool* mergeAfter;
+};
+
+OrchestratorFlags addOrchestratorFlags(ppn::Cli& cli) {
+  OrchestratorFlags f;
+  f.workers = cli.addUint("workers", "concurrent shard processes", 2);
+  f.maxAttempts =
+      cli.addUint("max-attempts", "attempts per unit before blacklisting", 3);
+  f.backoffMs = cli.addUint("backoff-ms", "initial respawn backoff", 100);
+  f.backoffCapMs = cli.addUint("backoff-cap-ms", "backoff ceiling", 5'000);
+  f.stallTimeoutMs = cli.addUint(
+      "stall-timeout-ms",
+      "SIGKILL a shard whose checkpoint stops growing for this long (0 = off)",
+      0);
+  f.pollMs = cli.addUint("poll-ms", "orchestrator poll interval", 25);
+  f.mergeAfter = cli.addFlag("merge", "merge artifacts after completion");
+  return f;
+}
+
+int runMerge(const std::string& outDir) {
+  try {
+    const ppn::MergeSummary summary = ppn::mergeCampaign(outDir);
+    std::printf("merged %llu units: %llu ok, %llu degraded, %llu skipped, "
+                "%zu failed\n",
+                static_cast<unsigned long long>(summary.totalUnits),
+                static_cast<unsigned long long>(summary.okUnits),
+                static_cast<unsigned long long>(summary.degradedUnits),
+                static_cast<unsigned long long>(summary.skippedUnits),
+                summary.failedUnits.size());
+    std::printf("robustness table: %s\n",
+                summary.robustnessCertified ? "certified" : "NOT certified");
+    if (summary.hasTable1) {
+      std::printf("table 1: %s\n", summary.table1Overall ? "pass" : "FAIL");
+    }
+    std::printf("outputs: %s\n          %s\n          %s\n",
+                ppn::mergedUnitsPath(outDir).c_str(),
+                ppn::mergedRobustnessTablePath(outDir).c_str(),
+                ppn::campaignSummaryPath(outDir).c_str());
+    const bool clean = summary.clean() && summary.robustnessCertified &&
+                       (!summary.hasTable1 || summary.table1Overall);
+    return clean ? 0 : 2;
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 1;
+  }
+}
+
+int runOrchestrate(int argc, const char* const* argv, bool resume) {
+  ppn::Cli cli(resume ? "campaign_runner resume" : "campaign_runner run",
+               resume ? "resume an interrupted campaign"
+                      : "expand a manifest and orchestrate shard workers");
+  const auto* outDir = cli.addString("out", "campaign directory", "");
+  const auto* manifestFile = cli.addString(
+      "manifest", "load the manifest from this JSON file (run only)", "");
+  // Grid flags (mirroring robustness_table; ignored on resume).
+  const auto* pops = cli.addString("pops", "population sizes (csv)", "4,6");
+  const auto* protocolsFlag =
+      cli.addString("protocols", "registry keys (csv; empty = all)", "");
+  const auto* regimesFlag = cli.addString(
+      "regimes", "fault regimes (csv)",
+      "poisson-transient,churn,targeted-adversary,stuck-agent");
+  const auto* schedulersFlag =
+      cli.addString("schedulers", "schedulers (csv)", "random");
+  const auto* runs = cli.addUint("runs", "campaigns per cell", 24);
+  const auto* seed = cli.addUint("seed", "rng seed", 2026);
+  const auto* window =
+      cli.addUint("fault-window", "interactions under fault", 20'000);
+  const auto* rate =
+      cli.addDouble("rate", "poisson/churn per-interaction fault rate", 0.005);
+  const auto* period =
+      cli.addUint("period", "periodic/targeted fault period", 500);
+  const auto* corruptFraction =
+      cli.addDouble("corrupt-fraction", "agents corrupted per event / N", 0.5);
+  const auto* maxWall = cli.addUint(
+      "max-wall-millis",
+      "per-run watchdog (0 = off, keeps results bitwise deterministic)", 0);
+  const auto* threads =
+      cli.addUint("threads", "worker threads inside each shard", 1);
+  const auto* shards = cli.addUint("shards", "work-unit stripes", 4);
+  const auto* table1P = cli.addUint(
+      "table1-p", "also check the Table 1 cells at this bound (0 = skip)", 0);
+  const auto* name = cli.addString("name", "campaign name", "campaign");
+  const auto* eventsOut = cli.addString(
+      "events-out", "orchestrator JSONL telemetry (default DIR/events.jsonl; "
+                    "\"-\" disables)", "");
+  const OrchestratorFlags orch = addOrchestratorFlags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  if (outDir->empty()) {
+    std::fprintf(stderr, "campaign_runner: --out is required\n");
+    return 1;
+  }
+
+  ppn::CampaignManifest manifest;
+  try {
+    if (resume) {
+      manifest =
+          ppn::loadCampaignManifest(ppn::campaignManifestPath(*outDir));
+    } else if (!manifestFile->empty()) {
+      manifest = ppn::loadCampaignManifest(*manifestFile);
+    } else {
+      manifest.name = *name;
+      ppn::CertifySpec& spec = manifest.certify;
+      spec.protocols = parseList(*protocolsFlag);
+      spec.populations.clear();
+      for (const auto& s : parseList(*pops)) {
+        const auto v = ppn::parseU64(s);
+        if (!v.has_value() || *v < 2) {
+          std::fprintf(stderr, "campaign_runner: bad population '%s'\n",
+                       s.c_str());
+          return 1;
+        }
+        spec.populations.push_back(static_cast<std::uint32_t>(*v));
+      }
+      spec.regimes.clear();
+      for (const auto& s : parseList(*regimesFlag)) {
+        spec.regimes.push_back(ppn::parseFaultRegime(s));
+      }
+      spec.schedulers.clear();
+      for (const auto& s : parseList(*schedulersFlag)) {
+        spec.schedulers.push_back(ppn::parseSchedulerKind(s));
+      }
+      for (const auto& key : spec.protocols) {
+        ppn::isSelfStabilizing(key);  // validates keys before any fork
+      }
+      if (*runs == 0) {
+        std::fprintf(stderr, "campaign_runner: --runs must be >= 1\n");
+        return 1;
+      }
+      spec.runs = static_cast<std::uint32_t>(*runs);
+      spec.seed = *seed;
+      spec.faultWindow = *window;
+      spec.faultRate = *rate;
+      spec.faultPeriod = *period;
+      spec.corruptFraction = *corruptFraction;
+      spec.limits.maxWallMillis = *maxWall;
+      spec.threads = static_cast<std::uint32_t>(*threads);
+      manifest.shards = static_cast<std::uint32_t>(*shards);
+      if (*table1P != 0 && (*table1P < 2 || *table1P > 4)) {
+        std::fprintf(stderr, "campaign_runner: --table1-p must be 0 or 2..4\n");
+        return 1;
+      }
+      manifest.table1P = static_cast<ppn::StateId>(*table1P);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 1;
+  }
+
+  ppn::OrchestratorOptions options;
+  options.workers = static_cast<std::uint32_t>(*orch.workers);
+  options.maxAttempts = static_cast<std::uint32_t>(*orch.maxAttempts);
+  options.backoffMillis = *orch.backoffMs;
+  options.backoffCapMillis = *orch.backoffCapMs;
+  options.stallTimeoutMillis = *orch.stallTimeoutMs;
+  options.pollMillis = *orch.pollMs;
+  options.resume = resume;
+
+  std::unique_ptr<ppn::JsonlEventSink> sink;
+  try {
+    ppn::ensureCampaignLayout(*outDir);
+    const std::string eventsPath =
+        eventsOut->empty() ? ppn::campaignEventsPath(*outDir) : *eventsOut;
+    if (eventsPath != "-") {
+      sink = std::make_unique<ppn::JsonlEventSink>(eventsPath);
+      options.sink = sink.get();
+    }
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 1;
+  }
+
+  ppn::OrchestratorOutcome outcome;
+  try {
+    outcome = ppn::orchestrateCampaign(manifest, *outDir, options);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 1;
+  }
+  if (sink) sink->close();
+
+  std::printf("campaign %s: %llu/%llu units completed, %llu failed, "
+              "%u shard restarts\n",
+              outcome.interrupted ? "INTERRUPTED" : "finished",
+              static_cast<unsigned long long>(outcome.completedUnits),
+              static_cast<unsigned long long>(outcome.totalUnits),
+              static_cast<unsigned long long>(outcome.failedUnits),
+              outcome.shardRestarts);
+  if (outcome.interrupted) {
+    std::printf("resume with: campaign_runner resume --out %s\n",
+                outDir->c_str());
+    return 130;
+  }
+  if (*orch.mergeAfter) return runMerge(*outDir);
+  return outcome.failedUnits == 0 ? 0 : 2;
+}
+
+int runStatus(int argc, const char* const* argv) {
+  ppn::Cli cli("campaign_runner status", "report campaign progress");
+  const auto* outDir = cli.addString("out", "campaign directory", "");
+  if (!cli.parse(argc, argv)) return 1;
+  if (outDir->empty()) {
+    std::fprintf(stderr, "campaign_runner: --out is required\n");
+    return 1;
+  }
+  try {
+    const ppn::CampaignManifest manifest =
+        ppn::loadCampaignManifest(ppn::campaignManifestPath(*outDir));
+    const auto units = ppn::expandManifest(manifest);
+    std::printf("campaign '%s': %zu units over %u shards\n",
+                manifest.name.c_str(), units.size(), manifest.shards);
+    std::uint64_t done = 0;
+    for (std::uint32_t shard = 0; shard < manifest.shards; ++shard) {
+      std::uint64_t assigned = 0;
+      for (const auto& unit : units) {
+        if (ppn::unitShard(manifest, unit.id) == shard) ++assigned;
+      }
+      const auto finalArtifact =
+          ppn::readJsonlArtifact(ppn::shardFinalPath(*outDir, shard));
+      if (finalArtifact.ok()) {
+        std::printf("  shard %03u: done (%zu units)\n", shard,
+                    finalArtifact.lines.size());
+        done += finalArtifact.lines.size();
+        continue;
+      }
+      const std::string partial = ppn::shardPartialPath(*outDir, shard);
+      std::uint64_t checkpointed = 0;
+      if (std::filesystem::exists(partial)) {
+        try {
+          checkpointed = ppn::readJsonlTolerant(partial).lines.size();
+        } catch (const std::runtime_error&) {
+          std::printf("  shard %03u: CORRUPT checkpoint (will recompute)\n",
+                      shard);
+          continue;
+        }
+      }
+      done += checkpointed;
+      std::printf("  shard %03u: in progress (%llu/%llu units "
+                  "checkpointed)\n",
+                  shard, static_cast<unsigned long long>(checkpointed),
+                  static_cast<unsigned long long>(assigned));
+    }
+    std::printf("total: %llu/%zu units durable\n",
+                static_cast<unsigned long long>(done), units.size());
+    std::printf("merged: %s\n",
+                ppn::readJsonlArtifact(ppn::mergedUnitsPath(*outDir)).ok()
+                    ? "yes"
+                    : "no");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string sub = argc >= 2 ? argv[1] : "";
+  if (sub == "run" || sub == "resume") {
+    return runOrchestrate(argc - 1, argv + 1, sub == "resume");
+  }
+  if (sub == "merge") {
+    ppn::Cli cli("campaign_runner merge",
+                 "verify shard artifacts and rebuild the merged documents");
+    const auto* outDir = cli.addString("out", "campaign directory", "");
+    if (!cli.parse(argc - 1, argv + 1)) return 1;
+    if (outDir->empty()) {
+      std::fprintf(stderr, "campaign_runner: --out is required\n");
+      return 1;
+    }
+    return runMerge(*outDir);
+  }
+  if (sub == "status") return runStatus(argc - 1, argv + 1);
+  std::fprintf(stderr,
+               "usage: campaign_runner <run|resume|merge|status> [options]\n"
+               "       campaign_runner <subcommand> --help\n");
+  return 1;
+}

@@ -30,16 +30,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "analysis/global_checker.h"
-#include "analysis/initial_sets.h"
-#include "analysis/protocol_search.h"
-#include "analysis/weak_checker.h"
-#include "naming/asymmetric_naming.h"
-#include "naming/counting_protocol.h"
-#include "naming/global_leader_naming.h"
-#include "naming/leader_uniform_naming.h"
-#include "naming/selfstab_weak_naming.h"
-#include "naming/symmetric_global_naming.h"
+#include "analysis/table1.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/probes.h"
@@ -49,103 +40,7 @@
 #include "util/json.h"
 #include "util/table.h"
 
-namespace {
-
 using namespace ppn;
-
-/// Tri-state check outcome: a truncated exploration decides NOTHING — the
-/// missing part of the configuration graph may hold either a violation or
-/// the last piece of the proof.
-enum class Check { kPass, kFail, kUnknown };
-
-/// Conjunction over sub-checks: any failure is conclusive (one real
-/// counterexample sinks the claim), otherwise any unknown taints the cell.
-Check operator&(Check a, Check b) {
-  if (a == Check::kFail || b == Check::kFail) return Check::kFail;
-  if (a == Check::kUnknown || b == Check::kUnknown) return Check::kUnknown;
-  return Check::kPass;
-}
-
-/// Negation for impossibility cells: the candidate FAILING to solve is the
-/// expected (passing) outcome. Unknown stays unknown.
-Check expectFail(Check solves) {
-  if (solves == Check::kUnknown) return Check::kUnknown;
-  return solves == Check::kFail ? Check::kPass : Check::kFail;
-}
-
-const char* verdictName(Check c) {
-  switch (c) {
-    case Check::kPass:
-      return "pass";
-    case Check::kFail:
-      return "fail";
-    case Check::kUnknown:
-      return "unknown";
-  }
-  return "?";
-}
-
-struct CellResult {
-  std::string cell;
-  std::string claim;
-  std::string mechanism;
-  std::string states;
-  Check verdict = Check::kUnknown;
-};
-
-struct Checks {
-  ExploreObserver* observer = nullptr;
-  std::uint32_t threads = 1;
-  std::uint64_t nextExplore = 0;   // direct checker invocations
-  std::uint64_t nextSearch = 256;  // exhaustive searches (disjoint id range:
-                                   // inner explorations get searchId << 32)
-
-  ExploreOptions exploreOptions() {
-    ExploreOptions options;
-    options.maxNodes = 8'000'000;
-    options.threads = threads;
-    options.observer = observer;
-    options.exploreId = ++nextExplore;
-    return options;
-  }
-
-  Check weakSolves(const Protocol& proto,
-                   const std::vector<Configuration>& initials,
-                   const Problem& problem) {
-    const WeakVerdict v =
-        checkWeakFairness(proto, problem, initials, exploreOptions());
-    if (!v.explored) return Check::kUnknown;
-    return v.solves ? Check::kPass : Check::kFail;
-  }
-
-  Check weakSolves(const Protocol& proto,
-                   const std::vector<Configuration>& initials) {
-    return weakSolves(proto, initials, namingProblem(proto));
-  }
-
-  Check globalSolves(const Protocol& proto,
-                     const std::vector<Configuration>& initials) {
-    const GlobalVerdict v = checkGlobalFairness(proto, namingProblem(proto),
-                                                initials, exploreOptions());
-    if (!v.explored) return Check::kUnknown;
-    return v.solves ? Check::kPass : Check::kFail;
-  }
-
-  /// "No solver exists" via exhaustive search: conclusive only when every
-  /// candidate was fully checked (outcome.unknown == 0).
-  Check searchEmpty(StateId q, std::uint32_t n, Fairness fairness) {
-    SearchOptions options;
-    options.threads = threads;
-    options.observer = observer;
-    options.searchId = ++nextSearch;
-    const SearchOutcome out =
-        searchUniformNaming(q, n, fairness, /*symmetricSpace=*/true, options);
-    if (out.solvers > 0) return Check::kFail;
-    return out.unknown > 0 ? Check::kUnknown : Check::kPass;
-  }
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   Cli cli("table1_feasibility", "regenerates the paper's Table 1");
@@ -201,167 +96,47 @@ int main(int argc, char** argv) {
     reporter = std::make_unique<ExploreProgressReporter>(8'000'000);
     observers.add(reporter.get());
   }
-  Checks checks;
-  checks.observer = observers.empty() ? nullptr : &observers;
-  checks.threads = static_cast<std::uint32_t>(*threads);
-
-  std::vector<CellResult> results;
-
-  // ---- Column: asymmetric rules (weak/global fairness), all leader rows.
-  // Prop 12: P states, no leader, self-stabilizing.
-  {
-    const AsymmetricNaming proto(p);
-    const Check okWeak =
-        checks.weakSolves(proto, allConcreteConfigurations(proto, p));
-    const Check okGlobal =
-        checks.globalSolves(proto, allCanonicalConfigurations(proto, p));
-    results.push_back({"any leader row / asymmetric / weak+global",
-                       "Prop 12: possible with P states (self-stabilizing)",
-                       "weak+global checkers, arbitrary init, N=P",
-                       "P", okWeak & okGlobal});
-  }
-
-  // ---- Cell: no leader / symmetric / weak — impossible (Prop 1).
-  {
-    const SymmetricGlobalNaming candidate(p);
-    const Check solves = checks.weakSolves(
-        candidate, allUniformInitials(candidate, p), namingProblem(candidate));
-    const Check empty = checks.searchEmpty(2, 2, Fairness::kWeak);
-    results.push_back(
-        {"no leader / symmetric / weak",
-         "Prop 1: impossible",
-         "adversary found vs P+1-state candidate; exhaustive search @ Q=2",
-         "-", expectFail(solves) & empty});
-  }
-
-  // ---- Cell: no leader / symmetric / global — P+1 states (Prop 13 + Prop 2).
-  {
-    const SymmetricGlobalNaming proto(p);
-    Check ok = proto.numMobileStates() == p + 1 ? Check::kPass : Check::kFail;
-    for (std::uint32_t n = 3; n <= p && ok == Check::kPass; ++n) {
-      ok = ok & checks.globalSolves(proto, allCanonicalConfigurations(proto, n));
-    }
-    const Check lower = checks.searchEmpty(2, 2, Fairness::kGlobal);
-    results.push_back({"no leader / symmetric / global",
-                       "Prop 13: P+1 states; Prop 2: P states impossible",
-                       "global checker (N=3..P); exhaustive P-state search @ Q=2",
-                       "P+1", ok & lower});
-  }
-
-  // ---- Cells: non-initialized leader / symmetric (weak and global) — P+1
-  // states (Prop 16; lower bound Prop 4).
-  {
-    const SelfStabWeakNaming proto(p);
-    Check ok = proto.numMobileStates() == p + 1 ? Check::kPass : Check::kFail;
-    for (std::uint32_t n = 1; n <= p && ok == Check::kPass; ++n) {
-      ok = ok & checks.weakSolves(proto, allConcreteConfigurations(proto, n));
-    }
-    results.push_back({"non-init leader / symmetric / weak+global",
-                       "Prop 16: P+1 states (self-stabilizing, leader too)",
-                       "weak checker, arbitrary mobile+leader init, N=1..P",
-                       "P+1", ok});
-  }
-
-  // ---- Cell: initialized leader / symmetric / weak / initialized agents —
-  // P states (Prop 14).
-  {
-    const LeaderUniformNaming proto(p);
-    Check ok = proto.numMobileStates() == p ? Check::kPass : Check::kFail;
-    for (std::uint32_t n = 1; n <= p && ok == Check::kPass; ++n) {
-      ok = ok & checks.weakSolves(proto, declaredUniformInitials(proto, n));
-    }
-    results.push_back({"init leader / symmetric / weak / init agents",
-                       "Prop 14: P states",
-                       "weak checker from declared uniform init, N=1..P",
-                       "P", ok});
-  }
-
-  // ---- Cell: initialized leader / symmetric / weak / NON-init agents —
-  // P+1 states (Prop 16); P states impossible (Theorem 11).
-  {
-    const GlobalLeaderNaming candidate(p);  // the natural P-state candidate
-    const Check solves = checks.weakSolves(
-        candidate, allConcreteConfigurations(candidate, p));
-    results.push_back({"init leader / symmetric / weak / non-init agents",
-                       "Thm 11: P states impossible (P+1 needed, via Prop 16)",
-                       "weak checker defeats the P-state Protocol 3 at N=P",
-                       "P+1", expectFail(solves)});
-  }
-
-  // ---- Cell: initialized leader / symmetric / global — P states (Prop 17).
-  {
-    const GlobalLeaderNaming proto(p);
-    Check ok = proto.numMobileStates() == p ? Check::kPass : Check::kFail;
-    for (std::uint32_t n = 1; n <= p && ok == Check::kPass; ++n) {
-      ok = ok & checks.globalSolves(proto, allCanonicalConfigurations(proto, n));
-    }
-    results.push_back({"init leader / symmetric / global",
-                       "Prop 17: P states",
-                       "global checker, arbitrary mobile init, N=1..P",
-                       "P", ok});
-  }
-
-  // ---- Substrate: Theorem 15 (Protocol 1 counting + by-product naming).
-  {
-    const CountingProtocol proto(p);
-    Check ok = Check::kPass;
-    for (std::uint32_t n = 1; n <= p && ok == Check::kPass; ++n) {
-      ok = ok & checks.weakSolves(proto, allConcreteConfigurations(proto, n),
-                                  countingProblem(proto, n));
-      if (ok == Check::kPass && n < p) {
-        ok = ok & checks.weakSolves(proto, allConcreteConfigurations(proto, n));
-      }
-    }
-    results.push_back({"substrate: counting (Protocol 1)",
-                       "Thm 15: counts N<=P, names N<P, P states",
-                       "weak checker: counting N=1..P, naming N=1..P-1",
-                       "P", ok});
+  // The cells live in analysis/table1.h so campaign shards (src/campaign/)
+  // can execute them one unit at a time; running them here in index order
+  // with per-cell id ranges produces the same document either way.
+  std::vector<Table1CellResult> results;
+  results.reserve(table1CellCount());
+  for (std::uint32_t i = 0; i < table1CellCount(); ++i) {
+    Table1Options options;
+    options.threads = static_cast<std::uint32_t>(*threads);
+    options.observer = observers.empty() ? nullptr : &observers;
+    options.exploreIdBase = i * kTable1IdStride;
+    options.searchIdBase = 256 + i * kTable1IdStride;
+    results.push_back(runTable1Cell(i, p, options));
   }
 
   Table table({"Table 1 cell", "paper claim", "checked by", "states", "result"});
   bool allPass = true;
   for (const auto& r : results) {
-    if (r.verdict == Check::kUnknown) {
+    if (r.verdict == Table1Check::kUnknown) {
       std::fprintf(stderr,
                    "table1_feasibility: WARNING: exploration budget exhausted "
                    "in cell '%s'; verdict unknown (raise the node cap)\n",
                    r.cell.c_str());
     }
     table.row().cell(r.cell).cell(r.claim).cell(r.mechanism).cell(r.states)
-        .cell(r.verdict == Check::kPass
+        .cell(r.verdict == Table1Check::kPass
                   ? "PASS"
-                  : (r.verdict == Check::kFail ? "FAIL" : "UNKNOWN"));
-    allPass = allPass && r.verdict == Check::kPass;
+                  : (r.verdict == Table1Check::kFail ? "FAIL" : "UNKNOWN"));
+    allPass = allPass && r.verdict == Table1Check::kPass;
   }
   std::printf("Table 1 reproduction at P = %u (exact model checking)\n\n", p);
   std::fputs((*csv ? table.renderCsv() : table.render()).c_str(), stdout);
   std::printf("\noverall: %s\n", allPass ? "PASS" : "FAIL");
 
   if (!jsonOut->empty()) {
-    JsonWriter w;
-    w.beginObject();
-    w.key("experiment").value("table1");
-    w.key("p").value(static_cast<std::uint64_t>(p));
-    w.key("cells").beginArray();
-    for (const auto& r : results) {
-      w.beginObject();
-      w.key("cell").value(r.cell);
-      w.key("claim").value(r.claim);
-      w.key("checked_by").value(r.mechanism);
-      w.key("states").value(r.states);
-      w.key("verdict").value(verdictName(r.verdict));
-      w.endObject();
-    }
-    w.endArray();
-    w.key("overall").value(allPass ? "pass" : "fail");
-    w.endObject();
     std::ofstream out(*jsonOut, std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "table1_feasibility: cannot write '%s'\n",
                    jsonOut->c_str());
       return 1;
     }
-    out << w.str() << '\n';
+    out << table1Json(p, results) << '\n';
   }
 
   if (sink) sink->flush();

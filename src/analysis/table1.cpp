@@ -1,0 +1,268 @@
+#include "analysis/table1.h"
+
+#include <stdexcept>
+
+#include "analysis/global_checker.h"
+#include "analysis/initial_sets.h"
+#include "analysis/protocol_search.h"
+#include "analysis/weak_checker.h"
+#include "naming/asymmetric_naming.h"
+#include "naming/counting_protocol.h"
+#include "naming/global_leader_naming.h"
+#include "naming/leader_uniform_naming.h"
+#include "naming/selfstab_weak_naming.h"
+#include "naming/symmetric_global_naming.h"
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+/// Negation for impossibility cells: the candidate FAILING to solve is the
+/// expected (passing) outcome. Unknown stays unknown.
+Table1Check expectFail(Table1Check solves) {
+  if (solves == Table1Check::kUnknown) return Table1Check::kUnknown;
+  return solves == Table1Check::kFail ? Table1Check::kPass : Table1Check::kFail;
+}
+
+/// Checker/search dispatch for one cell, assigning explore/search event ids
+/// from the cell's bases (pre-increment, so the first explore is base + 1).
+/// Inner explorations of an exhaustive search get searchId << 32, which the
+/// stride keeps disjoint from the direct explore range.
+struct Checks {
+  ExploreObserver* observer = nullptr;
+  std::uint32_t threads = 1;
+  std::uint64_t nextExplore = 0;
+  std::uint64_t nextSearch = 256;
+
+  ExploreOptions exploreOptions() {
+    ExploreOptions options;
+    options.maxNodes = 8'000'000;
+    options.threads = threads;
+    options.observer = observer;
+    options.exploreId = ++nextExplore;
+    return options;
+  }
+
+  Table1Check weakSolves(const Protocol& proto,
+                         const std::vector<Configuration>& initials,
+                         const Problem& problem) {
+    const WeakVerdict v =
+        checkWeakFairness(proto, problem, initials, exploreOptions());
+    if (!v.explored) return Table1Check::kUnknown;
+    return v.solves ? Table1Check::kPass : Table1Check::kFail;
+  }
+
+  Table1Check weakSolves(const Protocol& proto,
+                         const std::vector<Configuration>& initials) {
+    return weakSolves(proto, initials, namingProblem(proto));
+  }
+
+  Table1Check globalSolves(const Protocol& proto,
+                           const std::vector<Configuration>& initials) {
+    const GlobalVerdict v = checkGlobalFairness(proto, namingProblem(proto),
+                                                initials, exploreOptions());
+    if (!v.explored) return Table1Check::kUnknown;
+    return v.solves ? Table1Check::kPass : Table1Check::kFail;
+  }
+
+  /// "No solver exists" via exhaustive search: conclusive only when every
+  /// candidate was fully checked (outcome.unknown == 0).
+  Table1Check searchEmpty(StateId q, std::uint32_t n, Fairness fairness) {
+    SearchOptions options;
+    options.threads = threads;
+    options.observer = observer;
+    options.searchId = ++nextSearch;
+    const SearchOutcome out =
+        searchUniformNaming(q, n, fairness, /*symmetricSpace=*/true, options);
+    if (out.solvers > 0) return Table1Check::kFail;
+    return out.unknown > 0 ? Table1Check::kUnknown : Table1Check::kPass;
+  }
+};
+
+}  // namespace
+
+Table1Check operator&(Table1Check a, Table1Check b) {
+  if (a == Table1Check::kFail || b == Table1Check::kFail)
+    return Table1Check::kFail;
+  if (a == Table1Check::kUnknown || b == Table1Check::kUnknown)
+    return Table1Check::kUnknown;
+  return Table1Check::kPass;
+}
+
+const char* table1CheckName(Table1Check c) {
+  switch (c) {
+    case Table1Check::kPass:
+      return "pass";
+    case Table1Check::kFail:
+      return "fail";
+    case Table1Check::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::uint32_t table1CellCount() { return 8; }
+
+Table1CellResult runTable1Cell(std::uint32_t index, StateId p,
+                               const Table1Options& options) {
+  if (p < 2 || p > 4) {
+    throw std::invalid_argument("table1: need 2 <= p <= 4, got " +
+                                std::to_string(p));
+  }
+  Checks checks;
+  checks.observer = options.observer;
+  checks.threads = options.threads;
+  checks.nextExplore = options.exploreIdBase;
+  checks.nextSearch = options.searchIdBase;
+
+  switch (index) {
+    // ---- Column: asymmetric rules (weak/global fairness), all leader rows.
+    // Prop 12: P states, no leader, self-stabilizing.
+    case 0: {
+      const AsymmetricNaming proto(p);
+      const Table1Check okWeak =
+          checks.weakSolves(proto, allConcreteConfigurations(proto, p));
+      const Table1Check okGlobal =
+          checks.globalSolves(proto, allCanonicalConfigurations(proto, p));
+      return {"any leader row / asymmetric / weak+global",
+              "Prop 12: possible with P states (self-stabilizing)",
+              "weak+global checkers, arbitrary init, N=P",
+              "P", okWeak & okGlobal};
+    }
+
+    // ---- Cell: no leader / symmetric / weak — impossible (Prop 1).
+    case 1: {
+      const SymmetricGlobalNaming candidate(p);
+      const Table1Check solves = checks.weakSolves(
+          candidate, allUniformInitials(candidate, p), namingProblem(candidate));
+      const Table1Check empty = checks.searchEmpty(2, 2, Fairness::kWeak);
+      return {"no leader / symmetric / weak",
+              "Prop 1: impossible",
+              "adversary found vs P+1-state candidate; exhaustive search @ Q=2",
+              "-", expectFail(solves) & empty};
+    }
+
+    // ---- Cell: no leader / symmetric / global — P+1 states (Prop 13 + Prop 2).
+    case 2: {
+      const SymmetricGlobalNaming proto(p);
+      Table1Check ok = proto.numMobileStates() == p + 1 ? Table1Check::kPass
+                                                        : Table1Check::kFail;
+      for (std::uint32_t n = 3; n <= p && ok == Table1Check::kPass; ++n) {
+        ok = ok & checks.globalSolves(proto, allCanonicalConfigurations(proto, n));
+      }
+      const Table1Check lower = checks.searchEmpty(2, 2, Fairness::kGlobal);
+      return {"no leader / symmetric / global",
+              "Prop 13: P+1 states; Prop 2: P states impossible",
+              "global checker (N=3..P); exhaustive P-state search @ Q=2",
+              "P+1", ok & lower};
+    }
+
+    // ---- Cells: non-initialized leader / symmetric (weak and global) — P+1
+    // states (Prop 16; lower bound Prop 4).
+    case 3: {
+      const SelfStabWeakNaming proto(p);
+      Table1Check ok = proto.numMobileStates() == p + 1 ? Table1Check::kPass
+                                                        : Table1Check::kFail;
+      for (std::uint32_t n = 1; n <= p && ok == Table1Check::kPass; ++n) {
+        ok = ok & checks.weakSolves(proto, allConcreteConfigurations(proto, n));
+      }
+      return {"non-init leader / symmetric / weak+global",
+              "Prop 16: P+1 states (self-stabilizing, leader too)",
+              "weak checker, arbitrary mobile+leader init, N=1..P",
+              "P+1", ok};
+    }
+
+    // ---- Cell: initialized leader / symmetric / weak / initialized agents —
+    // P states (Prop 14).
+    case 4: {
+      const LeaderUniformNaming proto(p);
+      Table1Check ok = proto.numMobileStates() == p ? Table1Check::kPass
+                                                    : Table1Check::kFail;
+      for (std::uint32_t n = 1; n <= p && ok == Table1Check::kPass; ++n) {
+        ok = ok & checks.weakSolves(proto, declaredUniformInitials(proto, n));
+      }
+      return {"init leader / symmetric / weak / init agents",
+              "Prop 14: P states",
+              "weak checker from declared uniform init, N=1..P",
+              "P", ok};
+    }
+
+    // ---- Cell: initialized leader / symmetric / weak / NON-init agents —
+    // P+1 states (Prop 16); P states impossible (Theorem 11).
+    case 5: {
+      const GlobalLeaderNaming candidate(p);  // the natural P-state candidate
+      const Table1Check solves = checks.weakSolves(
+          candidate, allConcreteConfigurations(candidate, p));
+      return {"init leader / symmetric / weak / non-init agents",
+              "Thm 11: P states impossible (P+1 needed, via Prop 16)",
+              "weak checker defeats the P-state Protocol 3 at N=P",
+              "P+1", expectFail(solves)};
+    }
+
+    // ---- Cell: initialized leader / symmetric / global — P states (Prop 17).
+    case 6: {
+      const GlobalLeaderNaming proto(p);
+      Table1Check ok = proto.numMobileStates() == p ? Table1Check::kPass
+                                                    : Table1Check::kFail;
+      for (std::uint32_t n = 1; n <= p && ok == Table1Check::kPass; ++n) {
+        ok = ok & checks.globalSolves(proto, allCanonicalConfigurations(proto, n));
+      }
+      return {"init leader / symmetric / global",
+              "Prop 17: P states",
+              "global checker, arbitrary mobile init, N=1..P",
+              "P", ok};
+    }
+
+    // ---- Substrate: Theorem 15 (Protocol 1 counting + by-product naming).
+    case 7: {
+      const CountingProtocol proto(p);
+      Table1Check ok = Table1Check::kPass;
+      for (std::uint32_t n = 1; n <= p && ok == Table1Check::kPass; ++n) {
+        ok = ok & checks.weakSolves(proto, allConcreteConfigurations(proto, n),
+                                    countingProblem(proto, n));
+        if (ok == Table1Check::kPass && n < p) {
+          ok = ok & checks.weakSolves(proto, allConcreteConfigurations(proto, n));
+        }
+      }
+      return {"substrate: counting (Protocol 1)",
+              "Thm 15: counts N<=P, names N<P, P states",
+              "weak checker: counting N=1..P, naming N=1..P-1",
+              "P", ok};
+    }
+
+    default:
+      throw std::invalid_argument("table1: cell index out of range: " +
+                                  std::to_string(index));
+  }
+}
+
+bool table1AllPass(const std::vector<Table1CellResult>& cells) {
+  for (const Table1CellResult& c : cells) {
+    if (c.verdict != Table1Check::kPass) return false;
+  }
+  return true;
+}
+
+std::string table1Json(StateId p, const std::vector<Table1CellResult>& cells) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("experiment").value("table1");
+  w.key("p").value(static_cast<std::uint64_t>(p));
+  w.key("cells").beginArray();
+  for (const Table1CellResult& r : cells) {
+    w.beginObject();
+    w.key("cell").value(r.cell);
+    w.key("claim").value(r.claim);
+    w.key("checked_by").value(r.mechanism);
+    w.key("states").value(r.states);
+    w.key("verdict").value(table1CheckName(r.verdict));
+    w.endObject();
+  }
+  w.endArray();
+  w.key("overall").value(table1AllPass(cells) ? "pass" : "fail");
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace ppn

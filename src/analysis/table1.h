@@ -1,0 +1,81 @@
+// The paper's Table 1 ("Synthesis of the relevant propositions and theorems
+// establishing the feasibility of naming and the necessary (optimal) state
+// space, under different model parameters") as a library of independently
+// executable cells.
+//
+// bench/table1_feasibility.cpp used to inline the eight cell checks; they
+// live here so the campaign orchestration subsystem (src/campaign/) can run
+// each cell as its own work unit on a shard process and rebuild the exact
+// table1_feasibility JSON document at merge time. Each cell is addressed by
+// a stable index in [0, table1CellCount()); index order IS the table's row
+// order, and a cell's verdict depends only on (index, p) — never on which
+// process, shard, or thread count executed it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/explore.h"
+
+namespace ppn {
+
+class ExploreObserver;  // obs/explore_observer.h
+
+/// Tri-state check outcome: a truncated exploration decides NOTHING — the
+/// missing part of the configuration graph may hold either a violation or
+/// the last piece of the proof.
+enum class Table1Check { kPass, kFail, kUnknown };
+
+/// Conjunction over sub-checks: any failure is conclusive (one real
+/// counterexample sinks the claim), otherwise any unknown taints the cell.
+Table1Check operator&(Table1Check a, Table1Check b);
+
+/// "pass" | "fail" | "unknown" — the JSON verdict vocabulary.
+const char* table1CheckName(Table1Check c);
+
+/// One checked Table 1 row, ready for rendering / JSON serialization.
+struct Table1CellResult {
+  std::string cell;       ///< which Table 1 cell (model parameters)
+  std::string claim;      ///< the paper's claim for that cell
+  std::string mechanism;  ///< how the harness checked it
+  std::string states;     ///< claimed optimal state count ("P", "P+1", "-")
+  Table1Check verdict = Table1Check::kUnknown;
+};
+
+struct Table1Options {
+  /// Worker threads for checker explorations and exhaustive searches
+  /// (0 = hardware concurrency). Verdicts are bit-identical for any value.
+  std::uint32_t threads = 1;
+  /// Telemetry probe for explore/search events (not owned; may be null).
+  ExploreObserver* observer = nullptr;
+  /// Event-id bases for this cell's explorations and searches. Callers
+  /// running several cells into ONE observer must give each cell a disjoint
+  /// range (table1_feasibility uses index * kTable1IdStride) — ids are
+  /// telemetry labels only and never affect verdicts.
+  std::uint64_t exploreIdBase = 0;
+  std::uint64_t searchIdBase = 256;
+};
+
+/// Number of checked cells (rows) in the reproduction. Indices are stable:
+/// appending a new cell never renumbers existing ones.
+std::uint32_t table1CellCount();
+
+/// Runs one cell's checks at bound `p` (2..4; throws std::invalid_argument
+/// outside that range or for an out-of-range index).
+Table1CellResult runTable1Cell(std::uint32_t index, StateId p,
+                               const Table1Options& options);
+
+/// Id-range stride per cell: a cell performs far fewer than this many
+/// explorations/searches, so `index * kTable1IdStride` bases never collide.
+inline constexpr std::uint64_t kTable1IdStride = 32;
+
+/// True when every cell passed (the bench's process exit criterion).
+bool table1AllPass(const std::vector<Table1CellResult>& cells);
+
+/// The table1_feasibility JSON document (experiment/p/cells/overall) for
+/// `cells` in index order — shared by the bench and the campaign merge pass
+/// so a merged distributed run is byte-identical to the in-process one.
+std::string table1Json(StateId p, const std::vector<Table1CellResult>& cells);
+
+}  // namespace ppn

@@ -1,0 +1,146 @@
+#include "campaign/artifact.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> kTable = makeCrcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void writeFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("cannot open '" + tmp + "' for writing");
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("cannot rename '" + tmp + "' onto '" + path + "'");
+  }
+}
+
+std::string artifactFooterLine(std::uint32_t crc, std::uint64_t lines) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("artifact_footer");
+  w.key("crc32").value(static_cast<std::uint64_t>(crc));
+  w.key("lines").value(lines);
+  w.endObject();
+  return w.str();
+}
+
+void writeJsonlArtifact(const std::string& path,
+                        const std::vector<std::string>& lines) {
+  std::string body;
+  for (const std::string& line : lines) {
+    body += line;
+    body += '\n';
+  }
+  std::string content = body;
+  content += artifactFooterLine(crc32(body), lines.size());
+  content += '\n';
+  writeFileAtomic(path, content);
+}
+
+ArtifactReadResult readJsonlArtifact(const std::string& path) {
+  ArtifactReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  if (content.empty() || content.back() != '\n') {
+    result.error = "'" + path + "' is truncated (no terminating newline)";
+    return result;
+  }
+
+  // Split off the footer (the final line) and verify it against the body.
+  const std::size_t footerStart = content.rfind('\n', content.size() - 2);
+  const std::size_t bodyEnd = footerStart == std::string::npos ? 0 : footerStart + 1;
+  const std::string footer =
+      content.substr(bodyEnd, content.size() - bodyEnd - 1);
+  std::string parseError;
+  const auto footerValue = jsonParse(footer, &parseError);
+  const JsonValue* crcField = nullptr;
+  const JsonValue* linesField = nullptr;
+  const JsonValue* eventField = nullptr;
+  if (footerValue.has_value() && footerValue->isObject()) {
+    eventField = footerValue->find("event");
+    crcField = footerValue->find("crc32");
+    linesField = footerValue->find("lines");
+  }
+  if (eventField == nullptr || !eventField->isString() ||
+      eventField->asString() != "artifact_footer" || crcField == nullptr ||
+      linesField == nullptr) {
+    result.error = "'" + path + "' has no artifact_footer line (torn write?)";
+    return result;
+  }
+  const auto expectedCrc = crcField->asU64();
+  const auto expectedLines = linesField->asU64();
+  if (!expectedCrc.has_value() || !expectedLines.has_value()) {
+    result.error = "'" + path + "' footer fields are not integers";
+    return result;
+  }
+
+  const std::string_view body(content.data(), bodyEnd);
+  std::uint64_t count = 0;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t nl = body.find('\n', pos);
+    result.lines.emplace_back(body.substr(pos, nl - pos));
+    pos = nl + 1;
+    ++count;
+  }
+  if (count != *expectedLines) {
+    result.error = "'" + path + "' body has " + std::to_string(count) +
+                   " lines, footer says " + std::to_string(*expectedLines) +
+                   " (truncated?)";
+    result.lines.clear();
+    return result;
+  }
+  if (crc32(body) != *expectedCrc) {
+    result.error = "'" + path + "' checksum mismatch (corrupted)";
+    result.lines.clear();
+    return result;
+  }
+  return result;
+}
+
+}  // namespace ppn

@@ -1,0 +1,52 @@
+// Crash-safe artifact primitives for the campaign orchestration subsystem.
+//
+// Two durability levels (DESIGN.md, "Checkpoint & atomic artifact writes"):
+//  * FINAL artifacts (shard outputs, merged results) are published by writing
+//    the complete content to `path + ".tmp"` and renaming onto `path` — a
+//    reader never observes a half-written final file — and carry a checksum
+//    FOOTER line `{"event":"artifact_footer","crc32":C,"lines":N}` over the
+//    body, so silent truncation or bit rot is detected at merge time instead
+//    of flowing into the tables.
+//  * PARTIAL checkpoints (shard progress, orchestrator state) are append-only
+//    JSONL flushed per line; a crash tears at most the final line, which
+//    readJsonlTolerant (obs/events.h) drops on resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppn {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// Writes `content` to `path + ".tmp"` then renames onto `path`. Throws
+/// std::runtime_error when the temp file cannot be written or the rename
+/// fails (the final path is left untouched in both cases).
+void writeFileAtomic(const std::string& path, const std::string& content);
+
+/// The checksum footer for a body of `lines` JSONL lines. `crc` covers the
+/// body bytes exactly as written: each line followed by one '\n'.
+std::string artifactFooterLine(std::uint32_t crc, std::uint64_t lines);
+
+/// Publishes `lines` + footer as a final JSONL artifact (atomic rename).
+void writeJsonlArtifact(const std::string& path,
+                        const std::vector<std::string>& lines);
+
+/// A verified final-artifact read: body lines with the footer stripped.
+struct ArtifactReadResult {
+  std::vector<std::string> lines;
+  /// Empty on success. Non-empty describes why the artifact is NOT trusted:
+  /// unreadable, missing/unparseable footer, line-count mismatch (truncation)
+  /// or checksum mismatch (corruption). The merge pass refuses such inputs.
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Reads and verifies a final JSONL artifact written by writeJsonlArtifact.
+ArtifactReadResult readJsonlArtifact(const std::string& path);
+
+}  // namespace ppn

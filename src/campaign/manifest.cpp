@@ -1,0 +1,252 @@
+#include "campaign/manifest.h"
+
+#include <filesystem>
+
+#include "analysis/table1.h"
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::runtime_error("campaign manifest: " + what);
+}
+
+std::uint64_t asU64Field(const JsonValue& v, const char* key) {
+  const auto u = v.asU64();
+  if (!u.has_value()) bad(std::string(key) + " must be a non-negative integer");
+  return *u;
+}
+
+std::uint32_t asU32Field(const JsonValue& v, const char* key) {
+  const std::uint64_t u = asU64Field(v, key);
+  if (u > 0xFFFFFFFFull) bad(std::string(key) + " out of range");
+  return static_cast<std::uint32_t>(u);
+}
+
+std::vector<std::string> asStringArray(const JsonValue& v, const char* key) {
+  if (!v.isArray()) bad(std::string(key) + " must be an array of strings");
+  std::vector<std::string> out;
+  for (const JsonValue& item : v.items()) {
+    if (!item.isString()) bad(std::string(key) + " must contain only strings");
+    out.push_back(item.asString());
+  }
+  return out;
+}
+
+std::string zeroPadded(std::uint32_t shard) {
+  std::string s = std::to_string(shard);
+  while (s.size() < 3) s.insert(s.begin(), '0');
+  return s;
+}
+
+}  // namespace
+
+std::vector<WorkUnit> expandManifest(const CampaignManifest& manifest) {
+  std::vector<WorkUnit> units;
+  std::uint64_t runIdBase = 0;
+  for (RobustnessCellPlan& plan : planRobustnessCells(manifest.certify)) {
+    WorkUnit unit;
+    unit.id = units.size();
+    unit.kind = WorkUnit::Kind::kRobustness;
+    unit.runIdBase = runIdBase;
+    if (!plan.skipped) runIdBase += manifest.certify.runs;
+    unit.plan = std::move(plan);
+    units.push_back(std::move(unit));
+  }
+  if (manifest.table1P != 0) {
+    for (std::uint32_t i = 0; i < table1CellCount(); ++i) {
+      WorkUnit unit;
+      unit.id = units.size();
+      unit.kind = WorkUnit::Kind::kTable1;
+      unit.table1Index = i;
+      units.push_back(std::move(unit));
+    }
+  }
+  return units;
+}
+
+std::string manifestToJson(const CampaignManifest& m) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("kind").value("ppn-campaign-manifest");
+  w.key("name").value(m.name);
+  w.key("seed").value(m.certify.seed);
+  w.key("protocols").beginArray();
+  for (const std::string& p : m.certify.protocols) w.value(p);
+  w.endArray();
+  w.key("populations").beginArray();
+  for (const std::uint32_t n : m.certify.populations) w.value(n);
+  w.endArray();
+  w.key("regimes").beginArray();
+  for (const FaultRegime r : m.certify.regimes) w.value(faultRegimeName(r));
+  w.endArray();
+  w.key("schedulers").beginArray();
+  for (const SchedulerKind s : m.certify.schedulers)
+    w.value(schedulerKindName(s));
+  w.endArray();
+  w.key("runs").value(m.certify.runs);
+  w.key("faultWindow").value(m.certify.faultWindow);
+  w.key("rate").value(m.certify.faultRate);
+  w.key("period").value(m.certify.faultPeriod);
+  w.key("corruptFraction").value(m.certify.corruptFraction);
+  w.key("corruptLeader").value(m.certify.corruptLeader);
+  w.key("maxInteractions").value(m.certify.limits.maxInteractions);
+  w.key("checkInterval").value(m.certify.limits.checkInterval);
+  w.key("maxWallMillis").value(m.certify.limits.maxWallMillis);
+  w.key("threads").value(m.certify.threads);
+  w.key("shards").value(m.shards);
+  w.key("table1P").value(static_cast<std::uint64_t>(m.table1P));
+  if (m.debugHangUnit.has_value()) {
+    w.key("debugHangUnit").value(*m.debugHangUnit);
+  }
+  if (m.debugCrashUnit.has_value()) {
+    w.key("debugCrashUnit").value(*m.debugCrashUnit);
+  }
+  w.endObject();
+  return w.str();
+}
+
+CampaignManifest parseCampaignManifest(const std::string& json) {
+  std::string error;
+  const auto doc = jsonParse(json, &error);
+  if (!doc.has_value()) bad("invalid JSON: " + error);
+  if (!doc->isObject()) bad("document is not an object");
+
+  CampaignManifest m;
+  m.certify.observer = nullptr;
+  bool sawKind = false;
+  for (const auto& [key, value] : doc->members()) {
+    if (key == "kind") {
+      if (!value.isString() || value.asString() != "ppn-campaign-manifest") {
+        bad("kind must be \"ppn-campaign-manifest\"");
+      }
+      sawKind = true;
+    } else if (key == "name") {
+      if (!value.isString()) bad("name must be a string");
+      m.name = value.asString();
+    } else if (key == "seed") {
+      m.certify.seed = asU64Field(value, "seed");
+    } else if (key == "protocols") {
+      m.certify.protocols = asStringArray(value, "protocols");
+    } else if (key == "populations") {
+      if (!value.isArray()) bad("populations must be an array of integers");
+      m.certify.populations.clear();
+      for (const JsonValue& item : value.items()) {
+        m.certify.populations.push_back(asU32Field(item, "populations[]"));
+      }
+    } else if (key == "regimes") {
+      m.certify.regimes.clear();
+      for (const std::string& name : asStringArray(value, "regimes")) {
+        try {
+          m.certify.regimes.push_back(parseFaultRegime(name));
+        } catch (const std::invalid_argument& e) {
+          bad(e.what());
+        }
+      }
+    } else if (key == "schedulers") {
+      m.certify.schedulers.clear();
+      for (const std::string& name : asStringArray(value, "schedulers")) {
+        try {
+          m.certify.schedulers.push_back(parseSchedulerKind(name));
+        } catch (const std::invalid_argument& e) {
+          bad(e.what());
+        }
+      }
+    } else if (key == "runs") {
+      m.certify.runs = asU32Field(value, "runs");
+    } else if (key == "faultWindow") {
+      m.certify.faultWindow = asU64Field(value, "faultWindow");
+    } else if (key == "rate") {
+      if (!value.isNumber()) bad("rate must be a number");
+      m.certify.faultRate = value.asDouble();
+    } else if (key == "period") {
+      m.certify.faultPeriod = asU64Field(value, "period");
+    } else if (key == "corruptFraction") {
+      if (!value.isNumber()) bad("corruptFraction must be a number");
+      m.certify.corruptFraction = value.asDouble();
+    } else if (key == "corruptLeader") {
+      if (!value.isBool()) bad("corruptLeader must be a boolean");
+      m.certify.corruptLeader = value.asBool();
+    } else if (key == "maxInteractions") {
+      m.certify.limits.maxInteractions = asU64Field(value, "maxInteractions");
+    } else if (key == "checkInterval") {
+      m.certify.limits.checkInterval = asU64Field(value, "checkInterval");
+    } else if (key == "maxWallMillis") {
+      m.certify.limits.maxWallMillis = asU64Field(value, "maxWallMillis");
+    } else if (key == "threads") {
+      m.certify.threads = asU32Field(value, "threads");
+    } else if (key == "shards") {
+      m.shards = asU32Field(value, "shards");
+      if (m.shards == 0) bad("shards must be >= 1");
+    } else if (key == "table1P") {
+      const std::uint32_t p = asU32Field(value, "table1P");
+      if (p != 0 && (p < 2 || p > 4)) bad("table1P must be 0 or 2..4");
+      m.table1P = static_cast<StateId>(p);
+    } else if (key == "debugHangUnit") {
+      m.debugHangUnit = asU64Field(value, "debugHangUnit");
+    } else if (key == "debugCrashUnit") {
+      m.debugCrashUnit = asU64Field(value, "debugCrashUnit");
+    } else {
+      bad("unknown key \"" + key + "\"");
+    }
+  }
+  if (!sawKind) bad("missing kind");
+  if (m.certify.runs == 0) bad("runs must be >= 1");
+  return m;
+}
+
+CampaignManifest loadCampaignManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseCampaignManifest(buf.str());
+}
+
+std::string campaignManifestPath(const std::string& outDir) {
+  return outDir + "/manifest.json";
+}
+std::string campaignStatePath(const std::string& outDir) {
+  return outDir + "/state.json";
+}
+std::string campaignEventsPath(const std::string& outDir) {
+  return outDir + "/events.jsonl";
+}
+std::string shardPartialPath(const std::string& outDir, std::uint32_t shard) {
+  return outDir + "/shards/shard_" + zeroPadded(shard) + ".partial.jsonl";
+}
+std::string shardFinalPath(const std::string& outDir, std::uint32_t shard) {
+  return outDir + "/shards/shard_" + zeroPadded(shard) + ".jsonl";
+}
+std::string shardMetricsPath(const std::string& outDir, std::uint32_t shard) {
+  return outDir + "/shards/shard_" + zeroPadded(shard) + ".metrics.json";
+}
+std::string mergedUnitsPath(const std::string& outDir) {
+  return outDir + "/merged.jsonl";
+}
+std::string campaignSummaryPath(const std::string& outDir) {
+  return outDir + "/summary.json";
+}
+std::string mergedRobustnessTablePath(const std::string& outDir) {
+  return outDir + "/robustness_table.json";
+}
+std::string mergedTable1Path(const std::string& outDir) {
+  return outDir + "/table1.json";
+}
+
+void ensureCampaignLayout(const std::string& outDir) {
+  std::error_code ec;
+  std::filesystem::create_directories(outDir + "/shards", ec);
+  if (ec) {
+    throw std::runtime_error("campaign: cannot create '" + outDir +
+                             "/shards': " + ec.message());
+  }
+}
+
+}  // namespace ppn

@@ -1,0 +1,101 @@
+// Campaign manifests: a JSON description of an experiment grid — protocols ×
+// populations × fault regimes × schedulers (the robustness table, E20/E24)
+// plus optionally the Table 1 feasibility cells — expanded deterministically
+// into an ordered list of work units.
+//
+// The expansion is the single source of truth shared by every consumer: the
+// in-process sweeps (certifyRecovery / table1_feasibility), the shard runner
+// executing a subset of units in its own process, and the merge pass
+// rebuilding the tables from shard artifacts. Unit ids are positions in the
+// expansion, per-unit seeds are pre-drawn from the cell coordinates (FNV-1a
+// inside cellCampaignSpec), and runIdBase bookkeeping matches certifyRecovery
+// exactly — so a unit's result bytes depend only on (manifest, unit id),
+// never on which shard, process, attempt, or thread count produced them.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faults/certify.h"
+
+namespace ppn {
+
+struct CampaignManifest {
+  std::string name = "campaign";
+  /// The robustness-table grid (protocols/populations/regimes/schedulers,
+  /// fault parameters, per-cell runs, seed, limits, per-shard threads).
+  /// certify.observer is ignored — shards wire their own telemetry.
+  CertifySpec certify;
+  /// Shard processes the unit list is striped over (unit id % shards).
+  std::uint32_t shards = 1;
+  /// When nonzero, also reproduce Table 1 at this bound (2..4): one work
+  /// unit per table1 cell, appended after the robustness units.
+  StateId table1P = 0;
+  /// Test hooks (absent in normal manifests): a shard HANGS forever before
+  /// executing this unit / CRASHES (abort) before executing this unit. They
+  /// exercise the orchestrator's stall detector and retry/blacklist paths
+  /// deterministically.
+  std::optional<std::uint64_t> debugHangUnit;
+  std::optional<std::uint64_t> debugCrashUnit;
+};
+
+/// One expanded work unit.
+struct WorkUnit {
+  enum class Kind { kRobustness, kTable1 };
+
+  std::uint64_t id = 0;
+  Kind kind = Kind::kRobustness;
+  /// kRobustness: the planned cell and the first event runId of its campaign
+  /// (advances by certify.runs per executed cell, exactly as certifyRecovery
+  /// assigns them; skipped cells do not consume ids).
+  RobustnessCellPlan plan;
+  std::uint64_t runIdBase = 0;
+  /// kTable1: the cell index for analysis/table1.h.
+  std::uint32_t table1Index = 0;
+};
+
+/// Expands the manifest into its ordered unit list: all robustness cells in
+/// planRobustnessCells order (skipped cells included, as trivially completed
+/// units, so merged artifacts cover the full grid), then the table1 cells.
+std::vector<WorkUnit> expandManifest(const CampaignManifest& manifest);
+
+/// The shard a unit is striped onto.
+inline std::uint32_t unitShard(const CampaignManifest& m, std::uint64_t unitId) {
+  return static_cast<std::uint32_t>(unitId % std::max(1u, m.shards));
+}
+
+/// Serializes the manifest as a canonical JSON document (round-trips through
+/// parseCampaignManifest bit-exactly; used both for files and for the
+/// resume-time identity check).
+std::string manifestToJson(const CampaignManifest& manifest);
+
+/// Parses a manifest document. Unknown keys are rejected (a typo silently
+/// changing the grid is worse than an error); missing keys keep defaults.
+/// Throws std::runtime_error with a descriptive message on any problem.
+CampaignManifest parseCampaignManifest(const std::string& json);
+
+/// Reads and parses a manifest file (throws std::runtime_error).
+CampaignManifest loadCampaignManifest(const std::string& path);
+
+// Output-directory layout. Everything a campaign produces lives under one
+// directory: the manifest copy, the orchestrator checkpoint, per-shard
+// partial checkpoints and final artifacts, the event stream, and the merged
+// outputs.
+std::string campaignManifestPath(const std::string& outDir);
+std::string campaignStatePath(const std::string& outDir);
+std::string campaignEventsPath(const std::string& outDir);
+std::string shardPartialPath(const std::string& outDir, std::uint32_t shard);
+std::string shardFinalPath(const std::string& outDir, std::uint32_t shard);
+std::string shardMetricsPath(const std::string& outDir, std::uint32_t shard);
+std::string mergedUnitsPath(const std::string& outDir);
+std::string campaignSummaryPath(const std::string& outDir);
+std::string mergedRobustnessTablePath(const std::string& outDir);
+std::string mergedTable1Path(const std::string& outDir);
+
+/// Creates `outDir` and its shards/ subdirectory (throws std::runtime_error).
+void ensureCampaignLayout(const std::string& outDir);
+
+}  // namespace ppn

@@ -1,0 +1,230 @@
+#include "campaign/merge.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "analysis/table1.h"
+#include "campaign/artifact.h"
+#include "faults/certify.h"
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+[[noreturn]] void refuse(const std::string& what) {
+  throw std::runtime_error("campaign merge: " + what);
+}
+
+struct UnitLine {
+  std::string line;
+  std::string status;
+  std::string reason;
+};
+
+Table1Check parseTable1Check(const std::string& name) {
+  if (name == "pass") return Table1Check::kPass;
+  if (name == "fail") return Table1Check::kFail;
+  return Table1Check::kUnknown;
+}
+
+std::string requireString(const JsonValue& obj, const char* key,
+                          const std::string& where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->isString()) {
+    refuse("missing string field \"" + std::string(key) + "\" in " + where);
+  }
+  return v->asString();
+}
+
+/// The cell JSON a blacklisted robustness unit contributes to the rebuilt
+/// table: the plan's coordinates with a FAILED verdict and zeroed statistics,
+/// so the table still covers every cell and certified() is false.
+std::string failedCellJson(const RobustnessCellPlan& plan,
+                           const std::string& reason) {
+  RobustnessCell cell = skippedRobustnessCell(plan);
+  cell.verdict = CellVerdict::kFailed;
+  cell.note = "campaign unit failed: " + reason;
+  JsonWriter w;
+  writeRobustnessCellJson(w, cell);
+  return w.str();
+}
+
+}  // namespace
+
+MergeSummary mergeCampaign(const std::string& outDir) {
+  const CampaignManifest manifest =
+      loadCampaignManifest(campaignManifestPath(outDir));
+  const std::vector<WorkUnit> units = expandManifest(manifest);
+
+  // Collect every shard's verified lines, keyed by unit id. Any integrity
+  // failure, duplicate, or unknown unit refuses the whole merge.
+  std::map<std::uint64_t, UnitLine> byUnit;
+  for (std::uint32_t shard = 0; shard < manifest.shards; ++shard) {
+    const std::string path = shardFinalPath(outDir, shard);
+    const ArtifactReadResult artifact = readJsonlArtifact(path);
+    if (!artifact.ok()) {
+      refuse("shard artifact '" + path + "' failed verification: " +
+             artifact.error + " (re-run or resume the campaign)");
+    }
+    for (const std::string& line : artifact.lines) {
+      const auto value = jsonParse(line);
+      if (!value.has_value() || !value->isObject()) {
+        refuse("unparseable unit line in '" + path + "'");
+      }
+      const JsonValue* unitField = value->find("unit");
+      const auto unitId =
+          unitField != nullptr ? unitField->asU64() : std::nullopt;
+      if (!unitId.has_value()) refuse("unit line without id in '" + path + "'");
+      UnitLine entry;
+      entry.line = line;
+      entry.status = requireString(*value, "status", "'" + path + "'");
+      if (const JsonValue* reason = value->find("reason");
+          reason != nullptr && reason->isString()) {
+        entry.reason = reason->asString();
+      }
+      if (!byUnit.emplace(*unitId, std::move(entry)).second) {
+        refuse("duplicate unit " + std::to_string(*unitId) + " in '" + path +
+               "'");
+      }
+    }
+  }
+  for (const WorkUnit& unit : units) {
+    if (byUnit.count(unit.id) == 0) {
+      refuse("unit " + std::to_string(unit.id) +
+             " has no artifact line — campaign incomplete (resume it first)");
+    }
+  }
+  if (byUnit.size() != units.size()) {
+    refuse("artifacts cover " + std::to_string(byUnit.size()) +
+           " units but the manifest defines " + std::to_string(units.size()));
+  }
+
+  MergeSummary summary;
+  summary.totalUnits = units.size();
+
+  // merged.jsonl: every line in ascending unit id order (std::map order),
+  // republished with its own checksum footer.
+  std::vector<std::string> mergedLines;
+  mergedLines.reserve(byUnit.size());
+  for (const auto& [id, entry] : byUnit) {
+    mergedLines.push_back(entry.line);
+    if (entry.status == "ok") {
+      ++summary.okUnits;
+    } else if (entry.status == "degraded") {
+      ++summary.degradedUnits;
+    } else if (entry.status == "skipped") {
+      ++summary.skippedUnits;
+    } else if (entry.status == "failed") {
+      summary.failedUnits.push_back(id);
+    } else {
+      refuse("unit " + std::to_string(id) + " has unknown status \"" +
+             entry.status + "\"");
+    }
+  }
+  writeJsonlArtifact(mergedUnitsPath(outDir), mergedLines);
+
+  // robustness_table.json: splice the embedded cell strings back into the
+  // exact RobustnessTable::toJson() shape (JsonWriter emits compact JSON, so
+  // hand-assembling the envelope keeps the bytes identical).
+  std::vector<std::string> cellStrings;
+  bool certified = true;
+  std::vector<Table1CellResult> table1Cells;
+  for (const WorkUnit& unit : units) {
+    const UnitLine& entry = byUnit.at(unit.id);
+    if (unit.kind == WorkUnit::Kind::kRobustness) {
+      std::string cellJson;
+      if (entry.status == "failed") {
+        cellJson = failedCellJson(unit.plan, entry.reason.empty()
+                                                 ? "retries exhausted"
+                                                 : entry.reason);
+      } else {
+        const auto value = jsonParse(entry.line);
+        cellJson = requireString(*value, "cell",
+                                 "unit " + std::to_string(unit.id));
+      }
+      const auto cellDoc = jsonParse(cellJson);
+      if (!cellDoc.has_value() || !cellDoc->isObject()) {
+        refuse("unit " + std::to_string(unit.id) +
+               " embeds an unparseable cell document");
+      }
+      if (requireString(*cellDoc, "verdict",
+                        "unit " + std::to_string(unit.id) + " cell") ==
+          cellVerdictName(CellVerdict::kFailed)) {
+        certified = false;
+      }
+      cellStrings.push_back(std::move(cellJson));
+    } else {
+      Table1CellResult cell;
+      if (entry.status == "failed") {
+        cell.cell = "table1 cell " + std::to_string(unit.table1Index);
+        cell.claim = "(not checked)";
+        cell.mechanism = "campaign unit failed: " +
+                         (entry.reason.empty() ? std::string("retries "
+                                                             "exhausted")
+                                               : entry.reason);
+        cell.states = "-";
+        cell.verdict = Table1Check::kUnknown;
+      } else {
+        const auto value = jsonParse(entry.line);
+        const std::string where = "unit " + std::to_string(unit.id);
+        cell.cell = requireString(*value, "cell", where);
+        cell.claim = requireString(*value, "claim", where);
+        cell.mechanism = requireString(*value, "checked_by", where);
+        cell.states = requireString(*value, "states", where);
+        cell.verdict = parseTable1Check(requireString(*value, "verdict",
+                                                      where));
+      }
+      table1Cells.push_back(std::move(cell));
+    }
+  }
+  summary.robustnessCertified = certified;
+
+  std::string table = "{\"kind\":\"ppn-robustness-table\",\"certified\":";
+  table += certified ? "true" : "false";
+  table += ",\"cells\":[";
+  for (std::size_t i = 0; i < cellStrings.size(); ++i) {
+    if (i != 0) table += ',';
+    table += cellStrings[i];
+  }
+  table += "]}";
+  writeFileAtomic(mergedRobustnessTablePath(outDir), table + "\n");
+
+  if (manifest.table1P != 0) {
+    summary.hasTable1 = true;
+    summary.table1Overall = table1AllPass(table1Cells);
+    writeFileAtomic(mergedTable1Path(outDir),
+                    table1Json(manifest.table1P, table1Cells) + "\n");
+  }
+
+  writeFileAtomic(campaignSummaryPath(outDir),
+                  mergeSummaryJson(manifest, summary) + "\n");
+  return summary;
+}
+
+std::string mergeSummaryJson(const CampaignManifest& manifest,
+                             const MergeSummary& summary) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("kind").value("ppn-campaign-summary");
+  w.key("name").value(manifest.name);
+  w.key("units").value(summary.totalUnits);
+  w.key("ok").value(summary.okUnits);
+  w.key("degraded").value(summary.degradedUnits);
+  w.key("skipped").value(summary.skippedUnits);
+  w.key("failed").beginArray();
+  for (const std::uint64_t id : summary.failedUnits) w.value(id);
+  w.endArray();
+  w.key("robustnessCertified").value(summary.robustnessCertified);
+  if (summary.hasTable1) {
+    w.key("table1").beginObject();
+    w.key("p").value(static_cast<std::uint64_t>(manifest.table1P));
+    w.key("overall").value(summary.table1Overall ? "pass" : "fail");
+    w.endObject();
+  }
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace ppn

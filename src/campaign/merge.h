@@ -1,0 +1,57 @@
+// Campaign merge pass: rebuilds the canonical experiment documents from the
+// per-shard artifacts of a completed campaign.
+//
+// Integrity policy: every shard artifact must verify (checksum footer, line
+// count, CRC-32 over the body bytes) and every manifest unit must be covered
+// by exactly one line. A torn, truncated, or tampered artifact is a HARD
+// error — the merge refuses rather than silently producing a table with
+// missing cells. (Blacklisted units are not missing: their shards wrote a
+// deterministic {"status":"failed"} line, and the merge degrades those cells
+// to FAILED verdicts instead of refusing.)
+//
+// Outputs (all written atomically):
+//  * merged.jsonl           — every unit line, ascending unit id, checksum
+//                             footer (the campaign's durable flat record);
+//  * robustness_table.json  — byte-identical to RobustnessTable::toJson()
+//                             of an in-process certifyRecovery run when no
+//                             unit failed (cell JSON is spliced verbatim
+//                             from the shard lines, never re-serialized);
+//  * table1.json            — byte-identical to the table1_feasibility
+//                             document, when the manifest enables Table 1;
+//  * summary.json           — unit counts, failed unit ids, verdict rollups.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.h"
+
+namespace ppn {
+
+struct MergeSummary {
+  std::uint64_t totalUnits = 0;
+  std::uint64_t okUnits = 0;
+  std::uint64_t degradedUnits = 0;
+  std::uint64_t skippedUnits = 0;
+  std::vector<std::uint64_t> failedUnits;  ///< blacklisted unit ids
+  /// RobustnessTable::certified() over the rebuilt table (failed units count
+  /// as FAILED cells, so an exhausted-retry campaign is never "certified").
+  bool robustnessCertified = true;
+  bool hasTable1 = false;
+  bool table1Overall = false;
+
+  bool clean() const { return failedUnits.empty(); }
+};
+
+/// Merges the campaign in `outDir` (which must hold manifest.json and every
+/// shard's final artifact). Throws std::runtime_error when any artifact is
+/// missing/corrupt or any unit is uncovered (e.g. the campaign was
+/// interrupted and not resumed to completion).
+MergeSummary mergeCampaign(const std::string& outDir);
+
+/// The summary.json document for a finished merge.
+std::string mergeSummaryJson(const CampaignManifest& manifest,
+                             const MergeSummary& summary);
+
+}  // namespace ppn

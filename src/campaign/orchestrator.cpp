@@ -1,0 +1,441 @@
+#include "campaign/orchestrator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/artifact.h"
+#include "campaign/shard_runner.h"
+#include "obs/events.h"
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void campaignSignalHandler(int) { g_interrupted = 1; }
+
+struct ShardState {
+  std::uint32_t index = 0;
+  std::vector<std::uint64_t> unitIds;  ///< this shard's units, ascending
+  pid_t pid = -1;
+  bool done = false;
+  bool stallKilled = false;
+  std::uint64_t spawns = 0;
+  Clock::time_point nextSpawnAt = Clock::time_point::min();
+  std::uintmax_t lastSize = 0;
+  bool sizeKnown = false;
+  Clock::time_point lastProgressAt{};
+  std::optional<std::uint64_t> inFlight;
+  std::uint32_t inFlightAttempt = 0;
+};
+
+/// (unit id, status) pairs durably recorded in a JSONL checkpoint/artifact
+/// line list; lines that do not look like unit results are skipped.
+std::vector<std::pair<std::uint64_t, std::string>> unitStatuses(
+    const std::vector<std::string>& lines) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  for (const std::string& line : lines) {
+    const auto value = jsonParse(line);
+    if (!value.has_value()) continue;
+    const JsonValue* unitField = value->find("unit");
+    const JsonValue* statusField = value->find("status");
+    if (unitField == nullptr || statusField == nullptr ||
+        !statusField->isString()) {
+      continue;
+    }
+    const auto unitId = unitField->asU64();
+    if (!unitId.has_value()) continue;
+    out.emplace_back(*unitId, statusField->asString());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> partialStatuses(
+    const std::string& path) {
+  if (!std::filesystem::exists(path)) return {};
+  try {
+    return unitStatuses(readJsonlTolerant(path).lines);
+  } catch (const std::runtime_error&) {
+    return {};  // corrupt checkpoint: the respawned shard rebuilds it
+  }
+}
+
+void writeStateFile(const std::string& outDir,
+                    const std::unordered_map<std::uint64_t, std::uint32_t>&
+                        attempts,
+                    const std::set<std::uint64_t>& failed) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ordered;
+  for (const auto& entry : attempts) {
+    if (entry.second > 0) ordered.push_back(entry);
+  }
+  std::sort(ordered.begin(), ordered.end());
+  JsonWriter w;
+  w.beginObject();
+  w.key("kind").value("ppn-campaign-state");
+  w.key("attempts").beginArray();
+  for (const auto& [unit, count] : ordered) {
+    w.beginObject();
+    w.key("unit").value(unit);
+    w.key("attempts").value(count);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("failed").beginArray();
+  for (const std::uint64_t unit : failed) w.value(unit);
+  w.endArray();
+  w.endObject();
+  writeFileAtomic(campaignStatePath(outDir), w.str() + "\n");
+}
+
+void loadStateFile(const std::string& outDir,
+                   std::unordered_map<std::uint64_t, std::uint32_t>& attempts,
+                   std::set<std::uint64_t>& failed) {
+  const std::string path = campaignStatePath(outDir);
+  if (!std::filesystem::exists(path)) return;
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto doc = jsonParse(buf.str(), &error);
+  if (!doc.has_value() || !doc->isObject()) {
+    throw std::runtime_error("campaign: corrupt state file '" + path +
+                             "': " + error);
+  }
+  if (const JsonValue* list = doc->find("attempts");
+      list != nullptr && list->isArray()) {
+    for (const JsonValue& entry : list->items()) {
+      const JsonValue* unit = entry.find("unit");
+      const JsonValue* count = entry.find("attempts");
+      if (unit == nullptr || count == nullptr) continue;
+      const auto u = unit->asU64();
+      const auto c = count->asU64();
+      if (u.has_value() && c.has_value()) {
+        attempts[*u] = static_cast<std::uint32_t>(*c);
+      }
+    }
+  }
+  if (const JsonValue* list = doc->find("failed");
+      list != nullptr && list->isArray()) {
+    for (const JsonValue& entry : list->items()) {
+      if (const auto u = entry.asU64(); u.has_value()) failed.insert(*u);
+    }
+  }
+}
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+OrchestratorOutcome orchestrateCampaign(const CampaignManifest& manifest,
+                                        const std::string& outDir,
+                                        const OrchestratorOptions& options) {
+  if (options.workers == 0) {
+    throw std::runtime_error("campaign: workers must be >= 1");
+  }
+  ensureCampaignLayout(outDir);
+
+  const std::string manifestJson = manifestToJson(manifest) + "\n";
+  const std::string manifestPath = campaignManifestPath(outDir);
+  if (options.resume) {
+    if (!std::filesystem::exists(manifestPath)) {
+      throw std::runtime_error("campaign: nothing to resume in '" + outDir +
+                               "' (no manifest.json)");
+    }
+    if (readWholeFile(manifestPath) != manifestJson) {
+      throw std::runtime_error(
+          "campaign: manifest in '" + outDir +
+          "' differs from the one being resumed — refusing to mix grids");
+    }
+  } else {
+    if (std::filesystem::exists(campaignStatePath(outDir)) ||
+        std::filesystem::exists(manifestPath)) {
+      throw std::runtime_error("campaign: '" + outDir +
+                               "' already holds a campaign (resume it, or "
+                               "choose a fresh directory)");
+    }
+    writeFileAtomic(manifestPath, manifestJson);
+  }
+
+  std::unordered_map<std::uint64_t, std::uint32_t> attempts;
+  std::set<std::uint64_t> blacklist;
+  if (options.resume) loadStateFile(outDir, attempts, blacklist);
+
+  const std::vector<WorkUnit> units = expandManifest(manifest);
+  std::vector<ShardState> shards(manifest.shards);
+  for (std::uint32_t i = 0; i < manifest.shards; ++i) shards[i].index = i;
+  for (const WorkUnit& unit : units) {
+    shards[unitShard(manifest, unit.id)].unitIds.push_back(unit.id);
+  }
+
+  /// Terminal status per unit as durably observed in checkpoints/artifacts.
+  std::unordered_map<std::uint64_t, std::string> unitStatus;
+  for (ShardState& s : shards) {
+    const ArtifactReadResult finalArtifact =
+        readJsonlArtifact(shardFinalPath(outDir, s.index));
+    if (finalArtifact.ok()) {
+      s.done = true;
+      // Completed in a previous session: count, but do not re-emit events.
+      for (const auto& [unit, status] : unitStatuses(finalArtifact.lines)) {
+        unitStatus[unit] = status;
+      }
+    } else if (options.resume) {
+      for (const auto& [unit, status] :
+           partialStatuses(shardPartialPath(outDir, s.index))) {
+        unitStatus[unit] = status;
+      }
+    }
+  }
+
+  OrchestratorOutcome outcome;
+  outcome.totalUnits = units.size();
+  JsonlEventSink* sink = options.sink;
+  if (sink != nullptr) {
+    sink->onCampaignStart(units.size(), manifest.shards, options.workers,
+                          options.resume);
+  }
+  writeStateFile(outDir, attempts, blacklist);
+
+  // Signal handling: checkpoint-and-exit on SIGINT/SIGTERM.
+  g_interrupted = 0;
+  struct sigaction oldInt {}, oldTerm {};
+  bool handlersInstalled = false;
+  if (options.installSignalHandlers) {
+    struct sigaction sa {};
+    sa.sa_handler = campaignSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, &oldInt);
+    sigaction(SIGTERM, &sa, &oldTerm);
+    handlersInstalled = true;
+  }
+
+  const auto runningCount = [&shards]() {
+    std::uint32_t n = 0;
+    for (const ShardState& s : shards) {
+      if (s.pid >= 0) ++n;
+    }
+    return n;
+  };
+
+  const auto emitNewStatuses =
+      [&](ShardState& s,
+          const std::vector<std::pair<std::uint64_t, std::string>>& statuses) {
+        for (const auto& [unit, status] : statuses) {
+          if (unitStatus.count(unit) != 0) continue;
+          unitStatus[unit] = status;
+          if (sink != nullptr) {
+            sink->onUnitEnd(unit, s.index, attempts[unit] + 1, status);
+          }
+        }
+      };
+
+  const auto spawnShard = [&](ShardState& s) {
+    ++s.spawns;
+    const std::vector<std::uint64_t> failedVec(blacklist.begin(),
+                                               blacklist.end());
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+      // Child: plain shard worker. Default signal dispositions (the parent
+      // kills us explicitly when needed), no exec, direct library call.
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      ShardOptions shardOptions;
+      shardOptions.shardIndex = s.index;
+      shardOptions.failedUnits = failedVec;
+      int rc = 1;
+      try {
+        rc = runShard(manifest, outDir, shardOptions);
+      } catch (...) {
+        rc = 1;
+      }
+      std::_Exit(rc);
+    }
+    if (pid < 0) {
+      // fork failed (resource pressure): try again shortly.
+      s.nextSpawnAt = Clock::now() + std::chrono::milliseconds(500);
+      return;
+    }
+    s.pid = pid;
+    s.stallKilled = false;
+    s.sizeKnown = false;
+    s.lastProgressAt = Clock::now();
+    if (sink != nullptr) sink->onShardSpawn(s.index, pid, s.spawns);
+  };
+
+  const auto handleCrash = [&](ShardState& s, int code, int sig) {
+    emitNewStatuses(s, partialStatuses(shardPartialPath(outDir, s.index)));
+    // Shards complete units in ascending id order and checkpoint after each,
+    // so the first unit without a durable line is the one that was running.
+    std::optional<std::uint64_t> culprit;
+    for (const std::uint64_t unit : s.unitIds) {
+      if (unitStatus.count(unit) == 0) {
+        culprit = unit;
+        break;
+      }
+    }
+    std::string reason = s.stallKilled ? "stalled"
+                         : sig != 0    ? "signal " + std::to_string(sig)
+                                       : "exit code " + std::to_string(code);
+    std::uint32_t unitAttempts = 1;
+    if (culprit.has_value()) {
+      unitAttempts = ++attempts[*culprit];
+      if (unitAttempts >= options.maxAttempts) {
+        blacklist.insert(*culprit);
+        ++outcome.failedUnits;
+        if (sink != nullptr) {
+          sink->onUnitFailed(*culprit, s.index, unitAttempts, reason);
+        }
+      }
+    }
+    const std::uint64_t shift = std::min<std::uint32_t>(
+        unitAttempts > 0 ? unitAttempts - 1 : 0, 20);
+    const std::uint64_t backoff = std::min(
+        options.backoffMillis << shift, options.backoffCapMillis);
+    if (culprit.has_value() && blacklist.count(*culprit) == 0 &&
+        sink != nullptr) {
+      sink->onUnitRetry(*culprit, s.index, unitAttempts, backoff, reason);
+    }
+    s.nextSpawnAt = Clock::now() + std::chrono::milliseconds(
+                                       static_cast<std::int64_t>(backoff));
+    ++outcome.shardRestarts;
+    writeStateFile(outDir, attempts, blacklist);
+  };
+
+  const auto handleExit = [&](ShardState& s, int status) {
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    const int sig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+    if (sink != nullptr) sink->onShardExit(s.index, s.pid, code, sig);
+    s.pid = -1;
+    s.inFlight.reset();
+    const ArtifactReadResult finalArtifact =
+        readJsonlArtifact(shardFinalPath(outDir, s.index));
+    if (code == 0 && finalArtifact.ok()) {
+      s.done = true;
+      emitNewStatuses(s, unitStatuses(finalArtifact.lines));
+    } else {
+      handleCrash(s, code, sig);
+    }
+  };
+
+  const auto pollShard = [&](ShardState& s) {
+    const std::string partial = shardPartialPath(outDir, s.index);
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(partial, ec);
+    if (!ec && (!s.sizeKnown || size != s.lastSize)) {
+      s.sizeKnown = true;
+      s.lastSize = size;
+      s.lastProgressAt = Clock::now();
+    }
+    emitNewStatuses(s, partialStatuses(partial));
+    // The next incomplete unit is in flight; report each (unit, attempt)
+    // transition exactly once.
+    std::optional<std::uint64_t> next;
+    for (const std::uint64_t unit : s.unitIds) {
+      if (unitStatus.count(unit) == 0) {
+        next = unit;
+        break;
+      }
+    }
+    if (next.has_value()) {
+      const std::uint32_t attempt = attempts[*next] + 1;
+      if (s.inFlight != next || s.inFlightAttempt != attempt) {
+        s.inFlight = next;
+        s.inFlightAttempt = attempt;
+        if (sink != nullptr) sink->onUnitStart(*next, s.index, attempt);
+      }
+    }
+    if (options.stallTimeoutMillis > 0 && !s.stallKilled &&
+        Clock::now() - s.lastProgressAt >
+            std::chrono::milliseconds(
+                static_cast<std::int64_t>(options.stallTimeoutMillis))) {
+      s.stallKilled = true;
+      kill(s.pid, SIGKILL);  // reaped as a crash on the next iteration
+    }
+  };
+
+  bool allDone = false;
+  while (g_interrupted == 0) {
+    for (ShardState& s : shards) {
+      if (s.pid < 0) continue;
+      int status = 0;
+      const pid_t reaped = waitpid(s.pid, &status, WNOHANG);
+      if (reaped == s.pid) handleExit(s, status);
+    }
+    for (ShardState& s : shards) {
+      if (s.pid >= 0) pollShard(s);
+    }
+    for (ShardState& s : shards) {
+      if (s.done || s.pid >= 0) continue;
+      if (runningCount() >= options.workers) break;
+      if (Clock::now() < s.nextSpawnAt) continue;
+      spawnShard(s);
+    }
+    allDone = std::all_of(shards.begin(), shards.end(),
+                          [](const ShardState& s) { return s.done; });
+    if (allDone) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::max<std::uint64_t>(1, options.pollMillis)));
+  }
+
+  if (!allDone && g_interrupted != 0) {
+    // Interrupted: kill the workers, keep their durable checkpoints, and
+    // leave a consistent resume state behind.
+    outcome.interrupted = true;
+    for (ShardState& s : shards) {
+      if (s.pid >= 0) kill(s.pid, SIGKILL);
+    }
+    for (ShardState& s : shards) {
+      if (s.pid < 0) continue;
+      int status = 0;
+      waitpid(s.pid, &status, 0);
+      if (sink != nullptr) {
+        sink->onShardExit(s.index, s.pid, -1,
+                          WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+      }
+      s.pid = -1;
+      emitNewStatuses(s, partialStatuses(shardPartialPath(outDir, s.index)));
+    }
+    writeStateFile(outDir, attempts, blacklist);
+  }
+
+  if (handlersInstalled) {
+    sigaction(SIGINT, &oldInt, nullptr);
+    sigaction(SIGTERM, &oldTerm, nullptr);
+  }
+
+  outcome.failedUnits = blacklist.size();
+  outcome.completedUnits = 0;
+  for (const auto& [unit, status] : unitStatus) {
+    if (status != "failed") ++outcome.completedUnits;
+  }
+  if (sink != nullptr) {
+    sink->onCampaignEnd(outcome.completedUnits, outcome.failedUnits,
+                        outcome.totalUnits, outcome.interrupted);
+  }
+  return outcome;
+}
+
+}  // namespace ppn

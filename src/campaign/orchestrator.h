@@ -1,0 +1,92 @@
+// Campaign orchestrator: drives K shard worker processes over a manifest's
+// unit list, surviving crashed, hung, and killed shards.
+//
+// Process model: the orchestrator fork()s one child per shard (at most
+// `workers` concurrently); each child calls runShard() directly — no exec,
+// no IPC beyond the filesystem. The parent stays single-threaded, so forking
+// is safe, and watches children via waitpid plus a progress heartbeat on
+// each shard's partial checkpoint file.
+//
+// Failure policy:
+//  * a shard that exits nonzero or dies on a signal is respawned after a
+//    capped exponential backoff (backoffMillis * 2^(attempts-1), capped at
+//    backoffCapMillis). Shards execute units in ascending id order and
+//    checkpoint after each one, so the FIRST unit missing from the partial
+//    checkpoint is the unit that killed the shard; its attempt count is
+//    charged;
+//  * a running shard whose checkpoint stops growing for stallTimeoutMillis
+//    (0 disables) is declared hung, SIGKILLed, and handled as a crash — this
+//    reuses the same watchdog philosophy as RunLimits::maxWallMillis one
+//    level up the stack;
+//  * a unit that reaches maxAttempts is BLACKLISTED: the orchestrator emits
+//    unit_failed, the respawned shard writes a deterministic
+//    {"status":"failed"} line for it, and the rest of the campaign proceeds
+//    (graceful degradation — the merge pass marks the cell FAILED);
+//  * SIGINT/SIGTERM interrupt the campaign: children are killed, the
+//    attempt/blacklist state is checkpointed to state.json, campaign_end is
+//    emitted with interrupted=true, and the same command with --resume picks
+//    up where it left off. Completed units are never re-executed, and the
+//    merged output of an interrupted+resumed campaign is byte-identical to
+//    an uninterrupted one.
+//
+// Telemetry: the orchestrator emits the campaign event family (obs/events.h:
+// campaign_start, shard_spawn/shard_exit, unit_start/unit_end/unit_retry/
+// unit_failed, campaign_end) to the caller's JsonlEventSink; unit_start/
+// unit_end are observed from the checkpoint files, so they reflect what the
+// shards durably recorded, not what the parent merely scheduled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/manifest.h"
+
+namespace ppn {
+
+class JsonlEventSink;
+
+struct OrchestratorOptions {
+  /// Maximum concurrently running shard processes (>= 1).
+  std::uint32_t workers = 2;
+  /// Attempts a unit is allowed (first try included) before blacklisting.
+  std::uint32_t maxAttempts = 3;
+  /// Respawn backoff after a crash: backoffMillis * 2^(attempts-1), capped.
+  std::uint64_t backoffMillis = 100;
+  std::uint64_t backoffCapMillis = 5'000;
+  /// Hung-shard detection: SIGKILL a shard whose checkpoint has not grown
+  /// for this long. 0 (default) disables — a legitimately long unit must not
+  /// be shot; enable it when unit wall times are bounded.
+  std::uint64_t stallTimeoutMillis = 0;
+  /// Parent poll interval (child reaping, heartbeats, event emission).
+  std::uint64_t pollMillis = 25;
+  /// Resume a previous run in `outDir`: load state.json's attempt counts and
+  /// blacklist, keep completed shard artifacts and partial checkpoints.
+  /// False requires a fresh/empty layout (no state.json yet).
+  bool resume = false;
+  /// Orchestrator telemetry (not owned; may be null).
+  JsonlEventSink* sink = nullptr;
+  /// Install SIGINT/SIGTERM handlers for checkpoint-and-exit (restored on
+  /// return). Tests running the orchestrator in-process may disable this.
+  bool installSignalHandlers = true;
+};
+
+struct OrchestratorOutcome {
+  std::uint64_t totalUnits = 0;
+  std::uint64_t completedUnits = 0;  ///< ok / degraded / skipped
+  std::uint64_t failedUnits = 0;     ///< blacklisted after maxAttempts
+  std::uint32_t shardRestarts = 0;   ///< crash/hang respawns performed
+  bool interrupted = false;          ///< SIGINT/SIGTERM checkpoint-and-exit
+
+  /// Every unit accounted for and none failed.
+  bool ok() const { return !interrupted && failedUnits == 0; }
+};
+
+/// Runs the campaign to completion (or interruption). Throws
+/// std::runtime_error for setup errors (bad outDir, resume-state mismatch);
+/// per-shard failures are retried/degraded per the policy above, never
+/// thrown. POSIX-only (fork/waitpid), like the rest of the harness.
+OrchestratorOutcome orchestrateCampaign(const CampaignManifest& manifest,
+                                        const std::string& outDir,
+                                        const OrchestratorOptions& options);
+
+}  // namespace ppn

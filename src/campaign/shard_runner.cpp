@@ -1,0 +1,212 @@
+#include "campaign/shard_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "analysis/table1.h"
+#include "campaign/artifact.h"
+#include "naming/registry.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/probes.h"
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+const char* unitKindName(WorkUnit::Kind kind) {
+  return kind == WorkUnit::Kind::kRobustness ? "robustness" : "table1";
+}
+
+}  // namespace
+
+std::string failedUnitLine(const WorkUnit& unit, const std::string& reason) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("unit").value(unit.id);
+  w.key("kind").value(unitKindName(unit.kind));
+  w.key("status").value("failed");
+  w.key("reason").value(reason);
+  w.endObject();
+  return w.str();
+}
+
+std::string executeWorkUnit(const CampaignManifest& manifest,
+                            const WorkUnit& unit, RunObserver* runObserver,
+                            ExploreObserver* exploreObserver) {
+  if (unit.kind == WorkUnit::Kind::kTable1) {
+    Table1Options options;
+    options.threads = manifest.certify.threads;
+    options.observer = exploreObserver;
+    options.exploreIdBase = unit.table1Index * kTable1IdStride;
+    options.searchIdBase = 256 + unit.table1Index * kTable1IdStride;
+    const Table1CellResult cell =
+        runTable1Cell(unit.table1Index, manifest.table1P, options);
+    JsonWriter w;
+    w.beginObject();
+    w.key("unit").value(unit.id);
+    w.key("kind").value("table1");
+    w.key("index").value(unit.table1Index);
+    w.key("status").value("ok");
+    w.key("cell").value(cell.cell);
+    w.key("claim").value(cell.claim);
+    w.key("checked_by").value(cell.mechanism);
+    w.key("states").value(cell.states);
+    w.key("verdict").value(table1CheckName(cell.verdict));
+    w.endObject();
+    return w.str();
+  }
+
+  RobustnessCell cell;
+  std::string status = "ok";
+  if (unit.plan.skipped) {
+    cell = skippedRobustnessCell(unit.plan);
+    status = "skipped";
+  } else {
+    CertifySpec spec = manifest.certify;
+    spec.observer = runObserver;
+    const auto proto = makeProtocol(unit.plan.protocol, unit.plan.p);
+    const CampaignSpec campaign =
+        cellCampaignSpec(spec, unit.plan, unit.runIdBase);
+    cell = judgeRobustnessCell(unit.plan, runCampaign(*proto, campaign));
+    if (cell.result.degraded) status = "degraded";
+  }
+  // The cell document is embedded as a STRING so the merge pass can splice
+  // the exact bytes into the rebuilt table without a number round-trip.
+  JsonWriter cellJson;
+  writeRobustnessCellJson(cellJson, cell);
+  JsonWriter w;
+  w.beginObject();
+  w.key("unit").value(unit.id);
+  w.key("kind").value("robustness");
+  w.key("status").value(status);
+  w.key("cell").value(cellJson.str());
+  w.endObject();
+  return w.str();
+}
+
+int runShard(const CampaignManifest& manifest, const std::string& outDir,
+             const ShardOptions& options) {
+  try {
+    const std::string finalPath = shardFinalPath(outDir, options.shardIndex);
+    if (readJsonlArtifact(finalPath).ok()) return 0;  // idempotent re-run
+
+    std::vector<WorkUnit> mine;
+    for (WorkUnit& unit : expandManifest(manifest)) {
+      if (unitShard(manifest, unit.id) == options.shardIndex) {
+        mine.push_back(std::move(unit));
+      }
+    }
+
+    // Recover the checkpoint: completed units survive a crash; a torn final
+    // line is dropped and the valid prefix re-published before we append.
+    const std::string partialPath =
+        shardPartialPath(outDir, options.shardIndex);
+    std::unordered_map<std::uint64_t, std::string> completed;
+    if (std::filesystem::exists(partialPath)) {
+      // Interior corruption (not the torn-tail crash signature) means the
+      // checkpoint cannot be trusted at all; units are deterministic, so the
+      // safe recovery is to discard it and recompute from scratch.
+      bool discard = false;
+      JsonlReadResult recovered;
+      try {
+        recovered = readJsonlTolerant(partialPath);
+      } catch (const std::runtime_error& e) {
+        std::fprintf(stderr,
+                     "shard %u: discarding corrupt checkpoint (%s)\n",
+                     options.shardIndex, e.what());
+        discard = true;
+      }
+      std::vector<std::string> kept;
+      for (const std::string& line : recovered.lines) {
+        const auto value = jsonParse(line);
+        const JsonValue* unitField =
+            value.has_value() ? value->find("unit") : nullptr;
+        const auto unitId =
+            unitField != nullptr ? unitField->asU64() : std::nullopt;
+        if (!unitId.has_value()) {
+          discard = true;  // structurally valid JSON but not a unit line
+          completed.clear();
+          kept.clear();
+          break;
+        }
+        if (completed.emplace(*unitId, line).second) kept.push_back(line);
+      }
+      if (discard || recovered.torn || kept.size() != recovered.lines.size()) {
+        std::string content;
+        for (const std::string& line : kept) {
+          content += line;
+          content += '\n';
+        }
+        writeFileAtomic(partialPath, content);
+      }
+    }
+
+    MetricsRegistry registry;
+    MetricsRunObserver runProbe(registry);
+    MetricsExploreObserver exploreProbe(registry);
+    const CounterHandle unitsExecuted = registry.counter("units_executed");
+    const CounterHandle unitsResumed = registry.counter("units_resumed");
+    const CounterHandle unitsFailed = registry.counter("units_failed");
+
+    std::ofstream append(partialPath, std::ios::app | std::ios::binary);
+    if (!append) {
+      throw std::runtime_error("cannot open '" + partialPath +
+                               "' for appending");
+    }
+    std::vector<std::string> lines;
+    lines.reserve(mine.size());
+    for (const WorkUnit& unit : mine) {
+      if (const auto it = completed.find(unit.id); it != completed.end()) {
+        lines.push_back(it->second);
+        registry.add(unitsResumed);
+        continue;
+      }
+      const bool blacklisted =
+          std::find(options.failedUnits.begin(), options.failedUnits.end(),
+                    unit.id) != options.failedUnits.end();
+      if (!blacklisted) {
+        // Test hooks: deterministic hang / crash on a designated unit, used
+        // by the orchestrator's stall-detection and retry tests.
+        if (manifest.debugHangUnit == unit.id) {
+          for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+        }
+        if (manifest.debugCrashUnit == unit.id) std::abort();
+      }
+      std::string line;
+      if (blacklisted) {
+        line = failedUnitLine(unit, "retries exhausted");
+        registry.add(unitsFailed);
+      } else {
+        line = executeWorkUnit(manifest, unit, &runProbe, &exploreProbe);
+        registry.add(unitsExecuted);
+      }
+      append << line << '\n';
+      append.flush();
+      if (!append) {
+        throw std::runtime_error("short write to '" + partialPath + "'");
+      }
+      lines.push_back(std::move(line));
+    }
+    append.close();
+
+    writeJsonlArtifact(finalPath, lines);
+    writeFileAtomic(shardMetricsPath(outDir, options.shardIndex),
+                    registry.toJson() + "\n");
+    std::remove(partialPath.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shard %u: %s\n", options.shardIndex, e.what());
+    return 1;
+  }
+}
+
+}  // namespace ppn

@@ -1,0 +1,70 @@
+// Shard runner: executes the work units striped onto one shard (unit id %
+// shards), checkpointing after every unit so a crashed or killed shard
+// resumes from its last completed unit instead of from scratch.
+//
+// Durability protocol (see artifact.h):
+//  * progress is an append-only partial checkpoint (shards/shard_NNN.
+//    partial.jsonl), one JSON line per completed unit, flushed per line. On
+//    resume the partial is read tolerantly — a torn final line (the crash
+//    signature) is dropped and the valid prefix is re-published atomically
+//    before appending continues;
+//  * once every unit is done, the full line list is published as the final
+//    artifact (shards/shard_NNN.jsonl) with a checksum footer via atomic
+//    rename and the partial is deleted. A shard whose final artifact already
+//    verifies exits immediately (idempotent re-runs).
+//
+// Unit result lines are fully deterministic — seeds are pre-drawn by the
+// manifest expansion and NO wall-clock quantity is ever written — so the
+// bytes a unit contributes are identical across attempts, shard assignments,
+// thread counts, and kill/resume cycles. (The one caveat is inherited from
+// the sweep itself: a nonzero maxWallMillis lets the watchdog degrade runs
+// nondeterministically; determinism-sensitive campaigns run with the
+// watchdog off, exactly like the in-process sweeps.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.h"
+
+namespace ppn {
+
+class ExploreObserver;  // obs/explore_observer.h
+
+struct ShardOptions {
+  std::uint32_t shardIndex = 0;
+  /// Units the orchestrator blacklisted after exhausting retries: the shard
+  /// emits a deterministic {"status":"failed"} line instead of executing
+  /// them, so the artifact still covers every unit and the rest of the shard
+  /// proceeds (graceful degradation).
+  std::vector<std::uint64_t> failedUnits;
+};
+
+/// Executes the shard to completion. Returns 0 on success (final artifact
+/// published), nonzero after printing a diagnostic to stderr. Designed to run
+/// in a forked child process but callable in-process for tests.
+int runShard(const CampaignManifest& manifest, const std::string& outDir,
+             const ShardOptions& options);
+
+/// The JSONL line a completed unit contributes to its shard artifact
+/// (exposed for the merge pass and tests):
+///   robustness  {"unit":id,"kind":"robustness","status":"ok"|"degraded"|
+///                "skipped","cell":"<robustness-cell JSON, embedded as a
+///                string so merge can splice the exact bytes>"}
+///   table1      {"unit":id,"kind":"table1","index":i,"status":"ok",
+///                "cell":...,"claim":...,"checked_by":...,"states":...,
+///                "verdict":"pass"|"fail"|"unknown"}
+///   failed      {"unit":id,"kind":...,"status":"failed","reason":...}
+/// Executes the unit synchronously (this is the per-unit work function).
+/// The optional probes feed the shard's metrics artifact; they never affect
+/// the returned bytes.
+std::string executeWorkUnit(const CampaignManifest& manifest,
+                            const WorkUnit& unit,
+                            RunObserver* runObserver = nullptr,
+                            ExploreObserver* exploreObserver = nullptr);
+
+/// The deterministic line for a blacklisted unit.
+std::string failedUnitLine(const WorkUnit& unit, const std::string& reason);
+
+}  // namespace ppn

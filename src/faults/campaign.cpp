@@ -34,9 +34,14 @@ CampaignRunOutcome runCampaignOnce(Engine& engine, Scheduler& sched,
                                        engine.numParticipants()});
   }
   bool cancelled = false;
+  // Pairs the run_end when an exception unwinds out of the fault or recovery
+  // phase (engine/scheduler/process throws); the normal paths below disarm it
+  // inside finishRun.
+  RunEndPairGuard pairGuard(observer, recorder, engine, runId);
   // Emits the run_end paired with the onRunStart above; every return path
   // below goes through this, so ids always pair up in the event stream.
   const auto finishRun = [&]() {
+    pairGuard.disarm();
     if (observer == nullptr) return;
     const double wallMillis =
         std::chrono::duration<double, std::milli>(Clock::now() - started)

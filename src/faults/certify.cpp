@@ -37,22 +37,23 @@ std::string percent(std::uint32_t part, std::uint32_t whole) {
   return std::to_string(part) + "/" + std::to_string(whole);
 }
 
-/// One planned sweep cell. Enumerated up front so certifyRecovery and
-/// plannedRuns agree on exactly which cells execute (carve-outs, population
-/// dedup, and assumption-gap skips included).
-struct CellPlan {
-  std::string protocol;
-  bool selfStabilizing = false;
-  std::uint32_t population = 0;
-  StateId p = 0;
-  FaultRegime regime = FaultRegime::kPoissonTransient;
-  SchedulerKind sched = SchedulerKind::kRandom;
-  std::string note;
-  bool skipped = false;
-};
+}  // namespace
 
-std::vector<CellPlan> planCells(const CertifySpec& spec) {
-  std::vector<CellPlan> plans;
+RobustnessCell skippedRobustnessCell(const RobustnessCellPlan& plan) {
+  RobustnessCell cell;
+  cell.protocol = plan.protocol;
+  cell.selfStabilizing = plan.selfStabilizing;
+  cell.population = plan.population;
+  cell.p = plan.p;
+  cell.regime = plan.regime;
+  cell.sched = plan.sched;
+  cell.note = plan.note;
+  cell.verdict = CellVerdict::kSkipped;
+  return cell;
+}
+
+std::vector<RobustnessCellPlan> planRobustnessCells(const CertifySpec& spec) {
+  std::vector<RobustnessCellPlan> plans;
   const std::vector<std::string> protocols =
       spec.protocols.empty() ? protocolKeys() : spec.protocols;
 
@@ -82,7 +83,7 @@ std::vector<CellPlan> planCells(const CertifySpec& spec) {
 
       for (const FaultRegime regime : spec.regimes) {
         for (const SchedulerKind sched : spec.schedulers) {
-          CellPlan plan;
+          RobustnessCellPlan plan;
           plan.protocol = key;
           plan.selfStabilizing = selfStab;
           plan.population = population;
@@ -102,7 +103,63 @@ std::vector<CellPlan> planCells(const CertifySpec& spec) {
   return plans;
 }
 
-}  // namespace
+CampaignSpec cellCampaignSpec(const CertifySpec& spec,
+                              const RobustnessCellPlan& plan,
+                              std::uint64_t runIdBase) {
+  CampaignSpec campaign;
+  campaign.regime = plan.regime;
+  campaign.params.rate = spec.faultRate;
+  campaign.params.period = spec.faultPeriod;
+  campaign.params.corruptAgents = static_cast<std::uint32_t>(
+      std::max(1.0, std::round(plan.population * spec.corruptFraction)));
+  campaign.params.corruptLeader = spec.corruptLeader;
+  campaign.faultWindow = spec.faultWindow;
+  campaign.numMobile = plan.population;
+  // Prop 14 is the only row whose claim requires initialized mobile
+  // agents; everything else starts arbitrary (self-stabilizing rows
+  // by definition, leader rows per their Table 1 assumptions).
+  campaign.init = plan.protocol == "leader-uniform" ? InitKind::kUniform
+                                                    : InitKind::kArbitrary;
+  campaign.sched = plan.sched;
+  campaign.runs = spec.runs;
+  campaign.seed = cellSeed(spec.seed, plan.protocol, plan.population,
+                           plan.regime, plan.sched);
+  campaign.limits = spec.limits;
+  campaign.threads = spec.threads;
+  campaign.observer = spec.observer;
+  campaign.runIdBase = runIdBase;
+  return campaign;
+}
+
+RobustnessCell judgeRobustnessCell(const RobustnessCellPlan& plan,
+                                   CampaignResult result) {
+  RobustnessCell cell;
+  cell.protocol = plan.protocol;
+  cell.selfStabilizing = plan.selfStabilizing;
+  cell.population = plan.population;
+  cell.p = plan.p;
+  cell.regime = plan.regime;
+  cell.sched = plan.sched;
+  cell.note = plan.note;
+  cell.result = std::move(result);
+
+  if (cell.result.timedOut > 0) {
+    cell.verdict = CellVerdict::kDegraded;
+  } else if (plan.selfStabilizing) {
+    cell.verdict = cell.result.recoveredNamed == cell.result.runs
+                       ? CellVerdict::kCertified
+                       : CellVerdict::kFailed;
+  } else {
+    cell.verdict = CellVerdict::kEvidence;
+    const std::uint32_t wrongStable =
+        cell.result.recovered - cell.result.recoveredNamed;
+    if (wrongStable > 0) {
+      if (!cell.note.empty()) cell.note += "; ";
+      cell.note += "wrong-stable " + percent(wrongStable, cell.result.runs);
+    }
+  }
+  return cell;
+}
 
 std::string cellVerdictName(CellVerdict v) {
   switch (v) {
@@ -126,72 +183,22 @@ RobustnessTable certifyRecovery(const CertifySpec& spec) {
   // event stream has globally unique, reproducible ids across the sweep.
   std::uint64_t runIdBase = 0;
 
-  for (const CellPlan& plan : planCells(spec)) {
-    RobustnessCell cell;
-    cell.protocol = plan.protocol;
-    cell.selfStabilizing = plan.selfStabilizing;
-    cell.population = plan.population;
-    cell.p = plan.p;
-    cell.regime = plan.regime;
-    cell.sched = plan.sched;
-    cell.note = plan.note;
-
+  for (const RobustnessCellPlan& plan : planRobustnessCells(spec)) {
     if (plan.skipped) {
-      cell.verdict = CellVerdict::kSkipped;
-      table.cells.push_back(std::move(cell));
+      table.cells.push_back(skippedRobustnessCell(plan));
       continue;
     }
-
     const auto proto = makeProtocol(plan.protocol, plan.p);
-    CampaignSpec campaign;
-    campaign.regime = plan.regime;
-    campaign.params.rate = spec.faultRate;
-    campaign.params.period = spec.faultPeriod;
-    campaign.params.corruptAgents = static_cast<std::uint32_t>(
-        std::max(1.0, std::round(plan.population * spec.corruptFraction)));
-    campaign.params.corruptLeader = spec.corruptLeader;
-    campaign.faultWindow = spec.faultWindow;
-    campaign.numMobile = plan.population;
-    // Prop 14 is the only row whose claim requires initialized mobile
-    // agents; everything else starts arbitrary (self-stabilizing rows
-    // by definition, leader rows per their Table 1 assumptions).
-    campaign.init = plan.protocol == "leader-uniform" ? InitKind::kUniform
-                                                      : InitKind::kArbitrary;
-    campaign.sched = plan.sched;
-    campaign.runs = spec.runs;
-    campaign.seed = cellSeed(spec.seed, plan.protocol, plan.population,
-                             plan.regime, plan.sched);
-    campaign.limits = spec.limits;
-    campaign.threads = spec.threads;
-    campaign.observer = spec.observer;
-    campaign.runIdBase = runIdBase;
+    const CampaignSpec campaign = cellCampaignSpec(spec, plan, runIdBase);
     runIdBase += spec.runs;
-
-    cell.result = runCampaign(*proto, campaign);
-
-    if (cell.result.timedOut > 0) {
-      cell.verdict = CellVerdict::kDegraded;
-    } else if (plan.selfStabilizing) {
-      cell.verdict = cell.result.recoveredNamed == cell.result.runs
-                         ? CellVerdict::kCertified
-                         : CellVerdict::kFailed;
-    } else {
-      cell.verdict = CellVerdict::kEvidence;
-      const std::uint32_t wrongStable =
-          cell.result.recovered - cell.result.recoveredNamed;
-      if (wrongStable > 0) {
-        if (!cell.note.empty()) cell.note += "; ";
-        cell.note += "wrong-stable " + percent(wrongStable, spec.runs);
-      }
-    }
-    table.cells.push_back(std::move(cell));
+    table.cells.push_back(judgeRobustnessCell(plan, runCampaign(*proto, campaign)));
   }
   return table;
 }
 
 std::uint64_t plannedRuns(const CertifySpec& spec) {
   std::uint64_t runs = 0;
-  for (const CellPlan& plan : planCells(spec)) {
+  for (const RobustnessCellPlan& plan : planRobustnessCells(spec)) {
     if (!plan.skipped) runs += spec.runs;
   }
   return runs;
@@ -222,39 +229,41 @@ Table RobustnessTable::render() const {
   return t;
 }
 
+void writeRobustnessCellJson(JsonWriter& w, const RobustnessCell& c) {
+  w.beginObject();
+  w.key("protocol").value(c.protocol);
+  w.key("selfStabilizing").value(c.selfStabilizing);
+  w.key("population").value(c.population);
+  w.key("p").value(static_cast<std::uint64_t>(c.p));
+  w.key("regime").value(faultRegimeName(c.regime));
+  w.key("scheduler").value(schedulerKindName(c.sched));
+  w.key("verdict").value(cellVerdictName(c.verdict));
+  w.key("note").value(c.note);
+  if (c.verdict != CellVerdict::kSkipped) {
+    w.key("runs").value(c.result.runs);
+    w.key("recovered").value(c.result.recovered);
+    w.key("recoveredNamed").value(c.result.recoveredNamed);
+    w.key("timedOut").value(c.result.timedOut);
+    w.key("degraded").value(c.result.degraded);
+    w.key("faultsPerRunMean").value(c.result.faultsInjected.mean);
+    w.key("recovery").beginObject();
+    w.key("count").value(c.result.recoveryInteractions.count);
+    w.key("mean").value(c.result.recoveryInteractions.mean);
+    w.key("median").value(c.result.recoveryInteractions.median);
+    w.key("p90").value(c.result.recoveryInteractions.p90);
+    w.key("max").value(c.result.recoveryInteractions.max);
+    w.endObject();
+  }
+  w.endObject();
+}
+
 std::string RobustnessTable::toJson() const {
   JsonWriter w;
   w.beginObject();
   w.key("kind").value("ppn-robustness-table");
   w.key("certified").value(certified());
   w.key("cells").beginArray();
-  for (const RobustnessCell& c : cells) {
-    w.beginObject();
-    w.key("protocol").value(c.protocol);
-    w.key("selfStabilizing").value(c.selfStabilizing);
-    w.key("population").value(c.population);
-    w.key("p").value(static_cast<std::uint64_t>(c.p));
-    w.key("regime").value(faultRegimeName(c.regime));
-    w.key("scheduler").value(schedulerKindName(c.sched));
-    w.key("verdict").value(cellVerdictName(c.verdict));
-    w.key("note").value(c.note);
-    if (c.verdict != CellVerdict::kSkipped) {
-      w.key("runs").value(c.result.runs);
-      w.key("recovered").value(c.result.recovered);
-      w.key("recoveredNamed").value(c.result.recoveredNamed);
-      w.key("timedOut").value(c.result.timedOut);
-      w.key("degraded").value(c.result.degraded);
-      w.key("faultsPerRunMean").value(c.result.faultsInjected.mean);
-      w.key("recovery").beginObject();
-      w.key("count").value(c.result.recoveryInteractions.count);
-      w.key("mean").value(c.result.recoveryInteractions.mean);
-      w.key("median").value(c.result.recoveryInteractions.median);
-      w.key("p90").value(c.result.recoveryInteractions.p90);
-      w.key("max").value(c.result.recoveryInteractions.max);
-      w.endObject();
-    }
-    w.endObject();
-  }
+  for (const RobustnessCell& c : cells) writeRobustnessCellJson(w, c);
   w.endArray();
   w.endObject();
   return w.str();

@@ -24,6 +24,8 @@
 
 namespace ppn {
 
+class JsonWriter;  // util/json.h
+
 struct CertifySpec {
   /// Protocol registry keys to sweep; empty = protocolKeys().
   std::vector<std::string> protocols;
@@ -101,5 +103,53 @@ RobustnessTable certifyRecovery(const CertifySpec& spec);
 /// Number of campaign runs the sweep will actually execute (skipped cells
 /// excluded) — the expected-total input for a ProgressReporter.
 std::uint64_t plannedRuns(const CertifySpec& spec);
+
+// ---------------------------------------------------------------------------
+// Layered sweep API (E24): the campaign orchestration subsystem
+// (src/campaign/) executes individual cells on remote shard processes and
+// re-judges them at merge time, so the planning / spec-building / judging /
+// serialization stages that certifyRecovery chains internally are exported
+// here. certifyRecovery(spec) is exactly plan -> cellCampaignSpec ->
+// runCampaign -> judge over the planned cells, so a merged distributed sweep
+// is byte-identical to the in-process one.
+
+/// One planned sweep cell: the cell coordinates plus the carve-out /
+/// assumption-gap decisions (documented on CertifySpec), enumerated up front
+/// so every consumer agrees on exactly which cells execute and in what order.
+struct RobustnessCellPlan {
+  std::string protocol;
+  bool selfStabilizing = false;
+  std::uint32_t population = 0;
+  StateId p = 0;  ///< the protocol's state bound for this cell
+  FaultRegime regime = FaultRegime::kPoissonTransient;
+  SchedulerKind sched = SchedulerKind::kRandom;
+  std::string note;
+  bool skipped = false;
+};
+
+/// Deterministic cell enumeration for `spec` (plan order is execution order).
+std::vector<RobustnessCellPlan> planRobustnessCells(const CertifySpec& spec);
+
+/// The CampaignSpec a sweep runs for one planned cell. The campaign seed is
+/// pre-drawn from the cell coordinates (FNV-1a, platform-stable), so a cell's
+/// result is independent of which shard or process executes it.
+CampaignSpec cellCampaignSpec(const CertifySpec& spec,
+                              const RobustnessCellPlan& plan,
+                              std::uint64_t runIdBase = 0);
+
+/// Applies the verdict policy (certify/fail/evidence/degraded) to a finished
+/// cell's campaign result.
+RobustnessCell judgeRobustnessCell(const RobustnessCellPlan& plan,
+                                   CampaignResult result);
+
+/// The RobustnessCell a skipped plan cell contributes (verdict kSkipped, no
+/// campaign result) — shared by certifyRecovery and the campaign shard
+/// runner so both serialize skipped cells identically.
+RobustnessCell skippedRobustnessCell(const RobustnessCellPlan& plan);
+
+/// Serializes one cell as the JSON object embedded in RobustnessTable::
+/// toJson(). Shared with the campaign shard runner / merge pass so a table
+/// rebuilt from shard artifacts is byte-identical to the in-process sweep.
+void writeRobustnessCellJson(JsonWriter& w, const RobustnessCell& c);
 
 }  // namespace ppn

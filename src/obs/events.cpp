@@ -1,5 +1,8 @@
 #include "obs/events.h"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/json.h"
@@ -15,11 +18,15 @@ const char* faultTargetName(FaultTarget t) {
 }  // namespace
 
 JsonlEventSink::JsonlEventSink(const std::string& path,
-                               std::uint64_t progressIntervalMillis)
-    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+                               std::uint64_t progressIntervalMillis,
+                               bool atomicRename)
+    : owned_(std::make_unique<std::ofstream>(
+          atomicRename ? path + ".tmp" : path, std::ios::trunc)),
       out_(owned_.get()),
       start_(std::chrono::steady_clock::now()),
-      progressIntervalMillis_(progressIntervalMillis) {
+      progressIntervalMillis_(progressIntervalMillis),
+      finalPath_(atomicRename ? path : std::string()),
+      tmpPath_(atomicRename ? path + ".tmp" : std::string()) {
   if (!*owned_) {
     throw std::runtime_error("JsonlEventSink: cannot open '" + path +
                              "' for writing");
@@ -32,7 +39,25 @@ JsonlEventSink::JsonlEventSink(std::ostream& out,
       start_(std::chrono::steady_clock::now()),
       progressIntervalMillis_(progressIntervalMillis) {}
 
-JsonlEventSink::~JsonlEventSink() { flush(); }
+JsonlEventSink::~JsonlEventSink() { close(); }
+
+bool JsonlEventSink::close() {
+  flush();
+  if (owned_) owned_->close();
+  if (finalPath_.empty()) return true;
+  // The rename publishes the complete file in one step; until it happens a
+  // reader either sees the previous artifact or nothing — never a torn one.
+  const bool ok = std::rename(tmpPath_.c_str(), finalPath_.c_str()) == 0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "JsonlEventSink: cannot rename '%s' onto '%s'; events remain "
+                 "at the .tmp path\n",
+                 tmpPath_.c_str(), finalPath_.c_str());
+  }
+  finalPath_.clear();
+  tmpPath_.clear();
+  return ok;
+}
 
 std::uint64_t JsonlEventSink::elapsedMillis() const {
   return static_cast<std::uint64_t>(
@@ -206,6 +231,162 @@ void JsonlEventSink::onBatchProgress(const BatchProgressEvent& e) {
   w.key("elapsed_ms").value(now);
   w.endObject();
   writeLine(w.str());
+}
+
+void JsonlEventSink::onCampaignStart(std::uint64_t units, std::uint32_t shards,
+                                     std::uint32_t workers, bool resumed) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("campaign_start");
+  w.key("units").value(units);
+  w.key("shards").value(shards);
+  w.key("workers").value(workers);
+  w.key("resumed").value(resumed);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onShardSpawn(std::uint32_t shard, std::int64_t pid,
+                                  std::uint64_t spawn) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("shard_spawn");
+  w.key("shard").value(shard);
+  w.key("pid").value(pid);
+  w.key("spawn").value(spawn);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onShardExit(std::uint32_t shard, std::int64_t pid,
+                                 int code, int signal) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("shard_exit");
+  w.key("shard").value(shard);
+  w.key("pid").value(pid);
+  w.key("code").value(code);
+  w.key("signal").value(signal);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onUnitStart(std::uint64_t unit, std::uint32_t shard,
+                                 std::uint32_t attempt) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("unit_start");
+  w.key("unit").value(unit);
+  w.key("shard").value(shard);
+  w.key("attempt").value(attempt);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onUnitEnd(std::uint64_t unit, std::uint32_t shard,
+                               std::uint32_t attempt,
+                               const std::string& status) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("unit_end");
+  w.key("unit").value(unit);
+  w.key("shard").value(shard);
+  w.key("attempt").value(attempt);
+  w.key("status").value(status);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onUnitRetry(std::uint64_t unit, std::uint32_t shard,
+                                 std::uint32_t attempt,
+                                 std::uint64_t backoffMillis,
+                                 const std::string& reason) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("unit_retry");
+  w.key("unit").value(unit);
+  w.key("shard").value(shard);
+  w.key("attempt").value(attempt);
+  w.key("backoff_ms").value(backoffMillis);
+  w.key("reason").value(reason);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onUnitFailed(std::uint64_t unit, std::uint32_t shard,
+                                  std::uint32_t attempts,
+                                  const std::string& reason) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("unit_failed");
+  w.key("unit").value(unit);
+  w.key("shard").value(shard);
+  w.key("attempts").value(attempts);
+  w.key("reason").value(reason);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onCampaignEnd(std::uint64_t completed,
+                                   std::uint64_t failed, std::uint64_t total,
+                                   bool interrupted) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("campaign_end");
+  w.key("completed").value(completed);
+  w.key("failed").value(failed);
+  w.key("total").value(total);
+  w.key("interrupted").value(interrupted);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+JsonlReadResult readJsonlTolerant(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("readJsonlTolerant: cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  JsonlReadResult out;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      // No terminating newline: the write was cut mid-line. Drop it.
+      out.torn = true;
+      break;
+    }
+    std::string line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    const bool last = pos >= content.size();
+    if (line.empty() || !jsonIsValid(line)) {
+      if (last) {
+        // A final line that made it to its newline but not to valid JSON:
+        // the crash landed inside a buffered flush. Tolerated, like the
+        // missing-newline case.
+        out.torn = true;
+        break;
+      }
+      throw std::runtime_error(
+          "readJsonlTolerant: '" + path + "' line " +
+          std::to_string(out.lines.size() + 1) +
+          (line.empty() ? " is blank" : " is not valid JSON") +
+          " — interior corruption, not a torn tail");
+    }
+    out.lines.push_back(std::move(line));
+  }
+  return out;
 }
 
 }  // namespace ppn

@@ -31,6 +31,26 @@
 // batch_progress events arrive once per completed run; the sink throttles
 // them to at most one per `progressIntervalMillis` (the batch-final event,
 // completed == total, is always written).
+//
+// The sink additionally carries the campaign-orchestration event family
+// (E24, emitted by src/campaign/orchestrator.* — not part of any probe
+// interface, the orchestrator owns its sink and calls these directly):
+//   campaign_start {units, shards, workers, resumed}
+//   shard_spawn    {shard, pid, spawn}
+//   shard_exit     {shard, pid, code, signal}
+//   unit_start     {unit, shard, attempt}
+//   unit_end       {unit, shard, attempt, status}       status: ok|degraded|failed
+//   unit_retry     {unit, shard, attempt, backoff_ms, reason}
+//   unit_failed    {unit, shard, attempts, reason}
+//   campaign_end   {completed, failed, total, interrupted}
+//
+// Durability (E24): a path-constructed sink writes to `path + ".tmp"` and
+// atomically renames onto `path` on close (or destruction), so a consumer
+// never observes a torn final artifact — a crash leaves only the .tmp behind.
+// For reading back append-only JSONL written by a process that may have been
+// killed mid-write (shard checkpoints, orphaned .tmp files), use
+// readJsonlTolerant: it accepts a torn FINAL line (the crash signature) while
+// still rejecting interior corruption.
 #pragma once
 
 #include <chrono>
@@ -40,6 +60,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "obs/explore_observer.h"
 #include "obs/observer.h"
@@ -48,11 +69,14 @@ namespace ppn {
 
 class JsonlEventSink final : public RunObserver, public ExploreObserver {
  public:
-  /// Opens `path` for writing (truncating); throws std::runtime_error on
-  /// failure so a bad --events-out flag fails fast instead of silently
-  /// dropping telemetry.
+  /// Opens `path + ".tmp"` for writing (truncating) and renames onto `path`
+  /// on close(); throws std::runtime_error on failure so a bad --events-out
+  /// flag fails fast instead of silently dropping telemetry. Pass
+  /// `atomicRename = false` to write `path` directly (pre-E24 behavior: a
+  /// crash leaves a partial file at the final path).
   explicit JsonlEventSink(const std::string& path,
-                          std::uint64_t progressIntervalMillis = 500);
+                          std::uint64_t progressIntervalMillis = 500,
+                          bool atomicRename = true);
 
   /// Non-owning: writes to `out` (tests, stdout). Defaults to writing every
   /// batch_progress event so tests see them all.
@@ -74,8 +98,31 @@ class JsonlEventSink final : public RunObserver, public ExploreObserver {
   void onTruncated(const ExploreTruncatedEvent& e) override;
   void onSearchProgress(const SearchProgressEvent& e) override;
 
+  // Campaign-orchestration events (schema above; called directly by the
+  // orchestrator, which owns its sink — no probe interface involved).
+  void onCampaignStart(std::uint64_t units, std::uint32_t shards,
+                       std::uint32_t workers, bool resumed);
+  void onShardSpawn(std::uint32_t shard, std::int64_t pid, std::uint64_t spawn);
+  void onShardExit(std::uint32_t shard, std::int64_t pid, int code, int signal);
+  void onUnitStart(std::uint64_t unit, std::uint32_t shard,
+                   std::uint32_t attempt);
+  void onUnitEnd(std::uint64_t unit, std::uint32_t shard, std::uint32_t attempt,
+                 const std::string& status);
+  void onUnitRetry(std::uint64_t unit, std::uint32_t shard,
+                   std::uint32_t attempt, std::uint64_t backoffMillis,
+                   const std::string& reason);
+  void onUnitFailed(std::uint64_t unit, std::uint32_t shard,
+                    std::uint32_t attempts, const std::string& reason);
+  void onCampaignEnd(std::uint64_t completed, std::uint64_t failed,
+                     std::uint64_t total, bool interrupted);
+
   /// Flushes the underlying stream (also done on destruction).
   void flush();
+
+  /// Flushes and — for an atomic path sink — renames the temp file onto the
+  /// final path. Idempotent; called by the destructor. Returns false when the
+  /// rename failed (the data survives at `path + ".tmp"`).
+  bool close();
 
  private:
   std::uint64_t elapsedMillis() const;
@@ -88,6 +135,23 @@ class JsonlEventSink final : public RunObserver, public ExploreObserver {
   std::uint64_t progressIntervalMillis_;
   std::uint64_t lastProgressMillis_ = 0;
   bool anyProgressWritten_ = false;
+  std::string finalPath_;  ///< empty for stream sinks or after close()
+  std::string tmpPath_;
 };
+
+/// Result of a tolerant JSONL read (see header note).
+struct JsonlReadResult {
+  /// Complete, syntactically valid JSON lines, in file order (no newlines).
+  std::vector<std::string> lines;
+  /// True when a torn final line (no terminating newline, or invalid JSON on
+  /// the last line) was dropped — the signature of a crash mid-write.
+  bool torn = false;
+};
+
+/// Reads a JSONL file, dropping a torn FINAL line instead of failing the
+/// whole file. Throws std::runtime_error when the file cannot be opened, when
+/// an interior line is blank or fails to parse (real corruption, not a torn
+/// write), or when more than the final line is damaged.
+JsonlReadResult readJsonlTolerant(const std::string& path);
 
 }  // namespace ppn

@@ -38,6 +38,35 @@ ConvergenceSample sampleConvergence(const Engine& engine,
   return s;
 }
 
+RunEndPairGuard::RunEndPairGuard(RunObserver* observer,
+                                 FlightRecorder* recorder, const Engine& engine,
+                                 std::uint64_t runId)
+    : observer_(observer),
+      recorder_(recorder),
+      engine_(engine),
+      runId_(runId),
+      started_(std::chrono::steady_clock::now()) {}
+
+RunEndPairGuard::~RunEndPairGuard() {
+  if (!armed_) return;
+  // Unwinding with the run unfinished: preserve the ring first (the dump path
+  // must never throw — dumpToConfiguredPath reports failure by return value),
+  // then keep the event stream's run_start/run_end pairing intact.
+  if (recorder_ != nullptr) {
+    recorder_->record(sampleConvergence(engine_, runId_));
+    recorder_->dumpToConfiguredPath("exception unwind run " +
+                                    std::to_string(runId_));
+  }
+  if (observer_ != nullptr) {
+    const double wallMillis = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - started_)
+                                  .count();
+    observer_->onRunEnd(RunEndEvent{runId_, false, false, false, false,
+                                    engine_.totalInteractions(),
+                                    engine_.totalInteractions(), wallMillis});
+  }
+}
+
 RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
                           const RunLimits& limits, const CancelToken* cancel,
                           RunObserver* observer, std::uint64_t runId,
@@ -58,6 +87,7 @@ RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
     observer->onRunStart(RunStartEvent{runId, engine.numMobile(),
                                        engine.numParticipants()});
   }
+  RunEndPairGuard pairGuard(observer, recorder, engine, runId);
 
   bool silent = engine.silent();
   if (observer != nullptr) {
@@ -115,6 +145,7 @@ RunOutcome runUntilSilent(Engine& engine, Scheduler& sched,
   out.convergenceInteractions =
       silent ? engine.lastChangeAt() : engine.totalInteractions();
   out.finalConfig = engine.config();
+  pairGuard.disarm();
   if (observer != nullptr) {
     const double wallMillis =
         std::chrono::duration<double, std::milli>(Clock::now() - started)

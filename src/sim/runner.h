@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -80,6 +81,35 @@ struct RunOutcome {
 /// their name). This is the FlightRecorder sampling glue — obs/trace.h holds
 /// only plain data and never sees core types.
 ConvergenceSample sampleConvergence(const Engine& engine, std::uint64_t runId);
+
+/// RAII companion for observed runs: guarantees that an emitted run_start is
+/// paired with a run_end even when the run body THROWS (an exception
+/// unwinding through a batch worker previously left the event stream with an
+/// unpaired run_start), and dumps the flight recorder before the worker
+/// unwinds so the ring's perturbation history is not lost with the run.
+/// Construct immediately after emitting run_start; call disarm() once the
+/// normal path has emitted its own run_end. A destructor firing while armed
+/// emits a synthetic run_end (silent/named/timedOut/cancelled all false) with
+/// the engine's current interaction counts.
+class RunEndPairGuard {
+ public:
+  RunEndPairGuard(RunObserver* observer, FlightRecorder* recorder,
+                  const Engine& engine, std::uint64_t runId);
+  ~RunEndPairGuard();
+
+  RunEndPairGuard(const RunEndPairGuard&) = delete;
+  RunEndPairGuard& operator=(const RunEndPairGuard&) = delete;
+
+  void disarm() { armed_ = false; }
+
+ private:
+  RunObserver* observer_;
+  FlightRecorder* recorder_;
+  const Engine& engine_;
+  std::uint64_t runId_;
+  std::chrono::steady_clock::time_point started_;
+  bool armed_ = true;
+};
 
 /// Steps `engine` with interactions from `sched` until silent or a budget
 /// (interactions or wall clock) runs out. `cancel`, when non-null, is polled

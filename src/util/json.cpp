@@ -332,8 +332,378 @@ class JsonValidator {
   std::size_t pos_ = 0;
 };
 
+/// Recursive-descent parser building the JsonValue DOM. Mirrors the
+/// validator's grammar; kept separate because the validator is allocation-free
+/// on the telemetry hot path while the parser materializes every node.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    skipWs();
+    JsonValue out;
+    if (!value(0, out)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skipWs();
+    if (pos_ != s_.size()) {
+      if (error != nullptr) {
+        *error = "trailing content at offset " + std::to_string(pos_);
+      }
+      return std::nullopt;
+    }
+    return out;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  bool eof() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) {
+      return fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(int depth, JsonValue& out) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return object(depth, out);
+      case '[':
+        return array(depth, out);
+      case '"': {
+        std::string decoded;
+        if (!string(decoded)) return false;
+        out = JsonValue::makeString(std::move(decoded));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = JsonValue::makeBool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = JsonValue::makeBool(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = JsonValue::makeNull();
+        return true;
+      default:
+        return number(out);
+    }
+  }
+
+  bool object(int depth, JsonValue& out) {
+    ++pos_;  // '{'
+    std::vector<JsonValue::Member> members;
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      out = JsonValue::makeObject(std::move(members));
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (eof() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!string(key)) return false;
+      skipWs();
+      if (eof() || peek() != ':') return fail("expected ':'");
+      ++pos_;
+      skipWs();
+      JsonValue member;
+      if (!value(depth + 1, member)) return false;
+      members.emplace_back(std::move(key), std::move(member));
+      skipWs();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        out = JsonValue::makeObject(std::move(members));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(int depth, JsonValue& out) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      out = JsonValue::makeArray(std::move(items));
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue item;
+      if (!value(depth + 1, item)) return false;
+      items.push_back(std::move(item));
+      skipWs();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        out = JsonValue::makeArray(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  static void appendUtf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool hex4(std::uint32_t& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      ++pos_;
+      if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+        return fail("invalid \\u escape");
+      }
+      const char c = peek();
+      out = out * 16 +
+            static_cast<std::uint32_t>(
+                c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+    }
+    return true;
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // opening quote
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(peek());
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return fail("unterminated escape");
+        switch (peek()) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            std::uint32_t cp = 0;
+            if (!hex4(cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: require the low half and combine.
+              if (pos_ + 2 < s_.size() && s_[pos_ + 1] == '\\' &&
+                  s_[pos_ + 2] == 'u') {
+                pos_ += 2;
+                std::uint32_t low = 0;
+                if (!hex4(low)) return false;
+                if (low < 0xDC00 || low > 0xDFFF) {
+                  return fail("unpaired surrogate");
+                }
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+              } else {
+                return fail("unpaired surrogate");
+              }
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return fail("unpaired surrogate");
+            }
+            appendUtf8(out, cp);
+            break;
+          }
+          default:
+            return fail("invalid escape");
+        }
+        ++pos_;
+        continue;
+      }
+      out.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected digit");
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t begin = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof()) return fail("expected number");
+    if (peek() == '0') {
+      ++pos_;  // a leading zero must stand alone
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    out = JsonValue::makeNumber(std::string(s_.substr(begin, pos_ - begin)));
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
 }  // namespace
 
 bool jsonIsValid(std::string_view s) { return JsonValidator(s).validate(); }
+
+bool JsonValue::asBool() const {
+  if (kind_ != Kind::kBool) throw std::logic_error("JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::asDouble() const {
+  if (kind_ != Kind::kNumber) throw std::logic_error("JsonValue: not a number");
+  double v = 0.0;
+  const auto res =
+      std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), v);
+  if (res.ec != std::errc{}) {
+    throw std::logic_error("JsonValue: unparseable number '" + scalar_ + "'");
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> JsonValue::asU64() const {
+  if (kind_ != Kind::kNumber) throw std::logic_error("JsonValue: not a number");
+  std::uint64_t v = 0;
+  const char* end = scalar_.data() + scalar_.size();
+  const auto res = std::from_chars(scalar_.data(), end, v);
+  if (res.ec != std::errc{} || res.ptr != end) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> JsonValue::asI64() const {
+  if (kind_ != Kind::kNumber) throw std::logic_error("JsonValue: not a number");
+  std::int64_t v = 0;
+  const char* end = scalar_.data() + scalar_.size();
+  const auto res = std::from_chars(scalar_.data(), end, v);
+  if (res.ec != std::errc{} || res.ptr != end) return std::nullopt;
+  return v;
+}
+
+const std::string& JsonValue::asString() const {
+  if (kind_ != Kind::kString) throw std::logic_error("JsonValue: not a string");
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) throw std::logic_error("JsonValue: not an array");
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("JsonValue: not an object");
+  }
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::makeBool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::makeNumber(std::string raw) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.scalar_ = std::move(raw);
+  return out;
+}
+
+JsonValue JsonValue::makeString(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.scalar_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::makeArray(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::makeObject(std::vector<Member> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+std::optional<JsonValue> jsonParse(std::string_view s, std::string* error) {
+  return JsonParser(s).parse(error);
+}
 
 }  // namespace ppn

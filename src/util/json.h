@@ -18,8 +18,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ppn {
@@ -69,5 +71,63 @@ class JsonWriter {
   bool pendingKey_ = false;
   bool done_ = false;
 };
+
+/// Parsed JSON document node. A small DOM for the documents this repo reads
+/// back (campaign manifests, checkpoints, shard artifacts): object member
+/// order is preserved, and numbers keep their source text so 64-bit seeds
+/// round-trip exactly instead of through a double.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::kNull; }
+  bool isBool() const { return kind_ == Kind::kBool; }
+  bool isNumber() const { return kind_ == Kind::kNumber; }
+  bool isString() const { return kind_ == Kind::kString; }
+  bool isArray() const { return kind_ == Kind::kArray; }
+  bool isObject() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors throw std::logic_error on a kind mismatch — manifest
+  /// readers surface that as a schema error with the offending key.
+  bool asBool() const;
+  double asDouble() const;
+  /// Exact integer reads: nullopt when the number has a fraction/exponent or
+  /// does not fit (never silently rounded through a double).
+  std::optional<std::uint64_t> asU64() const;
+  std::optional<std::int64_t> asI64() const;
+  const std::string& asString() const;
+  const std::vector<JsonValue>& items() const;    ///< array elements
+  const std::vector<Member>& members() const;     ///< object, source order
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Construction (used by the parser and by tests).
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool v);
+  static JsonValue makeNumber(std::string raw);
+  static JsonValue makeString(std::string v);
+  static JsonValue makeArray(std::vector<JsonValue> items);
+  static JsonValue makeObject(std::vector<Member> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  ///< number source text, or decoded string value
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Parses exactly one JSON document (RFC 8259, \uXXXX decoded to UTF-8).
+/// Returns nullopt on malformed input and, when `error` is non-null, stores a
+/// one-line description with the byte offset of the failure.
+std::optional<JsonValue> jsonParse(std::string_view s,
+                                   std::string* error = nullptr);
 
 }  // namespace ppn

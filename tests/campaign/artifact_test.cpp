@@ -1,0 +1,121 @@
+#include "campaign/artifact.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+namespace ppn {
+namespace {
+
+std::string freshDir(const std::string& tag) {
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("ppn_artifact_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+  return base.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << content;
+}
+
+TEST(Crc32, StandardCheckValue) {
+  // The canonical CRC-32 (reflected, 0xEDB88320) check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Artifact, WriteReadRoundTrip) {
+  const std::string dir = freshDir("roundtrip");
+  const std::string path = dir + "/a.jsonl";
+  const std::vector<std::string> lines = {"{\"unit\":0}", "{\"unit\":1}"};
+  writeJsonlArtifact(path, lines);
+  const ArtifactReadResult r = readJsonlArtifact(path);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.lines, lines);
+  // No .tmp residue: the write is publish-by-rename.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(Artifact, EmptyLineListIsAValidArtifact) {
+  const std::string dir = freshDir("empty");
+  const std::string path = dir + "/a.jsonl";
+  writeJsonlArtifact(path, {});
+  const ArtifactReadResult r = readJsonlArtifact(path);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.lines.empty());
+}
+
+TEST(Artifact, MissingFileIsAnError) {
+  const ArtifactReadResult r = readJsonlArtifact(freshDir("missing") + "/nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+TEST(Artifact, FlippedBodyByteFailsTheChecksum) {
+  const std::string dir = freshDir("tamper");
+  const std::string path = dir + "/a.jsonl";
+  writeJsonlArtifact(path, {"{\"unit\":0,\"status\":\"ok\"}"});
+  std::string content = slurp(path);
+  const std::size_t at = content.find("ok");
+  ASSERT_NE(at, std::string::npos);
+  content[at] = 'K';  // same length, different bytes
+  spit(path, content);
+  const ArtifactReadResult r = readJsonlArtifact(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("checksum"), std::string::npos);
+  EXPECT_TRUE(r.lines.empty());
+}
+
+TEST(Artifact, DroppedLineFailsTheLineCount) {
+  const std::string dir = freshDir("dropline");
+  const std::string path = dir + "/a.jsonl";
+  writeJsonlArtifact(path, {"{\"unit\":0}", "{\"unit\":1}"});
+  std::string content = slurp(path);
+  // Remove the first line entirely (footer still present and well-formed).
+  content.erase(0, content.find('\n') + 1);
+  spit(path, content);
+  const ArtifactReadResult r = readJsonlArtifact(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("footer says"), std::string::npos);
+}
+
+TEST(Artifact, TruncationIsDetected) {
+  const std::string dir = freshDir("trunc");
+  const std::string path = dir + "/a.jsonl";
+  writeJsonlArtifact(path, {"{\"unit\":0}"});
+  const std::string content = slurp(path);
+  // Cut mid-footer: no terminating newline.
+  spit(path, content.substr(0, content.size() - 5));
+  EXPECT_FALSE(readJsonlArtifact(path).ok());
+  // Cut the footer line off entirely: a body line is no artifact_footer.
+  spit(path, content.substr(0, content.find('\n') + 1));
+  const ArtifactReadResult r = readJsonlArtifact(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("artifact_footer"), std::string::npos);
+}
+
+TEST(Artifact, AtomicWriteReplacesExistingFile) {
+  const std::string dir = freshDir("replace");
+  const std::string path = dir + "/f.txt";
+  writeFileAtomic(path, "first");
+  writeFileAtomic(path, "second");
+  EXPECT_EQ(slurp(path), "second");
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,109 @@
+#include "campaign/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "analysis/table1.h"
+
+namespace ppn {
+namespace {
+
+CampaignManifest sampleManifest() {
+  CampaignManifest m;
+  m.name = "sample";
+  m.certify.protocols = {"asymmetric", "symmetric-global"};
+  m.certify.populations = {4};
+  m.certify.regimes = {FaultRegime::kPoissonTransient, FaultRegime::kChurn};
+  m.certify.schedulers = {SchedulerKind::kRandom};
+  m.certify.runs = 3;
+  m.certify.seed = 99;
+  m.certify.faultWindow = 1'000;
+  m.shards = 3;
+  m.table1P = 3;
+  return m;
+}
+
+TEST(Manifest, JsonRoundTripIsBitExact) {
+  const CampaignManifest m = sampleManifest();
+  const std::string json = manifestToJson(m);
+  const CampaignManifest back = parseCampaignManifest(json);
+  // Canonical form: serializing the parse reproduces the exact bytes (this is
+  // what the orchestrator's resume-identity check relies on).
+  EXPECT_EQ(manifestToJson(back), json);
+}
+
+TEST(Manifest, DebugHooksSurviveTheRoundTrip) {
+  CampaignManifest m = sampleManifest();
+  m.debugCrashUnit = 2;
+  m.debugHangUnit = 5;
+  const CampaignManifest back = parseCampaignManifest(manifestToJson(m));
+  EXPECT_EQ(back.debugCrashUnit, std::optional<std::uint64_t>{2});
+  EXPECT_EQ(back.debugHangUnit, std::optional<std::uint64_t>{5});
+}
+
+TEST(Manifest, RejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW(parseCampaignManifest("{\"kind\":\"ppn-campaign-manifest\","
+                                     "\"sards\":2}"),
+               std::runtime_error);
+  EXPECT_THROW(parseCampaignManifest("{\"name\":\"x\"}"), std::runtime_error);
+  EXPECT_THROW(parseCampaignManifest("{\"kind\":\"other\"}"),
+               std::runtime_error);
+  EXPECT_THROW(parseCampaignManifest("{\"kind\":\"ppn-campaign-manifest\","
+                                     "\"shards\":0}"),
+               std::runtime_error);
+  EXPECT_THROW(parseCampaignManifest("{\"kind\":\"ppn-campaign-manifest\","
+                                     "\"runs\":0}"),
+               std::runtime_error);
+  EXPECT_THROW(parseCampaignManifest("{\"kind\":\"ppn-campaign-manifest\","
+                                     "\"table1P\":7}"),
+               std::runtime_error);
+  EXPECT_THROW(parseCampaignManifest("not json"), std::runtime_error);
+}
+
+TEST(Manifest, ExpansionMatchesThePlanAndAppendsTable1) {
+  const CampaignManifest m = sampleManifest();
+  const auto units = expandManifest(m);
+  const auto plans = planRobustnessCells(m.certify);
+  ASSERT_EQ(units.size(), plans.size() + table1CellCount());
+  std::uint64_t expectedRunIdBase = 0;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_EQ(units[i].id, i);
+    EXPECT_EQ(units[i].kind, WorkUnit::Kind::kRobustness);
+    EXPECT_EQ(units[i].plan.protocol, plans[i].protocol);
+    EXPECT_EQ(units[i].plan.skipped, plans[i].skipped);
+    // runIdBase advances by `runs` only for executed cells — the exact
+    // bookkeeping certifyRecovery uses, so event run-ids line up.
+    EXPECT_EQ(units[i].runIdBase, expectedRunIdBase);
+    if (!plans[i].skipped) expectedRunIdBase += m.certify.runs;
+  }
+  for (std::size_t i = plans.size(); i < units.size(); ++i) {
+    EXPECT_EQ(units[i].kind, WorkUnit::Kind::kTable1);
+    EXPECT_EQ(units[i].table1Index,
+              static_cast<std::uint32_t>(i - plans.size()));
+  }
+}
+
+TEST(Manifest, ExpansionIsDeterministic) {
+  const CampaignManifest m = sampleManifest();
+  const auto a = expandManifest(m);
+  const auto b = expandManifest(m);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].runIdBase, b[i].runIdBase);
+    EXPECT_EQ(a[i].plan.protocol, b[i].plan.protocol);
+  }
+}
+
+TEST(Manifest, ShardStripingCoversEveryUnit) {
+  const CampaignManifest m = sampleManifest();
+  for (const WorkUnit& unit : expandManifest(m)) {
+    EXPECT_LT(unitShard(m, unit.id), m.shards);
+    EXPECT_EQ(unitShard(m, unit.id), unit.id % m.shards);
+  }
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,203 @@
+#include "campaign/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "campaign/artifact.h"
+#include "campaign/merge.h"
+#include "faults/certify.h"
+#include "obs/events.h"
+#include "util/json.h"
+
+namespace ppn {
+namespace {
+
+std::string freshDir(const std::string& tag) {
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("ppn_orch_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(base);
+  return base.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+CampaignManifest tinyManifest() {
+  CampaignManifest m;
+  m.certify.protocols = {"asymmetric"};
+  m.certify.populations = {4};
+  m.certify.regimes = {FaultRegime::kPoissonTransient, FaultRegime::kChurn};
+  m.certify.schedulers = {SchedulerKind::kRandom};
+  m.certify.runs = 2;
+  m.certify.faultWindow = 500;
+  m.certify.threads = 1;
+  m.shards = 2;
+  return m;
+}
+
+OrchestratorOptions testOptions() {
+  OrchestratorOptions options;
+  options.workers = 2;
+  options.backoffMillis = 5;
+  options.pollMillis = 5;
+  options.installSignalHandlers = false;  // in-process test runs
+  return options;
+}
+
+TEST(Orchestrator, RunsToCompletionAndMergeMatchesInProcessSweep) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("ok");
+  const OrchestratorOutcome outcome =
+      orchestrateCampaign(m, dir, testOptions());
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.completedUnits, outcome.totalUnits);
+  EXPECT_EQ(outcome.failedUnits, 0u);
+  EXPECT_EQ(outcome.shardRestarts, 0u);
+
+  const MergeSummary summary = mergeCampaign(dir);
+  EXPECT_TRUE(summary.clean());
+  EXPECT_TRUE(summary.robustnessCertified);
+
+  // The rebuilt table is byte-identical to the in-process sweep.
+  CertifySpec spec = m.certify;
+  spec.observer = nullptr;
+  EXPECT_EQ(slurp(mergedRobustnessTablePath(dir)),
+            certifyRecovery(spec).toJson() + "\n");
+}
+
+TEST(Orchestrator, CrashingUnitIsRetriedThenBlacklisted) {
+  CampaignManifest m = tinyManifest();
+  m.debugCrashUnit = 1;
+  const std::string dir = freshDir("crash");
+  OrchestratorOptions options = testOptions();
+  options.maxAttempts = 2;
+  const OrchestratorOutcome outcome = orchestrateCampaign(m, dir, options);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_FALSE(outcome.interrupted);
+  EXPECT_EQ(outcome.failedUnits, 1u);
+  EXPECT_EQ(outcome.completedUnits, outcome.totalUnits - 1);
+  EXPECT_EQ(outcome.shardRestarts, 2u);  // two crashes, then the failed line
+
+  // The campaign degrades instead of dying: the merge covers every unit and
+  // marks the table uncertified.
+  const MergeSummary summary = mergeCampaign(dir);
+  EXPECT_EQ(summary.failedUnits, std::vector<std::uint64_t>{1});
+  EXPECT_FALSE(summary.robustnessCertified);
+  const auto table = jsonParse(slurp(mergedRobustnessTablePath(dir)));
+  ASSERT_TRUE(table.has_value());
+  EXPECT_FALSE(table->find("certified")->asBool());
+  EXPECT_EQ(table->find("cells")->items().size(), outcome.totalUnits);
+}
+
+TEST(Orchestrator, HungShardIsShotAndChargedToTheRunningUnit) {
+  CampaignManifest m = tinyManifest();
+  m.debugHangUnit = 0;
+  const std::string dir = freshDir("hang");
+  OrchestratorOptions options = testOptions();
+  options.maxAttempts = 1;  // first stall blacklists immediately
+  options.stallTimeoutMillis = 250;
+  const OrchestratorOutcome outcome = orchestrateCampaign(m, dir, options);
+  EXPECT_EQ(outcome.failedUnits, 1u);
+  EXPECT_EQ(outcome.completedUnits, outcome.totalUnits - 1);
+  EXPECT_EQ(mergeCampaign(dir).failedUnits, std::vector<std::uint64_t>{0});
+}
+
+TEST(Orchestrator, ResumeOfACompletedCampaignIsIdempotent) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("resume_done");
+  ASSERT_TRUE(orchestrateCampaign(m, dir, testOptions()).ok());
+  const std::string before = slurp(shardFinalPath(dir, 0));
+
+  OrchestratorOptions options = testOptions();
+  options.resume = true;
+  const OrchestratorOutcome again = orchestrateCampaign(m, dir, options);
+  EXPECT_TRUE(again.ok());
+  EXPECT_EQ(again.completedUnits, again.totalUnits);
+  EXPECT_EQ(again.shardRestarts, 0u);
+  EXPECT_EQ(slurp(shardFinalPath(dir, 0)), before);
+}
+
+TEST(Orchestrator, RefusesToReuseADirectoryWithoutResume) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("reuse");
+  ASSERT_TRUE(orchestrateCampaign(m, dir, testOptions()).ok());
+  EXPECT_THROW(orchestrateCampaign(m, dir, testOptions()), std::runtime_error);
+}
+
+TEST(Orchestrator, ResumeRefusesAMismatchedManifest) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("mismatch");
+  ASSERT_TRUE(orchestrateCampaign(m, dir, testOptions()).ok());
+  CampaignManifest other = m;
+  other.certify.seed ^= 1;
+  OrchestratorOptions options = testOptions();
+  options.resume = true;
+  EXPECT_THROW(orchestrateCampaign(other, dir, options), std::runtime_error);
+}
+
+TEST(Orchestrator, EmitsAWellFormedEventStream) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("events");
+  std::filesystem::create_directories(dir);
+  const std::string eventsPath = dir + "/events.jsonl";
+  OrchestratorOptions options = testOptions();
+  OrchestratorOutcome outcome;
+  {
+    JsonlEventSink sink(eventsPath);
+    options.sink = &sink;
+    outcome = orchestrateCampaign(m, dir, options);
+    ASSERT_TRUE(sink.close());
+  }
+  ASSERT_TRUE(outcome.ok());
+  const JsonlReadResult events = readJsonlTolerant(eventsPath);
+  ASSERT_FALSE(events.lines.empty());
+  EXPECT_EQ(jsonParse(events.lines.front())->find("event")->asString(),
+            "campaign_start");
+  EXPECT_EQ(jsonParse(events.lines.back())->find("event")->asString(),
+            "campaign_end");
+  std::uint64_t unitEnds = 0;
+  for (const std::string& line : events.lines) {
+    const auto v = jsonParse(line);
+    ASSERT_TRUE(v.has_value()) << line;
+    if (v->find("event")->asString() == "unit_end") ++unitEnds;
+  }
+  EXPECT_EQ(unitEnds, outcome.totalUnits);
+}
+
+TEST(Merge, RefusesATamperedShardArtifact) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("tampered");
+  ASSERT_TRUE(orchestrateCampaign(m, dir, testOptions()).ok());
+  const std::string path = shardFinalPath(dir, 0);
+  std::string content = slurp(path);
+  const std::size_t at = content.find("\"ok\"");
+  ASSERT_NE(at, std::string::npos);
+  content[at + 1] = 'O';
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << content;
+  }
+  EXPECT_THROW(mergeCampaign(dir), std::runtime_error);
+}
+
+TEST(Merge, RefusesAnIncompleteCampaign) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("incomplete");
+  ASSERT_TRUE(orchestrateCampaign(m, dir, testOptions()).ok());
+  std::filesystem::remove(shardFinalPath(dir, 1));
+  EXPECT_THROW(mergeCampaign(dir), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,149 @@
+#include "campaign/shard_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "campaign/artifact.h"
+#include "util/json.h"
+
+namespace ppn {
+namespace {
+
+std::string freshDir(const std::string& tag) {
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("ppn_shard_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+  const std::string dir = base.string();
+  ensureCampaignLayout(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Tiny but real grid: 1 protocol x 1 population x 2 regimes (+1 skipped-free
+/// scheduler) = 2 robustness units, each running 2 short campaigns.
+CampaignManifest tinyManifest() {
+  CampaignManifest m;
+  m.certify.protocols = {"asymmetric"};
+  m.certify.populations = {4};
+  m.certify.regimes = {FaultRegime::kPoissonTransient, FaultRegime::kChurn};
+  m.certify.schedulers = {SchedulerKind::kRandom};
+  m.certify.runs = 2;
+  m.certify.faultWindow = 500;
+  m.certify.threads = 1;
+  m.shards = 1;
+  return m;
+}
+
+TEST(ShardRunner, CompletesPublishesAndCleansUp) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("complete");
+  ASSERT_EQ(runShard(m, dir, ShardOptions{}), 0);
+  const ArtifactReadResult artifact = readJsonlArtifact(shardFinalPath(dir, 0));
+  ASSERT_TRUE(artifact.ok()) << artifact.error;
+  EXPECT_EQ(artifact.lines.size(), expandManifest(m).size());
+  EXPECT_FALSE(std::filesystem::exists(shardPartialPath(dir, 0)));
+  EXPECT_TRUE(std::filesystem::exists(shardMetricsPath(dir, 0)));
+  for (std::size_t i = 0; i < artifact.lines.size(); ++i) {
+    const auto v = jsonParse(artifact.lines[i]);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->find("unit")->asU64(), std::uint64_t{i});
+    EXPECT_EQ(v->find("status")->asString(), "ok");
+  }
+}
+
+TEST(ShardRunner, RerunIsIdempotent) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("idempotent");
+  ASSERT_EQ(runShard(m, dir, ShardOptions{}), 0);
+  const std::string before = slurp(shardFinalPath(dir, 0));
+  ASSERT_EQ(runShard(m, dir, ShardOptions{}), 0);
+  EXPECT_EQ(slurp(shardFinalPath(dir, 0)), before);
+}
+
+TEST(ShardRunner, ResumesFromTornPartialBitIdentically) {
+  const CampaignManifest m = tinyManifest();
+  const std::string clean = freshDir("torn_clean");
+  ASSERT_EQ(runShard(m, clean, ShardOptions{}), 0);
+  const ArtifactReadResult expected =
+      readJsonlArtifact(shardFinalPath(clean, 0));
+  ASSERT_TRUE(expected.ok());
+  ASSERT_GE(expected.lines.size(), 2u);
+
+  // Simulate a crash mid-write of the second unit: the checkpoint holds unit
+  // 0's full line plus a torn fragment with no terminating newline.
+  const std::string dir = freshDir("torn");
+  {
+    std::ofstream partial(shardPartialPath(dir, 0), std::ios::binary);
+    partial << expected.lines[0] << '\n' << "{\"unit\":1,\"ki";
+  }
+  ASSERT_EQ(runShard(m, dir, ShardOptions{}), 0);
+  EXPECT_EQ(slurp(shardFinalPath(dir, 0)), slurp(shardFinalPath(clean, 0)));
+}
+
+TEST(ShardRunner, DiscardsInteriorCorruptCheckpointAndRecomputes) {
+  const CampaignManifest m = tinyManifest();
+  const std::string clean = freshDir("corrupt_clean");
+  ASSERT_EQ(runShard(m, clean, ShardOptions{}), 0);
+
+  const std::string dir = freshDir("corrupt");
+  {
+    std::ofstream partial(shardPartialPath(dir, 0), std::ios::binary);
+    partial << "@@not json@@\n{\"unit\":1,\"status\":\"ok\"}\n";
+  }
+  ASSERT_EQ(runShard(m, dir, ShardOptions{}), 0);
+  // Unit results are deterministic, so recomputation converges to the same
+  // bytes an untouched shard produces — the poisoned line never survives.
+  EXPECT_EQ(slurp(shardFinalPath(dir, 0)), slurp(shardFinalPath(clean, 0)));
+}
+
+TEST(ShardRunner, CheckpointLinesWithoutUnitIdsAreDiscarded) {
+  const CampaignManifest m = tinyManifest();
+  const std::string clean = freshDir("noid_clean");
+  ASSERT_EQ(runShard(m, clean, ShardOptions{}), 0);
+
+  const std::string dir = freshDir("noid");
+  {
+    std::ofstream partial(shardPartialPath(dir, 0), std::ios::binary);
+    partial << "{\"event\":\"not_a_unit\"}\n";
+  }
+  ASSERT_EQ(runShard(m, dir, ShardOptions{}), 0);
+  EXPECT_EQ(slurp(shardFinalPath(dir, 0)), slurp(shardFinalPath(clean, 0)));
+}
+
+TEST(ShardRunner, BlacklistedUnitDegradesToAFailedLine) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("blacklist");
+  ShardOptions options;
+  options.failedUnits = {1};
+  ASSERT_EQ(runShard(m, dir, options), 0);
+  const ArtifactReadResult artifact = readJsonlArtifact(shardFinalPath(dir, 0));
+  ASSERT_TRUE(artifact.ok());
+  const auto v = jsonParse(artifact.lines[1]);
+  EXPECT_EQ(v->find("status")->asString(), "failed");
+  EXPECT_EQ(v->find("reason")->asString(), "retries exhausted");
+  EXPECT_EQ(jsonParse(artifact.lines[0])->find("status")->asString(), "ok");
+}
+
+TEST(ShardRunner, ExecuteWorkUnitIsDeterministic) {
+  const CampaignManifest m = tinyManifest();
+  const auto units = expandManifest(m);
+  ASSERT_FALSE(units.empty());
+  EXPECT_EQ(executeWorkUnit(m, units[0]), executeWorkUnit(m, units[0]));
+}
+
+}  // namespace
+}  // namespace ppn

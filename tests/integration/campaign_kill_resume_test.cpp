@@ -1,0 +1,151 @@
+// E24 integration: SIGKILL an orchestrating process mid-campaign, resume in a
+// fresh process, and verify the merged outputs are byte-identical to an
+// uninterrupted campaign — the end-to-end crash-safety contract.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/merge.h"
+#include "campaign/orchestrator.h"
+
+namespace ppn {
+namespace {
+
+std::string freshDir(const std::string& tag) {
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("ppn_kill_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(base);
+  return base.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Chunky enough that SIGKILL usually lands mid-campaign: 4 robustness units
+/// of 96 campaigns each (a few hundred ms per unit), striped over 3 shards.
+CampaignManifest killManifest(std::uint32_t threads) {
+  CampaignManifest m;
+  m.certify.protocols = {"asymmetric"};
+  m.certify.populations = {6};
+  m.certify.regimes = {FaultRegime::kPoissonTransient, FaultRegime::kChurn,
+                       FaultRegime::kTargetedAdversary,
+                       FaultRegime::kStuckAgent};
+  m.certify.schedulers = {SchedulerKind::kRandom};
+  m.certify.runs = 96;
+  m.certify.faultWindow = 20'000;
+  m.certify.threads = threads;
+  m.shards = 3;
+  return m;
+}
+
+OrchestratorOptions testOptions() {
+  OrchestratorOptions options;
+  options.workers = 2;
+  options.backoffMillis = 5;
+  options.pollMillis = 5;
+  options.installSignalHandlers = false;
+  return options;
+}
+
+/// True once any shard checkpoint holds at least one durable line.
+bool anyCheckpointData(const CampaignManifest& m, const std::string& dir) {
+  for (std::uint32_t shard = 0; shard < m.shards; ++shard) {
+    std::error_code ec;
+    if (std::filesystem::file_size(shardPartialPath(dir, shard), ec) > 0 &&
+        !ec) {
+      return true;
+    }
+    if (std::filesystem::exists(shardFinalPath(dir, shard))) return true;
+  }
+  return false;
+}
+
+TEST(CampaignKillResume, MergedOutputSurvivesSigkillByteIdentically) {
+  const CampaignManifest m = killManifest(1);
+
+  // Uninterrupted baseline.
+  const std::string baseline = freshDir("baseline");
+  ASSERT_TRUE(orchestrateCampaign(m, baseline, testOptions()).ok());
+  ASSERT_TRUE(mergeCampaign(baseline).clean());
+  const std::string expectedMerged = slurp(mergedUnitsPath(baseline));
+  const std::string expectedTable = slurp(mergedRobustnessTablePath(baseline));
+  ASSERT_FALSE(expectedMerged.empty());
+
+  // Orchestrate in a disposable process group and SIGKILL it as soon as some
+  // unit has been durably checkpointed (shard workers die with it).
+  const std::string dir = freshDir("killed");
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    setpgid(0, 0);
+    try {
+      orchestrateCampaign(m, dir, testOptions());
+    } catch (...) {
+    }
+    std::_Exit(0);
+  }
+  setpgid(child, child);  // parent side of the race
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(120);
+  int status = 0;
+  bool childRunning = true;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (waitpid(child, &status, WNOHANG) == child) {
+      childRunning = false;  // finished before we got to shoot it
+      break;
+    }
+    if (anyCheckpointData(m, dir)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (childRunning) {
+    kill(-child, SIGKILL);
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+  }
+
+  // Resume in THIS process (a different pid than the victim) and merge.
+  OrchestratorOptions resumeOptions = testOptions();
+  resumeOptions.resume = true;
+  const OrchestratorOutcome outcome =
+      orchestrateCampaign(m, dir, resumeOptions);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.completedUnits, outcome.totalUnits);
+  ASSERT_TRUE(mergeCampaign(dir).clean());
+
+  EXPECT_EQ(slurp(mergedUnitsPath(dir)), expectedMerged);
+  EXPECT_EQ(slurp(mergedRobustnessTablePath(dir)), expectedTable);
+}
+
+TEST(CampaignKillResume, ShardThreadCountDoesNotChangeUnitBytes) {
+  // Same grid, shards running 4 worker threads internally: the merged unit
+  // record must be byte-identical to the serial campaign.
+  const CampaignManifest serial = killManifest(1);
+  const std::string serialDir = freshDir("serial");
+  ASSERT_TRUE(orchestrateCampaign(serial, serialDir, testOptions()).ok());
+  ASSERT_TRUE(mergeCampaign(serialDir).clean());
+
+  const CampaignManifest threaded = killManifest(4);
+  const std::string threadedDir = freshDir("threaded");
+  ASSERT_TRUE(orchestrateCampaign(threaded, threadedDir, testOptions()).ok());
+  ASSERT_TRUE(mergeCampaign(threadedDir).clean());
+
+  EXPECT_EQ(slurp(mergedUnitsPath(threadedDir)),
+            slurp(mergedUnitsPath(serialDir)));
+}
+
+}  // namespace
+}  // namespace ppn

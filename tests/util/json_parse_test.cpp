@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+
+namespace ppn {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(jsonParse("null")->isNull());
+  EXPECT_TRUE(jsonParse("true")->asBool());
+  EXPECT_FALSE(jsonParse("false")->asBool());
+  EXPECT_DOUBLE_EQ(jsonParse("1.5")->asDouble(), 1.5);
+  EXPECT_EQ(jsonParse("\"hi\"")->asString(), "hi");
+  EXPECT_EQ(jsonParse(" 42 ")->asU64(), std::uint64_t{42});
+}
+
+TEST(JsonParse, ExactU64RoundTrip) {
+  // A double would round 2^64 - 1; the DOM keeps the source text.
+  const auto v = jsonParse("18446744073709551615");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->asU64(), std::uint64_t{18446744073709551615ull});
+  // Out of range / fractional / exponent reads refuse instead of rounding.
+  EXPECT_FALSE(jsonParse("18446744073709551616")->asU64().has_value());
+  EXPECT_FALSE(jsonParse("1.5")->asU64().has_value());
+  EXPECT_FALSE(jsonParse("1e3")->asU64().has_value());
+  EXPECT_FALSE(jsonParse("-1")->asU64().has_value());
+  EXPECT_EQ(jsonParse("-1")->asI64(), std::int64_t{-1});
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(jsonParse("\"a\\\"b\\\\c\\n\"")->asString(), "a\"b\\c\n");
+  EXPECT_EQ(jsonParse("\"\\u0041\\u00e9\"")->asString(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, ObjectPreservesMemberOrderAndFinds) {
+  const auto v = jsonParse("{\"z\":1,\"a\":{\"nested\":[1,2,3]}}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->isObject());
+  ASSERT_EQ(v->members().size(), 2u);
+  EXPECT_EQ(v->members()[0].first, "z");
+  EXPECT_EQ(v->members()[1].first, "a");
+  const JsonValue* nested = v->find("a");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_NE(nested->find("nested"), nullptr);
+  EXPECT_EQ(nested->find("nested")->items().size(), 3u);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(jsonParse("", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(jsonParse("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(jsonParse("[1,2", &error).has_value());
+  EXPECT_FALSE(jsonParse("{} trailing", &error).has_value());
+  EXPECT_FALSE(jsonParse("{'single':1}", &error).has_value());
+  EXPECT_FALSE(jsonParse("\"unterminated", &error).has_value());
+}
+
+TEST(JsonParse, KindMismatchThrows) {
+  const auto v = jsonParse("7");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_THROW(v->asString(), std::logic_error);
+  EXPECT_THROW(v->asBool(), std::logic_error);
+}
+
+TEST(JsonParse, WriterOutputRoundTrips) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("seed").value(std::uint64_t{0xDEADBEEFCAFEBABEull});
+  w.key("name").value("line\nbreak \"quoted\"");
+  w.key("list").beginArray().value(1).value(2).endArray();
+  w.endObject();
+  const auto v = jsonParse(w.str());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("seed")->asU64(), std::uint64_t{0xDEADBEEFCAFEBABEull});
+  EXPECT_EQ(v->find("name")->asString(), "line\nbreak \"quoted\"");
+  EXPECT_EQ(v->find("list")->items().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ppn
