@@ -39,20 +39,33 @@ Campaign family (the E24 acceptance contract — campaign_runner):
   * unit_end at most once per unit with a known status; unit_retry attempts
     strictly increase per unit; at most one unit_failed per unit;
   * shard_exit events never outnumber shard_spawn events per shard;
+  * resource_sample events (E25) carry the full gauge set (shard, pid,
+    rss_bytes, vsize_bytes, utime_ms, stime_ms, cpu_permille, read_bytes,
+    write_bytes) and reference a shard that was actually spawned;
   * for a fresh (not resumed), uninterrupted campaign the unit_end lines
     cover exactly campaign_end.total units and the completed/failed rollups
     match the per-unit statuses, and every unit_start reaches a unit_end.
+
+With --health FILE, also validates a campaign_health.json artifact (E25):
+  * the file is a checksummed JSONL artifact — one health document plus an
+    artifact_footer whose crc32 (zlib polynomial) covers the body;
+  * the document has kind "ppn-campaign-health", every rollup field, and
+    finite numbers throughout (NaN/Infinity are rejected at parse time);
+  * campaign rollups equal the sums of the per-shard rows, the stragglers
+    list names exactly the shards flagged straggler, and peak_rss points at
+    the shard with the largest per-shard peak_rss_bytes.
 
 Every JSONL line must parse as a JSON object with an "event" discriminator
 and an "elapsed_ms" timestamp.
 
 Usage: check_telemetry.py events.jsonl [metrics.json] [table.json]
-                          [--trace trace.json]
+                          [--trace trace.json] [--health health.json]
 (metrics.json is required when run/explore events are present; a pure
 campaign stream validates standalone.)
 """
 import json
 import sys
+import zlib
 from collections import Counter, defaultdict
 
 RUN_EVENTS = {
@@ -66,7 +79,12 @@ EXPLORE_EVENTS = {
 CAMPAIGN_EVENTS = {
     "campaign_start", "campaign_end", "shard_spawn", "shard_exit",
     "unit_start", "unit_end", "unit_retry", "unit_failed",
+    "resource_sample",
 }
+RESOURCE_SAMPLE_FIELDS = (
+    "shard", "pid", "rss_bytes", "vsize_bytes", "utime_ms", "stime_ms",
+    "cpu_permille", "read_bytes", "write_bytes",
+)
 KNOWN_EVENTS = RUN_EVENTS | EXPLORE_EVENTS | CAMPAIGN_EVENTS
 
 UNIT_STATUSES = ("ok", "degraded", "skipped", "failed")
@@ -241,6 +259,7 @@ def check_campaign_family(events_path, events):
     started_units = set()
     retry_attempts = {}      # unit -> last reported attempt
     failed_units = set()
+    resource_samples = 0
     spawns, exits = Counter(), Counter()
     for lineno, obj in campaign:
         kind = obj["event"]
@@ -277,6 +296,20 @@ def check_campaign_family(events_path, events):
                 fail(f"{events_path}:{lineno}: duplicate unit_failed for "
                      f"unit {obj['unit']}")
             failed_units.add(obj["unit"])
+        elif kind == "resource_sample":
+            for field in RESOURCE_SAMPLE_FIELDS:
+                if field not in obj:
+                    fail(f"{events_path}:{lineno}: resource_sample missing "
+                         f"{field}")
+            # Sampling runs in the orchestrator poll loop AFTER the spawn
+            # pass, so every sample's shard has a spawn earlier in-stream.
+            if obj["shard"] not in spawns:
+                fail(f"{events_path}:{lineno}: resource_sample for shard "
+                     f"{obj['shard']} before its shard_spawn")
+            if obj["pid"] <= 0:
+                fail(f"{events_path}:{lineno}: resource_sample with "
+                     f"non-positive pid {obj['pid']}")
+            resource_samples += 1
 
     for shard, n in exits.items():
         if n > spawns[shard]:
@@ -299,7 +332,8 @@ def check_campaign_family(events_path, events):
         if missing:
             fail(f"{events_path}: units started but never ended: "
                  f"{sorted(missing)[:5]}")
-    return len(unit_end), len(failed_units), sum(spawns.values())
+    return len(unit_end), len(failed_units), sum(spawns.values()), \
+        resource_samples
 
 
 def check_trace(trace_path):
@@ -317,8 +351,11 @@ def check_trace(trace_path):
         fail(f"{trace_path}: displayTimeUnit "
              f"{trace.get('displayTimeUnit')!r} not ms/ns")
 
-    stacks = defaultdict(list)   # tid -> [open B names]
-    named_tids, used_tids = set(), set()
+    # Merged campaign traces (E25) interleave several processes, so tracks
+    # are keyed (pid, tid), not tid alone, and metadata comes in two kinds:
+    # thread_name labels a (pid, tid) track, process_name labels a pid.
+    stacks = defaultdict(list)   # (pid, tid) -> [open B names]
+    named_tracks, named_pids, used_tracks = set(), set(), set()
     counts = Counter()
     for i, ev in enumerate(trace["traceEvents"]):
         if not isinstance(ev, dict):
@@ -329,50 +366,151 @@ def check_trace(trace_path):
         for field in ("name", "pid", "tid"):
             if field not in ev:
                 fail(f"{trace_path}: traceEvents[{i}]: missing {field}")
-        tid = ev["tid"]
+        track = (ev["pid"], ev["tid"])
         counts[ph] += 1
         if ph == "M":
-            if ev["name"] != "thread_name":
+            if ev["name"] == "thread_name":
+                named_tracks.add(track)
+            elif ev["name"] == "process_name":
+                named_pids.add(ev["pid"])
+            else:
                 fail(f"{trace_path}: traceEvents[{i}]: metadata name "
-                     f"{ev['name']!r} (expected 'thread_name')")
-            named_tids.add(tid)
+                     f"{ev['name']!r} (expected 'thread_name' or "
+                     f"'process_name')")
             continue
         if "ts" not in ev:
             fail(f"{trace_path}: traceEvents[{i}]: missing ts")
-        used_tids.add(tid)
+        if ph == "i" and ev["name"] == "events_dropped":
+            # The writer's synthetic drop marker (pid 1, tid 0) carries no
+            # metadata record by design.
+            continue
+        used_tracks.add(track)
         if ph == "B":
-            stacks[tid].append(ev["name"])
+            stacks[track].append(ev["name"])
         elif ph == "E":
-            if not stacks[tid]:
+            if not stacks[track]:
                 fail(f"{trace_path}: traceEvents[{i}]: E {ev['name']!r} on "
-                     f"track {tid} with no open B")
-            if stacks[tid][-1] != ev["name"]:
+                     f"track {track} with no open B")
+            if stacks[track][-1] != ev["name"]:
                 fail(f"{trace_path}: traceEvents[{i}]: E {ev['name']!r} "
-                     f"does not close innermost B {stacks[tid][-1]!r} "
-                     f"on track {tid}")
-            stacks[tid].pop()
+                     f"does not close innermost B {stacks[track][-1]!r} "
+                     f"on track {track}")
+            stacks[track].pop()
 
-    open_spans = {tid: s for tid, s in stacks.items() if s}
+    open_spans = {t: s for t, s in stacks.items() if s}
     if open_spans:
-        tid, names = next(iter(open_spans.items()))
-        fail(f"{trace_path}: track {tid} has unclosed spans {names!r}")
-    # Track 0 only ever carries the synthetic events_dropped instant, which
-    # the writer emits without a matching metadata record.
-    unnamed = {t for t in used_tids if t != 0} - named_tids
+        track, names = next(iter(open_spans.items()))
+        fail(f"{trace_path}: track {track} has unclosed spans {names!r}")
+    # A used track must be labelled, either directly (thread_name) or via
+    # its process (process_name) — e.g. the counter track of a shard worker
+    # that was SIGKILLed before its own event stream existed.
+    unnamed = {t for t in used_tracks
+               if t not in named_tracks and t[0] not in named_pids}
     if unnamed:
-        fail(f"{trace_path}: tracks without thread_name metadata: "
-             f"{sorted(unnamed)[:5]}")
+        fail(f"{trace_path}: tracks without thread_name/process_name "
+             f"metadata: {sorted(unnamed)[:5]}")
     return counts
 
 
+HEALTH_ROLLUPS = ("completed", "failed", "retries", "stalls", "kills")
+HEALTH_SHARD_FIELDS = (
+    "shard", "spawns", "completed", "failed", "retries", "stalls", "kills",
+    "active_ms", "units_per_sec", "latency_samples", "mean_unit_latency_ms",
+    "peak_rss_bytes", "peak_cpu_permille", "straggler", "retry_storm",
+)
+
+
+def reject_constant(token):
+    fail(f"health document contains non-finite number {token!r}")
+
+
+def check_health(health_path):
+    """Validates a campaign_health.json checksummed artifact (E25)."""
+    with open(health_path, "rb") as f:
+        raw = f.read()
+    if not raw.endswith(b"\n"):
+        fail(f"{health_path}: missing trailing newline (torn write?)")
+    lines = raw.decode("utf-8").splitlines()
+    if len(lines) < 2:
+        fail(f"{health_path}: {len(lines)} lines (want document + footer)")
+    try:
+        footer = json.loads(lines[-1])
+    except json.JSONDecodeError as e:
+        fail(f"{health_path}: invalid footer JSON: {e}")
+    if footer.get("event") != "artifact_footer":
+        fail(f"{health_path}: last line is not an artifact_footer")
+    body = "".join(line + "\n" for line in lines[:-1])
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    if crc != footer.get("crc32"):
+        fail(f"{health_path}: footer crc32 {footer.get('crc32')} does not "
+             f"match body crc32 {crc}")
+    if footer.get("lines") != len(lines) - 1:
+        fail(f"{health_path}: footer says {footer.get('lines')} lines, "
+             f"body has {len(lines) - 1}")
+    if len(lines) != 2:
+        fail(f"{health_path}: expected exactly one health document, got "
+             f"{len(lines) - 1} body lines")
+    try:
+        doc = json.loads(lines[0], parse_constant=reject_constant)
+    except json.JSONDecodeError as e:
+        fail(f"{health_path}: invalid health JSON: {e}")
+    if doc.get("kind") != "ppn-campaign-health":
+        fail(f"{health_path}: unexpected kind {doc.get('kind')!r}")
+    for field in ("finished", "interrupted", "units", "elapsed_ms",
+                  "units_per_sec", "median_unit_latency_ms", "peak_rss",
+                  "shards", "stragglers") + HEALTH_ROLLUPS:
+        if field not in doc:
+            fail(f"{health_path}: missing field {field!r}")
+
+    shards = doc["shards"]
+    if not isinstance(shards, list):
+        fail(f"{health_path}: shards is not a list")
+    for row in shards:
+        for field in HEALTH_SHARD_FIELDS:
+            if field not in row:
+                fail(f"{health_path}: shard row {row.get('shard')!r} "
+                     f"missing {field!r}")
+    for rollup in HEALTH_ROLLUPS:
+        total = sum(row[rollup] for row in shards)
+        if doc[rollup] != total:
+            fail(f"{health_path}: {rollup}={doc[rollup]} but shard rows "
+                 f"sum to {total}")
+    flagged = [row["shard"] for row in shards if row["straggler"]]
+    if doc["stragglers"] != flagged:
+        fail(f"{health_path}: stragglers={doc['stragglers']} but flagged "
+             f"shard rows are {flagged}")
+    peak = doc["peak_rss"]
+    if shards and any(row["peak_rss_bytes"] > 0 for row in shards):
+        hungriest = max(shards, key=lambda row: row["peak_rss_bytes"])
+        if not isinstance(peak, dict):
+            fail(f"{health_path}: peak_rss is {peak!r} despite shard rows "
+                 f"with peak_rss_bytes > 0")
+        if peak["bytes"] != hungriest["peak_rss_bytes"]:
+            fail(f"{health_path}: peak_rss.bytes={peak['bytes']} but the "
+                 f"hungriest shard row has {hungriest['peak_rss_bytes']}")
+        if not any(row["shard"] == peak["shard"] and
+                   row["peak_rss_bytes"] == peak["bytes"] for row in shards):
+            fail(f"{health_path}: peak_rss attributes shard {peak['shard']} "
+                 f"which does not have peak_rss_bytes={peak['bytes']}")
+    elif peak is not None:
+        fail(f"{health_path}: peak_rss should be null without resource "
+             f"samples, got {peak!r}")
+    return len(shards), doc["stragglers"]
+
+
 def main(argv):
-    positional, trace_path = [], None
+    positional, trace_path, health_path = [], None, None
     i = 1
     while i < len(argv):
         if argv[i] == "--trace":
             if i + 1 >= len(argv):
                 fail("--trace requires a file argument")
             trace_path = argv[i + 1]
+            i += 2
+        elif argv[i] == "--health":
+            if i + 1 >= len(argv):
+                fail("--health requires a file argument")
+            health_path = argv[i + 1]
             i += 2
         elif argv[i].startswith("--"):
             fail(f"unknown option {argv[i]!r}")
@@ -381,7 +519,7 @@ def main(argv):
             i += 1
     if len(positional) < 1:
         fail(f"usage: {argv[0]} events.jsonl [metrics.json] [table.json] "
-             f"[--trace trace.json]")
+             f"[--trace trace.json] [--health health.json]")
     events_path = positional[0]
     metrics_path = positional[1] if len(positional) > 1 else None
     table_path = positional[2] if len(positional) > 2 else None
@@ -400,10 +538,10 @@ def main(argv):
     explorations, searches = 0, 0
     if has_explore:
         explorations, searches = check_explore_family(events_path, events)
-    unit_ends, unit_fails, shard_spawns = 0, 0, 0
+    unit_ends, unit_fails, shard_spawns, resource_samples = 0, 0, 0, 0
     if has_campaign:
-        unit_ends, unit_fails, shard_spawns = check_campaign_family(
-            events_path, events)
+        unit_ends, unit_fails, shard_spawns, resource_samples = \
+            check_campaign_family(events_path, events)
 
     if (has_runs or has_explore) and metrics_path is None:
         fail("run/explore events present but no metrics.json argument")
@@ -446,8 +584,11 @@ def main(argv):
         rows = table.get("jobs", []) + [c for c in table.get("cells", [])
                                         if "verdict" in c]
         for row in rows:
-            if str(row.get("verdict")).lower() not in ("pass", "fail",
-                                                       "unknown", "skipped"):
+            # jobs rows use the search vocabulary, cells rows the
+            # certification one (faults/certify.cpp cellVerdictName).
+            if str(row.get("verdict")).lower() not in (
+                    "pass", "fail", "unknown", "skipped", "certified",
+                    "failed", "evidence", "degraded"):
                 fail(f"{table_path}: row "
                      f"{row.get('claim', row.get('cell'))!r} has unexpected "
                      f"verdict {row.get('verdict')!r}")
@@ -457,6 +598,11 @@ def main(argv):
         counts = check_trace(trace_path)
         trace_note = (f", trace OK ({counts['B']} spans, {counts['C']} "
                       f"counter samples, {counts['M']} tracks)")
+    health_note = ""
+    if health_path:
+        health_shards, stragglers = check_health(health_path)
+        health_note = (f", health OK ({health_shards} shards, "
+                       f"stragglers={stragglers})")
 
     parts = []
     if has_runs:
@@ -466,10 +612,12 @@ def main(argv):
         parts.append(f"{explorations} explorations, {searches} searches")
     if has_campaign:
         parts.append(f"{unit_ends} units ({unit_fails} failed, "
-                     f"{shard_spawns} shard spawns)")
+                     f"{shard_spawns} shard spawns, "
+                     f"{resource_samples} resource samples)")
     metrics_note = ", metrics consistent" if metrics_path else ""
     print(f"check_telemetry: OK — {', '.join(parts)}, "
-          f"{sum(kinds.values())} events{metrics_note}{trace_note}")
+          f"{sum(kinds.values())} events{metrics_note}{trace_note}"
+          f"{health_note}")
     return 0
 
 

@@ -5,7 +5,8 @@
 //   ./campaign_runner run    --out DIR [grid flags] [orchestrator flags]
 //   ./campaign_runner resume --out DIR [orchestrator flags]
 //   ./campaign_runner merge  --out DIR
-//   ./campaign_runner status --out DIR
+//   ./campaign_runner status --out DIR [--health]
+//   ./campaign_runner trace  --out DIR [--trace-out FILE]
 //
 // `run` expands the manifest (grid flags mirror robustness_table; add
 // --table1-p to include the Table 1 cells) into deterministic work units with
@@ -21,11 +22,19 @@
 // `merge` verifies every shard artifact's checksum footer (refusing torn or
 // tampered inputs), then rebuilds DIR/merged.jsonl, DIR/robustness_table.json
 // (byte-identical to robustness_table --json when no unit failed),
-// DIR/table1.json, and DIR/summary.json.
+// DIR/table1.json, DIR/summary.json, and — when the orchestrator stream
+// survives — the checksummed DIR/campaign_health.json (E25).
 //
 // Orchestrator telemetry (campaign_start/shard_spawn/shard_exit/unit_start/
-// unit_end/unit_retry/unit_failed/campaign_end) streams to DIR/events.jsonl
-// (one file per session; a resume starts a fresh stream).
+// unit_end/unit_retry/unit_failed/resource_sample/campaign_end) streams to
+// DIR/events.jsonl (one file per session; a resume starts a fresh stream),
+// flushed per line so `status` and `trace` can watch a live campaign through
+// the in-flight .tmp. Each shard additionally streams its run/explore events
+// to DIR/shards/shard_NNN.events.jsonl; `trace` merges everything into one
+// Chrome-trace/Perfetto timeline (E25, obs/campaign_trace.h). `status`
+// derives per-shard units/sec and ETA from the stream; `status --health`
+// prints the full health report (stragglers, retry storms, peak RSS) and
+// publishes DIR/campaign_health.json.
 //
 // Exit codes: 0 clean; 2 units failed / table not certified; 130 interrupted;
 // 1 usage or integrity errors.
@@ -43,7 +52,12 @@
 #include "campaign/orchestrator.h"
 #include "faults/certify.h"
 #include "naming/registry.h"
+#include "obs/campaign_health.h"
+#include "obs/campaign_trace.h"
 #include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/strings.h"
 
@@ -65,6 +79,8 @@ struct OrchestratorFlags {
   const std::uint64_t* backoffCapMs;
   const std::uint64_t* stallTimeoutMs;
   const std::uint64_t* pollMs;
+  const std::uint64_t* resourceSampleMs;
+  const std::string* metricsOut;
   const bool* mergeAfter;
 };
 
@@ -80,6 +96,11 @@ OrchestratorFlags addOrchestratorFlags(ppn::Cli& cli) {
       "SIGKILL a shard whose checkpoint stops growing for this long (0 = off)",
       0);
   f.pollMs = cli.addUint("poll-ms", "orchestrator poll interval", 25);
+  f.resourceSampleMs = cli.addUint(
+      "resource-sample-ms",
+      "sample live shards' /proc resources this often (0 = off)", 1'000);
+  f.metricsOut = cli.addString(
+      "metrics-out", "write the orchestrator metrics snapshot here", "");
   f.mergeAfter = cli.addFlag("merge", "merge artifacts after completion");
   return f;
 }
@@ -103,6 +124,9 @@ int runMerge(const std::string& outDir) {
                 ppn::mergedUnitsPath(outDir).c_str(),
                 ppn::mergedRobustnessTablePath(outDir).c_str(),
                 ppn::campaignSummaryPath(outDir).c_str());
+    if (summary.healthWritten) {
+      std::printf("          %s\n", ppn::campaignHealthPath(outDir).c_str());
+    }
     const bool clean = summary.clean() && summary.robustnessCertified &&
                        (!summary.hasTable1 || summary.table1Overall);
     return clean ? 0 : 2;
@@ -220,7 +244,11 @@ int runOrchestrate(int argc, const char* const* argv, bool resume) {
   options.backoffCapMillis = *orch.backoffCapMs;
   options.stallTimeoutMillis = *orch.stallTimeoutMs;
   options.pollMillis = *orch.pollMs;
+  options.resourceSampleMillis = *orch.resourceSampleMs;
   options.resume = resume;
+
+  ppn::MetricsRegistry metrics;
+  if (!orch.metricsOut->empty()) options.metrics = &metrics;
 
   std::unique_ptr<ppn::JsonlEventSink> sink;
   try {
@@ -229,6 +257,10 @@ int runOrchestrate(int argc, const char* const* argv, bool resume) {
         eventsOut->empty() ? ppn::campaignEventsPath(*outDir) : *eventsOut;
     if (eventsPath != "-") {
       sink = std::make_unique<ppn::JsonlEventSink>(eventsPath);
+      // Per-line flushing keeps the in-flight .tmp stream complete enough
+      // for `status`/`trace` to watch the campaign live; the stream is
+      // low-rate (one line per unit transition / sample), so this is cheap.
+      sink->setFlushEveryLine(true);
       options.sink = sink.get();
     }
   } catch (const std::runtime_error& e) {
@@ -244,6 +276,13 @@ int runOrchestrate(int argc, const char* const* argv, bool resume) {
     return 1;
   }
   if (sink) sink->close();
+  if (!orch.metricsOut->empty()) {
+    try {
+      ppn::writeFileAtomic(*orch.metricsOut, metrics.toJson() + "\n");
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    }
+  }
 
   std::printf("campaign %s: %llu/%llu units completed, %llu failed, "
               "%u shard restarts\n",
@@ -264,6 +303,9 @@ int runOrchestrate(int argc, const char* const* argv, bool resume) {
 int runStatus(int argc, const char* const* argv) {
   ppn::Cli cli("campaign_runner status", "report campaign progress");
   const auto* outDir = cli.addString("out", "campaign directory", "");
+  const auto* healthFlag = cli.addFlag(
+      "health", "print the full health report and publish "
+                "campaign_health.json");
   if (!cli.parse(argc, argv)) return 1;
   if (outDir->empty()) {
     std::fprintf(stderr, "campaign_runner: --out is required\n");
@@ -275,17 +317,46 @@ int runStatus(int argc, const char* const* argv) {
     const auto units = ppn::expandManifest(manifest);
     std::printf("campaign '%s': %zu units over %u shards\n",
                 manifest.name.c_str(), units.size(), manifest.shards);
+
+    // Rates come from the orchestrator stream (E25) when it exists; the
+    // stream of the LAST session, so a resume shows the resumed session's
+    // throughput. Absent or unreadable stream: counts only, no rates.
+    ppn::CampaignHealth health;
+    bool haveHealth = false;
+    try {
+      health = ppn::loadCampaignHealth(*outDir);
+      haveHealth = true;
+    } catch (const std::runtime_error&) {
+    }
+    const auto shardHealth =
+        [&health, haveHealth](std::uint32_t shard) -> const ppn::ShardHealth* {
+      if (!haveHealth) return nullptr;
+      for (const ppn::ShardHealth& s : health.shards) {
+        if (s.shard == shard) return &s;
+      }
+      return nullptr;
+    };
+
     std::uint64_t done = 0;
     for (std::uint32_t shard = 0; shard < manifest.shards; ++shard) {
       std::uint64_t assigned = 0;
       for (const auto& unit : units) {
         if (ppn::unitShard(manifest, unit.id) == shard) ++assigned;
       }
+      const ppn::ShardHealth* sh = shardHealth(shard);
+      // ProgressReporter's guarded math (safeRate/safeEta): a shard polled
+      // before its first unit lands, or a status taken the instant a resume
+      // starts, reports 0.0 units/s and no ETA instead of inf/NaN.
+      const double rate = sh != nullptr ? sh->unitsPerSec : 0.0;
       const auto finalArtifact =
           ppn::readJsonlArtifact(ppn::shardFinalPath(*outDir, shard));
       if (finalArtifact.ok()) {
-        std::printf("  shard %03u: done (%zu units)\n", shard,
+        std::printf("  shard %03u: done (%zu units", shard,
                     finalArtifact.lines.size());
+        if (sh != nullptr && rate > 0.0) {
+          std::printf(", %.1f units/s", rate);
+        }
+        std::printf(")\n");
         done += finalArtifact.lines.size();
         continue;
       }
@@ -301,10 +372,16 @@ int runStatus(int argc, const char* const* argv) {
         }
       }
       done += checkpointed;
-      std::printf("  shard %03u: in progress (%llu/%llu units "
-                  "checkpointed)\n",
+      const std::uint64_t remaining =
+          assigned > checkpointed ? assigned - checkpointed : 0;
+      const double eta = ppn::safeEta(remaining, rate);
+      std::printf("  shard %03u: in progress (%llu/%llu units checkpointed",
                   shard, static_cast<unsigned long long>(checkpointed),
                   static_cast<unsigned long long>(assigned));
+      if (rate > 0.0) {
+        std::printf(", %.1f units/s, eta %.0fs", rate, eta);
+      }
+      std::printf(")\n");
     }
     std::printf("total: %llu/%zu units durable\n",
                 static_cast<unsigned long long>(done), units.size());
@@ -312,6 +389,88 @@ int runStatus(int argc, const char* const* argv) {
                 ppn::readJsonlArtifact(ppn::mergedUnitsPath(*outDir)).ok()
                     ? "yes"
                     : "no");
+
+    if (*healthFlag) {
+      if (!haveHealth) {
+        std::fprintf(stderr,
+                     "campaign_runner: no orchestrator event stream in '%s' "
+                     "— cannot compute health\n",
+                     outDir->c_str());
+        return 1;
+      }
+      const std::string doc = ppn::campaignHealthJson(health);
+      std::printf("%s\n", doc.c_str());
+      ppn::writeJsonlArtifact(ppn::campaignHealthPath(*outDir), {doc});
+      std::fprintf(stderr, "health report: %s\n",
+                   ppn::campaignHealthPath(*outDir).c_str());
+      for (const std::uint32_t shard : health.stragglers) {
+        std::fprintf(stderr, "WARNING: shard %u is a straggler\n", shard);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 1;
+  }
+}
+
+int runTrace(int argc, const char* const* argv) {
+  ppn::Cli cli("campaign_runner trace",
+               "assemble the campaign's event streams into one "
+               "Chrome-trace/Perfetto timeline");
+  const auto* outDir = cli.addString("out", "campaign directory", "");
+  const auto* traceOut = cli.addString(
+      "trace-out", "output file (default DIR/campaign_trace.json)", "");
+  const auto* maxEvents = cli.addUint(
+      "max-events", "trace event cap (excess dropped and counted)",
+      1u << 20);
+  if (!cli.parse(argc, argv)) return 1;
+  if (outDir->empty()) {
+    std::fprintf(stderr, "campaign_runner: --out is required\n");
+    return 1;
+  }
+  try {
+    const ppn::CampaignTraceInputs inputs =
+        ppn::discoverCampaignTraceInputs(*outDir);
+    if (inputs.empty()) {
+      std::fprintf(stderr,
+                   "campaign_runner: no event streams in '%s' (run the "
+                   "campaign with telemetry enabled)\n",
+                   outDir->c_str());
+      return 1;
+    }
+    ppn::ChromeTraceWriter writer(static_cast<std::size_t>(*maxEvents));
+    const ppn::CampaignTraceStats stats =
+        ppn::assembleCampaignTrace(inputs, writer);
+    const std::string path =
+        traceOut->empty() ? ppn::campaignTracePath(*outDir) : *traceOut;
+    if (!writer.writeToFile(path)) {
+      std::fprintf(stderr, "campaign_runner: cannot write '%s'\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("trace: %s%s\n", path.c_str(),
+                inputs.orchestratorLive ? " (live campaign)" : "");
+    std::printf("  %llu orchestrator + %llu shard events -> %llu slices, "
+                "%llu instants, %llu counter samples\n",
+                static_cast<unsigned long long>(stats.orchestratorLines),
+                static_cast<unsigned long long>(stats.shardLines),
+                static_cast<unsigned long long>(stats.slices),
+                static_cast<unsigned long long>(stats.instants),
+                static_cast<unsigned long long>(stats.counters));
+    std::printf("  shard pids:");
+    for (const std::int64_t pid : stats.shardPids) {
+      std::printf(" %lld", static_cast<long long>(pid));
+    }
+    std::printf("\n");
+    if (stats.skippedLines > 0 || stats.forcedCloses > 0 ||
+        writer.droppedEvents() > 0) {
+      std::printf("  skipped %llu lines, force-closed %llu slices, "
+                  "dropped %llu events at the cap\n",
+                  static_cast<unsigned long long>(stats.skippedLines),
+                  static_cast<unsigned long long>(stats.forcedCloses),
+                  static_cast<unsigned long long>(writer.droppedEvents()));
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign_runner: %s\n", e.what());
@@ -338,8 +497,10 @@ int main(int argc, char** argv) {
     return runMerge(*outDir);
   }
   if (sub == "status") return runStatus(argc - 1, argv + 1);
+  if (sub == "trace") return runTrace(argc - 1, argv + 1);
   std::fprintf(stderr,
-               "usage: campaign_runner <run|resume|merge|status> [options]\n"
+               "usage: campaign_runner <run|resume|merge|status|trace> "
+               "[options]\n"
                "       campaign_runner <subcommand> --help\n");
   return 1;
 }

@@ -227,6 +227,9 @@ std::string shardFinalPath(const std::string& outDir, std::uint32_t shard) {
 std::string shardMetricsPath(const std::string& outDir, std::uint32_t shard) {
   return outDir + "/shards/shard_" + zeroPadded(shard) + ".metrics.json";
 }
+std::string shardEventsPath(const std::string& outDir, std::uint32_t shard) {
+  return outDir + "/shards/shard_" + zeroPadded(shard) + ".events.jsonl";
+}
 std::string mergedUnitsPath(const std::string& outDir) {
   return outDir + "/merged.jsonl";
 }
@@ -238,6 +241,12 @@ std::string mergedRobustnessTablePath(const std::string& outDir) {
 }
 std::string mergedTable1Path(const std::string& outDir) {
   return outDir + "/table1.json";
+}
+std::string campaignHealthPath(const std::string& outDir) {
+  return outDir + "/campaign_health.json";
+}
+std::string campaignTracePath(const std::string& outDir) {
+  return outDir + "/campaign_trace.json";
 }
 
 void ensureCampaignLayout(const std::string& outDir) {

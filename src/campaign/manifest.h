@@ -90,10 +90,18 @@ std::string campaignEventsPath(const std::string& outDir);
 std::string shardPartialPath(const std::string& outDir, std::uint32_t shard);
 std::string shardFinalPath(const std::string& outDir, std::uint32_t shard);
 std::string shardMetricsPath(const std::string& outDir, std::uint32_t shard);
+/// Per-shard JSONL event stream (E25): written flush-per-line from inside
+/// the shard process, merged into the campaign trace by
+/// discoverCampaignTraceInputs/assembleCampaignTrace (obs/campaign_trace.h).
+std::string shardEventsPath(const std::string& outDir, std::uint32_t shard);
 std::string mergedUnitsPath(const std::string& outDir);
 std::string campaignSummaryPath(const std::string& outDir);
 std::string mergedRobustnessTablePath(const std::string& outDir);
 std::string mergedTable1Path(const std::string& outDir);
+/// E25 observability outputs: the checksummed health report (merge pass and
+/// `campaign_runner status --health`) and the default assembled-trace path.
+std::string campaignHealthPath(const std::string& outDir);
+std::string campaignTracePath(const std::string& outDir);
 
 /// Creates `outDir` and its shards/ subdirectory (throws std::runtime_error).
 void ensureCampaignLayout(const std::string& outDir);

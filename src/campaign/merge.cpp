@@ -7,6 +7,9 @@
 #include "analysis/table1.h"
 #include "campaign/artifact.h"
 #include "faults/certify.h"
+#include "obs/campaign_health.h"
+#include "obs/campaign_trace.h"
+#include "obs/events.h"
 #include "util/json.h"
 
 namespace ppn {
@@ -196,6 +199,23 @@ MergeSummary mergeCampaign(const std::string& outDir) {
     summary.table1Overall = table1AllPass(table1Cells);
     writeFileAtomic(mergedTable1Path(outDir),
                     table1Json(manifest.table1P, table1Cells) + "\n");
+  }
+
+  // E25: publish the checksummed health report. The report is a pure
+  // function of the orchestrator stream's bytes, so re-merging the same
+  // directory reproduces campaign_health.json byte-for-byte. Absence of the
+  // stream (telemetry disabled) or a corrupt stream skips the report — the
+  // merge's integrity duty is the unit artifacts, health is advisory.
+  const CampaignTraceInputs traceInputs = discoverCampaignTraceInputs(outDir);
+  if (!traceInputs.orchestratorEvents.empty()) {
+    try {
+      const CampaignHealth health = computeCampaignHealth(
+          readJsonlTolerant(traceInputs.orchestratorEvents).lines);
+      writeJsonlArtifact(campaignHealthPath(outDir),
+                         {campaignHealthJson(health)});
+      summary.healthWritten = true;
+    } catch (const std::runtime_error&) {
+    }
   }
 
   writeFileAtomic(campaignSummaryPath(outDir),

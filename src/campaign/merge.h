@@ -40,6 +40,9 @@ struct MergeSummary {
   bool robustnessCertified = true;
   bool hasTable1 = false;
   bool table1Overall = false;
+  /// E25: campaign_health.json was published (requires a surviving
+  /// orchestrator event stream; telemetry-disabled campaigns skip it).
+  bool healthWritten = false;
 
   bool clean() const { return failedUnits.empty(); }
 };

@@ -20,6 +20,8 @@
 #include "campaign/artifact.h"
 #include "campaign/shard_runner.h"
 #include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/resource_sampler.h"
 #include "util/json.h"
 
 namespace ppn {
@@ -376,6 +378,37 @@ OrchestratorOutcome orchestrateCampaign(const CampaignManifest& manifest,
     }
   };
 
+  // E25: the parent samples live shards' /proc resources — from HERE, not
+  // from inside the shards, so a wedged shard is still observed and a dying
+  // one costs nothing (DESIGN decision 16).
+  ResourceSampler sampler(options.resourceSampleMillis);
+  const CounterHandle samplesTaken =
+      options.metrics != nullptr
+          ? options.metrics->counter("resource_samples")
+          : CounterHandle{};
+  const auto sampleResources = [&]() {
+    if (options.resourceSampleMillis == 0) return;
+    std::vector<std::pair<std::uint32_t, std::int64_t>> live;
+    for (const ShardState& s : shards) {
+      if (s.pid >= 0) {
+        live.emplace_back(s.index, static_cast<std::int64_t>(s.pid));
+      }
+    }
+    for (const auto& [shard, sample] : sampler.sample(live)) {
+      if (sink != nullptr) sink->onResourceSample(shard, sample);
+      if (options.metrics != nullptr) {
+        const std::string prefix =
+            "campaign_shard" + std::to_string(shard) + "_";
+        MetricsRegistry::set(
+            options.metrics->gauge(prefix + "rss_bytes"),
+            static_cast<std::int64_t>(sample.rssBytes));
+        MetricsRegistry::set(options.metrics->gauge(prefix + "cpu_permille"),
+                             sample.cpuPermille);
+        options.metrics->add(samplesTaken);
+      }
+    }
+  };
+
   bool allDone = false;
   while (g_interrupted == 0) {
     for (ShardState& s : shards) {
@@ -393,6 +426,9 @@ OrchestratorOutcome orchestrateCampaign(const CampaignManifest& manifest,
       if (Clock::now() < s.nextSpawnAt) continue;
       spawnShard(s);
     }
+    // After the spawn pass, so a shard that lives for less than one poll
+    // interval still contributes its immediate baseline sample.
+    sampleResources();
     allDone = std::all_of(shards.begin(), shards.end(),
                           [](const ShardState& s) { return s.done; });
     if (allDone) break;

@@ -33,7 +33,12 @@
 // campaign_start, shard_spawn/shard_exit, unit_start/unit_end/unit_retry/
 // unit_failed, campaign_end) to the caller's JsonlEventSink; unit_start/
 // unit_end are observed from the checkpoint files, so they reflect what the
-// shards durably recorded, not what the parent merely scheduled.
+// shards durably recorded, not what the parent merely scheduled. The parent
+// also samples each live shard's /proc/<pid>/{stat,statm,io} on the
+// resourceSampleMillis cadence (E25, obs/resource_sampler.h), emitting
+// resource_sample events into the same stream and per-shard rss/cpu gauges
+// into the optional MetricsRegistry — sampling lives HERE, not in the
+// shards, so a wedged or dying shard is still observed (DESIGN decision 16).
 #pragma once
 
 #include <cstdint>
@@ -44,6 +49,7 @@
 namespace ppn {
 
 class JsonlEventSink;
+class MetricsRegistry;
 
 struct OrchestratorOptions {
   /// Maximum concurrently running shard processes (>= 1).
@@ -65,6 +71,14 @@ struct OrchestratorOptions {
   bool resume = false;
   /// Orchestrator telemetry (not owned; may be null).
   JsonlEventSink* sink = nullptr;
+  /// /proc resource-sampling cadence for live shards (E25): every live shard
+  /// pid is sampled at most once per interval (plus an immediate baseline on
+  /// first sight). 0 disables sampling entirely — the poll loop then never
+  /// touches /proc, so disabled campaigns carry no overhead.
+  std::uint64_t resourceSampleMillis = 1'000;
+  /// Receives campaign_shard<i>_rss_bytes / _cpu_permille gauges and the
+  /// resource_samples counter (not owned; may be null).
+  MetricsRegistry* metrics = nullptr;
   /// Install SIGINT/SIGTERM handlers for checkpoint-and-exit (restored on
   /// return). Tests running the orchestrator in-process may disable this.
   bool installSignalHandlers = true;

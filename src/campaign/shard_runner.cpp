@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -157,6 +158,28 @@ int runShard(const CampaignManifest& manifest, const std::string& outDir,
     const CounterHandle unitsResumed = registry.counter("units_resumed");
     const CounterHandle unitsFailed = registry.counter("units_failed");
 
+    // E25: per-shard event stream for the campaign trace assembler. Written
+    // in place (no atomic rename — the assembler reads it even after a kill)
+    // and flushed per line; telemetry failure never fails the shard.
+    std::unique_ptr<JsonlEventSink> events;
+    if (options.emitEvents) {
+      try {
+        events = std::make_unique<JsonlEventSink>(
+            shardEventsPath(outDir, options.shardIndex),
+            /*progressIntervalMillis=*/0, /*atomicRename=*/false);
+        events->setFlushEveryLine(true);
+      } catch (const std::runtime_error& e) {
+        std::fprintf(stderr, "shard %u: no event stream (%s)\n",
+                     options.shardIndex, e.what());
+      }
+    }
+    MultiObserver runObservers;
+    runObservers.add(&runProbe);
+    runObservers.add(events.get());
+    MultiExploreObserver exploreObservers;
+    exploreObservers.add(&exploreProbe);
+    exploreObservers.add(events.get());
+
     std::ofstream append(partialPath, std::ios::app | std::ios::binary);
     if (!append) {
       throw std::runtime_error("cannot open '" + partialPath +
@@ -186,7 +209,8 @@ int runShard(const CampaignManifest& manifest, const std::string& outDir,
         line = failedUnitLine(unit, "retries exhausted");
         registry.add(unitsFailed);
       } else {
-        line = executeWorkUnit(manifest, unit, &runProbe, &exploreProbe);
+        line = executeWorkUnit(manifest, unit, &runObservers,
+                               &exploreObservers);
         registry.add(unitsExecuted);
       }
       append << line << '\n';

@@ -39,6 +39,12 @@ struct ShardOptions {
   /// them, so the artifact still covers every unit and the rest of the shard
   /// proceeds (graceful degradation).
   std::vector<std::uint64_t> failedUnits;
+  /// Stream run/explore telemetry to shardEventsPath (E25), flushed per line
+  /// so the campaign trace assembler sees everything up to a kill. The
+  /// stream never affects unit result bytes; a stream that cannot be opened
+  /// is skipped, never fatal. Each spawn truncates the previous stream, so
+  /// the file always describes the shard's latest attempt.
+  bool emitEvents = true;
 };
 
 /// Executes the shard to completion. Returns 0 on success (final artifact

@@ -1,0 +1,244 @@
+#include "obs/campaign_health.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "obs/campaign_trace.h"
+#include "obs/events.h"
+#include "obs/progress.h"
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+double numField(const JsonValue& doc, const char* key, double fallback = 0.0) {
+  const JsonValue* v = doc.find(key);
+  return v != nullptr && v->isNumber() ? v->asDouble() : fallback;
+}
+
+std::string strField(const JsonValue& doc, const char* key) {
+  const JsonValue* v = doc.find(key);
+  return v != nullptr && v->isString() ? v->asString() : std::string();
+}
+
+struct ShardAccumulator {
+  ShardHealth health;
+  std::vector<double> latencies;
+  double firstSpawnMillis = 0.0;
+  double lastExitMillis = 0.0;
+  bool spawnSeen = false;
+  bool exitSeen = false;
+  bool running = false;
+};
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+}  // namespace
+
+CampaignHealth computeCampaignHealth(const std::vector<std::string>& lines,
+                                     const CampaignHealthOptions& options) {
+  CampaignHealth health;
+  std::map<std::uint32_t, ShardAccumulator> shards;
+  /// unit id -> elapsed_ms of its FIRST unit_start (later attempts keep the
+  /// original start: the user experiences the whole retry saga as latency).
+  std::map<std::uint64_t, double> unitStarts;
+  std::vector<double> allLatencies;
+
+  const auto shardOf = [&shards](const JsonValue& doc) -> ShardAccumulator& {
+    const auto index = static_cast<std::uint32_t>(numField(doc, "shard"));
+    ShardAccumulator& acc = shards[index];
+    acc.health.shard = index;
+    return acc;
+  };
+
+  for (const std::string& line : lines) {
+    const auto value = jsonParse(line);
+    if (!value.has_value() || !value->isObject()) continue;
+    const JsonValue* event = value->find("event");
+    const JsonValue* ts = value->find("elapsed_ms");
+    if (event == nullptr || !event->isString() || ts == nullptr ||
+        !ts->isNumber()) {
+      continue;
+    }
+    const std::string& kind = event->asString();
+    const double millis = ts->asDouble();
+    health.elapsedMillis = std::max(health.elapsedMillis, millis);
+
+    if (kind == "campaign_start") {
+      health.campaignSeen = true;
+      health.totalUnits = static_cast<std::uint64_t>(numField(*value, "units"));
+    } else if (kind == "campaign_end") {
+      health.finished = true;
+      const JsonValue* interrupted = value->find("interrupted");
+      health.interrupted =
+          interrupted != nullptr && interrupted->isBool() &&
+          interrupted->asBool();
+    } else if (kind == "shard_spawn") {
+      ShardAccumulator& acc = shardOf(*value);
+      ++acc.health.spawns;
+      if (!acc.spawnSeen) {
+        acc.spawnSeen = true;
+        acc.firstSpawnMillis = millis;
+      }
+      acc.running = true;
+    } else if (kind == "shard_exit") {
+      ShardAccumulator& acc = shardOf(*value);
+      acc.exitSeen = true;
+      acc.lastExitMillis = millis;
+      acc.running = false;
+      if (numField(*value, "signal") != 0.0) ++acc.health.kills;
+    } else if (kind == "unit_start") {
+      ShardAccumulator& acc = shardOf(*value);
+      (void)acc;
+      const auto unit = static_cast<std::uint64_t>(numField(*value, "unit"));
+      unitStarts.emplace(unit, millis);  // keep the FIRST attempt's start
+    } else if (kind == "unit_end") {
+      ShardAccumulator& acc = shardOf(*value);
+      if (strField(*value, "status") == "failed") {
+        ++acc.health.unitsFailed;
+      } else {
+        ++acc.health.unitsCompleted;
+      }
+      const auto unit = static_cast<std::uint64_t>(numField(*value, "unit"));
+      if (const auto found = unitStarts.find(unit);
+          found != unitStarts.end()) {
+        const double latency = millis - found->second;
+        if (latency >= 0.0) {
+          acc.latencies.push_back(latency);
+          allLatencies.push_back(latency);
+        }
+        unitStarts.erase(found);
+      }
+    } else if (kind == "unit_retry") {
+      ShardAccumulator& acc = shardOf(*value);
+      ++acc.health.retries;
+      if (strField(*value, "reason") == "stalled") ++acc.health.stalls;
+    } else if (kind == "unit_failed") {
+      // Blacklist decision; the terminal accounting arrives as the
+      // respawned shard's {"status":"failed"} unit_end. Nothing to count.
+    } else if (kind == "resource_sample") {
+      ShardAccumulator& acc = shardOf(*value);
+      acc.health.peakRssBytes =
+          std::max(acc.health.peakRssBytes, numField(*value, "rss_bytes"));
+      acc.health.peakCpuPermille = std::max(
+          acc.health.peakCpuPermille, numField(*value, "cpu_permille"));
+    }
+  }
+
+  health.medianUnitLatencyMillis = median(allLatencies);
+  const double stragglerCutoff =
+      options.stragglerFactor * health.medianUnitLatencyMillis +
+      options.stragglerSlackMillis;
+
+  for (auto& [index, acc] : shards) {
+    ShardHealth& s = acc.health;
+    if (acc.spawnSeen) {
+      const double until =
+          acc.running || !acc.exitSeen ? health.elapsedMillis
+                                       : acc.lastExitMillis;
+      s.activeMillis = std::max(0.0, until - acc.firstSpawnMillis);
+    }
+    s.unitsPerSec =
+        safeRate(s.unitsCompleted + s.unitsFailed, s.activeMillis / 1000.0);
+    s.latencySamples = acc.latencies.size();
+    if (!acc.latencies.empty()) {
+      double sum = 0.0;
+      for (const double l : acc.latencies) sum += l;
+      s.meanUnitLatencyMillis = sum / static_cast<double>(acc.latencies.size());
+    }
+    s.straggler =
+        s.latencySamples > 0 && s.meanUnitLatencyMillis > stragglerCutoff;
+    s.retryStorm = s.retries >= options.retryStormThreshold;
+
+    health.unitsCompleted += s.unitsCompleted;
+    health.unitsFailed += s.unitsFailed;
+    health.retries += s.retries;
+    health.stalls += s.stalls;
+    health.kills += s.kills;
+    if (s.peakRssBytes > health.peakRssBytes) {
+      health.peakRssBytes = s.peakRssBytes;
+      health.peakRssShard = static_cast<std::int32_t>(index);
+    }
+    if (s.straggler) health.stragglers.push_back(index);
+    health.shards.push_back(s);
+  }
+  health.unitsPerSec = safeRate(health.unitsCompleted + health.unitsFailed,
+                                health.elapsedMillis / 1000.0);
+  return health;
+}
+
+CampaignHealth loadCampaignHealth(const std::string& outDir,
+                                  const CampaignHealthOptions& options) {
+  const CampaignTraceInputs inputs = discoverCampaignTraceInputs(outDir);
+  if (inputs.orchestratorEvents.empty()) {
+    throw std::runtime_error(
+        "campaign health: no orchestrator event stream in '" + outDir +
+        "' (events.jsonl or events.jsonl.tmp) — run the campaign with "
+        "telemetry enabled");
+  }
+  return computeCampaignHealth(
+      readJsonlTolerant(inputs.orchestratorEvents).lines, options);
+}
+
+std::string campaignHealthJson(const CampaignHealth& health) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("kind").value("ppn-campaign-health");
+  w.key("finished").value(health.finished);
+  w.key("interrupted").value(health.interrupted);
+  w.key("units").value(health.totalUnits);
+  w.key("completed").value(health.unitsCompleted);
+  w.key("failed").value(health.unitsFailed);
+  w.key("retries").value(health.retries);
+  w.key("stalls").value(health.stalls);
+  w.key("kills").value(health.kills);
+  w.key("elapsed_ms").valueFixed(health.elapsedMillis, 3);
+  w.key("units_per_sec").valueFixed(health.unitsPerSec, 3);
+  w.key("median_unit_latency_ms")
+      .valueFixed(health.medianUnitLatencyMillis, 3);
+  w.key("peak_rss");
+  if (health.peakRssShard < 0) {
+    w.null();
+  } else {
+    w.beginObject();
+    w.key("shard").value(static_cast<std::uint64_t>(health.peakRssShard));
+    w.key("bytes").valueFixed(health.peakRssBytes, 0);
+    w.endObject();
+  }
+  w.key("shards").beginArray();
+  for (const ShardHealth& s : health.shards) {
+    w.beginObject();
+    w.key("shard").value(s.shard);
+    w.key("spawns").value(s.spawns);
+    w.key("completed").value(s.unitsCompleted);
+    w.key("failed").value(s.unitsFailed);
+    w.key("retries").value(s.retries);
+    w.key("stalls").value(s.stalls);
+    w.key("kills").value(s.kills);
+    w.key("active_ms").valueFixed(s.activeMillis, 3);
+    w.key("units_per_sec").valueFixed(s.unitsPerSec, 3);
+    w.key("latency_samples").value(s.latencySamples);
+    w.key("mean_unit_latency_ms").valueFixed(s.meanUnitLatencyMillis, 3);
+    w.key("peak_rss_bytes").valueFixed(s.peakRssBytes, 0);
+    w.key("peak_cpu_permille").valueFixed(s.peakCpuPermille, 0);
+    w.key("straggler").value(s.straggler);
+    w.key("retry_storm").value(s.retryStorm);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("stragglers").beginArray();
+  for (const std::uint32_t shard : health.stragglers) w.value(shard);
+  w.endArray();
+  w.endObject();
+  return w.str();
+}
+
+}  // namespace ppn

@@ -1,0 +1,99 @@
+// E25: campaign health report — per-shard throughput, straggler detection,
+// retry/stall summaries, and peak-RSS attribution, computed purely from the
+// orchestrator's event stream.
+//
+// Determinism contract: the report is a pure function of the stream's BYTES
+// (every rate and latency derives from the events' own elapsed_ms stamps,
+// never from a live clock, and doubles are rendered fixed-point), so
+// recomputing it over the same artifact directory reproduces it
+// byte-for-byte — which is what lets the merge pass publish it as a
+// checksummed artifact and lets CI diff it.
+//
+// Straggler rule: a unit's latency is first unit_start -> terminal unit_end
+// (units that complete between two orchestrator polls have no observed start
+// and contribute throughput but not latency). A shard is a straggler when
+// its mean unit latency exceeds stragglerFactor x the campaign-wide median
+// unit latency plus stragglerSlackMillis — the slack keeps an all-sub-
+// millisecond campaign (median ~0) from flagging noise, while a genuinely
+// wedged unit (stall-killed, retried, finally blacklisted) exceeds any sane
+// median by seconds. Resumes truncate the stream, so the report always
+// describes the LAST orchestrator session.
+//
+// Like campaign_trace.h this lives in obs, below src/campaign/ in the
+// dependency order: it reads the stream the orchestrator wrote and knows
+// nothing about manifests. Callers that know the campaign directory use
+// discoverCampaignTraceInputs (campaign_trace.h) to find the stream, .tmp
+// fallback included.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppn {
+
+struct CampaignHealthOptions {
+  /// Straggler threshold: mean shard latency > factor * median + slack.
+  double stragglerFactor = 2.0;
+  double stragglerSlackMillis = 250.0;
+  /// A shard with at least this many retries is flagged retry_storm.
+  std::uint64_t retryStormThreshold = 3;
+};
+
+struct ShardHealth {
+  std::uint32_t shard = 0;
+  std::uint64_t spawns = 0;
+  std::uint64_t unitsCompleted = 0;  ///< terminal unit_end, status != failed
+  std::uint64_t unitsFailed = 0;     ///< terminal unit_end, status == failed
+  std::uint64_t retries = 0;         ///< unit_retry events
+  std::uint64_t stalls = 0;          ///< unit_retry with reason "stalled"
+  std::uint64_t kills = 0;           ///< shard_exit with a nonzero signal
+  /// first shard_spawn -> last shard_exit (or stream end while running).
+  double activeMillis = 0.0;
+  double unitsPerSec = 0.0;  ///< safeRate(completed+failed, active seconds)
+  /// Units with an observed unit_start; mean latency over exactly those.
+  std::uint64_t latencySamples = 0;
+  double meanUnitLatencyMillis = 0.0;
+  double peakRssBytes = 0.0;       ///< max resource_sample rss_bytes (0: none)
+  double peakCpuPermille = 0.0;
+  bool straggler = false;
+  bool retryStorm = false;
+};
+
+struct CampaignHealth {
+  bool campaignSeen = false;  ///< campaign_start was in the stream
+  bool finished = false;      ///< campaign_end was in the stream
+  bool interrupted = false;
+  std::uint64_t totalUnits = 0;   ///< from campaign_start
+  std::uint64_t unitsCompleted = 0;
+  std::uint64_t unitsFailed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t kills = 0;
+  double elapsedMillis = 0.0;  ///< last event timestamp in the stream
+  double unitsPerSec = 0.0;
+  double medianUnitLatencyMillis = 0.0;
+  /// Shard holding the campaign's peak RSS sample (-1 when no samples).
+  std::int32_t peakRssShard = -1;
+  double peakRssBytes = 0.0;
+  std::vector<ShardHealth> shards;       ///< ascending shard index
+  std::vector<std::uint32_t> stragglers; ///< ascending shard index
+};
+
+/// Computes the report from raw orchestrator event lines (as returned by
+/// readJsonlTolerant on the stream file). Unknown/foreign lines are ignored.
+CampaignHealth computeCampaignHealth(const std::vector<std::string>& lines,
+                                     const CampaignHealthOptions& options = {});
+
+/// Reads the campaign's orchestrator stream (events.jsonl, falling back to
+/// the in-flight .tmp) and computes the report. Throws std::runtime_error
+/// when the directory holds no stream at all or the stream is corrupt
+/// beyond a torn tail.
+CampaignHealth loadCampaignHealth(const std::string& outDir,
+                                  const CampaignHealthOptions& options = {});
+
+/// Renders the report as one deterministic compact JSON document
+/// (kind "ppn-campaign-health"; fixed-point doubles, 3 decimals).
+std::string campaignHealthJson(const CampaignHealth& health);
+
+}  // namespace ppn

@@ -1,0 +1,420 @@
+#include "obs/campaign_trace.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "obs/events.h"
+#include "util/json.h"
+
+namespace ppn {
+
+namespace {
+
+/// Shard-stream lanes: tid 0 carries counters and unattributed instants,
+/// runs are lane-allocated from tid 1, explore phases get their own track
+/// well clear of any plausible lane count (shard thread pools are small).
+constexpr std::uint32_t kPhaseTid = 50;
+/// Shard streams with no orchestrator stream to supply the real OS pid get a
+/// synthetic, collision-free process id.
+constexpr std::int64_t kSyntheticPidBase = 1'000'000;
+
+double numField(const JsonValue& doc, const char* key, double fallback = 0.0) {
+  const JsonValue* v = doc.find(key);
+  return v != nullptr && v->isNumber() ? v->asDouble() : fallback;
+}
+
+std::string strField(const JsonValue& doc, const char* key) {
+  const JsonValue* v = doc.find(key);
+  return v != nullptr && v->isString() ? v->asString() : std::string();
+}
+
+struct ParsedLine {
+  std::string event;
+  double tsMillis = 0.0;
+  JsonValue doc;
+};
+
+/// Parses one stream, dropping (and counting) lines that are not events.
+std::vector<ParsedLine> parseStream(const std::string& path,
+                                    std::uint64_t& skipped) {
+  std::vector<ParsedLine> out;
+  for (const std::string& line : readJsonlTolerant(path).lines) {
+    auto value = jsonParse(line);
+    if (!value.has_value() || !value->isObject()) {
+      ++skipped;
+      continue;
+    }
+    const JsonValue* event = value->find("event");
+    const JsonValue* ts = value->find("elapsed_ms");
+    if (event == nullptr || !event->isString() || ts == nullptr ||
+        !ts->isNumber()) {
+      ++skipped;
+      continue;
+    }
+    ParsedLine parsed;
+    parsed.event = event->asString();
+    parsed.tsMillis = ts->asDouble();
+    parsed.doc = std::move(*value);
+    out.push_back(std::move(parsed));
+  }
+  return out;
+}
+
+/// Orchestrator-side view of one shard while replaying the stream.
+struct OrchShardState {
+  bool trackNamed = false;
+  bool runOpen = false;
+  std::optional<std::uint64_t> openUnit;
+  std::string openUnitName;
+  std::int64_t lastPid = -1;
+  double lastSpawnMillis = 0.0;
+  bool spawnSeen = false;
+};
+
+}  // namespace
+
+CampaignTraceInputs discoverCampaignTraceInputs(const std::string& outDir) {
+  CampaignTraceInputs inputs;
+  const std::string finalStream = outDir + "/events.jsonl";
+  if (std::filesystem::exists(finalStream)) {
+    inputs.orchestratorEvents = finalStream;
+  } else if (std::filesystem::exists(finalStream + ".tmp")) {
+    inputs.orchestratorEvents = finalStream + ".tmp";
+    inputs.orchestratorLive = true;
+  }
+  const std::string shardDir = outDir + "/shards";
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(shardDir, ec)) {
+    const std::string name = entry.path().filename().string();
+    // shards/shard_<digits>.events.jsonl
+    const std::string prefix = "shard_";
+    const std::string suffix = ".events.jsonl";
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    CampaignTraceInputs::ShardStream stream;
+    stream.shard = static_cast<std::uint32_t>(std::stoul(digits));
+    stream.path = entry.path().string();
+    inputs.shardStreams.push_back(std::move(stream));
+  }
+  std::sort(inputs.shardStreams.begin(), inputs.shardStreams.end(),
+            [](const auto& a, const auto& b) { return a.shard < b.shard; });
+  return inputs;
+}
+
+CampaignTraceStats assembleCampaignTrace(const CampaignTraceInputs& inputs,
+                                         ChromeTraceWriter& writer) {
+  CampaignTraceStats stats;
+  std::map<std::uint32_t, OrchShardState> shards;
+  std::set<std::int64_t> namedPids;
+  bool campaignOpen = false;
+  double lastOrchMillis = 0.0;
+
+  const auto namePid = [&](std::int64_t pid, std::uint32_t shard) {
+    if (pid <= 0 || !namedPids.insert(pid).second) return;
+    writer.setProcessName(static_cast<std::uint32_t>(pid),
+                          "shard " + std::to_string(shard) + " worker");
+  };
+
+  if (!inputs.orchestratorEvents.empty()) {
+    writer.setProcessName(0, "orchestrator");
+    writer.setTrackName(0, 0, "campaign");
+    for (const ParsedLine& line :
+         parseStream(inputs.orchestratorEvents, stats.skippedLines)) {
+      ++stats.orchestratorLines;
+      const double ts = line.tsMillis * 1000.0;
+      lastOrchMillis = std::max(lastOrchMillis, line.tsMillis);
+      const auto shardOf = [&]() -> OrchShardState& {
+        const auto index =
+            static_cast<std::uint32_t>(numField(line.doc, "shard"));
+        OrchShardState& s = shards[index];
+        if (!s.trackNamed) {
+          s.trackNamed = true;
+          writer.setTrackName(0, index + 1, "shard " + std::to_string(index));
+        }
+        return s;
+      };
+      const auto shardTid = [&]() {
+        return static_cast<std::uint32_t>(numField(line.doc, "shard")) + 1;
+      };
+
+      if (line.event == "campaign_start") {
+        writer.beginOn(0, 0, ts, "campaign",
+                       {{"units", numField(line.doc, "units")},
+                        {"shards", numField(line.doc, "shards")},
+                        {"workers", numField(line.doc, "workers")}});
+        campaignOpen = true;
+        ++stats.slices;
+      } else if (line.event == "campaign_end") {
+        if (campaignOpen) {
+          writer.endOn(0, 0, ts, "campaign");
+          campaignOpen = false;
+        }
+      } else if (line.event == "shard_spawn") {
+        OrchShardState& s = shardOf();
+        if (s.runOpen) {  // exit line lost: keep the track balanced anyway
+          writer.endOn(0, shardTid(), ts, "shard-run");
+          ++stats.forcedCloses;
+        }
+        s.runOpen = true;
+        s.spawnSeen = true;
+        s.lastPid = static_cast<std::int64_t>(numField(line.doc, "pid"));
+        s.lastSpawnMillis = line.tsMillis;
+        namePid(s.lastPid,
+                static_cast<std::uint32_t>(numField(line.doc, "shard")));
+        writer.beginOn(0, shardTid(), ts, "shard-run",
+                       {{"pid", numField(line.doc, "pid")},
+                        {"spawn", numField(line.doc, "spawn")}});
+        ++stats.slices;
+      } else if (line.event == "shard_exit") {
+        OrchShardState& s = shardOf();
+        if (s.openUnit.has_value()) {
+          writer.endOn(0, shardTid(), ts, s.openUnitName);
+          s.openUnit.reset();
+          ++stats.forcedCloses;
+        }
+        if (s.runOpen) {
+          writer.endOn(0, shardTid(), ts, "shard-run");
+          s.runOpen = false;
+        }
+        if (numField(line.doc, "signal") != 0.0) {
+          writer.instantOn(0, shardTid(), ts, "shard_killed",
+                           {{"signal", numField(line.doc, "signal")}});
+          ++stats.instants;
+        }
+      } else if (line.event == "unit_start") {
+        OrchShardState& s = shardOf();
+        if (s.openUnit.has_value()) {  // retry boundary: close the old attempt
+          writer.endOn(0, shardTid(), ts, s.openUnitName);
+          ++stats.forcedCloses;
+        }
+        s.openUnit = static_cast<std::uint64_t>(numField(line.doc, "unit"));
+        s.openUnitName = "unit " + std::to_string(*s.openUnit);
+        writer.beginOn(0, shardTid(), ts, s.openUnitName,
+                       {{"attempt", numField(line.doc, "attempt")}});
+        ++stats.slices;
+      } else if (line.event == "unit_end") {
+        OrchShardState& s = shardOf();
+        const auto unit =
+            static_cast<std::uint64_t>(numField(line.doc, "unit"));
+        if (s.openUnit == unit) {
+          writer.endOn(0, shardTid(), ts, s.openUnitName);
+          s.openUnit.reset();
+        } else {
+          // Completed between two orchestrator polls: no observed start, so
+          // the slice is zero-width — present, searchable, honest.
+          const std::string name = "unit " + std::to_string(unit);
+          writer.beginOn(0, shardTid(), ts, name,
+                         {{"attempt", numField(line.doc, "attempt")}});
+          writer.endOn(0, shardTid(), ts, name);
+          ++stats.slices;
+        }
+      } else if (line.event == "unit_retry") {
+        const bool stalled = strField(line.doc, "reason") == "stalled";
+        writer.instantOn(0, shardTid(), ts,
+                         stalled ? "shard_stalled" : "unit_retry",
+                         {{"unit", numField(line.doc, "unit")},
+                          {"attempt", numField(line.doc, "attempt")},
+                          {"backoff_ms", numField(line.doc, "backoff_ms")}});
+        (void)shardOf();
+        ++stats.instants;
+      } else if (line.event == "unit_failed") {
+        writer.instantOn(0, shardTid(), ts, "unit_failed",
+                         {{"unit", numField(line.doc, "unit")},
+                          {"attempts", numField(line.doc, "attempts")}});
+        (void)shardOf();
+        ++stats.instants;
+      } else if (line.event == "resource_sample") {
+        const auto pid = static_cast<std::int64_t>(numField(line.doc, "pid"));
+        if (pid > 0) {
+          namePid(pid, static_cast<std::uint32_t>(numField(line.doc, "shard")));
+          const auto upid = static_cast<std::uint32_t>(pid);
+          writer.counterOn(upid, 0, ts, "rss_bytes",
+                           numField(line.doc, "rss_bytes"));
+          writer.counterOn(upid, 0, ts, "cpu_permille",
+                           numField(line.doc, "cpu_permille"));
+          stats.counters += 2;
+        }
+      } else {
+        ++stats.skippedLines;
+      }
+    }
+    // An interrupted/crashed campaign leaves slices open; close them at the
+    // stream's final timestamp so every B still has its E.
+    const double endTs = lastOrchMillis * 1000.0;
+    for (auto& [index, s] : shards) {
+      if (s.openUnit.has_value()) {
+        writer.endOn(0, index + 1, endTs, s.openUnitName);
+        s.openUnit.reset();
+        ++stats.forcedCloses;
+      }
+      if (s.runOpen) {
+        writer.endOn(0, index + 1, endTs, "shard-run");
+        s.runOpen = false;
+        ++stats.forcedCloses;
+      }
+    }
+    if (campaignOpen) {
+      writer.endOn(0, 0, endTs, "campaign");
+      ++stats.forcedCloses;
+    }
+  }
+
+  for (const CampaignTraceInputs::ShardStream& stream : inputs.shardStreams) {
+    const auto it = shards.find(stream.shard);
+    const bool haveSpawn = it != shards.end() && it->second.spawnSeen;
+    // Shard clocks start at shard spawn; re-base onto the campaign timeline.
+    // A respawn truncates the stream, so the LAST spawn is the right base.
+    const double baseMillis = haveSpawn ? it->second.lastSpawnMillis : 0.0;
+    const std::int64_t pid = haveSpawn && it->second.lastPid > 0
+                                 ? it->second.lastPid
+                                 : kSyntheticPidBase + stream.shard;
+    namePid(pid, stream.shard);
+    const auto upid = static_cast<std::uint32_t>(pid);
+    writer.setTrackName(upid, 0, "shard-main");
+
+    std::map<std::uint64_t, std::pair<std::uint32_t, std::string>> openRuns;
+    std::set<std::uint32_t> freeLanes;
+    std::uint32_t nextLane = 1;
+    std::set<std::uint32_t> namedLanes;
+    std::vector<std::string> phaseStack;
+    bool phaseTrackNamed = false;
+    double lastMillis = baseMillis;
+
+    const auto allocLane = [&]() {
+      std::uint32_t lane;
+      if (!freeLanes.empty()) {
+        lane = *freeLanes.begin();
+        freeLanes.erase(freeLanes.begin());
+      } else {
+        lane = nextLane++;
+      }
+      if (namedLanes.insert(lane).second) {
+        writer.setTrackName(upid, lane, "runs-" + std::to_string(lane));
+      }
+      return lane;
+    };
+    const auto laneOfRun = [&](double run) -> std::uint32_t {
+      const auto found = openRuns.find(static_cast<std::uint64_t>(run));
+      return found != openRuns.end() ? found->second.first : 0;
+    };
+
+    for (const ParsedLine& line :
+         parseStream(stream.path, stats.skippedLines)) {
+      ++stats.shardLines;
+      const double millis = baseMillis + line.tsMillis;
+      lastMillis = std::max(lastMillis, millis);
+      const double ts = millis * 1000.0;
+
+      if (line.event == "run_start") {
+        const auto run = static_cast<std::uint64_t>(numField(line.doc, "run"));
+        const std::uint32_t lane = allocLane();
+        const std::string name = "run " + std::to_string(run);
+        writer.beginOn(upid, lane, ts, name,
+                       {{"agents", numField(line.doc, "num_participants")}});
+        openRuns[run] = {lane, name};
+        ++stats.slices;
+      } else if (line.event == "run_end") {
+        const auto run = static_cast<std::uint64_t>(numField(line.doc, "run"));
+        const auto found = openRuns.find(run);
+        if (found != openRuns.end()) {
+          writer.endOn(upid, found->second.first, ts, found->second.second);
+          freeLanes.insert(found->second.first);
+          openRuns.erase(found);
+        } else {  // start predates the (truncated) stream: zero-width slice
+          const std::uint32_t lane = allocLane();
+          const std::string name = "run " + std::to_string(run);
+          writer.beginOn(upid, lane, ts, name);
+          writer.endOn(upid, lane, ts, name);
+          freeLanes.insert(lane);
+          ++stats.slices;
+        }
+      } else if (line.event == "fault_injected") {
+        writer.instantOn(upid, laneOfRun(numField(line.doc, "run")), ts,
+                         "fault_injected",
+                         {{"run", numField(line.doc, "run")},
+                          {"at", numField(line.doc, "at")},
+                          {"agent", numField(line.doc, "agent")}});
+        ++stats.instants;
+      } else if (line.event == "watchdog_abort" || line.event == "cancelled") {
+        writer.instantOn(upid, laneOfRun(numField(line.doc, "run")), ts,
+                         line.event, {{"run", numField(line.doc, "run")}});
+        ++stats.instants;
+      } else if (line.event == "batch_progress") {
+        writer.counterOn(upid, 0, ts, "batch_completed",
+                         numField(line.doc, "completed"));
+        ++stats.counters;
+      } else if (line.event == "explore_progress") {
+        writer.counterOn(upid, 0, ts, "explore_nodes",
+                         numField(line.doc, "nodes"));
+        writer.counterOn(upid, 0, ts, "explore_frontier",
+                         numField(line.doc, "frontier"));
+        stats.counters += 2;
+      } else if (line.event == "phase_start") {
+        if (!phaseTrackNamed) {
+          phaseTrackNamed = true;
+          writer.setTrackName(upid, kPhaseTid, "explore-phases");
+        }
+        const std::string phase = strField(line.doc, "phase");
+        writer.beginOn(upid, kPhaseTid, ts, phase,
+                       {{"explore", numField(line.doc, "explore")}});
+        phaseStack.push_back(phase);
+        ++stats.slices;
+      } else if (line.event == "phase_end") {
+        // Only a matching top-of-stack end closes a slice; an orphan end
+        // (start predates the truncated stream) is dropped rather than
+        // corrupting the nesting.
+        if (!phaseStack.empty() &&
+            phaseStack.back() == strField(line.doc, "phase")) {
+          writer.endOn(upid, kPhaseTid, ts, phaseStack.back());
+          phaseStack.pop_back();
+        }
+      } else if (line.event == "explore_truncated") {
+        writer.instantOn(upid, kPhaseTid, ts, "explore_truncated",
+                         {{"nodes", numField(line.doc, "nodes")},
+                          {"max_nodes", numField(line.doc, "max_nodes")}});
+        ++stats.instants;
+      } else if (line.event == "search_progress") {
+        writer.counterOn(upid, 0, ts, "search_examined",
+                         numField(line.doc, "examined"));
+        writer.counterOn(upid, 0, ts, "search_solvers",
+                         numField(line.doc, "solvers"));
+        stats.counters += 2;
+      } else {
+        ++stats.skippedLines;
+      }
+    }
+
+    const double endTs = lastMillis * 1000.0;
+    for (const auto& [run, laneName] : openRuns) {
+      writer.endOn(upid, laneName.first, endTs, laneName.second);
+      ++stats.forcedCloses;
+    }
+    for (auto rit = phaseStack.rbegin(); rit != phaseStack.rend(); ++rit) {
+      writer.endOn(upid, kPhaseTid, endTs, *rit);
+      ++stats.forcedCloses;
+    }
+  }
+
+  // Every pid that got a process_name track: spawn pids (a killed spawn's
+  // pid included — its shard-run slice is in the trace), resource-sample
+  // pids, and the synthetic pids of orphan shard streams. Already sorted.
+  stats.shardPids.assign(namedPids.begin(), namedPids.end());
+  return stats;
+}
+
+}  // namespace ppn

@@ -1,0 +1,92 @@
+// E25: campaign trace assembler — merges a campaign's orchestrator event
+// stream and its per-shard JSONL event streams into one Chrome-trace /
+// Perfetto timeline (via ChromeTraceWriter's post-hoc assembly API).
+//
+// Layout of the assembled trace:
+//  * pid 0 is the ORCHESTRATOR process. tid 0 carries the campaign-lifetime
+//    slice; tid shard+1 carries that shard as the orchestrator saw it:
+//    "shard-run" slices per spawn, "unit <id>" slices between unit_start and
+//    unit_end, and instants for unit_retry ("shard_stalled" when the retry
+//    reason is a stall), unit_failed, and signal-terminated shard exits
+//    ("shard_killed").
+//  * each shard OS PID is its own process (Perfetto renders it as a separate
+//    process group): "run <id>" slices lane-allocated onto tids 1.. so
+//    overlapping runs from threaded shard executors never corrupt B/E
+//    nesting, explore phase slices on a dedicated tid, fault/watchdog/
+//    cancel/truncation instants, and batch/explore/search counter tracks.
+//  * resource_sample events become "rss_bytes" / "cpu_permille" counter
+//    tracks on the sampled shard's PID, so memory and CPU line up under the
+//    process that spent them.
+//
+// This header lives in obs (below src/campaign/ in the dependency order), so
+// it discovers the campaign directory layout by filesystem convention —
+// events.jsonl (falling back to the in-flight events.jsonl.tmp of a live or
+// crashed campaign) and shards/shard_*.events.jsonl — instead of including
+// campaign headers. Timestamps are the streams' own elapsed_ms values;
+// shard-stream clocks (which start at shard spawn) are re-based onto the
+// campaign timeline at their shard's last observed shard_spawn. A shard
+// respawn truncates that shard's stream, so the surviving stream always
+// belongs to the last spawn.
+//
+// The assembler never leaves a B unbalanced: open slices are closed at the
+// retry's next unit_start, at shard_exit, and at end-of-stream, so the
+// output passes the CI trace validator even for interrupted campaigns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ppn {
+
+/// Event-stream files feeding one assembled trace.
+struct CampaignTraceInputs {
+  /// Orchestrator stream path; empty when the directory holds neither
+  /// events.jsonl nor events.jsonl.tmp.
+  std::string orchestratorEvents;
+  /// True when orchestratorEvents is the in-flight .tmp (live or crashed
+  /// campaign) rather than the renamed final stream.
+  bool orchestratorLive = false;
+
+  struct ShardStream {
+    std::uint32_t shard = 0;
+    std::string path;
+  };
+  /// Per-shard streams, ascending shard index.
+  std::vector<ShardStream> shardStreams;
+
+  bool empty() const { return orchestratorEvents.empty() && shardStreams.empty(); }
+};
+
+/// Scans a campaign output directory for its event streams (see header
+/// note). Never throws on a missing/partial layout — absent files are simply
+/// absent from the result.
+CampaignTraceInputs discoverCampaignTraceInputs(const std::string& outDir);
+
+/// What the assembly consumed and produced (for the CLI report and tests).
+struct CampaignTraceStats {
+  std::uint64_t orchestratorLines = 0;  ///< parsed orchestrator events
+  std::uint64_t shardLines = 0;         ///< parsed shard-stream events
+  /// Lines skipped as not-an-event (unparseable, or missing event/elapsed_ms
+  /// fields). Torn final lines are dropped by readJsonlTolerant upstream and
+  /// are not counted here.
+  std::uint64_t skippedLines = 0;
+  std::uint64_t slices = 0;     ///< duration (B) events emitted
+  std::uint64_t instants = 0;   ///< instant (i) events emitted
+  std::uint64_t counters = 0;   ///< counter (C) events emitted
+  /// Slices force-closed at a retry boundary, shard exit, or end-of-stream
+  /// (nonzero for interrupted/crashed campaigns; benign).
+  std::uint64_t forcedCloses = 0;
+  /// Distinct shard OS pids that appear as process tracks, ascending.
+  std::vector<std::int64_t> shardPids;
+};
+
+/// Replays `inputs` onto `writer`. Throws std::runtime_error when a stream
+/// file cannot be read or holds interior corruption (readJsonlTolerant
+/// semantics); a torn final line — the live-campaign signature — is fine.
+CampaignTraceStats assembleCampaignTrace(const CampaignTraceInputs& inputs,
+                                         ChromeTraceWriter& writer);
+
+}  // namespace ppn

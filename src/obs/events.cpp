@@ -69,6 +69,12 @@ std::uint64_t JsonlEventSink::elapsedMillis() const {
 void JsonlEventSink::writeLine(const std::string& line) {
   const std::lock_guard<std::mutex> lock(mu_);
   *out_ << line << '\n';
+  if (flushEveryLine_) out_->flush();
+}
+
+void JsonlEventSink::setFlushEveryLine(bool flushEveryLine) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  flushEveryLine_ = flushEveryLine;
 }
 
 void JsonlEventSink::flush() {
@@ -334,6 +340,25 @@ void JsonlEventSink::onUnitFailed(std::uint64_t unit, std::uint32_t shard,
   writeLine(w.str());
 }
 
+void JsonlEventSink::onResourceSample(std::uint32_t shard,
+                                      const ResourceSample& sample) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("resource_sample");
+  w.key("shard").value(shard);
+  w.key("pid").value(sample.pid);
+  w.key("rss_bytes").value(sample.rssBytes);
+  w.key("vsize_bytes").value(sample.vsizeBytes);
+  w.key("utime_ms").value(sample.utimeMillis);
+  w.key("stime_ms").value(sample.stimeMillis);
+  w.key("cpu_permille").value(sample.cpuPermille);
+  w.key("read_bytes").value(sample.readBytes);
+  w.key("write_bytes").value(sample.writeBytes);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
 void JsonlEventSink::onCampaignEnd(std::uint64_t completed,
                                    std::uint64_t failed, std::uint64_t total,
                                    bool interrupted) {
@@ -368,6 +393,9 @@ JsonlReadResult readJsonlTolerant(const std::string& path) {
       break;
     }
     std::string line = content.substr(pos, nl - pos);
+    // CRLF tolerance: strip the '\r' so the stored line and its validation
+    // are byte-identical to the LF version of the same stream.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     pos = nl + 1;
     const bool last = pos >= content.size();
     if (line.empty() || !jsonIsValid(line)) {

@@ -42,6 +42,10 @@
 //   unit_end       {unit, shard, attempt, status}       status: ok|degraded|failed
 //   unit_retry     {unit, shard, attempt, backoff_ms, reason}
 //   unit_failed    {unit, shard, attempts, reason}
+//   resource_sample {shard, pid, rss_bytes, vsize_bytes, utime_ms, stime_ms,
+//                    cpu_permille, read_bytes, write_bytes} (E25: the
+//                    orchestrator's /proc poll of a live shard; io fields are
+//                    0 when /proc/<pid>/io was unreadable)
 //   campaign_end   {completed, failed, total, interrupted}
 //
 // Durability (E24): a path-constructed sink writes to `path + ".tmp"` and
@@ -64,6 +68,7 @@
 
 #include "obs/explore_observer.h"
 #include "obs/observer.h"
+#include "obs/resource_sampler.h"
 
 namespace ppn {
 
@@ -113,11 +118,18 @@ class JsonlEventSink final : public RunObserver, public ExploreObserver {
                    const std::string& reason);
   void onUnitFailed(std::uint64_t unit, std::uint32_t shard,
                     std::uint32_t attempts, const std::string& reason);
+  void onResourceSample(std::uint32_t shard, const ResourceSample& sample);
   void onCampaignEnd(std::uint64_t completed, std::uint64_t failed,
                      std::uint64_t total, bool interrupted);
 
   /// Flushes the underlying stream (also done on destruction).
   void flush();
+
+  /// Flush after every line (checkpoint-grade durability: a SIGKILLed writer
+  /// loses at most the line being written, which readJsonlTolerant drops).
+  /// Off by default — per-line flushing is measurable on chatty run streams;
+  /// shard event streams, which write one burst per unit, enable it.
+  void setFlushEveryLine(bool flushEveryLine);
 
   /// Flushes and — for an atomic path sink — renames the temp file onto the
   /// final path. Idempotent; called by the destructor. Returns false when the
@@ -135,6 +147,7 @@ class JsonlEventSink final : public RunObserver, public ExploreObserver {
   std::uint64_t progressIntervalMillis_;
   std::uint64_t lastProgressMillis_ = 0;
   bool anyProgressWritten_ = false;
+  bool flushEveryLine_ = false;
   std::string finalPath_;  ///< empty for stream sinks or after close()
   std::string tmpPath_;
 };
@@ -152,6 +165,17 @@ struct JsonlReadResult {
 /// whole file. Throws std::runtime_error when the file cannot be opened, when
 /// an interior line is blank or fails to parse (real corruption, not a torn
 /// write), or when more than the final line is damaged.
+///
+/// Line-ending contract (pinned by EventsTest regressions):
+///  * CRLF endings are accepted anywhere — the trailing '\r' is stripped
+///    before validation and from the returned line, so a stream that passed
+///    through a CRLF-translating transport still parses, byte-identically to
+///    its LF twin;
+///  * a final line with NO trailing newline is always dropped as torn, even
+///    when its content happens to be valid JSON: a flushed-per-line writer
+///    always terminates lines, so a missing terminator IS the crash
+///    signature, and keeping the line would double-count a unit whose write
+///    raced the kill.
 JsonlReadResult readJsonlTolerant(const std::string& path);
 
 }  // namespace ppn

@@ -2,6 +2,16 @@
 
 namespace ppn {
 
+double safeRate(std::uint64_t completed, double elapsedSeconds) {
+  if (elapsedSeconds <= 0.0) return 0.0;
+  return static_cast<double>(completed) / elapsedSeconds;
+}
+
+double safeEta(std::uint64_t remaining, double ratePerSec) {
+  if (ratePerSec <= 0.0) return 0.0;
+  return static_cast<double>(remaining) / ratePerSec;
+}
+
 ProgressReporter::ProgressReporter(std::uint64_t expectedRuns,
                                    std::uint64_t intervalMillis, std::FILE* out)
     : out_(out != nullptr ? out : stderr),
@@ -49,12 +59,11 @@ void ProgressReporter::report(bool final) {
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
-  const double rate =
-      elapsed > 0.0 ? static_cast<double>(completed_) / elapsed : 0.0;
+  const double rate = safeRate(completed_, elapsed);
   if (expectedRuns_ > 0) {
     const std::uint64_t left =
         expectedRuns_ > completed_ ? expectedRuns_ - completed_ : 0;
-    const double eta = rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
+    const double eta = safeEta(left, rate);
     std::fprintf(out_,
                  "[ppn progress] %llu/%llu runs (%.1f%%) | %.1f runs/s | "
                  "degraded %llu | eta %.0fs%s\n",

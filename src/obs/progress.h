@@ -23,6 +23,18 @@
 
 namespace ppn {
 
+/// Shared guarded rate/ETA math for every progress surface (ProgressReporter,
+/// campaign_runner status, the campaign health report). The degenerate inputs
+/// are real, not theoretical: the first sample after a resume has zero
+/// elapsed time AND zero completed units, and a blacklisted-everything shard
+/// has a zero rate — all of them must yield a quiet 0.0, never inf/NaN.
+///
+/// completed/elapsedSeconds; 0.0 when elapsedSeconds <= 0.
+double safeRate(std::uint64_t completed, double elapsedSeconds);
+/// remaining/rate seconds; 0.0 when rate <= 0 (unknown is rendered as "no
+/// ETA", not as a division blow-up).
+double safeEta(std::uint64_t remaining, double ratePerSec);
+
 class ProgressReporter final : public RunObserver {
  public:
   explicit ProgressReporter(std::uint64_t expectedRuns = 0,

@@ -108,10 +108,10 @@ std::uint32_t ChromeTraceWriter::tidLocked() {
   const auto tid = static_cast<std::uint32_t>(tids_.size());
   tids_.emplace(id, tid);
   Event meta;
-  meta.name = "worker-" + std::to_string(tid);
+  meta.name = "thread_name";
   meta.ph = 'M';
   meta.tid = tid;
-  meta.threadName = meta.name;
+  meta.threadName = "worker-" + std::to_string(tid);
   if (events_.size() < maxEvents_) events_.push_back(std::move(meta));
   return tid;
 }
@@ -175,9 +175,87 @@ void ChromeTraceWriter::counter(const std::string& name, double value) {
 void ChromeTraceWriter::setThreadName(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mu_);
   Event e;
-  e.name = name;
+  e.name = "thread_name";
   e.ph = 'M';
   e.tid = tidLocked();
+  e.threadName = name;
+  push(std::move(e));
+}
+
+void ChromeTraceWriter::beginOn(std::uint32_t pid, std::uint32_t tid,
+                                double tsMicros, const std::string& name,
+                                const Args& args) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = name;
+  e.ph = 'B';
+  e.tsMicros = tsMicros;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = args;
+  push(std::move(e));
+}
+
+void ChromeTraceWriter::endOn(std::uint32_t pid, std::uint32_t tid,
+                              double tsMicros, const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = name;
+  e.ph = 'E';
+  e.tsMicros = tsMicros;
+  e.pid = pid;
+  e.tid = tid;
+  push(std::move(e));
+}
+
+void ChromeTraceWriter::instantOn(std::uint32_t pid, std::uint32_t tid,
+                                  double tsMicros, const std::string& name,
+                                  const Args& args) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = name;
+  e.ph = 'i';
+  e.tsMicros = tsMicros;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = args;
+  push(std::move(e));
+}
+
+void ChromeTraceWriter::counterOn(std::uint32_t pid, std::uint32_t tid,
+                                  double tsMicros, const std::string& name,
+                                  double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = name;
+  e.ph = 'C';
+  e.tsMicros = tsMicros;
+  e.pid = pid;
+  e.tid = tid;
+  e.counterValue = value;
+  push(std::move(e));
+}
+
+void ChromeTraceWriter::setTrackName(std::uint32_t pid, std::uint32_t tid,
+                                     const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = "thread_name";
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.threadName = name;
+  push(std::move(e));
+}
+
+void ChromeTraceWriter::setProcessName(std::uint32_t pid,
+                                       const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Event e;
+  e.name = "process_name";
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = 0;
   e.threadName = name;
   push(std::move(e));
 }
@@ -205,11 +283,11 @@ void ChromeTraceWriter::write(std::ostream& out) const {
   w.key("traceEvents").beginArray();
   for (const Event& e : snap) {
     w.beginObject();
-    // Metadata entries carry the reserved name "thread_name"; the
-    // human-readable track label lives in args.name.
-    w.key("name").value(e.ph == 'M' ? "thread_name" : e.name.c_str());
+    // Metadata entries carry a reserved name ("thread_name"/"process_name",
+    // stored in e.name); the human-readable label lives in args.name.
+    w.key("name").value(e.name);
     w.key("ph").value(std::string(1, e.ph));
-    w.key("pid").value(1);
+    w.key("pid").value(e.pid);
     w.key("tid").value(e.tid);
     if (e.ph == 'M') {
       w.key("args").beginObject();

@@ -111,6 +111,26 @@ class ChromeTraceWriter {
   /// are otherwise auto-named "worker-<tid>".
   void setThreadName(const std::string& name);
 
+  // Post-hoc assembly API (E25 campaign trace assembler): events stamped
+  // with an EXPLICIT (pid, tid) track and timestamp, so recorded streams can
+  // be replayed onto their original processes instead of the assembling
+  // thread. The live API above always writes pid 1; assemblers use the real
+  // OS pids, which Perfetto renders as separate process groups. The same
+  // maxEvents bound and drop counter apply.
+  void beginOn(std::uint32_t pid, std::uint32_t tid, double tsMicros,
+               const std::string& name, const Args& args = {});
+  void endOn(std::uint32_t pid, std::uint32_t tid, double tsMicros,
+             const std::string& name);
+  void instantOn(std::uint32_t pid, std::uint32_t tid, double tsMicros,
+                 const std::string& name, const Args& args = {});
+  void counterOn(std::uint32_t pid, std::uint32_t tid, double tsMicros,
+                 const std::string& name, double value);
+  /// thread_name metadata for an explicit (pid, tid) track.
+  void setTrackName(std::uint32_t pid, std::uint32_t tid,
+                    const std::string& name);
+  /// process_name metadata for an explicit pid.
+  void setProcessName(std::uint32_t pid, const std::string& name);
+
   std::size_t size() const;
   std::uint64_t droppedEvents() const;
 
@@ -126,10 +146,13 @@ class ChromeTraceWriter {
     std::string name;
     char ph = 'i';
     double tsMicros = 0.0;
+    std::uint32_t pid = 1;  ///< live API: 1; assembly API: caller-provided
     std::uint32_t tid = 0;
     double counterValue = 0.0;  ///< ph C only
     Args args;
-    std::string threadName;  ///< ph M only
+    /// ph M only: the track/process label; `name` then holds the metadata
+    /// kind ("thread_name" or "process_name").
+    std::string threadName;
   };
 
   /// Caller holds mu_. Dense tid for the calling thread, registering (and

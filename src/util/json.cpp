@@ -152,6 +152,18 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::valueFixed(double v, int decimals) {
+  if (!std::isfinite(v)) return null();
+  beforeValue();
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.*f",
+                              decimals < 0 ? 0 : (decimals > 17 ? 17 : decimals),
+                              v);
+  out_.append(buf, static_cast<std::size_t>(n));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
 JsonWriter& JsonWriter::null() {
   beforeValue();
   out_ += "null";

@@ -54,6 +54,10 @@ class JsonWriter {
   JsonWriter& value(std::uint32_t v) { return value(static_cast<std::uint64_t>(v)); }
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(double v);
+  /// Fixed-point rendering ("%.Nf", decimals clamped to 0..17) for documents
+  /// whose bytes must be stable and diff-friendly across platforms (campaign
+  /// health rates/latencies). NaN/Inf degrade to null like value(double).
+  JsonWriter& valueFixed(double v, int decimals);
   JsonWriter& null();
 
   /// The finished document. Throws std::logic_error if containers are still

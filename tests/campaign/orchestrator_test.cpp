@@ -13,7 +13,10 @@
 #include "campaign/artifact.h"
 #include "campaign/merge.h"
 #include "faults/certify.h"
+#include "obs/campaign_health.h"
+#include "obs/campaign_trace.h"
 #include "obs/events.h"
+#include "obs/metrics.h"
 #include "util/json.h"
 
 namespace ppn {
@@ -173,6 +176,163 @@ TEST(Orchestrator, EmitsAWellFormedEventStream) {
     if (v->find("event")->asString() == "unit_end") ++unitEnds;
   }
   EXPECT_EQ(unitEnds, outcome.totalUnits);
+}
+
+TEST(Orchestrator, SamplesShardResourcesIntoStreamAndMetrics) {
+  CampaignManifest m = tinyManifest();
+  // Enough work (~60ms per shard) that the baseline sample right after the
+  // spawn pass catches a LIVE child even when this test runs under load —
+  // a shard that already exited is a zombie and is (correctly) not sampled.
+  m.certify.runs = 1'000;
+  const std::string dir = freshDir("resources");
+  std::filesystem::create_directories(dir);
+  const std::string eventsPath = dir + "/events.jsonl";
+  MetricsRegistry metrics;
+  OrchestratorOptions options = testOptions();
+  options.resourceSampleMillis = 1;  // every poll samples
+  options.metrics = &metrics;
+  {
+    JsonlEventSink sink(eventsPath);
+    options.sink = &sink;
+    ASSERT_TRUE(orchestrateCampaign(m, dir, options).ok());
+    ASSERT_TRUE(sink.close());
+  }
+
+  std::uint64_t samples = 0;
+  for (const std::string& line : readJsonlTolerant(eventsPath).lines) {
+    const auto v = jsonParse(line);
+    ASSERT_TRUE(v.has_value()) << line;
+    if (v->find("event")->asString() != "resource_sample") continue;
+    ++samples;
+    EXPECT_LT(*v->find("shard")->asU64(), m.shards) << line;
+    EXPECT_GT(*v->find("pid")->asU64(), 0u) << line;
+    EXPECT_GT(*v->find("rss_bytes")->asU64(), 0u) << line;
+    EXPECT_NE(v->find("cpu_permille"), nullptr) << line;
+    EXPECT_NE(v->find("write_bytes"), nullptr) << line;
+  }
+  ASSERT_GT(samples, 0u);  // the baseline sample fires on first sight
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  const std::uint64_t* taken = snap.counterValue("resource_samples");
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, samples);
+  const std::int64_t* rss = snap.gaugeValue("campaign_shard0_rss_bytes");
+  ASSERT_NE(rss, nullptr);
+  EXPECT_GT(*rss, 0);
+  EXPECT_NE(snap.gaugeValue("campaign_shard0_cpu_permille"), nullptr);
+}
+
+TEST(Orchestrator, ShardEventStreamsFeedTraceAndHealth) {
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("streams");
+  std::filesystem::create_directories(dir);
+  OrchestratorOptions options = testOptions();
+  {
+    JsonlEventSink sink(dir + "/events.jsonl");
+    options.sink = &sink;
+    ASSERT_TRUE(orchestrateCampaign(m, dir, options).ok());
+    ASSERT_TRUE(sink.close());
+  }
+  // Every shard wrote its own event stream alongside the checkpoint.
+  for (std::uint32_t shard = 0; shard < m.shards; ++shard) {
+    EXPECT_TRUE(std::filesystem::exists(shardEventsPath(dir, shard)))
+        << shard;
+  }
+  const CampaignTraceInputs inputs = discoverCampaignTraceInputs(dir);
+  EXPECT_FALSE(inputs.orchestratorLive);
+  ASSERT_EQ(inputs.shardStreams.size(), m.shards);
+
+  ChromeTraceWriter writer;
+  const CampaignTraceStats stats = assembleCampaignTrace(inputs, writer);
+  EXPECT_GT(stats.orchestratorLines, 0u);
+  EXPECT_GT(stats.shardLines, 0u);
+  EXPECT_GT(stats.slices, 0u);
+  EXPECT_EQ(stats.shardPids.size(), m.shards);  // two real worker pids
+
+  const CampaignHealth health = loadCampaignHealth(dir);
+  EXPECT_TRUE(health.finished);
+  EXPECT_FALSE(health.interrupted);
+  EXPECT_EQ(health.unitsCompleted + health.unitsFailed, health.totalUnits);
+
+  // The merge publishes the health report, deterministically: merging the
+  // same directory twice reproduces the artifact byte-for-byte.
+  ASSERT_TRUE(mergeCampaign(dir).healthWritten);
+  const std::string first = slurp(campaignHealthPath(dir));
+  EXPECT_FALSE(first.empty());
+  ASSERT_TRUE(mergeCampaign(dir).healthWritten);
+  EXPECT_EQ(slurp(campaignHealthPath(dir)), first);
+}
+
+TEST(Orchestrator, ResumeImmediatelyThenHealthHasNoDivisionArtifacts) {
+  // A completed campaign resumed on the spot rewrites the stream with a
+  // near-zero elapsed window and zero executed units — the health math must
+  // yield quiet zeroes, not inf/NaN (safeRate/safeEta guards).
+  const CampaignManifest m = tinyManifest();
+  const std::string dir = freshDir("resume_health");
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(orchestrateCampaign(m, dir, testOptions()).ok());
+
+  OrchestratorOptions options = testOptions();
+  options.resume = true;
+  {
+    JsonlEventSink sink(dir + "/events.jsonl");
+    options.sink = &sink;
+    ASSERT_TRUE(orchestrateCampaign(m, dir, options).ok());
+    ASSERT_TRUE(sink.close());
+  }
+  const CampaignHealth health = loadCampaignHealth(dir);
+  EXPECT_TRUE(health.finished);
+  EXPECT_EQ(health.unitsCompleted, 0u);  // nothing re-executed
+  EXPECT_EQ(health.unitsPerSec, 0.0);
+  for (const ShardHealth& s : health.shards) {
+    EXPECT_GE(s.unitsPerSec, 0.0);
+  }
+  const std::string json = campaignHealthJson(health);
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
+TEST(Orchestrator, HealthFlagsTheHangShardAsStraggler) {
+  // Six units striped over two shards; unit 0 hangs, so shard 0's latency
+  // mean carries the whole stall-retry-blacklist saga (>= 3 stall timeouts)
+  // while shard 1 cruises. The cutoff parameters are chosen so the verdict
+  // is timing-robust: shard 0's mean is at least 400ms by construction,
+  // healthy units finish well inside one stall window.
+  CampaignManifest m = tinyManifest();
+  m.certify.populations = {4, 5, 6};  // 6 units, shard 0 = {0, 2, 4}
+  // Healthy units must span several 5ms polls so the orchestrator observes
+  // their unit_start and they contribute (small) latency samples — the
+  // campaign median the straggler cutoff is measured against. A unit runs
+  // ~0.06ms per certify run here, so 400 runs ≈ 25ms per unit.
+  m.certify.runs = 400;
+  m.debugHangUnit = 0;
+  const std::string dir = freshDir("hang_health");
+  std::filesystem::create_directories(dir);
+  OrchestratorOptions options = testOptions();
+  options.maxAttempts = 3;
+  options.stallTimeoutMillis = 400;
+  {
+    JsonlEventSink sink(dir + "/events.jsonl");
+    options.sink = &sink;
+    orchestrateCampaign(m, dir, options);
+    ASSERT_TRUE(sink.close());
+  }
+  CampaignHealthOptions healthOptions;
+  healthOptions.stragglerFactor = 1.5;
+  healthOptions.stragglerSlackMillis = 50.0;
+  healthOptions.retryStormThreshold = 2;
+  const CampaignHealth health = loadCampaignHealth(dir, healthOptions);
+  // Attempts 1 and 2 stall and retry, attempt 3 stalls and blacklists:
+  // two retries (both stalls), three SIGKILLs.
+  EXPECT_GE(health.stalls, 2u);
+  EXPECT_GE(health.kills, 3u);
+  ASSERT_EQ(health.shards.size(), 2u);
+  EXPECT_TRUE(health.shards[0].straggler);
+  EXPECT_TRUE(health.shards[0].retryStorm);
+  EXPECT_GT(health.shards[0].meanUnitLatencyMillis,
+            health.medianUnitLatencyMillis);
+  ASSERT_FALSE(health.stragglers.empty());
+  EXPECT_EQ(health.stragglers.front(), 0u);
 }
 
 TEST(Merge, RefusesATamperedShardArtifact) {

@@ -1,0 +1,184 @@
+#include "obs/campaign_health.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/progress.h"
+
+namespace ppn {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path freshDir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("ppn_health_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Shard 0 completes five ~10ms units; shard 1 wedges on unit 9 — three
+/// stall-retries, a SIGKILL, a respawn — and finally fails it 60s in. The
+/// campaign median stays 10ms, so shard 1 is the textbook straggler.
+std::vector<std::string> stragglerCampaign() {
+  return {
+      R"({"event":"campaign_start","units":6,"shards":2,"workers":2,"resumed":false,"elapsed_ms":0})",
+      R"({"event":"shard_spawn","shard":0,"pid":100,"spawn":1,"elapsed_ms":0})",
+      R"({"event":"shard_spawn","shard":1,"pid":200,"spawn":1,"elapsed_ms":0})",
+      R"({"event":"unit_start","unit":9,"shard":1,"attempt":1,"elapsed_ms":0})",
+      R"({"event":"unit_start","unit":0,"shard":0,"attempt":1,"elapsed_ms":0})",
+      R"({"event":"unit_end","unit":0,"shard":0,"attempt":1,"status":"ok","elapsed_ms":10})",
+      R"({"event":"unit_start","unit":1,"shard":0,"attempt":1,"elapsed_ms":10})",
+      R"({"event":"unit_end","unit":1,"shard":0,"attempt":1,"status":"ok","elapsed_ms":20})",
+      R"({"event":"unit_start","unit":2,"shard":0,"attempt":1,"elapsed_ms":20})",
+      R"({"event":"unit_end","unit":2,"shard":0,"attempt":1,"status":"ok","elapsed_ms":30})",
+      R"({"event":"unit_start","unit":3,"shard":0,"attempt":1,"elapsed_ms":30})",
+      R"({"event":"unit_end","unit":3,"shard":0,"attempt":1,"status":"ok","elapsed_ms":40})",
+      R"({"event":"unit_start","unit":4,"shard":0,"attempt":1,"elapsed_ms":40})",
+      R"({"event":"unit_end","unit":4,"shard":0,"attempt":1,"status":"ok","elapsed_ms":50})",
+      R"({"event":"resource_sample","shard":0,"pid":100,"rss_bytes":1000000,"vsize_bytes":4000000,"utime_ms":5,"stime_ms":1,"cpu_permille":150,"read_bytes":0,"write_bytes":0,"elapsed_ms":50})",
+      R"({"event":"shard_exit","shard":0,"pid":100,"code":0,"signal":0,"elapsed_ms":60})",
+      R"({"event":"unit_retry","unit":9,"shard":1,"attempt":1,"backoff_ms":5,"reason":"stalled","elapsed_ms":10000})",
+      R"({"event":"shard_exit","shard":1,"pid":200,"code":-1,"signal":9,"elapsed_ms":10000})",
+      R"({"event":"shard_spawn","shard":1,"pid":201,"spawn":2,"elapsed_ms":10010})",
+      R"({"event":"resource_sample","shard":1,"pid":201,"rss_bytes":5000000,"vsize_bytes":9000000,"utime_ms":50,"stime_ms":10,"cpu_permille":900,"read_bytes":0,"write_bytes":0,"elapsed_ms":15000})",
+      R"({"event":"unit_start","unit":9,"shard":1,"attempt":2,"elapsed_ms":20000})",
+      R"({"event":"unit_retry","unit":9,"shard":1,"attempt":2,"backoff_ms":10,"reason":"stalled","elapsed_ms":30000})",
+      R"({"event":"unit_retry","unit":9,"shard":1,"attempt":3,"backoff_ms":20,"reason":"stalled","elapsed_ms":40000})",
+      R"({"event":"unit_failed","unit":9,"shard":1,"attempts":3,"reason":"retries exhausted","elapsed_ms":40000})",
+      R"({"event":"unit_end","unit":9,"shard":1,"attempt":3,"status":"failed","elapsed_ms":60000})",
+      R"({"event":"shard_exit","shard":1,"pid":201,"code":0,"signal":0,"elapsed_ms":60001})",
+      R"({"event":"campaign_end","completed":5,"failed":1,"total":6,"interrupted":false,"elapsed_ms":60002})",
+  };
+}
+
+TEST(SafeRateMath, DegenerateInputsYieldQuietZeroes) {
+  // A resume-immediately-then-status call sees zero elapsed time and zero
+  // completed units; neither division may surface inf or NaN.
+  EXPECT_EQ(safeRate(0, 0.0), 0.0);
+  EXPECT_EQ(safeRate(5, 0.0), 0.0);
+  EXPECT_EQ(safeRate(5, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(safeRate(10, 2.0), 5.0);
+
+  EXPECT_EQ(safeEta(100, 0.0), 0.0);
+  EXPECT_EQ(safeEta(100, -0.5), 0.0);
+  EXPECT_EQ(safeEta(0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(safeEta(10, 2.0), 5.0);
+}
+
+TEST(ComputeCampaignHealth, AggregatesCountsAndFlagsTheStraggler) {
+  const CampaignHealth health = computeCampaignHealth(stragglerCampaign());
+  EXPECT_TRUE(health.campaignSeen);
+  EXPECT_TRUE(health.finished);
+  EXPECT_FALSE(health.interrupted);
+  EXPECT_EQ(health.totalUnits, 6u);
+  EXPECT_EQ(health.unitsCompleted, 5u);
+  EXPECT_EQ(health.unitsFailed, 1u);
+  EXPECT_EQ(health.retries, 3u);
+  EXPECT_EQ(health.stalls, 3u);
+  EXPECT_EQ(health.kills, 1u);
+  EXPECT_DOUBLE_EQ(health.elapsedMillis, 60002.0);
+  // Latencies: five 10ms units + one 60000ms saga -> median 10ms.
+  EXPECT_DOUBLE_EQ(health.medianUnitLatencyMillis, 10.0);
+
+  ASSERT_EQ(health.shards.size(), 2u);
+  const ShardHealth& fast = health.shards[0];
+  EXPECT_EQ(fast.shard, 0u);
+  EXPECT_EQ(fast.spawns, 1u);
+  EXPECT_EQ(fast.unitsCompleted, 5u);
+  EXPECT_EQ(fast.latencySamples, 5u);
+  EXPECT_DOUBLE_EQ(fast.meanUnitLatencyMillis, 10.0);
+  EXPECT_DOUBLE_EQ(fast.activeMillis, 60.0);
+  EXPECT_FALSE(fast.straggler);
+  EXPECT_FALSE(fast.retryStorm);
+
+  const ShardHealth& slow = health.shards[1];
+  EXPECT_EQ(slow.shard, 1u);
+  EXPECT_EQ(slow.spawns, 2u);
+  EXPECT_EQ(slow.unitsFailed, 1u);
+  EXPECT_EQ(slow.retries, 3u);
+  EXPECT_EQ(slow.stalls, 3u);
+  EXPECT_EQ(slow.kills, 1u);
+  // Anchored at the FIRST unit_start: the whole retry saga is the latency.
+  EXPECT_EQ(slow.latencySamples, 1u);
+  EXPECT_DOUBLE_EQ(slow.meanUnitLatencyMillis, 60000.0);
+  EXPECT_TRUE(slow.straggler);
+  EXPECT_TRUE(slow.retryStorm);
+
+  ASSERT_EQ(health.stragglers.size(), 1u);
+  EXPECT_EQ(health.stragglers[0], 1u);
+}
+
+TEST(ComputeCampaignHealth, PeakRssIsAttributedToTheHungriestShard) {
+  const CampaignHealth health = computeCampaignHealth(stragglerCampaign());
+  EXPECT_EQ(health.peakRssShard, 1);
+  EXPECT_DOUBLE_EQ(health.peakRssBytes, 5'000'000.0);
+  EXPECT_DOUBLE_EQ(health.shards[0].peakRssBytes, 1'000'000.0);
+  EXPECT_DOUBLE_EQ(health.shards[1].peakCpuPermille, 900.0);
+  const std::string json = campaignHealthJson(health);
+  EXPECT_NE(json.find("\"peak_rss\":{\"shard\":1,\"bytes\":5000000}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ComputeCampaignHealth, ZeroElapsedStreamYieldsZeroRatesNotNan) {
+  // The resume-immediately path: campaign_start and shard_spawn share
+  // timestamp 0 and nothing has completed yet.
+  const CampaignHealth health = computeCampaignHealth({
+      R"({"event":"campaign_start","units":6,"shards":1,"workers":1,"resumed":true,"elapsed_ms":0})",
+      R"({"event":"shard_spawn","shard":0,"pid":100,"spawn":1,"elapsed_ms":0})",
+  });
+  EXPECT_EQ(health.unitsPerSec, 0.0);
+  ASSERT_EQ(health.shards.size(), 1u);
+  EXPECT_EQ(health.shards[0].unitsPerSec, 0.0);
+  EXPECT_EQ(health.shards[0].activeMillis, 0.0);
+  const std::string json = campaignHealthJson(health);
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+}
+
+TEST(CampaignHealthJson, EmptyStreamRendersThePinnedDocument) {
+  // Byte-level pin of the schema: CI diffs this artifact, so accidental key
+  // renames or float-format drift must fail loudly.
+  EXPECT_EQ(campaignHealthJson(computeCampaignHealth({})),
+            "{\"kind\":\"ppn-campaign-health\",\"finished\":false,"
+            "\"interrupted\":false,\"units\":0,\"completed\":0,\"failed\":0,"
+            "\"retries\":0,\"stalls\":0,\"kills\":0,\"elapsed_ms\":0.000,"
+            "\"units_per_sec\":0.000,\"median_unit_latency_ms\":0.000,"
+            "\"peak_rss\":null,\"shards\":[],\"stragglers\":[]}");
+}
+
+TEST(CampaignHealthJson, SameStreamProducesIdenticalBytes) {
+  const std::string a = campaignHealthJson(computeCampaignHealth(
+      stragglerCampaign()));
+  const std::string b = campaignHealthJson(computeCampaignHealth(
+      stragglerCampaign()));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find("nan"), std::string::npos);
+  EXPECT_NE(a.find("\"stragglers\":[1]"), std::string::npos) << a;
+}
+
+TEST(LoadCampaignHealth, ThrowsWithoutAStreamAndReadsTheTmpFallback) {
+  const fs::path dir = freshDir("load");
+  EXPECT_THROW(loadCampaignHealth(dir.string()), std::runtime_error);
+
+  std::ofstream out(dir / "events.jsonl.tmp", std::ios::binary);
+  for (const std::string& line : stragglerCampaign()) out << line << '\n';
+  out.close();
+  const CampaignHealth health = loadCampaignHealth(dir.string());
+  EXPECT_TRUE(health.finished);
+  EXPECT_EQ(health.unitsCompleted, 5u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ppn

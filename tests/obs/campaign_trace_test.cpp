@@ -1,0 +1,289 @@
+#include "obs/campaign_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace ppn {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path freshDir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("ppn_trace_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir / "shards");
+  return dir;
+}
+
+void writeFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  ASSERT_TRUE(out) << path;
+  out << content;
+}
+
+double numField(const JsonValue& doc, const char* key) {
+  const JsonValue* v = doc.find(key);
+  return v != nullptr && v->isNumber() ? v->asDouble() : -1.0;
+}
+
+std::string strField(const JsonValue& doc, const char* key) {
+  const JsonValue* v = doc.find(key);
+  return v != nullptr && v->isString() ? v->asString() : std::string();
+}
+
+/// A campaign over 2 shards: shard 1 stalls on unit 1, is SIGKILLed and
+/// respawned (pid 2222 -> 3333), and finishes clean. Exercises every event
+/// kind the assembler maps.
+std::string orchestratorStream() {
+  return R"({"event":"campaign_start","units":4,"shards":2,"workers":2,"resumed":false,"elapsed_ms":0}
+{"event":"shard_spawn","shard":0,"pid":1111,"spawn":1,"elapsed_ms":1}
+{"event":"shard_spawn","shard":1,"pid":2222,"spawn":1,"elapsed_ms":1}
+{"event":"unit_start","unit":0,"shard":0,"attempt":1,"elapsed_ms":2}
+{"event":"resource_sample","shard":0,"pid":1111,"rss_bytes":1048576,"vsize_bytes":2097152,"utime_ms":3,"stime_ms":1,"cpu_permille":120,"read_bytes":0,"write_bytes":0,"elapsed_ms":3}
+{"event":"unit_end","unit":0,"shard":0,"attempt":1,"status":"ok","elapsed_ms":10}
+{"event":"unit_start","unit":1,"shard":1,"attempt":1,"elapsed_ms":2}
+{"event":"unit_retry","unit":1,"shard":1,"attempt":1,"backoff_ms":5,"reason":"stalled","elapsed_ms":12}
+{"event":"shard_exit","shard":1,"pid":2222,"code":-1,"signal":9,"elapsed_ms":12}
+{"event":"shard_spawn","shard":1,"pid":3333,"spawn":2,"elapsed_ms":20}
+{"event":"unit_start","unit":1,"shard":1,"attempt":2,"elapsed_ms":21}
+{"event":"unit_end","unit":1,"shard":1,"attempt":2,"status":"ok","elapsed_ms":30}
+{"event":"unit_end","unit":2,"shard":0,"attempt":1,"status":"ok","elapsed_ms":31}
+{"event":"unit_end","unit":3,"shard":1,"attempt":1,"status":"ok","elapsed_ms":32}
+{"event":"unit_failed","unit":9,"shard":0,"attempts":3,"reason":"retries exhausted","elapsed_ms":33}
+{"event":"shard_exit","shard":0,"pid":1111,"code":0,"signal":0,"elapsed_ms":34}
+{"event":"shard_exit","shard":1,"pid":3333,"code":0,"signal":0,"elapsed_ms":35}
+{"event":"campaign_end","completed":4,"failed":0,"total":4,"interrupted":false,"elapsed_ms":36}
+)";
+}
+
+/// Overlapping runs (lane allocation), a fault, and an explore phase.
+std::string shard0Stream() {
+  return R"({"event":"run_start","run":1,"num_mobile":4,"num_participants":5,"elapsed_ms":1}
+{"event":"run_start","run":2,"num_mobile":4,"num_participants":5,"elapsed_ms":2}
+{"event":"fault_injected","run":2,"at":17,"target":"mobile","agent":3,"elapsed_ms":3}
+{"event":"run_end","run":2,"silent":true,"named":true,"elapsed_ms":4}
+{"event":"batch_progress","completed":1,"total":2,"degraded":0,"elapsed_ms":4}
+{"event":"run_end","run":1,"silent":true,"named":true,"elapsed_ms":5}
+{"event":"phase_start","explore":1,"phase":"bfs","elapsed_ms":6}
+{"event":"explore_progress","explore":1,"nodes":10,"frontier":4,"elapsed_ms":7}
+{"event":"phase_end","explore":1,"phase":"bfs","wall_millis":1,"elapsed_ms":8}
+)";
+}
+
+/// Torn final line (SIGKILL mid-write): tolerated, dropped, not an error.
+std::string shard1Stream() {
+  return "{\"event\":\"run_start\",\"run\":9,\"num_mobile\":4,"
+         "\"num_participants\":5,\"elapsed_ms\":1}\n"
+         "{\"event\":\"run_end\",\"run\":9,\"silent\":true,\"elapsed_ms\":2}\n"
+         "{\"event\":\"run_start\",\"run\":10,\"num_mob";
+}
+
+fs::path fullCampaignDir(const std::string& tag) {
+  const fs::path dir = freshDir(tag);
+  writeFile(dir / "events.jsonl", orchestratorStream());
+  writeFile(dir / "shards" / "shard_000.events.jsonl", shard0Stream());
+  writeFile(dir / "shards" / "shard_001.events.jsonl", shard1Stream());
+  return dir;
+}
+
+std::string traceJson(const ChromeTraceWriter& writer) {
+  std::ostringstream out;
+  writer.write(out);
+  return out.str();
+}
+
+/// Perfetto's hard requirement: within every (pid, tid) track, B and E nest
+/// and every B has a matching E.
+void expectBalanced(const JsonValue& doc) {
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->isArray());
+  std::map<std::pair<double, double>, std::vector<std::string>> stacks;
+  for (const JsonValue& e : events->items()) {
+    ASSERT_TRUE(e.isObject());
+    const std::string ph = strField(e, "ph");
+    const std::string name = strField(e, "name");
+    ASSERT_FALSE(ph.empty());
+    ASSERT_FALSE(name.empty());
+    const auto key = std::make_pair(numField(e, "pid"), numField(e, "tid"));
+    if (ph == "B") {
+      stacks[key].push_back(name);
+    } else if (ph == "E") {
+      auto& stack = stacks[key];
+      ASSERT_FALSE(stack.empty())
+          << "E \"" << name << "\" without open B on pid " << key.first
+          << " tid " << key.second;
+      EXPECT_EQ(stack.back(), name);
+      stack.pop_back();
+    } else if (ph == "M") {
+      EXPECT_TRUE(name == "thread_name" || name == "process_name") << name;
+    }
+  }
+  for (const auto& [key, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed slice \"" << stack.back()
+                               << "\" on pid " << key.first;
+  }
+}
+
+bool hasEvent(const JsonValue& doc, const std::string& ph,
+              const std::string& name, double pid = -1.0) {
+  for (const JsonValue& e : doc.find("traceEvents")->items()) {
+    if (strField(e, "ph") == ph && strField(e, "name") == name &&
+        (pid < 0.0 || numField(e, "pid") == pid)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(DiscoverCampaignTraceInputs, FindsFinalStreamTmpFallbackAndShards) {
+  const fs::path dir = freshDir("discover");
+  EXPECT_TRUE(discoverCampaignTraceInputs(dir.string()).empty());
+
+  writeFile(dir / "events.jsonl.tmp", orchestratorStream());
+  writeFile(dir / "shards" / "shard_001.events.jsonl", shard1Stream());
+  writeFile(dir / "shards" / "shard_000.events.jsonl", shard0Stream());
+  // Not event streams: checkpoints, artifacts, malformed names.
+  writeFile(dir / "shards" / "shard_000.partial.jsonl", "{}\n");
+  writeFile(dir / "shards" / "shard_x.events.jsonl", "{}\n");
+
+  CampaignTraceInputs live = discoverCampaignTraceInputs(dir.string());
+  EXPECT_TRUE(live.orchestratorLive);
+  EXPECT_EQ(live.orchestratorEvents, (dir / "events.jsonl.tmp").string());
+  ASSERT_EQ(live.shardStreams.size(), 2u);
+  EXPECT_EQ(live.shardStreams[0].shard, 0u);
+  EXPECT_EQ(live.shardStreams[1].shard, 1u);
+
+  // The renamed final stream wins over a stale .tmp.
+  writeFile(dir / "events.jsonl", orchestratorStream());
+  CampaignTraceInputs done = discoverCampaignTraceInputs(dir.string());
+  EXPECT_FALSE(done.orchestratorLive);
+  EXPECT_EQ(done.orchestratorEvents, (dir / "events.jsonl").string());
+  fs::remove_all(dir);
+}
+
+TEST(AssembleCampaignTrace, MergedTraceIsBalancedAndFullyAttributed) {
+  const fs::path dir = fullCampaignDir("assemble");
+  const CampaignTraceInputs inputs = discoverCampaignTraceInputs(dir.string());
+  ChromeTraceWriter writer;
+  const CampaignTraceStats stats = assembleCampaignTrace(inputs, writer);
+
+  EXPECT_EQ(stats.orchestratorLines, 18u);
+  EXPECT_EQ(stats.shardLines, 11u);  // torn final line dropped upstream
+  EXPECT_EQ(stats.skippedLines, 0u);
+  // campaign + 3 shard-runs + units {0, 1 (twice), 2, 3} on pid 0, runs
+  // {1, 2, 9} + phase "bfs" on the shard pids.
+  EXPECT_EQ(stats.slices, 13u);
+  // shard_stalled + shard_killed + unit_failed + fault_injected.
+  EXPECT_EQ(stats.instants, 4u);
+  // rss + cpu, batch_completed, explore_nodes + explore_frontier.
+  EXPECT_EQ(stats.counters, 5u);
+  // Only the stall-killed attempt of unit 1 was open at shard_exit.
+  EXPECT_EQ(stats.forcedCloses, 1u);
+  EXPECT_EQ(stats.shardPids, (std::vector<std::int64_t>{1111, 2222, 3333}));
+
+  EXPECT_EQ(writer.droppedEvents(), 0u);
+  const auto doc = jsonParse(traceJson(writer));
+  ASSERT_TRUE(doc.has_value());
+  expectBalanced(*doc);
+  EXPECT_TRUE(hasEvent(*doc, "B", "campaign", 0));
+  EXPECT_TRUE(hasEvent(*doc, "B", "unit 1", 0));
+  EXPECT_TRUE(hasEvent(*doc, "i", "shard_stalled", 0));
+  EXPECT_TRUE(hasEvent(*doc, "i", "shard_killed", 0));
+  EXPECT_TRUE(hasEvent(*doc, "C", "rss_bytes", 1111));
+  EXPECT_TRUE(hasEvent(*doc, "C", "cpu_permille", 1111));
+  EXPECT_TRUE(hasEvent(*doc, "B", "run 2", 1111));
+  EXPECT_TRUE(hasEvent(*doc, "B", "bfs", 1111));
+  EXPECT_TRUE(hasEvent(*doc, "i", "fault_injected", 1111));
+  // Shard 1's surviving stream belongs to the respawn: pid 3333, not 2222.
+  EXPECT_TRUE(hasEvent(*doc, "B", "run 9", 3333));
+  EXPECT_TRUE(hasEvent(*doc, "M", "process_name", 0));
+  EXPECT_TRUE(hasEvent(*doc, "M", "process_name", 1111));
+  fs::remove_all(dir);
+}
+
+TEST(AssembleCampaignTrace, InterruptedCampaignIsForceClosedBalanced) {
+  const fs::path dir = freshDir("interrupted");
+  writeFile(dir / "events.jsonl.tmp",
+            R"({"event":"campaign_start","units":4,"shards":1,"workers":1,"resumed":false,"elapsed_ms":0}
+{"event":"shard_spawn","shard":0,"pid":777,"spawn":1,"elapsed_ms":1}
+{"event":"unit_start","unit":0,"shard":0,"attempt":1,"elapsed_ms":2}
+)");
+  ChromeTraceWriter writer;
+  const CampaignTraceStats stats = assembleCampaignTrace(
+      discoverCampaignTraceInputs(dir.string()), writer);
+  // unit 0, shard-run, and the campaign slice all force-close at EOF.
+  EXPECT_EQ(stats.forcedCloses, 3u);
+  const auto doc = jsonParse(traceJson(writer));
+  ASSERT_TRUE(doc.has_value());
+  expectBalanced(*doc);
+  fs::remove_all(dir);
+}
+
+TEST(AssembleCampaignTrace, OrphanShardStreamGetsSyntheticPid) {
+  const fs::path dir = freshDir("orphan");  // no orchestrator stream at all
+  writeFile(dir / "shards" / "shard_002.events.jsonl", shard0Stream());
+  ChromeTraceWriter writer;
+  const CampaignTraceStats stats = assembleCampaignTrace(
+      discoverCampaignTraceInputs(dir.string()), writer);
+  EXPECT_EQ(stats.shardPids, (std::vector<std::int64_t>{1'000'002}));
+  const auto doc = jsonParse(traceJson(writer));
+  ASSERT_TRUE(doc.has_value());
+  expectBalanced(*doc);
+  fs::remove_all(dir);
+}
+
+TEST(AssembleCampaignTrace, DropMarkerCountsDropsAcrossAllMergedStreams) {
+  const fs::path dir = fullCampaignDir("dropmarker");
+  const CampaignTraceInputs inputs = discoverCampaignTraceInputs(dir.string());
+
+  // Reference: the same assembly into an unbounded writer retains everything.
+  ChromeTraceWriter unbounded;
+  assembleCampaignTrace(inputs, unbounded);
+  const std::size_t attempted = unbounded.size();
+  ASSERT_EQ(unbounded.droppedEvents(), 0u);
+
+  constexpr std::size_t kCap = 8;
+  ASSERT_GT(attempted, kCap);
+  ChromeTraceWriter bounded(kCap);
+  assembleCampaignTrace(inputs, bounded);
+  EXPECT_EQ(bounded.size(), kCap);
+  EXPECT_EQ(bounded.droppedEvents(), attempted - kCap);
+
+  const auto doc = jsonParse(traceJson(bounded));
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), kCap + 1);  // retained + the marker
+  const JsonValue& marker = events->items().back();
+  EXPECT_EQ(strField(marker, "name"), "events_dropped");
+  const JsonValue* args = marker.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(numField(*args, "count"),
+            static_cast<double>(attempted - kCap));
+  fs::remove_all(dir);
+}
+
+TEST(AssembleCampaignTrace, UnreadableStreamThrows) {
+  CampaignTraceInputs inputs;
+  inputs.orchestratorEvents = "/nonexistent-dir/events.jsonl";
+  ChromeTraceWriter writer;
+  EXPECT_THROW(assembleCampaignTrace(inputs, writer), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppn

@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "faults/campaign.h"
 #include "naming/asymmetric_naming.h"
@@ -236,6 +240,65 @@ TEST(JsonlEventSink, CampaignEmitsFaultsAndOnePairPerRun) {
 TEST(JsonlEventSink, UnwritablePathThrows) {
   EXPECT_THROW(JsonlEventSink("/nonexistent-dir/sub/events.jsonl"),
                std::runtime_error);
+}
+
+/// Writes `content` byte-for-byte to a fresh temp file and returns its path.
+std::string tempJsonl(const std::string& tag, const std::string& content) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ppn_events_" + tag + "_" + std::to_string(::getpid()) +
+                     ".jsonl");
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << content;
+  out.close();
+  return path.string();
+}
+
+// Line-ending regressions pinning the readJsonlTolerant contract documented
+// in obs/events.h: CRLF streams parse byte-identically to their LF twins,
+// and a final line with no terminating newline is ALWAYS torn — even when
+// its content happens to be valid JSON.
+
+TEST(ReadJsonlTolerant, CrlfStreamParsesIdenticallyToLfTwin) {
+  const std::string lf = tempJsonl("lf", "{\"a\":1}\n{\"b\":2}\n");
+  const std::string crlf = tempJsonl("crlf", "{\"a\":1}\r\n{\"b\":2}\r\n");
+  const JsonlReadResult fromLf = readJsonlTolerant(lf);
+  const JsonlReadResult fromCrlf = readJsonlTolerant(crlf);
+  EXPECT_FALSE(fromLf.torn);
+  EXPECT_FALSE(fromCrlf.torn);
+  ASSERT_EQ(fromLf.lines.size(), 2u);
+  EXPECT_EQ(fromLf.lines, fromCrlf.lines);  // '\r' stripped, bytes identical
+  EXPECT_EQ(fromCrlf.lines[0], "{\"a\":1}");
+  std::filesystem::remove(lf);
+  std::filesystem::remove(crlf);
+}
+
+TEST(ReadJsonlTolerant, FinalLineWithoutNewlineIsTornEvenWhenValidJson) {
+  // A flushed-per-line writer always terminates lines, so a missing
+  // terminator is the crash signature; keeping the line would double-count
+  // a unit whose checkpoint write raced the SIGKILL.
+  const std::string path = tempJsonl("torn", "{\"a\":1}\n{\"b\":2}");
+  const JsonlReadResult result = readJsonlTolerant(path);
+  EXPECT_TRUE(result.torn);
+  ASSERT_EQ(result.lines.size(), 1u);
+  EXPECT_EQ(result.lines[0], "{\"a\":1}");
+  std::filesystem::remove(path);
+}
+
+TEST(ReadJsonlTolerant, TornCrlfTailIsDroppedTheSameWay) {
+  // CRLF variant of the torn tail: "{\"b\":2}\r" with no '\n' is still torn.
+  const std::string path = tempJsonl("torncrlf", "{\"a\":1}\r\n{\"b\":2}\r");
+  const JsonlReadResult result = readJsonlTolerant(path);
+  EXPECT_TRUE(result.torn);
+  ASSERT_EQ(result.lines.size(), 1u);
+  EXPECT_EQ(result.lines[0], "{\"a\":1}");
+  std::filesystem::remove(path);
+}
+
+TEST(ReadJsonlTolerant, InteriorCorruptionStillThrows) {
+  const std::string path =
+      tempJsonl("interior", "{\"a\":1}\nnot json at all\n{\"b\":2}\n");
+  EXPECT_THROW(readJsonlTolerant(path), std::runtime_error);
+  std::filesystem::remove(path);
 }
 
 }  // namespace

@@ -1,0 +1,100 @@
+#include "obs/resource_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+namespace ppn {
+namespace {
+
+using Clock = ResourceSampler::Clock;
+using std::chrono::milliseconds;
+
+using PidList = std::vector<std::pair<std::uint32_t, std::int64_t>>;
+
+PidList self(std::uint32_t tag = 0) {
+  return {{tag, static_cast<std::int64_t>(::getpid())}};
+}
+
+TEST(SampleProcessResources, SelfReportsResidentMemory) {
+  const auto sample = sampleProcessResources(::getpid());
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->pid, ::getpid());
+  EXPECT_GT(sample->rssBytes, 0u);
+  EXPECT_GE(sample->vsizeBytes, sample->rssBytes);
+  // Standalone sampling has no previous reading to diff against.
+  EXPECT_EQ(sample->cpuPermille, 0u);
+}
+
+TEST(SampleProcessResources, NonexistentPidIsNullopt) {
+  // pid_max is bounded well below INT32_MAX on every Linux configuration.
+  const std::int64_t pid = std::numeric_limits<std::int32_t>::max();
+  EXPECT_FALSE(sampleProcessResources(pid).has_value());
+}
+
+TEST(ResourceSampler, BaselineIsImmediateThenThrottledToInterval) {
+  ResourceSampler sampler(1'000);
+  const auto t0 = Clock::now();
+
+  const auto baseline = sampler.sample(self(7), t0);
+  ASSERT_EQ(baseline.size(), 1u);
+  EXPECT_EQ(baseline[0].first, 7u);
+  EXPECT_GT(baseline[0].second.rssBytes, 0u);
+  EXPECT_EQ(baseline[0].second.cpuPermille, 0u);
+
+  EXPECT_TRUE(sampler.sample(self(7), t0 + milliseconds(10)).empty());
+  EXPECT_TRUE(sampler.sample(self(7), t0 + milliseconds(999)).empty());
+  const auto due = sampler.sample(self(7), t0 + milliseconds(1'000));
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].first, 7u);
+}
+
+TEST(ResourceSampler, IntervalZeroDisablesSamplingEntirely) {
+  ResourceSampler sampler(0);
+  const auto t0 = Clock::now();
+  EXPECT_TRUE(sampler.sample(self(), t0).empty());
+  EXPECT_TRUE(sampler.sample(self(), t0 + milliseconds(60'000)).empty());
+}
+
+TEST(ResourceSampler, DeadPidIsDroppedNotReported) {
+  ResourceSampler sampler(10);
+  const PidList dead = {{3u, std::numeric_limits<std::int32_t>::max()}};
+  EXPECT_TRUE(sampler.sample(dead, Clock::now()).empty());
+}
+
+TEST(ResourceSampler, ForgottenPidStartsFromFreshBaseline) {
+  // A pid absent from one poll (shard exited) must be re-baselined when it
+  // reappears (pid recycled): the sample is immediate even though less than
+  // an interval has passed since the pid was last sampled.
+  ResourceSampler sampler(60'000);
+  const auto t0 = Clock::now();
+  ASSERT_EQ(sampler.sample(self(), t0).size(), 1u);
+  EXPECT_TRUE(sampler.sample({}, t0 + milliseconds(1)).empty());
+  const auto again = sampler.sample(self(), t0 + milliseconds(2));
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].second.cpuPermille, 0u);  // baseline again, no delta
+}
+
+TEST(ResourceSampler, TracksMultiplePidsIndependently) {
+  ResourceSampler sampler(1'000);
+  const auto t0 = Clock::now();
+  const std::int64_t me = static_cast<std::int64_t>(::getpid());
+  const std::int64_t parent = static_cast<std::int64_t>(::getppid());
+  ASSERT_EQ(sampler.sample({{0u, me}}, t0).size(), 1u);
+  // The parent pid is new at t0+10ms: it gets an immediate baseline while
+  // our own pid stays throttled.
+  const auto mixed =
+      sampler.sample({{0u, me}, {1u, parent}}, t0 + milliseconds(10));
+  ASSERT_EQ(mixed.size(), 1u);
+  EXPECT_EQ(mixed[0].first, 1u);
+  EXPECT_EQ(mixed[0].second.pid, parent);
+}
+
+}  // namespace
+}  // namespace ppn
