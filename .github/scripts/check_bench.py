@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates the throughput reports produced by the CI bench smoke job.
 
-Two report kinds, dispatched on the "kind" field:
+Three report kinds, dispatched on the "kind" field:
 
 ppn-step-throughput (E21):
   * the report parses, carries the expected kind and a non-empty row per
@@ -27,6 +27,20 @@ ppn-explore-throughput (E23):
     is waived and cases are allowed to carry no threads > 1 rows at all. The
     determinism invariants (identical node/candidate counts across whatever
     thread counts were measured) are enforced unconditionally.
+
+ppn-batch-throughput (E26):
+  * every registry protocol has exactly one row with positive single-run,
+    per-lane, and aggregate rates, internally consistent (aggregate =
+    perLane * lanes; speedup = aggregate / singleRun);
+  * identicalToScalar is true on EVERY row — the SoA lane kernel produced
+    bit-identical RunOutcomes to per-lane scalar reruns. This is the
+    determinism contract and is enforced unconditionally: a report from a
+    1-core box still proves bit-identity, it just cannot prove a speedup;
+  * the min_speedup aggregate floor (the >= 10x tentpole target) applies
+    only when the report came from a machine with >= 8 hardware threads
+    whose engine pool actually spanned them — on smaller boxes the floor is
+    SKIPPED, not failed (lane batching cannot beat one dedicated core when
+    there is only one core).
 
 Usage: check_bench.py BENCH_report.json [min_speedup]
 """
@@ -159,6 +173,67 @@ def check_explore_throughput(doc, min_speedup):
     print(f"check_bench: OK: {', '.join(summaries)}; {floor_note}")
 
 
+def check_batch_throughput(doc, min_speedup):
+    hw = doc.get("hardwareThreads", 0)
+    engine_threads = doc.get("engineThreads", 0)
+    if not isinstance(hw, int) or hw < 1:
+        fail(f"missing/invalid hardwareThreads: {hw!r}")
+    if not isinstance(engine_threads, int) or engine_threads < 1:
+        fail(f"missing/invalid engineThreads: {engine_threads!r}")
+    apply_floor = hw >= 8 and engine_threads >= 8
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail("empty or missing rows")
+
+    seen = set()
+    for row in rows:
+        proto = row.get("protocol")
+        if proto not in EXPECTED_PROTOCOLS:
+            fail(f"unknown protocol {proto!r}")
+        if proto in seen:
+            fail(f"duplicate row for {proto!r}")
+        seen.add(proto)
+        lanes = row.get("lanes", 0)
+        if not isinstance(lanes, int) or lanes < 1:
+            fail(f"{proto}: missing/invalid lanes: {lanes!r}")
+        if not row.get("interactions", 0) > 0:
+            fail(f"{proto}: kernel executed no interactions")
+        single = row.get("singleRunStepsPerSec", 0.0)
+        per_lane = row.get("perLaneStepsPerSec", 0.0)
+        aggregate = row.get("aggregateStepsPerSec", 0.0)
+        speedup = row.get("speedup", 0.0)
+        if not single > 0.0 or not per_lane > 0.0 or not aggregate > 0.0:
+            fail(f"{proto}: non-positive throughput (single={single}, "
+                 f"perLane={per_lane}, aggregate={aggregate})")
+        if abs(aggregate - per_lane * lanes) > 1e-6 * aggregate:
+            fail(f"{proto}: aggregate rate {aggregate} inconsistent with "
+                 f"perLane {per_lane} * lanes {lanes}")
+        if abs(speedup - aggregate / single) > 1e-6 * max(speedup, 1.0):
+            fail(f"{proto}: speedup field {speedup} inconsistent with "
+                 f"{aggregate}/{single}")
+        # Bit-identity is unconditional: hardware cannot excuse a wrong
+        # outcome, only a slow one.
+        if row.get("identicalToScalar") is not True:
+            fail(f"{proto}: SoA lane kernel outcomes are NOT bit-identical "
+                 f"to per-lane scalar reruns (identicalToScalar="
+                 f"{row.get('identicalToScalar')!r})")
+        if apply_floor and speedup < min_speedup:
+            fail(f"{proto}: aggregate batch speedup {speedup:.2f}x is below "
+                 f"the {min_speedup:.2f}x floor on a {hw}-thread machine")
+
+    missing = EXPECTED_PROTOCOLS - seen
+    if missing:
+        fail(f"missing rows for {sorted(missing)}")
+
+    floor_note = (f"floor {min_speedup:.2f}x enforced" if apply_floor else
+                  f"floor skipped (hardwareThreads={hw}, "
+                  f"engineThreads={engine_threads} < 8)")
+    print(f"check_bench: OK: batch kernel bit-identical on {len(rows)} "
+          "protocols, speedups "
+          + ", ".join(f"{r['protocol']}={r['speedup']:.2f}x" for r in rows)
+          + f"; {floor_note}")
+
+
 def main(argv):
     if len(argv) < 2:
         fail(f"usage: {argv[0]} BENCH_report.json [min_speedup]")
@@ -176,6 +251,8 @@ def main(argv):
         check_step_throughput(doc, min_speedup)
     elif kind == "ppn-explore-throughput":
         check_explore_throughput(doc, min_speedup)
+    elif kind == "ppn-batch-throughput":
+        check_batch_throughput(doc, min_speedup)
     else:
         fail(f"{path}: unknown kind {kind!r}")
 

@@ -10,9 +10,9 @@
 //    (Prop 13): super-polynomial growth in N, since the BST pointer must
 //    traverse U_n (length 2^n - 1) and rejected names keep recycling.
 //
-//   ./convergence_sweep [--nmax 11] [--runs 12] [--csv]
+//   ./convergence_sweep [--nmax 11] [--runs 12] [--csv] [--threads K]
 //                       [--events-out run.jsonl] [--metrics-out metrics.json]
-//                       [--trace-out trace.json]
+//                       [--trace-out trace.json] [--runs-out runs.jsonl]
 //                       [--flight-recorder-out flight.jsonl]
 //                       [--flight-stride 1024] [--progress]
 //
@@ -24,6 +24,11 @@
 // interactions (name occupancy, collisions) and the retained ring is dumped
 // at sweep end (and automatically on any watchdog abort). Absent flags leave
 // the sweep unobserved (output unchanged).
+//
+// Each point is one job on a shared BatchEngine (sim/batch_engine.h):
+// --threads K sizes its pool (0 = all cores; per-point statistics are
+// bit-identical for any K) and --runs-out streams every completed run as a
+// JSONL run_outcome line, in run order, across the whole sweep.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -37,6 +42,7 @@
 #include "obs/probes.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "sim/batch_engine.h"
 #include "sim/runner.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -48,12 +54,17 @@ namespace {
 struct Telemetry {
   ppn::RunObserver* observer = nullptr;
   ppn::FlightRecorder* recorder = nullptr;
+  ppn::JsonlLineSink runsSink;
   std::uint64_t nextRunIdBase = 0;
 };
 
-ppn::BatchResult measure(const ppn::Protocol& proto, std::uint32_t n,
-                         ppn::InitKind init, std::uint32_t runs,
-                         std::uint64_t seed, Telemetry& telemetry) {
+ppn::BatchResult measure(ppn::BatchEngine& engine, const ppn::Protocol& proto,
+                         std::uint32_t n, ppn::InitKind init,
+                         std::uint32_t runs, std::uint64_t seed,
+                         Telemetry& telemetry) {
+  // Thin client of the batch engine: the spec (and its seed derivation) is
+  // exactly what runBatch takes, so each point's statistics are bit-identical
+  // to the old in-process batch for any pool size.
   ppn::BatchSpec spec;
   spec.numMobile = n;
   spec.init = init;
@@ -65,7 +76,7 @@ ppn::BatchResult measure(const ppn::Protocol& proto, std::uint32_t n,
   spec.recorder = telemetry.recorder;
   spec.runIdBase = telemetry.nextRunIdBase;
   telemetry.nextRunIdBase += runs;
-  return ppn::runBatch(proto, spec);
+  return engine.submit(proto, spec, telemetry.runsSink)->wait();
 }
 
 /// Points the E7 table will measure (for the progress reporter's ETA).
@@ -113,6 +124,11 @@ int main(int argc, char** argv) {
       "flight-stride", "interactions between flight-recorder samples", 1024);
   const auto* progress =
       cli.addFlag("progress", "print periodic batch progress to stderr");
+  const auto* threads = cli.addUint(
+      "threads", "batch-engine worker threads (0 = all cores)", 1);
+  const auto* runsOut = cli.addString(
+      "runs-out", "stream per-run outcomes (JSONL, run order) to this file",
+      "");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto runCount = static_cast<std::uint32_t>(*runs);
@@ -155,6 +171,22 @@ int main(int argc, char** argv) {
   Telemetry telemetry;
   if (!observers.empty()) telemetry.observer = &observers;
   telemetry.recorder = recorder.get();
+  std::ofstream runsStream;
+  if (!runsOut->empty()) {
+    runsStream.open(*runsOut, std::ios::trunc);
+    if (!runsStream) {
+      std::fprintf(stderr, "convergence_sweep: cannot write '%s'\n",
+                   runsOut->c_str());
+      return 1;
+    }
+    telemetry.runsSink = [&runsStream](const std::string& line) {
+      runsStream << line << '\n';
+    };
+  }
+
+  // One pool and one queue for the whole sweep; each point is one batch job.
+  ppn::BatchEngine engine(
+      ppn::BatchEngineOptions{static_cast<std::uint32_t>(*threads), 256});
 
   std::printf("E7: convergence cost vs N (P = N, random scheduler)\n\n");
   {
@@ -171,8 +203,8 @@ int main(int argc, char** argv) {
         const ppn::InitKind init = (key == "leader-uniform")
                                        ? ppn::InitKind::kUniform
                                        : ppn::InitKind::kArbitrary;
-        const auto r = measure(*proto, static_cast<std::uint32_t>(n), init,
-                               runCount, *seed + n, telemetry);
+        const auto r = measure(engine, *proto, static_cast<std::uint32_t>(n),
+                               init, runCount, *seed + n, telemetry);
         table.row()
             .cell(key)
             .cell(n)
@@ -199,8 +231,8 @@ int main(int argc, char** argv) {
         const ppn::InitKind init = (key == "leader-uniform")
                                        ? ppn::InitKind::kUniform
                                        : ppn::InitKind::kArbitrary;
-        const auto r = measure(*proto, n, init, runCount, *seed + p * 7,
-                               telemetry);
+        const auto r = measure(engine, *proto, n, init, runCount,
+                               *seed + p * 7, telemetry);
         table.row()
             .cell(key)
             .cell(p)

@@ -9,9 +9,11 @@
 // Telemetry (E22): --events-out streams one run_start/run_end JSONL pair per
 // simulation run; --trace-out renders the same runs as a Chrome trace_event
 // timeline (chrome://tracing). Absent flags leave the runs unobserved.
-// --threads K spreads the simulation runs over K workers (0 = hardware
-// concurrency); per-run seeds are pre-drawn sequentially and samples are
-// collected by run index, so every statistic is bit-identical for any K.
+// Simulation runs go through one BatchEngine (sim/batch_engine.h): each row
+// is a lane job advanced in lockstep by the SoA kernel, spread over
+// --threads K workers (0 = hardware concurrency). Per-run seeds are pre-drawn
+// sequentially and samples are collected by run index, so every statistic is
+// bit-identical for any K — and to the old one-Engine-per-run loop.
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -24,41 +26,47 @@
 #include "obs/events.h"
 #include "obs/observer.h"
 #include "obs/trace.h"
-#include "sched/random_scheduler.h"
+#include "sim/batch_engine.h"
 #include "sim/runner.h"
 #include "stats/summary.h"
 #include "util/cli.h"
+#include "util/seed.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace ppn;
 
-Summary simulate(const Protocol& proto, const Configuration& start,
-                 std::uint32_t runs, std::uint64_t seed, std::uint32_t threads,
-                 RunObserver* observer, std::uint64_t runIdBase) {
-  // Seeds are drawn sequentially BEFORE any run executes and samples land in
-  // per-run slots, so the summary is bit-identical for every thread count.
-  // The JSONL/trace observers are internally synchronized; only the event
-  // interleaving across runs varies with K.
-  Rng rng(seed);
-  std::vector<std::uint64_t> seeds(runs);
-  for (auto& s : seeds) s = rng.next();
-  std::vector<double> slots(runs, -1.0);
-  parallelRunIndexed(runs, threads, [&](std::uint32_t r, CancelToken&) {
-    Engine engine(proto, start);
-    RandomScheduler sched(engine.numParticipants(), seeds[r]);
-    const RunOutcome out = runUntilSilent(engine, sched,
-                                          RunLimits{50'000'000, 1}, nullptr,
-                                          observer, runIdBase + r);
-    if (out.silent) {
-      slots[r] = static_cast<double>(out.convergenceInteractions);
-    }
-  });
+Summary simulate(BatchEngine& engine, const Protocol& proto,
+                 const Configuration& start, std::uint32_t runs,
+                 std::uint64_t seed, RunObserver* observer,
+                 std::uint64_t runIdBase) {
+  // Thin client of the batch engine: every row's runs share one fixed start
+  // configuration, so they are submitted as explicit lane plans (seeds drawn
+  // sequentially up front, util/seed.h) and the SoA kernel advances them in
+  // lockstep. Samples are collected by run index from the job's outcomes, so
+  // the summary is bit-identical to the old one-Engine-per-run loop for any
+  // worker count. The JSONL/trace observers are internally synchronized; only
+  // the event interleaving across runs varies with pool size.
+  const std::vector<std::uint64_t> seeds = drawRunSeeds(seed, runs);
+  std::vector<LanePlan> plans(runs);
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    plans[r].start = start;
+    plans[r].schedSeed = seeds[r];
+    plans[r].runId = runIdBase + r;
+  }
+  LaneJobSpec spec;
+  spec.sched = SchedulerKind::kRandom;
+  spec.limits = RunLimits{50'000'000, 1};
+  spec.observer = observer;
+  auto job = engine.submitLanes(proto, std::move(plans), spec);
+  job->wait();
   std::vector<double> samples;
   samples.reserve(runs);
-  for (const double v : slots) {
-    if (v >= 0.0) samples.push_back(v);
+  for (const RunOutcome& out : job->outcomes()) {
+    if (out.silent) {
+      samples.push_back(static_cast<double>(out.convergenceInteractions));
+    }
   }
   return summarize(std::move(samples));
 }
@@ -76,6 +84,10 @@ int main(int argc, char** argv) {
   const auto* threads =
       cli.addUint("threads", "simulation worker threads (0 = all cores)", 1);
   if (!cli.parse(argc, argv)) return 1;
+
+  // One engine (one pool, one queue) serves every row's job in turn.
+  BatchEngine engine(
+      BatchEngineOptions{static_cast<std::uint32_t>(*threads), 256});
 
   std::unique_ptr<JsonlEventSink> sink;
   std::unique_ptr<ChromeTraceWriter> traceWriter;
@@ -150,8 +162,8 @@ int main(int argc, char** argv) {
       continue;
     }
     const Summary s =
-        simulate(*row.proto, row.start, static_cast<std::uint32_t>(*runs), 7,
-                 static_cast<std::uint32_t>(*threads), observer, runIdBase);
+        simulate(engine, *row.proto, row.start,
+                 static_cast<std::uint32_t>(*runs), 7, observer, runIdBase);
     runIdBase += *runs;
     const double stderrMean =
         s.count > 1 ? s.stddev / std::sqrt(static_cast<double>(s.count)) : 0.0;

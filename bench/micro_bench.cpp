@@ -12,6 +12,7 @@
 //   ./micro_bench [--events-out=run.jsonl] [--metrics-out=metrics.json]
 //                 [--step-throughput-out=report.json]
 //                 [--explore-throughput-out=report.json]
+//                 [--batch-throughput-out=report.json]
 //                 [google-benchmark flags...]
 // With the telemetry flags set it runs a small observed sample batch after
 // the benchmarks, streaming its JSONL events and dumping the metrics
@@ -19,7 +20,9 @@
 // experiment INSTEAD of the benchmarks and writes the JSON report consumed
 // by .github/scripts/check_bench.py (see EXPERIMENTS.md E21);
 // --explore-throughput-out does the same for the E23 parallel-exploration
-// and parallel-search experiment (EXPERIMENTS.md E23).
+// and parallel-search experiment (EXPERIMENTS.md E23), and
+// --batch-throughput-out for the E26 many-replica SoA kernel / batch-engine
+// experiment (EXPERIMENTS.md E26).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -46,8 +49,10 @@
 #include "obs/probes.h"
 #include "sched/deterministic_schedulers.h"
 #include "sched/random_scheduler.h"
+#include "sim/batch_engine.h"
 #include "sim/runner.h"
 #include "util/json.h"
+#include "util/seed.h"
 
 namespace {
 
@@ -403,9 +408,17 @@ int dumpStepThroughput(const std::string& path) {
     w.beginObject();
     w.key("protocol").value(row.protocol);
     w.key("p").value(row.p);
+    // Single-replica rows: one lane of `numMobile` agents, so the per-lane
+    // and aggregate rates coincide. Recorded explicitly so this report and
+    // the ppn-batch-throughput report share one rate schema (check_bench.py
+    // cross-checks lanes * perLane == aggregate on both).
+    w.key("lanes").value(static_cast<std::uint64_t>(1));
+    w.key("numMobile").value(numMobile);
     w.key("interactions").value(row.interactions);
     w.key("interpretedStepsPerSec").value(row.interpretedStepsPerSec);
     w.key("compiledStepsPerSec").value(row.compiledStepsPerSec);
+    w.key("perLaneStepsPerSec").value(row.compiledStepsPerSec);
+    w.key("aggregateStepsPerSec").value(row.compiledStepsPerSec);
     w.key("speedup").value(row.speedup);
     w.endObject();
   }
@@ -588,6 +601,200 @@ int dumpExploreThroughput(const std::string& path) {
   return 0;
 }
 
+// --- E26: many-replica batch throughput (SoA kernel + batch engine) --------
+
+/// Per-lane inputs for one batch-throughput case, derived exactly as a
+/// BatchSpec submit would (util/seed.h pre-split), with the E21 fallback for
+/// protocols whose arbitrary leader space is not enumerable at this P.
+std::vector<LanePlan> batchLanePlans(const Protocol& proto,
+                                     std::uint32_t numMobile,
+                                     std::uint32_t lanes, std::uint64_t seed) {
+  std::vector<Rng> laneRngs = splitRunRngs(seed, lanes);
+  std::vector<LanePlan> plans(lanes);
+  for (std::uint32_t r = 0; r < lanes; ++r) {
+    Rng& rng = laneRngs[r];
+    try {
+      plans[r].start = arbitraryConfiguration(proto, numMobile, rng);
+    } catch (const std::logic_error&) {
+      plans[r].start.mobile.clear();
+      for (std::uint32_t i = 0; i < numMobile; ++i) {
+        plans[r].start.mobile.push_back(
+            static_cast<StateId>(rng.below(proto.numMobileStates())));
+      }
+      plans[r].start.leader = LeaderStateId{0};
+    }
+    plans[r].schedSeed = rng.next();
+    plans[r].runId = r;
+  }
+  return plans;
+}
+
+bool sameOutcome(const RunOutcome& a, const RunOutcome& b) {
+  return a.silent == b.silent && a.namingSolved == b.namingSolved &&
+         a.timedOut == b.timedOut && a.cancelled == b.cancelled &&
+         a.convergenceInteractions == b.convergenceInteractions &&
+         a.totalInteractions == b.totalInteractions &&
+         a.nonNullInteractions == b.nonNullInteractions &&
+         a.numMobile == b.numMobile && a.finalConfig == b.finalConfig;
+}
+
+struct BatchThroughputRow {
+  std::string protocol;
+  StateId p = 0;
+  std::uint64_t interactions = 0;  ///< aggregate across all lanes
+  double singleRunStepsPerSec = 0.0;
+  double perLaneStepsPerSec = 0.0;
+  double aggregateStepsPerSec = 0.0;
+  double speedup = 0.0;       ///< aggregate / single-run
+  bool identicalToScalar = false;
+};
+
+/// Runs the E26 batch-throughput experiment: K lanes of N agents through one
+/// BatchEngine (SoA kernel, all cores) vs the PR 3 single-run compiled
+/// baseline, and writes the report consumed by check_bench.py. Every case
+/// first re-runs its lane plans through the scalar one-Engine-per-run path
+/// and records whether all K outcomes were bit-identical (the determinism
+/// contract, enforced in-report so a regression is visible in the artifact).
+int dumpBatchThroughput(const std::string& path) {
+  using Clock = std::chrono::steady_clock;
+  struct Case {
+    const char* key;
+    StateId p;
+  };
+  // Same registry coverage and P choices as the E21 step-throughput report.
+  const Case cases[] = {{"asymmetric", 256},   {"symmetric-global", 255},
+                        {"leader-uniform", 256}, {"counting", 256},
+                        {"selfstab-weak", 255},  {"global-leader", 256}};
+  const std::uint32_t numMobile = 256;
+  const std::uint32_t lanes = 1024;
+  // Per-lane budget: big enough that lane setup amortizes, small enough that
+  // 1024 lanes x 6 protocols x (vectorized + scalar + reps) stays a smoke
+  // workload. checkInterval == budget: one silence poll per burst, as the
+  // batch engine's clients configure their hot paths.
+  const RunLimits laneLimits{8192, 8192};
+  const int repetitions = 3;
+  const std::uint64_t seed = 13;
+  BatchEngine engine;  // all cores
+
+  JsonWriter w;
+  w.beginObject();
+  w.key("kind").value("ppn-batch-throughput");
+  w.key("hardwareThreads")
+      .value(std::max(1u, std::thread::hardware_concurrency()));
+  w.key("engineThreads").value(engine.threads());
+  w.key("lanes").value(lanes);
+  w.key("numMobile").value(numMobile);
+  w.key("budgetPerLane").value(laneLimits.maxInteractions);
+  w.key("repetitions").value(repetitions);
+  w.key("rows").beginArray();
+  bool allIdentical = true;
+  for (const Case& c : cases) {
+    const auto proto = makeProtocol(c.key, c.p);
+    const CompiledProtocol compiled(*proto);
+    BatchThroughputRow row;
+    row.protocol = c.key;
+    row.p = c.p;
+
+    // Single-run baseline: lane 0's plan, compiled Engine, same budget scaled
+    // to a timeable region (the PR 3 number this report's speedup is against).
+    {
+      const RunLimits limits{4'000'000, 4096};
+      for (int rep = 0; rep < repetitions; ++rep) {
+        std::vector<LanePlan> one = batchLanePlans(*proto, numMobile, 1, seed);
+        Engine eng(*proto, std::move(one[0].start));
+        eng.attachCompiled(&compiled);
+        RandomScheduler sched(eng.numParticipants(), one[0].schedSeed);
+        const Clock::time_point t0 = Clock::now();
+        const RunOutcome out = runUntilSilent(eng, sched, limits);
+        const double secs =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (secs > 0.0) {
+          row.singleRunStepsPerSec =
+              std::max(row.singleRunStepsPerSec,
+                       static_cast<double>(out.totalInteractions) / secs);
+        }
+      }
+    }
+
+    // Vectorized: all K lanes through the engine's queue, best-of-N reps.
+    LaneJobSpec jspec;
+    jspec.limits = laneLimits;
+    std::vector<RunOutcome> vectorized;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      std::vector<LanePlan> plans =
+          batchLanePlans(*proto, numMobile, lanes, seed);
+      const Clock::time_point t0 = Clock::now();
+      auto job = engine.submitLanes(*proto, std::move(plans), jspec);
+      job->wait();
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      std::uint64_t total = 0;
+      for (const RunOutcome& out : job->outcomes()) {
+        total += out.totalInteractions;
+      }
+      row.interactions = total;
+      if (secs > 0.0) {
+        row.aggregateStepsPerSec = std::max(
+            row.aggregateStepsPerSec, static_cast<double>(total) / secs);
+      }
+      if (rep + 1 == repetitions) vectorized = job->outcomes();
+    }
+    row.perLaneStepsPerSec = row.aggregateStepsPerSec / lanes;
+    row.speedup = row.singleRunStepsPerSec > 0.0
+                      ? row.aggregateStepsPerSec / row.singleRunStepsPerSec
+                      : 0.0;
+
+    // Differential pass: the same plans, one scalar Engine per lane.
+    {
+      std::vector<LanePlan> plans =
+          batchLanePlans(*proto, numMobile, lanes, seed);
+      row.identicalToScalar = true;
+      for (std::uint32_t r = 0; r < lanes; ++r) {
+        Engine eng(*proto, std::move(plans[r].start));
+        eng.attachCompiled(&compiled);
+        RandomScheduler sched(eng.numParticipants(), plans[r].schedSeed);
+        const RunOutcome out = runUntilSilent(eng, sched, laneLimits);
+        if (!sameOutcome(out, vectorized[r])) {
+          row.identicalToScalar = false;
+          break;
+        }
+      }
+    }
+    allIdentical = allIdentical && row.identicalToScalar;
+
+    w.beginObject();
+    w.key("protocol").value(row.protocol);
+    w.key("p").value(row.p);
+    w.key("lanes").value(lanes);
+    w.key("numMobile").value(numMobile);
+    w.key("interactions").value(row.interactions);
+    w.key("singleRunStepsPerSec").value(row.singleRunStepsPerSec);
+    w.key("perLaneStepsPerSec").value(row.perLaneStepsPerSec);
+    w.key("aggregateStepsPerSec").value(row.aggregateStepsPerSec);
+    w.key("speedup").value(row.speedup);
+    w.key("identicalToScalar").value(row.identicalToScalar);
+    w.endObject();
+    std::fprintf(stderr,
+                 "batch-throughput %-16s P=%-3u lanes=%u single=%.3gM/s "
+                 "aggregate=%.3gM/s speedup=%.2fx identical=%s\n",
+                 row.protocol.c_str(), row.p, lanes,
+                 row.singleRunStepsPerSec / 1e6,
+                 row.aggregateStepsPerSec / 1e6, row.speedup,
+                 row.identicalToScalar ? "yes" : "NO");
+  }
+  w.endArray();
+  w.endObject();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "micro_bench: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << w.str() << '\n';
+  // A non-identical row is a correctness bug, not a slow machine: fail loudly.
+  return allIdentical ? 0 : 1;
+}
+
 /// Post-benchmark telemetry sample: a small observed batch whose JSONL
 /// events and metrics snapshot land in the files named by the stripped
 /// --events-out=/--metrics-out= flags.
@@ -640,6 +847,7 @@ int main(int argc, char** argv) {
   std::string metricsOut;
   std::string stepThroughputOut;
   std::string exploreThroughputOut;
+  std::string batchThroughputOut;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -651,16 +859,21 @@ int main(int argc, char** argv) {
       stepThroughputOut = argv[i] + 22;
     } else if (std::strncmp(argv[i], "--explore-throughput-out=", 25) == 0) {
       exploreThroughputOut = argv[i] + 25;
+    } else if (std::strncmp(argv[i], "--batch-throughput-out=", 23) == 0) {
+      batchThroughputOut = argv[i] + 23;
     } else {
       rest.push_back(argv[i]);
     }
   }
-  // The step-throughput (E21) and explore-throughput (E23) experiments stand
-  // alone: they time whole runs themselves, so they skip the google-benchmark
-  // harness entirely.
+  // The step-throughput (E21), explore-throughput (E23) and batch-throughput
+  // (E26) experiments stand alone: they time whole runs themselves, so they
+  // skip the google-benchmark harness entirely.
   if (!stepThroughputOut.empty()) return dumpStepThroughput(stepThroughputOut);
   if (!exploreThroughputOut.empty()) {
     return dumpExploreThroughput(exploreThroughputOut);
+  }
+  if (!batchThroughputOut.empty()) {
+    return dumpBatchThroughput(batchThroughputOut);
   }
   int restArgc = static_cast<int>(rest.size());
   benchmark::Initialize(&restArgc, rest.data());

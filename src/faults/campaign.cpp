@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "faults/stuck_agent_scheduler.h"
+#include "sim/batch_engine.h"
+#include "util/seed.h"
 
 namespace ppn {
 
@@ -160,16 +162,11 @@ CampaignResult runCampaign(const Protocol& proto, const CampaignSpec& spec) {
 
   // Sequential pre-split: the only source of randomness each run sees is its
   // own generator, so outcomes are bit-identical for every thread count.
-  Rng master(spec.seed);
-  std::vector<Rng> runRngs;
-  runRngs.reserve(spec.runs);
-  for (std::uint32_t r = 0; r < spec.runs; ++r) runRngs.push_back(master.split());
+  std::vector<Rng> runRngs = splitRunRngs(spec.seed, spec.runs);
 
   std::atomic<std::uint32_t> progressCompleted{0};
   std::atomic<std::uint32_t> progressDegraded{0};
-  parallelRunIndexed(
-      spec.runs, spec.threads,
-      [&](std::uint32_t r, CancelToken& cancel) {
+  const auto runOne = [&](std::uint32_t r, CancelToken& cancel) {
         Rng runRng = runRngs[r];
         Configuration start =
             spec.init == InitKind::kUniform
@@ -209,7 +206,15 @@ CampaignResult runCampaign(const Protocol& proto, const CampaignSpec& spec) {
               done, spec.runs,
               progressDegraded.load(std::memory_order_relaxed)});
         }
-      });
+  };
+  // Same per-run work either way; the engine variant drains it through the
+  // shared pool's queue (one queue across every cell of a sweep) instead of
+  // spawning this campaign's own workers.
+  if (spec.engine != nullptr) {
+    spec.engine->parallelFor(spec.runs, runOne);
+  } else {
+    parallelRunIndexed(spec.runs, spec.threads, runOne);
+  }
 
   std::vector<double> recovery;
   std::vector<double> faults;

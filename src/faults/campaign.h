@@ -22,6 +22,8 @@
 
 namespace ppn {
 
+class BatchEngine;
+
 struct CampaignSpec {
   FaultRegime regime = FaultRegime::kPoissonTransient;
   FaultRegimeParams params;
@@ -47,6 +49,14 @@ struct CampaignSpec {
   /// samples both the fault and recovery phases, and dumps automatically on
   /// fault-induced divergence or watchdog abort. Null records nothing.
   FlightRecorder* recorder = nullptr;
+  /// Shared batch engine (not owned; see sim/batch_engine.h). When set, the
+  /// campaign's runs execute as work items on the engine's queue
+  /// (BatchEngine::parallelFor) instead of spawning `threads` ad-hoc workers
+  /// per campaign — sweeps dispatching many cells through one engine keep all
+  /// cores saturated from a single queue with no per-cell thread churn.
+  /// Outcomes are bit-identical either way (inputs are pre-split; the
+  /// execution backend cannot change them); `threads` is ignored when set.
+  BatchEngine* engine = nullptr;
 };
 
 struct CampaignRunOutcome {

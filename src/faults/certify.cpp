@@ -5,26 +5,24 @@
 
 #include "naming/registry.h"
 #include "util/json.h"
+#include "util/seed.h"
 
 namespace ppn {
 
 namespace {
 
-/// FNV-1a over the cell coordinates: stable across platforms and runs, so a
-/// cell's campaign seed does not depend on sweep order or std::hash.
+/// FNV-1a over the cell coordinates (util/seed.h): stable across platforms
+/// and runs, so a cell's campaign seed does not depend on sweep order or
+/// std::hash.
 std::uint64_t cellSeed(std::uint64_t base, const std::string& protocol,
                        std::uint32_t population, FaultRegime regime,
                        SchedulerKind sched) {
-  std::uint64_t h = 1469598103934665603ULL ^ base;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  for (const char c : protocol) mix(static_cast<unsigned char>(c));
-  mix(population);
-  mix(static_cast<std::uint64_t>(regime) + 101);
-  mix(static_cast<std::uint64_t>(sched) + 211);
-  return h;
+  return Fnv1a(base)
+      .mix(protocol)
+      .mix(population)
+      .mix(static_cast<std::uint64_t>(regime) + 101)
+      .mix(static_cast<std::uint64_t>(sched) + 211)
+      .value();
 }
 
 bool schedulerOnlyWeaklyFair(SchedulerKind kind) {
@@ -128,6 +126,7 @@ CampaignSpec cellCampaignSpec(const CertifySpec& spec,
   campaign.threads = spec.threads;
   campaign.observer = spec.observer;
   campaign.runIdBase = runIdBase;
+  campaign.engine = spec.engine;
   return campaign;
 }
 

@@ -56,6 +56,12 @@ struct CertifySpec {
   /// fault/watchdog events remain attributable after cells are interleaved
   /// into one event stream. Null (default) keeps the sweep unobserved.
   RunObserver* observer = nullptr;
+  /// Shared batch engine (not owned; sim/batch_engine.h). When set, every
+  /// cell's campaign runs drain through the engine's single work queue
+  /// (CampaignSpec::engine) instead of spawning `threads` workers per cell —
+  /// the whole sweep keeps one pool saturated with no per-cell thread churn.
+  /// Cell results and the serialized table are byte-identical either way.
+  BatchEngine* engine = nullptr;
 };
 
 enum class CellVerdict {

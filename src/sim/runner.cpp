@@ -16,6 +16,7 @@
 
 #include "sched/deterministic_schedulers.h"
 #include "sched/random_scheduler.h"
+#include "util/seed.h"
 
 namespace ppn {
 
@@ -251,9 +252,27 @@ std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind,
   throw std::logic_error("unreachable scheduler kind");
 }
 
-BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
+BatchResult summarizeBatch(const std::vector<RunOutcome>& outcomes) {
   BatchResult result;
-  result.runs = spec.runs;
+  result.runs = static_cast<std::uint32_t>(outcomes.size());
+  std::vector<double> convergence;
+  std::vector<double> parallel;
+  for (const RunOutcome& out : outcomes) {
+    if (out.timedOut) ++result.timedOut;
+    if (out.silent) {
+      ++result.converged;
+      if (out.namingSolved) ++result.named;
+      convergence.push_back(static_cast<double>(out.convergenceInteractions));
+      parallel.push_back(out.parallelTime());
+    }
+  }
+  result.degraded = result.timedOut > 0;
+  result.convergenceInteractions = summarize(std::move(convergence));
+  result.parallelTime = summarize(std::move(parallel));
+  return result;
+}
+
+BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
 
   // Compile the protocol once per batch; the flat tables are read-only and
   // shared by every worker's engine. A protocol that cannot be compiled
@@ -274,10 +293,7 @@ BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
   // built inside the worker from the pre-split per-run generator (still
   // deterministic, and a throwing arbitraryConfiguration is then captured by
   // parallelRunIndexed instead of escaping a worker thread).
-  Rng master(spec.seed);
-  std::vector<Rng> runRngs;
-  runRngs.reserve(spec.runs);
-  for (std::uint32_t r = 0; r < spec.runs; ++r) runRngs.push_back(master.split());
+  std::vector<Rng> runRngs = splitRunRngs(spec.seed, spec.runs);
 
   std::vector<RunOutcome> outcomes(spec.runs);
   std::atomic<std::uint32_t> progressCompleted{0};
@@ -310,21 +326,7 @@ BatchResult runBatch(const Protocol& proto, const BatchSpec& spec) {
         }
       });
 
-  std::vector<double> convergence;
-  std::vector<double> parallel;
-  for (const RunOutcome& out : outcomes) {
-    if (out.timedOut) ++result.timedOut;
-    if (out.silent) {
-      ++result.converged;
-      if (out.namingSolved) ++result.named;
-      convergence.push_back(static_cast<double>(out.convergenceInteractions));
-      parallel.push_back(out.parallelTime());
-    }
-  }
-  result.degraded = result.timedOut > 0;
-  result.convergenceInteractions = summarize(std::move(convergence));
-  result.parallelTime = summarize(std::move(parallel));
-  return result;
+  return summarizeBatch(outcomes);
 }
 
 }  // namespace ppn

@@ -203,12 +203,21 @@ struct BatchResult {
   bool degraded = false;
 };
 
+/// Aggregates per-run outcomes into the batch summary. Shared by runBatch
+/// and BatchEngine::Job::wait (sim/batch_engine.h) — one aggregation rule, so
+/// both front ends report identical statistics for identical outcomes.
+BatchResult summarizeBatch(const std::vector<RunOutcome>& outcomes);
+
 /// Runs `spec.runs` independent runs of `proto`, each with a fresh initial
 /// configuration and scheduler stream derived from `spec.seed`. A run that
 /// throws (e.g. std::logic_error from arbitraryConfiguration on a protocol
 /// with no enumerable leader states) cancels the remaining runs and is
 /// rethrown with its message intact; runs aborted by the watchdog are
 /// reported via `timedOut`/`degraded` rather than blocking the batch.
+///
+/// This is the scalar reference path (one Engine per run). The vectorized
+/// equivalent — same spec, bit-identical outcomes — is
+/// BatchEngine::submit(proto, spec) in sim/batch_engine.h.
 BatchResult runBatch(const Protocol& proto, const BatchSpec& spec);
 
 }  // namespace ppn

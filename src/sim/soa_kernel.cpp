@@ -1,0 +1,378 @@
+#include "sim/soa_kernel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace ppn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The packed per-lane arrays plus the bookkeeping to drive each lane through
+/// the runUntilSilent state machine. Everything lane L owns lives at offset
+/// L * (its stride) of the flat arrays.
+class SoaLanes {
+ public:
+  SoaLanes(const Protocol& proto, const CompiledProtocol& compiled,
+           std::vector<LaneInput>& lanes, const RunLimits& limits,
+           const CancelToken* cancel, RunObserver* observer)
+      : proto_(proto),
+        compiled_(compiled),
+        lanes_(lanes),
+        limits_(limits),
+        cancel_(cancel),
+        observer_(observer),
+        k_(lanes.size()),
+        q_(compiled.numStates()),
+        words_(compiled.wordsPerRow()),
+        hasLeader_(proto.hasLeader()) {
+    if (k_ == 0) return;
+    n_ = lanes[0].start.numMobile();
+    validateLanes();
+
+    states_.resize(k_ * n_);
+    hist_.assign(k_ * q_, 0);
+    present_.assign(k_ * words_, 0);
+    activePairs_.assign(k_, 0);
+    leader_.assign(hasLeader_ ? k_ : 0, LeaderStateId{0});
+    leaderIdx_.assign(k_, CompiledProtocol::kNoLeaderIndex);
+    steps_.assign(k_, 0);
+    nonNull_.assign(k_, 0);
+    lastChangeAt_.assign(k_, 0);
+    outcomes_.resize(k_);
+    finished_.assign(k_, false);
+    started_.assign(k_, false);
+
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(1, limits_.checkInterval);
+    pairBuf_.resize(static_cast<std::size_t>(
+        std::min<std::uint64_t>(interval, kBlock)));
+  }
+
+  std::vector<RunOutcome> run() {
+    if (k_ == 0) return {};
+    const bool watch = limits_.maxWallMillis > 0;
+    startedAt_ = (watch || observer_ != nullptr) ? Clock::now()
+                                                 : Clock::time_point{};
+    const Clock::time_point deadline =
+        watch ? startedAt_ + std::chrono::milliseconds(limits_.maxWallMillis)
+              : Clock::time_point{};
+
+    // Lane init: load the packed arrays, emit run_start and the initial
+    // silence poll, and retire lanes that are born silent (or have no
+    // interaction budget) before the hot loop ever sees them.
+    active_.reserve(k_);
+    for (std::size_t lane = 0; lane < k_; ++lane) {
+      initLane(lane);
+      if (!finished_[lane]) active_.push_back(lane);
+    }
+
+    // Lockstep slices: every active lane advances one checkInterval burst per
+    // pass, then answers its silence poll; finished lanes are compacted out
+    // (stable order) so retired lanes cost nothing.
+    const std::uint64_t interval =
+        std::max<std::uint64_t>(1, limits_.checkInterval);
+    while (!active_.empty()) {
+      std::size_t kept = 0;
+      for (std::size_t idx = 0; idx < active_.size(); ++idx) {
+        const std::size_t lane = active_[idx];
+        if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+          outcomes_[lane].cancelled = true;
+          if (observer_ != nullptr) {
+            observer_->onCancelled(
+                CancelledEvent{lanes_[lane].runId, steps_[lane]});
+          }
+          finishLane(lane);
+          continue;
+        }
+        if (watch && Clock::now() >= deadline) {
+          outcomes_[lane].timedOut = true;
+          if (observer_ != nullptr) {
+            observer_->onWatchdogAbort(WatchdogAbortEvent{
+                lanes_[lane].runId, steps_[lane], limits_.maxWallMillis});
+          }
+          finishLane(lane);
+          continue;
+        }
+        const std::uint64_t burst =
+            std::min(interval, limits_.maxInteractions - steps_[lane]);
+        runLaneBurst(lane, burst);
+        const bool silent = laneSilent(lane);
+        if (observer_ != nullptr) {
+          observer_->onSilenceCheck(
+              SilenceCheckEvent{lanes_[lane].runId, steps_[lane], silent});
+        }
+        if (silent || steps_[lane] >= limits_.maxInteractions) {
+          outcomes_[lane].silent = silent;
+          finishLane(lane);
+          continue;
+        }
+        active_[kept++] = lane;
+      }
+      active_.resize(kept);
+    }
+    return std::move(outcomes_);
+  }
+
+  /// RunEndPairGuard equivalent for the whole kernel: a lane throwing out of
+  /// run() must not leave OTHER lanes' run_start events unpaired in the
+  /// stream. Called from the kernel entry point's unwind path.
+  void emitSyntheticRunEnds() {
+    if (observer_ == nullptr) return;
+    const double wallMillis = elapsedMillis();
+    for (std::size_t lane = 0; lane < k_; ++lane) {
+      if (!started_[lane] || finished_[lane]) continue;
+      observer_->onRunEnd(RunEndEvent{lanes_[lane].runId, false, false, false,
+                                      false, steps_[lane], steps_[lane],
+                                      wallMillis});
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kBlock = 1024;
+
+  void validateLanes() {
+    const StateId numMobileStates = proto_.numMobileStates();
+    for (const LaneInput& lane : lanes_) {
+      if (lane.start.numMobile() != n_) {
+        throw std::invalid_argument(
+            "runLanesUntilSilent: lanes must share one population size");
+      }
+      if (lane.sched == nullptr) {
+        throw std::invalid_argument(
+            "runLanesUntilSilent: lane without a scheduler");
+      }
+      if (hasLeader_ != lane.start.leader.has_value()) {
+        throw std::logic_error(
+            "configuration leader presence does not match protocol '" +
+            proto_.name() + "'");
+      }
+      for (const StateId s : lane.start.mobile) {
+        if (s >= numMobileStates) {
+          throw std::logic_error("configuration state " + std::to_string(s) +
+                                 " outside the state space of '" +
+                                 proto_.name() + "'");
+        }
+      }
+    }
+  }
+
+  std::uint32_t* laneHist(std::size_t lane) { return hist_.data() + lane * q_; }
+  std::uint64_t* lanePresent(std::size_t lane) {
+    return present_.data() + lane * words_;
+  }
+  StateId* laneStates(std::size_t lane) { return states_.data() + lane * n_; }
+
+  CompiledLaneTracker laneTracker(std::size_t lane) {
+    return CompiledLaneTracker(compiled_, laneHist(lane), lanePresent(lane),
+                               activePairs_[lane]);
+  }
+
+  void initLane(std::size_t lane) {
+    const Configuration& start = lanes_[lane].start;
+    std::copy(start.mobile.begin(), start.mobile.end(), laneStates(lane));
+    laneTracker(lane).rebuild(start.mobile.begin(), start.mobile.end());
+    if (hasLeader_) {
+      leader_[lane] = *start.leader;
+      if (compiled_.leaderCompiled()) {
+        leaderIdx_[lane] = compiled_.leaderIndexOf(*start.leader);
+      }
+    }
+    outcomes_[lane].numMobile = n_;
+    if (observer_ != nullptr) {
+      observer_->onRunStart(RunStartEvent{lanes_[lane].runId, n_,
+                                          n_ + (hasLeader_ ? 1u : 0u)});
+    }
+    started_[lane] = true;
+    const bool silent = laneSilent(lane);
+    if (observer_ != nullptr) {
+      observer_->onSilenceCheck(
+          SilenceCheckEvent{lanes_[lane].runId, 0, silent});
+    }
+    if (silent || limits_.maxInteractions == 0) {
+      outcomes_[lane].silent = silent;
+      finishLane(lane);
+    }
+  }
+
+  /// One checkInterval slice of one lane: scheduler pairs pulled in blocks
+  /// (same block discipline as Engine::runBurst, so the stream advances
+  /// identically), counters batched, lastChangeAt exact.
+  void runLaneBurst(std::size_t lane, std::uint64_t burst) {
+    Scheduler& sched = *lanes_[lane].sched;
+    std::uint64_t done = 0;
+    std::uint64_t nonNull = 0;
+    std::uint64_t lastChange = 0;  // 1-based offset of the last change
+    while (done < burst) {
+      const std::size_t block = static_cast<std::size_t>(
+          std::min<std::uint64_t>(pairBuf_.size(), burst - done));
+      sched.fill(pairBuf_.data(), block);
+      for (std::size_t i = 0; i < block; ++i) {
+        if (applyLane(lane, pairBuf_[i])) {
+          ++nonNull;
+          lastChange = done + i + 1;
+        }
+      }
+      done += block;
+    }
+    if (nonNull > 0) {
+      nonNull_[lane] += nonNull;
+      lastChangeAt_[lane] = steps_[lane] + lastChange;
+    }
+    steps_[lane] += burst;
+  }
+
+  /// Engine::stepCompiled on lane-local storage: identical table walks,
+  /// identical tracker updates, identical guard throws.
+  bool applyLane(std::size_t lane, Interaction interaction) {
+    const std::uint32_t leaderPos = n_;
+    if (interaction.initiator == interaction.responder) {
+      throw std::logic_error("interaction requires two distinct participants");
+    }
+    if (interaction.initiator > leaderPos ||
+        interaction.responder > leaderPos) {
+      throw std::logic_error("participant index out of range");
+    }
+    StateId* states = laneStates(lane);
+    const bool initiatorIsLeader = interaction.initiator == leaderPos;
+    const bool responderIsLeader = interaction.responder == leaderPos;
+    if (initiatorIsLeader || responderIsLeader) {
+      if (!hasLeader_) {
+        throw std::logic_error("leader interaction scheduled without a leader");
+      }
+      const AgentId agent =
+          initiatorIsLeader ? interaction.responder : interaction.initiator;
+      const StateId before = states[agent];
+      const LeaderStateId leaderBefore = leader_[lane];
+      LeaderResult r;
+      if (leaderIdx_[lane] != CompiledProtocol::kNoLeaderIndex) {
+        const CompiledProtocol::LeaderEntry& e =
+            compiled_.leaderDelta(leaderIdx_[lane], before);
+        r = LeaderResult{compiled_.leaderIdAt(e.nextLeader), e.mobile};
+        leaderIdx_[lane] = e.nextLeader;
+      } else {
+        r = proto_.leaderDelta(leaderBefore, before);
+        if (compiled_.leaderCompiled()) {
+          leaderIdx_[lane] = compiled_.leaderIndexOf(r.leader);
+        }
+      }
+      states[agent] = r.mobile;
+      leader_[lane] = r.leader;
+      if (r.mobile != before) {
+        CompiledLaneTracker tracker = laneTracker(lane);
+        tracker.remove(before);
+        tracker.add(r.mobile);
+      }
+      return r.mobile != before || r.leader != leaderBefore;
+    }
+
+    const StateId a = states[interaction.initiator];
+    const StateId b = states[interaction.responder];
+    const MobilePair r = compiled_.mobileDelta(a, b);
+    if (r.initiator == a && r.responder == b) return false;
+    states[interaction.initiator] = r.initiator;
+    states[interaction.responder] = r.responder;
+    CompiledLaneTracker tracker = laneTracker(lane);
+    tracker.remove(a);
+    tracker.remove(b);
+    tracker.add(r.initiator);
+    tracker.add(r.responder);
+    return true;
+  }
+
+  bool laneSilent(std::size_t lane) {
+    return compiledLaneSilent(
+        compiled_, proto_, activePairs_[lane], laneHist(lane),
+        hasLeader_ ? std::optional<LeaderStateId>(leader_[lane]) : std::nullopt,
+        leaderIdx_[lane]);
+  }
+
+  Configuration laneConfig(std::size_t lane) {
+    Configuration c;
+    const StateId* states = laneStates(lane);
+    c.mobile.assign(states, states + n_);
+    if (hasLeader_) c.leader = leader_[lane];
+    return c;
+  }
+
+  double elapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - startedAt_)
+        .count();
+  }
+
+  /// Seals a lane's outcome from its counters and emits the paired run_end.
+  /// The abort flags (cancelled/timedOut) are set by the caller beforehand;
+  /// everything else is derived here exactly as runUntilSilent derives it.
+  void finishLane(std::size_t lane) {
+    RunOutcome& out = outcomes_[lane];
+    out.totalInteractions = steps_[lane];
+    out.nonNullInteractions = nonNull_[lane];
+    out.convergenceInteractions = out.silent ? lastChangeAt_[lane] : steps_[lane];
+    out.finalConfig = laneConfig(lane);
+    out.namingSolved = out.silent && isNamingSolved(proto_, out.finalConfig);
+    finished_[lane] = true;
+    if (observer_ != nullptr) {
+      observer_->onRunEnd(RunEndEvent{
+          lanes_[lane].runId, out.silent, out.namingSolved, out.timedOut,
+          out.cancelled, out.convergenceInteractions, out.totalInteractions,
+          elapsedMillis()});
+    }
+  }
+
+  const Protocol& proto_;
+  const CompiledProtocol& compiled_;
+  std::vector<LaneInput>& lanes_;
+  const RunLimits& limits_;
+  const CancelToken* cancel_;
+  RunObserver* observer_;
+
+  std::size_t k_;
+  std::uint32_t n_ = 0;
+  StateId q_;
+  std::size_t words_;
+  bool hasLeader_;
+  Clock::time_point startedAt_{};
+
+  // Lane-major packed state (strides: n_, q_, words_, 1).
+  std::vector<StateId> states_;
+  std::vector<std::uint32_t> hist_;
+  std::vector<std::uint64_t> present_;
+  std::vector<std::uint64_t> activePairs_;
+  std::vector<LeaderStateId> leader_;
+  std::vector<std::uint32_t> leaderIdx_;
+  std::vector<std::uint64_t> steps_;
+  std::vector<std::uint64_t> nonNull_;
+  std::vector<std::uint64_t> lastChangeAt_;
+
+  std::vector<RunOutcome> outcomes_;
+  std::vector<bool> finished_;
+  std::vector<bool> started_;
+  std::vector<std::size_t> active_;
+  std::vector<Interaction> pairBuf_;
+};
+
+}  // namespace
+
+std::vector<RunOutcome> runLanesUntilSilent(const Protocol& proto,
+                                            const CompiledProtocol& compiled,
+                                            std::vector<LaneInput>& lanes,
+                                            const RunLimits& limits,
+                                            const CancelToken* cancel,
+                                            RunObserver* observer) {
+  if (&compiled.protocol() != &proto) {
+    throw std::logic_error(
+        "runLanesUntilSilent: table was compiled for a different protocol");
+  }
+  SoaLanes kernel(proto, compiled, lanes, limits, cancel, observer);
+  try {
+    return kernel.run();
+  } catch (...) {
+    kernel.emitSyntheticRunEnds();
+    throw;
+  }
+}
+
+}  // namespace ppn

@@ -1,0 +1,59 @@
+// Structure-of-arrays many-replica kernel: K replicas ("lanes") of ONE
+// compiled protocol advance in lockstep slices over packed per-lane state.
+//
+// Layout: the lanes' agent states, tracker histograms, presence bitsets and
+// pair counters are stored lane-major in flat arrays (lane L's agents are
+// states[L*N .. L*N+N-1], and so on), all lanes sharing the single read-only
+// Q x Q transition table of the CompiledProtocol. One interaction is a table
+// load plus the O(1) CompiledLaneTracker update on the lane's slice — the
+// same arithmetic Engine::stepCompiled performs, on a view into the packed
+// arrays instead of per-engine vectors. The per-lane working set is touched
+// contiguously and the shared table stays cache-resident across all K lanes,
+// which is where the aggregate throughput over K independent Engines comes
+// from.
+//
+// Determinism contract (enforced by tests/sim/soa_kernel_test.cpp): each lane
+// owns its private Scheduler stream and is stepped through exactly the
+// runUntilSilent state machine — initial silence poll, checkInterval-sized
+// bursts, one silence poll per burst, cancel poll per burst, wall-clock
+// watchdog — so for every lane count the RunOutcomes, final configurations
+// and per-runId observer event sequences are bit-identical to K independent
+// runUntilSilent/runBurst calls (wall-clock fields excepted). Lanes that
+// converge or exhaust their budget RETIRE: they are dropped from the active
+// set and cost nothing while the remaining lanes keep running.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/compiled.h"
+#include "sim/runner.h"
+
+namespace ppn {
+
+/// One lane of a kernel invocation: where the replica starts, the scheduler
+/// stream it consumes (owned; advanced exactly as runUntilSilent would), and
+/// the runId labeling its observer events.
+struct LaneInput {
+  Configuration start;
+  std::unique_ptr<Scheduler> sched;
+  std::uint64_t runId = 0;
+};
+
+/// Runs every lane to completion (silence, interaction budget, watchdog or
+/// cancellation) under `limits`, interleaving the active lanes in
+/// checkInterval-sized slices. All lanes must share the same numMobile and
+/// match the protocol's leader presence (std::invalid_argument otherwise;
+/// per-state validation mirrors Engine's std::logic_error).
+///
+/// `observer` receives the same per-lane event sequences runUntilSilent
+/// emits, interleaved across lanes; `cancel` is polled once per lane slice.
+/// Outcomes are returned in lane order. Exception safety mirrors
+/// RunEndPairGuard: if a lane throws, every started-but-unfinished lane gets
+/// a synthetic run_end before the exception leaves the kernel.
+std::vector<RunOutcome> runLanesUntilSilent(
+    const Protocol& proto, const CompiledProtocol& compiled,
+    std::vector<LaneInput>& lanes, const RunLimits& limits,
+    const CancelToken* cancel = nullptr, RunObserver* observer = nullptr);
+
+}  // namespace ppn

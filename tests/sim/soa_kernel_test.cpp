@@ -1,0 +1,324 @@
+#include "sim/soa_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compiled.h"
+#include "core/engine.h"
+#include "naming/registry.h"
+#include "obs/observer.h"
+#include "sim/runner.h"
+#include "util/seed.h"
+
+namespace ppn {
+namespace {
+
+// The SoA kernel's whole value rests on one claim: K lanes advanced in
+// lockstep produce EXACTLY what K independent runUntilSilent calls produce —
+// same outcomes, same final configurations, same per-runId observer event
+// sequences — at every lane count. These tests enforce that claim
+// differentially across the full protocol registry.
+
+/// Records each run's event sequence as formatted lines keyed by runId.
+/// Wall-clock fields are excluded (the determinism contract excepts them).
+class SequenceObserver final : public RunObserver {
+ public:
+  void onRunStart(const RunStartEvent& e) override {
+    append(e.runId, "start mobile=" + std::to_string(e.numMobile) +
+                        " participants=" + std::to_string(e.numParticipants));
+  }
+  void onRunEnd(const RunEndEvent& e) override {
+    std::ostringstream os;
+    os << "end silent=" << e.silent << " named=" << e.named
+       << " timedOut=" << e.timedOut << " cancelled=" << e.cancelled
+       << " conv=" << e.convergenceInteractions
+       << " total=" << e.totalInteractions;
+    append(e.runId, os.str());
+  }
+  void onSilenceCheck(const SilenceCheckEvent& e) override {
+    append(e.runId, "silence@" + std::to_string(e.interactions) +
+                        (e.silent ? " silent" : " live"));
+  }
+  void onWatchdogAbort(const WatchdogAbortEvent& e) override {
+    append(e.runId, "watchdog@" + std::to_string(e.interactions));
+  }
+  void onCancelled(const CancelledEvent& e) override {
+    append(e.runId, "cancelled@" + std::to_string(e.interactions));
+  }
+
+  std::map<std::uint64_t, std::vector<std::string>> sequences() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sequences_;
+  }
+
+ private:
+  void append(std::uint64_t runId, std::string line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sequences_[runId].push_back(std::move(line));
+  }
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::vector<std::string>> sequences_;
+};
+
+struct RegistryCase {
+  const char* key;
+  StateId p;
+  std::uint32_t n;
+  bool uniformInit;
+};
+
+/// Small instances of all six registry protocols — every transition-table
+/// shape the compiled envelope supports (leaderless, initialized leader,
+/// arbitrary leader, counting's N < P slack, global-leader's BST walk).
+const RegistryCase kCases[] = {
+    {"asymmetric", 8, 8, false},       {"symmetric-global", 8, 8, false},
+    {"leader-uniform", 8, 8, true},    {"counting", 9, 8, false},
+    {"selfstab-weak", 6, 6, false},    {"global-leader", 4, 4, false},
+};
+
+/// Derives `lanes` starts + scheduler seeds the runBatch way (util/seed.h).
+std::vector<LaneInput> makeLanes(const Protocol& proto, const RegistryCase& c,
+                                 std::uint32_t lanes, std::uint64_t seed,
+                                 std::uint64_t runIdBase) {
+  std::vector<Rng> rngs = splitRunRngs(seed, lanes);
+  std::vector<LaneInput> inputs(lanes);
+  const std::uint32_t participants = c.n + (proto.hasLeader() ? 1u : 0u);
+  for (std::uint32_t r = 0; r < lanes; ++r) {
+    inputs[r].start = c.uniformInit
+                          ? uniformConfiguration(proto, c.n)
+                          : arbitraryConfiguration(proto, c.n, rngs[r]);
+    inputs[r].sched = makeScheduler(SchedulerKind::kRandom, participants,
+                                    rngs[r].next());
+    inputs[r].runId = runIdBase + r;
+  }
+  return inputs;
+}
+
+void expectSameOutcome(const RunOutcome& kernel, const RunOutcome& scalar,
+                       const std::string& label) {
+  EXPECT_EQ(kernel.silent, scalar.silent) << label;
+  EXPECT_EQ(kernel.namingSolved, scalar.namingSolved) << label;
+  EXPECT_EQ(kernel.timedOut, scalar.timedOut) << label;
+  EXPECT_EQ(kernel.cancelled, scalar.cancelled) << label;
+  EXPECT_EQ(kernel.convergenceInteractions, scalar.convergenceInteractions)
+      << label;
+  EXPECT_EQ(kernel.totalInteractions, scalar.totalInteractions) << label;
+  EXPECT_EQ(kernel.nonNullInteractions, scalar.nonNullInteractions) << label;
+  EXPECT_EQ(kernel.numMobile, scalar.numMobile) << label;
+  EXPECT_TRUE(kernel.finalConfig == scalar.finalConfig) << label;
+}
+
+class SoaKernelRegistry : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SoaKernelRegistry, BitIdenticalToIndependentRunsAcrossRegistry) {
+  const std::uint32_t lanes = GetParam();
+  const RunLimits limits{20'000, 64};
+  for (const RegistryCase& c : kCases) {
+    const auto proto = makeProtocol(c.key, c.p);
+    const CompiledProtocol compiled(*proto);
+
+    SequenceObserver kernelObs;
+    std::vector<LaneInput> inputs = makeLanes(*proto, c, lanes, 11, 500);
+    std::vector<RunOutcome> kernelOut = runLanesUntilSilent(
+        *proto, compiled, inputs, limits, nullptr, &kernelObs);
+    ASSERT_EQ(kernelOut.size(), lanes) << c.key;
+
+    // Scalar reference: the same derivation, one Engine per run.
+    SequenceObserver scalarObs;
+    std::vector<LaneInput> ref = makeLanes(*proto, c, lanes, 11, 500);
+    for (std::uint32_t r = 0; r < lanes; ++r) {
+      Engine engine(*proto, std::move(ref[r].start));
+      engine.attachCompiled(&compiled);
+      const RunOutcome scalar =
+          runUntilSilent(engine, *ref[r].sched, limits, nullptr, &scalarObs,
+                         ref[r].runId);
+      expectSameOutcome(kernelOut[r], scalar,
+                        std::string(c.key) + " lane " + std::to_string(r) +
+                            " of " + std::to_string(lanes));
+    }
+    EXPECT_EQ(kernelObs.sequences(), scalarObs.sequences())
+        << c.key << " lanes=" << lanes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, SoaKernelRegistry,
+                         ::testing::Values(1u, 7u, 64u, 1024u),
+                         [](const auto& paramInfo) {
+                           return "K" + std::to_string(paramInfo.param);
+                         });
+
+TEST(SoaKernel, LanePartitioningNeverChangesOutcomes) {
+  // Splitting the same 24 runs into blocks of 1 / 5 / 24 lanes must produce
+  // identical outcome vectors (the batch engine relies on this to pick its
+  // task granularity freely).
+  const auto proto = makeProtocol("asymmetric", 8);
+  const CompiledProtocol compiled(*proto);
+  const RunLimits limits{20'000, 64};
+  const std::uint32_t runs = 24;
+
+  auto runPartitioned = [&](std::uint32_t blockSize) {
+    std::vector<RunOutcome> all;
+    for (std::uint32_t lo = 0; lo < runs; lo += blockSize) {
+      const std::uint32_t hi = std::min(runs, lo + blockSize);
+      // Derivation is per-run (prefix-stable), so a block re-derives its
+      // slice exactly as the monolithic call derives the whole vector.
+      std::vector<Rng> rngs = splitRunRngs(3, runs);
+      std::vector<LaneInput> inputs(hi - lo);
+      for (std::uint32_t r = lo; r < hi; ++r) {
+        inputs[r - lo].start = arbitraryConfiguration(*proto, 8, rngs[r]);
+        inputs[r - lo].sched =
+            makeScheduler(SchedulerKind::kRandom, 8, rngs[r].next());
+        inputs[r - lo].runId = r;
+      }
+      std::vector<RunOutcome> block =
+          runLanesUntilSilent(*proto, compiled, inputs, limits);
+      for (auto& out : block) all.push_back(std::move(out));
+    }
+    return all;
+  };
+
+  const std::vector<RunOutcome> whole = runPartitioned(24);
+  for (const std::uint32_t blockSize : {1u, 5u}) {
+    const std::vector<RunOutcome> split = runPartitioned(blockSize);
+    ASSERT_EQ(split.size(), whole.size());
+    for (std::uint32_t r = 0; r < runs; ++r) {
+      expectSameOutcome(split[r], whole[r],
+                        "block=" + std::to_string(blockSize) + " run " +
+                            std::to_string(r));
+    }
+  }
+}
+
+TEST(SoaKernel, ConvergedLanesRetireWhileOthersRun) {
+  // One lane starts silent (all agents distinct), the other needs work: the
+  // silent lane must report zero interactions while the live lane converges.
+  const auto proto = makeProtocol("asymmetric", 6);
+  const CompiledProtocol compiled(*proto);
+  std::vector<LaneInput> inputs(2);
+  inputs[0].start.mobile = {0, 1, 2, 3, 4, 5};  // already named
+  inputs[0].sched = makeScheduler(SchedulerKind::kRandom, 6, 1);
+  inputs[0].runId = 0;
+  inputs[1].start.mobile = {0, 0, 0, 0, 0, 0};  // all homonyms
+  inputs[1].sched = makeScheduler(SchedulerKind::kRandom, 6, 2);
+  inputs[1].runId = 1;
+
+  const std::vector<RunOutcome> out =
+      runLanesUntilSilent(*proto, compiled, inputs, RunLimits{200'000, 64});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0].silent);
+  EXPECT_EQ(out[0].totalInteractions, 0u);
+  EXPECT_EQ(out[0].convergenceInteractions, 0u);
+  EXPECT_TRUE(out[1].silent);
+  EXPECT_TRUE(out[1].namingSolved);
+  EXPECT_GT(out[1].totalInteractions, 0u);
+}
+
+TEST(SoaKernel, ZeroBudgetMatchesScalarSemantics) {
+  const auto proto = makeProtocol("asymmetric", 4);
+  const CompiledProtocol compiled(*proto);
+  std::vector<LaneInput> inputs(1);
+  inputs[0].start.mobile = {0, 0, 0, 0};
+  inputs[0].sched = makeScheduler(SchedulerKind::kRandom, 4, 9);
+  const std::vector<RunOutcome> out =
+      runLanesUntilSilent(*proto, compiled, inputs, RunLimits{0, 64});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].silent);
+  EXPECT_EQ(out[0].totalInteractions, 0u);
+}
+
+TEST(SoaKernel, EmptyLaneVectorYieldsEmptyResult) {
+  const auto proto = makeProtocol("asymmetric", 4);
+  const CompiledProtocol compiled(*proto);
+  std::vector<LaneInput> inputs;
+  EXPECT_TRUE(
+      runLanesUntilSilent(*proto, compiled, inputs, RunLimits{100, 10}).empty());
+}
+
+TEST(SoaKernel, RejectsMixedPopulationsAndMissingSchedulers) {
+  const auto proto = makeProtocol("asymmetric", 6);
+  const CompiledProtocol compiled(*proto);
+  {
+    std::vector<LaneInput> inputs(2);
+    inputs[0].start.mobile = {0, 1, 2};
+    inputs[0].sched = makeScheduler(SchedulerKind::kRandom, 3, 1);
+    inputs[1].start.mobile = {0, 1};  // different N
+    inputs[1].sched = makeScheduler(SchedulerKind::kRandom, 2, 1);
+    EXPECT_THROW(
+        runLanesUntilSilent(*proto, compiled, inputs, RunLimits{100, 10}),
+        std::invalid_argument);
+  }
+  {
+    std::vector<LaneInput> inputs(1);
+    inputs[0].start.mobile = {0, 1, 2};  // no scheduler
+    EXPECT_THROW(
+        runLanesUntilSilent(*proto, compiled, inputs, RunLimits{100, 10}),
+        std::invalid_argument);
+  }
+  {
+    std::vector<LaneInput> inputs(1);
+    inputs[0].start.mobile = {0, 99};  // state outside P=6
+    inputs[0].sched = makeScheduler(SchedulerKind::kRandom, 2, 1);
+    EXPECT_THROW(
+        runLanesUntilSilent(*proto, compiled, inputs, RunLimits{100, 10}),
+        std::logic_error);
+  }
+}
+
+TEST(SoaKernel, RejectsForeignCompiledTable) {
+  const auto proto = makeProtocol("asymmetric", 6);
+  const auto other = makeProtocol("asymmetric", 6);
+  const CompiledProtocol compiled(*other);
+  std::vector<LaneInput> inputs(1);
+  inputs[0].start.mobile = {0, 1, 2, 3, 4, 5};
+  inputs[0].sched = makeScheduler(SchedulerKind::kRandom, 6, 1);
+  EXPECT_THROW(
+      runLanesUntilSilent(*proto, compiled, inputs, RunLimits{100, 10}),
+      std::logic_error);
+}
+
+TEST(SoaKernel, CancellationFinishesEveryLaneWithPairedEvents) {
+  // A pre-cancelled token: every lane must still emit a paired run_start/
+  // run_end (cancelled), exactly like runUntilSilent under cancellation.
+  const auto proto = makeProtocol("asymmetric", 8);
+  const CompiledProtocol compiled(*proto);
+  CancelToken cancel{true};
+  SequenceObserver obs;
+  std::vector<LaneInput> inputs;
+  {
+    RegistryCase c{"asymmetric", 8, 8, false};
+    inputs = makeLanes(*proto, c, 5, 21, 0);
+  }
+  const std::vector<RunOutcome> out = runLanesUntilSilent(
+      *proto, compiled, inputs, RunLimits{20'000, 64}, &cancel, &obs);
+  const auto sequences = obs.sequences();
+  ASSERT_EQ(sequences.size(), 5u);
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    if (out[r].silent) continue;  // born-silent lanes finish before the poll
+    EXPECT_TRUE(out[r].cancelled) << r;
+    const auto& seq = sequences.at(r);
+    ASSERT_GE(seq.size(), 2u);
+    EXPECT_EQ(seq.front().rfind("start", 0), 0u);
+    EXPECT_EQ(seq.back().rfind("end", 0), 0u);
+  }
+
+  // And the scalar reference behaves identically under the same token.
+  RegistryCase c{"asymmetric", 8, 8, false};
+  std::vector<LaneInput> ref = makeLanes(*proto, c, 5, 21, 0);
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    Engine engine(*proto, std::move(ref[r].start));
+    engine.attachCompiled(&compiled);
+    const RunOutcome scalar = runUntilSilent(engine, *ref[r].sched,
+                                             RunLimits{20'000, 64}, &cancel);
+    expectSameOutcome(out[r], scalar, "cancelled lane " + std::to_string(r));
+  }
+}
+
+}  // namespace
+}  // namespace ppn
