@@ -42,7 +42,24 @@ ppn-batch-throughput (E26):
     SKIPPED, not failed (lane batching cannot beat one dedicated core when
     there is only one core).
 
+ppn-explore-memory (E27):
+  * every registry protocol has exactly one row whose per-component ledger
+    bytes (configs/adjacency/dedup/frontier/codec) sum exactly to
+    totalBytes, with highWaterBytes >= totalBytes and a consistent
+    bytesPerNode = totalBytes / nodes;
+  * the rssProbe block is internally consistent: ledgerVsRssRatio ==
+    ledgerTotalBytes / rssDeltaBytes, and the ratio stays within a loose
+    [0.5, 1.5] band — the deterministic malloc-chunk model tracking the
+    kernel's real RSS delta. (The tighter 15% acceptance band is asserted
+    on the committed baseline, which was generated on a quiet heap; CI
+    re-runs tolerate allocator noise.) When rssDeltaBytes == 0 the sampler
+    was unavailable and the drift gate is SKIPPED, not failed;
+  * with a second argument naming a committed baseline report, bytes/node
+    must not regress by more than 10% per protocol against it. An absent
+    or unreadable baseline SKIPS the gate (first commit of the report).
+
 Usage: check_bench.py BENCH_report.json [min_speedup]
+       check_bench.py BENCH_explore_memory.json [baseline.json]
 """
 import json
 import sys
@@ -234,11 +251,93 @@ def check_batch_throughput(doc, min_speedup):
           + f"; {floor_note}")
 
 
+MEMORY_ROW_COMPONENTS = (
+    "configsBytes", "adjacencyBytes", "dedupBytes", "frontierBytes",
+    "codecBytes",
+)
+
+
+def check_explore_memory(doc, baseline_path):
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail("empty or missing rows")
+
+    seen = {}
+    for row in rows:
+        proto = row.get("protocol")
+        if proto not in EXPECTED_PROTOCOLS:
+            fail(f"unknown protocol {proto!r}")
+        if proto in seen:
+            fail(f"duplicate row for {proto!r}")
+        nodes = row.get("nodes", 0)
+        if not isinstance(nodes, int) or nodes < 1:
+            fail(f"{proto}: missing/invalid nodes: {nodes!r}")
+        component_sum = 0
+        for key in MEMORY_ROW_COMPONENTS + ("totalBytes", "highWaterBytes"):
+            v = row.get(key)
+            if not isinstance(v, int) or v < 0:
+                fail(f"{proto}: missing/invalid {key}: {v!r}")
+            if key in MEMORY_ROW_COMPONENTS:
+                component_sum += v
+        if component_sum != row["totalBytes"]:
+            fail(f"{proto}: ledger components sum to {component_sum}, not "
+                 f"totalBytes={row['totalBytes']}")
+        if row["highWaterBytes"] < row["totalBytes"]:
+            fail(f"{proto}: highWaterBytes {row['highWaterBytes']} below "
+                 f"totalBytes {row['totalBytes']}")
+        bpn = row.get("bytesPerNode", 0.0)
+        if abs(bpn - row["totalBytes"] / nodes) > 1e-6 * max(bpn, 1.0):
+            fail(f"{proto}: bytesPerNode {bpn} inconsistent with "
+                 f"{row['totalBytes']}/{nodes}")
+        seen[proto] = bpn
+
+    missing = EXPECTED_PROTOCOLS - set(seen)
+    if missing:
+        fail(f"missing rows for {sorted(missing)}")
+
+    probe = doc.get("rssProbe")
+    drift_note = "rss drift skipped (sampler unavailable)"
+    if isinstance(probe, dict) and probe.get("rssDeltaBytes", 0) > 0:
+        delta = probe["rssDeltaBytes"]
+        ledger = probe.get("ledgerTotalBytes", 0)
+        ratio = probe.get("ledgerVsRssRatio", 0.0)
+        if abs(ratio - ledger / delta) > 1e-6 * max(ratio, 1.0):
+            fail(f"rssProbe: ledgerVsRssRatio {ratio} inconsistent with "
+                 f"{ledger}/{delta}")
+        if not 0.5 <= ratio <= 1.5:
+            fail(f"rssProbe: ledger/RSS ratio {ratio:.3f} outside [0.5, 1.5] "
+                 f"— the byte ledger no longer tracks real memory use")
+        drift_note = f"rss drift ratio {ratio:.3f}"
+
+    gate_note = "baseline gate skipped (no baseline)"
+    if baseline_path is not None:
+        try:
+            with open(baseline_path, encoding="utf-8") as f:
+                base = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            base = None
+        if base is not None and base.get("kind") == "ppn-explore-memory":
+            for brow in base.get("rows", []):
+                proto = brow.get("protocol")
+                base_bpn = brow.get("bytesPerNode", 0.0)
+                if proto not in seen or not base_bpn > 0.0:
+                    continue
+                if seen[proto] > base_bpn * 1.10:
+                    fail(f"{proto}: bytes/node {seen[proto]:.1f} regressed "
+                         f"more than 10% over the committed baseline "
+                         f"{base_bpn:.1f}")
+            gate_note = "baseline gate enforced (10% bytes/node)"
+
+    print(f"check_bench: OK: memory ledger consistent on {len(rows)} "
+          "protocols, bytes/node "
+          + ", ".join(f"{p}={bpn:.1f}" for p, bpn in sorted(seen.items()))
+          + f"; {drift_note}; {gate_note}")
+
+
 def main(argv):
     if len(argv) < 2:
-        fail(f"usage: {argv[0]} BENCH_report.json [min_speedup]")
+        fail(f"usage: {argv[0]} BENCH_report.json [min_speedup|baseline]")
     path = argv[1]
-    min_speedup = float(argv[2]) if len(argv) > 2 else 1.0
 
     try:
         with open(path, encoding="utf-8") as f:
@@ -247,6 +346,13 @@ def main(argv):
         fail(f"{path}: {e}")
 
     kind = doc.get("kind")
+    if kind == "ppn-explore-memory":
+        # The optional second argument is a baseline report path here, not a
+        # speedup floor — memory reports gate on bytes/node regression.
+        check_explore_memory(doc, argv[2] if len(argv) > 2 else None)
+        return
+
+    min_speedup = float(argv[2]) if len(argv) > 2 else 1.0
     if kind == "ppn-step-throughput":
         check_step_throughput(doc, min_speedup)
     elif kind == "ppn-explore-throughput":

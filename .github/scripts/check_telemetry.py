@@ -25,7 +25,14 @@ Explore family (the E22 acceptance contract — lower_bound_search etc.):
     examined <= total, and the stream ends with done=true;
   * metrics counters agree: explorations == done explore_progress lines,
     explorations_truncated == explore_truncated lines, explore_phases ==
-    phase_end lines.
+    phase_end lines;
+  * memory_sample events (E27) carry the full per-component ledger
+    (configs/adjacency/dedup/frontier/codec bytes), the components sum to
+    total_bytes exactly, high_water_bytes is monotone non-decreasing per
+    exploration phase and never below total_bytes, an id's samples stop
+    after its done=true sample, and — the drift bound — the deterministic
+    ledger total never exceeds the sampled process RSS by more than 5%
+    when an RSS reading is available (rss_bytes > 0).
 
 With --trace FILE, also validates a Chrome trace_event export:
   * top-level object with a traceEvents list and displayTimeUnit;
@@ -74,8 +81,17 @@ RUN_EVENTS = {
 }
 EXPLORE_EVENTS = {
     "explore_progress", "phase_start", "phase_end", "explore_truncated",
-    "search_progress",
+    "search_progress", "memory_sample",
 }
+MEMORY_SAMPLE_FIELDS = (
+    "explore", "configs_bytes", "adjacency_bytes", "dedup_bytes",
+    "frontier_bytes", "codec_bytes", "total_bytes", "high_water_bytes",
+    "rss_bytes", "done",
+)
+MEMORY_COMPONENT_FIELDS = (
+    "configs_bytes", "adjacency_bytes", "dedup_bytes", "frontier_bytes",
+    "codec_bytes",
+)
 CAMPAIGN_EVENTS = {
     "campaign_start", "campaign_end", "shard_spawn", "shard_exit",
     "unit_start", "unit_end", "unit_retry", "unit_failed",
@@ -151,9 +167,11 @@ def check_run_family(events_path, events):
 def check_explore_family(events_path, events):
     """Monotone progress per exploration, LIFO phases, monotone searches."""
     last_progress = {}                 # explore id -> (lineno, obj)
+    last_memory = {}                   # explore id -> (lineno, obj)
     phase_stacks = defaultdict(list)   # explore id -> [open phase names]
     last_search = {}                   # search id -> (lineno, obj)
     done_explorations = 0
+    memory_samples = 0
     for lineno, obj in events:
         kind = obj["event"]
         if kind == "explore_progress":
@@ -172,6 +190,40 @@ def check_explore_family(events_path, events):
                              f"{obj['explore']} {field} went backwards "
                              f"({pobj[field]} -> {obj[field]})")
             last_progress[obj["explore"]] = (lineno, obj)
+        elif kind == "memory_sample":
+            for field in MEMORY_SAMPLE_FIELDS:
+                if field not in obj:
+                    fail(f"{events_path}:{lineno}: memory_sample missing "
+                         f"{field}")
+            component_sum = sum(obj[f] for f in MEMORY_COMPONENT_FIELDS)
+            if component_sum != obj["total_bytes"]:
+                fail(f"{events_path}:{lineno}: exploration {obj['explore']} "
+                     f"memory_sample components sum to {component_sum}, not "
+                     f"total_bytes={obj['total_bytes']}")
+            if obj["high_water_bytes"] < obj["total_bytes"]:
+                fail(f"{events_path}:{lineno}: exploration {obj['explore']} "
+                     f"high_water_bytes {obj['high_water_bytes']} below "
+                     f"total_bytes {obj['total_bytes']}")
+            if obj["rss_bytes"] > 0 and \
+                    obj["total_bytes"] > obj["rss_bytes"] * 1.05:
+                fail(f"{events_path}:{lineno}: exploration {obj['explore']} "
+                     f"ledger total {obj['total_bytes']} exceeds sampled "
+                     f"RSS {obj['rss_bytes']} by more than 5% — the ledger "
+                     f"drifted from reality")
+            prev = last_memory.get(obj["explore"])
+            if prev is not None:
+                pline, pobj = prev
+                if pobj["done"]:
+                    fail(f"{events_path}:{lineno}: memory_sample for "
+                         f"exploration {obj['explore']} after its done "
+                         f"sample (line {pline})")
+                if obj["high_water_bytes"] < pobj["high_water_bytes"]:
+                    fail(f"{events_path}:{lineno}: exploration "
+                         f"{obj['explore']} high_water_bytes went backwards "
+                         f"({pobj['high_water_bytes']} -> "
+                         f"{obj['high_water_bytes']})")
+            last_memory[obj["explore"]] = (lineno, obj)
+            memory_samples += 1
         elif kind == "phase_start":
             phase_stacks[obj["explore"]].append(obj["phase"])
             if obj["phase"] == "explore":
@@ -182,6 +234,14 @@ def check_explore_family(events_path, events):
                     fail(f"{events_path}:{lineno}: new explore phase for "
                          f"exploration {obj['explore']} but its previous "
                          f"progress (line {prev[0]}) never reached done=true")
+                # Same re-basing for the memory ledger stream: a new explore
+                # phase restarts the high-water mark from a fresh tracker.
+                prev = last_memory.pop(obj["explore"], None)
+                if prev is not None and not prev[1]["done"]:
+                    fail(f"{events_path}:{lineno}: new explore phase for "
+                         f"exploration {obj['explore']} but its previous "
+                         f"memory_sample (line {prev[0]}) never reached "
+                         f"done=true")
         elif kind == "phase_end":
             stack = phase_stacks[obj["explore"]]
             if not stack:
@@ -223,11 +283,15 @@ def check_explore_family(events_path, events):
         if not obj["done"]:
             fail(f"{events_path}:{lineno}: exploration {eid}'s last "
                  f"explore_progress has done=false")
+    for eid, (lineno, obj) in last_memory.items():
+        if not obj["done"]:
+            fail(f"{events_path}:{lineno}: exploration {eid}'s last "
+                 f"memory_sample has done=false")
     for sid, (lineno, obj) in last_search.items():
         if not obj["done"]:
             fail(f"{events_path}:{lineno}: search {sid}'s last "
                  f"search_progress has done=false")
-    return done_explorations, len(last_search)
+    return done_explorations, len(last_search), memory_samples
 
 
 def check_campaign_family(events_path, events):
@@ -535,9 +599,10 @@ def main(argv):
     ends = Counter()
     if has_runs:
         ends = check_run_family(events_path, events)
-    explorations, searches = 0, 0
+    explorations, searches, memory_samples = 0, 0, 0
     if has_explore:
-        explorations, searches = check_explore_family(events_path, events)
+        explorations, searches, memory_samples = \
+            check_explore_family(events_path, events)
     unit_ends, unit_fails, shard_spawns, resource_samples = 0, 0, 0, 0
     if has_campaign:
         unit_ends, unit_fails, shard_spawns, resource_samples = \
@@ -609,7 +674,8 @@ def main(argv):
         parts.append(f"{sum(ends.values())} runs, "
                      f"{kinds['fault_injected']} faults")
     if has_explore:
-        parts.append(f"{explorations} explorations, {searches} searches")
+        parts.append(f"{explorations} explorations, {searches} searches, "
+                     f"{memory_samples} memory samples")
     if has_campaign:
         parts.append(f"{unit_ends} units ({unit_fails} failed, "
                      f"{shard_spawns} shard spawns, "

@@ -11,11 +11,17 @@
 //  * ring / line — the leaderless protocols fail once two homonyms are
 //    non-adjacent.
 //
-//   ./graph_topologies [--csv] [--threads K]
+//   ./graph_topologies [--csv] [--threads K] [--memory-budget BYTES]
+//                      [--memory-stats-out mem.json]
 //
 // --threads K parallelizes the checker explorations (0 = hardware
-// concurrency); verdicts are bit-identical for any K.
+// concurrency); verdicts are bit-identical for any K. --memory-budget caps
+// every exploration at that many ledger bytes (0 = off) — an over-budget
+// check reads "unknown" exactly like a node-cap truncation;
+// --memory-stats-out writes per-exploration memory peaks (ppn-memory-stats
+// JSON).
 #include <cstdio>
+#include <memory>
 
 #include "analysis/global_checker.h"
 #include "analysis/initial_sets.h"
@@ -24,6 +30,7 @@
 #include "naming/asymmetric_naming.h"
 #include "naming/leader_uniform_naming.h"
 #include "naming/selfstab_weak_naming.h"
+#include "obs/memory.h"
 #include "util/cli.h"
 #include "util/table.h"
 
@@ -43,12 +50,24 @@ int main(int argc, char** argv) {
   const auto* csv = cli.addFlag("csv", "emit CSV");
   const auto* threads = cli.addUint(
       "threads", "exploration worker threads (0 = all cores)", 1);
+  const auto* memoryBudget = cli.addUint(
+      "memory-budget",
+      "byte budget per exploration (0 = off); over-budget cells are unknown",
+      0);
+  const auto* memStatsOut = cli.addString(
+      "memory-stats-out", "write per-exploration memory peaks (JSON) here", "");
   if (!cli.parse(argc, argv)) return 1;
+  std::unique_ptr<MemoryStatsCollector> memStats;
+  if (!memStatsOut->empty()) memStats = std::make_unique<MemoryStatsCollector>();
+  std::uint64_t nextExploreId = 0;
   auto topoOptions = [&](const InteractionGraph& graph, std::size_t maxNodes) {
     ExploreOptions options;
     options.maxNodes = maxNodes;
+    options.maxBytes = *memoryBudget;
     options.threads = static_cast<std::uint32_t>(*threads);
     options.topology = &graph;
+    options.observer = memStats.get();
+    options.exploreId = ++nextExploreId;
     return options;
   };
 
@@ -147,5 +166,10 @@ int main(int argc, char** argv) {
   std::printf("E14: naming across interaction topologies (exact checking)\n\n");
   std::fputs((*csv ? table.renderCsv() : table.render()).c_str(), stdout);
   std::printf("\nall verdicts matched expectations: %s\n", ok ? "PASS" : "FAIL");
+  if (memStats && !memStats->writeJson(*memStatsOut)) {
+    std::fprintf(stderr, "graph_topologies: cannot write '%s'\n",
+                 memStatsOut->c_str());
+    return 1;
+  }
   return ok ? 0 : 2;
 }

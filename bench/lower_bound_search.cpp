@@ -11,6 +11,7 @@
 //   ./lower_bound_search [--csv] [--json out.json] [--tiny] [--threads K]
 //                        [--explore-stats-out stats.jsonl]
 //                        [--trace-out trace.json] [--metrics-out metrics.json]
+//                        [--memory-budget BYTES] [--memory-stats-out mem.json]
 //                        [--progress]
 //
 // Telemetry (E22): --explore-stats-out streams JSONL explore/search progress
@@ -22,6 +23,12 @@
 // dispatches candidates to K workers (0 = hardware concurrency); counts,
 // verdicts and solver indices are deterministic for any K.
 //
+// Memory (E27): --memory-budget caps every per-candidate exploration at that
+// many ledger bytes (0 = off); a budget-truncated candidate counts `unknown`
+// like a node-cap truncation, deterministically for any thread count.
+// --memory-stats-out collects the memory_sample stream into a per-exploration
+// peak/final summary (ppn-memory-stats JSON).
+//
 // A candidate whose exploration is truncated decides nothing: it is counted
 // `unknown`, warned about on stderr, and the job's verdict degrades to
 // "unknown" — a lower-bound claim is only conclusive at unknown == 0.
@@ -32,6 +39,7 @@
 
 #include "analysis/protocol_search.h"
 #include "obs/events.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/probes.h"
 #include "obs/progress.h"
@@ -58,6 +66,12 @@ int main(int argc, char** argv) {
       cli.addFlag("progress", "print periodic search progress to stderr");
   const auto* threads = cli.addUint(
       "threads", "candidate-dispatch worker threads (0 = all cores)", 1);
+  const auto* memoryBudget = cli.addUint(
+      "memory-budget",
+      "byte budget per exploration (0 = off); over-budget checks are unknown",
+      0);
+  const auto* memStatsOut = cli.addString(
+      "memory-stats-out", "write per-exploration memory peaks (JSON) here", "");
   if (!cli.parse(argc, argv)) return 1;
 
   struct Job {
@@ -101,6 +115,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<ppn::ExploreProgressReporter> reporter;
   std::unique_ptr<ppn::ChromeTraceWriter> traceWriter;
   std::unique_ptr<ppn::ChromeTraceObserver> traceProbe;
+  std::unique_ptr<ppn::MemoryStatsCollector> memStats;
   ppn::MultiExploreObserver observers;
   try {
     if (!statsOut->empty()) {
@@ -124,6 +139,10 @@ int main(int argc, char** argv) {
     reporter = std::make_unique<ppn::ExploreProgressReporter>();
     observers.add(reporter.get());
   }
+  if (!memStatsOut->empty()) {
+    memStats = std::make_unique<ppn::MemoryStatsCollector>();
+    observers.add(memStats.get());
+  }
   ppn::ExploreObserver* observer = observers.empty() ? nullptr : &observers;
 
   struct Row {
@@ -140,6 +159,7 @@ int main(int argc, char** argv) {
     ++searchId;
     ppn::SearchOptions searchOptions;
     searchOptions.threads = static_cast<std::uint32_t>(*threads);
+    searchOptions.maxBytes = *memoryBudget;
     searchOptions.observer = observer;
     searchOptions.searchId = searchId;
     const ppn::SearchOutcome out =
@@ -225,6 +245,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << registry.toJson() << '\n';
+  }
+  if (memStats && !memStats->writeJson(*memStatsOut)) {
+    std::fprintf(stderr, "lower_bound_search: cannot write '%s'\n",
+                 memStatsOut->c_str());
+    return 1;
   }
   return ok ? 0 : 2;
 }

@@ -13,6 +13,7 @@
 //                 [--step-throughput-out=report.json]
 //                 [--explore-throughput-out=report.json]
 //                 [--batch-throughput-out=report.json]
+//                 [--memory-profile-out=report.json]
 //                 [google-benchmark flags...]
 // With the telemetry flags set it runs a small observed sample batch after
 // the benchmarks, streaming its JSONL events and dumping the metrics
@@ -20,10 +21,13 @@
 // experiment INSTEAD of the benchmarks and writes the JSON report consumed
 // by .github/scripts/check_bench.py (see EXPERIMENTS.md E21);
 // --explore-throughput-out does the same for the E23 parallel-exploration
-// and parallel-search experiment (EXPERIMENTS.md E23), and
+// and parallel-search experiment (EXPERIMENTS.md E23),
 // --batch-throughput-out for the E26 many-replica SoA kernel / batch-engine
-// experiment (EXPERIMENTS.md E26).
+// experiment (EXPERIMENTS.md E26), and --memory-profile-out for the E27
+// exploration memory profile (per-component bytes/node across the registry,
+// plus a fresh-heap ledger-vs-RSS drift probe; EXPERIMENTS.md E27).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -45,8 +49,10 @@
 #include "core/engine.h"
 #include "naming/registry.h"
 #include "obs/events.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/probes.h"
+#include "obs/resource_sampler.h"
 #include "sched/deterministic_schedulers.h"
 #include "sched/random_scheduler.h"
 #include "sim/batch_engine.h"
@@ -795,6 +801,145 @@ int dumpBatchThroughput(const std::string& path) {
   return allIdentical ? 0 : 1;
 }
 
+// --- E27: exploration memory profile ----------------------------------------
+
+/// Runs the E27 memory-profile experiment: one exploration per registry
+/// protocol with a MemoryStatsCollector attached, reporting per-component
+/// ledger bytes and bytes/node from each exploration's final (done=true)
+/// memory_sample. The first (largest) case runs on a FRESH heap; its ledger
+/// total is compared against the RSS growth observed while the graph and
+/// dedup table were still live (the final sample's rss_bytes minus the RSS
+/// just before exploring), pinning the DESIGN-18 malloc-chunk model against
+/// the real allocator. Later cases reuse freed arena pages, so only the
+/// anchor carries the drift block. Writes the ppn-explore-memory report
+/// consumed by .github/scripts/check_bench.py.
+int dumpExploreMemory(const std::string& path) {
+  struct Case {
+    const char* key;
+    StateId p;
+    std::uint32_t numMobile;
+    bool canonical;     ///< canonical quotient vs concrete exploration
+    bool declaredInit;  ///< declared uniform initials (initialized-agent rows)
+  };
+  // Anchor sized at ~92k nodes (C(19,9) multisets) so the RSS delta dwarfs
+  // allocator slack; the rest are the registry's checker-scale workloads.
+  const Case cases[] = {
+      {"asymmetric", 10, 10, true, false},
+      {"symmetric-global", 8, 10, true, false},
+      {"selfstab-weak", 3, 3, false, false},
+      {"leader-uniform", 4, 4, false, true},
+      {"global-leader", 4, 4, false, false},
+      {"counting", 4, 4, false, false},
+  };
+
+  MemoryStatsCollector collector;
+  std::uint64_t exploreId = 0;
+  std::uint64_t rssBaseline = 0;
+  std::uint64_t rssAtDone = 0;
+  std::uint64_t anchorLedgerTotal = 0;
+
+  JsonWriter w;
+  w.beginObject();
+  w.key("kind").value("ppn-explore-memory");
+  w.key("hardwareThreads")
+      .value(std::max(1u, std::thread::hardware_concurrency()));
+  w.key("rows").beginArray();
+  for (const Case& c : cases) {
+    const bool anchor = exploreId == 0;
+    const auto proto = makeProtocol(c.key, c.p);
+    const auto initials =
+        c.canonical ? allCanonicalConfigurations(*proto, c.numMobile)
+        : c.declaredInit
+            ? declaredUniformInitials(*proto, c.numMobile)
+            : allConcreteConfigurations(*proto, c.numMobile);
+    ExploreOptions options;
+    options.observer = &collector;
+    options.exploreId = ++exploreId;
+    if (anchor) {
+      const auto before =
+          sampleProcessResources(static_cast<std::int64_t>(::getpid()));
+      if (before) rssBaseline = static_cast<std::uint64_t>(before->rssBytes);
+    }
+    const ConfigGraph g = c.canonical
+                              ? exploreCanonical(*proto, initials, options)
+                              : exploreConcrete(*proto, initials, options);
+    const auto sample = collector.lastSample(options.exploreId);
+    if (!sample || !sample->done || g.truncated) {
+      std::fprintf(stderr,
+                   "micro_bench: E27 exploration of '%s' did not finish "
+                   "cleanly; report aborted\n",
+                   c.key);
+      return 1;
+    }
+    if (anchor) {
+      // The final sample's RSS was taken inside the exploration, while the
+      // dedup table and frontier storage were still allocated — exactly the
+      // state the ledger total models.
+      rssAtDone = sample->rssBytes;
+      anchorLedgerTotal = sample->totalBytes;
+    }
+    const double bytesPerNode =
+        g.size() > 0 ? static_cast<double>(sample->totalBytes) /
+                           static_cast<double>(g.size())
+                     : 0.0;
+    w.beginObject();
+    w.key("protocol").value(c.key);
+    w.key("p").value(c.p);
+    w.key("numMobile").value(c.numMobile);
+    w.key("mode").value(c.canonical ? "canonical" : "concrete");
+    w.key("nodes").value(static_cast<std::uint64_t>(g.size()));
+    w.key("configsBytes").value(sample->configsBytes);
+    w.key("adjacencyBytes").value(sample->adjacencyBytes);
+    w.key("dedupBytes").value(sample->dedupBytes);
+    w.key("frontierBytes").value(sample->frontierBytes);
+    w.key("codecBytes").value(sample->codecBytes);
+    w.key("totalBytes").value(sample->totalBytes);
+    w.key("highWaterBytes").value(sample->highWaterBytes);
+    w.key("bytesPerNode").value(bytesPerNode);
+    w.endObject();
+    std::fprintf(stderr,
+                 "explore-memory %-16s P=%-3u N=%-3u nodes=%llu "
+                 "total=%.3gMB bytes/node=%.1f\n",
+                 c.key, c.p, c.numMobile,
+                 static_cast<unsigned long long>(g.size()),
+                 static_cast<double>(sample->totalBytes) / 1e6, bytesPerNode);
+  }
+  w.endArray();
+  // Drift probe: 0 RSS values mean the platform sampler was unavailable —
+  // check_bench.py treats a missing/zero delta as "skip", not "fail".
+  const std::uint64_t rssDelta =
+      rssAtDone > rssBaseline ? rssAtDone - rssBaseline : 0;
+  w.key("rssProbe").beginObject();
+  w.key("protocol").value(cases[0].key);
+  w.key("rssBaselineBytes").value(rssBaseline);
+  w.key("rssAtDoneBytes").value(rssAtDone);
+  w.key("rssDeltaBytes").value(rssDelta);
+  w.key("ledgerTotalBytes").value(anchorLedgerTotal);
+  w.key("ledgerVsRssRatio")
+      .value(rssDelta > 0 ? static_cast<double>(anchorLedgerTotal) /
+                                static_cast<double>(rssDelta)
+                          : 0.0);
+  w.endObject();
+  w.endObject();
+
+  if (rssDelta > 0) {
+    std::fprintf(stderr,
+                 "explore-memory drift: ledger=%.3gMB rssDelta=%.3gMB "
+                 "ratio=%.3f\n",
+                 static_cast<double>(anchorLedgerTotal) / 1e6,
+                 static_cast<double>(rssDelta) / 1e6,
+                 static_cast<double>(anchorLedgerTotal) /
+                     static_cast<double>(rssDelta));
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "micro_bench: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  out << w.str() << '\n';
+  return 0;
+}
+
 /// Post-benchmark telemetry sample: a small observed batch whose JSONL
 /// events and metrics snapshot land in the files named by the stripped
 /// --events-out=/--metrics-out= flags.
@@ -848,6 +993,7 @@ int main(int argc, char** argv) {
   std::string stepThroughputOut;
   std::string exploreThroughputOut;
   std::string batchThroughputOut;
+  std::string memoryProfileOut;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -861,13 +1007,16 @@ int main(int argc, char** argv) {
       exploreThroughputOut = argv[i] + 25;
     } else if (std::strncmp(argv[i], "--batch-throughput-out=", 23) == 0) {
       batchThroughputOut = argv[i] + 23;
+    } else if (std::strncmp(argv[i], "--memory-profile-out=", 21) == 0) {
+      memoryProfileOut = argv[i] + 21;
     } else {
       rest.push_back(argv[i]);
     }
   }
-  // The step-throughput (E21), explore-throughput (E23) and batch-throughput
-  // (E26) experiments stand alone: they time whole runs themselves, so they
-  // skip the google-benchmark harness entirely.
+  // The step-throughput (E21), explore-throughput (E23), batch-throughput
+  // (E26) and memory-profile (E27) experiments stand alone: they measure
+  // whole runs themselves, so they skip the google-benchmark harness
+  // entirely. E27 in particular NEEDS a fresh heap for its RSS drift probe.
   if (!stepThroughputOut.empty()) return dumpStepThroughput(stepThroughputOut);
   if (!exploreThroughputOut.empty()) {
     return dumpExploreThroughput(exploreThroughputOut);
@@ -875,6 +1024,7 @@ int main(int argc, char** argv) {
   if (!batchThroughputOut.empty()) {
     return dumpBatchThroughput(batchThroughputOut);
   }
+  if (!memoryProfileOut.empty()) return dumpExploreMemory(memoryProfileOut);
   int restArgc = static_cast<int>(rest.size());
   benchmark::Initialize(&restArgc, rest.data());
   if (benchmark::ReportUnrecognizedArguments(restArgc, rest.data())) return 1;

@@ -19,11 +19,15 @@
 //   ./table1_feasibility [--p 3] [--csv] [--json out.json] [--threads K]
 //                        [--explore-stats-out stats.jsonl]
 //                        [--trace-out trace.json] [--metrics-out metrics.json]
+//                        [--memory-budget BYTES] [--memory-stats-out mem.json]
 //                        [--progress]
 //
 // --threads K parallelizes the checker explorations (level-synchronous BFS)
 // and the exhaustive searches (candidate dispatch); 0 = hardware concurrency.
-// Every verdict is bit-identical for any K.
+// Every verdict is bit-identical for any K. --memory-budget caps every
+// exploration at that many ledger bytes (0 = off) — an over-budget check is
+// UNKNOWN exactly like a node-cap truncation; --memory-stats-out writes the
+// per-exploration memory peaks (ppn-memory-stats JSON).
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -32,6 +36,7 @@
 
 #include "analysis/table1.h"
 #include "obs/events.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/probes.h"
 #include "obs/progress.h"
@@ -60,6 +65,12 @@ int main(int argc, char** argv) {
   const auto* threads = cli.addUint(
       "threads", "worker threads for explorations/searches (0 = all cores)",
       1);
+  const auto* memoryBudget = cli.addUint(
+      "memory-budget",
+      "byte budget per exploration (0 = off); over-budget cells are unknown",
+      0);
+  const auto* memStatsOut = cli.addString(
+      "memory-stats-out", "write per-exploration memory peaks (JSON) here", "");
   if (!cli.parse(argc, argv)) return 1;
   const auto p = static_cast<StateId>(*pFlag);
   if (p < 2 || p > 4) {
@@ -73,6 +84,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<ExploreProgressReporter> reporter;
   std::unique_ptr<ChromeTraceWriter> traceWriter;
   std::unique_ptr<ChromeTraceObserver> traceProbe;
+  std::unique_ptr<MemoryStatsCollector> memStats;
   MultiExploreObserver observers;
   try {
     if (!statsOut->empty()) {
@@ -96,6 +108,10 @@ int main(int argc, char** argv) {
     reporter = std::make_unique<ExploreProgressReporter>(8'000'000);
     observers.add(reporter.get());
   }
+  if (!memStatsOut->empty()) {
+    memStats = std::make_unique<MemoryStatsCollector>();
+    observers.add(memStats.get());
+  }
   // The cells live in analysis/table1.h so campaign shards (src/campaign/)
   // can execute them one unit at a time; running them here in index order
   // with per-cell id ranges produces the same document either way.
@@ -104,6 +120,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t i = 0; i < table1CellCount(); ++i) {
     Table1Options options;
     options.threads = static_cast<std::uint32_t>(*threads);
+    options.maxBytes = *memoryBudget;
     options.observer = observers.empty() ? nullptr : &observers;
     options.exploreIdBase = i * kTable1IdStride;
     options.searchIdBase = 256 + i * kTable1IdStride;
@@ -153,6 +170,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << registry.toJson() << '\n';
+  }
+  if (memStats && !memStats->writeJson(*memStatsOut)) {
+    std::fprintf(stderr, "table1_feasibility: cannot write '%s'\n",
+                 memStatsOut->c_str());
+    return 1;
   }
   return allPass ? 0 : 2;
 }

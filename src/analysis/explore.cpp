@@ -4,8 +4,11 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include <unistd.h>
+
 #include "analysis/explore_impl.h"
 #include "analysis/packed_config.h"
+#include "obs/resource_sampler.h"
 
 namespace ppn {
 
@@ -51,6 +54,39 @@ void validateInitials(const char* where,
 
 }  // namespace
 
+namespace detail {
+
+void ExploreTracker::emitMemorySample(double elapsedMillis, bool done) {
+  MemorySampleEvent m;
+  m.exploreId = exploreId_;
+  m.configsBytes = ledger_.component(MemoryComponent::kConfigs);
+  m.adjacencyBytes = ledger_.component(MemoryComponent::kAdjacency);
+  m.dedupBytes = ledger_.component(MemoryComponent::kDedup);
+  m.frontierBytes = ledger_.component(MemoryComponent::kFrontier);
+  m.codecBytes = ledger_.component(MemoryComponent::kCodec);
+  m.totalBytes = ledger_.total();
+  m.highWaterBytes = ledger_.highWater();
+  if (const auto self =
+          sampleProcessResources(static_cast<std::int64_t>(::getpid()))) {
+    m.rssBytes = self->rssBytes;
+  }
+  m.elapsedMillis = elapsedMillis;
+  m.done = done;
+  obs_->onMemorySample(m);
+}
+
+}  // namespace detail
+
+std::string truncationReason(const ConfigGraph& g,
+                             const ExploreOptions& options) {
+  if (g.truncatedByBudget) {
+    return "state space exceeded the " + std::to_string(options.maxBytes) +
+           "-byte memory budget; no verdict";
+  }
+  return "state space exceeded " + std::to_string(options.maxNodes) +
+         " configurations; no verdict";
+}
+
 std::uint64_t configGraphBytes(const ConfigGraph& g) {
   std::uint64_t bytes = 0;
   for (const Configuration& c : g.configs) {
@@ -81,8 +117,9 @@ ConfigGraph exploreConcrete(const Protocol& proto,
   ConfigGraph g;
   g.numParticipants = m;
   const PhaseScope phase(options.observer, options.exploreId, "explore");
-  detail::ExploreTracker tracker(options.observer, options.exploreId, g);
   const PackedCodec codec(PackedCodec::Form::kConcrete, proto, n);
+  detail::ExploreTracker tracker(options.observer, options.exploreId, g, codec,
+                                 n);
   Interner interner(g, codec);
   std::deque<std::uint32_t> frontier;
   for (const auto& c : initials) {
@@ -94,9 +131,15 @@ ConfigGraph exploreConcrete(const Protocol& proto,
   }
 
   while (!frontier.empty()) {
-    if (g.size() > options.maxNodes) {
+    tracker.checkpoint(frontier.size());
+    const bool overNodes = g.size() > options.maxNodes;
+    const bool overBytes =
+        options.maxBytes != 0 && tracker.totalBytes() > options.maxBytes;
+    if (overNodes || overBytes) {
       g.truncated = true;
-      tracker.recordTruncation(options.maxNodes, frontier);
+      g.truncatedByBudget = overBytes && !overNodes;
+      tracker.recordTruncation(options.maxNodes, options.maxBytes,
+                               g.truncatedByBudget, frontier);
       break;
     }
     const std::uint32_t id = frontier.front();
@@ -118,7 +161,7 @@ ConfigGraph exploreConcrete(const Protocol& proto,
                                    meta.responder, meta.changed,
                                    meta.changedMobile, meta.changedName});
         });
-    tracker.recordNodeExpanded(id);
+    tracker.recordNodeExpanded(g.adj[id].size());
   }
   tracker.finish(frontier.size());
   return g;
@@ -141,8 +184,9 @@ ConfigGraph exploreCanonical(const Protocol& proto,
   ConfigGraph g;
   g.numParticipants = n + (proto.hasLeader() ? 1u : 0u);
   const PhaseScope phase(options.observer, options.exploreId, "explore");
-  detail::ExploreTracker tracker(options.observer, options.exploreId, g);
   const PackedCodec codec(PackedCodec::Form::kCanonical, proto, n);
+  detail::ExploreTracker tracker(options.observer, options.exploreId, g, codec,
+                                 n);
   Interner interner(g, codec);
   std::deque<std::uint32_t> frontier;
   for (const auto& c : initials) {
@@ -154,9 +198,15 @@ ConfigGraph exploreCanonical(const Protocol& proto,
   }
 
   while (!frontier.empty()) {
-    if (g.size() > options.maxNodes) {
+    tracker.checkpoint(frontier.size());
+    const bool overNodes = g.size() > options.maxNodes;
+    const bool overBytes =
+        options.maxBytes != 0 && tracker.totalBytes() > options.maxBytes;
+    if (overNodes || overBytes) {
       g.truncated = true;
-      tracker.recordTruncation(options.maxNodes, frontier);
+      g.truncatedByBudget = overBytes && !overNodes;
+      tracker.recordTruncation(options.maxNodes, options.maxBytes,
+                               g.truncatedByBudget, frontier);
       break;
     }
     const std::uint32_t id = frontier.front();
@@ -177,7 +227,7 @@ ConfigGraph exploreCanonical(const Protocol& proto,
                                    meta.responder, meta.changed,
                                    meta.changedMobile, meta.changedName});
         });
-    tracker.recordNodeExpanded(id);
+    tracker.recordNodeExpanded(g.adj[id].size());
   }
   tracker.finish(frontier.size());
   return g;

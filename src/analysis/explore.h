@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/configuration.h"
@@ -64,10 +65,13 @@ struct ConfigGraph {
   std::vector<Configuration> configs;
   std::vector<std::vector<Edge>> adj;
   std::uint32_t numParticipants = 0;
-  /// True when exploration hit maxNodes before closing the frontier; any
-  /// verdict computed from a truncated graph is unreliable and the checkers
-  /// refuse to produce one.
+  /// True when exploration hit maxNodes (or the byte budget) before closing
+  /// the frontier; any verdict computed from a truncated graph is unreliable
+  /// and the checkers refuse to produce one.
   bool truncated = false;
+  /// True when the BYTE budget (ExploreOptions.maxBytes) fired the cut, not
+  /// the node cap. Only meaningful when `truncated` is set.
+  bool truncatedByBudget = false;
 
   std::size_t size() const { return configs.size(); }
 };
@@ -76,15 +80,27 @@ struct ConfigGraph {
 /// many expanded nodes (plus a final done=true event per exploration).
 constexpr std::uint64_t kExploreProgressStride = 1024;
 
-/// Exact heap footprint of a ConfigGraph: interned configurations (struct +
-/// mobile payload at its real capacity) plus adjacency (vector headers + edge
-/// payload at its real capacity). This is what ExploreProgressEvent.
-/// bytesEstimate converges to on the final done=true event.
+/// Exact heap footprint of a ConfigGraph as returned: interned configurations
+/// (struct + mobile payload at its real capacity) plus adjacency (vector
+/// headers + edge payload at its real capacity). Note this is the GRAPH's
+/// footprint only — ExploreProgressEvent.bytesEstimate reports the
+/// MemoryLedger total (DESIGN.md decision 18), which additionally charges the
+/// dedup table, the BFS frontier and packed-codec heap spill, so the final
+/// done=true event reads >= configGraphBytes() of the returned graph.
 std::uint64_t configGraphBytes(const ConfigGraph& g);
 
 /// Knobs shared by both explorers (and forwarded by the checkers).
 struct ExploreOptions {
   std::size_t maxNodes = 4'000'000;
+  /// Byte budget over the exploration's MODELED footprint (the MemoryLedger
+  /// total: configs + adjacency + dedup table + frontier + codec spill;
+  /// DESIGN.md decision 18). 0 disables the budget. When the ledger total
+  /// exceeds this, exploration truncates deterministically with the same
+  /// serial-replayed cut discipline as maxNodes: node ids, edge order, the
+  /// ExploreTruncatedEvent and the final graph are bit-identical at every
+  /// thread count. The node cap is checked first, so a run that trips both
+  /// reports the maxNodes cut.
+  std::uint64_t maxBytes = 0;
   /// Worker threads for the level-synchronous parallel BFS. 1 (the default)
   /// runs the serial reference loop; 0 means hardware concurrency. Any value
   /// produces a bit-identical ConfigGraph — node ids, edge order and
@@ -133,5 +149,10 @@ ConfigGraph exploreCanonical(const Protocol& proto,
                              std::size_t maxNodes = 4'000'000,
                              ExploreObserver* observer = nullptr,
                              std::uint64_t exploreId = 0);
+
+/// Human-readable reason string for a truncated exploration, shared by the
+/// fairness checkers' UNKNOWN verdicts: names the node cap or, when
+/// truncatedByBudget is set, the byte budget that fired.
+std::string truncationReason(const ConfigGraph& g, const ExploreOptions& options);
 
 }  // namespace ppn

@@ -12,9 +12,12 @@
 
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "analysis/explore.h"
+#include "analysis/packed_config.h"
 #include "core/engine.h"
+#include "obs/memory.h"
 
 namespace ppn::detail {
 
@@ -134,20 +137,44 @@ void forEachCanonicalSuccessor(const Protocol& proto, const Configuration& curre
   }
 }
 
-/// Progress bookkeeping for one exploration. All methods are single-branch
-/// no-ops when no observer is attached, so the unobserved BFS stays
-/// bit-identical to the pre-telemetry loop.
+/// Progress + memory bookkeeping for one exploration. Event emission is a
+/// single-branch no-op when no observer is attached, so the unobserved BFS
+/// stays bit-identical to the pre-telemetry loop. The MemoryLedger updates
+/// are unconditional — the byte budget (ExploreOptions.maxBytes) consults
+/// them whether or not anyone is listening — but they are a handful of
+/// arithmetic ops per interned node.
 ///
-/// Byte accounting is incremental and capacity-exact: configuration bytes
-/// accrue at intern time, adjacency bytes once a node's expansion finished
-/// (its edge vector's capacity is final then), so the final done=true event
-/// reports exactly configGraphBytes() of the returned graph.
+/// Byte accounting follows the deterministic malloc-chunk model of DESIGN.md
+/// decision 18: every charge is a pure function of exploration CONTENT (node
+/// count, per-node edge counts, the codec's packed width), never of engine
+/// internals, so serial and parallel runs agree bit-for-bit and the parallel
+/// cut replay can recompute any prefix of the serial charge sequence in
+/// closed form. ExploreProgressEvent.bytesEstimate reports the ledger total.
 class ExploreTracker {
  public:
   ExploreTracker(ExploreObserver* obs, std::uint64_t exploreId,
-                 const ConfigGraph& g)
-      : obs_(obs), exploreId_(exploreId), g_(&g) {
+                 const ConfigGraph& g, const PackedCodec& codec,
+                 std::uint32_t numMobile)
+      : obs_(obs),
+        exploreId_(exploreId),
+        g_(&g),
+        mobileHeapBytes_(
+            paddedAllocBytes(std::uint64_t{numMobile} * sizeof(StateId))),
+        dedupNodeBytes_(dedupEntryBytes()),
+        codecSpillBytes_(codec.packedBytes() > PackedConfig::kInlineBytes
+                             ? paddedAllocBytes(codec.packedBytes())
+                             : 0) {
     if (obs_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Modeled heap cost of one dedup-table entry: the unordered_map hash node
+  /// (next pointer + cached hash + the PackedConfig/id pair) plus the slot
+  /// the parallel engine's shard keeps per entry.
+  static constexpr std::uint64_t dedupEntryBytes() {
+    return paddedAllocBytes(
+               2 * sizeof(void*) +
+               sizeof(std::pair<const PackedConfig, std::uint32_t>)) +
+           sizeof(std::uint32_t);
   }
 
   void recordEdge(bool dedupHit) {
@@ -156,20 +183,82 @@ class ExploreTracker {
     if (dedupHit) ++dedupHits_;
   }
 
-  /// The configuration just pushed onto the graph (struct + mobile payload +
-  /// its adjacency vector header).
-  void recordInterned() {
-    if (obs_ == nullptr) return;
-    configBytes_ += sizeof(Configuration) +
-                    g_->configs.back().mobile.capacity() * sizeof(StateId) +
-                    sizeof(std::vector<Edge>);
+  /// One configuration was interned (serial engine; parallel rebasing goes
+  /// through setInterned). Charges the node-dependent components.
+  void recordInterned() { setInterned(nodes_ + 1); }
+
+  /// Rebases every node-derived component to `nodes` interned nodes. The
+  /// per-entry costs are content-derived constants, so this equals the
+  /// serial per-intern accrual at the same node count.
+  void setInterned(std::uint64_t nodes) {
+    nodes_ = nodes;
+    ledger_.set(MemoryComponent::kConfigs,
+                slotArrayBytes(nodes) + nodes * mobileHeapBytes_);
+    ledger_.set(MemoryComponent::kDedup,
+                paddedAllocBytes(grownCapacity(nodes) * 8) +
+                    nodes * dedupNodeBytes_);
+    ledger_.set(MemoryComponent::kCodec, nodes * codecSpillBytes_);
   }
 
-  /// Node `id`'s expansion is complete; its adjacency capacity is final.
-  void recordNodeExpanded(std::uint32_t id) {
-    if (obs_ == nullptr) return;
-    adjBytes_ += g_->adj[id].capacity() * sizeof(Edge);
+  /// Parallel merge thread: rebase node-derived components from the ledgers
+  /// the dedup shards accrued (folded in fixed shard order), plus the
+  /// k-derived array terms. Dedup entries are 1:1 with interned nodes and
+  /// every per-entry charge is a content-derived constant, so the result is
+  /// bit-identical to the serial setInterned at the same node count.
+  void applyShardFold(std::uint64_t nodes, const MemoryLedger& fold) {
+    nodes_ = nodes;
+    ledger_.set(MemoryComponent::kConfigs,
+                slotArrayBytes(nodes) + nodes * mobileHeapBytes_);
+    ledger_.set(MemoryComponent::kDedup,
+                paddedAllocBytes(grownCapacity(nodes) * 8) +
+                    fold.component(MemoryComponent::kDedup));
+    ledger_.set(MemoryComponent::kCodec,
+                fold.component(MemoryComponent::kCodec));
   }
+
+  std::uint64_t codecSpillBytes() const { return codecSpillBytes_; }
+
+  /// A node's expansion is complete: charge its edge vector's payload.
+  void recordNodeExpanded(std::size_t edgeCount) {
+    ledger_.add(MemoryComponent::kAdjacency,
+                paddedAllocBytes(std::uint64_t{edgeCount} * sizeof(Edge)));
+  }
+
+  /// Top-of-loop bookkeeping: refresh the frontier component and fold the
+  /// current totals into the high-water marks. The serial loop calls this
+  /// once per pop; the parallel engine replays the identical sequence in its
+  /// phase-3 cut walk (noteReplayState), so high-water marks are
+  /// engine-invariant.
+  void checkpoint(std::size_t frontierSize) {
+    ledger_.set(MemoryComponent::kFrontier,
+                std::uint64_t{frontierSize} * sizeof(std::uint32_t));
+    ledger_.checkpoint();
+  }
+
+  /// Parallel phase-3 replay: fold one simulated top-of-loop state (total
+  /// modeled bytes + frontier entries) into the high-water marks without
+  /// touching the current component values.
+  void noteReplayState(std::uint64_t totalBytes, std::uint64_t frontierEntries) {
+    ledger_.noteTotalHighWater(totalBytes);
+    ledger_.noteComponentHighWater(
+        MemoryComponent::kFrontier,
+        frontierEntries * sizeof(std::uint32_t));
+  }
+
+  /// Node-derived modeled bytes at `k` interned nodes (configs + dedup +
+  /// codec spill) — the closed form the parallel cut replay sums with its
+  /// adjacency prefix and frontier term.
+  std::uint64_t nodeDependentBytes(std::uint64_t k) const {
+    return slotArrayBytes(k) + k * mobileHeapBytes_ +
+           paddedAllocBytes(grownCapacity(k) * 8) + k * dedupNodeBytes_ +
+           k * codecSpillBytes_;
+  }
+
+  std::uint64_t totalBytes() const { return ledger_.total(); }
+  std::uint64_t adjacencyBytes() const {
+    return ledger_.component(MemoryComponent::kAdjacency);
+  }
+  MemoryLedger& ledger() { return ledger_; }
 
   void recordExpansion(std::size_t frontierSize) {
     if (obs_ == nullptr) return;
@@ -181,13 +270,11 @@ class ExploreTracker {
   /// completed BFS level and emits at most one progress event when the level
   /// crossed a stride boundary.
   void recordLevel(std::uint64_t expandedNodes, std::uint64_t edges,
-                   std::uint64_t dedupHits, std::uint64_t adjBytes,
-                   std::size_t frontierSize) {
+                   std::uint64_t dedupHits, std::size_t frontierSize) {
     if (obs_ == nullptr) return;
     expanded_ += expandedNodes;
     edges_ += edges;
     dedupHits_ += dedupHits;
-    adjBytes_ += adjBytes;
     if (expanded_ / kExploreProgressStride > emittedStrides_) {
       emittedStrides_ = expanded_ / kExploreProgressStride;
       emit(frontierSize, false);
@@ -195,13 +282,17 @@ class ExploreTracker {
   }
 
   template <class Container>
-  void recordTruncation(std::size_t maxNodes, const Container& frontier) {
+  void recordTruncation(std::size_t maxNodes, std::uint64_t maxBytes,
+                        bool byBudget, const Container& frontier) {
     if (obs_ == nullptr) return;
     ExploreTruncatedEvent e;
     e.exploreId = exploreId_;
     e.nodes = g_->size();
     e.maxNodes = maxNodes;
     e.frontier.assign(frontier.begin(), frontier.end());
+    e.maxBytes = maxBytes;
+    e.bytesAtCut = ledger_.total();
+    e.byBudget = byBudget;
     obs_->onTruncated(e);
   }
 
@@ -211,7 +302,19 @@ class ExploreTracker {
   }
 
  private:
+  /// Modeled allocations backing the graph's slot vectors at `k` nodes: the
+  /// configs array and the adjacency vector-header array, both grown
+  /// geometrically.
+  static std::uint64_t slotArrayBytes(std::uint64_t k) {
+    return paddedAllocBytes(grownCapacity(k) * sizeof(Configuration)) +
+           paddedAllocBytes(grownCapacity(k) * sizeof(std::vector<Edge>));
+  }
+
   void emit(std::size_t frontierSize, bool done) {
+    // Fold the at-emission state so high_water >= total holds on every
+    // sample (the serial loop's last checkpoint predates the final node's
+    // adjacency charge).
+    checkpoint(frontierSize);
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
@@ -222,23 +325,29 @@ class ExploreTracker {
     e.frontier = frontierSize;
     e.edges = edges_;
     e.dedupHits = dedupHits_;
-    e.bytesEstimate = configBytes_ + adjBytes_;
+    e.bytesEstimate = ledger_.total();
     e.nodesPerSec =
         elapsed > 0.0 ? static_cast<double>(expanded_) / elapsed : 0.0;
     e.elapsedMillis = elapsed * 1e3;
     e.done = done;
     obs_->onExploreProgress(e);
+    emitMemorySample(elapsed * 1e3, done);
   }
+
+  void emitMemorySample(double elapsedMillis, bool done);
 
   ExploreObserver* obs_;
   std::uint64_t exploreId_;
   const ConfigGraph* g_;
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t mobileHeapBytes_ = 0;
+  std::uint64_t dedupNodeBytes_ = 0;
+  std::uint64_t codecSpillBytes_ = 0;
+  std::uint64_t nodes_ = 0;
+  MemoryLedger ledger_;
   std::uint64_t expanded_ = 0;
   std::uint64_t edges_ = 0;
   std::uint64_t dedupHits_ = 0;
-  std::uint64_t configBytes_ = 0;
-  std::uint64_t adjBytes_ = 0;
   std::uint64_t emittedStrides_ = 0;
 };
 

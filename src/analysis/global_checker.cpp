@@ -27,8 +27,7 @@ GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
   const ConfigGraph graph = exploreCanonical(proto, initials, options);
   verdict.numConfigs = graph.size();
   if (graph.truncated) {
-    verdict.reason = "state space exceeded " + std::to_string(options.maxNodes) +
-                     " configurations; no verdict";
+    verdict.reason = truncationReason(graph, options);
     return verdict;
   }
   verdict.explored = true;
@@ -89,8 +88,7 @@ GlobalVerdict checkGlobalFairnessConcrete(
   const ConfigGraph graph = exploreConcrete(proto, initials, options);
   verdict.numConfigs = graph.size();
   if (graph.truncated) {
-    verdict.reason = "state space exceeded " + std::to_string(options.maxNodes) +
-                     " configurations; no verdict";
+    verdict.reason = truncationReason(graph, options);
     return verdict;
   }
   verdict.explored = true;

@@ -165,6 +165,10 @@ struct Shard {
   std::unordered_map<PackedConfig, std::uint32_t, PackedConfigHash> map;
   std::vector<std::uint32_t> slots;  // slotRef -> final node id
   std::vector<NewEntry> pending;     // this level's insertions, stream order
+  /// Per-entry dedup/codec charges this shard accrued (DESIGN decision 18).
+  /// Touched only by the shard's phase-2 owner and the merge thread; folded
+  /// in fixed shard order into the tracker after every merge.
+  MemoryLedger ledger;
 };
 
 }  // namespace
@@ -182,9 +186,18 @@ ConfigGraph exploreParallelImpl(const Protocol& proto,
                           proto, n);
 
   const PhaseScope phase(options.observer, options.exploreId, "explore");
-  ExploreTracker tracker(options.observer, options.exploreId, g);
+  ExploreTracker tracker(options.observer, options.exploreId, g, codec, n);
+  const std::uint64_t dedupEntry = ExploreTracker::dedupEntryBytes();
+  const std::uint64_t codecSpill = tracker.codecSpillBytes();
 
   std::vector<Shard> shards(kShards);
+  // Folds the per-shard ledgers (fixed shard order) into the tracker's
+  // node-derived components; bit-identical to the serial per-intern accrual.
+  const auto refoldShards = [&] {
+    MemoryLedger fold;
+    for (const Shard& sh : shards) fold.merge(sh.ledger);
+    tracker.applyShardFold(g.configs.size(), fold);
+  };
   std::vector<std::uint32_t> frontier;
   for (const auto& initial : initials) {
     const Configuration c = canonical ? initial.canonicalized() : initial;
@@ -197,9 +210,11 @@ ConfigGraph exploreParallelImpl(const Protocol& proto,
       frontier.push_back(static_cast<std::uint32_t>(g.configs.size()));
       g.configs.push_back(c);
       g.adj.emplace_back();
-      tracker.recordInterned();
+      sh.ledger.add(MemoryComponent::kDedup, dedupEntry);
+      sh.ledger.add(MemoryComponent::kCodec, codecSpill);
     }
   }
+  refoldShards();
 
   LevelPool pool(K);
   std::vector<std::vector<Cand>> candBuf;
@@ -211,15 +226,24 @@ ConfigGraph exploreParallelImpl(const Protocol& proto,
   std::atomic<std::uint32_t> nodeCursor{0};
   std::atomic<std::uint64_t> edgeCount{0};
   std::atomic<std::uint64_t> dedupCount{0};
-  std::atomic<std::uint64_t> adjBytes{0};
 
   while (!frontier.empty()) {
-    // The serial loop re-checks the cap before every pop, so a cap already
+    // The serial loop re-checks both caps before every pop, so a cap already
     // exceeded at level entry truncates with the whole frontier unexpanded.
-    if (g.size() > options.maxNodes) {
-      g.truncated = true;
-      tracker.recordTruncation(options.maxNodes, frontier);
-      break;
+    // (This duplicates the phase-3 replay's p = 0 step — same state, same
+    // verdict — to skip the expand/dedup phases entirely.)
+    tracker.checkpoint(frontier.size());
+    {
+      const bool overNodes = g.size() > options.maxNodes;
+      const bool overBytes =
+          options.maxBytes != 0 && tracker.totalBytes() > options.maxBytes;
+      if (overNodes || overBytes) {
+        g.truncated = true;
+        g.truncatedByBudget = overBytes && !overNodes;
+        tracker.recordTruncation(options.maxNodes, options.maxBytes,
+                                 g.truncatedByBudget, frontier);
+        break;
+      }
     }
     const std::uint32_t L = static_cast<std::uint32_t>(frontier.size());
     if (candBuf.size() < L) candBuf.resize(L);
@@ -272,6 +296,8 @@ ConfigGraph exploreParallelImpl(const Protocol& proto,
               sh.pending.push_back(
                   NewEntry{(std::uint64_t{pk.p} << 32) | pk.k, it->second,
                            static_cast<std::uint8_t>(s), &it->first});
+              sh.ledger.add(MemoryComponent::kDedup, dedupEntry);
+              sh.ledger.add(MemoryComponent::kCodec, codecSpill);
             }
             c.slotRef = it->second;
             c.dedupHit = !inserted;
@@ -280,36 +306,55 @@ ConfigGraph exploreParallelImpl(const Protocol& proto,
       }
     });
 
-    // Phase 3 (serial): replay the per-pop cap check, then assign ids in
-    // stream order — the serial intern order.
+    // Phase 3 (serial): replay the serial per-pop state — node count, modeled
+    // bytes, frontier size — then assign ids in stream order (the serial
+    // intern order). The replay runs even when no cap can fire so the
+    // ledger's high-water marks are engine-invariant (DESIGN decision 18).
     std::uint64_t totalNew = 0;
     for (const Shard& sh : shards) totalNew += sh.pending.size();
+    std::vector<std::uint32_t> newFrom(L, 0);
+    for (const Shard& sh : shards) {
+      for (const NewEntry& e : sh.pending) ++newFrom[e.pos >> 32];
+    }
 
+    const std::uint64_t levelStartNodes = g.size();
+    const std::uint64_t adjStart = tracker.adjacencyBytes();
     std::uint32_t cut = L;  // number of level nodes that get expanded
-    if (g.size() + totalNew > options.maxNodes) {
-      std::vector<std::uint32_t> newFrom(L, 0);
-      for (const Shard& sh : shards) {
-        for (const NewEntry& e : sh.pending) ++newFrom[e.pos >> 32];
-      }
-      std::uint64_t size = g.size();
+    bool cutByBudget = false;
+    {
+      std::uint64_t newNodes = 0;
+      std::uint64_t adjPrefix = 0;
       for (std::uint32_t p = 0; p < L; ++p) {
-        if (size > options.maxNodes) {
+        const std::uint64_t k = levelStartNodes + newNodes;
+        const std::uint64_t frontierEntries = (L - p) + newNodes;
+        const std::uint64_t total =
+            tracker.nodeDependentBytes(k) + adjStart + adjPrefix +
+            frontierEntries * sizeof(std::uint32_t);
+        tracker.noteReplayState(total, frontierEntries);
+        const bool overNodes = k > options.maxNodes;
+        const bool overBytes =
+            options.maxBytes != 0 && total > options.maxBytes;
+        if (overNodes || overBytes) {
           cut = p;
+          cutByBudget = overBytes && !overNodes;
           break;
         }
-        size += newFrom[p];
+        adjPrefix += paddedAllocBytes(std::uint64_t{candBuf[p].size()} *
+                                      sizeof(Edge));
+        newNodes += newFrom[p];
       }
-      if (cut < L) {
-        // Serial exploration stops before expanding position `cut`; nodes
-        // first discovered at or after it were never interned. They form a
-        // suffix of every shard's stream-ordered pending list.
-        for (Shard& sh : shards) {
-          while (!sh.pending.empty() &&
-                 (sh.pending.back().pos >> 32) >= cut) {
-            sh.map.erase(sh.map.find(*sh.pending.back().key));
-            sh.slots.pop_back();
-            sh.pending.pop_back();
-          }
+    }
+    if (cut < L) {
+      // Serial exploration stops before expanding position `cut`; nodes
+      // first discovered at or after it were never interned. They form a
+      // suffix of every shard's stream-ordered pending list.
+      for (Shard& sh : shards) {
+        while (!sh.pending.empty() && (sh.pending.back().pos >> 32) >= cut) {
+          sh.map.erase(sh.map.find(*sh.pending.back().key));
+          sh.slots.pop_back();
+          sh.pending.pop_back();
+          sh.ledger.sub(MemoryComponent::kDedup, dedupEntry);
+          sh.ledger.sub(MemoryComponent::kCodec, codecSpill);
         }
       }
     }
@@ -329,20 +374,23 @@ ConfigGraph exploreParallelImpl(const Protocol& proto,
       shards[e->shard].slots[e->slotRef] = id;
       g.configs.push_back(codec.unpack(*e->key));
       g.adj.emplace_back();
-      tracker.recordInterned();
       nextFrontier.push_back(id);
     }
     for (Shard& sh : shards) sh.pending.clear();
+    refoldShards();
+    // Adjacency charges for the expanded prefix, in serial order (the model
+    // depends only on per-node edge counts, known since phase 1).
+    for (std::uint32_t p = 0; p < cut; ++p) {
+      tracker.recordNodeExpanded(candBuf[p].size());
+    }
 
     // Phase 4: build adjacency for the expanded prefix of the level.
     nodeCursor.store(0, std::memory_order_relaxed);
     edgeCount.store(0, std::memory_order_relaxed);
     dedupCount.store(0, std::memory_order_relaxed);
-    adjBytes.store(0, std::memory_order_relaxed);
     pool.run([&](std::uint32_t) {
       std::uint64_t localEdges = 0;
       std::uint64_t localDedup = 0;
-      std::uint64_t localBytes = 0;
       for (;;) {
         const std::uint32_t p =
             nodeCursor.fetch_add(1, std::memory_order_relaxed);
@@ -357,28 +405,30 @@ ConfigGraph exploreParallelImpl(const Protocol& proto,
           ++localEdges;
           if (c.dedupHit) ++localDedup;
         }
-        localBytes += adj.capacity() * sizeof(Edge);
       }
       edgeCount.fetch_add(localEdges, std::memory_order_relaxed);
       dedupCount.fetch_add(localDedup, std::memory_order_relaxed);
-      adjBytes.fetch_add(localBytes, std::memory_order_relaxed);
     });
 
     if (cut < L) {
       g.truncated = true;
+      g.truncatedByBudget = cutByBudget;
       // The serial deque at the cap: the unexpanded level tail, then the new
       // nodes discovered by the expanded prefix, in discovery (= id) order.
       std::vector<std::uint32_t> rest(frontier.begin() + cut, frontier.end());
       rest.insert(rest.end(), nextFrontier.begin(), nextFrontier.end());
       tracker.recordLevel(cut, edgeCount.load(), dedupCount.load(),
-                          adjBytes.load(), rest.size());
-      tracker.recordTruncation(options.maxNodes, rest);
+                          rest.size());
+      // Match the serial top-of-loop state at the cut before reporting it.
+      tracker.checkpoint(rest.size());
+      tracker.recordTruncation(options.maxNodes, options.maxBytes, cutByBudget,
+                               rest);
       frontier = std::move(rest);
       break;
     }
 
     tracker.recordLevel(L, edgeCount.load(), dedupCount.load(),
-                        adjBytes.load(), nextFrontier.size());
+                        nextFrontier.size());
     frontier = std::move(nextFrontier);
   }
 

@@ -103,7 +103,8 @@ CandidateVerdict evaluateCandidate(
     StateId q, std::uint32_t n, Fairness fairness, bool symmetricSpace,
     bool selfStabilizing,
     const std::function<Problem(const Protocol&)>& problemFor,
-    std::uint64_t idx, std::size_t maxNodes, ExploreObserver* observer,
+    std::uint64_t idx, std::size_t maxNodes, std::uint64_t maxBytes,
+    ExploreObserver* observer,
     const std::function<std::uint64_t()>& nextExploreId) {
   const TabularProtocol proto = symmetricSpace ? decodeSymmetricProtocol(q, idx)
                                                : decodeAnyProtocol(q, idx);
@@ -112,6 +113,7 @@ CandidateVerdict evaluateCandidate(
   auto solvesFrom = [&](const std::vector<Configuration>& initials) {
     ExploreOptions exploreOptions;
     exploreOptions.maxNodes = maxNodes;
+    exploreOptions.maxBytes = maxBytes;
     exploreOptions.observer = observer;
     exploreOptions.exploreId = nextExploreId();
     if (fairness == Fairness::kGlobal) {
@@ -197,7 +199,7 @@ SearchOutcome searchProblem(
       ++outcome.examined;
       const CandidateVerdict verdict = evaluateCandidate(
           q, n, fairness, symmetricSpace, selfStabilizing, problemFor, idx,
-          options.maxNodes, observer,
+          options.maxNodes, options.maxBytes, observer,
           [&] { return (searchId << 32) | ++exploreSeq; });
       if (verdict == CandidateVerdict::kSolves) {
         ++outcome.solvers;
@@ -258,7 +260,7 @@ SearchOutcome searchProblem(
         if (idx >= total) break;
         const CandidateVerdict verdict = evaluateCandidate(
             q, n, fairness, symmetricSpace, selfStabilizing, problemFor, idx,
-            options.maxNodes, observer, [&] {
+            options.maxNodes, options.maxBytes, observer, [&] {
               return (searchId << 32) |
                      (exploreSeq.fetch_add(1, std::memory_order_relaxed) + 1);
             });

@@ -79,6 +79,10 @@ constexpr std::uint64_t kSearchProgressStride = 256;
 struct SearchOptions {
   /// Node cap for every per-candidate exploration.
   std::size_t maxNodes = 4'000'000;
+  /// Byte budget for every per-candidate exploration (ExploreOptions.
+  /// maxBytes; 0 disables). A budget-truncated exploration leaves the
+  /// candidate `unknown`, exactly like a node-cap truncation.
+  std::uint64_t maxBytes = 0;
   /// Worker threads dispatching CANDIDATES (the inner explorations stay
   /// serial — candidate-level parallelism dominates for these workloads).
   /// 1 = today's serial loop; 0 = hardware concurrency. The outcome is

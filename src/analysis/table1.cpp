@@ -32,12 +32,14 @@ Table1Check expectFail(Table1Check solves) {
 struct Checks {
   ExploreObserver* observer = nullptr;
   std::uint32_t threads = 1;
+  std::uint64_t maxBytes = 0;
   std::uint64_t nextExplore = 0;
   std::uint64_t nextSearch = 256;
 
   ExploreOptions exploreOptions() {
     ExploreOptions options;
     options.maxNodes = 8'000'000;
+    options.maxBytes = maxBytes;
     options.threads = threads;
     options.observer = observer;
     options.exploreId = ++nextExplore;
@@ -71,6 +73,7 @@ struct Checks {
   Table1Check searchEmpty(StateId q, std::uint32_t n, Fairness fairness) {
     SearchOptions options;
     options.threads = threads;
+    options.maxBytes = maxBytes;
     options.observer = observer;
     options.searchId = ++nextSearch;
     const SearchOutcome out =
@@ -113,6 +116,7 @@ Table1CellResult runTable1Cell(std::uint32_t index, StateId p,
   Checks checks;
   checks.observer = options.observer;
   checks.threads = options.threads;
+  checks.maxBytes = options.maxBytes;
   checks.nextExplore = options.exploreIdBase;
   checks.nextSearch = options.searchIdBase;
 

@@ -47,6 +47,9 @@ struct Table1Options {
   /// Worker threads for checker explorations and exhaustive searches
   /// (0 = hardware concurrency). Verdicts are bit-identical for any value.
   std::uint32_t threads = 1;
+  /// Byte budget for every exploration this cell performs (ExploreOptions.
+  /// maxBytes; 0 disables). Budget-truncated checks report kUnknown.
+  std::uint64_t maxBytes = 0;
   /// Telemetry probe for explore/search events (not owned; may be null).
   ExploreObserver* observer = nullptr;
   /// Event-id bases for this cell's explorations and searches. Callers

@@ -29,8 +29,7 @@ WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
   const ConfigGraph graph = exploreConcrete(proto, initials, options);
   verdict.numConfigs = graph.size();
   if (graph.truncated) {
-    verdict.reason = "state space exceeded " + std::to_string(options.maxNodes) +
-                     " configurations; no verdict";
+    verdict.reason = truncationReason(graph, options);
     return verdict;
   }
   verdict.explored = true;

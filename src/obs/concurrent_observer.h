@@ -44,6 +44,10 @@ class SerializedExploreObserver final : public ExploreObserver {
     const std::lock_guard<std::mutex> lock(mu_);
     inner_->onSearchProgress(e);
   }
+  void onMemorySample(const MemorySampleEvent& e) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inner_->onMemorySample(e);
+  }
 
  private:
   ExploreObserver* inner_;

@@ -195,6 +195,9 @@ void JsonlEventSink::onTruncated(const ExploreTruncatedEvent& e) {
   w.key("nodes").value(e.nodes);
   w.key("max_nodes").value(e.maxNodes);
   w.key("frontier_size").value(static_cast<std::uint64_t>(e.frontier.size()));
+  w.key("max_bytes").value(e.maxBytes);
+  w.key("bytes_at_cut").value(e.bytesAtCut);
+  w.key("by_budget").value(e.byBudget);
   w.key("elapsed_ms").value(elapsedMillis());
   w.endObject();
   writeLine(w.str());
@@ -210,6 +213,25 @@ void JsonlEventSink::onSearchProgress(const SearchProgressEvent& e) {
   w.key("solvers").value(e.solvers);
   w.key("unknown").value(e.unknown);
   w.key("candidates_per_sec").value(e.candidatesPerSec);
+  w.key("done").value(e.done);
+  w.key("elapsed_ms").value(elapsedMillis());
+  w.endObject();
+  writeLine(w.str());
+}
+
+void JsonlEventSink::onMemorySample(const MemorySampleEvent& e) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("event").value("memory_sample");
+  w.key("explore").value(e.exploreId);
+  w.key("configs_bytes").value(e.configsBytes);
+  w.key("adjacency_bytes").value(e.adjacencyBytes);
+  w.key("dedup_bytes").value(e.dedupBytes);
+  w.key("frontier_bytes").value(e.frontierBytes);
+  w.key("codec_bytes").value(e.codecBytes);
+  w.key("total_bytes").value(e.totalBytes);
+  w.key("high_water_bytes").value(e.highWaterBytes);
+  w.key("rss_bytes").value(e.rssBytes);
   w.key("done").value(e.done);
   w.key("elapsed_ms").value(elapsedMillis());
   w.endObject();
@@ -234,6 +256,8 @@ void JsonlEventSink::onBatchProgress(const BatchProgressEvent& e) {
   w.key("completed").value(e.completed);
   w.key("total").value(e.total);
   w.key("degraded").value(e.degraded);
+  w.key("lanes_live").value(e.lanesLive);
+  w.key("lanes_retired").value(e.lanesRetired);
   w.key("elapsed_ms").value(now);
   w.endObject();
   writeLine(w.str());

@@ -9,7 +9,10 @@
 //   fault_injected  {run, at, target: "mobile"|"leader", agent}
 //   watchdog_abort  {run, at, budget_millis}
 //   cancelled       {run, at}
-//   batch_progress  {completed, total, degraded}
+//   batch_progress  {completed, total, degraded, lanes_live, lanes_retired}
+//                   (the lane fields are 0/absent-semantics for scalar batch
+//                   drivers; the SoA batch engine reports live-lane occupancy
+//                   and cumulative silence retirements per completed block)
 //
 // The sink also implements ExploreObserver (obs/explore_observer.h), so one
 // file carries both simulation and analysis telemetry (E22):
@@ -17,9 +20,16 @@
 //                      bytes_estimate, nodes_per_sec, done}
 //   phase_start       {explore, phase}
 //   phase_end         {explore, phase, wall_millis}
-//   explore_truncated {explore, nodes, max_nodes, frontier_size}
+//   explore_truncated {explore, nodes, max_nodes, frontier_size, max_bytes,
+//                      bytes_at_cut, by_budget}
 //   search_progress   {search, examined, total, solvers, unknown,
 //                      candidates_per_sec, done}
+//   memory_sample     {explore, configs_bytes, adjacency_bytes, dedup_bytes,
+//                      frontier_bytes, codec_bytes, total_bytes,
+//                      high_water_bytes, rss_bytes, done} (E27: the
+//                      MemoryLedger's attributed footprint; rss_bytes is the
+//                      resource_sampler self-sample for drift checks, 0 when
+//                      /proc was unreadable)
 //
 // Silence checks are deliberately NOT streamed (they fire every
 // checkInterval interactions and would dwarf everything else); count them
@@ -102,6 +112,7 @@ class JsonlEventSink final : public RunObserver, public ExploreObserver {
   void onPhaseEnd(const ExplorePhaseEndEvent& e) override;
   void onTruncated(const ExploreTruncatedEvent& e) override;
   void onSearchProgress(const SearchProgressEvent& e) override;
+  void onMemorySample(const MemorySampleEvent& e) override;
 
   // Campaign-orchestration events (schema above; called directly by the
   // orchestrator, which owns its sink — no probe interface involved).

@@ -57,16 +57,41 @@ struct ExplorePhaseEndEvent {
   double wallMillis = 0.0;  ///< duration of the phase
 };
 
-/// Exploration hit maxNodes before closing the frontier. Carries the
-/// unexpanded frontier (node ids into the returned ConfigGraph) that was
-/// previously dropped on the floor, so a consumer can resume, sample, or at
-/// least report *where* the explosion happened.
+/// Exploration hit maxNodes (or the byte budget) before closing the
+/// frontier. Carries the unexpanded frontier (node ids into the returned
+/// ConfigGraph) that was previously dropped on the floor, so a consumer can
+/// resume, sample, or at least report *where* the explosion happened.
 struct ExploreTruncatedEvent {
   std::uint64_t exploreId = 0;
   std::uint64_t nodes = 0;     ///< nodes interned when the cap fired
-  std::uint64_t maxNodes = 0;  ///< the cap that fired
+  std::uint64_t maxNodes = 0;  ///< the node cap in force
   /// Unexpanded node ids, in BFS order, valid in the returned ConfigGraph.
   std::vector<std::uint32_t> frontier;
+  std::uint64_t maxBytes = 0;     ///< the byte budget in force (0 = none)
+  std::uint64_t bytesAtCut = 0;   ///< ledger total when the cut fired
+  bool byBudget = false;          ///< true when the BYTE budget fired the cut
+};
+
+/// Periodic memory snapshot of one exploration (DESIGN decision 18): the
+/// MemoryLedger's per-component bytes, high-water mark, and a best-effort
+/// /proc self-sample for ledger-vs-RSS drift. Emitted at the same cadence as
+/// ExploreProgressEvent (every kExploreProgressStride expansions plus the
+/// final done event). All fields except rssBytes/elapsedMillis are
+/// deterministic: identical at every thread and shard count.
+struct MemorySampleEvent {
+  std::uint64_t exploreId = 0;
+  std::uint64_t configsBytes = 0;    ///< node storage (slots + mobile heap)
+  std::uint64_t adjacencyBytes = 0;  ///< per-node edge allocations
+  std::uint64_t dedupBytes = 0;      ///< hash table nodes + buckets + slots
+  std::uint64_t frontierBytes = 0;   ///< BFS frontier entries
+  std::uint64_t codecBytes = 0;      ///< packed-config heap spill
+  std::uint64_t totalBytes = 0;      ///< sum of the five components
+  std::uint64_t highWaterBytes = 0;  ///< peak total at any checkpoint so far
+  /// Process RSS from the resource_sampler self-sample (0 if unavailable).
+  /// NOT deterministic — a drift diagnostic, excluded from bit-identity.
+  std::uint64_t rssBytes = 0;
+  double elapsedMillis = 0.0;  ///< wall time since the exploration began
+  bool done = false;           ///< true on the final (completion) event
 };
 
 /// Periodic progress of an exhaustive protocol-space search
@@ -94,6 +119,7 @@ class ExploreObserver {
   virtual void onPhaseEnd(const ExplorePhaseEndEvent&) {}
   virtual void onTruncated(const ExploreTruncatedEvent&) {}
   virtual void onSearchProgress(const SearchProgressEvent&) {}
+  virtual void onMemorySample(const MemorySampleEvent&) {}
 };
 
 /// Fan-out to several explore observers (e.g. JSONL sink + metrics + trace).
@@ -121,6 +147,9 @@ class MultiExploreObserver final : public ExploreObserver {
   }
   void onSearchProgress(const SearchProgressEvent& e) override {
     for (auto* o : observers_) o->onSearchProgress(e);
+  }
+  void onMemorySample(const MemorySampleEvent& e) override {
+    for (auto* o : observers_) o->onMemorySample(e);
   }
 
  private:

@@ -16,6 +16,8 @@ MetricsRunObserver::MetricsRunObserver(MetricsRegistry& registry)
       batchCompleted_(registry.gauge("batch_completed")),
       batchTotal_(registry.gauge("batch_total")),
       batchDegraded_(registry.gauge("batch_degraded")),
+      batchLanesLive_(registry.gauge("batch_lanes_live")),
+      batchLanesRetired_(registry.gauge("batch_lanes_retired")),
       convergenceInteractions_(registry.histogram(
           "convergence_interactions",
           {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8})) {}
@@ -57,6 +59,9 @@ void MetricsRunObserver::onBatchProgress(const BatchProgressEvent& e) {
   MetricsRegistry::set(batchCompleted_, static_cast<std::int64_t>(e.completed));
   MetricsRegistry::set(batchTotal_, static_cast<std::int64_t>(e.total));
   MetricsRegistry::set(batchDegraded_, static_cast<std::int64_t>(e.degraded));
+  MetricsRegistry::set(batchLanesLive_, static_cast<std::int64_t>(e.lanesLive));
+  MetricsRegistry::set(batchLanesRetired_,
+                       static_cast<std::int64_t>(e.lanesRetired));
 }
 
 MetricsExploreObserver::MetricsExploreObserver(MetricsRegistry& registry)
@@ -71,6 +76,13 @@ MetricsExploreObserver::MetricsExploreObserver(MetricsRegistry& registry)
       exploreBytesEstimate_(registry.gauge("explore_bytes_estimate")),
       searchSolvers_(registry.gauge("search_solvers")),
       searchUnknown_(registry.gauge("search_unknown")),
+      memConfigsBytes_(registry.gauge("mem_configs_bytes")),
+      memAdjacencyBytes_(registry.gauge("mem_adjacency_bytes")),
+      memDedupBytes_(registry.gauge("mem_dedup_bytes")),
+      memFrontierBytes_(registry.gauge("mem_frontier_bytes")),
+      memCodecBytes_(registry.gauge("mem_codec_bytes")),
+      memTotalBytes_(registry.gauge("mem_total_bytes")),
+      memHighWaterBytes_(registry.gauge("mem_high_water_bytes")),
       explorePhaseMillis_(registry.histogram(
           "explore_phase_millis", {1e-1, 1e0, 1e1, 1e2, 1e3, 1e4, 1e5})) {}
 
@@ -91,6 +103,20 @@ void MetricsExploreObserver::onPhaseEnd(const ExplorePhaseEndEvent& e) {
 
 void MetricsExploreObserver::onTruncated(const ExploreTruncatedEvent&) {
   registry_->add(explorationsTruncated_);
+}
+
+void MetricsExploreObserver::onMemorySample(const MemorySampleEvent& e) {
+  MetricsRegistry::set(memConfigsBytes_,
+                       static_cast<std::int64_t>(e.configsBytes));
+  MetricsRegistry::set(memAdjacencyBytes_,
+                       static_cast<std::int64_t>(e.adjacencyBytes));
+  MetricsRegistry::set(memDedupBytes_, static_cast<std::int64_t>(e.dedupBytes));
+  MetricsRegistry::set(memFrontierBytes_,
+                       static_cast<std::int64_t>(e.frontierBytes));
+  MetricsRegistry::set(memCodecBytes_, static_cast<std::int64_t>(e.codecBytes));
+  MetricsRegistry::set(memTotalBytes_, static_cast<std::int64_t>(e.totalBytes));
+  MetricsRegistry::set(memHighWaterBytes_,
+                       static_cast<std::int64_t>(e.highWaterBytes));
 }
 
 void MetricsExploreObserver::onSearchProgress(const SearchProgressEvent& e) {

@@ -7,7 +7,9 @@
 //   counters   runs_started, runs_ended, runs_converged, runs_named,
 //              runs_timed_out, runs_cancelled, silence_checks,
 //              faults_injected, watchdog_aborts
-//   gauges     batch_completed, batch_total, batch_degraded (last batch seen)
+//   gauges     batch_completed, batch_total, batch_degraded,
+//              batch_lanes_live, batch_lanes_retired (last batch seen; the
+//              lane gauges stay 0 for scalar batch drivers)
 //   histograms convergence_interactions (converged runs only; decade buckets)
 //
 // MetricsExploreObserver is the analysis-layer twin: it folds ExploreObserver
@@ -20,7 +22,10 @@
 //              (candidates examined across all search_progress deltas)
 //   gauges     explore_nodes, explore_edges, explore_dedup_hits,
 //              explore_bytes_estimate (last progress event seen),
-//              search_solvers, search_unknown (last search event seen)
+//              search_solvers, search_unknown (last search event seen),
+//              mem_configs_bytes, mem_adjacency_bytes, mem_dedup_bytes,
+//              mem_frontier_bytes, mem_codec_bytes, mem_total_bytes,
+//              mem_high_water_bytes (last memory_sample seen; DESIGN 18)
 //   histograms explore_phase_millis (decade buckets, every phase_end)
 #pragma once
 
@@ -48,7 +53,8 @@ class MetricsRunObserver final : public RunObserver {
   CounterHandle runsStarted_, runsEnded_, runsConverged_, runsNamed_,
       runsTimedOut_, runsCancelled_, silenceChecks_, faultsInjected_,
       watchdogAborts_;
-  GaugeHandle batchCompleted_, batchTotal_, batchDegraded_;
+  GaugeHandle batchCompleted_, batchTotal_, batchDegraded_, batchLanesLive_,
+      batchLanesRetired_;
   HistogramHandle convergenceInteractions_;
 };
 
@@ -61,13 +67,16 @@ class MetricsExploreObserver final : public ExploreObserver {
   void onPhaseEnd(const ExplorePhaseEndEvent& e) override;
   void onTruncated(const ExploreTruncatedEvent& e) override;
   void onSearchProgress(const SearchProgressEvent& e) override;
+  void onMemorySample(const MemorySampleEvent& e) override;
 
  private:
   MetricsRegistry* registry_;
   CounterHandle explorations_, explorationsTruncated_, explorePhases_,
       searchCandidates_;
   GaugeHandle exploreNodes_, exploreEdges_, exploreDedupHits_,
-      exploreBytesEstimate_, searchSolvers_, searchUnknown_;
+      exploreBytesEstimate_, searchSolvers_, searchUnknown_, memConfigsBytes_,
+      memAdjacencyBytes_, memDedupBytes_, memFrontierBytes_, memCodecBytes_,
+      memTotalBytes_, memHighWaterBytes_;
   HistogramHandle explorePhaseMillis_;
   /// Last search_progress seen (searches run sequentially into one
   /// observer), so search_candidates counts each candidate once despite

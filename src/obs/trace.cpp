@@ -365,6 +365,8 @@ void ChromeTraceObserver::onFaultInjected(const FaultInjectedEvent& e) {
 
 void ChromeTraceObserver::onBatchProgress(const BatchProgressEvent& e) {
   writer_->counter("batch_completed", static_cast<double>(e.completed));
+  writer_->counter("batch_lanes_live", static_cast<double>(e.lanesLive));
+  writer_->counter("batch_lanes_retired", static_cast<double>(e.lanesRetired));
 }
 
 void ChromeTraceObserver::onExploreProgress(const ExploreProgressEvent& e) {
@@ -390,6 +392,15 @@ void ChromeTraceObserver::onTruncated(const ExploreTruncatedEvent& e) {
 void ChromeTraceObserver::onSearchProgress(const SearchProgressEvent& e) {
   writer_->counter("search_examined", static_cast<double>(e.examined));
   writer_->counter("search_solvers", static_cast<double>(e.solvers));
+}
+
+void ChromeTraceObserver::onMemorySample(const MemorySampleEvent& e) {
+  writer_->counter("mem_configs", static_cast<double>(e.configsBytes));
+  writer_->counter("mem_adjacency", static_cast<double>(e.adjacencyBytes));
+  writer_->counter("mem_dedup", static_cast<double>(e.dedupBytes));
+  writer_->counter("mem_frontier", static_cast<double>(e.frontierBytes));
+  writer_->counter("mem_codec", static_cast<double>(e.codecBytes));
+  writer_->counter("mem_total", static_cast<double>(e.totalBytes));
 }
 
 }  // namespace ppn

@@ -174,11 +174,15 @@ class ChromeTraceWriter {
 ///   run_start/run_end         -> "run <id>" duration on the worker's track
 ///   fault_injected            -> instant
 ///   watchdog_abort/cancelled  -> instant
-///   batch_progress            -> "batch_completed" counter
+///   batch_progress            -> "batch_completed" + "batch_lanes_live" /
+///                                "batch_lanes_retired" counters
 ///   phase_start/phase_end     -> nested duration named after the phase
 ///   explore_progress          -> "explore_nodes"/"explore_frontier" counters
 ///   explore_truncated         -> instant
 ///   search_progress           -> "search_examined"/"search_solvers" counters
+///   memory_sample             -> per-component "mem_configs"/"mem_adjacency"
+///                                /"mem_dedup"/"mem_frontier"/"mem_codec"
+///                                counter tracks plus "mem_total"
 /// The writer is not owned and must outlive the observer.
 class ChromeTraceObserver final : public RunObserver, public ExploreObserver {
  public:
@@ -196,6 +200,7 @@ class ChromeTraceObserver final : public RunObserver, public ExploreObserver {
   void onPhaseEnd(const ExplorePhaseEndEvent& e) override;
   void onTruncated(const ExploreTruncatedEvent& e) override;
   void onSearchProgress(const SearchProgressEvent& e) override;
+  void onMemorySample(const MemorySampleEvent& e) override;
 
  private:
   ChromeTraceWriter* writer_;

@@ -218,16 +218,21 @@ void BatchEngine::finishBlock(const std::shared_ptr<Job>& job, std::uint32_t lo,
   }
   // Batch progress mirrors runBatch: one event per completed run. Blocks
   // skipped by cancellation or killed by an exception report no progress,
-  // like the scalar workers they replace.
+  // like the scalar workers they replace. Lane telemetry rides along:
+  // lanesLive counts runs not yet completed (the kernel's remaining
+  // occupancy) and lanesRetired the completed runs that reached silence —
+  // both derived from outcomes under the job lock, so the enriched stream
+  // stays deterministic for any pool size or block interleaving.
   if (job->spec.observer != nullptr && ranCleanly &&
       !job->cancel_.load(std::memory_order_relaxed)) {
+    const auto total = static_cast<std::uint32_t>(job->plans.size());
     for (std::uint32_t r = lo; r < hi; ++r) {
       if (job->outcomes_[r].timedOut) ++job->progressDegraded_;
+      if (job->outcomes_[r].silent) ++job->progressRetired_;
       ++job->progressCompleted_;
-      job->spec.observer->onBatchProgress(
-          BatchProgressEvent{job->progressCompleted_,
-                             static_cast<std::uint32_t>(job->plans.size()),
-                             job->progressDegraded_});
+      job->spec.observer->onBatchProgress(BatchProgressEvent{
+          job->progressCompleted_, total, job->progressDegraded_,
+          total - job->progressCompleted_, job->progressRetired_});
     }
   }
   if (job->sink) {

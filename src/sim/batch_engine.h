@@ -114,6 +114,7 @@ class BatchEngine {
     std::uint64_t errorRun_ = ~std::uint64_t{0};
     std::uint32_t progressCompleted_ = 0;
     std::uint32_t progressDegraded_ = 0;
+    std::uint32_t progressRetired_ = 0;  ///< completed lanes that went silent
   };
 
   explicit BatchEngine(BatchEngineOptions options = {});

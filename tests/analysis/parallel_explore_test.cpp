@@ -45,6 +45,7 @@ void expectGraphsIdentical(const ConfigGraph& serial, const ConfigGraph& par,
   ASSERT_EQ(serial.size(), par.size()) << where;
   EXPECT_EQ(serial.numParticipants, par.numParticipants) << where;
   EXPECT_EQ(serial.truncated, par.truncated) << where;
+  EXPECT_EQ(serial.truncatedByBudget, par.truncatedByBudget) << where;
   for (std::size_t i = 0; i < serial.size(); ++i) {
     ASSERT_EQ(serial.configs[i], par.configs[i]) << where << " node " << i;
     ASSERT_EQ(serial.adj[i].size(), par.adj[i].size())
@@ -385,9 +386,11 @@ TEST(PackedCodec, WideStateSpaceUsesMultiByteElements) {
 }
 
 // ---------------------------------------------------------------------------
-// Memory-estimate bugfix: configGraphBytes must charge CAPACITY, not size,
-// for per-node heap allocations, and the final done-event estimate must land
-// exactly on it.
+// Memory estimates: configGraphBytes must charge CAPACITY, not size, for
+// per-node heap allocations, and the final done-event estimate (the memory
+// ledger's total, which additionally counts the dedup table, frontier and
+// codec spill) must cover it, match the final memory_sample exactly, and be
+// engine-invariant.
 
 TEST(ConfigGraphBytes, ChargesCapacityNotSize) {
   ConfigGraph g;
@@ -417,31 +420,55 @@ class ProgressCapture final : public ExploreObserver {
   void onExploreProgress(const ExploreProgressEvent& e) override {
     events.push_back(e);
   }
+  void onMemorySample(const MemorySampleEvent& e) override {
+    samples.push_back(e);
+  }
   std::vector<ExploreProgressEvent> events;
+  std::vector<MemorySampleEvent> samples;
 };
 
-TEST(ConfigGraphBytes, FinalProgressEventMatchesExactly) {
+TEST(ConfigGraphBytes, FinalProgressEventMatchesLedgerTotal) {
   const auto proto = makeProtocol("counting", 3);
   const auto initials = allCanonicalConfigurations(*proto, 4);
+  std::uint64_t serialEstimate = 0;
   for (const std::uint32_t threads : {1u, 4u}) {
     ProgressCapture capture;
     ExploreOptions options = withThreads(threads);
     options.observer = &capture;
     const ConfigGraph g = exploreCanonical(*proto, initials, options);
     ASSERT_FALSE(capture.events.empty()) << "threads=" << threads;
+    ASSERT_FALSE(capture.samples.empty()) << "threads=" << threads;
     const ExploreProgressEvent& done = capture.events.back();
+    const MemorySampleEvent& mem = capture.samples.back();
     EXPECT_TRUE(done.done);
-    EXPECT_EQ(done.bytesEstimate, configGraphBytes(g))
-        << "threads=" << threads;
+    EXPECT_TRUE(mem.done);
     EXPECT_EQ(done.nodes, g.size());
+    // The estimate is the ledger total: it must agree with the final
+    // memory_sample bit-for-bit, decompose into its components, cover the
+    // retained graph (it additionally counts the dedup table), and not
+    // depend on the engine.
+    EXPECT_EQ(done.bytesEstimate, mem.totalBytes) << "threads=" << threads;
+    EXPECT_EQ(mem.totalBytes, mem.configsBytes + mem.adjacencyBytes +
+                                  mem.dedupBytes + mem.frontierBytes +
+                                  mem.codecBytes)
+        << "threads=" << threads;
+    EXPECT_GE(done.bytesEstimate, configGraphBytes(g)) << "threads=" << threads;
+    EXPECT_GT(mem.dedupBytes, 0u) << "threads=" << threads;
+    EXPECT_GE(mem.highWaterBytes, mem.totalBytes) << "threads=" << threads;
+    if (threads == 1) {
+      serialEstimate = done.bytesEstimate;
+    } else {
+      EXPECT_EQ(done.bytesEstimate, serialEstimate) << "threads=" << threads;
+    }
   }
 }
 
-TEST(ConfigGraphBytes, TruncatedGraphStillMatches) {
+TEST(ConfigGraphBytes, TruncatedGraphStillMatchesLedger) {
   const auto proto = makeProtocol("counting", 3);
   const auto initials = allCanonicalConfigurations(*proto, 4);
   const ConfigGraph full = exploreCanonical(*proto, initials, withThreads(1));
   const std::size_t cap = initials.size() + (full.size() - initials.size()) / 2;
+  std::uint64_t serialEstimate = 0;
   for (const std::uint32_t threads : {1u, 4u}) {
     ProgressCapture capture;
     ExploreOptions options = withThreads(threads, cap);
@@ -449,8 +476,18 @@ TEST(ConfigGraphBytes, TruncatedGraphStillMatches) {
     const ConfigGraph g = exploreCanonical(*proto, initials, options);
     ASSERT_TRUE(g.truncated);
     ASSERT_FALSE(capture.events.empty());
-    EXPECT_EQ(capture.events.back().bytesEstimate, configGraphBytes(g))
+    ASSERT_FALSE(capture.samples.empty());
+    EXPECT_EQ(capture.events.back().bytesEstimate,
+              capture.samples.back().totalBytes)
         << "threads=" << threads;
+    EXPECT_GE(capture.events.back().bytesEstimate, configGraphBytes(g))
+        << "threads=" << threads;
+    if (threads == 1) {
+      serialEstimate = capture.events.back().bytesEstimate;
+    } else {
+      EXPECT_EQ(capture.events.back().bytesEstimate, serialEstimate)
+          << "threads=" << threads;
+    }
   }
 }
 

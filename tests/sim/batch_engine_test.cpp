@@ -56,6 +56,13 @@ class SequenceObserver final : public RunObserver {
     std::lock_guard<std::mutex> lock(mu_);
     ++progressEvents_;
     lastProgressTotal_ = e.total;
+    lastLanesLive_ = e.lanesLive;
+    lastLanesRetired_ = e.lanesRetired;
+    // Lane-telemetry invariants that must hold on *every* event, regardless
+    // of pool geometry: occupancy is exactly the not-yet-completed runs, and
+    // retired (silent) lanes are a subset of the completed ones.
+    if (e.lanesLive != e.total - e.completed) laneInvariantsHold_ = false;
+    if (e.lanesRetired > e.completed) laneInvariantsHold_ = false;
   }
 
   std::map<std::uint64_t, std::vector<std::string>> sequences() const {
@@ -70,6 +77,18 @@ class SequenceObserver final : public RunObserver {
     std::lock_guard<std::mutex> lock(mu_);
     return lastProgressTotal_;
   }
+  std::uint32_t lastLanesLive() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lastLanesLive_;
+  }
+  std::uint32_t lastLanesRetired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lastLanesRetired_;
+  }
+  bool laneInvariantsHold() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return laneInvariantsHold_;
+  }
 
  private:
   void append(std::uint64_t runId, std::string line) {
@@ -80,6 +99,9 @@ class SequenceObserver final : public RunObserver {
   std::map<std::uint64_t, std::vector<std::string>> sequences_;
   std::uint32_t progressEvents_ = 0;
   std::uint32_t lastProgressTotal_ = 0;
+  std::uint32_t lastLanesLive_ = ~0u;
+  std::uint32_t lastLanesRetired_ = 0;
+  bool laneInvariantsHold_ = true;
 };
 
 void expectSameSummary(const Summary& a, const Summary& b,
@@ -210,6 +232,33 @@ TEST(BatchEngine, ObserverEventStreamsMatchRunBatch) {
     // their count and total are deterministic across backends.
     EXPECT_EQ(engineObs.progressEvents(), spec.runs);
     EXPECT_EQ(engineObs.lastProgressTotal(), spec.runs);
+  }
+}
+
+TEST(BatchEngine, LaneTelemetryTracksOccupancyAndRetirement) {
+  const auto proto = makeProtocol("asymmetric", 8);
+  BatchSpec spec = smallSpec(8, InitKind::kArbitrary);
+
+  for (const std::uint32_t threads : {1u, 4u}) {
+    for (const std::uint32_t lanesPerTask : {1u, 3u, 256u}) {
+      SequenceObserver obs;
+      spec.observer = &obs;
+      BatchEngine engine(BatchEngineOptions{threads, lanesPerTask});
+      auto job = engine.submit(*proto, spec);
+      job->wait();
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " block=" + std::to_string(lanesPerTask);
+      EXPECT_TRUE(obs.laneInvariantsHold()) << label;
+      // The final progress event must report zero live lanes and a retired
+      // count equal to the runs that actually reached silence.
+      EXPECT_EQ(obs.lastLanesLive(), 0u) << label;
+      std::uint32_t silent = 0;
+      for (const RunOutcome& o : job->outcomes()) {
+        if (o.silent) ++silent;
+      }
+      EXPECT_EQ(obs.lastLanesRetired(), silent) << label;
+      EXPECT_GT(silent, 0u) << label;
+    }
   }
 }
 
