@@ -42,21 +42,30 @@ ppn-batch-throughput (E26):
     SKIPPED, not failed (lane batching cannot beat one dedicated core when
     there is only one core).
 
-ppn-explore-memory (E27):
-  * every registry protocol has exactly one row whose per-component ledger
-    bytes (configs/adjacency/dedup/frontier/codec) sum exactly to
-    totalBytes, with highWaterBytes >= totalBytes and a consistent
-    bytesPerNode = totalBytes / nodes;
+ppn-explore-memory (E27/E28):
+  * every registry protocol has exactly one row per graph storage
+    ("explicit" and "compressed") whose per-component ledger bytes
+    (configs/adjacency/dedup/frontier/codec) sum exactly to totalBytes,
+    with highWaterBytes >= totalBytes and a consistent bytesPerNode =
+    totalBytes / nodes. Node counts must be IDENTICAL across the two
+    storages — the compressed representation is behind the same explorer
+    contract, not an approximation of it;
+  * every compressed row carries spillBytes and a compressionRatio equal
+    to the explicit row's totalBytes over its own; the anchor protocol's
+    compressed row (named by rssProbe.protocol) must come in at most
+    150 bytes/node with a compression ratio of at least 2.2x — the ledger
+    is deterministic, so these absolute gates hold on any machine;
   * the rssProbe block is internally consistent: ledgerVsRssRatio ==
     ledgerTotalBytes / rssDeltaBytes, and the ratio stays within a loose
     [0.5, 1.5] band — the deterministic malloc-chunk model tracking the
-    kernel's real RSS delta. (The tighter 15% acceptance band is asserted
+    kernel's real RSS delta. (The tighter 5% acceptance band is asserted
     on the committed baseline, which was generated on a quiet heap; CI
     re-runs tolerate allocator noise.) When rssDeltaBytes == 0 the sampler
     was unavailable and the drift gate is SKIPPED, not failed;
   * with a second argument naming a committed baseline report, bytes/node
-    must not regress by more than 10% per protocol against it. An absent
-    or unreadable baseline SKIPS the gate (first commit of the report).
+    must not regress by more than 10% per (protocol, storage) against it.
+    An absent or unreadable baseline SKIPS the gate (first commit of the
+    report).
 
 Usage: check_bench.py BENCH_report.json [min_speedup]
        check_bench.py BENCH_explore_memory.json [baseline.json]
@@ -257,45 +266,91 @@ MEMORY_ROW_COMPONENTS = (
 )
 
 
+MEMORY_STORAGES = ("explicit", "compressed")
+# E28 absolute gates on the anchor's compressed row. The ledger is a
+# deterministic function of the exploration, so unlike the throughput floors
+# these hold on any machine.
+ANCHOR_MAX_BYTES_PER_NODE = 150.0
+ANCHOR_MIN_COMPRESSION = 2.2
+
+
 def check_explore_memory(doc, baseline_path):
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         fail("empty or missing rows")
 
     seen = {}
+    totals = {}
+    node_counts = {}
     for row in rows:
         proto = row.get("protocol")
+        storage = row.get("storage")
         if proto not in EXPECTED_PROTOCOLS:
             fail(f"unknown protocol {proto!r}")
-        if proto in seen:
-            fail(f"duplicate row for {proto!r}")
+        if storage not in MEMORY_STORAGES:
+            fail(f"{proto}: unknown storage {storage!r}")
+        label = f"{proto}/{storage}"
+        if (proto, storage) in seen:
+            fail(f"duplicate row for {label}")
         nodes = row.get("nodes", 0)
         if not isinstance(nodes, int) or nodes < 1:
-            fail(f"{proto}: missing/invalid nodes: {nodes!r}")
+            fail(f"{label}: missing/invalid nodes: {nodes!r}")
+        if proto in node_counts and node_counts[proto] != nodes:
+            fail(f"{proto}: node count {nodes} under {storage} differs from "
+                 f"{node_counts[proto]} under the other storage — the "
+                 f"compressed graph is not equivalent to the explicit one")
+        node_counts[proto] = nodes
         component_sum = 0
         for key in MEMORY_ROW_COMPONENTS + ("totalBytes", "highWaterBytes"):
             v = row.get(key)
             if not isinstance(v, int) or v < 0:
-                fail(f"{proto}: missing/invalid {key}: {v!r}")
+                fail(f"{label}: missing/invalid {key}: {v!r}")
             if key in MEMORY_ROW_COMPONENTS:
                 component_sum += v
         if component_sum != row["totalBytes"]:
-            fail(f"{proto}: ledger components sum to {component_sum}, not "
+            fail(f"{label}: ledger components sum to {component_sum}, not "
                  f"totalBytes={row['totalBytes']}")
         if row["highWaterBytes"] < row["totalBytes"]:
-            fail(f"{proto}: highWaterBytes {row['highWaterBytes']} below "
+            fail(f"{label}: highWaterBytes {row['highWaterBytes']} below "
                  f"totalBytes {row['totalBytes']}")
         bpn = row.get("bytesPerNode", 0.0)
         if abs(bpn - row["totalBytes"] / nodes) > 1e-6 * max(bpn, 1.0):
-            fail(f"{proto}: bytesPerNode {bpn} inconsistent with "
+            fail(f"{label}: bytesPerNode {bpn} inconsistent with "
                  f"{row['totalBytes']}/{nodes}")
-        seen[proto] = bpn
+        seen[(proto, storage)] = bpn
+        totals[(proto, storage)] = row["totalBytes"]
 
-    missing = EXPECTED_PROTOCOLS - set(seen)
+    missing = {(p, s) for p in EXPECTED_PROTOCOLS for s in MEMORY_STORAGES} \
+        - set(seen)
     if missing:
-        fail(f"missing rows for {sorted(missing)}")
+        fail(f"missing rows for {sorted(f'{p}/{s}' for p, s in missing)}")
+
+    ratios = {}
+    for row in rows:
+        if row.get("storage") != "compressed":
+            continue
+        proto = row["protocol"]
+        spill = row.get("spillBytes")
+        if not isinstance(spill, int) or spill < 0:
+            fail(f"{proto}/compressed: missing/invalid spillBytes: {spill!r}")
+        ratio = row.get("compressionRatio", 0.0)
+        expected = totals[(proto, "explicit")] / totals[(proto, "compressed")]
+        if abs(ratio - expected) > 1e-6 * max(ratio, 1.0):
+            fail(f"{proto}/compressed: compressionRatio {ratio} inconsistent "
+                 f"with explicit/compressed totals {expected:.4f}")
+        ratios[proto] = ratio
 
     probe = doc.get("rssProbe")
+    anchor = probe.get("protocol") if isinstance(probe, dict) else None
+    if anchor in ratios:
+        anchor_bpn = seen[(anchor, "compressed")]
+        if anchor_bpn > ANCHOR_MAX_BYTES_PER_NODE:
+            fail(f"{anchor}/compressed: anchor bytes/node {anchor_bpn:.1f} "
+                 f"exceeds the {ANCHOR_MAX_BYTES_PER_NODE:.0f} ceiling")
+        if ratios[anchor] < ANCHOR_MIN_COMPRESSION:
+            fail(f"{anchor}/compressed: anchor compression ratio "
+                 f"{ratios[anchor]:.2f}x is below the "
+                 f"{ANCHOR_MIN_COMPRESSION:.1f}x floor")
     drift_note = "rss drift skipped (sampler unavailable)"
     if isinstance(probe, dict) and probe.get("rssDeltaBytes", 0) > 0:
         delta = probe["rssDeltaBytes"]
@@ -318,19 +373,22 @@ def check_explore_memory(doc, baseline_path):
             base = None
         if base is not None and base.get("kind") == "ppn-explore-memory":
             for brow in base.get("rows", []):
-                proto = brow.get("protocol")
+                key = (brow.get("protocol"),
+                       brow.get("storage", "explicit"))
                 base_bpn = brow.get("bytesPerNode", 0.0)
-                if proto not in seen or not base_bpn > 0.0:
+                if key not in seen or not base_bpn > 0.0:
                     continue
-                if seen[proto] > base_bpn * 1.10:
-                    fail(f"{proto}: bytes/node {seen[proto]:.1f} regressed "
-                         f"more than 10% over the committed baseline "
-                         f"{base_bpn:.1f}")
+                if seen[key] > base_bpn * 1.10:
+                    fail(f"{key[0]}/{key[1]}: bytes/node {seen[key]:.1f} "
+                         f"regressed more than 10% over the committed "
+                         f"baseline {base_bpn:.1f}")
             gate_note = "baseline gate enforced (10% bytes/node)"
 
     print(f"check_bench: OK: memory ledger consistent on {len(rows)} "
-          "protocols, bytes/node "
-          + ", ".join(f"{p}={bpn:.1f}" for p, bpn in sorted(seen.items()))
+          "rows, compressed bytes/node "
+          + ", ".join(f"{p}={seen[(p, 'compressed')]:.1f}"
+                      f" ({ratios[p]:.2f}x)"
+                      for p in sorted(EXPECTED_PROTOCOLS))
           + f"; {drift_note}; {gate_note}")
 
 

@@ -26,13 +26,22 @@ Explore family (the E22 acceptance contract — lower_bound_search etc.):
   * metrics counters agree: explorations == done explore_progress lines,
     explorations_truncated == explore_truncated lines, explore_phases ==
     phase_end lines;
+  * explore_progress events carry the per-phase loop timing block
+    (expand_ms/dedup_ms/append_ms/io_ms and the derived
+    expand_nodes_per_sec/dedup_nodes_per_sec), all non-negative — the
+    rates that tell a dedup-bound level from an expand-bound one;
   * memory_sample events (E27) carry the full per-component ledger
     (configs/adjacency/dedup/frontier/codec bytes), the components sum to
     total_bytes exactly, high_water_bytes is monotone non-decreasing per
     exploration phase and never below total_bytes, an id's samples stop
     after its done=true sample, and — the drift bound — the deterministic
     ledger total never exceeds the sampled process RSS by more than 5%
-    when an RSS reading is available (rss_bytes > 0).
+    when an RSS reading is available (rss_bytes > 0);
+  * memory_sample events also carry the disk spill tier (E28):
+    spill_bytes/spill_runs are present, non-negative, zero together, and
+    when runs exist spill_bytes covers at least the per-run file headers
+    (spill bytes live on DISK, so they stay outside total_bytes and the
+    RSS drift bound).
 
 With --trace FILE, also validates a Chrome trace_event export:
   * top-level object with a traceEvents list and displayTimeUnit;
@@ -86,8 +95,15 @@ EXPLORE_EVENTS = {
 MEMORY_SAMPLE_FIELDS = (
     "explore", "configs_bytes", "adjacency_bytes", "dedup_bytes",
     "frontier_bytes", "codec_bytes", "total_bytes", "high_water_bytes",
-    "rss_bytes", "done",
+    "spill_bytes", "spill_runs", "rss_bytes", "done",
 )
+PROGRESS_TIMING_FIELDS = (
+    "expand_ms", "dedup_ms", "append_ms", "io_ms",
+    "expand_nodes_per_sec", "dedup_nodes_per_sec",
+)
+# Sorted spill run files open with a fixed 24-byte header (magic, entry
+# count, CRC) before the 12-byte records — mirrors spill_store.h.
+SPILL_RUN_HEADER_BYTES = 24
 MEMORY_COMPONENT_FIELDS = (
     "configs_bytes", "adjacency_bytes", "dedup_bytes", "frontier_bytes",
     "codec_bytes",
@@ -189,6 +205,13 @@ def check_explore_family(events_path, events):
                         fail(f"{events_path}:{lineno}: exploration "
                              f"{obj['explore']} {field} went backwards "
                              f"({pobj[field]} -> {obj[field]})")
+            for field in PROGRESS_TIMING_FIELDS:
+                if field not in obj:
+                    fail(f"{events_path}:{lineno}: explore_progress missing "
+                         f"{field}")
+                if obj[field] < 0:
+                    fail(f"{events_path}:{lineno}: exploration "
+                         f"{obj['explore']} negative {field}={obj[field]}")
             last_progress[obj["explore"]] = (lineno, obj)
         elif kind == "memory_sample":
             for field in MEMORY_SAMPLE_FIELDS:
@@ -204,6 +227,19 @@ def check_explore_family(events_path, events):
                 fail(f"{events_path}:{lineno}: exploration {obj['explore']} "
                      f"high_water_bytes {obj['high_water_bytes']} below "
                      f"total_bytes {obj['total_bytes']}")
+            spill_bytes, spill_runs = obj["spill_bytes"], obj["spill_runs"]
+            if spill_bytes < 0 or spill_runs < 0:
+                fail(f"{events_path}:{lineno}: exploration {obj['explore']} "
+                     f"negative spill tier (bytes={spill_bytes}, "
+                     f"runs={spill_runs})")
+            if (spill_bytes == 0) != (spill_runs == 0):
+                fail(f"{events_path}:{lineno}: exploration {obj['explore']} "
+                     f"spill_bytes={spill_bytes} inconsistent with "
+                     f"spill_runs={spill_runs} (zero together or not at all)")
+            if spill_bytes < spill_runs * SPILL_RUN_HEADER_BYTES:
+                fail(f"{events_path}:{lineno}: exploration {obj['explore']} "
+                     f"spill_bytes={spill_bytes} below the {spill_runs} run "
+                     f"headers alone")
             if obj["rss_bytes"] > 0 and \
                     obj["total_bytes"] > obj["rss_bytes"] * 1.05:
                 fail(f"{events_path}:{lineno}: exploration {obj['explore']} "

@@ -12,6 +12,8 @@
 //                        [--explore-stats-out stats.jsonl]
 //                        [--trace-out trace.json] [--metrics-out metrics.json]
 //                        [--memory-budget BYTES] [--memory-stats-out mem.json]
+//                        [--storage compressed|explicit]
+//                        [--spill-bytes BYTES] [--spill-dir DIR]
 //                        [--progress]
 //
 // Telemetry (E22): --explore-stats-out streams JSONL explore/search progress
@@ -28,6 +30,12 @@
 // like a node-cap truncation, deterministically for any thread count.
 // --memory-stats-out collects the memory_sample stream into a per-exploration
 // peak/final summary (ppn-memory-stats JSON).
+//
+// Storage (E28): --storage picks the graph representation (compressed is the
+// default, exactly as in ExploreOptions); --spill-bytes sets the dedup-table
+// spill threshold so the in-RAM fingerprint tier drains to sorted run files
+// in --spill-dir (default: system temp) — results are bit-identical to the
+// unspilled run, so every verdict below must be unchanged by these flags.
 //
 // A candidate whose exploration is truncated decides nothing: it is counted
 // `unknown`, warned about on stderr, and the job's verdict degrades to
@@ -72,7 +80,23 @@ int main(int argc, char** argv) {
       0);
   const auto* memStatsOut = cli.addString(
       "memory-stats-out", "write per-exploration memory peaks (JSON) here", "");
+  const auto* storage = cli.addString(
+      "storage", "graph storage: compressed (default) or explicit",
+      "compressed");
+  const auto* spillBytes = cli.addUint(
+      "spill-bytes",
+      "dedup-table spill threshold in bytes (0 = never spill; compressed only)",
+      0);
+  const auto* spillDir = cli.addString(
+      "spill-dir", "directory for spill run files (default: system temp)", "");
   if (!cli.parse(argc, argv)) return 1;
+  if (*storage != "compressed" && *storage != "explicit") {
+    std::fprintf(stderr,
+                 "lower_bound_search: --storage must be 'compressed' or "
+                 "'explicit', got '%s'\n",
+                 storage->c_str());
+    return 1;
+  }
 
   struct Job {
     std::string what;
@@ -160,6 +184,11 @@ int main(int argc, char** argv) {
     ppn::SearchOptions searchOptions;
     searchOptions.threads = static_cast<std::uint32_t>(*threads);
     searchOptions.maxBytes = *memoryBudget;
+    searchOptions.storage = *storage == "explicit"
+                                ? ppn::GraphStorage::kExplicit
+                                : ppn::GraphStorage::kCompressed;
+    searchOptions.spillBytes = *spillBytes;
+    searchOptions.spillDir = *spillDir;
     searchOptions.observer = observer;
     searchOptions.searchId = searchId;
     const ppn::SearchOutcome out =

@@ -28,6 +28,9 @@
 // plus a fresh-heap ledger-vs-RSS drift probe; EXPERIMENTS.md E27).
 #include <benchmark/benchmark.h>
 #include <unistd.h>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include <algorithm>
 #include <chrono>
@@ -35,6 +38,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -293,7 +297,7 @@ void BM_ExploreTelemetry(benchmark::State& state, bool observed) {
                                    &probe, ++exploreId)
                  : exploreConcrete(*proto, initials);
     nodes = graph.size();
-    benchmark::DoNotOptimize(graph.configs.data());
+    benchmark::DoNotOptimize(nodes);
   }
   state.counters["nodes"] = static_cast<double>(nodes);
 }
@@ -803,17 +807,30 @@ int dumpBatchThroughput(const std::string& path) {
 
 // --- E27: exploration memory profile ----------------------------------------
 
-/// Runs the E27 memory-profile experiment: one exploration per registry
-/// protocol with a MemoryStatsCollector attached, reporting per-component
-/// ledger bytes and bytes/node from each exploration's final (done=true)
-/// memory_sample. The first (largest) case runs on a FRESH heap; its ledger
-/// total is compared against the RSS growth observed while the graph and
-/// dedup table were still live (the final sample's rss_bytes minus the RSS
-/// just before exploring), pinning the DESIGN-18 malloc-chunk model against
-/// the real allocator. Later cases reuse freed arena pages, so only the
-/// anchor carries the drift block. Writes the ppn-explore-memory report
-/// consumed by .github/scripts/check_bench.py.
+/// Runs the E27/E28 memory-profile experiment: per registry protocol, one
+/// exploration in each graph storage (compressed first, then explicit) with a
+/// MemoryStatsCollector attached, reporting per-component ledger bytes and
+/// bytes/node from each exploration's final (done=true) memory_sample, plus
+/// the compression ratio (explicit total / compressed total) on compressed
+/// rows. The first run of the first (largest) case — the compressed anchor —
+/// lands on a FRESH heap; its ledger total is compared against the RSS growth
+/// observed while the graph and dedup table were still live (the final
+/// sample's rss_bytes minus the RSS just before exploring), pinning the
+/// DESIGN-18/19 malloc-chunk model against the real allocator. Later runs
+/// reuse freed arena pages, so only the anchor carries the drift block.
+/// Writes the ppn-explore-memory report consumed by
+/// .github/scripts/check_bench.py.
 int dumpExploreMemory(const std::string& path) {
+#if defined(__GLIBC__)
+  // Pin the mmap threshold. glibc's threshold is dynamic: once a large mmap'd
+  // block is freed it raises the threshold to that size, so later doubling
+  // generations of the stores' buffers are served from the arena and their
+  // freed predecessors linger in RSS. With a fixed threshold every large
+  // buffer is mmap'd and returned to the OS on free, so the anchor's RSS
+  // delta prices LIVE bytes — the state the ledger models — rather than the
+  // allocation history.
+  mallopt(M_MMAP_THRESHOLD, 128 * 1024);
+#endif
   struct Case {
     const char* key;
     StateId p;
@@ -837,6 +854,7 @@ int dumpExploreMemory(const std::string& path) {
   std::uint64_t rssBaseline = 0;
   std::uint64_t rssAtDone = 0;
   std::uint64_t anchorLedgerTotal = 0;
+  bool failed = false;
 
   JsonWriter w;
   w.beginObject();
@@ -852,65 +870,108 @@ int dumpExploreMemory(const std::string& path) {
         : c.declaredInit
             ? declaredUniformInitials(*proto, c.numMobile)
             : allConcreteConfigurations(*proto, c.numMobile);
-    ExploreOptions options;
-    options.observer = &collector;
-    options.exploreId = ++exploreId;
-    if (anchor) {
-      const auto before =
-          sampleProcessResources(static_cast<std::int64_t>(::getpid()));
-      if (before) rssBaseline = static_cast<std::uint64_t>(before->rssBytes);
-    }
-    const ConfigGraph g = c.canonical
-                              ? exploreCanonical(*proto, initials, options)
-                              : exploreConcrete(*proto, initials, options);
-    const auto sample = collector.lastSample(options.exploreId);
-    if (!sample || !sample->done || g.truncated) {
+
+    struct Run {
+      std::uint64_t nodes = 0;
+      MemorySampleEvent sample;
+    };
+    auto runOnce = [&](GraphStorage storage,
+                       bool probeRss) -> std::optional<Run> {
+      ExploreOptions options;
+      options.observer = &collector;
+      options.exploreId = ++exploreId;
+      options.storage = storage;
+      if (probeRss) {
+        const auto before =
+            sampleProcessResources(static_cast<std::int64_t>(::getpid()));
+        if (before) rssBaseline = static_cast<std::uint64_t>(before->rssBytes);
+      }
+      const ConfigGraph g = c.canonical
+                                ? exploreCanonical(*proto, initials, options)
+                                : exploreConcrete(*proto, initials, options);
+      const auto sample = collector.lastSample(options.exploreId);
+      if (!sample || !sample->done || g.truncated) return std::nullopt;
+      Run run;
+      run.nodes = g.size();
+      run.sample = *sample;
+      return run;
+    };
+
+    // Compressed first: the anchor's compressed run sees the fresh heap, so
+    // the RSS probe prices the representation the checkers actually run on.
+    const auto compressed = runOnce(GraphStorage::kCompressed, anchor);
+    const auto explicitRun = runOnce(GraphStorage::kExplicit, false);
+    if (!compressed || !explicitRun || compressed->nodes != explicitRun->nodes) {
       std::fprintf(stderr,
                    "micro_bench: E27 exploration of '%s' did not finish "
                    "cleanly; report aborted\n",
                    c.key);
-      return 1;
+      failed = true;
+      break;
     }
     if (anchor) {
       // The final sample's RSS was taken inside the exploration, while the
       // dedup table and frontier storage were still allocated — exactly the
       // state the ledger total models.
-      rssAtDone = sample->rssBytes;
-      anchorLedgerTotal = sample->totalBytes;
+      rssAtDone = compressed->sample.rssBytes;
+      anchorLedgerTotal = compressed->sample.totalBytes;
     }
-    const double bytesPerNode =
-        g.size() > 0 ? static_cast<double>(sample->totalBytes) /
-                           static_cast<double>(g.size())
-                     : 0.0;
-    w.beginObject();
-    w.key("protocol").value(c.key);
-    w.key("p").value(c.p);
-    w.key("numMobile").value(c.numMobile);
-    w.key("mode").value(c.canonical ? "canonical" : "concrete");
-    w.key("nodes").value(static_cast<std::uint64_t>(g.size()));
-    w.key("configsBytes").value(sample->configsBytes);
-    w.key("adjacencyBytes").value(sample->adjacencyBytes);
-    w.key("dedupBytes").value(sample->dedupBytes);
-    w.key("frontierBytes").value(sample->frontierBytes);
-    w.key("codecBytes").value(sample->codecBytes);
-    w.key("totalBytes").value(sample->totalBytes);
-    w.key("highWaterBytes").value(sample->highWaterBytes);
-    w.key("bytesPerNode").value(bytesPerNode);
-    w.endObject();
-    std::fprintf(stderr,
-                 "explore-memory %-16s P=%-3u N=%-3u nodes=%llu "
-                 "total=%.3gMB bytes/node=%.1f\n",
-                 c.key, c.p, c.numMobile,
-                 static_cast<unsigned long long>(g.size()),
-                 static_cast<double>(sample->totalBytes) / 1e6, bytesPerNode);
+
+    auto emitRow = [&](const char* storage, const Run& run,
+                       double compressionRatio) {
+      const double bytesPerNode =
+          run.nodes > 0 ? static_cast<double>(run.sample.totalBytes) /
+                              static_cast<double>(run.nodes)
+                        : 0.0;
+      w.beginObject();
+      w.key("protocol").value(c.key);
+      w.key("storage").value(storage);
+      w.key("p").value(c.p);
+      w.key("numMobile").value(c.numMobile);
+      w.key("mode").value(c.canonical ? "canonical" : "concrete");
+      w.key("nodes").value(run.nodes);
+      w.key("configsBytes").value(run.sample.configsBytes);
+      w.key("adjacencyBytes").value(run.sample.adjacencyBytes);
+      w.key("dedupBytes").value(run.sample.dedupBytes);
+      w.key("frontierBytes").value(run.sample.frontierBytes);
+      w.key("codecBytes").value(run.sample.codecBytes);
+      w.key("totalBytes").value(run.sample.totalBytes);
+      w.key("highWaterBytes").value(run.sample.highWaterBytes);
+      w.key("bytesPerNode").value(bytesPerNode);
+      if (compressionRatio > 0.0) {
+        w.key("spillBytes").value(run.sample.spillBytes);
+        w.key("compressionRatio").value(compressionRatio);
+      }
+      w.endObject();
+      std::fprintf(stderr,
+                   "explore-memory %-16s %-10s P=%-3u N=%-3u nodes=%llu "
+                   "total=%.3gMB bytes/node=%.1f",
+                   c.key, storage, c.p, c.numMobile,
+                   static_cast<unsigned long long>(run.nodes),
+                   static_cast<double>(run.sample.totalBytes) / 1e6,
+                   bytesPerNode);
+      if (compressionRatio > 0.0) {
+        std::fprintf(stderr, " ratio=%.2f", compressionRatio);
+      }
+      std::fprintf(stderr, "\n");
+    };
+    const double ratio =
+        compressed->sample.totalBytes > 0
+            ? static_cast<double>(explicitRun->sample.totalBytes) /
+                  static_cast<double>(compressed->sample.totalBytes)
+            : 0.0;
+    emitRow("explicit", *explicitRun, 0.0);
+    emitRow("compressed", *compressed, ratio);
   }
   w.endArray();
+  if (failed) return 1;
   // Drift probe: 0 RSS values mean the platform sampler was unavailable —
   // check_bench.py treats a missing/zero delta as "skip", not "fail".
   const std::uint64_t rssDelta =
       rssAtDone > rssBaseline ? rssAtDone - rssBaseline : 0;
   w.key("rssProbe").beginObject();
   w.key("protocol").value(cases[0].key);
+  w.key("storage").value("compressed");
   w.key("rssBaselineBytes").value(rssBaseline);
   w.key("rssAtDoneBytes").value(rssAtDone);
   w.key("rssDeltaBytes").value(rssDelta);

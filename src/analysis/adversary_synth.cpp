@@ -28,20 +28,26 @@ std::optional<std::pair<std::vector<Interaction>, std::uint32_t>> bfsPath(
   while (!queue.empty()) {
     const std::uint32_t v = queue.front();
     queue.pop_front();
-    for (const Edge& e : graph.adj[v]) {
-      if (!edgeOk(v, e)) continue;
-      if (parent[e.to] != kNone) continue;
+    std::optional<std::uint32_t> hit;
+    graph.forEachEdge(v, [&](const Edge& e) {
+      if (hit.has_value()) return;
+      if (!edgeOk(v, e)) return;
+      if (parent[e.to] != kNone) return;
       parent[e.to] = v;
       via[e.to] = e.interaction();
       if (isTarget(e.to)) {
-        std::vector<Interaction> path;
-        for (std::uint32_t w = e.to; w != from; w = parent[w]) {
-          path.push_back(via[w]);
-        }
-        std::reverse(path.begin(), path.end());
-        return std::pair{std::move(path), e.to};
+        hit = e.to;
+        return;
       }
       queue.push_back(e.to);
+    });
+    if (hit.has_value()) {
+      std::vector<Interaction> path;
+      for (std::uint32_t w = *hit; w != from; w = parent[w]) {
+        path.push_back(via[w]);
+      }
+      std::reverse(path.begin(), path.end());
+      return std::pair{std::move(path), *hit};
     }
   }
   return std::nullopt;
@@ -89,8 +95,8 @@ std::optional<AdversarySchedule> synthesizeWeakAdversary(
     std::uint32_t covered = 0;
     std::optional<std::pair<std::uint32_t, Edge>> mobileChangeEdge;
     for (const std::uint32_t node : scc.members[s]) {
-      for (const Edge& e : graph.adj[node]) {
-        if (scc.sccOf[e.to] != s) continue;
+      graph.forEachEdge(node, [&](const Edge& e) {
+        if (scc.sccOf[e.to] != s) return;
         if (e.label < pairs && labelEdge[e.label].first == kNone) {
           labelEdge[e.label] = {node, e};
           ++covered;
@@ -98,13 +104,13 @@ std::optional<AdversarySchedule> synthesizeWeakAdversary(
         if (e.changedName && !mobileChangeEdge.has_value()) {
           mobileChangeEdge = {node, e};
         }
-      }
+      });
     }
     if (covered != required) continue;
 
     std::optional<std::uint32_t> badConfig;
     for (const std::uint32_t node : scc.members[s]) {
-      if (!problem.holds(graph.configs[node])) {
+      if (!problem.holds(graph.config(node))) {
         badConfig = node;
         break;
       }
@@ -125,11 +131,9 @@ std::optional<AdversarySchedule> synthesizeWeakAdversary(
     // of their configurations; find them by lookup.
     std::optional<std::pair<std::vector<Interaction>, std::uint32_t>> entry;
     for (const auto& init : initials) {
-      const auto it =
-          std::find(graph.configs.begin(), graph.configs.end(), init);
-      if (it == graph.configs.end()) continue;
-      const auto from =
-          static_cast<std::uint32_t>(it - graph.configs.begin());
+      const std::optional<std::uint32_t> initId = graph.findConfig(init);
+      if (!initId.has_value()) continue;
+      const std::uint32_t from = *initId;
       entry = bfsPath(graph, from, inScc, anyEdge);
       if (entry.has_value()) {
         AdversarySchedule schedule;

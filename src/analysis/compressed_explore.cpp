@@ -1,0 +1,170 @@
+// Serial BFS over the compressed graph representation (DESIGN decision 19).
+//
+// Same exploration as explore.cpp's explicit loops — identical candidate
+// enumeration, identical intern order, identical truncation discipline — but
+// interning goes through the two-tier fingerprint table (RAM FpTable +
+// sorted-run spill files) and the graph lands in the delta-coded
+// ConfigStore / EdgeStreamStore instead of materialized vectors. This loop
+// is the reference the parallel compressed engine must match bit-for-bit.
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "analysis/explore.h"
+#include "analysis/explore_impl.h"
+#include "analysis/packed_config.h"
+#include "analysis/spill_store.h"
+
+namespace ppn::detail {
+
+void flushTableToRun(FpTable& table, SpillRunSet& runs,
+                     const SpillPolicy::Action& action) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> drained;
+  table.drain(drained);
+  std::sort(drained.begin(), drained.end());
+  std::vector<SpillEntry> entries;
+  entries.reserve(drained.size());
+  for (const auto& [fp, id] : drained) entries.push_back(SpillEntry{fp, id});
+  runs.writeRun(entries);
+  if (action.compact) runs.compact();
+}
+
+ConfigGraph exploreSerialCompressed(const Protocol& proto,
+                                    const std::vector<Configuration>& initials,
+                                    const ExploreOptions& options,
+                                    bool canonical) {
+  ConfigGraph g;
+  const std::uint32_t n = initials.front().numMobile();
+  const std::uint32_t m = n + (proto.hasLeader() ? 1u : 0u);
+  g.numParticipants = m;
+  const PhaseScope phase(options.observer, options.exploreId, "explore");
+  const PackedCodec codec(canonical ? PackedCodec::Form::kCanonical
+                                    : PackedCodec::Form::kConcrete,
+                          proto, n);
+  g.packed.init(codec, /*concrete=*/!canonical);
+  ConfigStore& store = g.packed.configStore();
+  EdgeStreamStore& estore = g.packed.edgeStore();
+  ExploreTracker tracker(options.observer, options.exploreId, g, codec, n);
+
+  FpTable table;
+  SpillPolicy policy(options.spillBytes);
+  SpillRunSet runs(options.spillDir);
+  const std::uint32_t width = codec.packedBytes();
+  std::vector<std::uint8_t> verifyBuf(width);
+  std::vector<std::uint32_t> runCands;
+
+  // Probe order: RAM table, then spill runs (they cover disjoint id ranges).
+  // A fingerprint match is confirmed by decoding the candidate's bytes.
+  const auto matches = [&](std::uint32_t candId, const PackedConfig& key) {
+    store.decode(candId, verifyBuf.data());
+    return std::memcmp(verifyBuf.data(), key.data(), width) == 0;
+  };
+  const auto intern = [&](const PackedConfig& key) {
+    if (const auto hit = table.find(
+            key.hash(), [&](std::uint32_t id) { return matches(id, key); })) {
+      return std::pair<std::uint32_t, bool>{*hit, false};
+    }
+    if (runs.runCount() > 0) {
+      runs.candidates(key.hash(), runCands);
+      for (const std::uint32_t id : runCands) {
+        if (matches(id, key)) return std::pair<std::uint32_t, bool>{id, false};
+      }
+    }
+    const std::uint32_t id = store.count();
+    store.append(key.data());
+    table.insert(key.hash(), id);
+    return std::pair<std::uint32_t, bool>{id, true};
+  };
+  const auto syncComponents = [&] {
+    tracker.setCompressedComponents(store.modeledBytes(), estore.modeledBytes(),
+                                    policy.dedupModelBytes(store.count()));
+    tracker.setSpillState(policy.spillDiskBytes(), policy.runCount());
+  };
+
+  std::deque<std::uint32_t> frontier;
+  for (const auto& c : initials) {
+    const auto [id, isNew] = intern(codec.pack(canonical ? c.canonicalized() : c));
+    if (isNew) frontier.push_back(id);
+  }
+  syncComponents();
+
+  ConfigStore::Cursor cursor(store);
+  std::vector<std::pair<Configuration, EdgeMeta>> cands;
+  std::vector<RawEdge> rawEdges;
+  std::vector<std::uint8_t> body;
+  while (!frontier.empty()) {
+    // Spill maintenance precedes the budget check: flushing is exactly what
+    // lets a tight maxBytes budget complete instead of truncating.
+    if (const auto action = policy.maybeFlush(store.count())) {
+      const SectionTimer timer(tracker, ExploreTracker::Section::kIo);
+      flushTableToRun(table, runs, *action);
+    }
+    syncComponents();
+    tracker.checkpoint(frontier.size());
+    const bool overNodes = g.size() > options.maxNodes;
+    const bool overBytes =
+        options.maxBytes != 0 && tracker.totalBytes() > options.maxBytes;
+    if (overNodes || overBytes) {
+      g.truncated = true;
+      g.truncatedByBudget = overBytes && !overNodes;
+      tracker.recordTruncation(options.maxNodes, options.maxBytes,
+                               g.truncatedByBudget, frontier);
+      break;
+    }
+    const std::uint32_t id = frontier.front();
+    frontier.pop_front();
+    tracker.recordExpansion(frontier.size());
+    // Sequential decode: BFS pops ascend by one, so the cursor applies a
+    // single delta per pop.
+    const Configuration current = codec.unpackBytes(cursor.at(id));
+
+    {
+      const SectionTimer timer(tracker, ExploreTracker::Section::kExpand);
+      cands.clear();
+      if (canonical) {
+        forEachCanonicalSuccessor(
+            proto, current, n,
+            [&](Configuration&& next, const EdgeMeta& meta) {
+              cands.emplace_back(std::move(next), meta);
+            });
+      } else {
+        forEachConcreteSuccessor(
+            proto, current, m, options.topology,
+            [&](Configuration&& next, const EdgeMeta& meta) {
+              cands.emplace_back(std::move(next), meta);
+            });
+      }
+    }
+    rawEdges.clear();
+    {
+      const SectionTimer timer(tracker, ExploreTracker::Section::kDedup);
+      for (auto& [next, meta] : cands) {
+        const auto [to, isNew] = intern(codec.pack(next));
+        if (isNew) frontier.push_back(to);
+        tracker.recordEdge(!isNew);
+        RawEdge raw;
+        raw.to = to;
+        raw.flags = static_cast<std::uint8_t>((meta.changed ? 1 : 0) |
+                                              (meta.changedMobile ? 2 : 0) |
+                                              (meta.changedName ? 4 : 0));
+        raw.initiator = meta.initiator;
+        raw.responder = meta.responder;
+        rawEdges.push_back(raw);
+      }
+    }
+    {
+      const SectionTimer timer(tracker, ExploreTracker::Section::kAppend);
+      EdgeStreamStore::encodeBody(
+          body, id, static_cast<std::uint32_t>(rawEdges.size()), !canonical,
+          [&](std::uint32_t k) { return rawEdges[k]; });
+      estore.appendStream(id, body);
+    }
+  }
+  syncComponents();
+  tracker.finish(frontier.size());
+  return g;
+}
+
+}  // namespace ppn::detail

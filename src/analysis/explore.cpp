@@ -66,6 +66,8 @@ void ExploreTracker::emitMemorySample(double elapsedMillis, bool done) {
   m.codecBytes = ledger_.component(MemoryComponent::kCodec);
   m.totalBytes = ledger_.total();
   m.highWaterBytes = ledger_.highWater();
+  m.spillBytes = spillDiskBytes_;
+  m.spillRuns = spillRuns_;
   if (const auto self =
           sampleProcessResources(static_cast<std::int64_t>(::getpid()))) {
     m.rssBytes = self->rssBytes;
@@ -88,6 +90,7 @@ std::string truncationReason(const ConfigGraph& g,
 }
 
 std::uint64_t configGraphBytes(const ConfigGraph& g) {
+  if (g.compressed()) return g.packed.modeledBytes();
   std::uint64_t bytes = 0;
   for (const Configuration& c : g.configs) {
     bytes += sizeof(Configuration) + c.mobile.capacity() * sizeof(StateId);
@@ -113,6 +116,10 @@ ConfigGraph exploreConcrete(const Protocol& proto,
     return detail::exploreParallelImpl(proto, initials, options,
                                        /*canonical=*/false);
   }
+  if (options.storage == GraphStorage::kCompressed) {
+    return detail::exploreSerialCompressed(proto, initials, options,
+                                           /*canonical=*/false);
+  }
 
   ConfigGraph g;
   g.numParticipants = m;
@@ -130,6 +137,8 @@ ConfigGraph exploreConcrete(const Protocol& proto,
     }
   }
 
+  std::vector<std::pair<Configuration, detail::EdgeMeta>> cands;
+  std::vector<std::uint32_t> targets;
   while (!frontier.empty()) {
     tracker.checkpoint(frontier.size());
     const bool overNodes = g.size() > options.maxNodes;
@@ -148,19 +157,43 @@ ConfigGraph exploreConcrete(const Protocol& proto,
     // Copy: interning may reallocate configs while we expand.
     const Configuration current = g.configs[id];
 
-    detail::forEachConcreteSuccessor(
-        proto, current, m, options.topology,
-        [&](Configuration&& next, const detail::EdgeMeta& meta) {
-          const auto [to, isNew] = interner.intern(next);
-          if (isNew) {
-            frontier.push_back(to);
-            tracker.recordInterned();
-          }
-          tracker.recordEdge(!isNew);
-          g.adj[id].push_back(Edge{to, meta.label, meta.initiator,
-                                   meta.responder, meta.changed,
-                                   meta.changedMobile, meta.changedName});
-        });
+    // Enumerate-then-intern: same candidate order as the fused loop (the
+    // enumerators never read graph state), sectioned so the tracker can
+    // report expand vs dedup throughput separately.
+    {
+      const detail::SectionTimer timer(tracker,
+                                       detail::ExploreTracker::Section::kExpand);
+      cands.clear();
+      detail::forEachConcreteSuccessor(
+          proto, current, m, options.topology,
+          [&](Configuration&& next, const detail::EdgeMeta& meta) {
+            cands.emplace_back(std::move(next), meta);
+          });
+    }
+    targets.clear();
+    {
+      const detail::SectionTimer timer(tracker,
+                                       detail::ExploreTracker::Section::kDedup);
+      for (auto& [next, meta] : cands) {
+        const auto [to, isNew] = interner.intern(next);
+        if (isNew) {
+          frontier.push_back(to);
+          tracker.recordInterned();
+        }
+        tracker.recordEdge(!isNew);
+        targets.push_back(to);
+      }
+    }
+    {
+      const detail::SectionTimer timer(tracker,
+                                       detail::ExploreTracker::Section::kAppend);
+      for (std::size_t k = 0; k < cands.size(); ++k) {
+        const detail::EdgeMeta& meta = cands[k].second;
+        g.adj[id].push_back(Edge{targets[k], meta.label, meta.initiator,
+                                 meta.responder, meta.changed,
+                                 meta.changedMobile, meta.changedName});
+      }
+    }
     tracker.recordNodeExpanded(g.adj[id].size());
   }
   tracker.finish(frontier.size());
@@ -180,6 +213,10 @@ ConfigGraph exploreCanonical(const Protocol& proto,
     return detail::exploreParallelImpl(proto, initials, options,
                                        /*canonical=*/true);
   }
+  if (options.storage == GraphStorage::kCompressed) {
+    return detail::exploreSerialCompressed(proto, initials, options,
+                                           /*canonical=*/true);
+  }
 
   ConfigGraph g;
   g.numParticipants = n + (proto.hasLeader() ? 1u : 0u);
@@ -197,6 +234,8 @@ ConfigGraph exploreCanonical(const Protocol& proto,
     }
   }
 
+  std::vector<std::pair<Configuration, detail::EdgeMeta>> cands;
+  std::vector<std::uint32_t> targets;
   while (!frontier.empty()) {
     tracker.checkpoint(frontier.size());
     const bool overNodes = g.size() > options.maxNodes;
@@ -214,19 +253,40 @@ ConfigGraph exploreCanonical(const Protocol& proto,
     tracker.recordExpansion(frontier.size());
     const Configuration current = g.configs[id];
 
-    detail::forEachCanonicalSuccessor(
-        proto, current, n,
-        [&](Configuration&& next, const detail::EdgeMeta& meta) {
-          const auto [to, isNew] = interner.intern(next);
-          if (isNew) {
-            frontier.push_back(to);
-            tracker.recordInterned();
-          }
-          tracker.recordEdge(!isNew);
-          g.adj[id].push_back(Edge{to, meta.label, meta.initiator,
-                                   meta.responder, meta.changed,
-                                   meta.changedMobile, meta.changedName});
-        });
+    {
+      const detail::SectionTimer timer(tracker,
+                                       detail::ExploreTracker::Section::kExpand);
+      cands.clear();
+      detail::forEachCanonicalSuccessor(
+          proto, current, n,
+          [&](Configuration&& next, const detail::EdgeMeta& meta) {
+            cands.emplace_back(std::move(next), meta);
+          });
+    }
+    targets.clear();
+    {
+      const detail::SectionTimer timer(tracker,
+                                       detail::ExploreTracker::Section::kDedup);
+      for (auto& [next, meta] : cands) {
+        const auto [to, isNew] = interner.intern(next);
+        if (isNew) {
+          frontier.push_back(to);
+          tracker.recordInterned();
+        }
+        tracker.recordEdge(!isNew);
+        targets.push_back(to);
+      }
+    }
+    {
+      const detail::SectionTimer timer(tracker,
+                                       detail::ExploreTracker::Section::kAppend);
+      for (std::size_t k = 0; k < cands.size(); ++k) {
+        const detail::EdgeMeta& meta = cands[k].second;
+        g.adj[id].push_back(Edge{targets[k], meta.label, meta.initiator,
+                                 meta.responder, meta.changed,
+                                 meta.changedMobile, meta.changedName});
+      }
+    }
     tracker.recordNodeExpanded(g.adj[id].size());
   }
   tracker.finish(frontier.size());

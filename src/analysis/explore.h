@@ -12,10 +12,13 @@
 //    exponentially smaller.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/compressed_graph.h"
 #include "core/configuration.h"
 #include "core/interaction_graph.h"
 #include "core/protocol.h"
@@ -61,9 +64,17 @@ struct Edge {
   Interaction interaction() const { return Interaction{initiator, responder}; }
 };
 
+/// The explored graph, in one of two storage representations (DESIGN.md
+/// decision 19). kExplicit materializes `configs` and `adj` below; the
+/// default kCompressed leaves them empty and stores the same graph — same
+/// node ids, same edge order — delta-coded in `packed`. Consumers that go
+/// through the accessors (config(), forEachEdge(), edges(), findConfig())
+/// work identically on both; tests may still hand-build explicit graphs by
+/// filling the public vectors.
 struct ConfigGraph {
   std::vector<Configuration> configs;
   std::vector<std::vector<Edge>> adj;
+  detail::CompressedGraph packed;
   std::uint32_t numParticipants = 0;
   /// True when exploration hit maxNodes (or the byte budget) before closing
   /// the frontier; any verdict computed from a truncated graph is unreliable
@@ -73,21 +84,95 @@ struct ConfigGraph {
   /// the node cap. Only meaningful when `truncated` is set.
   bool truncatedByBudget = false;
 
-  std::size_t size() const { return configs.size(); }
+  bool compressed() const { return packed.engaged(); }
+  std::size_t size() const {
+    return compressed() ? packed.nodeCount() : configs.size();
+  }
+
+  /// Node `id`'s configuration. Returns by value: compressed graphs decode
+  /// on demand. (Explicit callers that want a reference can still index
+  /// `configs` directly.)
+  Configuration config(std::uint32_t id) const {
+    return compressed() ? packed.config(id) : configs[id];
+  }
+
+  std::size_t edgeCount(std::uint32_t id) const {
+    return compressed() ? packed.edgeStore().edgeCount(id) : adj[id].size();
+  }
+
+  /// Visits node `id`'s out-edges in their exploration order as
+  /// fn(const Edge&) — the storage-independent way to walk adjacency.
+  /// Compressed graphs decode the varint stream on the fly; nodes never
+  /// expanded (a truncated frontier) have no edges in either storage.
+  template <class Fn>
+  void forEachEdge(std::uint32_t id, Fn&& fn) const {
+    if (!compressed()) {
+      for (const Edge& e : adj[id]) fn(e);
+      return;
+    }
+    const bool concrete = packed.edgeStore().concrete();
+    packed.edgeStore().forEachEdgeRaw(id, [&](const detail::RawEdge& r) {
+      Edge e;
+      e.to = r.to;
+      e.changed = (r.flags & 1) != 0;
+      e.changedMobile = (r.flags & 2) != 0;
+      e.changedName = (r.flags & 4) != 0;
+      if (concrete) {
+        e.initiator = r.initiator;
+        e.responder = r.responder;
+        const std::uint32_t lo = std::min<std::uint32_t>(r.initiator, r.responder);
+        const std::uint32_t hi = std::max<std::uint32_t>(r.initiator, r.responder);
+        e.label = pairLabel(lo, hi, numParticipants);
+      }
+      fn(e);
+    });
+  }
+
+  /// Materialized copy of node `id`'s out-edges, for consumers that need
+  /// random access within the list (e.g. path reconstruction).
+  std::vector<Edge> edges(std::uint32_t id) const {
+    std::vector<Edge> out;
+    out.reserve(edgeCount(id));
+    forEachEdge(id, [&](const Edge& e) { out.push_back(e); });
+    return out;
+  }
+
+  /// Id of the node equal to `c`, if interned. Linear scan in both storages
+  /// (callers use it for initial configurations only).
+  std::optional<std::uint32_t> findConfig(const Configuration& c) const {
+    const auto n = static_cast<std::uint32_t>(size());
+    for (std::uint32_t id = 0; id < n; ++id) {
+      if (config(id) == c) return id;
+    }
+    return std::nullopt;
+  }
 };
 
 /// How often exploration reports progress: one ExploreProgressEvent per this
 /// many expanded nodes (plus a final done=true event per exploration).
 constexpr std::uint64_t kExploreProgressStride = 1024;
 
-/// Exact heap footprint of a ConfigGraph as returned: interned configurations
-/// (struct + mobile payload at its real capacity) plus adjacency (vector
-/// headers + edge payload at its real capacity). Note this is the GRAPH's
-/// footprint only — ExploreProgressEvent.bytesEstimate reports the
-/// MemoryLedger total (DESIGN.md decision 18), which additionally charges the
-/// dedup table, the BFS frontier and packed-codec heap spill, so the final
-/// done=true event reads >= configGraphBytes() of the returned graph.
+/// Exact heap footprint of a ConfigGraph as returned. Explicit storage:
+/// interned configurations (struct + mobile payload at its real capacity)
+/// plus adjacency (vector headers + edge payload at its real capacity).
+/// Compressed storage: the delta-coded config blob and edge streams with
+/// their sample indexes, at their real (modeled == allocated) capacities.
+/// Note this is the GRAPH's footprint only — ExploreProgressEvent.
+/// bytesEstimate reports the MemoryLedger total (DESIGN.md decision 18),
+/// which additionally charges the dedup table, the BFS frontier and (in
+/// explicit mode) packed-codec heap spill, so the final done=true event
+/// reads >= configGraphBytes() of the returned graph.
 std::uint64_t configGraphBytes(const ConfigGraph& g);
+
+/// In-RAM representation of the explored graph (ConfigGraph docs above).
+enum class GraphStorage {
+  /// Materialized vectors: fastest to traverse, 330-430 bytes/node.
+  kExplicit,
+  /// Delta-coded stores decoded on demand: ~3-8x smaller, and the only mode
+  /// that can spill its dedup table to disk. The graph is identical
+  /// node-for-node and edge-for-edge to kExplicit (differential-tested).
+  kCompressed,
+};
 
 /// Knobs shared by both explorers (and forwarded by the checkers).
 struct ExploreOptions {
@@ -112,6 +197,19 @@ struct ExploreOptions {
   const InteractionGraph* topology = nullptr;
   ExploreObserver* observer = nullptr;
   std::uint64_t exploreId = 0;
+  /// Graph representation (see GraphStorage). Compressed is the default;
+  /// both produce the same node ids, edge order and truncation behavior.
+  GraphStorage storage = GraphStorage::kCompressed;
+  /// Two-tier dedup spill threshold, compressed storage only: when the
+  /// modeled bytes of the in-RAM dedup table exceed this, the table drains
+  /// to a sorted run file on disk (DESIGN.md decision 19) and probing falls
+  /// back to external memory, so a maxBytes budget degrades to disk instead
+  /// of to an UNKNOWN verdict. 0 disables spilling. Ignored (with no effect
+  /// on the graph) under kExplicit storage.
+  std::uint64_t spillBytes = 0;
+  /// Directory for spill run files; empty = the system temp directory.
+  /// Files are created 0600 and unlinked when the graph's exploration ends.
+  std::string spillDir;
 };
 
 /// Explores all configurations reachable from `initials`. Every applicable

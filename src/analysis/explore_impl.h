@@ -16,6 +16,7 @@
 
 #include "analysis/explore.h"
 #include "analysis/packed_config.h"
+#include "analysis/spill_store.h"
 #include "core/engine.h"
 #include "obs/memory.h"
 
@@ -245,6 +246,46 @@ class ExploreTracker {
         frontierEntries * sizeof(std::uint32_t));
   }
 
+  /// Compressed-mode replay additionally folds the dedup component per step:
+  /// unlike configs/adjacency it is NOT monotone (a spill flush shrinks it),
+  /// so the final checkpoint cannot recover its peak.
+  void noteReplayDedup(std::uint64_t dedupBytes) {
+    ledger_.noteComponentHighWater(MemoryComponent::kDedup, dedupBytes);
+  }
+
+  /// Compressed-mode component sync: the stores' modeled bytes ARE the
+  /// allocation-exact footprint (ByteBuf capacity == grownCapacity(size)),
+  /// and kCodec is idle — compressed interning never retains a PackedConfig.
+  void setCompressedComponents(std::uint64_t configsBytes,
+                               std::uint64_t adjacencyBytes,
+                               std::uint64_t dedupBytes) {
+    ledger_.set(MemoryComponent::kConfigs, configsBytes);
+    ledger_.set(MemoryComponent::kAdjacency, adjacencyBytes);
+    ledger_.set(MemoryComponent::kDedup, dedupBytes);
+    ledger_.set(MemoryComponent::kCodec, 0);
+  }
+
+  /// Current spill-tier state (compressed mode): on-DISK run bytes and live
+  /// run count. Reported on memory samples, deliberately outside the ledger
+  /// total — the ledger models RAM and disk is what spilling trades it for.
+  void setSpillState(std::uint64_t diskBytes, std::uint64_t runCount) {
+    spillDiskBytes_ = diskBytes;
+    spillRuns_ = runCount;
+  }
+
+  /// Sections of the exploration loop timed for per-phase throughput
+  /// reporting (ExploreProgressEvent expand/dedup/append/io fields).
+  enum class Section { kExpand = 0, kDedup = 1, kAppend = 2, kIo = 3 };
+
+  /// Whether section timing is worth measuring (an observer is listening).
+  /// Wall-clock fields are exempt from the bit-identity contract, like
+  /// nodesPerSec.
+  bool timing() const { return obs_ != nullptr; }
+
+  void addSectionSeconds(Section s, double seconds) {
+    sectionSeconds_[static_cast<int>(s)] += seconds;
+  }
+
   /// Node-derived modeled bytes at `k` interned nodes (configs + dedup +
   /// codec spill) — the closed form the parallel cut replay sums with its
   /// adjacency prefix and frontier term.
@@ -329,6 +370,16 @@ class ExploreTracker {
     e.nodesPerSec =
         elapsed > 0.0 ? static_cast<double>(expanded_) / elapsed : 0.0;
     e.elapsedMillis = elapsed * 1e3;
+    const double expandSec = sectionSeconds_[0];
+    const double dedupSec = sectionSeconds_[1];
+    e.expandMillis = expandSec * 1e3;
+    e.dedupMillis = dedupSec * 1e3;
+    e.appendMillis = sectionSeconds_[2] * 1e3;
+    e.ioMillis = sectionSeconds_[3] * 1e3;
+    e.expandNodesPerSec =
+        expandSec > 0.0 ? static_cast<double>(expanded_) / expandSec : 0.0;
+    e.dedupNodesPerSec =
+        dedupSec > 0.0 ? static_cast<double>(expanded_) / dedupSec : 0.0;
     e.done = done;
     obs_->onExploreProgress(e);
     emitMemorySample(elapsed * 1e3, done);
@@ -349,6 +400,33 @@ class ExploreTracker {
   std::uint64_t edges_ = 0;
   std::uint64_t dedupHits_ = 0;
   std::uint64_t emittedStrides_ = 0;
+  std::uint64_t spillDiskBytes_ = 0;
+  std::uint64_t spillRuns_ = 0;
+  double sectionSeconds_[4] = {0.0, 0.0, 0.0, 0.0};
+};
+
+/// RAII section timer; a no-op (no clock read) when nobody observes.
+class SectionTimer {
+ public:
+  SectionTimer(ExploreTracker& tracker, ExploreTracker::Section section)
+      : tracker_(tracker), section_(section) {
+    if (tracker_.timing()) start_ = std::chrono::steady_clock::now();
+  }
+  ~SectionTimer() {
+    if (tracker_.timing()) {
+      tracker_.addSectionSeconds(
+          section_, std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count());
+    }
+  }
+  SectionTimer(const SectionTimer&) = delete;
+  SectionTimer& operator=(const SectionTimer&) = delete;
+
+ private:
+  ExploreTracker& tracker_;
+  ExploreTracker::Section section_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// 0 = hardware concurrency, otherwise the requested count.
@@ -364,5 +442,20 @@ inline std::uint32_t resolveThreads(std::uint32_t threads) {
 ConfigGraph exploreParallelImpl(const Protocol& proto,
                                 const std::vector<Configuration>& initials,
                                 const ExploreOptions& options, bool canonical);
+
+/// Materializes one SpillPolicy flush decision: drains the RAM table, sorts
+/// by (fingerprint, id), writes a run, and compacts if the action says so.
+/// Shared by the serial loop and the parallel merge thread
+/// (compressed_explore.cpp).
+void flushTableToRun(FpTable& table, SpillRunSet& runs,
+                     const SpillPolicy::Action& action);
+
+/// The serial compressed-storage engine (compressed_explore.cpp): identical
+/// BFS, interning against the two-tier fingerprint table and appending to
+/// the delta-coded stores. Inputs pre-validated by the public entry points.
+ConfigGraph exploreSerialCompressed(const Protocol& proto,
+                                    const std::vector<Configuration>& initials,
+                                    const ExploreOptions& options,
+                                    bool canonical);
 
 }  // namespace ppn::detail

@@ -43,7 +43,7 @@ GlobalVerdict checkGlobalFairness(const Protocol& proto, const Problem& problem,
     if (!scc.bottom[s]) continue;
     ++verdict.numBottomSccs;
     for (const std::uint32_t node : scc.members[s]) {
-      const Configuration& c = graph.configs[node];
+      const Configuration c = graph.config(node);
       if (!problem.holds(c)) {
         verdict.solves = false;
         verdict.witness = c;
@@ -104,7 +104,7 @@ GlobalVerdict checkGlobalFairnessConcrete(
     if (!scc.bottom[s]) continue;
     ++verdict.numBottomSccs;
     for (const std::uint32_t node : scc.members[s]) {
-      const Configuration& c = graph.configs[node];
+      const Configuration c = graph.config(node);
       if (!problem.holds(c)) {
         verdict.solves = false;
         verdict.witness = c;
@@ -113,14 +113,16 @@ GlobalVerdict checkGlobalFairnessConcrete(
         return verdict;
       }
       if (problem.requireMobileQuiescence) {
-        for (const Edge& e : graph.adj[node]) {
-          if (e.changedName) {
-            verdict.solves = false;
-            verdict.witness = c;
-            verdict.reason =
-                "bottom SCC keeps changing mobile states (names never freeze)";
-            return verdict;
-          }
+        bool nameChange = false;
+        graph.forEachEdge(node, [&](const Edge& e) {
+          if (e.changedName) nameChange = true;
+        });
+        if (nameChange) {
+          verdict.solves = false;
+          verdict.witness = c;
+          verdict.reason =
+              "bottom SCC keeps changing mobile states (names never freeze)";
+          return verdict;
         }
       }
     }

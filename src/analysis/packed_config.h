@@ -122,10 +122,18 @@ class PackedCodec {
   enum class Form { kConcrete, kCanonical };
 
   PackedCodec(Form form, const Protocol& proto, std::uint32_t numMobile)
+      : PackedCodec(form, proto.numMobileStates(), proto.hasLeader(),
+                    numMobile) {}
+
+  /// Protocol-free form: everything the codec needs is the state count, the
+  /// leader flag and the population size, so a codec stored inside a
+  /// CompressedGraph can outlive the Protocol that built it.
+  PackedCodec(Form form, StateId numStates, bool hasLeader,
+              std::uint32_t numMobile)
       : form_(form),
         numMobile_(numMobile),
-        numStates_(proto.numMobileStates()),
-        hasLeader_(proto.hasLeader()) {
+        numStates_(numStates),
+        hasLeader_(hasLeader) {
     const std::uint64_t maxValue =
         form == Form::kConcrete
             ? (numStates_ == 0 ? 0 : std::uint64_t{numStates_} - 1)
@@ -168,8 +176,13 @@ class PackedCodec {
   }
 
   Configuration unpack(const PackedConfig& p) const {
+    return unpackBytes(p.data());
+  }
+
+  /// Decodes a raw packedBytes()-wide buffer (e.g. straight out of a
+  /// compressed config store, no PackedConfig wrapper).
+  Configuration unpackBytes(const std::uint8_t* in) const {
     Configuration c;
-    const std::uint8_t* in = p.data();
     c.mobile.reserve(numMobile_);
     if (form_ == Form::kConcrete) {
       for (std::uint32_t i = 0; i < numMobile_; ++i) {

@@ -35,8 +35,10 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -144,6 +146,10 @@ struct Cand {
   std::uint32_t slotRef = 0;  // index into its shard's slot table (phase 2)
   std::uint8_t shard = 0;
   bool dedupHit = false;  // key was already interned (matches serial counts)
+  /// Compressed mode only: slotRef already IS the final node id (the target
+  /// was found in a prior-level fingerprint table or a spill run, so no slot
+  /// indirection is needed).
+  bool finalId = false;
   EdgeMeta meta;
 };
 
@@ -171,11 +177,406 @@ struct Shard {
   MemoryLedger ledger;
 };
 
+/// Per-shard state of the compressed-mode dedup (phase 2). `map` holds only
+/// THIS level's first occurrences (cross-level dedup goes through the
+/// fingerprint table), `slots` maps this level's slotRefs to their
+/// provisionally assigned ids, and `fpTable` is the shard's slice of the
+/// two-tier RAM table (ids from completed levels, minus spilled ranges).
+struct CShard {
+  std::unordered_map<PackedConfig, std::uint32_t, PackedConfigHash> map;
+  std::vector<std::uint32_t> slots;
+  std::vector<NewEntry> pending;
+  FpTable fpTable;
+};
+
+/// Compressed-storage variant of the level-synchronous engine. The phase
+/// structure is identical to the explicit engine below; what changes is the
+/// landing representation (delta stores instead of vectors), the dedup tier
+/// (fingerprint tables + spill runs instead of one map per shard) and the
+/// phase-3 replay, which additionally advances a COPY of the spill policy so
+/// flush decisions — pure functions of the interned count — happen at the
+/// exact serial pop positions. Flushes decided mid-replay are materialized
+/// only after the level commits (on the truncation path the files would be
+/// unobservable, so only the modeled state is taken).
+ConfigGraph exploreParallelCompressed(const Protocol& proto,
+                                      const std::vector<Configuration>& initials,
+                                      const ExploreOptions& options,
+                                      bool canonical) {
+  ConfigGraph g;
+  const std::uint32_t n = initials.front().numMobile();
+  const std::uint32_t m = n + (proto.hasLeader() ? 1u : 0u);
+  g.numParticipants = m;
+  const std::uint32_t K = resolveThreads(options.threads);
+  const PackedCodec codec(canonical ? PackedCodec::Form::kCanonical
+                                    : PackedCodec::Form::kConcrete,
+                          proto, n);
+  const PhaseScope phase(options.observer, options.exploreId, "explore");
+  g.packed.init(codec, /*concrete=*/!canonical);
+  ConfigStore& store = g.packed.configStore();
+  EdgeStreamStore& estore = g.packed.edgeStore();
+  ExploreTracker tracker(options.observer, options.exploreId, g, codec, n);
+
+  std::vector<CShard> shards(kShards);
+  SpillPolicy policy(options.spillBytes);
+  SpillRunSet runs(options.spillDir);
+  const std::uint32_t width = codec.packedBytes();
+
+  const auto syncComponents = [&] {
+    tracker.setCompressedComponents(store.modeledBytes(), estore.modeledBytes(),
+                                    policy.dedupModelBytes(store.count()));
+    tracker.setSpillState(policy.spillDiskBytes(), policy.runCount());
+  };
+  // Drains the flushed id range out of every shard's table slice into one
+  // sorted run — the committed form of one SpillPolicy::Action.
+  const auto materializeFlush = [&](const SpillPolicy::Action& action) {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> drained;
+    for (CShard& sh : shards) {
+      sh.fpTable.drainRange(action.from, action.to, drained);
+    }
+    std::sort(drained.begin(), drained.end());
+    std::vector<SpillEntry> entries;
+    entries.reserve(drained.size());
+    for (const auto& [fp, id] : drained) entries.push_back(SpillEntry{fp, id});
+    runs.writeRun(entries);
+    if (action.compact) runs.compact();
+  };
+  // Merge-thread section timing (wall-clock, exempt from bit-identity).
+  const auto timed = [&](ExploreTracker::Section section, auto&& fn) {
+    if (!tracker.timing()) {
+      fn();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    tracker.addSectionSeconds(
+        section, std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  };
+
+  std::vector<std::uint32_t> frontier;
+  {
+    std::vector<std::uint8_t> verifyBuf(width);
+    for (const auto& initial : initials) {
+      const Configuration c = canonical ? initial.canonicalized() : initial;
+      const PackedConfig key = codec.pack(c);
+      CShard& sh = shards[key.hash() % kShards];
+      const auto hit = sh.fpTable.find(key.hash(), [&](std::uint32_t id) {
+        store.decode(id, verifyBuf.data());
+        return std::memcmp(verifyBuf.data(), key.data(), width) == 0;
+      });
+      if (hit) continue;
+      const std::uint32_t id = store.count();
+      store.append(key.data());
+      sh.fpTable.insert(key.hash(), id);
+      frontier.push_back(id);
+    }
+  }
+  syncComponents();
+
+  LevelPool pool(K);
+  std::vector<std::vector<Cand>> candBuf;
+  std::vector<std::vector<std::uint8_t>> bodyBuf;
+  std::vector<std::array<std::vector<PK>, kShards>> buckets(K);
+  std::atomic<std::uint32_t> shardCursor{0};
+
+  while (!frontier.empty()) {
+    // Level entry replays the serial top-of-pop for p = 0: spill
+    // maintenance first (flushing is what lets a tight budget survive),
+    // then the cap checks against the synced components.
+    if (const auto action = policy.maybeFlush(store.count())) {
+      timed(ExploreTracker::Section::kIo, [&] { materializeFlush(*action); });
+    }
+    syncComponents();
+    tracker.checkpoint(frontier.size());
+    {
+      const bool overNodes = g.size() > options.maxNodes;
+      const bool overBytes =
+          options.maxBytes != 0 && tracker.totalBytes() > options.maxBytes;
+      if (overNodes || overBytes) {
+        g.truncated = true;
+        g.truncatedByBudget = overBytes && !overNodes;
+        tracker.recordTruncation(options.maxNodes, options.maxBytes,
+                                 g.truncatedByBudget, frontier);
+        break;
+      }
+    }
+    const std::uint32_t L = static_cast<std::uint32_t>(frontier.size());
+    if (candBuf.size() < L) candBuf.resize(L);
+    if (bodyBuf.size() < L) bodyBuf.resize(L);
+
+    // Phase 1: expand + bucket. Workers decode their contiguous frontier
+    // block through a sequential cursor (frontier ids ascend by one).
+    timed(ExploreTracker::Section::kExpand, [&] {
+      pool.run([&](std::uint32_t w) {
+        const std::uint32_t lo =
+            static_cast<std::uint32_t>(std::uint64_t{L} * w / K);
+        const std::uint32_t hi =
+            static_cast<std::uint32_t>(std::uint64_t{L} * (w + 1) / K);
+        auto& myBuckets = buckets[w];
+        for (auto& b : myBuckets) b.clear();
+        ConfigStore::Cursor cursor(store);
+        for (std::uint32_t p = lo; p < hi; ++p) {
+          auto& cands = candBuf[p];
+          cands.clear();
+          const Configuration current =
+              codec.unpackBytes(cursor.at(frontier[p]));
+          auto sink = [&](Configuration&& next, const EdgeMeta& meta) {
+            Cand c;
+            c.key = codec.pack(next);
+            c.shard = static_cast<std::uint8_t>(c.key.hash() % kShards);
+            c.meta = meta;
+            cands.push_back(std::move(c));
+          };
+          if (canonical) {
+            forEachCanonicalSuccessor(proto, current, n, sink);
+          } else {
+            forEachConcreteSuccessor(proto, current, m, options.topology, sink);
+          }
+          for (std::uint32_t k = 0; k < cands.size(); ++k) {
+            myBuckets[cands[k].shard].push_back(PK{p, k});
+          }
+        }
+      });
+    });
+
+    // Phase 2: per-shard dedup against pending map, fingerprint table and
+    // spill runs (three disjoint id sets). Verification decodes the const
+    // store; run probes are pread-only — both thread-safe.
+    shardCursor.store(0, std::memory_order_relaxed);
+    timed(ExploreTracker::Section::kDedup, [&] {
+      pool.run([&](std::uint32_t) {
+        std::vector<std::uint8_t> verifyBuf(width);
+        std::vector<std::uint32_t> runCands;
+        const auto matches = [&](std::uint32_t candId, const PackedConfig& key) {
+          store.decode(candId, verifyBuf.data());
+          return std::memcmp(verifyBuf.data(), key.data(), width) == 0;
+        };
+        for (;;) {
+          const std::uint32_t s =
+              shardCursor.fetch_add(1, std::memory_order_relaxed);
+          if (s >= kShards) break;
+          CShard& sh = shards[s];
+          for (std::uint32_t w = 0; w < K; ++w) {
+            for (const PK pk : buckets[w][s]) {
+              Cand& c = candBuf[pk.p][pk.k];
+              if (const auto pit = sh.map.find(c.key); pit != sh.map.end()) {
+                c.slotRef = pit->second;
+                c.dedupHit = true;
+                c.finalId = false;
+                continue;
+              }
+              if (const auto hit = sh.fpTable.find(
+                      c.key.hash(),
+                      [&](std::uint32_t id) { return matches(id, c.key); })) {
+                c.slotRef = *hit;
+                c.dedupHit = true;
+                c.finalId = true;
+                continue;
+              }
+              if (runs.runCount() > 0) {
+                runs.candidates(c.key.hash(), runCands);
+                bool found = false;
+                for (const std::uint32_t id : runCands) {
+                  if (matches(id, c.key)) {
+                    c.slotRef = id;
+                    c.dedupHit = true;
+                    c.finalId = true;
+                    found = true;
+                    break;
+                  }
+                }
+                if (found) continue;
+              }
+              const auto slotRef = static_cast<std::uint32_t>(sh.pending.size());
+              const auto [it, inserted] = sh.map.try_emplace(std::move(c.key), slotRef);
+              sh.pending.push_back(
+                  NewEntry{(std::uint64_t{pk.p} << 32) | pk.k, slotRef,
+                           static_cast<std::uint8_t>(s), &it->first});
+              c.slotRef = slotRef;
+              c.dedupHit = false;
+              c.finalId = false;
+            }
+          }
+        }
+      });
+    });
+
+    // Phase 3 (serial): replay the serial per-pop state. Provisional ids are
+    // assigned to ALL pending entries up front — every edge of a surviving
+    // pop references an entry whose first occurrence precedes the cut, so
+    // the surviving prefix of ids is stable under suffix rollback — then the
+    // walk prices configs (SizeSim), edge streams (lazily encoded here) and
+    // the spill-policy copy at every pop.
+    std::uint64_t totalNew = 0;
+    for (const CShard& sh : shards) totalNew += sh.pending.size();
+    std::vector<std::uint32_t> newFrom(L, 0);
+    for (const CShard& sh : shards) {
+      for (const NewEntry& e : sh.pending) ++newFrom[e.pos >> 32];
+    }
+    std::vector<const NewEntry*> order;
+    order.reserve(static_cast<std::size_t>(totalNew));
+    for (const CShard& sh : shards) {
+      for (const NewEntry& e : sh.pending) order.push_back(&e);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const NewEntry* a, const NewEntry* b) { return a->pos < b->pos; });
+
+    const std::uint32_t levelStartNodes = store.count();
+    const std::uint64_t levelStartBlob = store.blobBytes();
+    const std::uint32_t levelStartStreams = estore.streamCount();
+    const std::uint64_t levelStartEdgeBlob = estore.blobBytes();
+    for (CShard& sh : shards) sh.slots.resize(sh.pending.size());
+    std::vector<std::uint64_t> cumCfg(static_cast<std::size_t>(totalNew) + 1, 0);
+    {
+      ConfigStore::SizeSim sim = store.sizeSim();
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        const NewEntry* e = order[i];
+        shards[e->shard].slots[e->slotRef] =
+            levelStartNodes + static_cast<std::uint32_t>(i);
+        cumCfg[i + 1] = cumCfg[i] + sim.append(e->key->data());
+      }
+    }
+    const auto resolveTarget = [&](const Cand& c) {
+      return c.finalId ? c.slotRef : shards[c.shard].slots[c.slotRef];
+    };
+
+    SpillPolicy replayPolicy = policy;
+    std::vector<SpillPolicy::Action> actions;
+    std::uint32_t cut = L;
+    bool cutByBudget = false;
+    std::uint64_t newNodes = 0;
+    {
+      std::uint64_t edgeBlob = 0;
+      for (std::uint32_t p = 0; p < L; ++p) {
+        const std::uint64_t k = levelStartNodes + newNodes;
+        if (const auto action =
+                replayPolicy.maybeFlush(static_cast<std::uint32_t>(k))) {
+          actions.push_back(*action);
+        }
+        const std::uint64_t dedupModel =
+            replayPolicy.dedupModelBytes(static_cast<std::uint32_t>(k));
+        const std::uint64_t frontierEntries = (L - p) + newNodes;
+        const std::uint64_t total =
+            ConfigStore::modeledBytesAt(k, levelStartBlob + cumCfg[newNodes]) +
+            EdgeStreamStore::modeledBytesAt(levelStartStreams + p,
+                                            levelStartEdgeBlob + edgeBlob) +
+            dedupModel + frontierEntries * sizeof(std::uint32_t);
+        tracker.noteReplayState(total, frontierEntries);
+        tracker.noteReplayDedup(dedupModel);
+        const bool overNodes = k > options.maxNodes;
+        const bool overBytes =
+            options.maxBytes != 0 && total > options.maxBytes;
+        if (overNodes || overBytes) {
+          cut = p;
+          cutByBudget = overBytes && !overNodes;
+          break;
+        }
+        EdgeStreamStore::encodeBody(
+            bodyBuf[p], frontier[p],
+            static_cast<std::uint32_t>(candBuf[p].size()), !canonical,
+            [&](std::uint32_t k2) {
+              const Cand& c = candBuf[p][k2];
+              RawEdge raw;
+              raw.to = resolveTarget(c);
+              raw.flags = static_cast<std::uint8_t>(
+                  (c.meta.changed ? 1 : 0) | (c.meta.changedMobile ? 2 : 0) |
+                  (c.meta.changedName ? 4 : 0));
+              raw.initiator = c.meta.initiator;
+              raw.responder = c.meta.responder;
+              return raw;
+            });
+        edgeBlob += EdgeStreamStore::streamBlobBytes(bodyBuf[p].size());
+        newNodes += newFrom[p];
+      }
+    }
+    if (cut < L) {
+      // Entries first discovered at or after the cut were never interned
+      // serially; they are a suffix of every shard's pending list AND of
+      // `order`, so the surviving prefix keeps its provisional ids.
+      for (CShard& sh : shards) {
+        while (!sh.pending.empty() && (sh.pending.back().pos >> 32) >= cut) {
+          sh.map.erase(sh.map.find(*sh.pending.back().key));
+          sh.pending.pop_back();
+        }
+      }
+    }
+
+    // Commit the surviving prefix: configs in stream order, then (phase 4,
+    // serial by nature — the stores are append-only) the pre-encoded edge
+    // streams of the expanded pops.
+    std::vector<std::uint32_t> nextFrontier;
+    nextFrontier.reserve(static_cast<std::size_t>(newNodes));
+    std::uint64_t levelEdges = 0;
+    std::uint64_t levelDedup = 0;
+    timed(ExploreTracker::Section::kAppend, [&] {
+      for (std::size_t i = 0; i < static_cast<std::size_t>(newNodes); ++i) {
+        const NewEntry* e = order[i];
+        const std::uint32_t id = store.count();
+        store.append(e->key->data());
+        if (cut == L) shards[e->shard].fpTable.insert(e->key->hash(), id);
+        nextFrontier.push_back(id);
+      }
+      for (std::uint32_t p = 0; p < cut; ++p) {
+        estore.appendStream(frontier[p], bodyBuf[p]);
+        levelEdges += candBuf[p].size();
+        for (const Cand& c : candBuf[p]) {
+          if (c.dedupHit) ++levelDedup;
+        }
+      }
+    });
+    for (CShard& sh : shards) {
+      sh.map.clear();
+      sh.pending.clear();
+      sh.slots.clear();
+    }
+
+    if (cut < L) {
+      // Modeled spill state at the cut comes from the replayed policy; the
+      // flush files themselves are unobservable past this point and are not
+      // written.
+      policy = replayPolicy;
+      g.truncated = true;
+      g.truncatedByBudget = cutByBudget;
+      syncComponents();
+      std::vector<std::uint32_t> rest(frontier.begin() + cut, frontier.end());
+      rest.insert(rest.end(), nextFrontier.begin(), nextFrontier.end());
+      tracker.recordLevel(cut, levelEdges, levelDedup, rest.size());
+      tracker.checkpoint(rest.size());
+      tracker.recordTruncation(options.maxNodes, options.maxBytes, cutByBudget,
+                               rest);
+      frontier = std::move(rest);
+      break;
+    }
+
+    // Commit the mid-level flush decisions in replay order, then adopt the
+    // replayed policy state.
+    if (!actions.empty()) {
+      timed(ExploreTracker::Section::kIo, [&] {
+        for (const SpillPolicy::Action& action : actions) {
+          materializeFlush(action);
+        }
+      });
+    }
+    policy = replayPolicy;
+    syncComponents();
+    tracker.recordLevel(L, levelEdges, levelDedup, nextFrontier.size());
+    frontier = std::move(nextFrontier);
+  }
+
+  syncComponents();
+  tracker.finish(frontier.size());
+  return g;
+}
+
 }  // namespace
 
 ConfigGraph exploreParallelImpl(const Protocol& proto,
                                 const std::vector<Configuration>& initials,
                                 const ExploreOptions& options, bool canonical) {
+  if (options.storage == GraphStorage::kCompressed) {
+    return exploreParallelCompressed(proto, initials, options, canonical);
+  }
   ConfigGraph g;
   const std::uint32_t n = initials.front().numMobile();
   const std::uint32_t m = n + (proto.hasLeader() ? 1u : 0u);

@@ -103,7 +103,7 @@ CandidateVerdict evaluateCandidate(
     StateId q, std::uint32_t n, Fairness fairness, bool symmetricSpace,
     bool selfStabilizing,
     const std::function<Problem(const Protocol&)>& problemFor,
-    std::uint64_t idx, std::size_t maxNodes, std::uint64_t maxBytes,
+    std::uint64_t idx, const SearchOptions& options,
     ExploreObserver* observer,
     const std::function<std::uint64_t()>& nextExploreId) {
   const TabularProtocol proto = symmetricSpace ? decodeSymmetricProtocol(q, idx)
@@ -112,8 +112,11 @@ CandidateVerdict evaluateCandidate(
 
   auto solvesFrom = [&](const std::vector<Configuration>& initials) {
     ExploreOptions exploreOptions;
-    exploreOptions.maxNodes = maxNodes;
-    exploreOptions.maxBytes = maxBytes;
+    exploreOptions.maxNodes = options.maxNodes;
+    exploreOptions.maxBytes = options.maxBytes;
+    exploreOptions.storage = options.storage;
+    exploreOptions.spillBytes = options.spillBytes;
+    exploreOptions.spillDir = options.spillDir;
     exploreOptions.observer = observer;
     exploreOptions.exploreId = nextExploreId();
     if (fairness == Fairness::kGlobal) {
@@ -199,7 +202,7 @@ SearchOutcome searchProblem(
       ++outcome.examined;
       const CandidateVerdict verdict = evaluateCandidate(
           q, n, fairness, symmetricSpace, selfStabilizing, problemFor, idx,
-          options.maxNodes, options.maxBytes, observer,
+          options, observer,
           [&] { return (searchId << 32) | ++exploreSeq; });
       if (verdict == CandidateVerdict::kSolves) {
         ++outcome.solvers;
@@ -260,7 +263,7 @@ SearchOutcome searchProblem(
         if (idx >= total) break;
         const CandidateVerdict verdict = evaluateCandidate(
             q, n, fairness, symmetricSpace, selfStabilizing, problemFor, idx,
-            options.maxNodes, options.maxBytes, observer, [&] {
+            options, observer, [&] {
               return (searchId << 32) |
                      (exploreSeq.fetch_add(1, std::memory_order_relaxed) + 1);
             });

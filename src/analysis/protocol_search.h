@@ -18,8 +18,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "analysis/explore.h"
 #include "analysis/problem.h"
 #include "core/protocol.h"
 #include "obs/explore_observer.h"
@@ -83,6 +85,13 @@ struct SearchOptions {
   /// maxBytes; 0 disables). A budget-truncated exploration leaves the
   /// candidate `unknown`, exactly like a node-cap truncation.
   std::uint64_t maxBytes = 0;
+  /// Graph representation for the inner explorations (ExploreOptions::
+  /// storage); compressed by default, like exploreConcrete itself.
+  GraphStorage storage = GraphStorage::kCompressed;
+  /// Dedup-table spill threshold and run directory, forwarded verbatim to
+  /// ExploreOptions::spillBytes / spillDir (0 = never spill).
+  std::uint64_t spillBytes = 0;
+  std::string spillDir;
   /// Worker threads dispatching CANDIDATES (the inner explorations stay
   /// serial — candidate-level parallelism dominates for these workloads).
   /// 1 = today's serial loop; 0 = hardware concurrency. The outcome is

@@ -18,16 +18,26 @@ SccDecomposition decomposeScc(const ConfigGraph& graph) {
   std::vector<std::uint32_t> stack;
   stack.reserve(n);
 
+  // Each frame materializes its node's target list once at push time (one
+  // decode per node for compressed graphs, one copy for explicit ones) —
+  // Tarjan revisits frame.edgeIdx across iterations, which a streaming
+  // decode can't serve cheaply.
   struct Frame {
     std::uint32_t node;
     std::uint32_t edgeIdx;
+    std::vector<std::uint32_t> targets;
+  };
+  const auto targetsOf = [&graph](std::uint32_t v) {
+    std::vector<std::uint32_t> targets;
+    graph.forEachEdge(v, [&](const Edge& e) { targets.push_back(e.to); });
+    return targets;
   };
   std::vector<Frame> callStack;
   std::uint32_t nextIndex = 0;
 
   for (std::uint32_t root = 0; root < n; ++root) {
     if (index[root] != kUnvisited) continue;
-    callStack.push_back({root, 0});
+    callStack.push_back({root, 0, targetsOf(root)});
     index[root] = lowlink[root] = nextIndex++;
     stack.push_back(root);
     onStack[root] = true;
@@ -35,14 +45,14 @@ SccDecomposition decomposeScc(const ConfigGraph& graph) {
     while (!callStack.empty()) {
       Frame& frame = callStack.back();
       const std::uint32_t v = frame.node;
-      if (frame.edgeIdx < graph.adj[v].size()) {
-        const std::uint32_t w = graph.adj[v][frame.edgeIdx].to;
+      if (frame.edgeIdx < frame.targets.size()) {
+        const std::uint32_t w = frame.targets[frame.edgeIdx];
         ++frame.edgeIdx;
         if (index[w] == kUnvisited) {
           index[w] = lowlink[w] = nextIndex++;
           stack.push_back(w);
           onStack[w] = true;
-          callStack.push_back({w, 0});
+          callStack.push_back({w, 0, targetsOf(w)});
         } else if (onStack[w]) {
           lowlink[v] = std::min(lowlink[v], index[w]);
         }
@@ -71,11 +81,11 @@ SccDecomposition decomposeScc(const ConfigGraph& graph) {
 
   out.bottom.assign(out.numSccs, true);
   for (std::uint32_t v = 0; v < n; ++v) {
-    for (const Edge& e : graph.adj[v]) {
+    graph.forEachEdge(v, [&](const Edge& e) {
       if (e.changed && out.sccOf[e.to] != out.sccOf[v]) {
         out.bottom[out.sccOf[v]] = false;
       }
-    }
+    });
   }
   return out;
 }

@@ -1,0 +1,133 @@
+// Disk tier of the two-tier dedup table (DESIGN decision 19).
+//
+// When the modeled bytes of the in-RAM FpTable cross ExploreOptions::
+// spillBytes, the table is drained into a sorted run file and probing falls
+// back to external memory: the classic sorted-run external-BFS dedup of
+// Korf's frontier search, specialised to our (fingerprint, node id) pairs.
+//
+// On-disk run format (little-endian):
+//   header  24 B : magic "PPNSPIL1" | u64 entryCount | u32 crc32(payload)
+//                  | u32 reserved
+//   payload      : entryCount records of (u64 fingerprint, u32 id) = 12 B,
+//                  sorted by (fingerprint, id)
+//
+// Each run keeps an in-RAM sample of every kProbeStride-th fingerprint, so a
+// probe is one binary search over samples plus one pread of at most
+// kProbeStride records. pread carries its own offset, so concurrent probes
+// from the parallel explorer's workers need no locking. When the number of
+// live runs exceeds SpillPolicy::kMaxRuns they are k-way merged (streaming,
+// CRC-verified) into a single run.
+//
+// SpillPolicy is the *decision* half, split from the I/O so the parallel
+// engine's serial cut replay can advance a copy of it: every flush is a pure
+// function of the interned-node count, which makes spill behaviour — and the
+// kDedup ledger component it drives — engine-invariant and bit-identical
+// across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppn::detail {
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte range; seed with 0.
+std::uint32_t crc32(const void* bytes, std::uint64_t n,
+                    std::uint32_t seed = 0);
+
+/// One (fingerprint, id) dedup record.
+struct SpillEntry {
+  std::uint64_t fp = 0;
+  std::uint32_t id = 0;
+};
+
+/// The set of sorted run files owned by one exploration. Files live in
+/// `dir` (empty = the system temp directory) and are unlinked on
+/// destruction.
+class SpillRunSet {
+ public:
+  /// Every kProbeStride-th fingerprint of a run is kept in RAM; a probe
+  /// preads at most this many records.
+  static constexpr std::uint32_t kProbeStride = 64;
+
+  explicit SpillRunSet(std::string dir) : dir_(std::move(dir)) {}
+  ~SpillRunSet();
+  SpillRunSet(const SpillRunSet&) = delete;
+  SpillRunSet& operator=(const SpillRunSet&) = delete;
+
+  std::size_t runCount() const { return runs_.size(); }
+  std::uint64_t diskBytes() const;
+
+  /// Writes `entries` (must be sorted by (fp, id)) as a new run.
+  void writeRun(const std::vector<SpillEntry>& entries);
+
+  /// Streams all runs through a k-way merge into a single replacement run,
+  /// verifying each input's CRC. No-op with fewer than two runs.
+  void compact();
+
+  /// Appends the ids of every record with fingerprint `fp`, across all
+  /// runs, to `out` (which is cleared first). Thread-safe: pread only.
+  void candidates(std::uint64_t fp, std::vector<std::uint32_t>& out) const;
+
+ private:
+  struct Run {
+    int fd = -1;
+    std::string path;
+    std::uint64_t entryCount = 0;
+    std::vector<std::uint64_t> sampleFps;  // every kProbeStride-th fp
+  };
+
+  std::string runPath();
+  void closeRun(Run& run);
+
+  std::string dir_;
+  std::vector<Run> runs_;
+  std::uint64_t nextRunId_ = 0;
+};
+
+/// Deterministic spill state machine. maybeFlush(k) must be called with the
+/// interned-node count at every point where the serial engine would check —
+/// top of each pop serially, each replayed pop in the parallel cut replay —
+/// so both engines take byte-identical flush decisions.
+class SpillPolicy {
+ public:
+  /// Compact when more than this many runs are live.
+  static constexpr std::size_t kMaxRuns = 8;
+
+  explicit SpillPolicy(std::uint64_t thresholdBytes)
+      : threshold_(thresholdBytes) {}
+
+  bool enabled() const { return threshold_ != 0; }
+
+  /// One flush decision: drain RAM entries [from, to) into a run, then
+  /// compact all runs into one if the run count would exceed kMaxRuns.
+  struct Action {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    bool compact = false;
+  };
+
+  /// Given `interned` total nodes, flushes iff the modeled FpTable bytes for
+  /// the RAM-resident entries exceed the threshold. Advances the policy.
+  std::optional<Action> maybeFlush(std::uint32_t interned);
+
+  std::uint32_t flushedEntries() const { return flushed_; }
+  std::size_t runCount() const { return runEntryCounts_.size(); }
+
+  /// Modeled kDedup component at `interned` nodes: RAM table for the
+  /// unflushed tail plus the in-RAM probe samples of every run. Disk bytes
+  /// are deliberately excluded — the ledger models RAM.
+  std::uint64_t dedupModelBytes(std::uint32_t interned) const;
+
+  /// Modeled on-disk bytes (headers + payloads) of the live runs.
+  std::uint64_t spillDiskBytes() const;
+
+ private:
+  std::uint64_t threshold_;
+  std::uint32_t flushed_ = 0;
+  std::vector<std::uint64_t> runEntryCounts_;
+};
+
+}  // namespace ppn::detail

@@ -55,23 +55,24 @@ WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
     std::uint32_t covered = 0;
     bool internalMobileChange = false;
     for (const std::uint32_t node : scc.members[s]) {
-      for (const Edge& e : graph.adj[node]) {
-        if (scc.sccOf[e.to] != s) continue;
+      graph.forEachEdge(node, [&](const Edge& e) {
+        if (scc.sccOf[e.to] != s) return;
         if (e.label < pairs && !labelSeen[e.label]) {
           labelSeen[e.label] = 1;
           ++covered;
         }
         if (e.changedName) internalMobileChange = true;
-      }
+      });
     }
     if (covered != required) continue;  // not fair: some pair can't recur
 
     bool predicateFails = false;
-    const Configuration* failWitness = nullptr;
+    std::optional<Configuration> failWitness;
     for (const std::uint32_t node : scc.members[s]) {
-      if (!problem.holds(graph.configs[node])) {
+      Configuration c = graph.config(node);
+      if (!problem.holds(c)) {
         predicateFails = true;
-        failWitness = &graph.configs[node];
+        failWitness = std::move(c);
         break;
       }
     }
@@ -81,8 +82,9 @@ WeakVerdict checkWeakFairness(const Protocol& proto, const Problem& problem,
     if (violating) {
       ++verdict.violatingSccs;
       if (!verdict.witness.has_value()) {
-        verdict.witness =
-            failWitness ? *failWitness : graph.configs[scc.members[s].front()];
+        verdict.witness = failWitness.has_value()
+                              ? std::move(*failWitness)
+                              : graph.config(scc.members[s].front());
         verdict.witnessSccSize = scc.members[s].size();
         verdict.reason =
             predicateFails

@@ -158,6 +158,12 @@ void JsonlEventSink::onExploreProgress(const ExploreProgressEvent& e) {
   w.key("dedup_hits").value(e.dedupHits);
   w.key("bytes_estimate").value(e.bytesEstimate);
   w.key("nodes_per_sec").value(e.nodesPerSec);
+  w.key("expand_ms").value(e.expandMillis);
+  w.key("dedup_ms").value(e.dedupMillis);
+  w.key("append_ms").value(e.appendMillis);
+  w.key("io_ms").value(e.ioMillis);
+  w.key("expand_nodes_per_sec").value(e.expandNodesPerSec);
+  w.key("dedup_nodes_per_sec").value(e.dedupNodesPerSec);
   w.key("done").value(e.done);
   w.key("elapsed_ms").value(elapsedMillis());
   w.endObject();
@@ -231,6 +237,8 @@ void JsonlEventSink::onMemorySample(const MemorySampleEvent& e) {
   w.key("codec_bytes").value(e.codecBytes);
   w.key("total_bytes").value(e.totalBytes);
   w.key("high_water_bytes").value(e.highWaterBytes);
+  w.key("spill_bytes").value(e.spillBytes);
+  w.key("spill_runs").value(e.spillRuns);
   w.key("rss_bytes").value(e.rssBytes);
   w.key("done").value(e.done);
   w.key("elapsed_ms").value(elapsedMillis());

@@ -17,7 +17,11 @@
 // The sink also implements ExploreObserver (obs/explore_observer.h), so one
 // file carries both simulation and analysis telemetry (E22):
 //   explore_progress  {explore, nodes, frontier, edges, dedup_hits,
-//                      bytes_estimate, nodes_per_sec, done}
+//                      bytes_estimate, nodes_per_sec, expand_ms, dedup_ms,
+//                      append_ms, io_ms, expand_nodes_per_sec,
+//                      dedup_nodes_per_sec, done} (per-phase loop timing so
+//                      dedup-bound levels are distinguishable from
+//                      expand-bound ones)
 //   phase_start       {explore, phase}
 //   phase_end         {explore, phase, wall_millis}
 //   explore_truncated {explore, nodes, max_nodes, frontier_size, max_bytes,
@@ -26,8 +30,10 @@
 //                      candidates_per_sec, done}
 //   memory_sample     {explore, configs_bytes, adjacency_bytes, dedup_bytes,
 //                      frontier_bytes, codec_bytes, total_bytes,
-//                      high_water_bytes, rss_bytes, done} (E27: the
-//                      MemoryLedger's attributed footprint; rss_bytes is the
+//                      high_water_bytes, spill_bytes, spill_runs, rss_bytes,
+//                      done} (E27: the MemoryLedger's attributed footprint;
+//                      spill_bytes/spill_runs are the on-disk dedup tier,
+//                      outside total_bytes; rss_bytes is the
 //                      resource_sampler self-sample for drift checks, 0 when
 //                      /proc was unreadable)
 //

@@ -40,6 +40,16 @@ struct ExploreProgressEvent {
   std::uint64_t bytesEstimate = 0;  ///< approximate graph memory footprint
   double nodesPerSec = 0.0;     ///< expansion rate since the exploration began
   double elapsedMillis = 0.0;   ///< wall time since the exploration began
+  // Per-section loop timing, so a dedup-bound exploration is distinguishable
+  // from an expand-bound one (the aggregate nodesPerSec hides which side
+  // degraded). Wall-clock fields, measured only when an observer is
+  // attached; like nodesPerSec they are exempt from bit-identity.
+  double expandMillis = 0.0;  ///< successor enumeration time so far
+  double dedupMillis = 0.0;   ///< intern/dedup (table + spill probe) time
+  double appendMillis = 0.0;  ///< graph append (adjacency/stream) time
+  double ioMillis = 0.0;      ///< spill flush + compaction time
+  double expandNodesPerSec = 0.0;  ///< expanded nodes / expand seconds
+  double dedupNodesPerSec = 0.0;   ///< expanded nodes / dedup seconds
   bool done = false;            ///< true on the final (completion) event
 };
 
@@ -90,6 +100,11 @@ struct MemorySampleEvent {
   /// Process RSS from the resource_sampler self-sample (0 if unavailable).
   /// NOT deterministic — a drift diagnostic, excluded from bit-identity.
   std::uint64_t rssBytes = 0;
+  /// Dedup-spill tier (compressed storage, DESIGN decision 19): bytes
+  /// currently on DISK in sorted run files and the live run count. Outside
+  /// totalBytes (the ledger models RAM); deterministic like the components.
+  std::uint64_t spillBytes = 0;
+  std::uint64_t spillRuns = 0;
   double elapsedMillis = 0.0;  ///< wall time since the exploration began
   bool done = false;           ///< true on the final (completion) event
 };

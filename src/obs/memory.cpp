@@ -80,6 +80,8 @@ bool MemoryStatsCollector::writeJson(const std::string& path) const {
       w.key("codec_bytes").value(row.last.codecBytes);
       w.key("total_bytes").value(row.last.totalBytes);
       w.key("high_water_bytes").value(row.last.highWaterBytes);
+      w.key("spill_bytes").value(row.last.spillBytes);
+      w.key("spill_runs").value(row.last.spillRuns);
       w.key("peak_total_bytes").value(row.peakTotalBytes);
       w.key("done").value(row.last.done);
       w.endObject();

@@ -83,6 +83,8 @@ MetricsExploreObserver::MetricsExploreObserver(MetricsRegistry& registry)
       memCodecBytes_(registry.gauge("mem_codec_bytes")),
       memTotalBytes_(registry.gauge("mem_total_bytes")),
       memHighWaterBytes_(registry.gauge("mem_high_water_bytes")),
+      memSpillBytes_(registry.gauge("mem_spill_bytes")),
+      memSpillRuns_(registry.gauge("mem_spill_runs")),
       explorePhaseMillis_(registry.histogram(
           "explore_phase_millis", {1e-1, 1e0, 1e1, 1e2, 1e3, 1e4, 1e5})) {}
 
@@ -117,6 +119,8 @@ void MetricsExploreObserver::onMemorySample(const MemorySampleEvent& e) {
   MetricsRegistry::set(memTotalBytes_, static_cast<std::int64_t>(e.totalBytes));
   MetricsRegistry::set(memHighWaterBytes_,
                        static_cast<std::int64_t>(e.highWaterBytes));
+  MetricsRegistry::set(memSpillBytes_, static_cast<std::int64_t>(e.spillBytes));
+  MetricsRegistry::set(memSpillRuns_, static_cast<std::int64_t>(e.spillRuns));
 }
 
 void MetricsExploreObserver::onSearchProgress(const SearchProgressEvent& e) {

@@ -25,7 +25,8 @@
 //              search_solvers, search_unknown (last search event seen),
 //              mem_configs_bytes, mem_adjacency_bytes, mem_dedup_bytes,
 //              mem_frontier_bytes, mem_codec_bytes, mem_total_bytes,
-//              mem_high_water_bytes (last memory_sample seen; DESIGN 18)
+//              mem_high_water_bytes, mem_spill_bytes, mem_spill_runs
+//              (last memory_sample seen; DESIGN 18/19)
 //   histograms explore_phase_millis (decade buckets, every phase_end)
 #pragma once
 
@@ -76,7 +77,7 @@ class MetricsExploreObserver final : public ExploreObserver {
   GaugeHandle exploreNodes_, exploreEdges_, exploreDedupHits_,
       exploreBytesEstimate_, searchSolvers_, searchUnknown_, memConfigsBytes_,
       memAdjacencyBytes_, memDedupBytes_, memFrontierBytes_, memCodecBytes_,
-      memTotalBytes_, memHighWaterBytes_;
+      memTotalBytes_, memHighWaterBytes_, memSpillBytes_, memSpillRuns_;
   HistogramHandle explorePhaseMillis_;
   /// Last search_progress seen (searches run sequentially into one
   /// observer), so search_candidates counts each candidate once despite

@@ -401,6 +401,7 @@ void ChromeTraceObserver::onMemorySample(const MemorySampleEvent& e) {
   writer_->counter("mem_frontier", static_cast<double>(e.frontierBytes));
   writer_->counter("mem_codec", static_cast<double>(e.codecBytes));
   writer_->counter("mem_total", static_cast<double>(e.totalBytes));
+  writer_->counter("mem_spill", static_cast<double>(e.spillBytes));
 }
 
 }  // namespace ppn

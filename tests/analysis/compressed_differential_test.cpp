@@ -1,0 +1,280 @@
+// Differential suite for the compressed ConfigGraph (DESIGN decision 19):
+// the compressed representation must be INDISTINGUISHABLE from the explicit
+// one — node ids, edge order, SCC structure, bottom sets and checker
+// verdicts — across every registry protocol, at threads 1 and 4, and at
+// spill thresholds forcing zero, one-ish and many sorted runs. Plus the
+// budget-degrade acceptance test: a byte budget that truncates the explicit
+// representation completes under compression + spill, bit-identical to the
+// unspilled compressed run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/explore.h"
+#include "analysis/global_checker.h"
+#include "analysis/initial_sets.h"
+#include "analysis/problem.h"
+#include "analysis/scc.h"
+#include "analysis/weak_checker.h"
+#include "naming/registry.h"
+#include "obs/memory.h"
+
+namespace ppn {
+namespace {
+
+struct RegistryCase {
+  const char* key;
+  StateId p;
+  std::uint32_t n;
+};
+
+std::vector<RegistryCase> smallCases() {
+  return {{"asymmetric", 3, 3},     {"symmetric-global", 2, 3},
+          {"leader-uniform", 3, 3}, {"counting", 2, 3},
+          {"selfstab-weak", 2, 3},  {"global-leader", 3, 3}};
+}
+
+/// Spill thresholds: 0 = never spill, 2000 B = one/few run flushes on these
+/// graph sizes, 1 B = a flush per intern (many runs, repeated compaction).
+const std::uint64_t kSpillThresholds[] = {0, 2000, 1};
+
+std::string spillDirFor(const char* tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      (std::string("ppn-compress-diff-") + tag);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+void expectGraphsIdentical(const ConfigGraph& a, const ConfigGraph& b,
+                           const std::string& where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  EXPECT_EQ(a.numParticipants, b.numParticipants) << where;
+  EXPECT_EQ(a.truncated, b.truncated) << where;
+  EXPECT_EQ(a.truncatedByBudget, b.truncatedByBudget) << where;
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.config(i), b.config(i)) << where << " node " << i;
+    const std::vector<Edge> ae = a.edges(i);
+    const std::vector<Edge> be = b.edges(i);
+    ASSERT_EQ(ae.size(), be.size()) << where << " node " << i;
+    for (std::size_t k = 0; k < ae.size(); ++k) {
+      EXPECT_EQ(ae[k].to, be[k].to) << where << " node " << i << " edge " << k;
+      EXPECT_EQ(ae[k].label, be[k].label) << where << " " << i << "/" << k;
+      EXPECT_EQ(ae[k].initiator, be[k].initiator) << where << " " << i << "/" << k;
+      EXPECT_EQ(ae[k].responder, be[k].responder) << where << " " << i << "/" << k;
+      EXPECT_EQ(ae[k].changed, be[k].changed) << where << " " << i << "/" << k;
+      EXPECT_EQ(ae[k].changedMobile, be[k].changedMobile)
+          << where << " " << i << "/" << k;
+      EXPECT_EQ(ae[k].changedName, be[k].changedName)
+          << where << " " << i << "/" << k;
+    }
+  }
+}
+
+void expectSccsIdentical(const ConfigGraph& a, const ConfigGraph& b,
+                         const std::string& where) {
+  const SccDecomposition sa = decomposeScc(a);
+  const SccDecomposition sb = decomposeScc(b);
+  EXPECT_EQ(sa.numSccs, sb.numSccs) << where;
+  EXPECT_EQ(sa.sccOf, sb.sccOf) << where;
+  EXPECT_EQ(sa.bottom, sb.bottom) << where;  // bottom (sink) SCC sets
+  EXPECT_EQ(sa.members, sb.members) << where;
+}
+
+ExploreOptions explicitOptions() {
+  ExploreOptions options;
+  options.storage = GraphStorage::kExplicit;
+  return options;
+}
+
+ExploreOptions compressedOptions(std::uint32_t threads, std::uint64_t spill,
+                                 const std::string& dir) {
+  ExploreOptions options;
+  options.storage = GraphStorage::kCompressed;
+  options.threads = threads;
+  options.spillBytes = spill;
+  options.spillDir = dir;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Graph + SCC equality across the registry, threads x spill thresholds.
+
+TEST(CompressedDifferential, ConcreteGraphsMatchExplicitAcrossRegistry) {
+  const std::string dir = spillDirFor("concrete");
+  for (const RegistryCase& rc : smallCases()) {
+    const auto proto = makeProtocol(rc.key, rc.p);
+    const auto initials = allConcreteConfigurations(*proto, rc.n);
+    const ConfigGraph explicitGraph =
+        exploreConcrete(*proto, initials, explicitOptions());
+    ASSERT_FALSE(explicitGraph.compressed());
+    for (const std::uint32_t threads : {1u, 4u}) {
+      for (const std::uint64_t spill : kSpillThresholds) {
+        const std::string where = std::string(rc.key) + " t" +
+                                  std::to_string(threads) + " spill" +
+                                  std::to_string(spill);
+        const ConfigGraph g = exploreConcrete(
+            *proto, initials, compressedOptions(threads, spill, dir));
+        ASSERT_TRUE(g.compressed()) << where;
+        expectGraphsIdentical(explicitGraph, g, where);
+        expectSccsIdentical(explicitGraph, g, where);
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CompressedDifferential, CanonicalGraphsMatchExplicitAcrossRegistry) {
+  const std::string dir = spillDirFor("canonical");
+  for (const RegistryCase& rc : smallCases()) {
+    const auto proto = makeProtocol(rc.key, rc.p);
+    const auto initials = allCanonicalConfigurations(*proto, rc.n);
+    const ConfigGraph explicitGraph =
+        exploreCanonical(*proto, initials, explicitOptions());
+    for (const std::uint32_t threads : {1u, 4u}) {
+      for (const std::uint64_t spill : kSpillThresholds) {
+        const std::string where = std::string(rc.key) + " t" +
+                                  std::to_string(threads) + " spill" +
+                                  std::to_string(spill);
+        const ConfigGraph g = exploreCanonical(
+            *proto, initials, compressedOptions(threads, spill, dir));
+        expectGraphsIdentical(explicitGraph, g, where);
+        expectSccsIdentical(explicitGraph, g, where);
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Checker verdicts are storage-invariant.
+
+TEST(CompressedDifferential, CheckerVerdictsMatchExplicit) {
+  const std::string dir = spillDirFor("verdicts");
+  for (const RegistryCase& rc : smallCases()) {
+    const auto proto = makeProtocol(rc.key, rc.p);
+    const Problem problem = namingProblem(*proto);
+    const auto concrete = allConcreteConfigurations(*proto, rc.n);
+    const auto canonical = allCanonicalConfigurations(*proto, rc.n);
+
+    const WeakVerdict weakExplicit =
+        checkWeakFairness(*proto, problem, concrete, explicitOptions());
+    const GlobalVerdict globalExplicit =
+        checkGlobalFairness(*proto, problem, canonical, explicitOptions());
+
+    for (const std::uint32_t threads : {1u, 4u}) {
+      for (const std::uint64_t spill : kSpillThresholds) {
+        const std::string where = std::string(rc.key) + " t" +
+                                  std::to_string(threads) + " spill" +
+                                  std::to_string(spill);
+        const auto options = compressedOptions(threads, spill, dir);
+        const WeakVerdict w =
+            checkWeakFairness(*proto, problem, concrete, options);
+        EXPECT_EQ(w.solves, weakExplicit.solves) << where;
+        EXPECT_EQ(w.explored, weakExplicit.explored) << where;
+        EXPECT_EQ(w.numConfigs, weakExplicit.numConfigs) << where;
+        EXPECT_EQ(w.violatingSccs, weakExplicit.violatingSccs) << where;
+        EXPECT_EQ(w.reason, weakExplicit.reason) << where;
+        const GlobalVerdict g =
+            checkGlobalFairness(*proto, problem, canonical, options);
+        EXPECT_EQ(g.solves, globalExplicit.solves) << where;
+        EXPECT_EQ(g.explored, globalExplicit.explored) << where;
+        EXPECT_EQ(g.numConfigs, globalExplicit.numConfigs) << where;
+        EXPECT_EQ(g.numBottomSccs, globalExplicit.numBottomSccs) << where;
+        EXPECT_EQ(g.reason, globalExplicit.reason) << where;
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Budget degradation: where the explicit graph blows maxBytes, the
+// compressed + spilled exploration completes — bit-identical to unspilled.
+
+TEST(CompressedDifferential, SpillCompletesWhereExplicitBlowsTheBudget) {
+  const std::string dir = spillDirFor("budget");
+  const auto proto = makeProtocol("symmetric-global", 2);
+  const auto initials = allConcreteConfigurations(*proto, 8);
+
+  // Measure both representations' high-water marks without any budget.
+  MemoryStatsCollector explicitStats;
+  ExploreOptions eo = explicitOptions();
+  eo.observer = &explicitStats;
+  eo.exploreId = 1;
+  const ConfigGraph explicitGraph = exploreConcrete(*proto, initials, eo);
+  ASSERT_FALSE(explicitGraph.truncated);
+  const std::uint64_t explicitHw =
+      explicitStats.lastSample(1)->highWaterBytes;
+
+  MemoryStatsCollector spillStats;
+  ExploreOptions co = compressedOptions(1, 2000, dir);
+  co.observer = &spillStats;
+  co.exploreId = 2;
+  const ConfigGraph spilled = exploreConcrete(*proto, initials, co);
+  ASSERT_FALSE(spilled.truncated);
+  const auto spillSample = spillStats.lastSample(2);
+  const std::uint64_t compressedHw = spillSample->highWaterBytes;
+  EXPECT_GT(spillSample->spillBytes, 0u);  // the disk tier really engaged
+
+  // The whole point of compression + spill: the peak footprint shrinks.
+  ASSERT_LT(compressedHw, explicitHw);
+  const std::uint64_t budget = (compressedHw + explicitHw) / 2;
+
+  // Explicit storage cannot finish inside the budget...
+  ExploreOptions eb = explicitOptions();
+  eb.maxBytes = budget;
+  const ConfigGraph truncated = exploreConcrete(*proto, initials, eb);
+  EXPECT_TRUE(truncated.truncated);
+  EXPECT_TRUE(truncated.truncatedByBudget);
+
+  // ...while the compressed + spilled exploration completes under the SAME
+  // budget, and the result is node-for-node the unspilled compressed graph.
+  const ConfigGraph unspilled =
+      exploreConcrete(*proto, initials, compressedOptions(1, 0, dir));
+  ASSERT_FALSE(unspilled.truncated);
+  ExploreOptions cb = compressedOptions(1, 2000, dir);
+  cb.maxBytes = budget;
+  const ConfigGraph survivor = exploreConcrete(*proto, initials, cb);
+  EXPECT_FALSE(survivor.truncated);
+  EXPECT_FALSE(survivor.truncatedByBudget);
+  expectGraphsIdentical(unspilled, survivor, "budget-degrade");
+  expectGraphsIdentical(explicitGraph, survivor, "budget-vs-explicit");
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Spill telemetry: thresholds drive runs, and the ledger reports them.
+
+TEST(CompressedDifferential, SpillTelemetryReportsRunsAndBytes) {
+  const std::string dir = spillDirFor("telemetry");
+  const auto proto = makeProtocol("asymmetric", 3);
+  const auto initials = allConcreteConfigurations(*proto, 3);
+
+  MemoryStatsCollector noSpill;
+  ExploreOptions a = compressedOptions(1, 0, dir);
+  a.observer = &noSpill;
+  a.exploreId = 10;
+  (void)exploreConcrete(*proto, initials, a);
+  EXPECT_EQ(noSpill.lastSample(10)->spillBytes, 0u);
+  EXPECT_EQ(noSpill.lastSample(10)->spillRuns, 0u);
+
+  MemoryStatsCollector manyRuns;
+  ExploreOptions b = compressedOptions(1, 1, dir);
+  b.observer = &manyRuns;
+  b.exploreId = 11;
+  const ConfigGraph g = exploreConcrete(*proto, initials, b);
+  const auto sample = manyRuns.lastSample(11);
+  EXPECT_GT(sample->spillBytes, 0u);
+  EXPECT_GE(sample->spillRuns, 1u);
+  // Every interned node's dedup entry lives on disk at threshold 1.
+  EXPECT_EQ(sample->spillBytes,
+            sample->spillRuns * 24 + std::uint64_t{g.size()} * 12);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ppn

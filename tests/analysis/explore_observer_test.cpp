@@ -65,12 +65,14 @@ bool sameGraph(const ConfigGraph& a, const ConfigGraph& b) {
       a.numParticipants != b.numParticipants) {
     return false;
   }
-  for (std::size_t i = 0; i < a.configs.size(); ++i) {
-    if (!(a.configs[i] == b.configs[i])) return false;
-    if (a.adj[i].size() != b.adj[i].size()) return false;
-    for (std::size_t j = 0; j < a.adj[i].size(); ++j) {
-      const Edge& x = a.adj[i][j];
-      const Edge& y = b.adj[i][j];
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    if (!(a.config(i) == b.config(i))) return false;
+    const std::vector<Edge> ae = a.edges(i);
+    const std::vector<Edge> be = b.edges(i);
+    if (ae.size() != be.size()) return false;
+    for (std::size_t j = 0; j < ae.size(); ++j) {
+      const Edge& x = ae[j];
+      const Edge& y = be[j];
       if (x.to != y.to || x.label != y.label || x.initiator != y.initiator ||
           x.responder != y.responder || x.changed != y.changed ||
           x.changedMobile != y.changedMobile ||

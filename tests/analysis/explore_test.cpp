@@ -34,7 +34,7 @@ TEST(ExploreConcrete, ColorExampleFromOneBlack) {
   EXPECT_EQ(g.size(), 4u);
   // Every configuration has 3 pairs' worth of edges (some may be dedup'd
   // identical-orientation outcomes but never zero).
-  for (const auto& edges : g.adj) EXPECT_GE(edges.size(), 3u);
+  for (std::uint32_t v = 0; v < g.size(); ++v) EXPECT_GE(g.edgeCount(v), 3u);
 }
 
 TEST(ExploreConcrete, RecordsNullSelfLoops) {
@@ -44,7 +44,7 @@ TEST(ExploreConcrete, RecordsNullSelfLoops) {
   ASSERT_EQ(g.size(), 1u);  // already terminal
   // All three pairs appear as null self-loops.
   std::vector<bool> labels(numPairs(3), false);
-  for (const Edge& e : g.adj[0]) {
+  for (const Edge& e : g.edges(0)) {
     EXPECT_EQ(e.to, 0u);
     EXPECT_FALSE(e.changed);
     labels[e.label] = true;
@@ -60,7 +60,7 @@ TEST(ExploreConcrete, AsymmetricOrientationsBothPresent) {
   EXPECT_EQ(g.size(), 3u);
   // The start node has two distinct outgoing changed edges with one label.
   std::size_t changed = 0;
-  for (const Edge& e : g.adj[0]) changed += e.changed ? 1 : 0;
+  for (const Edge& e : g.edges(0)) changed += e.changed ? 1 : 0;
   EXPECT_EQ(changed, 2u);
 }
 
@@ -75,8 +75,8 @@ TEST(ExploreConcrete, LeaderParticipates) {
   EXPECT_GT(g.size(), 1u);
   // Some edge must change the leader state only (k-pointer bumps).
   bool leaderOnlyChange = false;
-  for (std::size_t v = 0; v < g.size(); ++v) {
-    for (const Edge& e : g.adj[v]) {
+  for (std::uint32_t v = 0; v < g.size(); ++v) {
+    for (const Edge& e : g.edges(v)) {
       if (e.changed && !e.changedMobile) leaderOnlyChange = true;
     }
   }
@@ -98,7 +98,8 @@ TEST(ExploreCanonical, QuotientIsSmaller) {
   EXPECT_FALSE(canonical.truncated);
   EXPECT_LT(canonical.size(), concrete.size());
   // Every canonical node is sorted.
-  for (const auto& c : canonical.configs) {
+  for (std::uint32_t v = 0; v < canonical.size(); ++v) {
+    const Configuration c = canonical.config(v);
     EXPECT_TRUE(std::is_sorted(c.mobile.begin(), c.mobile.end()));
   }
 }
@@ -108,7 +109,7 @@ TEST(ExploreCanonical, OmitsNullEdgesKeepsChanges) {
   const ConfigGraph g =
       exploreCanonical(proto, {Configuration{{0, 1, 2}, std::nullopt}});
   ASSERT_EQ(g.size(), 1u);
-  EXPECT_TRUE(g.adj[0].empty());  // terminal: no non-null edges
+  EXPECT_EQ(g.edgeCount(0), 0u);  // terminal: no non-null edges
 }
 
 TEST(ExploreCanonical, SwapTransitionsKeepChangedMobileFlag) {
@@ -119,8 +120,8 @@ TEST(ExploreCanonical, SwapTransitionsKeepChangedMobileFlag) {
   const ConfigGraph g =
       exploreCanonical(proto, {Configuration{{1, 0, 0}, std::nullopt}});
   bool selfLoopWithMobileChange = false;
-  for (std::size_t v = 0; v < g.size(); ++v) {
-    for (const Edge& e : g.adj[v]) {
+  for (std::uint32_t v = 0; v < g.size(); ++v) {
+    for (const Edge& e : g.edges(v)) {
       if (e.to == v && e.changedMobile) selfLoopWithMobileChange = true;
     }
   }

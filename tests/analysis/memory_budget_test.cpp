@@ -187,13 +187,14 @@ void expectGraphsEqual(const ConfigGraph& a, const ConfigGraph& b,
   ASSERT_EQ(a.size(), b.size()) << where;
   EXPECT_EQ(a.truncated, b.truncated) << where;
   EXPECT_EQ(a.truncatedByBudget, b.truncatedByBudget) << where;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    ASSERT_EQ(a.configs[i], b.configs[i]) << where << " node " << i;
-    ASSERT_EQ(a.adj[i].size(), b.adj[i].size()) << where << " node " << i;
-    for (std::size_t k = 0; k < a.adj[i].size(); ++k) {
-      EXPECT_EQ(a.adj[i][k].to, b.adj[i][k].to)
-          << where << " node " << i << " edge " << k;
-      EXPECT_EQ(a.adj[i][k].changed, b.adj[i][k].changed)
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.config(i), b.config(i)) << where << " node " << i;
+    const std::vector<Edge> ae = a.edges(i);
+    const std::vector<Edge> be = b.edges(i);
+    ASSERT_EQ(ae.size(), be.size()) << where << " node " << i;
+    for (std::size_t k = 0; k < ae.size(); ++k) {
+      EXPECT_EQ(ae[k].to, be[k].to) << where << " node " << i << " edge " << k;
+      EXPECT_EQ(ae[k].changed, be[k].changed)
           << where << " node " << i << " edge " << k;
     }
   }

@@ -46,12 +46,13 @@ void expectGraphsIdentical(const ConfigGraph& serial, const ConfigGraph& par,
   EXPECT_EQ(serial.numParticipants, par.numParticipants) << where;
   EXPECT_EQ(serial.truncated, par.truncated) << where;
   EXPECT_EQ(serial.truncatedByBudget, par.truncatedByBudget) << where;
-  for (std::size_t i = 0; i < serial.size(); ++i) {
-    ASSERT_EQ(serial.configs[i], par.configs[i]) << where << " node " << i;
-    ASSERT_EQ(serial.adj[i].size(), par.adj[i].size())
-        << where << " node " << i;
-    for (std::size_t k = 0; k < serial.adj[i].size(); ++k) {
-      expectEdgesEqual(serial.adj[i][k], par.adj[i][k], where, i, k);
+  for (std::uint32_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial.config(i), par.config(i)) << where << " node " << i;
+    const std::vector<Edge> se = serial.edges(i);
+    const std::vector<Edge> pe = par.edges(i);
+    ASSERT_EQ(se.size(), pe.size()) << where << " node " << i;
+    for (std::size_t k = 0; k < se.size(); ++k) {
+      expectEdgesEqual(se[k], pe[k], where, i, k);
     }
   }
 }

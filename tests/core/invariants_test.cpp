@@ -102,7 +102,7 @@ TEST(Invariants, SilencePredicateAgreesWithExplorer) {
                             : arbitraryConfiguration(*proto, 3, rng);
       const ConfigGraph g = exploreConcrete(*proto, {c}, 100000);
       bool anyChange = false;
-      for (const Edge& e : g.adj[0]) anyChange |= e.changed;
+      for (const Edge& e : g.edges(0)) anyChange |= e.changed;
       EXPECT_EQ(isSilent(*proto, c), !anyChange)
           << key << " at " << c.toString();
     }
